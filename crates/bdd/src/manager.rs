@@ -1,0 +1,374 @@
+//! The ROBDD manager: hash-consed nodes, memoized `ite`, and the
+//! standard Boolean operators.
+
+use std::collections::HashMap;
+
+/// Handle to a BDD node (canonical: equal handles ⇔ equal functions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// True if this is one of the two terminals.
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    low: Bdd,
+    high: Bdd,
+}
+
+/// A BDD manager over a fixed number of variables with the natural
+/// variable order (index 0 at the top).
+#[derive(Clone)]
+pub struct BddManager {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+}
+
+impl std::fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.num_vars)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+impl BddManager {
+    /// Creates a manager for `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        let mut m = BddManager {
+            num_vars,
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        };
+        // Slots 0 and 1 are the terminals.
+        m.nodes.push(Node { var: TERMINAL_VAR, low: Bdd::FALSE, high: Bdd::FALSE });
+        m.nodes.push(Node { var: TERMINAL_VAR, low: Bdd::TRUE, high: Bdd::TRUE });
+        m
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total live nodes (including both terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The projection function of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_vars`.
+    pub fn var(&mut self, i: usize) -> Bdd {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        self.mk(i as u32, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// A constant function.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    fn mk(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let b = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, b);
+        b
+    }
+
+    fn var_of(&self, b: Bdd) -> u32 {
+        self.nodes[b.0 as usize].var
+    }
+
+    fn cofactors(&self, b: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = self.nodes[b.0 as usize];
+        if n.var == var {
+            (n.low, n.high)
+        } else {
+            (b, b)
+        }
+    }
+
+    /// The if-then-else operator — the workhorse all others reduce to.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f == Bdd::TRUE {
+            return g;
+        }
+        if f == Bdd::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Bdd::TRUE && h == Bdd::FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(top, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence (xnor).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Evaluates the function on a complete assignment.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            cur = if assignment[n.var as usize] { n.high } else { n.low };
+        }
+        cur == Bdd::TRUE
+    }
+
+    /// A satisfying assignment of `f`, if any: unconstrained
+    /// variables default to `false`.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<bool>> {
+        if f == Bdd::FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars];
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            if n.low != Bdd::FALSE {
+                assignment[n.var as usize] = false;
+                cur = n.low;
+            } else {
+                assignment[n.var as usize] = true;
+                cur = n.high;
+            }
+        }
+        debug_assert_eq!(cur, Bdd::TRUE);
+        Some(assignment)
+    }
+
+    /// Number of satisfying assignments of `f` over all variables.
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        // Fraction of the full space satisfying f, times 2^num_vars.
+        fn frac(m: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, f64>) -> f64 {
+            if f == Bdd::FALSE {
+                return 0.0;
+            }
+            if f == Bdd::TRUE {
+                return 1.0;
+            }
+            if let Some(&v) = memo.get(&f) {
+                return v;
+            }
+            let n = m.nodes[f.0 as usize];
+            let v = 0.5 * frac(m, n.low, memo) + 0.5 * frac(m, n.high, memo);
+            memo.insert(f, v);
+            v
+        }
+        frac(self, f, &mut memo) * (self.num_vars as f64).exp2()
+    }
+
+    /// Size (reachable node count) of one function's diagram.
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            let n = self.nodes[b.0 as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.len() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicity_makes_equivalence_trivial() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        // (a & b) | c  ==  !( (!a | !b) & !c )
+        let ab = m.and(a, b);
+        let lhs = m.or(ab, c);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let nanb = m.or(na, nb);
+        let nc = m.not(c);
+        let inner = m.and(nanb, nc);
+        let rhs = m.not(inner);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.xor(ab, c);
+        for mask in 0..8u32 {
+            let assign: Vec<bool> = (0..3).map(|i| (mask >> i) & 1 == 1).collect();
+            let expect = (assign[0] && assign[1]) ^ assign[2];
+            assert_eq!(m.eval(f, &assign), expect, "at {mask:03b}");
+        }
+    }
+
+    #[test]
+    fn terminals_behave() {
+        let mut m = BddManager::new(1);
+        assert!(m.eval(Bdd::TRUE, &[false]));
+        assert!(!m.eval(Bdd::FALSE, &[false]));
+        assert_eq!(m.not(Bdd::TRUE), Bdd::FALSE);
+        let a = m.var(0);
+        assert_eq!(m.and(a, Bdd::TRUE), a);
+        assert_eq!(m.and(a, Bdd::FALSE), Bdd::FALSE);
+        assert_eq!(m.or(a, Bdd::FALSE), a);
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), Bdd::FALSE);
+        assert_eq!(m.or(a, na), Bdd::TRUE);
+    }
+
+    #[test]
+    fn any_sat_finds_witnesses() {
+        let mut m = BddManager::new(4);
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
+        // f = x0 & !x1 & x3
+        let n1 = m.not(vars[1]);
+        let t = m.and(vars[0], n1);
+        let f = m.and(t, vars[3]);
+        let sat = m.any_sat(f).expect("satisfiable");
+        assert!(m.eval(f, &sat));
+        assert!(sat[0] && !sat[1] && sat[3]);
+        assert_eq!(m.any_sat(Bdd::FALSE), None);
+        assert!(m.any_sat(Bdd::TRUE).is_some());
+    }
+
+    #[test]
+    fn sat_count_is_exact() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let and = m.and(a, b);
+        assert_eq!(m.sat_count(and), 2.0); // {11-}: 2 of 8
+        let or = m.or(a, b);
+        assert_eq!(m.sat_count(or), 6.0);
+        assert_eq!(m.sat_count(Bdd::TRUE), 8.0);
+        assert_eq!(m.sat_count(Bdd::FALSE), 0.0);
+    }
+
+    #[test]
+    fn xor_chain_is_linear_sized() {
+        let mut m = BddManager::new(16);
+        let mut f = m.constant(false);
+        for i in 0..16 {
+            let v = m.var(i);
+            f = m.xor(f, v);
+        }
+        // Parity has a 2-nodes-per-level BDD.
+        assert!(m.size(f) <= 2 * 16 + 2);
+        assert_eq!(m.sat_count(f), (1u64 << 15) as f64);
+    }
+
+    #[test]
+    fn random_functions_match_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut m = BddManager::new(4);
+            let vars: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
+            // Random expression tree of depth 4.
+            let mut pool = vars.clone();
+            for _ in 0..10 {
+                let x = pool[rng.gen_range(0..pool.len())];
+                let y = pool[rng.gen_range(0..pool.len())];
+                let f = match rng.gen_range(0..4) {
+                    0 => m.and(x, y),
+                    1 => m.or(x, y),
+                    2 => m.xor(x, y),
+                    _ => m.not(x),
+                };
+                pool.push(f);
+            }
+            let f = *pool.last().unwrap();
+            let mut count = 0.0;
+            for mask in 0..16u32 {
+                let assign: Vec<bool> = (0..4).map(|i| (mask >> i) & 1 == 1).collect();
+                if m.eval(f, &assign) {
+                    count += 1.0;
+                }
+            }
+            assert_eq!(m.sat_count(f), count);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Building BDDs for LUT-network nodes — the substrate of BDD-based
+//! sweeping: once two nodes' BDDs are built, equivalence is a handle
+//! comparison and a counterexample is a path in their XOR.
+
+use simgen_netlist::{LutNetwork, NodeId, NodeKind};
+
+use crate::manager::{Bdd, BddManager};
+
+/// Per-node BDDs of a network, over its PIs as BDD variables.
+#[derive(Debug)]
+pub struct NetworkBdds {
+    /// The shared manager.
+    pub manager: BddManager,
+    /// `bdds[node.index()]` = the node's function.
+    pub bdds: Vec<Bdd>,
+}
+
+impl NetworkBdds {
+    /// True if two nodes compute the same function (a pointer check,
+    /// thanks to canonicity).
+    pub fn equivalent(&self, a: NodeId, b: NodeId) -> bool {
+        self.bdds[a.index()] == self.bdds[b.index()]
+    }
+
+    /// A counterexample input vector on which `a` and `b` differ, or
+    /// `None` when they are equivalent.
+    pub fn counterexample(&mut self, a: NodeId, b: NodeId) -> Option<Vec<bool>> {
+        let fa = self.bdds[a.index()];
+        let fb = self.bdds[b.index()];
+        let diff = self.manager.xor(fa, fb);
+        self.manager.any_sat(diff)
+    }
+}
+
+/// Builds BDDs for every node of the network, bottom-up.
+///
+/// Returns `None` when the manager exceeds `node_limit` live nodes —
+/// the classic BDD blow-up guard (this is why the field moved to SAT;
+/// arithmetic circuits explode).
+pub fn network_bdds(net: &LutNetwork, node_limit: usize) -> Option<NetworkBdds> {
+    let mut manager = BddManager::new(net.num_pis());
+    let mut bdds: Vec<Bdd> = Vec::with_capacity(net.len());
+    for id in net.node_ids() {
+        let f = match net.kind(id) {
+            NodeKind::Pi { index } => manager.var(*index),
+            NodeKind::Lut { fanins, tt } => {
+                let fanin_bdds: Vec<Bdd> =
+                    fanins.iter().map(|f| bdds[f.index()]).collect();
+                // OR over the on-set cubes of ANDs of fanin literals.
+                let mut acc = manager.constant(false);
+                if tt.is_const1() {
+                    acc = manager.constant(true);
+                } else {
+                    for cube in tt.onset_cover() {
+                        let mut term = manager.constant(true);
+                        for (i, &fb) in fanin_bdds.iter().enumerate() {
+                            match cube.input(i) {
+                                Some(true) => term = manager.and(term, fb),
+                                Some(false) => {
+                                    let nf = manager.not(fb);
+                                    term = manager.and(term, nf);
+                                }
+                                None => {}
+                            }
+                        }
+                        acc = manager.or(acc, term);
+                    }
+                }
+                acc
+            }
+        };
+        bdds.push(f);
+        if manager.num_nodes() > node_limit {
+            return None;
+        }
+    }
+    Some(NetworkBdds { manager, bdds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_netlist::TruthTable;
+
+    fn redundant_net() -> (LutNetwork, NodeId, NodeId, NodeId) {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let and1 = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let na = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let nb = net.add_lut(vec![b], TruthTable::not1()).unwrap();
+        let nor = net.add_lut(vec![na, nb], TruthTable::or2()).unwrap();
+        let and2 = net.add_lut(vec![nor], TruthTable::not1()).unwrap();
+        let or = net.add_lut(vec![a, b], TruthTable::or2()).unwrap();
+        net.add_po(and1, "x");
+        net.add_po(and2, "y");
+        net.add_po(or, "z");
+        (net, and1, and2, or)
+    }
+
+    #[test]
+    fn detects_equivalence_and_difference() {
+        let (net, and1, and2, or) = redundant_net();
+        let mut nb = network_bdds(&net, 1_000_000).expect("tiny network");
+        assert!(nb.equivalent(and1, and2));
+        assert!(!nb.equivalent(and1, or));
+        assert_eq!(nb.counterexample(and1, and2), None);
+        let cex = nb.counterexample(and1, or).expect("differ");
+        let vals = net.eval(&cex);
+        assert_ne!(vals[and1.index()], vals[or.index()]);
+    }
+
+    #[test]
+    fn bdds_match_network_eval() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut net = LutNetwork::new();
+        let mut pool: Vec<NodeId> = (0..5).map(|i| net.add_pi(format!("p{i}"))).collect();
+        for _ in 0..25 {
+            let k = rng.gen_range(1..=3usize);
+            let mut fanins = Vec::new();
+            while fanins.len() < k {
+                let cand = pool[rng.gen_range(0..pool.len())];
+                if !fanins.contains(&cand) {
+                    fanins.push(cand);
+                }
+            }
+            let tt = TruthTable::random(fanins.len(), &mut rng);
+            pool.push(net.add_lut(fanins, tt).unwrap());
+        }
+        net.add_po(*pool.last().unwrap(), "f");
+        let nb = network_bdds(&net, 1_000_000).expect("small network");
+        for m in 0..32u32 {
+            let ins: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let vals = net.eval(&ins);
+            for id in net.node_ids() {
+                assert_eq!(
+                    nb.manager.eval(nb.bdds[id.index()], &ins),
+                    vals[id.index()],
+                    "node {id} at {m:05b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_limit_guards_blowup() {
+        // A multiplier's middle bits blow up BDDs; with a tiny limit
+        // the builder must bail instead of hanging.
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..12).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut layer = pis.clone();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        use rand::Rng;
+        for _ in 0..40 {
+            let a = layer[rng.gen_range(0..layer.len())];
+            let b = layer[rng.gen_range(0..layer.len())];
+            if a == b {
+                continue;
+            }
+            let g = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+            layer.push(g);
+        }
+        net.add_po(*layer.last().unwrap(), "f");
+        assert!(network_bdds(&net, 10).is_none(), "limit must trigger");
+        assert!(network_bdds(&net, 10_000_000).is_some());
+    }
+}

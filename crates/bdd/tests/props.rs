@@ -1,0 +1,90 @@
+//! Property tests: BDD operations against truth-table semantics, and
+//! canonicity (semantic equality ⇔ handle equality).
+
+use proptest::prelude::*;
+
+use simgen_bdd::{Bdd, BddManager};
+
+/// A random expression over `nv` variables, encoded as op codes.
+#[derive(Clone, Debug)]
+struct ExprSpec {
+    nv: usize,
+    ops: Vec<(u8, usize, usize)>,
+}
+
+fn arb_expr() -> impl Strategy<Value = ExprSpec> {
+    (
+        1usize..6,
+        prop::collection::vec((0u8..5, 0usize..999, 0usize..999), 1..40),
+    )
+        .prop_map(|(nv, ops)| ExprSpec { nv, ops })
+}
+
+/// Builds the expression in the manager and as a semantic bitmask.
+fn build(m: &mut BddManager, spec: &ExprSpec) -> (Bdd, u64) {
+    let nv = spec.nv;
+    let mask = if nv == 6 { u64::MAX } else { (1u64 << (1 << nv)) - 1 };
+    let var_bits = |i: usize| -> u64 {
+        let mut bits = 0u64;
+        for mnt in 0..(1u64 << nv) {
+            if (mnt >> i) & 1 == 1 {
+                bits |= 1 << mnt;
+            }
+        }
+        bits
+    };
+    let mut pool: Vec<(Bdd, u64)> = (0..nv).map(|i| (m.var(i), var_bits(i))).collect();
+    for &(op, i, j) in &spec.ops {
+        let (fa, ba) = pool[i % pool.len()];
+        let (fb, bb) = pool[j % pool.len()];
+        let entry = match op {
+            0 => (m.and(fa, fb), ba & bb),
+            1 => (m.or(fa, fb), ba | bb),
+            2 => (m.xor(fa, fb), ba ^ bb),
+            3 => (m.not(fa), !ba & mask),
+            _ => (m.ite(fa, fb, pool[(i + j) % pool.len()].0), {
+                let (_, bc) = pool[(i + j) % pool.len()];
+                (ba & bb) | (!ba & bc) & mask
+            }),
+        };
+        pool.push((entry.0, entry.1 & mask));
+    }
+    *pool.last().expect("nonempty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn operations_match_semantics(spec in arb_expr()) {
+        let mut m = BddManager::new(spec.nv);
+        let (f, bits) = build(&mut m, &spec);
+        for mnt in 0..(1u64 << spec.nv) {
+            let assign: Vec<bool> = (0..spec.nv).map(|i| (mnt >> i) & 1 == 1).collect();
+            prop_assert_eq!(m.eval(f, &assign), (bits >> mnt) & 1 == 1, "at {:b}", mnt);
+        }
+    }
+
+    #[test]
+    fn canonicity(spec1 in arb_expr(), ops2 in prop::collection::vec((0u8..5, 0usize..999, 0usize..999), 1..40)) {
+        // Build two expressions over the same variables in ONE manager;
+        // semantic equality must coincide with handle equality.
+        let spec2 = ExprSpec { nv: spec1.nv, ops: ops2 };
+        let mut m = BddManager::new(spec1.nv);
+        let (f1, b1) = build(&mut m, &spec1);
+        let (f2, b2) = build(&mut m, &spec2);
+        prop_assert_eq!(f1 == f2, b1 == b2, "handles {:?} {:?} bits {:b} {:b}", f1, f2, b1, b2);
+    }
+
+    #[test]
+    fn any_sat_and_count_agree(spec in arb_expr()) {
+        let mut m = BddManager::new(spec.nv);
+        let (f, bits) = build(&mut m, &spec);
+        let count = bits.count_ones() as f64;
+        prop_assert_eq!(m.sat_count(f), count);
+        match m.any_sat(f) {
+            Some(assign) => prop_assert!(m.eval(f, &assign)),
+            None => prop_assert_eq!(bits, 0),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion harness behind **Table 1**: measures the simulation
+//! phase (pattern generation + simulation + class refinement, no SAT)
+//! of each strategy on representative benchmarks, and reports the
+//! achieved class cost alongside the timing in the bench output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use simgen_bench::{experiment_config, run_strategy, Strategy};
+use simgen_workloads::benchmark_network;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = experiment_config(false);
+    let mut group = c.benchmark_group("table1_sim_phase");
+    for bmk in ["apex2", "k2", "b17_C"] {
+        let net = benchmark_network(bmk, 6).expect("known benchmark");
+        for strategy in Strategy::table1() {
+            // Print the cost once so bench logs double as data points.
+            let cost = run_strategy(&net, strategy, cfg, 1).cost_after_sim;
+            println!("{bmk}/{}: cost {cost}", strategy.label());
+            group.bench_with_input(
+                BenchmarkId::new(bmk, strategy.label()),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| run_strategy(&net, strategy, cfg, 1).cost_after_sim);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion harness behind **Table 2**: measures the *full sweep*
+//! (simulation phase plus SAT resolution) under RevS vs SimGen
+//! patterns on representative benchmarks — the end-to-end time whose
+//! SAT component the paper tabulates. One stacked benchmark covers
+//! the table's lower half (Section 6.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use simgen_bench::{experiment_config, run_strategy, stacked_network, Strategy};
+use simgen_workloads::benchmark_network;
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = experiment_config(true);
+    let mut group = c.benchmark_group("table2_full_sweep");
+    for bmk in ["apex2", "b21_C"] {
+        let net = benchmark_network(bmk, 6).expect("known benchmark");
+        for strategy in [Strategy::RevS, Strategy::AiDcMffc] {
+            let r = run_strategy(&net, strategy, cfg, 1);
+            println!(
+                "{bmk}/{}: {} SAT calls, {:?} SAT time",
+                strategy.label(),
+                r.stats.sat_calls,
+                r.stats.sat_time
+            );
+            group.bench_with_input(
+                BenchmarkId::new(bmk, strategy.label()),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| run_strategy(&net, strategy, cfg, 1).stats.sat_calls);
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table2_stacked");
+    group.sample_size(10);
+    let net = stacked_network("square", 7, 6).expect("known benchmark");
+    for strategy in [Strategy::RevS, Strategy::AiDcMffc] {
+        group.bench_with_input(
+            BenchmarkId::new("square_x7", strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| run_strategy(&net, strategy, cfg, 1).stats.sat_calls);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates **Figure 5**: per-benchmark normalized differences of
+//! SimGen vs RevS in class cost, simulation runtime, SAT calls and
+//! SAT runtime, rendered as aligned ASCII bars (negative = SimGen
+//! better, matching the paper's bar plot).
+//!
+//! ```text
+//! cargo run --release -p simgen-bench --bin figure5
+//! ```
+
+use simgen_bench::{ascii_bar, compare_on_avg, norm_diff};
+use simgen_workloads::{all_benchmarks, benchmark_network};
+
+fn main() {
+    println!("Figure 5: normalized difference (SimGen - RevS) / RevS per benchmark");
+    println!("bars: '-' left of axis = SimGen lower (better); '+' = SimGen higher");
+    println!();
+    println!(
+        "{:12} {:>7} {:<17} {:>7} {:<17} {:>7} {:<17} {:>7} {:<17}",
+        "bmk", "cost%", "", "sim%", "", "calls%", "", "sat%", ""
+    );
+    let mut sums = [0.0f64; 4];
+    let mut n = 0usize;
+    for b in all_benchmarks() {
+        let net = benchmark_network(b.name, 6).expect("known benchmark");
+        let row = compare_on_avg(&net, b.name, true, 0xBEEF, 3);
+        let d = [
+            norm_diff(row.sgen.cost as f64, row.revs.cost as f64),
+            norm_diff(
+                row.sgen.sim_time.as_secs_f64(),
+                row.revs.sim_time.as_secs_f64(),
+            ),
+            norm_diff(row.sgen.sat_calls as f64, row.revs.sat_calls as f64),
+            norm_diff(
+                row.sgen.sat_time.as_secs_f64(),
+                row.revs.sat_time.as_secs_f64(),
+            ),
+        ];
+        println!(
+            "{:12} {:>6.1}% {:<17} {:>6.1}% {:<17} {:>6.1}% {:<17} {:>6.1}% {:<17}",
+            row.name,
+            d[0] * 100.0,
+            ascii_bar(d[0], 8),
+            d[1] * 100.0,
+            ascii_bar(d[1].min(8.0) / 8.0, 8),
+            d[2] * 100.0,
+            ascii_bar(d[2], 8),
+            d[3] * 100.0,
+            ascii_bar(d[3], 8),
+        );
+        for (s, v) in sums.iter_mut().zip(d) {
+            *s += v;
+        }
+        n += 1;
+    }
+    println!();
+    println!(
+        "averages over {n} benchmarks: cost {:+.1}%, sim time {:+.1}%, sat calls {:+.1}%, sat time {:+.1}%",
+        sums[0] / n as f64 * 100.0,
+        sums[1] / n as f64 * 100.0,
+        sums[2] / n as f64 * 100.0,
+        sums[3] / n as f64 * 100.0
+    );
+    println!();
+    println!("Paper reference (Figure 5): cost, SAT calls and SAT runtime drop on most");
+    println!("benchmarks; simulation runtime occasionally increases (the accepted tradeoff).");
+}

@@ -1,0 +1,83 @@
+//! Regenerates **Table 2**: per-benchmark SAT calls and SAT time of
+//! the sweeping tool under RevS vs SimGen patterns. With `--stacked`,
+//! regenerates the lower half (the `&putontop` scaled benchmarks).
+//!
+//! ```text
+//! cargo run --release -p simgen-bench --bin table2 [-- --stacked]
+//! ```
+
+use simgen_bench::{compare_on_avg, stacked_benchmarks, stacked_network};
+use simgen_workloads::{all_benchmarks, benchmark_network};
+
+fn main() {
+    let stacked = std::env::args().any(|a| a == "--stacked");
+    if stacked {
+        println!("Table 2 (lower): SAT calls and SAT time on stacked benchmarks (&putontop)");
+    } else {
+        println!("Table 2 (upper): SAT calls and SAT time per benchmark");
+    }
+    println!("(full sweep: 64 random patterns, 20 guided iterations, SAT resolution)");
+    println!();
+    println!(
+        "{:14} {:>7} | {:>9} {:>9} | {:>12} {:>12} | {:>7}",
+        "bmk", "luts", "calls", "calls", "time", "time", "dtime"
+    );
+    println!(
+        "{:14} {:>7} | {:>9} {:>9} | {:>12} {:>12} | {:>7}",
+        "", "", "RevS", "SGen", "RevS", "SGen", "%"
+    );
+    println!("{}", "-".repeat(84));
+
+    let rows: Vec<(String, Option<simgen_netlist::LutNetwork>)> = if stacked {
+        stacked_benchmarks()
+            .iter()
+            .map(|&(name, copies)| {
+                (
+                    format!("{name} ({copies})"),
+                    stacked_network(name, copies, 6),
+                )
+            })
+            .collect()
+    } else {
+        all_benchmarks()
+            .iter()
+            .map(|b| (b.name.to_string(), benchmark_network(b.name, 6)))
+            .collect()
+    };
+
+    let mut tot_calls = [0u64; 2];
+    let mut tot_time = [0.0f64; 2];
+    for (name, net) in rows {
+        let net = net.expect("known benchmark");
+        let row = compare_on_avg(&net, &name, true, 0xBEEF, 3);
+        let tr = row.revs.sat_time.as_secs_f64() * 1e3;
+        let ts = row.sgen.sat_time.as_secs_f64() * 1e3;
+        let d = if tr > 0.0 { (ts - tr) / tr * 100.0 } else { 0.0 };
+        println!(
+            "{:14} {:>7} | {:>9} {:>9} | {:>10.2}ms {:>10.2}ms | {:>6.1}%",
+            row.name, row.luts, row.revs.sat_calls, row.sgen.sat_calls, tr, ts, d
+        );
+        tot_calls[0] += row.revs.sat_calls;
+        tot_calls[1] += row.sgen.sat_calls;
+        tot_time[0] += tr;
+        tot_time[1] += ts;
+    }
+    println!("{}", "-".repeat(84));
+    println!(
+        "{:14} {:>7} | {:>9} {:>9} | {:>10.2}ms {:>10.2}ms | {:>6.1}%",
+        "TOTAL",
+        "",
+        tot_calls[0],
+        tot_calls[1],
+        tot_time[0],
+        tot_time[1],
+        if tot_time[0] > 0.0 {
+            (tot_time[1] - tot_time[0]) / tot_time[0] * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!();
+    println!("Paper reference: SimGen reduces SAT calls on the large majority of benchmarks,");
+    println!("with SAT time following the call count (e.g. b21_C 1369->271 calls).");
+}

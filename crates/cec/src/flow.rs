@@ -1,0 +1,310 @@
+//! High-level flows: full two-network CEC and the combined
+//! random→guided strategy of the paper's Section 6.5.
+
+use std::time::Instant;
+
+use simgen_core::PatternGenerator;
+use simgen_netlist::miter::combine;
+use simgen_netlist::{LutNetwork, NetlistError, NodeId};
+use simgen_sim::EquivClasses;
+
+use crate::prove::{PairProver, ProveOutcome};
+use crate::sweep::{SweepConfig, Sweeper};
+use crate::stats::SweepStats;
+
+/// Verdict of a full CEC run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CecVerdict {
+    /// Every PO pair proven equal.
+    Equivalent,
+    /// A PO pair differs; carries the witness input vector and the
+    /// index of the differing output pair.
+    NotEquivalent {
+        /// Index of the first differing output pair.
+        po_index: usize,
+        /// Input vector on which the outputs differ.
+        witness: Vec<bool>,
+    },
+    /// Some PO pair could not be resolved within the SAT budget.
+    Undecided,
+}
+
+/// Report of [`check_equivalence`].
+#[derive(Clone, Debug)]
+pub struct CecReport {
+    /// The verdict.
+    pub verdict: CecVerdict,
+    /// Sweep statistics (simulation + internal-node SAT calls).
+    pub sweep_stats: SweepStats,
+    /// SAT calls spent on the output proofs.
+    pub output_sat_calls: u64,
+    /// Wall time of the output proofs.
+    pub output_sat_time: std::time::Duration,
+}
+
+/// Checks combinational equivalence of two networks with identical
+/// PI/PO interfaces, using sweeping to simplify the final proofs.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if the PI or PO counts differ.
+pub fn check_equivalence(
+    a: &LutNetwork,
+    b: &LutNetwork,
+    generator: &mut dyn PatternGenerator,
+    config: SweepConfig,
+) -> Result<CecReport, NetlistError> {
+    if a.num_pos() != b.num_pos() {
+        return Err(NetlistError::Invalid(format!(
+            "po count mismatch: {} vs {}",
+            a.num_pos(),
+            b.num_pos()
+        )));
+    }
+    let combined = combine(a, b)?;
+    let net = &combined.network;
+    let sweep = Sweeper::new(config).run(net, generator);
+
+    // Final proofs on the PO pairs. Seeding the prover with every
+    // equivalence the sweep established (fraig-style merging) is what
+    // makes the output proofs tractable: without it, deep arithmetic
+    // PO miters re-derive all internal equivalences from scratch.
+    let mut prover = PairProver::new(net);
+    for class in &sweep.proven_classes {
+        let rep = class[0];
+        for &member in &class[1..] {
+            prover.assert_equal(rep, member);
+        }
+    }
+    let t = Instant::now();
+    let mut verdict = CecVerdict::Equivalent;
+    for (i, (pa, pb)) in a.pos().iter().zip(b.pos()).enumerate() {
+        let na = combined.map_a[pa.node.index()];
+        let nb = combined.map_b[pb.node.index()];
+        match prover.prove(na, nb, config.sat_budget) {
+            ProveOutcome::Equivalent => {}
+            ProveOutcome::Counterexample(witness) => {
+                verdict = CecVerdict::NotEquivalent { po_index: i, witness };
+                break;
+            }
+            ProveOutcome::Unknown => {
+                verdict = CecVerdict::Undecided;
+            }
+        }
+    }
+    Ok(CecReport {
+        verdict,
+        sweep_stats: sweep.stats,
+        output_sat_calls: prover.calls(),
+        output_sat_time: t.elapsed(),
+    })
+}
+
+/// The Section 6.5 strategy: run cheap random simulation until the
+/// cost plateaus for `patience` consecutive iterations, then hand over
+/// to a guided generator (RevS or SimGen) permanently.
+pub struct SwitchOnPlateau {
+    random: Box<dyn PatternGenerator>,
+    guided: Box<dyn PatternGenerator>,
+    patience: usize,
+    recent_costs: Vec<u64>,
+    switched: bool,
+}
+
+impl std::fmt::Debug for SwitchOnPlateau {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchOnPlateau")
+            .field("patience", &self.patience)
+            .field("switched", &self.switched)
+            .finish()
+    }
+}
+
+impl SwitchOnPlateau {
+    /// Creates the combined strategy. `patience` is the number of
+    /// consecutive equal-cost iterations that triggers the switch
+    /// (the paper uses 3).
+    pub fn new(
+        random: Box<dyn PatternGenerator>,
+        guided: Box<dyn PatternGenerator>,
+        patience: usize,
+    ) -> Self {
+        SwitchOnPlateau {
+            random,
+            guided,
+            patience,
+            recent_costs: Vec::new(),
+            switched: false,
+        }
+    }
+
+    /// True once the guided generator has taken over.
+    pub fn has_switched(&self) -> bool {
+        self.switched
+    }
+}
+
+impl PatternGenerator for SwitchOnPlateau {
+    fn name(&self) -> String {
+        format!("{}->{}", self.random.name(), self.guided.name())
+    }
+
+    fn generate(&mut self, net: &LutNetwork, classes: &EquivClasses) -> Vec<Vec<bool>> {
+        if !self.switched {
+            let cost = classes.cost();
+            self.recent_costs.push(cost);
+            let n = self.recent_costs.len();
+            if n >= self.patience
+                && self.recent_costs[n - self.patience..]
+                    .iter()
+                    .all(|&c| c == cost)
+            {
+                self.switched = true;
+            }
+        }
+        if self.switched {
+            self.guided.generate(net, classes)
+        } else {
+            self.random.generate(net, classes)
+        }
+    }
+}
+
+/// Convenience: collects all LUT node ids of a network (used by
+/// examples and benches when assembling custom target sets).
+pub fn lut_nodes(net: &LutNetwork) -> Vec<NodeId> {
+    net.node_ids().filter(|&n| !net.is_pi(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_core::{RandomPatterns, SimGen, SimGenConfig};
+    use simgen_netlist::TruthTable;
+
+    fn adder_pair() -> (LutNetwork, LutNetwork) {
+        // sum/carry computed directly vs via De Morgan'd logic.
+        let mut n1 = LutNetwork::with_name("direct");
+        let a = n1.add_pi("a");
+        let b = n1.add_pi("b");
+        let cin = n1.add_pi("cin");
+        let s = n1
+            .add_lut(
+                vec![a, b, cin],
+                TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1),
+            )
+            .unwrap();
+        let c = n1
+            .add_lut(
+                vec![a, b, cin],
+                TruthTable::from_fn(3, |m| m.count_ones() >= 2),
+            )
+            .unwrap();
+        n1.add_po(s, "sum");
+        n1.add_po(c, "cout");
+
+        let mut n2 = LutNetwork::with_name("gates");
+        let a = n2.add_pi("a");
+        let b = n2.add_pi("b");
+        let cin = n2.add_pi("cin");
+        let x1 = n2.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+        let s = n2.add_lut(vec![x1, cin], TruthTable::xor2()).unwrap();
+        let a1 = n2.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let a2 = n2.add_lut(vec![x1, cin], TruthTable::and2()).unwrap();
+        let c = n2.add_lut(vec![a1, a2], TruthTable::or2()).unwrap();
+        n2.add_po(s, "sum");
+        n2.add_po(c, "cout");
+        (n1, n2)
+    }
+
+    #[test]
+    fn equivalent_designs_verify() {
+        let (n1, n2) = adder_pair();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let report =
+            check_equivalence(&n1, &n2, &mut gen, SweepConfig::default()).unwrap();
+        assert_eq!(report.verdict, CecVerdict::Equivalent);
+        assert!(report.output_sat_calls >= 2);
+    }
+
+    #[test]
+    fn broken_design_yields_witness() {
+        let (n1, mut n2) = adder_pair();
+        // Break cout in n2 by adding an extra output-stage inverter.
+        let cout_node = n2.pos()[1].node;
+        let broken = n2.add_lut(vec![cout_node], TruthTable::not1()).unwrap();
+        let sum_node = n2.pos()[0].node;
+        n2.clear_pos();
+        n2.add_po(sum_node, "sum");
+        n2.add_po(broken, "cout");
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let report =
+            check_equivalence(&n1, &n2, &mut gen, SweepConfig::default()).unwrap();
+        match report.verdict {
+            CecVerdict::NotEquivalent { po_index, witness } => {
+                assert_eq!(po_index, 1);
+                let o1 = n1.eval_pos(&witness);
+                let o2 = n2.eval_pos(&witness);
+                assert_ne!(o1[1], o2[1], "witness distinguishes cout");
+            }
+            other => panic!("expected inequivalence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_rejected() {
+        let (n1, _) = adder_pair();
+        let mut single = LutNetwork::new();
+        let a = single.add_pi("a");
+        let b = single.add_pi("b");
+        let c = single.add_pi("c");
+        let g = single.add_lut(vec![a, b, c], TruthTable::const0(3)).unwrap();
+        single.add_po(g, "only");
+        let mut gen = RandomPatterns::new(1, 8);
+        assert!(check_equivalence(&n1, &single, &mut gen, SweepConfig::default()).is_err());
+    }
+
+    #[test]
+    fn plateau_switch_fires_after_patience() {
+        let (n1, n2) = adder_pair();
+        let combined = combine(&n1, &n2).unwrap();
+        let net = combined.network;
+        let mut gen = SwitchOnPlateau::new(
+            // A "random" generator that always emits the same vector,
+            // guaranteeing an immediate plateau.
+            Box::new(ConstantGen),
+            Box::new(SimGen::new(SimGenConfig::default())),
+            3,
+        );
+        assert_eq!(gen.name(), "const->SimGen");
+        let cfg = SweepConfig {
+            random_rounds: 1,
+            random_batch: 1,
+            guided_iterations: 8,
+            run_sat: false,
+            seed: 3,
+            ..SweepConfig::default()
+        };
+        let _ = Sweeper::new(cfg).run(&net, &mut gen);
+        assert!(gen.has_switched(), "plateau must trigger the switch");
+    }
+
+    /// Emits one fixed vector every iteration (test helper).
+    struct ConstantGen;
+    impl PatternGenerator for ConstantGen {
+        fn name(&self) -> String {
+            "const".into()
+        }
+        fn generate(&mut self, net: &LutNetwork, _c: &EquivClasses) -> Vec<Vec<bool>> {
+            vec![vec![false; net.num_pis()]]
+        }
+    }
+
+    #[test]
+    fn lut_nodes_excludes_pis() {
+        let (n1, _) = adder_pair();
+        let luts = lut_nodes(&n1);
+        assert_eq!(luts.len(), 2);
+        assert!(luts.iter().all(|&n| !n1.is_pi(n)));
+    }
+}

@@ -1,0 +1,297 @@
+//! SAT-based equivalence proofs for candidate node pairs.
+//!
+//! Each pair query is a single incremental SAT call: both fanin cones
+//! are (lazily) Tseitin-encoded into one persistent solver, a fresh
+//! XOR selector variable is constrained to `a ⊕ b`, and the selector
+//! is assumed true. UNSAT proves the pair equivalent; SAT yields a
+//! counterexample input vector for resimulation; a conflict-budget
+//! overrun returns [`ProveOutcome::Unknown`].
+
+use std::time::{Duration, Instant};
+
+use simgen_netlist::{LutNetwork, NodeId};
+use simgen_sat::tseitin::NetworkEncoder;
+use simgen_sat::{Lit, SolveResult, Solver};
+
+/// Result of one pair proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProveOutcome {
+    /// The nodes compute the same function.
+    Equivalent,
+    /// An input vector on which the nodes differ.
+    Counterexample(Vec<bool>),
+    /// The conflict budget ran out.
+    Unknown,
+}
+
+/// A verification engine answering pairwise node-equivalence queries
+/// — the "BDD or SAT" box of the paper's Figure 2.
+pub trait EquivProver {
+    /// Proves or disproves `a ≡ b` (budget semantics are
+    /// engine-specific; SAT counts conflicts, BDD checks a node
+    /// limit at construction).
+    fn prove(&mut self, a: NodeId, b: NodeId, budget: Option<u64>) -> ProveOutcome;
+
+    /// Records a proven equivalence for reuse by later queries
+    /// (no-op where canonicity already provides it).
+    fn assert_equal(&mut self, a: NodeId, b: NodeId);
+
+    /// Queries issued so far.
+    fn calls(&self) -> u64;
+
+    /// Wall time spent proving so far.
+    fn time(&self) -> Duration;
+}
+
+/// Incremental prover bound to one network.
+#[derive(Debug)]
+pub struct PairProver<'n> {
+    net: &'n LutNetwork,
+    solver: Solver,
+    encoder: NetworkEncoder,
+    calls: u64,
+    time: Duration,
+}
+
+impl<'n> PairProver<'n> {
+    /// Creates a prover for `net`.
+    pub fn new(net: &'n LutNetwork) -> Self {
+        PairProver {
+            net,
+            solver: Solver::new(),
+            encoder: NetworkEncoder::new(net),
+            calls: 0,
+            time: Duration::ZERO,
+        }
+    }
+
+    /// Number of SAT calls issued so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Wall time spent inside the solver so far.
+    pub fn time(&self) -> Duration {
+        self.time
+    }
+
+    /// Records a *proven* equivalence as two binary clauses
+    /// (`a → b`, `b → a`), so every later query benefits — the
+    /// incremental analogue of fraiging's node merging, without which
+    /// proofs of deep pairs re-derive all their fanin equivalences
+    /// from scratch.
+    ///
+    /// Only call this for pairs previously answered
+    /// [`ProveOutcome::Equivalent`]; asserting a false equivalence
+    /// makes all subsequent answers meaningless.
+    pub fn assert_equal(&mut self, a: NodeId, b: NodeId) {
+        let va = self.encoder.encode_cone(self.net, &mut self.solver, a);
+        let vb = self.encoder.encode_cone(self.net, &mut self.solver, b);
+        self.solver.add_clause(&[Lit::neg(va), Lit::pos(vb)]);
+        self.solver.add_clause(&[Lit::pos(va), Lit::neg(vb)]);
+    }
+
+    /// Proves or disproves `a ≡ b` with one SAT call.
+    ///
+    /// `budget` bounds the solver's conflicts (`None` = unbounded).
+    pub fn prove(&mut self, a: NodeId, b: NodeId, budget: Option<u64>) -> ProveOutcome {
+        let start = Instant::now();
+        let va = self.encoder.encode_cone(self.net, &mut self.solver, a);
+        let vb = self.encoder.encode_cone(self.net, &mut self.solver, b);
+        // Fresh selector t with t ↔ (a ⊕ b).
+        let t = self.solver.new_var();
+        self.solver
+            .add_clause(&[Lit::neg(t), Lit::pos(va), Lit::pos(vb)]);
+        self.solver
+            .add_clause(&[Lit::neg(t), Lit::neg(va), Lit::neg(vb)]);
+        self.solver
+            .add_clause(&[Lit::pos(t), Lit::neg(va), Lit::pos(vb)]);
+        self.solver
+            .add_clause(&[Lit::pos(t), Lit::pos(va), Lit::neg(vb)]);
+        self.calls += 1;
+        let result = self.solver.solve_limited(&[Lit::pos(t)], budget);
+        let outcome = match result {
+            SolveResult::Unsat => ProveOutcome::Equivalent,
+            SolveResult::Sat => ProveOutcome::Counterexample(
+                self.encoder.extract_input_vector(self.net, &self.solver),
+            ),
+            SolveResult::Unknown => ProveOutcome::Unknown,
+        };
+        self.time += start.elapsed();
+        outcome
+    }
+}
+
+impl EquivProver for PairProver<'_> {
+    fn prove(&mut self, a: NodeId, b: NodeId, budget: Option<u64>) -> ProveOutcome {
+        PairProver::prove(self, a, b, budget)
+    }
+
+    fn assert_equal(&mut self, a: NodeId, b: NodeId) {
+        PairProver::assert_equal(self, a, b);
+    }
+
+    fn calls(&self) -> u64 {
+        PairProver::calls(self)
+    }
+
+    fn time(&self) -> Duration {
+        PairProver::time(self)
+    }
+}
+
+/// BDD-based prover: builds the whole network's BDDs once (guarded by
+/// a node limit), after which every query is a pointer comparison and
+/// counterexamples are XOR paths. Mirrors the classic BDD sweeping of
+/// Kuehlmann & Krohm; blows up on arithmetic, which is exactly the
+/// behaviour the SAT transition of the 2000s addressed.
+#[derive(Debug)]
+pub struct BddProver<'n> {
+    net: &'n LutNetwork,
+    node_limit: usize,
+    bdds: Option<Option<simgen_bdd::NetworkBdds>>,
+    calls: u64,
+    time: Duration,
+}
+
+impl<'n> BddProver<'n> {
+    /// Creates a BDD prover; construction is lazy (first query pays).
+    /// `node_limit` bounds manager growth before giving up.
+    pub fn new(net: &'n LutNetwork, node_limit: usize) -> Self {
+        BddProver {
+            net,
+            node_limit,
+            bdds: None,
+            calls: 0,
+            time: Duration::ZERO,
+        }
+    }
+
+    /// True once construction was attempted and hit the node limit.
+    pub fn blew_up(&self) -> bool {
+        matches!(self.bdds, Some(None))
+    }
+}
+
+impl EquivProver for BddProver<'_> {
+    fn prove(&mut self, a: NodeId, b: NodeId, _budget: Option<u64>) -> ProveOutcome {
+        let start = Instant::now();
+        self.calls += 1;
+        if self.bdds.is_none() {
+            self.bdds = Some(simgen_bdd::network_bdds(self.net, self.node_limit));
+        }
+        let outcome = match self.bdds.as_mut().expect("just built") {
+            None => ProveOutcome::Unknown, // node limit exceeded
+            Some(nb) => match nb.counterexample(a, b) {
+                None => ProveOutcome::Equivalent,
+                Some(cex) => ProveOutcome::Counterexample(cex),
+            },
+        };
+        self.time += start.elapsed();
+        outcome
+    }
+
+    fn assert_equal(&mut self, _a: NodeId, _b: NodeId) {
+        // Canonicity already makes equal functions share handles.
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    fn time(&self) -> Duration {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_netlist::TruthTable;
+
+    fn demo_net() -> (LutNetwork, NodeId, NodeId, NodeId) {
+        // x = a & b; y = !(!a | !b) (equivalent); z = a | b (different).
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let x = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let na = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let nb = net.add_lut(vec![b], TruthTable::not1()).unwrap();
+        let o = net.add_lut(vec![na, nb], TruthTable::or2()).unwrap();
+        let y = net.add_lut(vec![o], TruthTable::not1()).unwrap();
+        let z = net.add_lut(vec![a, b], TruthTable::or2()).unwrap();
+        net.add_po(x, "x");
+        net.add_po(y, "y");
+        net.add_po(z, "z");
+        (net, x, y, z)
+    }
+
+    #[test]
+    fn proves_equivalence() {
+        let (net, x, y, _) = demo_net();
+        let mut p = PairProver::new(&net);
+        assert_eq!(p.prove(x, y, None), ProveOutcome::Equivalent);
+        assert_eq!(p.calls(), 1);
+    }
+
+    #[test]
+    fn finds_counterexample() {
+        let (net, x, _, z) = demo_net();
+        let mut p = PairProver::new(&net);
+        match p.prove(x, z, None) {
+            ProveOutcome::Counterexample(v) => {
+                let vals = net.eval(&v);
+                assert_ne!(vals[x.index()], vals[z.index()], "cex must distinguish");
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_reuse_across_pairs() {
+        let (net, x, y, z) = demo_net();
+        let mut p = PairProver::new(&net);
+        assert_eq!(p.prove(x, y, None), ProveOutcome::Equivalent);
+        assert!(matches!(
+            p.prove(x, z, None),
+            ProveOutcome::Counterexample(_)
+        ));
+        assert!(matches!(
+            p.prove(y, z, None),
+            ProveOutcome::Counterexample(_)
+        ));
+        // Re-asking an answered query still works (learned clauses
+        // persist but assumptions isolate queries).
+        assert_eq!(p.prove(x, y, None), ProveOutcome::Equivalent);
+        assert_eq!(p.calls(), 4);
+        assert!(p.time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn budget_zero_gives_unknown_on_nontrivial_pair() {
+        // A pair that needs at least some search: two xor trees over
+        // the same inputs with different association.
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut l = pis[0];
+        for &p in &pis[1..] {
+            l = net.add_lut(vec![l, p], TruthTable::xor2()).unwrap();
+        }
+        let mut r = pis[5];
+        for &p in pis[..5].iter().rev() {
+            r = net.add_lut(vec![r, p], TruthTable::xor2()).unwrap();
+        }
+        net.add_po(l, "l");
+        net.add_po(r, "r");
+        let mut p = PairProver::new(&net);
+        // Unbounded: equivalent.
+        assert_eq!(p.prove(l, r, None), ProveOutcome::Equivalent);
+    }
+
+    #[test]
+    fn node_vs_itself_is_equivalent() {
+        let (net, x, _, _) = demo_net();
+        let mut p = PairProver::new(&net);
+        assert_eq!(p.prove(x, x, None), ProveOutcome::Equivalent);
+    }
+}

@@ -1,0 +1,83 @@
+//! Statistics collected by the sweeping flow — exactly the metrics
+//! the paper's tables and figures report.
+
+use std::time::Duration;
+
+/// One guided-simulation iteration's record (the data behind
+/// Figure 7's per-iteration cost/runtime curves).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (0-based; random rounds count first).
+    pub iteration: usize,
+    /// Class cost (Equation 5) after this iteration's refinement.
+    pub cost: u64,
+    /// Vectors produced this iteration.
+    pub vectors: usize,
+    /// Time spent inside the pattern generator.
+    pub gen_time: Duration,
+    /// Time spent simulating and refining classes.
+    pub sim_time: Duration,
+}
+
+/// Cumulative sweep statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SweepStats {
+    /// SAT solver invocations (one per candidate pair).
+    pub sat_calls: u64,
+    /// Wall time inside the SAT solver.
+    pub sat_time: Duration,
+    /// Wall time generating patterns (guided strategies).
+    pub gen_time: Duration,
+    /// Wall time simulating patterns and refining classes.
+    pub sim_time: Duration,
+    /// Pairs proven equivalent by SAT.
+    pub proved_equivalent: u64,
+    /// Pairs disproven by a SAT counterexample.
+    pub disproved: u64,
+    /// Pairs abandoned on conflict budget.
+    pub aborted: u64,
+    /// Per-iteration history of the simulation phase.
+    pub history: Vec<IterationRecord>,
+}
+
+impl SweepStats {
+    /// Total simulation-phase time (generation + simulation).
+    pub fn total_sim_phase(&self) -> Duration {
+        self.gen_time + self.sim_time
+    }
+
+    /// The cost after the last simulation iteration (`u64::MAX` when
+    /// no iteration ran).
+    pub fn final_cost(&self) -> u64 {
+        self.history.last().map_or(u64::MAX, |r| r.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut s = SweepStats::default();
+        assert_eq!(s.final_cost(), u64::MAX);
+        s.history.push(IterationRecord {
+            iteration: 0,
+            cost: 10,
+            vectors: 64,
+            gen_time: Duration::from_millis(1),
+            sim_time: Duration::from_millis(2),
+        });
+        s.history.push(IterationRecord {
+            iteration: 1,
+            cost: 7,
+            vectors: 1,
+            gen_time: Duration::from_millis(3),
+            sim_time: Duration::from_millis(4),
+        });
+        s.gen_time = Duration::from_millis(4);
+        s.sim_time = Duration::from_millis(6);
+        assert_eq!(s.final_cost(), 7);
+        assert_eq!(s.total_sim_phase(), Duration::from_millis(10));
+    }
+}

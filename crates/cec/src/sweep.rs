@@ -1,0 +1,490 @@
+//! The SAT sweeping loop: random simulation → guided pattern
+//! generation → SAT resolution with counterexample feedback.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simgen_core::PatternGenerator;
+use simgen_netlist::{LutNetwork, NodeId};
+use simgen_sim::{EquivClasses, PatternSet, SimResult};
+
+use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
+use crate::stats::{IterationRecord, SweepStats};
+
+/// Which verification engine resolves the surviving pairs (the
+/// "BDD or SAT" choice of the paper's Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProofEngine {
+    /// Incremental CDCL SAT (the paper's configuration).
+    Sat,
+    /// Monolithic BDDs with a blow-up node limit; queries that hit
+    /// the limit are reported unresolved.
+    Bdd {
+        /// Maximum live BDD nodes before giving up.
+        node_limit: usize,
+    },
+}
+
+/// Sweep parameters (defaults follow the paper's Section 6.1 setup:
+/// one round of random simulation, then 20 guided iterations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Rounds of random simulation before the guided phase.
+    pub random_rounds: usize,
+    /// Random vectors per round (64 = one machine word).
+    pub random_batch: usize,
+    /// Guided-generator iterations.
+    pub guided_iterations: usize,
+    /// Conflict budget per SAT call (`None` = unbounded).
+    pub sat_budget: Option<u64>,
+    /// Whether to run the SAT resolution phase at all (the cost/
+    /// runtime experiments of Section 6.2 stop after simulation).
+    pub run_sat: bool,
+    /// The verification engine used in the resolution phase.
+    pub proof: ProofEngine,
+    /// Seed for the random-simulation RNG.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            random_rounds: 1,
+            random_batch: 64,
+            guided_iterations: 20,
+            sat_budget: Some(100_000),
+            run_sat: true,
+            proof: ProofEngine::Sat,
+            seed: 0xC1C,
+        }
+    }
+}
+
+/// Everything a sweep run produces.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Collected metrics.
+    pub stats: SweepStats,
+    /// Class cost (Equation 5) after the simulation phase, before SAT.
+    pub cost_after_sim: u64,
+    /// Groups of nodes proven functionally equivalent by SAT.
+    pub proven_classes: Vec<Vec<NodeId>>,
+    /// Pairs the SAT budget could not resolve.
+    pub unresolved: Vec<(NodeId, NodeId)>,
+    /// All simulation patterns accumulated during the sweep.
+    pub patterns: PatternSet,
+}
+
+/// The sweeping engine.
+#[derive(Clone, Debug)]
+pub struct Sweeper {
+    config: SweepConfig,
+}
+
+impl Sweeper {
+    /// Creates a sweeper with the given configuration.
+    pub fn new(config: SweepConfig) -> Self {
+        Sweeper { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Runs the full sweep on `net` using `generator` for the guided
+    /// phase.
+    pub fn run(&self, net: &LutNetwork, generator: &mut dyn PatternGenerator) -> SweepReport {
+        let cfg = &self.config;
+        let mut stats = SweepStats::default();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut iteration = 0usize;
+
+        // Phase 1: random simulation rounds.
+        let mut patterns = PatternSet::new(net.num_pis());
+        let t = Instant::now();
+        for _ in 0..cfg.random_rounds.max(1) {
+            let batch = PatternSet::random(net.num_pis(), cfg.random_batch, &mut rng);
+            patterns.extend(&batch);
+        }
+        // Simulated incrementally so later single-vector pushes stay
+        // O(nodes) instead of re-running the whole accumulated set.
+        let mut sim = SimResult::empty(net);
+        sim.extend_patterns(net, &patterns);
+        generator.observe_simulation(&sim);
+        let mut classes = EquivClasses::initial(net, &sim);
+        let sim_time = t.elapsed();
+        stats.sim_time += sim_time;
+        stats.history.push(IterationRecord {
+            iteration,
+            cost: classes.cost(),
+            vectors: patterns.num_patterns(),
+            gen_time: std::time::Duration::ZERO,
+            sim_time,
+        });
+        iteration += 1;
+
+        // Phase 2: guided iterations.
+        for _ in 0..cfg.guided_iterations {
+            let t = Instant::now();
+            let vectors = generator.generate(net, &classes);
+            let gen_time = t.elapsed();
+            stats.gen_time += gen_time;
+            let t = Instant::now();
+            if !vectors.is_empty() {
+                for v in &vectors {
+                    patterns.push(v);
+                    sim.push_pattern(net, v);
+                }
+                generator.observe_simulation(&sim);
+                classes.refine(&sim);
+            }
+            let sim_time = t.elapsed();
+            stats.sim_time += sim_time;
+            stats.history.push(IterationRecord {
+                iteration,
+                cost: classes.cost(),
+                vectors: vectors.len(),
+                gen_time,
+                sim_time,
+            });
+            iteration += 1;
+        }
+        let cost_after_sim = classes.cost();
+
+        // Phase 3: SAT resolution with counterexample feedback.
+        let mut proven: Vec<Vec<NodeId>> = Vec::new();
+        let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
+        if cfg.run_sat {
+            let mut prover: Box<dyn EquivProver + '_> = match cfg.proof {
+                ProofEngine::Sat => Box::new(PairProver::new(net)),
+                ProofEngine::Bdd { node_limit } => Box::new(BddProver::new(net, node_limit)),
+            };
+            let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
+            let mut merged: Vec<Vec<NodeId>> = Vec::new();
+            // Resolve pairs shallowest-candidate-first: proofs of deep
+            // pairs then reuse the already-asserted equivalences of
+            // their fanin cones (the fraig induction order).
+            while let Some(ci) = work
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.len() >= 2)
+                .min_by_key(|(_, c)| (net.level(c[1]), c[1]))
+                .map(|(i, _)| i)
+            {
+                let rep = work[ci][0];
+                let cand = work[ci][1];
+                match prover.prove(rep, cand, cfg.sat_budget) {
+                    ProveOutcome::Equivalent => {
+                        stats.proved_equivalent += 1;
+                        // Feed the equivalence back into the solver so
+                        // deeper proofs reuse it (fraig-style merging).
+                        prover.assert_equal(rep, cand);
+                        work[ci].remove(1);
+                        record_merge(&mut merged, rep, cand);
+                        if work[ci].len() < 2 {
+                            work.remove(ci);
+                        }
+                    }
+                    ProveOutcome::Counterexample(v) => {
+                        stats.disproved += 1;
+                        // Figure 2's feedback arrow: the generator may
+                        // learn from counterexamples (e.g. 1-distance).
+                        generator.observe_counterexample(&v);
+                        let t = Instant::now();
+                        patterns.push(&v);
+                        sim.push_pattern(net, &v);
+                        work = refine_groups(work, &sim);
+                        stats.sim_time += t.elapsed();
+                    }
+                    ProveOutcome::Unknown => {
+                        stats.aborted += 1;
+                        unresolved.push((rep, cand));
+                        work[ci].remove(1);
+                        if work[ci].len() < 2 {
+                            work.remove(ci);
+                        }
+                    }
+                }
+            }
+            stats.sat_calls = prover.calls();
+            stats.sat_time = prover.time();
+            proven = merged;
+        }
+
+        SweepReport {
+            stats,
+            cost_after_sim,
+            proven_classes: proven,
+            unresolved,
+            patterns,
+        }
+    }
+}
+
+/// Adds `cand` to the proven group containing `rep`, or starts a new
+/// group.
+fn record_merge(groups: &mut Vec<Vec<NodeId>>, rep: NodeId, cand: NodeId) {
+    for g in groups.iter_mut() {
+        if g.contains(&rep) {
+            g.push(cand);
+            return;
+        }
+    }
+    groups.push(vec![rep, cand]);
+}
+
+/// Re-partitions working classes by the latest signatures, dropping
+/// singletons.
+fn refine_groups(groups: Vec<Vec<NodeId>>, sim: &SimResult) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut sub: Vec<Vec<NodeId>> = Vec::new();
+        'node: for n in g {
+            for s in sub.iter_mut() {
+                if sim.same_signature(s[0], n) {
+                    s.push(n);
+                    continue 'node;
+                }
+            }
+            sub.push(vec![n]);
+        }
+        out.extend(sub.into_iter().filter(|s| s.len() > 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_core::{RandomPatterns, RevSim, SimGen, SimGenConfig};
+    use simgen_netlist::TruthTable;
+
+    /// Builds a network with three provably-equivalent AND variants
+    /// plus assorted distinct logic.
+    fn redundant_net() -> (LutNetwork, Vec<NodeId>) {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let and1 = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let and2 = net.add_lut(vec![b, a], TruthTable::and2()).unwrap();
+        let na = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let nb = net.add_lut(vec![b], TruthTable::not1()).unwrap();
+        let nor = net.add_lut(vec![na, nb], TruthTable::or2()).unwrap();
+        let and3 = net.add_lut(vec![nor], TruthTable::not1()).unwrap();
+        let o = net.add_lut(vec![and1, c], TruthTable::or2()).unwrap();
+        net.add_po(o, "f");
+        net.add_po(and2, "g");
+        net.add_po(and3, "h");
+        (net, vec![and1, and2, and3])
+    }
+
+    #[test]
+    fn proves_redundant_ands_equivalent() {
+        let (net, ands) = redundant_net();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let report = Sweeper::new(SweepConfig::default()).run(&net, &mut gen);
+        // All three ANDs end up in one proven class.
+        let class = report
+            .proven_classes
+            .iter()
+            .find(|g| g.contains(&ands[0]))
+            .expect("a proven class containing and1");
+        for n in &ands {
+            assert!(class.contains(n), "{n} proven equivalent");
+        }
+        assert!(report.stats.proved_equivalent >= 2);
+        assert!(report.unresolved.is_empty());
+    }
+
+    #[test]
+    fn sat_phase_can_be_disabled() {
+        let (net, _) = redundant_net();
+        let mut gen = RandomPatterns::new(7, 64);
+        let cfg = SweepConfig {
+            run_sat: false,
+            ..SweepConfig::default()
+        };
+        let report = Sweeper::new(cfg).run(&net, &mut gen);
+        assert_eq!(report.stats.sat_calls, 0);
+        assert!(report.proven_classes.is_empty());
+        // But the simulation history is fully recorded.
+        assert_eq!(report.stats.history.len(), 1 + cfg.guided_iterations);
+    }
+
+    #[test]
+    fn counterexamples_separate_lookalikes() {
+        // Two gates that agree on most inputs: nearly-equal functions
+        // survive weak random simulation but SAT must split them.
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let f1 = net
+            .add_lut(
+                pis.clone(),
+                TruthTable::from_fn(6, |m| m.count_ones() >= 3),
+            )
+            .unwrap();
+        let f2 = net
+            .add_lut(
+                pis.clone(),
+                TruthTable::from_fn(6, |m| m.count_ones() >= 3 || m == 0b000011),
+            )
+            .unwrap();
+        net.add_po(f1, "f1");
+        net.add_po(f2, "f2");
+        // Tiny random phase so the pair likely collides.
+        let cfg = SweepConfig {
+            random_rounds: 1,
+            random_batch: 2,
+            guided_iterations: 0,
+            ..SweepConfig::default()
+        };
+        let mut gen = RandomPatterns::new(1, 0);
+        let report = Sweeper::new(cfg).run(&net, &mut gen);
+        // Whether or not they collided initially, they must never be
+        // proven equivalent.
+        assert!(report
+            .proven_classes
+            .iter()
+            .all(|g| !(g.contains(&f1) && g.contains(&f2))));
+    }
+
+    #[test]
+    fn cost_history_is_monotone() {
+        let (net, _) = redundant_net();
+        for gen_fn in 0..3 {
+            let mut gen: Box<dyn PatternGenerator> = match gen_fn {
+                0 => Box::new(RandomPatterns::new(3, 8)),
+                1 => Box::new(RevSim::new(3, 10)),
+                _ => Box::new(SimGen::new(SimGenConfig::default().with_seed(3))),
+            };
+            let cfg = SweepConfig {
+                random_batch: 4,
+                ..SweepConfig::default()
+            };
+            let report = Sweeper::new(cfg).run(&net, gen.as_mut());
+            let costs: Vec<u64> = report.stats.history.iter().map(|r| r.cost).collect();
+            assert!(
+                costs.windows(2).all(|w| w[1] <= w[0]),
+                "cost must never increase: {costs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guided_strategies_reduce_cost_from_a_stuck_state() {
+        // With exactly one all-false-ish random pattern the classes
+        // are coarse; SimGen iterations must strictly improve cost.
+        let (net, _) = redundant_net();
+        let cfg = SweepConfig {
+            random_rounds: 1,
+            random_batch: 1,
+            guided_iterations: 10,
+            run_sat: false,
+            seed: 1,
+            ..SweepConfig::default()
+        };
+        let mut gen = SimGen::new(SimGenConfig::default().with_seed(2));
+        let report = Sweeper::new(cfg).run(&net, &mut gen);
+        let first = report.stats.history.first().unwrap().cost;
+        let last = report.stats.history.last().unwrap().cost;
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn patterns_accumulate_across_phases() {
+        let (net, _) = redundant_net();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let cfg = SweepConfig::default();
+        let report = Sweeper::new(cfg).run(&net, &mut gen);
+        assert!(report.patterns.num_patterns() >= cfg.random_batch);
+    }
+
+    #[test]
+    fn bdd_engine_matches_sat_engine() {
+        let (net, ands) = redundant_net();
+        let sat_cfg = SweepConfig::default();
+        let bdd_cfg = SweepConfig {
+            proof: ProofEngine::Bdd { node_limit: 1_000_000 },
+            ..SweepConfig::default()
+        };
+        let mut g1 = SimGen::new(SimGenConfig::default());
+        let r_sat = Sweeper::new(sat_cfg).run(&net, &mut g1);
+        let mut g2 = SimGen::new(SimGenConfig::default());
+        let r_bdd = Sweeper::new(bdd_cfg).run(&net, &mut g2);
+        // Same proven equivalences from both engines.
+        let find = |r: &SweepReport| {
+            r.proven_classes
+                .iter()
+                .find(|c| c.contains(&ands[0]))
+                .cloned()
+        };
+        let c1 = find(&r_sat).expect("sat proves the class");
+        let c2 = find(&r_bdd).expect("bdd proves the class");
+        assert_eq!(c1, c2);
+        assert_eq!(r_sat.stats.proved_equivalent, r_bdd.stats.proved_equivalent);
+    }
+
+    #[test]
+    fn bdd_engine_node_limit_reports_unresolved() {
+        let (net, _) = redundant_net();
+        let cfg = SweepConfig {
+            proof: ProofEngine::Bdd { node_limit: 1 },
+            random_batch: 1,
+            ..SweepConfig::default()
+        };
+        let mut g = SimGen::new(SimGenConfig::default());
+        let r = Sweeper::new(cfg).run(&net, &mut g);
+        assert_eq!(r.stats.proved_equivalent, 0, "nothing proven under a 1-node limit");
+        // Whatever survived simulation is now unresolved, not merged.
+        assert_eq!(r.stats.aborted as usize, r.unresolved.len());
+    }
+
+    #[test]
+    fn one_distance_generator_receives_counterexamples() {
+        // A lookalike pair that initial random sim (tiny batch) is
+        // unlikely to split forces SAT counterexamples, which must be
+        // fed back to the generator.
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let f1 = net
+            .add_lut(pis.clone(), TruthTable::from_fn(6, |m| m.count_ones() >= 3))
+            .unwrap();
+        let f2 = net
+            .add_lut(pis.clone(), TruthTable::from_fn(6, |m| m.count_ones() >= 3 || m == 0b000011))
+            .unwrap();
+        net.add_po(f1, "f1");
+        net.add_po(f2, "f2");
+        let cfg = SweepConfig {
+            random_rounds: 1,
+            random_batch: 1,
+            guided_iterations: 2,
+            ..SweepConfig::default()
+        };
+        let mut gen = simgen_core::OneDistance::new(3, 2);
+        let report = Sweeper::new(cfg).run(&net, &mut gen);
+        if report.stats.disproved > 0 {
+            assert!(gen.pool_len() > 0, "counterexamples must reach the generator");
+        }
+    }
+
+    #[test]
+    fn refine_groups_splits_by_signature() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let x = net.add_lut(vec![a], TruthTable::buf1()).unwrap();
+        let y = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let z = net.add_lut(vec![a], TruthTable::buf1()).unwrap();
+        net.add_po(x, "x");
+        net.add_po(y, "y");
+        net.add_po(z, "z");
+        let p = PatternSet::from_vectors(1, &[vec![true]]);
+        let sim = simgen_sim::simulate(&net, &p);
+        let groups = refine_groups(vec![vec![x, y, z]], &sim);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![x, z]);
+    }
+}

@@ -1,0 +1,532 @@
+//! Implementation of the `simgen` command-line tool.
+//!
+//! All functionality lives in the library so it is unit-testable; the
+//! binary is a thin wrapper. See [`run`] for the command dispatch.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::process::ExitCode;
+
+use simgen_cec::{check_equivalence, CecVerdict, SweepConfig, Sweeper};
+use simgen_sat::{Cnf, SolveResult, Solver};
+use simgen_core::{
+    OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig,
+};
+use simgen_mapping::map_to_luts;
+use simgen_netlist::{aiger, bench_fmt, blif, Aig, LutNetwork};
+use simgen_workloads::{all_benchmarks, build_aig};
+
+/// A user-facing CLI error (message only, no panic).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// File formats the CLI understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Binary AIGER.
+    AigBinary,
+    /// ASCII AIGER.
+    AigAscii,
+    /// ISCAS BENCH.
+    Bench,
+    /// BLIF (LUT networks).
+    Blif,
+}
+
+/// Infers a format from a path's extension.
+pub fn format_of(path: &str) -> Result<Format, CliError> {
+    match Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
+        .as_deref()
+    {
+        Some("aig") => Ok(Format::AigBinary),
+        Some("aag") => Ok(Format::AigAscii),
+        Some("bench") => Ok(Format::Bench),
+        Some("blif") => Ok(Format::Blif),
+        other => err(format!(
+            "cannot infer format of `{path}` (extension {other:?}); use .aig/.aag/.bench/.blif"
+        )),
+    }
+}
+
+/// A circuit loaded from disk in either representation.
+#[derive(Debug)]
+pub enum Circuit {
+    /// An and-inverter graph (aig/aag/bench files).
+    Aig(Aig),
+    /// A LUT network (blif files).
+    Lut(LutNetwork),
+}
+
+impl Circuit {
+    /// Converts to a LUT network, mapping AIGs with `k`-input LUTs.
+    pub fn into_lut(self, k: usize) -> LutNetwork {
+        match self {
+            Circuit::Aig(aig) => map_to_luts(&aig, k),
+            Circuit::Lut(net) => net,
+        }
+    }
+}
+
+/// Loads a circuit file.
+pub fn load(path: &str) -> Result<Circuit, CliError> {
+    let f = File::open(path).map_err(|e| CliError(format!("cannot open `{path}`: {e}")))?;
+    let r = BufReader::new(f);
+    match format_of(path)? {
+        Format::AigBinary | Format::AigAscii => aiger::read(r)
+            .map(Circuit::Aig)
+            .map_err(|e| CliError(format!("{path}: {e}"))),
+        Format::Bench => bench_fmt::read(r)
+            .map(Circuit::Aig)
+            .map_err(|e| CliError(format!("{path}: {e}"))),
+        Format::Blif => blif::read(r)
+            .map(Circuit::Lut)
+            .map_err(|e| CliError(format!("{path}: {e}"))),
+    }
+}
+
+/// Saves a circuit to a file, converting as required by the target
+/// extension (AIGs write natively; LUT networks only to BLIF).
+pub fn save(circuit: &Circuit, path: &str, k: usize) -> Result<(), CliError> {
+    let f = File::create(path).map_err(|e| CliError(format!("cannot create `{path}`: {e}")))?;
+    let mut w = BufWriter::new(f);
+    let io = |e: std::io::Error| CliError(format!("{path}: {e}"));
+    match (circuit, format_of(path)?) {
+        (Circuit::Aig(aig), Format::AigBinary) => aiger::write_binary(aig, &mut w).map_err(io),
+        (Circuit::Aig(aig), Format::AigAscii) => aiger::write_ascii(aig, &mut w).map_err(io),
+        (Circuit::Aig(aig), Format::Bench) => bench_fmt::write(aig, &mut w).map_err(io),
+        (Circuit::Aig(aig), Format::Blif) => {
+            let net = map_to_luts(aig, k);
+            blif::write(&net, &mut w).map_err(io)
+        }
+        (Circuit::Lut(net), Format::Blif) => blif::write(net, &mut w).map_err(io),
+        (Circuit::Lut(_), fmt) => err(format!(
+            "cannot write a LUT network as {fmt:?}; only .blif is supported"
+        )),
+    }
+}
+
+/// Builds the generator named by `--strategy`.
+pub fn make_strategy(name: &str, seed: u64) -> Result<Box<dyn PatternGenerator>, CliError> {
+    match name {
+        "simgen" => Ok(Box::new(SimGen::new(
+            SimGenConfig::default().with_seed(seed),
+        ))),
+        "revs" => Ok(Box::new(RevSim::new(seed, 30))),
+        "rand" => Ok(Box::new(RandomPatterns::new(seed, 64))),
+        "1dist" => Ok(Box::new(OneDistance::new(seed, 8))),
+        other => err(format!(
+            "unknown strategy `{other}` (expected simgen|revs|rand|1dist)"
+        )),
+    }
+}
+
+/// Parses `--flag value` style options out of an argument list,
+/// returning (positional, flag lookup results).
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Positional (non-flag) arguments; flags listed in `value_flags`
+/// consume the following token.
+pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") || (a.starts_with('-') && a.len() == 2 && !a.starts_with("-.")) {
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+const VALUE_FLAGS: [&str; 4] = ["-k", "--strategy", "--iters", "--seed"];
+
+/// Dispatches a CLI invocation. Returns the process exit code.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage problems and I/O or parse failures.
+pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let Some(cmd) = args.first() else {
+        print_help();
+        return Ok(ExitCode::from(64));
+    };
+    let rest = &args[1..];
+    let k: usize = flag_value(rest, "-k")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad -k value `{v}`"))))
+        .transpose()?
+        .unwrap_or(6);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --seed value `{v}`"))))
+        .transpose()?
+        .unwrap_or(0);
+    let pos = positionals(rest, &VALUE_FLAGS);
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(ExitCode::SUCCESS)
+        }
+        "stats" => {
+            let [path] = pos[..] else {
+                return err("usage: simgen stats <file>");
+            };
+            match load(path)? {
+                Circuit::Aig(aig) => {
+                    let depth = aig.levels().into_iter().max().unwrap_or(0);
+                    println!(
+                        "{path}: AIG `{}` — {} PIs, {} ANDs, {} POs, depth {}",
+                        aig.name(),
+                        aig.num_pis(),
+                        aig.num_ands(),
+                        aig.num_pos(),
+                        depth
+                    );
+                }
+                Circuit::Lut(net) => {
+                    println!(
+                        "{path}: LUT network `{}` — {} PIs, {} LUTs, {} POs, depth {}",
+                        net.name(),
+                        net.num_pis(),
+                        net.num_luts(),
+                        net.num_pos(),
+                        net.depth()
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "export" => {
+            let [input, output] = pos[..] else {
+                return err("usage: simgen export <in> <out.dot|out.v> [-k K]");
+            };
+            let net = load(input)?.into_lut(k);
+            let f = File::create(output)
+                .map_err(|e| CliError(format!("cannot create `{output}`: {e}")))?;
+            let mut w = BufWriter::new(f);
+            let ext = Path::new(output)
+                .extension()
+                .and_then(|e| e.to_str())
+                .map(str::to_ascii_lowercase);
+            match ext.as_deref() {
+                Some("dot") => simgen_netlist::export::write_dot(&net, &mut w)
+                    .map_err(|e| CliError(format!("{output}: {e}")))?,
+                Some("v") => simgen_netlist::export::write_verilog(&net, &mut w)
+                    .map_err(|e| CliError(format!("{output}: {e}")))?,
+                other => return err(format!("export target must be .dot or .v, got {other:?}")),
+            }
+            println!("wrote {output}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "sat" => {
+            let [path] = pos[..] else {
+                return err("usage: simgen sat <file.cnf>");
+            };
+            let f = File::open(path)
+                .map_err(|e| CliError(format!("cannot open `{path}`: {e}")))?;
+            let cnf = Cnf::read_dimacs(BufReader::new(f))
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            let mut solver = Solver::from_cnf(&cnf);
+            match solver.solve() {
+                SolveResult::Sat => {
+                    let model: Vec<String> = solver
+                        .model()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &b)| {
+                            if b {
+                                format!("{}", i + 1)
+                            } else {
+                                format!("-{}", i + 1)
+                            }
+                        })
+                        .collect();
+                    println!("s SATISFIABLE");
+                    println!("v {} 0", model.join(" "));
+                    Ok(ExitCode::from(10))
+                }
+                SolveResult::Unsat => {
+                    println!("s UNSATISFIABLE");
+                    Ok(ExitCode::from(20))
+                }
+                SolveResult::Unknown => {
+                    println!("s UNKNOWN");
+                    Ok(ExitCode::from(30))
+                }
+            }
+        }
+        "convert" | "map" => {
+            let [input, output] = pos[..] else {
+                return err(format!("usage: simgen {cmd} <in> <out> [-k K]"));
+            };
+            let circuit = load(input)?;
+            save(&circuit, output, k)?;
+            println!("wrote {output}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "sweep" => {
+            let [path] = pos[..] else {
+                return err("usage: simgen sweep <file> [--strategy S] [--iters N] [-k K]");
+            };
+            let net = load(path)?.into_lut(k);
+            let strategy = flag_value(rest, "--strategy").unwrap_or("simgen");
+            let iters: usize = flag_value(rest, "--iters")
+                .map(|v| v.parse().map_err(|_| CliError(format!("bad --iters `{v}`"))))
+                .transpose()?
+                .unwrap_or(20);
+            let mut gen = make_strategy(strategy, seed)?;
+            let cfg = SweepConfig {
+                guided_iterations: iters,
+                ..SweepConfig::default()
+            };
+            let report = Sweeper::new(cfg).run(&net, gen.as_mut());
+            println!(
+                "{path}: {} LUTs | strategy {}",
+                net.num_luts(),
+                gen.name()
+            );
+            println!(
+                "  cost after simulation : {}",
+                report.cost_after_sim
+            );
+            println!("  SAT calls             : {}", report.stats.sat_calls);
+            println!("  SAT time              : {:?}", report.stats.sat_time);
+            println!(
+                "  sim phase time        : {:?}",
+                report.stats.total_sim_phase()
+            );
+            println!(
+                "  proven equivalent     : {}",
+                report.stats.proved_equivalent
+            );
+            println!("  disproved             : {}", report.stats.disproved);
+            println!("  unresolved            : {}", report.unresolved.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "cec" => {
+            let [pa, pb] = pos[..] else {
+                return err("usage: simgen cec <a> <b> [--strategy S] [-k K]");
+            };
+            let na = load(pa)?.into_lut(k);
+            let nb = load(pb)?.into_lut(k);
+            let strategy = flag_value(rest, "--strategy").unwrap_or("simgen");
+            let mut gen = make_strategy(strategy, seed)?;
+            let report =
+                check_equivalence(&na, &nb, gen.as_mut(), SweepConfig::default())
+                    .map_err(|e| CliError(e.to_string()))?;
+            match report.verdict {
+                CecVerdict::Equivalent => {
+                    println!("EQUIVALENT ({} sweep SAT calls)", report.sweep_stats.sat_calls);
+                    Ok(ExitCode::SUCCESS)
+                }
+                CecVerdict::NotEquivalent { po_index, witness } => {
+                    let bits: String = witness
+                        .iter()
+                        .map(|&b| if b { '1' } else { '0' })
+                        .collect();
+                    println!("NOT EQUIVALENT: output pair {po_index} differs on input {bits}");
+                    Ok(ExitCode::from(1))
+                }
+                CecVerdict::Undecided => {
+                    println!("UNDECIDED (SAT budget exhausted)");
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        "bench" => {
+            let [name, output] = pos[..] else {
+                return err("usage: simgen bench <name> <out>");
+            };
+            let aig = build_aig(name)
+                .ok_or_else(|| CliError(format!("unknown benchmark `{name}`")))?;
+            save(&Circuit::Aig(aig), output, k)?;
+            println!("wrote {output}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "list-benchmarks" => {
+            for b in all_benchmarks() {
+                println!("{:10} [{}]", b.name, b.suite);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => err(format!("unknown command `{other}`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "simgen — simulation pattern generation for equivalence checking
+
+USAGE:
+  simgen stats <file>                      sizes/depth of a circuit file
+  simgen convert <in> <out> [-k K]         convert between aig/aag/bench/blif
+  simgen map <in> <out.blif> [-k K]        LUT-map an AIG file to BLIF
+  simgen export <in> <out.dot|out.v> [-k K]  Graphviz / structural Verilog
+  simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
+  simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N]
+  simgen cec <a> <b> [--strategy S] [-k K] [--seed N]
+  simgen bench <name> <out>                emit a built-in benchmark circuit
+  simgen list-benchmarks                   list the 42 built-in benchmarks
+
+Formats by extension: .aig (binary AIGER), .aag (ASCII AIGER),
+.bench (ISCAS), .blif. Strategies: simgen (default), revs, rand, 1dist."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(format_of("x.aig").unwrap(), Format::AigBinary);
+        assert_eq!(format_of("x.AAG").unwrap(), Format::AigAscii);
+        assert_eq!(format_of("d/x.bench").unwrap(), Format::Bench);
+        assert_eq!(format_of("x.blif").unwrap(), Format::Blif);
+        assert!(format_of("x.v").is_err());
+        assert!(format_of("noext").is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["sweep.blif", "--strategy", "revs", "-k", "4"]);
+        assert_eq!(flag_value(&args, "--strategy"), Some("revs"));
+        assert_eq!(flag_value(&args, "-k"), Some("4"));
+        assert_eq!(flag_value(&args, "--iters"), None);
+        assert_eq!(
+            positionals(&args, &VALUE_FLAGS),
+            vec!["sweep.blif"]
+        );
+    }
+
+    #[test]
+    fn strategy_factory() {
+        for name in ["simgen", "revs", "rand", "1dist"] {
+            assert!(make_strategy(name, 0).is_ok(), "{name}");
+        }
+        assert!(make_strategy("bogus", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["stats"])).is_err());
+        assert!(run(&s(&["cec", "only-one.aig"])).is_err());
+    }
+
+    #[test]
+    fn roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("simgen_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let aag = dir.join("e64.aag");
+        let blif = dir.join("e64.blif");
+        let bench = dir.join("e64.bench");
+        let aag_s = aag.to_str().unwrap().to_string();
+        let blif_s = blif.to_str().unwrap().to_string();
+        let bench_s = bench.to_str().unwrap().to_string();
+        // bench -> file
+        run(&s(&["bench", "e64", &aag_s])).unwrap();
+        // convert aag -> bench, map aag -> blif
+        run(&s(&["convert", &aag_s, &bench_s])).unwrap();
+        run(&s(&["map", &aag_s, &blif_s, "-k", "6"])).unwrap();
+        // stats on all three succeed
+        run(&s(&["stats", &aag_s])).unwrap();
+        run(&s(&["stats", &bench_s])).unwrap();
+        run(&s(&["stats", &blif_s])).unwrap();
+        // the mapped blif and the aig agree
+        let Circuit::Aig(aig) = load(&aag_s).unwrap() else {
+            panic!("aag loads as aig")
+        };
+        let Circuit::Lut(net) = load(&blif_s).unwrap() else {
+            panic!("blif loads as lut")
+        };
+        let ins: Vec<bool> = (0..aig.num_pis()).map(|i| i % 3 == 0).collect();
+        assert_eq!(aig.eval(&ins), net.eval_pos(&ins));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_and_sat_subcommands() {
+        let dir = std::env::temp_dir().join(format!("simgen_cli_exp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let aag = dir.join("x.aag");
+        let dot = dir.join("x.dot");
+        let v = dir.join("x.v");
+        let cnf = dir.join("x.cnf");
+        let aag_s = aag.to_str().unwrap().to_string();
+        run(&s(&["bench", "e64", &aag_s])).unwrap();
+        run(&s(&["export", &aag_s, dot.to_str().unwrap()])).unwrap();
+        run(&s(&["export", &aag_s, v.to_str().unwrap()])).unwrap();
+        let dot_text = std::fs::read_to_string(&dot).unwrap();
+        assert!(dot_text.starts_with("digraph"));
+        let v_text = std::fs::read_to_string(&v).unwrap();
+        assert!(v_text.contains("endmodule"));
+        // SAT subcommand: (x1 | x2) & !x1 is satisfiable.
+        std::fs::write(&cnf, "p cnf 2 2
+1 2 0
+-1 0
+").unwrap();
+        let code = run(&s(&["sat", cnf.to_str().unwrap()])).unwrap();
+        assert_eq!(code, ExitCode::from(10));
+        std::fs::write(&cnf, "p cnf 1 2
+1 0
+-1 0
+").unwrap();
+        let code = run(&s(&["sat", cnf.to_str().unwrap()])).unwrap();
+        assert_eq!(code, ExitCode::from(20));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cec_of_equivalent_files() {
+        let dir = std::env::temp_dir().join(format!("simgen_cli_cec_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.aag");
+        let b = dir.join("b.blif");
+        let a_s = a.to_str().unwrap().to_string();
+        let b_s = b.to_str().unwrap().to_string();
+        run(&s(&["bench", "e64", &a_s])).unwrap();
+        run(&s(&["map", &a_s, &b_s])).unwrap();
+        let code = run(&s(&["cec", &a_s, &b_s])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,299 @@
+//! Reverse simulation — the baseline of Zhang et al. (DAC'21,
+//! "Deep Integration of Circuit Simulator and SAT Solver"), re-created
+//! per the five-step description in the paper's introduction.
+//!
+//! Given a pair of same-class target nodes, reverse simulation assigns
+//! them complementary values and walks the network backwards, picking
+//! for every visited gate a *complete* input assignment (a minterm of
+//! the gate's function restricted to the required output) at random
+//! among the options compatible with previously assigned values. When
+//! only one assignment is possible it is forced (the "backward
+//! implication subset" the paper credits RevS with). A clash with an
+//! earlier assignment aborts the attempt — there is no rollback and no
+//! forward implication, which is precisely the weakness SimGen fixes.
+
+use rand::Rng;
+
+use simgen_netlist::{LutNetwork, NodeId};
+
+use crate::tv::{Value, ValueMap};
+
+/// Statistics of one reverse-simulation attempt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RevSimStats {
+    /// Gates visited during the backward walk.
+    pub visited: usize,
+    /// Assignments that were forced (single compatible minterm).
+    pub forced: usize,
+}
+
+/// Attempts to build an input vector giving `targets.0` the value `1`
+/// and `targets.1` the value `0`.
+///
+/// Returns `None` on a conflicting assignment (the attempt fails, as
+/// in the paper's step 5); on success the vector is completed with
+/// random values for unconstrained PIs.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use simgen_core::revsim::reverse_simulate;
+/// use simgen_netlist::{LutNetwork, TruthTable};
+///
+/// let mut net = LutNetwork::new();
+/// let a = net.add_pi("a");
+/// let b = net.add_pi("b");
+/// let and = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+/// let or = net.add_lut(vec![a, b], TruthTable::or2()).unwrap();
+/// net.add_po(and, "x");
+/// net.add_po(or, "y");
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// // Demand and = 1, or = 0 — impossible, so attempts conflict; the
+/// // reverse demand (or = 1, and = 0) succeeds for some seeds.
+/// let some_attempt = reverse_simulate(&net, (or, and), &mut rng);
+/// if let Some(v) = some_attempt {
+///     let vals = net.eval(&v);
+///     assert!(vals[or.index()] && !vals[and.index()]);
+/// }
+/// ```
+pub fn reverse_simulate(
+    net: &LutNetwork,
+    targets: (NodeId, NodeId),
+    rng: &mut impl Rng,
+) -> Option<Vec<bool>> {
+    reverse_simulate_with_stats(net, targets, rng).map(|(v, _)| v)
+}
+
+/// Like [`reverse_simulate`], additionally reporting work statistics.
+pub fn reverse_simulate_with_stats(
+    net: &LutNetwork,
+    targets: (NodeId, NodeId),
+    rng: &mut impl Rng,
+) -> Option<(Vec<bool>, RevSimStats)> {
+    let mut values = ValueMap::new(net.len());
+    let mut stats = RevSimStats::default();
+    // Step 2: complementary values on the pair.
+    values.assign(targets.0, Value::One);
+    if values.is_assigned(targets.1) {
+        return None; // identical nodes passed as a pair
+    }
+    values.assign(targets.1, Value::Zero);
+
+    // Steps 3-4: backward traversal, deepest nodes first so a gate is
+    // processed only after all fanouts that could constrain it.
+    let mut frontier: Vec<NodeId> = vec![targets.0, targets.1];
+    let mut queued = vec![false; net.len()];
+    queued[targets.0.index()] = true;
+    queued[targets.1.index()] = true;
+    while !frontier.is_empty() {
+        // Pop the deepest queued gate.
+        let (idx, _) = frontier
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &n)| net.level(n))
+            .expect("frontier nonempty");
+        let gate = frontier.swap_remove(idx);
+        if net.is_pi(gate) {
+            continue;
+        }
+        stats.visited += 1;
+        let tt = net.truth_table(gate).expect("gate is a lut");
+        let fanins = net.fanins(gate);
+        let out = values
+            .get(gate)
+            .to_bool()
+            .expect("queued gates have assigned outputs");
+        // Enumerate complete input assignments producing `out` that
+        // agree with already-assigned fanins.
+        let arity = fanins.len();
+        let mut options: Vec<u64> = Vec::new();
+        'minterm: for m in 0..(1u64 << arity) {
+            if tt.eval(m) != out {
+                continue;
+            }
+            for (i, &f) in fanins.iter().enumerate() {
+                if let Some(v) = values.get(f).to_bool() {
+                    if v != ((m >> i) & 1 == 1) {
+                        continue 'minterm;
+                    }
+                }
+            }
+            options.push(m);
+        }
+        // Step 5: conflict — terminate unsuccessfully.
+        if options.is_empty() {
+            return None;
+        }
+        if options.len() == 1 {
+            stats.forced += 1;
+        }
+        let m = options[rng.gen_range(0..options.len())];
+        for (i, &f) in fanins.iter().enumerate() {
+            let v = Value::from_bool((m >> i) & 1 == 1);
+            if !values.is_assigned(f) {
+                values.assign(f, v);
+                if !net.is_pi(f) && !queued[f.index()] {
+                    queued[f.index()] = true;
+                    frontier.push(f);
+                }
+            }
+        }
+    }
+
+    // Terminated at the PIs: emit the vector (step 5, success case).
+    let vector = net
+        .pis()
+        .iter()
+        .map(|&pi| values.get(pi).to_bool().unwrap_or_else(|| rng.gen()))
+        .collect();
+    Some((vector, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simgen_netlist::TruthTable;
+
+    type Rng_ = rand::rngs::StdRng;
+
+    #[test]
+    fn splits_independent_gates() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let d = net.add_pi("d");
+        let x = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let y = net.add_lut(vec![c, d], TruthTable::and2()).unwrap();
+        net.add_po(x, "x");
+        net.add_po(y, "y");
+        let mut rng = Rng_::seed_from_u64(1);
+        let v = reverse_simulate(&net, (x, y), &mut rng).expect("independent gates always split");
+        let vals = net.eval(&v);
+        assert!(vals[x.index()]);
+        assert!(!vals[y.index()]);
+    }
+
+    #[test]
+    fn identical_nodes_fail_immediately() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let x = net.add_lut(vec![a], TruthTable::buf1()).unwrap();
+        net.add_po(x, "x");
+        let mut rng = Rng_::seed_from_u64(2);
+        assert!(reverse_simulate(&net, (x, x), &mut rng).is_none());
+    }
+
+    #[test]
+    fn truly_equivalent_pair_always_fails() {
+        // x = a & b and y = b & a are functionally identical: no
+        // vector separates them, so every attempt must conflict.
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let x = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let y = net.add_lut(vec![b, a], TruthTable::and2()).unwrap();
+        net.add_po(x, "x");
+        net.add_po(y, "y");
+        let mut rng = Rng_::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(reverse_simulate(&net, (x, y), &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn successful_vectors_realize_the_split() {
+        // Property over random circuits: whenever reverse simulation
+        // returns a vector, the pair really is split by it.
+        use rand::Rng as _;
+        for seed in 0..10 {
+            let mut build = Rng_::seed_from_u64(seed);
+            let mut net = LutNetwork::new();
+            let mut pool: Vec<NodeId> =
+                (0..5).map(|i| net.add_pi(format!("p{i}"))).collect();
+            for _ in 0..20 {
+                let k = build.gen_range(1..=3usize);
+                let mut fanins = Vec::new();
+                while fanins.len() < k {
+                    let cand = pool[build.gen_range(0..pool.len())];
+                    if !fanins.contains(&cand) {
+                        fanins.push(cand);
+                    }
+                }
+                let tt = TruthTable::random(fanins.len(), &mut build);
+                pool.push(net.add_lut(fanins, tt).unwrap());
+            }
+            net.add_po(*pool.last().unwrap(), "f");
+            let luts: Vec<NodeId> = net.node_ids().filter(|&n| !net.is_pi(n)).collect();
+            let mut rng = Rng_::seed_from_u64(seed + 100);
+            for _ in 0..20 {
+                let t1 = luts[rng.gen_range(0..luts.len())];
+                let t2 = luts[rng.gen_range(0..luts.len())];
+                if t1 == t2 {
+                    continue;
+                }
+                if let Some(v) = reverse_simulate(&net, (t1, t2), &mut rng) {
+                    let vals = net.eval(&v);
+                    assert!(vals[t1.index()], "t1 must be 1 (seed {seed})");
+                    assert!(!vals[t2.index()], "t2 must be 0 (seed {seed})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_assignments_are_counted() {
+        // Inverter chain: every backward step is forced.
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let n1 = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let n2 = net.add_lut(vec![n1], TruthTable::not1()).unwrap();
+        let one = net.add_const(true);
+        net.add_po(n2, "f");
+        net.add_po(one, "one");
+        let mut rng = Rng_::seed_from_u64(4);
+        // one vs n2: the const gate has no inputs; n2's walk is forced.
+        let (v, stats) =
+            reverse_simulate_with_stats(&net, (one, n2), &mut rng).expect("satisfiable");
+        assert!(stats.forced >= 2, "both inverter steps are forced");
+        let vals = net.eval(&v);
+        assert!(vals[one.index()]);
+        assert!(!vals[n2.index()]);
+    }
+
+    #[test]
+    fn shared_input_conflict_matches_figure1() {
+        // The Figure 1a/b scenario: a propagation order exists that
+        // conflicts on input B. Reverse simulation sometimes fails on
+        // the z=1 demand (when it picks the bad nand row) but also
+        // sometimes succeeds — across many seeds we must observe both,
+        // demonstrating the random-row weakness SimGen removes.
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let inv = net.add_lut(vec![b], TruthTable::not1()).unwrap();
+        let x = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let y = net.add_lut(vec![inv, c], TruthTable::nand2()).unwrap();
+        let z = net.add_lut(vec![x, y], TruthTable::and2()).unwrap();
+        let zero = net.add_const(false);
+        net.add_po(z, "d");
+        net.add_po(zero, "k");
+        let mut successes = 0;
+        let mut failures = 0;
+        for seed in 0..60 {
+            let mut rng = Rng_::seed_from_u64(seed);
+            match reverse_simulate(&net, (z, zero), &mut rng) {
+                Some(v) => {
+                    successes += 1;
+                    assert!(net.eval(&v)[z.index()]);
+                }
+                None => failures += 1,
+            }
+        }
+        assert!(successes > 0, "some orders succeed");
+        assert!(failures > 0, "the figure-1 conflict does occur");
+    }
+}

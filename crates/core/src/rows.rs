@@ -1,0 +1,239 @@
+//! Truth-table *rows* and their compatibility with partial assignments.
+//!
+//! A row is a cube over a LUT's inputs together with the output value
+//! it produces — exactly the rows of the paper's Figure 3 truth table.
+//! SimGen derives them once per distinct LUT function (irredundant
+//! prime covers of the on- and off-set) and caches them in a [`RowDb`],
+//! since mapped networks reuse a small set of functions heavily.
+
+use std::collections::HashMap;
+
+use simgen_netlist::{Cube, LutNetwork, NodeId, TruthTable};
+
+use crate::tv::{Value, ValueMap};
+
+/// One truth-table row: an input cube and the output it implies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// The input cube (don't-cares are unspecified inputs).
+    pub cube: Cube,
+    /// The output value this row produces.
+    pub output: bool,
+}
+
+/// Cache of row lists per distinct truth table.
+#[derive(Clone, Debug, Default)]
+pub struct RowDb {
+    cache: HashMap<TruthTable, Vec<Row>>,
+}
+
+impl RowDb {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rows of a truth table (computed once, cached).
+    ///
+    /// On-set rows precede off-set rows; within each phase the order
+    /// follows the cover computation (deterministic).
+    pub fn rows(&mut self, tt: &TruthTable) -> &[Row] {
+        self.cache.entry(*tt).or_insert_with(|| {
+            let mut rows: Vec<Row> = tt
+                .onset_cover()
+                .into_iter()
+                .map(|cube| Row { cube, output: true })
+                .collect();
+            rows.extend(
+                tt.offset_cover()
+                    .into_iter()
+                    .map(|cube| Row { cube, output: false }),
+            );
+            rows
+        })
+    }
+
+    /// Number of distinct functions cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// The partial assignment of one gate's pins, extracted from a
+/// [`ValueMap`]: care/value masks over its fanins plus the output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PinAssignment {
+    /// Bit `i` set when fanin `i` is assigned.
+    pub care: u8,
+    /// Fanin values under `care`.
+    pub values: u8,
+    /// The gate's output value, if assigned.
+    pub output: Option<bool>,
+}
+
+impl PinAssignment {
+    /// Reads the pin assignment of `gate` from the value map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is a PI (PIs have no pins to match rows on).
+    pub fn of(net: &LutNetwork, values: &ValueMap, gate: NodeId) -> Self {
+        let fanins = net.fanins(gate);
+        assert!(
+            net.truth_table(gate).is_some(),
+            "pin assignment of a pi is meaningless"
+        );
+        let mut care = 0u8;
+        let mut vals = 0u8;
+        for (i, &f) in fanins.iter().enumerate() {
+            match values.get(f) {
+                Value::One => {
+                    care |= 1 << i;
+                    vals |= 1 << i;
+                }
+                Value::Zero => care |= 1 << i,
+                Value::Unknown => {}
+            }
+        }
+        PinAssignment {
+            care,
+            values: vals,
+            output: values.get(gate).to_bool(),
+        }
+    }
+
+    /// True if `row` is compatible with this pin assignment: output
+    /// values agree (when both known) and no specified cube input
+    /// clashes with an assigned fanin.
+    pub fn matches(&self, row: &Row) -> bool {
+        if let Some(out) = self.output {
+            if out != row.output {
+                return false;
+            }
+        }
+        row.cube.compatible(self.care, self.values)
+    }
+}
+
+/// Collects the rows of `gate` compatible with the current assignment.
+pub fn compatible_rows(
+    net: &LutNetwork,
+    values: &ValueMap,
+    rows: &mut RowDb,
+    gate: NodeId,
+) -> Vec<Row> {
+    let tt = net.truth_table(gate).expect("gate is a lut");
+    let pins = PinAssignment::of(net, values, gate);
+    rows.rows(tt)
+        .iter()
+        .filter(|r| pins.matches(r))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_netlist::LutNetwork;
+
+    fn and_gate() -> (LutNetwork, NodeId, NodeId, NodeId) {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let g = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        net.add_po(g, "f");
+        (net, a, b, g)
+    }
+
+    #[test]
+    fn rows_of_and2() {
+        let mut db = RowDb::new();
+        let rows = db.rows(&TruthTable::and2());
+        // On-set: 11 -> 1. Off-set: 0- -> 0 and -0 -> 0.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.iter().filter(|r| r.output).count(), 1);
+        assert_eq!(rows.iter().filter(|r| !r.output).count(), 2);
+        let on = rows.iter().find(|r| r.output).unwrap();
+        assert_eq!(on.cube.dc_count(2), 0);
+        for off in rows.iter().filter(|r| !r.output) {
+            assert_eq!(off.cube.dc_count(2), 1, "and2 off rows have one dc");
+        }
+    }
+
+    #[test]
+    fn db_caches_by_function() {
+        let mut db = RowDb::new();
+        let _ = db.rows(&TruthTable::and2());
+        let _ = db.rows(&TruthTable::and2());
+        assert_eq!(db.len(), 1);
+        let _ = db.rows(&TruthTable::or2());
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn pin_assignment_reads_map() {
+        let (net, a, _b, g) = and_gate();
+        let mut vm = ValueMap::new(net.len());
+        vm.assign(a, Value::One);
+        vm.assign(g, Value::Zero);
+        let pins = PinAssignment::of(&net, &vm, g);
+        assert_eq!(pins.care, 0b01);
+        assert_eq!(pins.values, 0b01);
+        assert_eq!(pins.output, Some(false));
+    }
+
+    #[test]
+    fn compatibility_filters_rows() {
+        let (net, a, _b, g) = and_gate();
+        let mut vm = ValueMap::new(net.len());
+        let mut db = RowDb::new();
+        // Unconstrained gate: all three rows compatible.
+        assert_eq!(compatible_rows(&net, &vm, &mut db, g).len(), 3);
+        // Output 0: the two off rows.
+        vm.assign(g, Value::Zero);
+        let rows = compatible_rows(&net, &vm, &mut db, g);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r.output));
+        // Also a=1: only the row "b=0 -> 0" remains (the a=0 row clashes).
+        vm.assign(a, Value::One);
+        let rows = compatible_rows(&net, &vm, &mut db, g);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cube.input(1), Some(false));
+    }
+
+    #[test]
+    fn contradictory_assignment_yields_no_rows() {
+        let (net, a, b, g) = and_gate();
+        let mut vm = ValueMap::new(net.len());
+        let mut db = RowDb::new();
+        vm.assign(a, Value::One);
+        vm.assign(b, Value::One);
+        vm.assign(g, Value::Zero); // and(1,1) = 0 is impossible
+        assert!(compatible_rows(&net, &vm, &mut db, g).is_empty());
+    }
+
+    #[test]
+    fn xor_rows_have_no_dcs() {
+        let mut db = RowDb::new();
+        let rows = db.rows(&TruthTable::xor2());
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.cube.dc_count(2) == 0));
+    }
+
+    #[test]
+    fn constant_rows() {
+        let mut db = RowDb::new();
+        let rows = db.rows(&TruthTable::const1(0));
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].output);
+        let rows = db.rows(&TruthTable::const0(3));
+        assert_eq!(rows.len(), 1);
+        assert!(!rows[0].output);
+        assert_eq!(rows[0].cube.dc_count(3), 3);
+    }
+}

@@ -1,0 +1,308 @@
+//! K-feasible priority cut enumeration.
+//!
+//! A *cut* of node `n` is a set of nodes (leaves) such that every path
+//! from a PI to `n` crosses a leaf. K-feasible means at most K leaves.
+//! Cuts are enumerated bottom-up: the cuts of an AND node are the
+//! pairwise merges of its fanins' cuts, plus the trivial cut `{n}`.
+//! To keep the enumeration polynomial, only the `C` best cuts per node
+//! survive (*priority cuts*), ranked like ABC's `if` mapper: smaller
+//! depth first, then fewer leaves.
+
+use simgen_netlist::aig::{Aig, AigVar};
+
+/// One cut: a sorted list of leaf variables plus cached metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cut {
+    /// Sorted leaf variables.
+    pub leaves: Vec<AigVar>,
+    /// 64-bit Bloom signature for fast subsumption tests.
+    pub signature: u64,
+    /// Depth of the mapping rooted at this cut (1 + max leaf arrival).
+    pub depth: u32,
+    /// Area-flow estimate of the cone.
+    pub area_flow: f64,
+}
+
+impl Cut {
+    fn trivial(v: AigVar, arrival: u32, flow: f64) -> Self {
+        Cut {
+            leaves: vec![v],
+            signature: sig_of(v),
+            depth: arrival,
+            area_flow: flow,
+        }
+    }
+
+    /// True if `self`'s leaves are a subset of `other`'s.
+    pub fn subsumes(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        if self.signature & !other.signature != 0 {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+fn sig_of(v: AigVar) -> u64 {
+    1u64 << (v.0 % 64)
+}
+
+/// The surviving cuts of one node, best first.
+#[derive(Clone, Debug, Default)]
+pub struct CutSet {
+    /// Cuts ordered by (depth, size).
+    pub cuts: Vec<Cut>,
+}
+
+impl CutSet {
+    /// The best (first) cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty (never happens for enumerated nodes).
+    pub fn best(&self) -> &Cut {
+        &self.cuts[0]
+    }
+}
+
+/// Enumerates priority cuts for every variable of the AIG.
+///
+/// `k` is the cut size limit (LUT input count); `max_cuts` bounds the
+/// number of cuts kept per node (ABC's default is 8).
+///
+/// Returns one [`CutSet`] per variable, indexed by `AigVar`; the
+/// constant variable 0 gets an empty set.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 6`.
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<CutSet> {
+    assert!(k >= 1 && k <= 6, "lut size must be between 1 and 6");
+    let n = aig.num_vars();
+    let mut sets: Vec<CutSet> = vec![CutSet::default(); n];
+    // Arrival time of a node = depth of its best cut (0 for PIs).
+    let mut arrival = vec![0u32; n];
+    let mut flow = vec![0.0f64; n];
+    // Fanout counts for area-flow normalization.
+    let mut refs = vec![0u32; n];
+    for i in 0..aig.num_ands() {
+        let v = AigVar((aig.num_pis() + 1 + i) as u32);
+        let (a, b) = aig.and_fanins(v);
+        refs[a.var().0 as usize] += 1;
+        refs[b.var().0 as usize] += 1;
+    }
+    for (l, _) in aig.pos() {
+        refs[l.var().0 as usize] += 1;
+    }
+
+    for pi in 1..=aig.num_pis() {
+        let v = AigVar(pi as u32);
+        sets[pi].cuts.push(Cut::trivial(v, 0, 0.0));
+    }
+    for i in 0..aig.num_ands() {
+        let v = AigVar((aig.num_pis() + 1 + i) as u32);
+        let (fa, fb) = aig.and_fanins(v);
+        let (va, vb) = (fa.var(), fb.var());
+        let mut cand: Vec<Cut> = Vec::new();
+        let cuts_a = cut_list(&sets, va, &arrival, &flow);
+        let cuts_b = cut_list(&sets, vb, &arrival, &flow);
+        for ca in &cuts_a {
+            for cb in &cuts_b {
+                if let Some(mut merged) = merge(ca, cb, k) {
+                    merged.depth = 1 + merged
+                        .leaves
+                        .iter()
+                        .map(|l| arrival[l.0 as usize])
+                        .max()
+                        .unwrap_or(0);
+                    merged.area_flow = 1.0
+                        + merged
+                            .leaves
+                            .iter()
+                            .map(|l| flow[l.0 as usize])
+                            .sum::<f64>();
+                    if !cand.iter().any(|c: &Cut| c.subsumes(&merged)) {
+                        cand.retain(|c| !merged.subsumes(c));
+                        cand.push(merged);
+                    }
+                }
+            }
+        }
+        cand.sort_by(|x, y| {
+            (x.depth, x.leaves.len())
+                .cmp(&(y.depth, y.leaves.len()))
+                .then(
+                    x.area_flow
+                        .partial_cmp(&y.area_flow)
+                        .expect("flows are finite"),
+                )
+        });
+        cand.truncate(max_cuts);
+        let vi = v.0 as usize;
+        arrival[vi] = cand.first().map_or(0, |c| c.depth);
+        let nrefs = refs[vi].max(1) as f64;
+        flow[vi] = cand.first().map_or(0.0, |c| c.area_flow) / nrefs;
+        sets[vi].cuts = cand;
+    }
+    sets
+}
+
+/// The cut list used when merging at a fanout: the node's own
+/// surviving cuts plus its trivial cut.
+fn cut_list(sets: &[CutSet], v: AigVar, arrival: &[u32], flow: &[f64]) -> Vec<Cut> {
+    let vi = v.0 as usize;
+    let mut cuts = sets[vi].cuts.clone();
+    let trivial = Cut::trivial(v, arrival[vi], flow[vi]);
+    if !cuts.iter().any(|c| c.leaves == trivial.leaves) {
+        cuts.push(trivial);
+    }
+    cuts
+}
+
+fn merge(a: &Cut, b: &Cut, k: usize) -> Option<Cut> {
+    let mut leaves = Vec::with_capacity(a.leaves.len() + b.leaves.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.leaves.len() || j < b.leaves.len() {
+        let next = match (a.leaves.get(i), b.leaves.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        if leaves.len() == k {
+            return None;
+        }
+        leaves.push(next);
+    }
+    let signature = a.signature | b.signature;
+    Some(Cut {
+        leaves,
+        signature,
+        depth: 0,
+        area_flow: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cut_for_pis() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x, "f");
+        let sets = enumerate_cuts(&g, 4, 8);
+        assert_eq!(sets[1].cuts.len(), 1);
+        assert_eq!(sets[1].best().leaves, vec![AigVar(1)]);
+    }
+
+    #[test]
+    fn and_gets_fanin_cut() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x, "f");
+        let sets = enumerate_cuts(&g, 4, 8);
+        let best = sets[x.var().0 as usize].best();
+        assert_eq!(best.leaves, vec![AigVar(1), AigVar(2)]);
+        assert_eq!(best.depth, 1);
+    }
+
+    #[test]
+    fn deep_cone_collapses_into_one_cut() {
+        // x = ((a&b)&c)&d: with k=4 a cut {a,b,c,d} must exist.
+        let mut g = Aig::new();
+        let pis = g.add_pis(4);
+        let x0 = g.and(pis[0], pis[1]);
+        let x1 = g.and(x0, pis[2]);
+        let x2 = g.and(x1, pis[3]);
+        g.add_po(x2, "f");
+        let sets = enumerate_cuts(&g, 4, 8);
+        let best = sets[x2.var().0 as usize].best();
+        assert_eq!(best.depth, 1, "whole cone fits one lut");
+        assert_eq!(best.leaves.len(), 4);
+    }
+
+    #[test]
+    fn k_limits_cut_width() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(4);
+        let x0 = g.and(pis[0], pis[1]);
+        let x1 = g.and(pis[2], pis[3]);
+        let x2 = g.and(x0, x1);
+        g.add_po(x2, "f");
+        let sets = enumerate_cuts(&g, 2, 8);
+        let best = sets[x2.var().0 as usize].best();
+        // With k=2 only {x0, x1} is feasible; depth 2.
+        assert_eq!(best.leaves, vec![x0.var(), x1.var()]);
+        assert_eq!(best.depth, 2);
+    }
+
+    #[test]
+    fn subsumption_filters_dominated_cuts() {
+        let c1 = Cut {
+            leaves: vec![AigVar(1), AigVar(2)],
+            signature: sig_of(AigVar(1)) | sig_of(AigVar(2)),
+            depth: 0,
+            area_flow: 0.0,
+        };
+        let c2 = Cut {
+            leaves: vec![AigVar(1), AigVar(2), AigVar(3)],
+            signature: c1.signature | sig_of(AigVar(3)),
+            depth: 0,
+            area_flow: 0.0,
+        };
+        assert!(c1.subsumes(&c2));
+        assert!(!c2.subsumes(&c1));
+        assert!(c1.subsumes(&c1.clone()));
+    }
+
+    #[test]
+    fn cut_count_is_bounded() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut g = Aig::new();
+        let pis = g.add_pis(10);
+        let mut pool: Vec<_> = pis.clone();
+        for _ in 0..300 {
+            let a = pool[rng.gen_range(0..pool.len())];
+            let b = pool[rng.gen_range(0..pool.len())];
+            let a = if rng.gen() { a } else { !a };
+            let b = if rng.gen() { b } else { !b };
+            pool.push(g.and(a, b));
+        }
+        g.add_po(*pool.last().unwrap(), "f");
+        let sets = enumerate_cuts(&g, 6, 8);
+        for s in &sets {
+            assert!(s.cuts.len() <= 8);
+            for c in &s.cuts {
+                assert!(c.leaves.len() <= 6);
+                assert!(c.leaves.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            }
+        }
+    }
+}

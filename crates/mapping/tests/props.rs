@@ -1,0 +1,93 @@
+//! Property tests of the LUT mapper: functional equivalence for
+//! arbitrary AIGs and structural guarantees of the cut enumeration.
+
+use proptest::prelude::*;
+
+use simgen_mapping::{enumerate_cuts, map_to_luts};
+use simgen_netlist::aig::{Aig, AigLit, AigVar};
+use simgen_netlist::validate;
+
+#[derive(Clone, Debug)]
+struct AigSpec {
+    pis: usize,
+    ands: Vec<(usize, usize, bool, bool)>,
+    pos: Vec<(usize, bool)>,
+}
+
+fn arb_aig() -> impl Strategy<Value = AigSpec> {
+    (
+        1usize..8,
+        prop::collection::vec((0usize..999, 0usize..999, any::<bool>(), any::<bool>()), 0..70),
+        prop::collection::vec((0usize..999, any::<bool>()), 1..5),
+    )
+        .prop_map(|(pis, ands, pos)| AigSpec { pis, ands, pos })
+}
+
+fn build(spec: &AigSpec) -> Aig {
+    let mut g = Aig::new();
+    let mut pool: Vec<AigLit> = g.add_pis(spec.pis);
+    for &(i, j, ci, cj) in &spec.ands {
+        let a = pool[i % pool.len()];
+        let b = pool[j % pool.len()];
+        pool.push(g.and(if ci { !a } else { a }, if cj { !b } else { b }));
+    }
+    for (k, &(i, c)) in spec.pos.iter().enumerate() {
+        let l = pool[i % pool.len()];
+        g.add_po(if c { !l } else { l }, format!("o{k}"));
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapping_preserves_functions(spec in arb_aig(), k in 2usize..7) {
+        let aig = build(&spec);
+        let net = map_to_luts(&aig, k);
+        validate::check(&net).expect("structurally valid");
+        let n = aig.num_pis();
+        for m in 0..(1u64 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(aig.eval(&ins), net.eval_pos(&ins), "at {:b}", m);
+        }
+        for id in net.node_ids() {
+            prop_assert!(net.fanins(id).len() <= k, "lut arity bound");
+        }
+    }
+
+    #[test]
+    fn cuts_are_real_cuts(spec in arb_aig(), k in 2usize..7) {
+        let aig = build(&spec);
+        let sets = enumerate_cuts(&aig, k, 8);
+        // A cut of v must "cover" v: assigning the leaves determines v
+        // (checked via cone_truth_table not escaping the cut, i.e. the
+        // cone below v never reaches a non-leaf PI).
+        for i in 0..aig.num_ands() {
+            let v = AigVar((aig.num_pis() + 1 + i) as u32);
+            for cut in &sets[v.0 as usize].cuts {
+                prop_assert!(cut.leaves.len() <= k);
+                prop_assert!(cut.leaves.windows(2).all(|w| w[0] < w[1]), "sorted");
+                // cone_truth_table panics if `leaves` is not a cut.
+                let tt = simgen_mapping::map::cone_truth_table(&aig, v, &cut.leaves);
+                prop_assert_eq!(tt.arity(), cut.leaves.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cut_depths_are_consistent(spec in arb_aig()) {
+        let aig = build(&spec);
+        let sets = enumerate_cuts(&aig, 6, 8);
+        let levels = aig.levels();
+        for i in 0..aig.num_ands() {
+            let v = (aig.num_pis() + 1 + i) as usize;
+            if let Some(best) = sets[v].cuts.first() {
+                // The mapping depth can never beat ceil(aig depth / ...)
+                // but must be at least 1 and at most the AIG level.
+                prop_assert!(best.depth >= 1);
+                prop_assert!(best.depth <= levels[v]);
+            }
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! And-Inverter Graphs with structural hashing.
+//!
+//! The benchmark generators build circuits as AIGs (the natural
+//! output of logic described with `and`/`not`), and the technology
+//! mapper ([`simgen-mapping`](https://docs.rs)) converts them into the
+//! K-LUT networks the sweeping flow consumes — mirroring the paper's
+//! ABC pipeline (`read benchmark; if -K 6`).
+//!
+//! Representation follows the AIGER convention: variable 0 is the
+//! constant false, variables `1..=num_pis` are the primary inputs, and
+//! each AND node gets the next variable. A literal is `2*var + compl`.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+
+/// An AIG variable index (0 = constant false).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AigVar(pub u32);
+
+/// An AIG literal: a variable with an optional complement bit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AigLit(pub u32);
+
+impl AigLit {
+    /// The constant-false literal.
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant-true literal.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Builds a literal from a variable and complement flag.
+    pub fn new(var: AigVar, complement: bool) -> Self {
+        AigLit(var.0 * 2 + u32::from(complement))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> AigVar {
+        AigVar(self.0 / 2)
+    }
+
+    /// True if the literal is complemented.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True if the literal is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_complement() {
+            write!(f, "!v{}", self.var().0)
+        } else {
+            write!(f, "v{}", self.var().0)
+        }
+    }
+}
+
+/// An And-Inverter Graph with structural hashing and standard derived
+/// gates (`or`, `xor`, `mux`, …).
+///
+/// # Example
+///
+/// ```
+/// use simgen_netlist::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_pi();
+/// let b = aig.add_pi();
+/// let x = aig.xor(a, b);
+/// aig.add_po(x, "sum");
+/// assert_eq!(aig.num_ands(), 3); // xor costs three ANDs
+/// assert!(aig.eval(&[true, false])[0]);
+/// assert!(!aig.eval(&[true, true])[0]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    num_pis: u32,
+    /// `ands[i]` is the fanin pair of variable `num_pis + 1 + i`.
+    ands: Vec<(AigLit, AigLit)>,
+    pos: Vec<(AigLit, String)>,
+    strash: HashMap<(AigLit, AigLit), AigVar>,
+    name: String,
+}
+
+impl Aig {
+    /// Creates an empty AIG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty AIG with a name.
+    pub fn with_name(name: impl Into<String>) -> Self {
+        Aig {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The AIG's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the AIG.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a primary input and returns its (positive) literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if AND nodes have already been added: AIGER numbering
+    /// requires all PIs to precede all ANDs.
+    pub fn add_pi(&mut self) -> AigLit {
+        assert!(
+            self.ands.is_empty(),
+            "all pis must be added before the first and node"
+        );
+        self.num_pis += 1;
+        AigLit::new(AigVar(self.num_pis), false)
+    }
+
+    /// Adds `n` primary inputs, returning their literals.
+    pub fn add_pis(&mut self, n: usize) -> Vec<AigLit> {
+        (0..n).map(|_| self.add_pi()).collect()
+    }
+
+    /// Registers a primary output.
+    pub fn add_po(&mut self, lit: AigLit, name: impl Into<String>) {
+        debug_assert!(lit.var().0 <= self.num_pis + self.ands.len() as u32);
+        self.pos.push((lit, name.into()));
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.num_pis as usize
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.ands.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_pos(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Total variable count (constant + PIs + ANDs).
+    pub fn num_vars(&self) -> usize {
+        1 + self.num_pis as usize + self.ands.len()
+    }
+
+    /// The primary outputs as (literal, name) pairs.
+    pub fn pos(&self) -> &[(AigLit, String)] {
+        &self.pos
+    }
+
+    /// The fanins of AND variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not an AND node.
+    pub fn and_fanins(&self, var: AigVar) -> (AigLit, AigLit) {
+        let idx = var
+            .0
+            .checked_sub(self.num_pis + 1)
+            .expect("variable is a pi or constant, not an and") as usize;
+        self.ands[idx]
+    }
+
+    /// True if `var` indexes an AND node.
+    pub fn is_and(&self, var: AigVar) -> bool {
+        var.0 > self.num_pis && (var.0 - self.num_pis - 1) < self.ands.len() as u32
+    }
+
+    /// True if `var` indexes a primary input.
+    pub fn is_pi(&self, var: AigVar) -> bool {
+        var.0 >= 1 && var.0 <= self.num_pis
+    }
+
+    /// Creates (or reuses, via structural hashing) the AND of two
+    /// literals. Constant folding and trivial cases (`x & x`,
+    /// `x & !x`) are simplified away.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Normalize order for hashing.
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if a == AigLit::FALSE {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return AigLit::FALSE;
+        }
+        if let Some(&var) = self.strash.get(&(a, b)) {
+            return AigLit::new(var, false);
+        }
+        let var = AigVar(self.num_pis + 1 + self.ands.len() as u32);
+        self.ands.push((a, b));
+        self.strash.insert((a, b), var);
+        AigLit::new(var, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR (three ANDs).
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n1 = self.and(a, !b);
+        let n2 = self.and(!a, b);
+        self.or(n1, n2)
+    }
+
+    /// XNOR.
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// Multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let a = self.and(sel, t);
+        let b = self.and(!sel, e);
+        self.or(a, b)
+    }
+
+    /// Majority of three.
+    pub fn maj3(&mut self, a: AigLit, b: AigLit, c: AigLit) -> AigLit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// N-ary AND of a literal slice (balanced tree).
+    pub fn and_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, AigLit::TRUE, Self::and)
+    }
+
+    /// N-ary OR of a literal slice (balanced tree).
+    pub fn or_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, AigLit::FALSE, Self::or)
+    }
+
+    /// N-ary XOR of a literal slice (balanced tree).
+    pub fn xor_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, AigLit::FALSE, Self::xor)
+    }
+
+    fn reduce(
+        &mut self,
+        lits: &[AigLit],
+        empty: AigLit,
+        mut op: impl FnMut(&mut Self, AigLit, AigLit) -> AigLit,
+    ) -> AigLit {
+        match lits.len() {
+            0 => empty,
+            1 => lits[0],
+            _ => {
+                let mut layer = lits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            op(self, pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Evaluates all POs on one input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_pis()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_pis(), "wrong input count");
+        let mut vals = vec![false; self.num_vars()];
+        for (i, &b) in inputs.iter().enumerate() {
+            vals[i + 1] = b;
+        }
+        for (i, &(a, b)) in self.ands.iter().enumerate() {
+            let va = vals[a.var().0 as usize] ^ a.is_complement();
+            let vb = vals[b.var().0 as usize] ^ b.is_complement();
+            vals[self.num_pis as usize + 1 + i] = va && vb;
+        }
+        self.pos
+            .iter()
+            .map(|&(l, _)| vals[l.var().0 as usize] ^ l.is_complement())
+            .collect()
+    }
+
+    /// Structural level of every variable (constant and PIs at 0).
+    pub fn levels(&self) -> Vec<u32> {
+        let mut lv = vec![0u32; self.num_vars()];
+        for (i, &(a, b)) in self.ands.iter().enumerate() {
+            let v = self.num_pis as usize + 1 + i;
+            lv[v] = 1 + lv[a.var().0 as usize].max(lv[b.var().0 as usize]);
+        }
+        lv
+    }
+
+    /// Removes all primary outputs (used when re-labelling outputs,
+    /// e.g. while applying an AIGER symbol table).
+    pub fn clear_pos(&mut self) {
+        self.pos.clear();
+    }
+
+    /// Returns a copy of this AIG with its primary outputs replaced.
+    ///
+    /// The literals must reference existing variables.
+    pub fn with_renamed_pos(&self, pos: Vec<(AigLit, String)>) -> Aig {
+        let mut out = self.clone();
+        out.clear_pos();
+        for (l, n) in pos {
+            out.add_po(l, n);
+        }
+        out
+    }
+
+    /// Returns a copy with all AND nodes unreachable from the POs
+    /// removed (dead-node elimination). Variable numbering is
+    /// recompacted; PO functions are unchanged.
+    pub fn compact(&self) -> Aig {
+        let mut live = vec![false; self.num_vars()];
+        let mut stack: Vec<AigVar> = self
+            .pos
+            .iter()
+            .map(|(l, _)| l.var())
+            .filter(|&v| self.is_and(v))
+            .collect();
+        while let Some(v) = stack.pop() {
+            if live[v.0 as usize] {
+                continue;
+            }
+            live[v.0 as usize] = true;
+            let (a, b) = self.and_fanins(v);
+            for f in [a.var(), b.var()] {
+                if self.is_and(f) && !live[f.0 as usize] {
+                    stack.push(f);
+                }
+            }
+        }
+        let mut out = Aig::with_name(self.name());
+        let mut map: Vec<AigLit> = Vec::with_capacity(self.num_vars());
+        map.push(AigLit::FALSE);
+        for _ in 0..self.num_pis() {
+            map.push(out.add_pi());
+        }
+        for i in 0..self.num_ands() {
+            let v = AigVar((self.num_pis() + 1 + i) as u32);
+            if !live[v.0 as usize] {
+                map.push(AigLit::FALSE); // placeholder, never read
+                continue;
+            }
+            let (a, b) = self.and_fanins(v);
+            let fa = Self::translate(&map, a);
+            let fb = Self::translate(&map, b);
+            map.push(out.and(fa, fb));
+        }
+        for (l, name) in &self.pos {
+            out.add_po(Self::translate(&map, *l), name.clone());
+        }
+        out
+    }
+
+    fn translate(map: &[AigLit], l: AigLit) -> AigLit {
+        let base = map[l.var().0 as usize];
+        if l.is_complement() {
+            !base
+        } else {
+            base
+        }
+    }
+
+    /// Validates internal invariants (fanin ordering, po targets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Invalid`] describing the first violated
+    /// invariant.
+    pub fn check(&self) -> Result<(), NetlistError> {
+        for (i, &(a, b)) in self.ands.iter().enumerate() {
+            let v = self.num_pis + 1 + i as u32;
+            if a.var().0 >= v || b.var().0 >= v {
+                return Err(NetlistError::Invalid(format!(
+                    "and variable {v} has a fanin that does not precede it"
+                )));
+            }
+        }
+        for (l, name) in &self.pos {
+            if l.var().0 as usize >= self.num_vars() {
+                return Err(NetlistError::Invalid(format!(
+                    "po {name} references variable {} out of range",
+                    l.var().0
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let l = AigLit::new(AigVar(5), true);
+        assert_eq!(l.0, 11);
+        assert_eq!(l.var(), AigVar(5));
+        assert!(l.is_complement());
+        assert_eq!((!l).0, 10);
+        assert!(AigLit::FALSE.is_const() && AigLit::TRUE.is_const());
+        assert_eq!(!AigLit::FALSE, AigLit::TRUE);
+    }
+
+    #[test]
+    fn and_simplifications() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        assert_eq!(g.and(AigLit::FALSE, a), AigLit::FALSE);
+        assert_eq!(g.and(AigLit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y, "structural hashing dedups commuted fanins");
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn derived_gates_evaluate_correctly() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let and = g.and(a, b);
+        let or = g.or(a, b);
+        let xor = g.xor(a, b);
+        let mux = g.mux(a, b, c);
+        let maj = g.maj3(a, b, c);
+        for l in [and, or, xor, mux, maj] {
+            g.add_po(l, "o");
+        }
+        for m in 0..8u32 {
+            let va = m & 1 == 1;
+            let vb = m & 2 == 2;
+            let vc = m & 4 == 4;
+            let out = g.eval(&[va, vb, vc]);
+            assert_eq!(out[0], va && vb);
+            assert_eq!(out[1], va || vb);
+            assert_eq!(out[2], va ^ vb);
+            assert_eq!(out[3], if va { vb } else { vc });
+            assert_eq!(out[4], (va && vb) || (va && vc) || (vb && vc));
+        }
+    }
+
+    #[test]
+    fn nary_reductions() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(5);
+        let and = g.and_many(&pis);
+        let or = g.or_many(&pis);
+        let xor = g.xor_many(&pis);
+        g.add_po(and, "and");
+        g.add_po(or, "or");
+        g.add_po(xor, "xor");
+        for m in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let out = g.eval(&inputs);
+            assert_eq!(out[0], m == 31);
+            assert_eq!(out[1], m != 0);
+            assert_eq!(out[2], m.count_ones() % 2 == 1);
+        }
+        assert_eq!(g.and_many(&[]), AigLit::TRUE);
+        assert_eq!(g.or_many(&[]), AigLit::FALSE);
+        let a = pis[0];
+        assert_eq!(g.and_many(&[a]), a);
+    }
+
+    #[test]
+    fn levels_and_check() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        let y = g.and(x, a);
+        g.add_po(y, "f");
+        let lv = g.levels();
+        assert_eq!(lv[x.var().0 as usize], 1);
+        assert_eq!(lv[y.var().0 as usize], 2);
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn compact_removes_dead_nodes() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let used = g.and(a, b);
+        let _dead1 = g.and(a, !b);
+        let _dead2 = g.and(!a, !b);
+        g.add_po(used, "f");
+        assert_eq!(g.num_ands(), 3);
+        let c = g.compact();
+        assert_eq!(c.num_ands(), 1);
+        for m in 0..4u32 {
+            let ins = vec![m & 1 == 1, m & 2 == 2];
+            assert_eq!(g.eval(&ins), c.eval(&ins));
+        }
+    }
+
+    #[test]
+    fn compact_keeps_complemented_po_drivers() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(!x, "nf");
+        g.add_po(AigLit::TRUE, "t");
+        let c = g.compact();
+        assert_eq!(c.num_ands(), 1);
+        assert_eq!(c.eval(&[true, true]), vec![false, true]);
+        assert_eq!(c.eval(&[false, true]), vec![true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all pis must be added before")]
+    fn pis_after_ands_panic() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let _ = g.and(a, b);
+        let _ = g.add_pi();
+    }
+}

@@ -1,0 +1,363 @@
+//! ISCAS/ITC BENCH format I/O.
+//!
+//! The ITC'99 circuits the paper evaluates (`b14_C` … `b22_C2`) are
+//! distributed in this gate-level format. The reader builds an
+//! [`Aig`]; the writer decomposes an AIG back into `AND`/`NOT` lines.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use crate::aig::{Aig, AigLit, AigVar};
+use crate::error::NetlistError;
+
+/// Writes an AIG in BENCH format using `AND` and `NOT` gates.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# {}", aig.name())?;
+    for i in 0..aig.num_pis() {
+        writeln!(w, "INPUT(pi{i})")?;
+    }
+    for (_, name) in aig.pos() {
+        writeln!(w, "OUTPUT({name})")?;
+    }
+    // Constant-literal support: emit gnd = AND(pi0, NOT(pi0)) lazily.
+    let needs_const = aig
+        .pos()
+        .iter()
+        .any(|(l, _)| l.is_const())
+        || (0..aig.num_ands()).any(|i| {
+            let (a, b) = aig.and_fanins(AigVar((aig.num_pis() + 1 + i) as u32));
+            a.is_const() || b.is_const()
+        });
+    if needs_const {
+        if aig.num_pis() == 0 {
+            // Degenerate: no signal to derive a constant from.
+            writeln!(w, "INPUT(__const_seed)")?;
+            writeln!(w, "__nseed = NOT(__const_seed)")?;
+            writeln!(w, "gnd = AND(__const_seed, __nseed)")?;
+        } else {
+            writeln!(w, "__npi0 = NOT(pi0)")?;
+            writeln!(w, "gnd = AND(pi0, __npi0)")?;
+        }
+        writeln!(w, "vdd = NOT(gnd)")?;
+    }
+    let lit_name = |l: AigLit| -> String {
+        if l == AigLit::FALSE {
+            return "gnd".into();
+        }
+        if l == AigLit::TRUE {
+            return "vdd".into();
+        }
+        let base = if l.var().0 as usize <= aig.num_pis() {
+            format!("pi{}", l.var().0 - 1)
+        } else {
+            format!("g{}", l.var().0)
+        };
+        if l.is_complement() {
+            format!("{base}_n")
+        } else {
+            base
+        }
+    };
+    // Emit NOT lines for every complemented literal that is used.
+    let mut emitted_not: Vec<bool> = vec![false; aig.num_vars()];
+    let emit_not = |w: &mut W, l: AigLit, emitted: &mut Vec<bool>| -> std::io::Result<()> {
+        if l.is_complement() && !l.is_const() && !emitted[l.var().0 as usize] {
+            emitted[l.var().0 as usize] = true;
+            writeln!(w, "{} = NOT({})", lit_name(l), lit_name(!l))?;
+        }
+        Ok(())
+    };
+    for i in 0..aig.num_ands() {
+        let var = AigVar((aig.num_pis() + 1 + i) as u32);
+        let (a, b) = aig.and_fanins(var);
+        emit_not(&mut w, a, &mut emitted_not)?;
+        emit_not(&mut w, b, &mut emitted_not)?;
+        writeln!(
+            w,
+            "g{} = AND({}, {})",
+            var.0,
+            lit_name(a),
+            lit_name(b)
+        )?;
+    }
+    for (l, name) in aig.pos() {
+        emit_not(&mut w, *l, &mut emitted_not)?;
+        if lit_name(*l) != *name {
+            writeln!(w, "{name} = BUFF({})", lit_name(*l))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a BENCH file into an AIG.
+///
+/// Supported gates: `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR`, `NOT`,
+/// `BUF`/`BUFF`, `MUX` (sel, then, else), plus `INPUT`/`OUTPUT`
+/// declarations. Gates may appear in any order.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed input, unknown gate
+/// types, cyclic definitions or undriven signals.
+pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)
+        .map_err(|e| NetlistError::parse(0, format!("io error: {e}")))?;
+    struct Gate {
+        out: String,
+        op: String,
+        ins: Vec<String>,
+        line: usize,
+    }
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("INPUT(") {
+            let name = extract_paren(line, ln)?;
+            inputs.push(name);
+        } else if upper.starts_with("OUTPUT(") {
+            let name = extract_paren(line, ln)?;
+            outputs.push(name);
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let out = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| NetlistError::parse(ln, "gate body missing `(`"))?;
+            let close = rhs
+                .rfind(')')
+                .ok_or_else(|| NetlistError::parse(ln, "gate body missing `)`"))?;
+            let op = rhs[..open].trim().to_ascii_uppercase();
+            let ins: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            gates.push(Gate { out, op, ins, line: ln });
+        } else {
+            return Err(NetlistError::parse(ln, format!("unparseable line `{line}`")));
+        }
+    }
+
+    let mut aig = Aig::new();
+    let mut sig: HashMap<String, AigLit> = HashMap::new();
+    for name in &inputs {
+        let l = aig.add_pi();
+        if sig.insert(name.clone(), l).is_some() {
+            return Err(NetlistError::parse(0, format!("input `{name}` declared twice")));
+        }
+    }
+    let mut remaining: Vec<Option<Gate>> = gates.into_iter().map(Some).collect();
+    let mut left = remaining.iter().filter(|g| g.is_some()).count();
+    while left > 0 {
+        let mut progressed = false;
+        for slot in remaining.iter_mut() {
+            let ready = matches!(slot, Some(g) if g.ins.iter().all(|s| sig.contains_key(s)));
+            if !ready {
+                continue;
+            }
+            let g = slot.take().expect("checked");
+            left -= 1;
+            progressed = true;
+            let ins: Vec<AigLit> = g.ins.iter().map(|s| sig[s]).collect();
+            let lit = build_gate(&mut aig, &g.op, &ins)
+                .map_err(|m| NetlistError::parse(g.line, m))?;
+            if sig.insert(g.out.clone(), lit).is_some() {
+                return Err(NetlistError::parse(
+                    g.line,
+                    format!("signal `{}` defined twice", g.out),
+                ));
+            }
+        }
+        if !progressed {
+            let stuck: Vec<&str> = remaining
+                .iter()
+                .flatten()
+                .map(|g| g.out.as_str())
+                .collect();
+            return Err(NetlistError::parse(
+                0,
+                format!("cyclic or undriven signals: {}", stuck.join(", ")),
+            ));
+        }
+    }
+    for name in &outputs {
+        let l = *sig
+            .get(name)
+            .ok_or_else(|| NetlistError::parse(0, format!("output `{name}` is undriven")))?;
+        aig.add_po(l, name.clone());
+    }
+    Ok(aig)
+}
+
+fn extract_paren(line: &str, ln: usize) -> Result<String, NetlistError> {
+    let open = line
+        .find('(')
+        .ok_or_else(|| NetlistError::parse(ln, "missing `(`"))?;
+    let close = line
+        .rfind(')')
+        .ok_or_else(|| NetlistError::parse(ln, "missing `)`"))?;
+    Ok(line[open + 1..close].trim().to_string())
+}
+
+fn build_gate(aig: &mut Aig, op: &str, ins: &[AigLit]) -> Result<AigLit, String> {
+    let need = |n: usize| -> Result<(), String> {
+        if ins.len() == n {
+            Ok(())
+        } else {
+            Err(format!("gate {op} expects {n} inputs, got {}", ins.len()))
+        }
+    };
+    let at_least = |n: usize| -> Result<(), String> {
+        if ins.len() >= n {
+            Ok(())
+        } else {
+            Err(format!("gate {op} expects at least {n} inputs, got {}", ins.len()))
+        }
+    };
+    Ok(match op {
+        "AND" => {
+            at_least(1)?;
+            aig.and_many(ins)
+        }
+        "NAND" => {
+            at_least(1)?;
+            !aig.and_many(ins)
+        }
+        "OR" => {
+            at_least(1)?;
+            aig.or_many(ins)
+        }
+        "NOR" => {
+            at_least(1)?;
+            !aig.or_many(ins)
+        }
+        "XOR" => {
+            at_least(1)?;
+            aig.xor_many(ins)
+        }
+        "XNOR" => {
+            at_least(1)?;
+            !aig.xor_many(ins)
+        }
+        "NOT" | "INV" => {
+            need(1)?;
+            !ins[0]
+        }
+        "BUF" | "BUFF" => {
+            need(1)?;
+            ins[0]
+        }
+        "MUX" => {
+            need(3)?;
+            aig.mux(ins[0], ins[1], ins[2])
+        }
+        other => return Err(format!("unknown gate type `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_simple_circuit() {
+        let text = "\
+# c17-ish
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+x = NAND(a, b)
+y = NOR(b, c)
+f = XOR(x, y)
+";
+        let aig = read(text.as_bytes()).unwrap();
+        assert_eq!(aig.num_pis(), 3);
+        assert_eq!(aig.num_pos(), 1);
+        for m in 0..8u32 {
+            let a = m & 1 == 1;
+            let b = m & 2 == 2;
+            let c = m & 4 == 4;
+            let expect = !(a && b) ^ !(b || c);
+            assert_eq!(aig.eval(&[a, b, c])[0], expect, "at {m:03b}");
+        }
+    }
+
+    #[test]
+    fn gates_in_any_order() {
+        let text = "INPUT(a)\nOUTPUT(f)\nf = NOT(x)\nx = BUF(a)\n";
+        let aig = read(text.as_bytes()).unwrap();
+        assert_eq!(aig.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let mut g = Aig::with_name("rt");
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.xor(a, b);
+        let y = g.mux(c, x, !a);
+        g.add_po(y, "f");
+        g.add_po(!y, "fn");
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        for m in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(g.eval(&inputs), back.eval(&inputs), "at {m:03b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_constants() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        g.add_po(AigLit::TRUE, "t");
+        g.add_po(a, "a_out");
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back.eval(&[false])[0], true);
+        assert_eq!(back.eval(&[true])[1], true);
+    }
+
+    #[test]
+    fn mux_gate() {
+        let text = "INPUT(s)\nINPUT(t)\nINPUT(e)\nOUTPUT(f)\nf = MUX(s, t, e)\n";
+        let aig = read(text.as_bytes()).unwrap();
+        assert_eq!(aig.eval(&[true, true, false])[0], true);
+        assert_eq!(aig.eval(&[false, true, false])[0], false);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let text = "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let text = "INPUT(a)\nOUTPUT(f)\nf = AND(a, g)\ng = AND(a, f)\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("cyclic"));
+    }
+
+    #[test]
+    fn rejects_undriven_output() {
+        let text = "INPUT(a)\nOUTPUT(zz)\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! BLIF (Berkeley Logic Interchange Format) I/O for LUT networks.
+//!
+//! BLIF is how LUT-mapped circuits are conventionally exchanged (the
+//! paper's flow hands ABC's `if -K 6` output to the sweeping tool).
+//! The writer emits one `.names` block per LUT using an on-set cube
+//! cover; the reader accepts `.names` blocks in any order and
+//! topologically sorts them.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use crate::error::NetlistError;
+use crate::id::NodeId;
+use crate::network::{LutNetwork, NodeKind};
+use crate::truth::{Cube, TruthTable};
+
+/// Writes a LUT network as BLIF.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write<W: Write>(net: &LutNetwork, mut w: W) -> std::io::Result<()> {
+    let model = if net.name().is_empty() { "top" } else { net.name() };
+    writeln!(w, ".model {model}")?;
+    let sig = |id: NodeId| -> String {
+        match net.node_name(id) {
+            Some(n) => n.to_string(),
+            None => format!("n{}", id.index()),
+        }
+    };
+    write!(w, ".inputs")?;
+    for &pi in net.pis() {
+        write!(w, " {}", sig(pi))?;
+    }
+    writeln!(w)?;
+    write!(w, ".outputs")?;
+    for po in net.pos() {
+        write!(w, " {}", po.name)?;
+    }
+    writeln!(w)?;
+    for id in net.node_ids() {
+        if let NodeKind::Lut { fanins, tt } = net.kind(id) {
+            write!(w, ".names")?;
+            for &f in fanins {
+                write!(w, " {}", sig(f))?;
+            }
+            writeln!(w, " {}", sig(id))?;
+            // The on-set cover handles constants too: const-1 yields
+            // one all-dash cube, const-0 an empty block.
+            for cube in tt.onset_cover() {
+                for i in 0..tt.arity() {
+                    match cube.input(i) {
+                        Some(true) => write!(w, "1")?,
+                        Some(false) => write!(w, "0")?,
+                        None => write!(w, "-")?,
+                    }
+                }
+                writeln!(w, " 1")?;
+            }
+        }
+    }
+    // Buffers from driver signals to output names where they differ.
+    for po in net.pos() {
+        let driver = sig(po.node);
+        if driver != po.name {
+            writeln!(w, ".names {driver} {}", po.name)?;
+            writeln!(w, "1 1")?;
+        }
+    }
+    writeln!(w, ".end")?;
+    Ok(())
+}
+
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    cubes: Vec<(Cube, bool)>,
+    line: usize,
+}
+
+/// Reads a BLIF file into a LUT network.
+///
+/// Supports the combinational subset: `.model`, `.inputs`, `.outputs`,
+/// `.names` (with `0`/`1`/`-` cubes of either output phase) and
+/// `.end`. Latch and subcircuit constructs are rejected.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed or sequential input.
+pub fn read<R: Read>(mut r: R) -> Result<LutNetwork, NetlistError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)
+        .map_err(|e| NetlistError::parse(0, format!("io error: {e}")))?;
+    // Join continuation lines ending in '\'.
+    let mut model = String::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut blocks: Vec<NamesBlock> = Vec::new();
+    let mut current: Option<NamesBlock> = None;
+
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    {
+        let mut pending = String::new();
+        let mut start_line = 0usize;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim_end();
+            if pending.is_empty() {
+                start_line = i + 1;
+            }
+            if let Some(stripped) = line.strip_suffix('\\') {
+                pending.push_str(stripped);
+                pending.push(' ');
+            } else {
+                pending.push_str(line);
+                if !pending.trim().is_empty() {
+                    logical_lines.push((start_line, std::mem::take(&mut pending)));
+                } else {
+                    pending.clear();
+                }
+            }
+        }
+        if !pending.trim().is_empty() {
+            logical_lines.push((start_line, pending));
+        }
+    }
+
+    for (ln, line) in logical_lines {
+        let line = line.trim();
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap_or("");
+        match head {
+            ".model" => model = toks.next().unwrap_or("top").to_string(),
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".names" => {
+                if let Some(b) = current.take() {
+                    blocks.push(b);
+                }
+                let mut sigs: Vec<String> = toks.map(str::to_string).collect();
+                let output = sigs
+                    .pop()
+                    .ok_or_else(|| NetlistError::parse(ln, ".names needs an output signal"))?;
+                if sigs.len() > crate::truth::MAX_ARITY {
+                    return Err(NetlistError::parse(
+                        ln,
+                        format!(".names with {} inputs exceeds max lut size 6", sigs.len()),
+                    ));
+                }
+                current = Some(NamesBlock {
+                    inputs: sigs,
+                    output,
+                    cubes: Vec::new(),
+                    line: ln,
+                });
+            }
+            ".end" => {
+                if let Some(b) = current.take() {
+                    blocks.push(b);
+                }
+            }
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(NetlistError::parse(
+                    ln,
+                    format!("unsupported construct `{head}` (combinational blif only)"),
+                ));
+            }
+            _ if head.starts_with('.') => {
+                // Unknown dot-directives are skipped (e.g. .default_input_arrival).
+            }
+            _ => {
+                // A cube row inside the current .names block.
+                let block = current
+                    .as_mut()
+                    .ok_or_else(|| NetlistError::parse(ln, "cube row outside .names block"))?;
+                let (pattern, out) = if block.inputs.is_empty() {
+                    ("", head)
+                } else {
+                    let out = toks
+                        .next()
+                        .ok_or_else(|| NetlistError::parse(ln, "cube row missing output value"))?;
+                    (head, out)
+                };
+                if pattern.len() != block.inputs.len() {
+                    return Err(NetlistError::parse(
+                        ln,
+                        format!(
+                            "cube `{pattern}` has {} columns, block has {} inputs",
+                            pattern.len(),
+                            block.inputs.len()
+                        ),
+                    ));
+                }
+                let mut care = 0u8;
+                let mut values = 0u8;
+                for (i, ch) in pattern.chars().enumerate() {
+                    match ch {
+                        '1' => {
+                            care |= 1 << i;
+                            values |= 1 << i;
+                        }
+                        '0' => care |= 1 << i,
+                        '-' => {}
+                        other => {
+                            return Err(NetlistError::parse(
+                                ln,
+                                format!("bad cube character `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                let phase = match out {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(NetlistError::parse(
+                            ln,
+                            format!("bad output value `{other}`"),
+                        ))
+                    }
+                };
+                block.cubes.push((Cube::new(care, values), phase));
+            }
+        }
+    }
+    if let Some(b) = current.take() {
+        blocks.push(b);
+    }
+
+    // Build the network: PIs first, then topologically sort the blocks.
+    let mut net = LutNetwork::with_name(model);
+    let mut sig_map: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        let id = net.add_pi(name.clone());
+        sig_map.insert(name.clone(), id);
+    }
+    let mut remaining: Vec<Option<NamesBlock>> = blocks.into_iter().map(Some).collect();
+    let mut left = remaining.iter().filter(|b| b.is_some()).count();
+    while left > 0 {
+        let mut progressed = false;
+        for slot in remaining.iter_mut() {
+            let ready = match slot {
+                Some(b) => b.inputs.iter().all(|s| sig_map.contains_key(s)),
+                None => false,
+            };
+            if !ready {
+                continue;
+            }
+            let b = slot.take().expect("checked above");
+            left -= 1;
+            progressed = true;
+            let fanins: Vec<NodeId> = b.inputs.iter().map(|s| sig_map[s]).collect();
+            let tt = truth_from_cubes(b.inputs.len(), &b.cubes)
+                .map_err(|m| NetlistError::parse(b.line, m))?;
+            let id = net
+                .add_lut(fanins, tt)
+                .map_err(|e| NetlistError::parse(b.line, e.to_string()))?;
+            net.set_node_name(id, b.output.clone());
+            if sig_map.insert(b.output.clone(), id).is_some() {
+                return Err(NetlistError::parse(
+                    b.line,
+                    format!("signal `{}` defined twice", b.output),
+                ));
+            }
+        }
+        if !progressed {
+            let stuck: Vec<&str> = remaining
+                .iter()
+                .flatten()
+                .map(|b| b.output.as_str())
+                .collect();
+            return Err(NetlistError::parse(
+                0,
+                format!("cyclic or undriven signals: {}", stuck.join(", ")),
+            ));
+        }
+    }
+    for name in &outputs {
+        let id = *sig_map
+            .get(name)
+            .ok_or_else(|| NetlistError::parse(0, format!("output `{name}` is undriven")))?;
+        net.add_po(id, name.clone());
+    }
+    Ok(net)
+}
+
+fn truth_from_cubes(arity: usize, cubes: &[(Cube, bool)]) -> Result<TruthTable, String> {
+    if cubes.is_empty() {
+        // An empty .names block denotes constant 0.
+        return Ok(TruthTable::const0(arity));
+    }
+    let phase = cubes[0].1;
+    if cubes.iter().any(|&(_, p)| p != phase) {
+        return Err("mixed-phase cube rows in one .names block".into());
+    }
+    let tt = TruthTable::from_fn(arity, |m| cubes.iter().any(|(c, _)| c.contains_minterm(m)));
+    Ok(if phase { tt } else { tt.negate() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LutNetwork {
+        let mut net = LutNetwork::with_name("sample");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let maj = net
+            .add_lut(
+                vec![a, b, c],
+                TruthTable::from_fn(3, |m| m.count_ones() >= 2),
+            )
+            .unwrap();
+        let x = net.add_lut(vec![maj, a], TruthTable::xor2()).unwrap();
+        net.add_po(x, "f");
+        net.add_po(maj, "g");
+        net
+    }
+
+    fn assert_equivalent(n1: &LutNetwork, n2: &LutNetwork) {
+        assert_eq!(n1.num_pis(), n2.num_pis());
+        assert_eq!(n1.num_pos(), n2.num_pos());
+        for m in 0..(1u32 << n1.num_pis()) {
+            let inputs: Vec<bool> = (0..n1.num_pis()).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(n1.eval_pos(&inputs), n2.eval_pos(&inputs), "at {m:b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let net = sample();
+        let mut buf = Vec::new();
+        write(&net, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_equivalent(&net, &back);
+        assert_eq!(back.name(), "sample");
+    }
+
+    #[test]
+    fn reads_out_of_order_blocks() {
+        let text = "\
+.model ooo
+.inputs a b
+.outputs f
+.names x a f
+11 1
+.names a b x
+1- 1
+-1 1
+.end
+";
+        let net = read(text.as_bytes()).unwrap();
+        // f = (a|b) & a = a
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(net.eval_pos(&[a, b]), vec![a]);
+        }
+    }
+
+    #[test]
+    fn reads_offset_phase() {
+        let text = "\
+.model off
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+";
+        let net = read(text.as_bytes()).unwrap();
+        // f = !(a&b)
+        assert_eq!(net.eval_pos(&[true, true]), vec![false]);
+        assert_eq!(net.eval_pos(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn constant_blocks() {
+        let text = "\
+.model k
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+";
+        let net = read(text.as_bytes()).unwrap();
+        assert_eq!(net.eval_pos(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn rejects_latch() {
+        let text = ".model s\n.inputs a\n.outputs q\n.latch a q 0\n.end\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let text = "\
+.model c
+.inputs a
+.outputs f
+.names f a g
+11 1
+.names g a f
+11 1
+.end
+";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("cyclic"));
+    }
+
+    #[test]
+    fn rejects_mixed_phase() {
+        let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let net = read(text.as_bytes()).unwrap();
+        assert_eq!(net.num_pis(), 2);
+        assert_eq!(net.eval_pos(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let text = ".model c # the model\n.inputs a\n.outputs f\n.names a f # buffer\n1 1\n.end\n";
+        let net = read(text.as_bytes()).unwrap();
+        assert_eq!(net.eval_pos(&[true]), vec![true]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by all netlist operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A LUT was added whose fanin count does not match its truth
+    /// table arity, or exceeds the supported maximum of six inputs.
+    ArityMismatch {
+        /// Number of fanins supplied.
+        fanins: usize,
+        /// Arity the truth table declares.
+        arity: usize,
+    },
+    /// A fanin referenced a node id that does not exist yet; networks
+    /// are built strictly in topological order.
+    DanglingFanin {
+        /// The offending fanin id index.
+        fanin: usize,
+        /// Number of nodes currently in the network.
+        nodes: usize,
+    },
+    /// A primary output referenced a nonexistent node.
+    DanglingOutput {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A parse error with line information.
+    Parse {
+        /// 1-based line the error occurred on (0 when unknown).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Structural validation failed (see [`crate::validate`]).
+    Invalid(String),
+}
+
+impl NetlistError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        NetlistError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch { fanins, arity } => write!(
+                f,
+                "lut fanin count {fanins} does not match truth table arity {arity}"
+            ),
+            NetlistError::DanglingFanin { fanin, nodes } => write!(
+                f,
+                "fanin n{fanin} does not exist in a network of {nodes} nodes"
+            ),
+            NetlistError::DanglingOutput { node } => {
+                write!(f, "primary output references nonexistent node n{node}")
+            }
+            NetlistError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            NetlistError::Invalid(message) => write!(f, "invalid network: {message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::ArityMismatch { fanins: 3, arity: 2 };
+        assert_eq!(
+            e.to_string(),
+            "lut fanin count 3 does not match truth table arity 2"
+        );
+        let e = NetlistError::parse(7, "bad token");
+        assert_eq!(e.to_string(), "parse error at line 7: bad token");
+        let e = NetlistError::parse(0, "truncated file");
+        assert_eq!(e.to_string(), "parse error: truncated file");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

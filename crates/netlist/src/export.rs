@@ -1,0 +1,202 @@
+//! Visualization and HDL export: Graphviz DOT and structural Verilog.
+//!
+//! DOT output makes the propagation examples of the paper (Figures 1,
+//! 3 and 4) inspectable; the Verilog writer lets mapped networks flow
+//! into conventional EDA tools for cross-checking.
+
+use std::io::Write;
+
+use crate::id::NodeId;
+use crate::network::{LutNetwork, NodeKind};
+
+/// Writes a Graphviz DOT rendering of the network (PIs as boxes,
+/// LUTs as ellipses labelled with their truth table, POs as double
+/// circles).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_dot<W: Write>(net: &LutNetwork, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "digraph \"{}\" {{", sanitize(net.name()))?;
+    writeln!(w, "  rankdir=BT;")?;
+    for id in net.node_ids() {
+        match net.kind(id) {
+            NodeKind::Pi { .. } => writeln!(
+                w,
+                "  n{} [shape=box,label=\"{}\"];",
+                id.index(),
+                sanitize(net.node_name(id).unwrap_or("pi"))
+            )?,
+            NodeKind::Lut { fanins, tt } => {
+                writeln!(
+                    w,
+                    "  n{} [shape=ellipse,label=\"n{}\\n{}\"];",
+                    id.index(),
+                    id.index(),
+                    tt
+                )?;
+                for &f in fanins {
+                    writeln!(w, "  n{} -> n{};", f.index(), id.index())?;
+                }
+            }
+        }
+    }
+    for (i, po) in net.pos().iter().enumerate() {
+        writeln!(
+            w,
+            "  po{} [shape=doublecircle,label=\"{}\"];",
+            i,
+            sanitize(&po.name)
+        )?;
+        writeln!(w, "  n{} -> po{};", po.node.index(), i)?;
+    }
+    writeln!(w, "}}")
+}
+
+/// Writes the network as structural Verilog: one `assign` per LUT as
+/// a sum-of-products over its fanins.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_verilog<W: Write>(net: &LutNetwork, mut w: W) -> std::io::Result<()> {
+    let module = if net.name().is_empty() { "top" } else { net.name() };
+    let sig = |id: NodeId| -> String {
+        match net.kind(id) {
+            NodeKind::Pi { .. } => ident(net.node_name(id).unwrap_or("pi")),
+            NodeKind::Lut { .. } => format!("n{}", id.index()),
+        }
+    };
+    write!(w, "module {}(", ident(module))?;
+    let mut ports: Vec<String> = net.pis().iter().map(|&p| sig(p)).collect();
+    ports.extend(net.pos().iter().map(|p| ident(&p.name)));
+    writeln!(w, "{});", ports.join(", "))?;
+    for &pi in net.pis() {
+        writeln!(w, "  input {};", sig(pi))?;
+    }
+    for po in net.pos() {
+        writeln!(w, "  output {};", ident(&po.name))?;
+    }
+    for id in net.node_ids() {
+        if let NodeKind::Lut { fanins, tt } = net.kind(id) {
+            writeln!(w, "  wire {};", sig(id))?;
+            let expr = if tt.is_const0() {
+                "1'b0".to_string()
+            } else if tt.is_const1() {
+                "1'b1".to_string()
+            } else {
+                let terms: Vec<String> = tt
+                    .onset_cover()
+                    .iter()
+                    .map(|cube| {
+                        let lits: Vec<String> = (0..tt.arity())
+                            .filter_map(|i| {
+                                cube.input(i).map(|v| {
+                                    if v {
+                                        sig(fanins[i])
+                                    } else {
+                                        format!("~{}", sig(fanins[i]))
+                                    }
+                                })
+                            })
+                            .collect();
+                        if lits.is_empty() {
+                            "1'b1".to_string()
+                        } else {
+                            format!("({})", lits.join(" & "))
+                        }
+                    })
+                    .collect();
+                terms.join(" | ")
+            };
+            writeln!(w, "  assign {} = {};", sig(id), expr)?;
+        }
+    }
+    for po in net.pos() {
+        writeln!(w, "  assign {} = {};", ident(&po.name), sig(po.node))?;
+    }
+    writeln!(w, "endmodule")
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace(['"', '\\'], "_")
+}
+
+fn ident(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    fn demo() -> LutNetwork {
+        let mut net = LutNetwork::with_name("demo");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let x = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+        let y = net.add_lut(vec![x], TruthTable::not1()).unwrap();
+        net.add_po(y, "f");
+        net
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let net = demo();
+        let mut buf = Vec::new();
+        write_dot(&net, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("digraph \"demo\""));
+        assert!(text.contains("shape=box"));
+        assert!(text.contains("shape=ellipse"));
+        assert!(text.contains("shape=doublecircle"));
+        assert!(text.contains("n2 -> n3;"));
+        assert!(text.contains("n3 -> po0;"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn verilog_structure() {
+        let net = demo();
+        let mut buf = Vec::new();
+        write_verilog(&net, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("module demo(a, b, f);"));
+        assert!(text.contains("input a;"));
+        assert!(text.contains("output f;"));
+        // xor SOP: (a & ~b) | (~a & b) up to term order.
+        assert!(text.contains("assign n2 ="));
+        assert!(text.contains("assign f = n3;"));
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn verilog_constants() {
+        let mut net = LutNetwork::with_name("k");
+        let one = net.add_const(true);
+        let zero = net.add_const(false);
+        net.add_po(one, "o1");
+        net.add_po(zero, "o0");
+        let mut buf = Vec::new();
+        write_verilog(&net, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("assign n0 = 1'b1;"));
+        assert!(text.contains("assign n1 = 1'b0;"));
+    }
+
+    #[test]
+    fn identifiers_are_sanitized() {
+        assert_eq!(ident("a-b c"), "a_b_c");
+        assert_eq!(ident("3x"), "_3x");
+        assert_eq!(ident(""), "_");
+        assert_eq!(sanitize("he\"llo"), "he_llo");
+    }
+}

@@ -1,0 +1,57 @@
+//! Strongly-typed node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`crate::LutNetwork`].
+///
+/// `NodeId`s are dense indices assigned in topological order: every
+/// node's fanins have smaller ids than the node itself. This invariant
+/// is relied upon throughout the workspace (simulation, sweeping,
+/// pattern generation) to iterate forward = topologically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Mostly useful in tests; real ids come from
+    /// [`crate::LutNetwork::add_pi`] and [`crate::LutNetwork::add_lut`].
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// The raw dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

@@ -1,0 +1,253 @@
+//! Combining two networks for equivalence checking.
+//!
+//! CEC compares two implementations of the same specification. The
+//! sweeping flow works on one *combined* network: the PIs are shared
+//! and both node sets live in a single DAG, so equivalence classes can
+//! span the two designs. The classic *miter* adds XOR disequality
+//! outputs on matched PO pairs.
+
+use crate::error::NetlistError;
+use crate::id::NodeId;
+use crate::network::{LutNetwork, NodeKind};
+use crate::truth::TruthTable;
+
+/// The result of [`combine`]: the shared-PI union network plus node
+/// maps from each source network into it.
+#[derive(Clone, Debug)]
+pub struct Combined {
+    /// The combined network (shared PIs, both designs' LUTs, and the
+    /// PO lists of both concatenated: first all of `a`'s, then `b`'s).
+    pub network: LutNetwork,
+    /// `map_a[i]` is the combined-network id of node `i` of design A.
+    pub map_a: Vec<NodeId>,
+    /// `map_b[i]` is the combined-network id of node `i` of design B.
+    pub map_b: Vec<NodeId>,
+}
+
+/// Places two networks with identical PI counts into one network with
+/// shared PIs.
+///
+/// PO order is preserved: the combined network's first
+/// `a.num_pos()` outputs belong to design A.
+///
+/// # Example
+///
+/// ```
+/// use simgen_netlist::{LutNetwork, TruthTable, miter::combine};
+///
+/// # fn mk() -> LutNetwork {
+/// #   let mut n = LutNetwork::new();
+/// #   let a = n.add_pi("a");
+/// #   let b = n.add_pi("b");
+/// #   let f = n.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+/// #   n.add_po(f, "f");
+/// #   n
+/// # }
+/// let left = mk();
+/// let right = mk();
+/// let combined = combine(&left, &right)?;
+/// assert_eq!(combined.network.num_pis(), 2);          // shared
+/// assert_eq!(combined.network.num_luts(), 2);         // both designs
+/// # Ok::<(), simgen_netlist::NetlistError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if the PI counts differ.
+pub fn combine(a: &LutNetwork, b: &LutNetwork) -> Result<Combined, NetlistError> {
+    if a.num_pis() != b.num_pis() {
+        return Err(NetlistError::Invalid(format!(
+            "pi count mismatch: {} vs {}",
+            a.num_pis(),
+            b.num_pis()
+        )));
+    }
+    let mut net = LutNetwork::with_name(format!("{}_vs_{}", a.name(), b.name()));
+    let shared_pis: Vec<NodeId> = a
+        .pis()
+        .iter()
+        .map(|&pi| net.add_pi(a.node_name(pi).unwrap_or("pi").to_string()))
+        .collect();
+    let map_a = copy_into(a, &mut net, &shared_pis);
+    let map_b = copy_into(b, &mut net, &shared_pis);
+    for po in a.pos() {
+        net.add_po(map_a[po.node.index()], format!("a_{}", po.name));
+    }
+    for po in b.pos() {
+        net.add_po(map_b[po.node.index()], format!("b_{}", po.name));
+    }
+    Ok(Combined { network: net, map_a, map_b })
+}
+
+fn copy_into(src: &LutNetwork, dst: &mut LutNetwork, pis: &[NodeId]) -> Vec<NodeId> {
+    let mut map: Vec<NodeId> = Vec::with_capacity(src.len());
+    for id in src.node_ids() {
+        let new_id = match src.kind(id) {
+            NodeKind::Pi { index } => pis[*index],
+            NodeKind::Lut { fanins, tt } => {
+                let new_fanins: Vec<NodeId> = fanins.iter().map(|f| map[f.index()]).collect();
+                dst.add_lut(new_fanins, *tt)
+                    .expect("copying preserves arity and order")
+            }
+        };
+        map.push(new_id);
+    }
+    map
+}
+
+/// Builds a single-output miter: the OR of XORs over matched PO pairs.
+/// The output is 1 exactly on input vectors witnessing inequivalence.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if the PI or PO counts differ.
+pub fn miter(a: &LutNetwork, b: &LutNetwork) -> Result<LutNetwork, NetlistError> {
+    if a.num_pos() != b.num_pos() {
+        return Err(NetlistError::Invalid(format!(
+            "po count mismatch: {} vs {}",
+            a.num_pos(),
+            b.num_pos()
+        )));
+    }
+    let combined = combine(a, b)?;
+    let mut net = combined.network;
+    let pairs: Vec<(NodeId, NodeId)> = a
+        .pos()
+        .iter()
+        .zip(b.pos())
+        .map(|(pa, pb)| {
+            (
+                combined.map_a[pa.node.index()],
+                combined.map_b[pb.node.index()],
+            )
+        })
+        .collect();
+    // Drop the individual POs: the miter has a single output.
+    net.clear_pos();
+    net.set_name(format!("miter_{}", net.name()));
+    let mut disputes: Vec<NodeId> = Vec::new();
+    for (na, nb) in pairs {
+        let x = net
+            .add_lut(vec![na, nb], TruthTable::xor2())
+            .expect("xor over existing nodes");
+        disputes.push(x);
+    }
+    // Balanced OR tree over the dispute bits.
+    let mut layer = disputes;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(
+                    net.add_lut(vec![pair[0], pair[1]], TruthTable::or2())
+                        .expect("or over existing nodes"),
+                );
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let out = match layer.first() {
+        Some(&n) => n,
+        None => net.add_const(false), // no POs: vacuously equivalent
+    };
+    net.add_po(out, "miter");
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f = a & b built two structurally different ways.
+    fn and_pair() -> (LutNetwork, LutNetwork) {
+        let mut n1 = LutNetwork::with_name("direct");
+        let a = n1.add_pi("a");
+        let b = n1.add_pi("b");
+        let f = n1.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        n1.add_po(f, "f");
+
+        // De Morgan variant: !(!a | !b)
+        let mut n2 = LutNetwork::with_name("demorgan");
+        let a = n2.add_pi("a");
+        let b = n2.add_pi("b");
+        let na = n2.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let nb = n2.add_lut(vec![b], TruthTable::not1()).unwrap();
+        let or = n2.add_lut(vec![na, nb], TruthTable::or2()).unwrap();
+        let f = n2.add_lut(vec![or], TruthTable::not1()).unwrap();
+        n2.add_po(f, "f");
+        (n1, n2)
+    }
+
+    #[test]
+    fn combine_shares_pis() {
+        let (n1, n2) = and_pair();
+        let c = combine(&n1, &n2).unwrap();
+        assert_eq!(c.network.num_pis(), 2);
+        assert_eq!(c.network.num_luts(), 1 + 4);
+        assert_eq!(c.network.num_pos(), 2);
+        // Both PO drivers compute the same function.
+        for m in 0..4u32 {
+            let ins: Vec<bool> = (0..2).map(|i| (m >> i) & 1 == 1).collect();
+            let pos = c.network.eval_pos(&ins);
+            assert_eq!(pos[0], pos[1]);
+        }
+    }
+
+    #[test]
+    fn miter_of_equivalent_designs_is_const0() {
+        let (n1, n2) = and_pair();
+        let m = miter(&n1, &n2).unwrap();
+        assert_eq!(m.num_pos(), 1);
+        for mm in 0..4u32 {
+            let ins: Vec<bool> = (0..2).map(|i| (mm >> i) & 1 == 1).collect();
+            assert_eq!(m.eval_pos(&ins), vec![false]);
+        }
+    }
+
+    #[test]
+    fn miter_detects_inequivalence() {
+        let (n1, _) = and_pair();
+        // A second design computing OR instead of AND.
+        let mut broken = LutNetwork::with_name("or_design");
+        let a = broken.add_pi("a");
+        let b = broken.add_pi("b");
+        let f = broken.add_lut(vec![a, b], TruthTable::or2()).unwrap();
+        broken.add_po(f, "f");
+        let m = miter(&n1, &broken).unwrap();
+        // Differs exactly on the two single-1 inputs.
+        assert_eq!(m.eval_pos(&[false, false]), vec![false]);
+        assert_eq!(m.eval_pos(&[true, false]), vec![true]);
+        assert_eq!(m.eval_pos(&[false, true]), vec![true]);
+        assert_eq!(m.eval_pos(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn pi_mismatch_rejected() {
+        let (n1, _) = and_pair();
+        let mut n3 = LutNetwork::new();
+        n3.add_pi("only");
+        let one = n3.add_lut(vec![], TruthTable::const1(0)).unwrap();
+        n3.add_po(one, "f");
+        assert!(combine(&n1, &n3).is_err());
+        assert!(miter(&n1, &n3).is_err());
+    }
+
+    #[test]
+    fn multi_output_miter() {
+        let mut n1 = LutNetwork::new();
+        let a = n1.add_pi("a");
+        let b = n1.add_pi("b");
+        let x = n1.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+        let y = n1.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        n1.add_po(x, "s");
+        n1.add_po(y, "c");
+        let n2 = n1.clone();
+        let m = miter(&n1, &n2).unwrap();
+        for mm in 0..4u32 {
+            let ins: Vec<bool> = (0..2).map(|i| (mm >> i) & 1 == 1).collect();
+            assert_eq!(m.eval_pos(&ins), vec![false]);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Network stacking — the equivalent of ABC's `&putontop` command the
+//! paper uses in Section 6.4 to scale benchmark complexity.
+//!
+//! `k` copies of a network are stacked: copy 0 reads the real PIs;
+//! for each later copy, its PIs are driven by the previous copy's POs.
+//! Where the shapes disagree, the paper's rule applies: extra previous
+//! POs become POs of the stack ("if there are more outputs than
+//! inputs, we create new POs"), and extra inputs become fresh PIs
+//! ("if there are more inputs than outputs, we create new PIs").
+
+use crate::id::NodeId;
+use crate::network::{LutNetwork, NodeKind};
+
+/// Stacks `copies` instances of `net` on top of each other.
+///
+/// # Example
+///
+/// ```
+/// use simgen_netlist::{LutNetwork, TruthTable, stack::put_on_top};
+///
+/// let mut net = LutNetwork::new();
+/// let a = net.add_pi("a");
+/// let b = net.add_pi("b");
+/// let f = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+/// net.add_po(f, "f");
+/// let stacked = put_on_top(&net, 3);
+/// // Each extra copy feeds on the previous one's output and adds a
+/// // fresh PI for its unmatched input.
+/// assert_eq!(stacked.num_luts(), 3);
+/// assert_eq!(stacked.num_pis(), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `copies == 0` or the network has no POs (nothing to
+/// connect upward).
+pub fn put_on_top(net: &LutNetwork, copies: usize) -> LutNetwork {
+    assert!(copies > 0, "need at least one copy");
+    assert!(net.num_pos() > 0, "network has no outputs to stack on");
+    let mut out = LutNetwork::with_name(format!("{}_x{}", net.name(), copies));
+
+    // Drivers feeding the next copy's PIs; None = allocate a fresh PI.
+    let mut feed: Vec<Option<NodeId>> = vec![None; net.num_pis()];
+    let mut final_pos: Vec<(NodeId, String)> = Vec::new();
+
+    for copy in 0..copies {
+        // Map original node id -> new node id for this copy.
+        let mut map: Vec<NodeId> = Vec::with_capacity(net.len());
+        for id in net.node_ids() {
+            let new_id = match net.kind(id) {
+                NodeKind::Pi { index } => match feed[*index] {
+                    Some(driver) => driver,
+                    None => out.add_pi(format!(
+                        "{}_c{}",
+                        net.node_name(id).unwrap_or("pi"),
+                        copy
+                    )),
+                },
+                NodeKind::Lut { fanins, tt } => {
+                    let new_fanins: Vec<NodeId> =
+                        fanins.iter().map(|f| map[f.index()]).collect();
+                    out.add_lut(new_fanins, *tt)
+                        .expect("copying preserves arity and order")
+                }
+            };
+            map.push(new_id);
+        }
+        let copy_pos: Vec<(NodeId, String)> = net
+            .pos()
+            .iter()
+            .map(|po| (map[po.node.index()], po.name.clone()))
+            .collect();
+        if copy + 1 == copies {
+            // Topmost copy: all its POs are stack POs.
+            for (node, name) in copy_pos {
+                final_pos.push((node, format!("{name}_c{copy}")));
+            }
+        } else {
+            // Feed as many POs as there are PIs into the next copy;
+            // leftover POs surface as stack POs.
+            feed = vec![None; net.num_pis()];
+            for (i, (node, name)) in copy_pos.into_iter().enumerate() {
+                if i < net.num_pis() {
+                    feed[i] = Some(node);
+                } else {
+                    final_pos.push((node, format!("{name}_c{copy}")));
+                }
+            }
+        }
+    }
+    for (node, name) in final_pos {
+        out.add_po(node, name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    /// 2-in/1-out: f = a ^ b.
+    fn xor_net() -> LutNetwork {
+        let mut net = LutNetwork::with_name("x");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let f = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+        net.add_po(f, "f");
+        net
+    }
+
+    /// 1-in/2-out: f0 = !a, f1 = a.
+    fn fanout_net() -> LutNetwork {
+        let mut net = LutNetwork::with_name("fan");
+        let a = net.add_pi("a");
+        let n = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        net.add_po(n, "f0");
+        net.add_po(a, "f1");
+        net
+    }
+
+    #[test]
+    fn single_copy_is_isomorphic() {
+        let net = xor_net();
+        let stacked = put_on_top(&net, 1);
+        assert_eq!(stacked.num_pis(), 2);
+        assert_eq!(stacked.num_pos(), 1);
+        for m in 0..4u32 {
+            let ins: Vec<bool> = (0..2).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(stacked.eval_pos(&ins), net.eval_pos(&ins));
+        }
+    }
+
+    #[test]
+    fn more_inputs_than_outputs_creates_pis() {
+        // xor_net: 2 PIs, 1 PO. Stacking 3 copies: copy0 uses 2 real
+        // PIs; copies 1 and 2 each get 1 fed input + 1 fresh PI.
+        let stacked = put_on_top(&xor_net(), 3);
+        assert_eq!(stacked.num_pis(), 2 + 1 + 1);
+        assert_eq!(stacked.num_pos(), 1);
+        assert_eq!(stacked.num_luts(), 3);
+        // Function: ((a^b) ^ c) ^ d — parity of all four PIs.
+        for m in 0..16u32 {
+            let ins: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(stacked.eval_pos(&ins), vec![m.count_ones() % 2 == 1]);
+        }
+    }
+
+    #[test]
+    fn more_outputs_than_inputs_creates_pos() {
+        // fanout_net: 1 PI, 2 POs. Each non-top copy feeds PO0 onward
+        // and exposes PO1; the top exposes both.
+        let stacked = put_on_top(&fanout_net(), 3);
+        assert_eq!(stacked.num_pis(), 1);
+        assert_eq!(stacked.num_pos(), 2 + 2); // one extra per lower copy + 2 on top
+        // Semantics: copy0 gets a; f0_c0 = !a (fed), f1_c0 = a (exposed);
+        // copy1 gets !a; exposes f1_c1 = !a; feeds !!a = a; top gets a:
+        // f0_c2 = !a, f1_c2 = a.
+        let out_names: Vec<&str> = stacked.pos().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(out_names, vec!["f1_c0", "f1_c1", "f0_c2", "f1_c2"]);
+        for a in [false, true] {
+            assert_eq!(stacked.eval_pos(&[a]), vec![a, !a, !a, a]);
+        }
+    }
+
+    #[test]
+    fn depth_scales_linearly() {
+        let net = xor_net();
+        let s5 = put_on_top(&net, 5);
+        assert_eq!(s5.depth(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_copies_panics() {
+        let _ = put_on_top(&xor_net(), 0);
+    }
+}

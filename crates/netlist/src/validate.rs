@@ -1,0 +1,123 @@
+//! Structural validation of LUT networks.
+//!
+//! Construction through [`LutNetwork`]'s API already maintains the
+//! key invariants; this module re-checks them end to end, which is
+//! useful after file parsing, stacking or any bulk transformation,
+//! and in property tests.
+
+use crate::error::NetlistError;
+use crate::network::{LutNetwork, NodeKind};
+use crate::truth::MAX_ARITY;
+
+/// Checks all structural invariants of a network.
+///
+/// Verified properties:
+/// * every LUT fanin strictly precedes the LUT (topological storage);
+/// * truth-table arity equals fanin count, and is at most six;
+/// * PO drivers exist;
+/// * recorded levels match a recomputation;
+/// * PI indices are dense and in order.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] describing the first violation.
+pub fn check(net: &LutNetwork) -> Result<(), NetlistError> {
+    let mut pi_count = 0usize;
+    for id in net.node_ids() {
+        match net.kind(id) {
+            NodeKind::Pi { index } => {
+                if *index != pi_count {
+                    return Err(NetlistError::Invalid(format!(
+                        "pi {id} has index {index}, expected {pi_count}"
+                    )));
+                }
+                pi_count += 1;
+                if net.level(id) != 0 {
+                    return Err(NetlistError::Invalid(format!(
+                        "pi {id} has nonzero level {}",
+                        net.level(id)
+                    )));
+                }
+            }
+            NodeKind::Lut { fanins, tt } => {
+                if fanins.len() != tt.arity() {
+                    return Err(NetlistError::Invalid(format!(
+                        "lut {id} has {} fanins but arity {}",
+                        fanins.len(),
+                        tt.arity()
+                    )));
+                }
+                if fanins.len() > MAX_ARITY {
+                    return Err(NetlistError::Invalid(format!(
+                        "lut {id} exceeds max arity {MAX_ARITY}"
+                    )));
+                }
+                let mut expect_level = 0;
+                for &f in fanins {
+                    if f >= id {
+                        return Err(NetlistError::Invalid(format!(
+                            "lut {id} fanin {f} does not precede it"
+                        )));
+                    }
+                    expect_level = expect_level.max(net.level(f) + 1);
+                }
+                if net.level(id) != expect_level {
+                    return Err(NetlistError::Invalid(format!(
+                        "lut {id} level {} should be {expect_level}",
+                        net.level(id)
+                    )));
+                }
+            }
+        }
+    }
+    if pi_count != net.num_pis() {
+        return Err(NetlistError::Invalid(format!(
+            "pi list length {} does not match pi nodes {pi_count}",
+            net.num_pis()
+        )));
+    }
+    for po in net.pos() {
+        if po.node.index() >= net.len() {
+            return Err(NetlistError::DanglingOutput {
+                node: po.node.index(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    #[test]
+    fn valid_network_passes() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let f = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        net.add_po(f, "f");
+        assert!(check(&net).is_ok());
+    }
+
+    #[test]
+    fn stacked_and_combined_networks_pass() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let f = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+        net.add_po(f, "f");
+        let stacked = crate::stack::put_on_top(&net, 4);
+        assert!(check(&stacked).is_ok());
+        let combined = crate::miter::combine(&net, &net).unwrap();
+        assert!(check(&combined.network).is_ok());
+        let m = crate::miter::miter(&net, &net).unwrap();
+        assert!(check(&m).is_ok());
+    }
+
+    #[test]
+    fn empty_network_passes() {
+        assert!(check(&LutNetwork::new()).is_ok());
+    }
+}

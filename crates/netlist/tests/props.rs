@@ -1,0 +1,264 @@
+//! Property-based tests of the netlist substrate: truth-table
+//! algebra, cube covers, file-format round trips, stacking and MFFC
+//! invariants over randomly generated structures.
+
+use proptest::prelude::*;
+
+use simgen_netlist::aig::{Aig, AigLit};
+use simgen_netlist::cone::{cone_pis, fanin_cone_dfs};
+use simgen_netlist::mffc::{mffc_of, reference_counts};
+use simgen_netlist::{aiger, bench_fmt, blif, validate};
+use simgen_netlist::{LutNetwork, NodeId, TruthTable};
+
+fn arb_tt() -> impl Strategy<Value = TruthTable> {
+    (0usize..=6, any::<u64>())
+        .prop_map(|(arity, bits)| TruthTable::from_bits(arity, bits).expect("arity <= 6"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn onset_offset_covers_partition_the_space(tt in arb_tt()) {
+        let n = tt.arity();
+        for m in 0..(1u64 << n) {
+            let on = tt.onset_cover().iter().any(|c| c.contains_minterm(m));
+            let off = tt.offset_cover().iter().any(|c| c.contains_minterm(m));
+            prop_assert_eq!(on, tt.eval(m), "onset exactness at {}", m);
+            prop_assert_eq!(off, !tt.eval(m), "offset exactness at {}", m);
+            prop_assert_ne!(on, off, "covers partition at {}", m);
+        }
+    }
+
+    #[test]
+    fn prime_implicants_are_implicants_and_prime(tt in arb_tt()) {
+        let n = tt.arity();
+        for phase in [true, false] {
+            for cube in tt.prime_implicants(phase) {
+                // Implicant: every covered minterm is in the set.
+                for m in 0..(1u64 << n) {
+                    if cube.contains_minterm(m) {
+                        prop_assert_eq!(tt.eval(m), phase);
+                    }
+                }
+                // Prime: dropping any specified literal leaves the set.
+                for i in 0..n {
+                    if cube.input(i).is_some() {
+                        let weaker = simgen_netlist::Cube::new(
+                            cube.care() & !(1 << i),
+                            cube.values(),
+                        );
+                        let escapes = (0..(1u64 << n))
+                            .any(|m| weaker.contains_minterm(m) && tt.eval(m) != phase);
+                        prop_assert!(escapes, "cube not prime on input {}", i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor_shannon_identity(tt in arb_tt(), var in 0usize..6) {
+        prop_assume!(tt.arity() > 0);
+        let var = var % tt.arity();
+        let c0 = tt.cofactor0(var);
+        let c1 = tt.cofactor1(var);
+        for m in 0..(1u64 << tt.arity()) {
+            let expect = if (m >> var) & 1 == 1 { c1.eval(m) } else { c0.eval(m) };
+            prop_assert_eq!(tt.eval(m), expect);
+        }
+        // Cofactors do not depend on the cofactored variable.
+        prop_assert!(!c0.depends_on(var));
+        prop_assert!(!c1.depends_on(var));
+    }
+
+    #[test]
+    fn negate_flips_covers(tt in arb_tt()) {
+        let neg = tt.negate();
+        prop_assert_eq!(tt.onset_cover().len(), neg.offset_cover().len());
+        prop_assert_eq!(tt.count_ones() + neg.count_ones(), 1 << tt.arity());
+    }
+}
+
+/// Random AIG spec for format round trips.
+#[derive(Clone, Debug)]
+struct AigSpec {
+    pis: usize,
+    ands: Vec<(usize, usize, bool, bool)>,
+    pos: Vec<(usize, bool)>,
+}
+
+fn arb_aig_spec() -> impl Strategy<Value = AigSpec> {
+    (
+        1usize..8,
+        prop::collection::vec((0usize..999, 0usize..999, any::<bool>(), any::<bool>()), 0..80),
+        prop::collection::vec((0usize..999, any::<bool>()), 1..6),
+    )
+        .prop_map(|(pis, ands, pos)| AigSpec { pis, ands, pos })
+}
+
+fn build(spec: &AigSpec) -> Aig {
+    let mut g = Aig::with_name("prop");
+    let mut pool: Vec<AigLit> = g.add_pis(spec.pis);
+    for &(i, j, ci, cj) in &spec.ands {
+        let a = pool[i % pool.len()];
+        let b = pool[j % pool.len()];
+        pool.push(g.and(if ci { !a } else { a }, if cj { !b } else { b }));
+    }
+    for (k, &(i, c)) in spec.pos.iter().enumerate() {
+        let l = pool[i % pool.len()];
+        g.add_po(if c { !l } else { l }, format!("o{k}"));
+    }
+    g
+}
+
+fn equivalent(a: &Aig, b: &Aig) -> bool {
+    if a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos() {
+        return false;
+    }
+    let n = a.num_pis();
+    let cap = 1u64 << n.min(8);
+    (0..cap).all(|m| {
+        let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+        a.eval(&ins) == b.eval(&ins)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aiger_roundtrips(spec in arb_aig_spec()) {
+        let g = build(&spec);
+        let mut buf = Vec::new();
+        aiger::write_ascii(&g, &mut buf).expect("write ascii");
+        let back = aiger::read(&buf[..]).expect("read ascii");
+        prop_assert!(equivalent(&g, &back));
+
+        let mut buf = Vec::new();
+        aiger::write_binary(&g, &mut buf).expect("write binary");
+        let back = aiger::read(&buf[..]).expect("read binary");
+        prop_assert!(equivalent(&g, &back));
+    }
+
+    #[test]
+    fn bench_roundtrips(spec in arb_aig_spec()) {
+        let g = build(&spec);
+        let mut buf = Vec::new();
+        bench_fmt::write(&g, &mut buf).expect("write bench");
+        let back = bench_fmt::read(&buf[..]).expect("read bench");
+        prop_assert!(equivalent(&g, &back));
+    }
+}
+
+/// Random LUT network spec.
+#[derive(Clone, Debug)]
+struct NetSpec {
+    pis: usize,
+    luts: Vec<(Vec<usize>, u64)>,
+}
+
+fn arb_net_spec() -> impl Strategy<Value = NetSpec> {
+    (
+        1usize..6,
+        prop::collection::vec(
+            (prop::collection::vec(0usize..999, 1..5), any::<u64>()),
+            1..30,
+        ),
+    )
+        .prop_map(|(pis, luts)| NetSpec { pis, luts })
+}
+
+fn build_net(spec: &NetSpec) -> LutNetwork {
+    let mut net = LutNetwork::with_name("prop");
+    let mut pool: Vec<NodeId> = (0..spec.pis).map(|i| net.add_pi(format!("p{i}"))).collect();
+    for (picks, bits) in &spec.luts {
+        let mut fanins = Vec::new();
+        for &p in picks {
+            let cand = pool[p % pool.len()];
+            if !fanins.contains(&cand) {
+                fanins.push(cand);
+            }
+        }
+        let tt = TruthTable::from_bits(fanins.len(), *bits).expect("arity <= 4");
+        pool.push(net.add_lut(fanins, tt).expect("topo order"));
+    }
+    net.add_po(*pool.last().expect("nonempty"), "f");
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blif_roundtrips(spec in arb_net_spec()) {
+        let net = build_net(&spec);
+        let mut buf = Vec::new();
+        blif::write(&net, &mut buf).expect("write blif");
+        let back = blif::read(&buf[..]).expect("read blif");
+        validate::check(&back).expect("valid");
+        let n = net.num_pis();
+        for m in 0..(1u64 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(net.eval_pos(&ins), back.eval_pos(&ins));
+        }
+    }
+
+    #[test]
+    fn cones_contain_support(spec in arb_net_spec()) {
+        let net = build_net(&spec);
+        let root = net.pos()[0].node;
+        let cone = fanin_cone_dfs(&net, root);
+        // Every cone member reaches the root: walked forward, the
+        // fanout closure of each member must include root.
+        for &n in &cone {
+            let mut seen = vec![false; net.len()];
+            let mut stack = vec![n];
+            let mut reaches = false;
+            while let Some(x) = stack.pop() {
+                if x == root {
+                    reaches = true;
+                    break;
+                }
+                if seen[x.index()] {
+                    continue;
+                }
+                seen[x.index()] = true;
+                stack.extend_from_slice(net.fanouts(x));
+            }
+            prop_assert!(reaches, "{n} in cone but cannot reach root");
+        }
+        // And the structural support is exactly the cone PIs.
+        let pis = cone_pis(&net, root);
+        prop_assert!(pis.iter().all(|&p| net.is_pi(p)));
+    }
+
+    #[test]
+    fn mffc_interiors_are_exclusive(spec in arb_net_spec()) {
+        let net = build_net(&spec);
+        let refs = reference_counts(&net);
+        // Reference counts equal fanout counts + PO references.
+        for id in net.node_ids() {
+            prop_assert_eq!(
+                refs[id.index()] as usize,
+                net.fanout_count_with_pos(id)
+            );
+        }
+        for id in net.node_ids().filter(|&n| !net.is_pi(n)) {
+            let m = mffc_of(&net, id);
+            // Every interior node other than the root reaches POs only
+            // through the root: all its fanouts are inside the MFFC.
+            for &n in &m.interior {
+                if n == m.root {
+                    continue;
+                }
+                for &fo in net.fanouts(n) {
+                    prop_assert!(
+                        m.interior.contains(&fo),
+                        "{n} escapes the mffc of {id} via {fo}"
+                    );
+                }
+            }
+        }
+    }
+}

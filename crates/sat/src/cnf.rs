@@ -1,0 +1,221 @@
+//! CNF formula container and DIMACS I/O.
+
+use std::io::{Read, Write};
+
+use crate::lit::{Lit, Var};
+
+/// A CNF formula: a variable counter plus a clause list.
+///
+/// Clauses are stored in a flat arena (`lits` + offsets) to keep
+/// iteration cache-friendly for large sweeping-generated formulas.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    lits: Vec<Lit>,
+    offsets: Vec<u32>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables, returning the first.
+    pub fn new_vars(&mut self, n: u32) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += n;
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Adds a clause (a disjunction of literals). The empty clause is
+    /// allowed and makes the formula trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a literal references an unallocated
+    /// variable.
+    pub fn add_clause(&mut self, clause: impl IntoIterator<Item = Lit>) {
+        self.offsets.push(self.lits.len() as u32);
+        for l in clause {
+            debug_assert!(l.var().0 < self.num_vars, "literal {l:?} out of range");
+            self.lits.push(l);
+        }
+    }
+
+    /// Iterates over the clauses as literal slices.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        (0..self.offsets.len()).map(move |i| self.clause(i))
+    }
+
+    /// The `i`-th clause.
+    pub fn clause(&self, i: usize) -> &[Lit] {
+        let start = self.offsets[i] as usize;
+        let end = self
+            .offsets
+            .get(i + 1)
+            .map_or(self.lits.len(), |&o| o as usize);
+        &self.lits[start..end]
+    }
+
+    /// Evaluates the formula under a complete assignment
+    /// (`assignment[v]` = value of variable `v`).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] != l.is_neg())
+        })
+    }
+
+    /// Writes the formula in DIMACS `cnf` format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_dimacs<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "p cnf {} {}", self.num_vars, self.num_clauses())?;
+        for c in self.clauses() {
+            for l in c {
+                write!(w, "{l} ")?;
+            }
+            writeln!(w, "0")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a DIMACS `cnf` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token or header.
+    pub fn read_dimacs<R: Read>(mut r: R) -> Result<Self, String> {
+        let mut text = String::new();
+        r.read_to_string(&mut text)
+            .map_err(|e| format!("io error: {e}"))?;
+        let mut cnf = Cnf::new();
+        let mut declared_vars: Option<u32> = None;
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(format!("bad problem line `{line}`"));
+                }
+                let nv: u32 = parts[1]
+                    .parse()
+                    .map_err(|_| format!("bad var count `{}`", parts[1]))?;
+                declared_vars = Some(nv);
+                cnf.new_vars(nv);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let x: i64 = tok.parse().map_err(|_| format!("bad literal `{tok}`"))?;
+                if x == 0 {
+                    cnf.add_clause(current.drain(..));
+                } else {
+                    let v = x.unsigned_abs() as u32 - 1;
+                    if declared_vars.is_none() {
+                        return Err("clause before problem line".into());
+                    }
+                    if v >= cnf.num_vars {
+                        return Err(format!("literal {x} exceeds declared variable count"));
+                    }
+                    current.push(Lit::new(Var(v), x > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err("final clause not terminated by 0".into());
+        }
+        Ok(cnf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cnf {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        let c = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(c)]);
+        cnf.add_clause([Lit::neg(b), Lit::neg(c)]);
+        cnf
+    }
+
+    #[test]
+    fn build_and_query() {
+        let cnf = sample();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 3);
+        assert_eq!(cnf.clause(0).len(), 2);
+        // a=1, b=0, c=1 satisfies.
+        assert!(cnf.eval(&[true, false, true]));
+        // a=1, b=1, c=1 violates clause 3.
+        assert!(!cnf.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let cnf = sample();
+        let mut buf = Vec::new();
+        cnf.write_dimacs(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("p cnf 3 3\n"));
+        let back = Cnf::read_dimacs(&buf[..]).unwrap();
+        assert_eq!(back.num_vars(), 3);
+        assert_eq!(back.num_clauses(), 3);
+        for (c1, c2) in cnf.clauses().zip(back.clauses()) {
+            assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn dimacs_with_comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 2 2\n1 -2 0\nc mid comment\n2 0\n";
+        let cnf = Cnf::read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clause(1), &[Lit::pos(Var(1))]);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed() {
+        assert!(Cnf::read_dimacs("1 2 0\n".as_bytes()).is_err());
+        assert!(Cnf::read_dimacs("p cnf 1 1\n2 0\n".as_bytes()).is_err());
+        assert!(Cnf::read_dimacs("p cnf 1 1\n1\n".as_bytes()).is_err());
+        assert!(Cnf::read_dimacs("p dnf 1 1\n1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_clause_is_storable() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!(cnf.clause(0).is_empty());
+        assert!(!cnf.eval(&[]));
+    }
+}

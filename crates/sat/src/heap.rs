@@ -1,0 +1,193 @@
+//! An indexed binary max-heap keyed by floating-point activity —
+//! the VSIDS order heap of the solver.
+//!
+//! Supports the three operations CDCL branching needs in O(log n):
+//! pop-max, insert, and *increase-key* of an arbitrary element
+//! (locating it through a position index).
+
+/// Indexed max-heap over `usize` element ids with `f64` keys.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityHeap {
+    /// Heap array of element ids.
+    heap: Vec<usize>,
+    /// `pos[e]` = index of element `e` in `heap`, or `usize::MAX`.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures elements `0..n` are addressable.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    /// Number of elements currently in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True if element `e` is currently in the heap.
+    pub fn contains(&self, e: usize) -> bool {
+        self.pos.get(e).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts element `e` (no-op if already present).
+    pub fn insert(&mut self, e: usize, key: &[f64]) {
+        self.grow(e + 1);
+        if self.contains(e) {
+            return;
+        }
+        self.pos[e] = self.heap.len();
+        self.heap.push(e);
+        self.sift_up(self.heap.len() - 1, key);
+    }
+
+    /// Removes and returns the element with the largest key.
+    pub fn pop_max(&mut self, key: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0, key);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after element `e`'s key increased.
+    pub fn increased(&mut self, e: usize, key: &[f64]) {
+        if let Some(&p) = self.pos.get(e) {
+            if p != ABSENT {
+                self.sift_up(p, key);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, key: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if key[self.heap[i]] > key[self.heap[parent]] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, key: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len() && key[self.heap[l]] > key[self.heap[largest]] {
+                largest = l;
+            }
+            if r < self.heap.len() && key[self.heap[r]] > key[self.heap[largest]] {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i]] = i;
+        self.pos[self.heap[j]] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let keys = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let mut h = ActivityHeap::new();
+        for e in 0..keys.len() {
+            h.insert(e, &keys);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&keys)).collect();
+        assert_eq!(order, vec![4, 2, 0, 5, 3, 1]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let keys = [1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.insert(0, &keys);
+        h.insert(0, &keys);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn increase_key_reorders() {
+        let mut keys = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for e in 0..3 {
+            h.insert(e, &keys);
+        }
+        keys[0] = 10.0;
+        h.increased(0, &keys);
+        assert_eq!(h.pop_max(&keys), Some(0));
+        assert_eq!(h.pop_max(&keys), Some(2));
+        assert_eq!(h.pop_max(&keys), Some(1));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let keys = [1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        assert!(!h.contains(0));
+        h.insert(0, &keys);
+        assert!(h.contains(0));
+        h.pop_max(&keys);
+        assert!(!h.contains(0));
+    }
+
+    #[test]
+    fn random_stress_matches_sort() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..60);
+            let keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let mut h = ActivityHeap::new();
+            for e in 0..n {
+                h.insert(e, &keys);
+            }
+            let mut popped: Vec<f64> = std::iter::from_fn(|| h.pop_max(&keys))
+                .map(|e| keys[e])
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            popped
+                .iter_mut()
+                .zip(&sorted)
+                .for_each(|(p, s)| assert_eq!(p, s));
+        }
+    }
+}

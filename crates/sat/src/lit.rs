@@ -1,0 +1,114 @@
+//! SAT variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, densely numbered from zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable together with a sign.
+///
+/// Encoded as `2*var + sign` where `sign = 1` means negated — the
+/// MiniSAT convention, letting `lit.index()` directly address
+/// literal-indexed arrays such as watch lists.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Self {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Self {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// A literal of `v` with the given polarity (`true` = positive).
+    pub fn new(v: Var, positive: bool) -> Self {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The dense index (usable for literal-indexed arrays).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a literal back from [`Lit::index`].
+    pub fn from_index(index: usize) -> Self {
+        Lit(index as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "-x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    /// DIMACS-style display: 1-based, negative for negated literals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.var().0 as i64 + 1;
+        write!(f, "{}", if self.is_neg() { -v } else { v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).index(), 14);
+        assert_eq!(Lit::neg(v).index(), 15);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert!(!Lit::pos(v).is_neg());
+        assert!(Lit::neg(v).is_neg());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(Lit::new(v, true), Lit::pos(v));
+        assert_eq!(Lit::new(v, false), Lit::neg(v));
+        assert_eq!(Lit::from_index(15), Lit::neg(v));
+    }
+
+    #[test]
+    fn dimacs_display() {
+        assert_eq!(Lit::pos(Var(0)).to_string(), "1");
+        assert_eq!(Lit::neg(Var(0)).to_string(), "-1");
+        assert_eq!(Lit::neg(Var(9)).to_string(), "-10");
+    }
+}

@@ -1,0 +1,882 @@
+//! The CDCL solver.
+//!
+//! A MiniSAT-lineage implementation: two-watched-literal propagation,
+//! first-UIP conflict analysis, VSIDS variable activities with a
+//! binary order heap, saved phases, Luby-sequence restarts and
+//! activity-based learnt-clause reduction.
+//!
+//! Sweeping issues thousands of small queries against one incrementally
+//! grown formula, so the solver supports *assumptions* (temporary unit
+//! constraints for a single query) and *conflict budgets* (queries
+//! return [`SolveResult::Unknown`] instead of stalling the sweep).
+
+use crate::cnf::Cnf;
+use crate::heap::ActivityHeap;
+use crate::lit::{Lit, Var};
+
+/// Result of a solve call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (see [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer.
+    Unknown,
+}
+
+/// Cumulative solver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned.
+    pub learned: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub removed: u64,
+    /// Number of solve calls.
+    pub solves: u64,
+}
+
+const LBOOL_UNDEF: i8 = 2;
+
+type ClauseRef = u32;
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f32,
+    learnt: bool,
+    deleted: bool,
+}
+
+/// A CDCL SAT solver. See the [module docs](self) for the feature set.
+///
+/// # Example
+///
+/// ```
+/// use simgen_sat::{Lit, SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// // The same instance answers queries under assumptions:
+/// assert_eq!(s.solve_with_assumptions(&[Lit::neg(b)]), SolveResult::Unsat);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[l.index()]` = clauses currently watching literal `l`.
+    watches: Vec<Vec<ClauseRef>>,
+    /// Per-variable assignment: 0 false, 1 true, 2 unassigned.
+    assigns: Vec<i8>,
+    /// Saved phase per variable.
+    polarity: Vec<bool>,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: ActivityHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    qhead: usize,
+    seen: Vec<bool>,
+    /// False once a top-level conflict makes the formula unsat forever.
+    ok: bool,
+    model: Vec<bool>,
+    stats: SolverStats,
+    num_learnts: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Search {
+    Sat,
+    Unsat,
+    Restart,
+    Budget,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: ActivityHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            qhead: 0,
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            num_learnts: 0,
+        }
+    }
+
+    /// Builds a solver preloaded with a CNF formula's variables and
+    /// clauses.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::new();
+        for _ in 0..cnf.num_vars() {
+            s.new_var();
+        }
+        for c in cnf.clauses() {
+            s.add_clause(c);
+        }
+        s
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBOOL_UNDEF);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v.index(), &self.activity);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. Returns `false` if the formula is now known
+    /// unsatisfiable at the top level.
+    ///
+    /// Tautologies are dropped and duplicate literals merged. Must be
+    /// called between solve calls (the solver is always at decision
+    /// level zero then).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal's variable has not been allocated.
+    pub fn add_clause(&mut self, clause: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = Vec::with_capacity(clause.len());
+        for &l in clause {
+            assert!(l.var().index() < self.num_vars(), "unallocated {l:?}");
+            match self.lit_value(l) {
+                Some(true) => return true, // satisfied at level 0
+                Some(false) => continue,   // falsified at level 0: drop
+                None => {}
+            }
+            if lits.contains(&!l) {
+                return true; // tautology
+            }
+            if !lits.contains(&l) {
+                lits.push(l);
+            }
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[lits[0].index()].push(cref);
+        self.watches[lits[1].index()].push(cref);
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
+        cref
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        match self.assigns[l.var().index()] {
+            LBOOL_UNDEF => None,
+            x => Some((x == 1) != l.is_neg()),
+        }
+    }
+
+    /// The model value of `v` after a [`SolveResult::Sat`] answer.
+    ///
+    /// Returns `None` if no model is available (no successful solve
+    /// yet, or the variable was created afterwards).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied()
+    }
+
+    /// The full model after a [`SolveResult::Sat`] answer.
+    pub fn model(&self) -> &[bool] {
+        &self.model
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l).is_none());
+        let v = l.var();
+        self.assigns[v.index()] = i8::from(!l.is_neg());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Propagates all enqueued facts. Returns the conflicting clause
+    /// if a conflict arises.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            // Take the watch list to appease the borrow checker; we
+            // rebuild it with the clauses that keep watching false_lit.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cref = ws[i];
+                if self.clauses[cref as usize].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Make sure false_lit is at position 1.
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[lk.index()].push(cref);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    self.watches[false_lit.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[false_lit.index()] = ws;
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.increased(v.index(), &self.activity);
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn cla_bump(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc as f32;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn cla_decay(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (with
+    /// the asserting literal first) and the backtrack level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = confl;
+        let mut to_clear: Vec<Var> = Vec::new();
+        loop {
+            if self.clauses[cref as usize].learnt {
+                self.cla_bump(cref);
+            }
+            let start = usize::from(p.is_some());
+            let lits = self.clauses[cref as usize].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.var_bump(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next clause to look at: walk the trail
+            // backwards to the most recent seen literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            cref = self.reason[pl.var().index()]
+                .expect("non-decision literal on conflict side has a reason");
+            p = Some(pl);
+        }
+        // Conflict-clause minimization (local): drop literals implied
+        // by the rest of the clause through their reason clauses.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            // Second-highest decision level in the clause; move that
+            // literal to position 1 so it is watched.
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    /// A literal is redundant in the learnt clause if its reason
+    /// clause's other literals are all already seen (a cheap, local
+    /// version of MiniSAT's recursive minimization).
+    fn redundant(&self, l: Lit) -> bool {
+        match self.reason[l.var().index()] {
+            None => false,
+            Some(cref) => self.clauses[cref as usize].lits[1..].iter().all(|&q| {
+                self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
+        }
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail nonempty");
+                let v = l.var();
+                self.polarity[v.index()] = !l.is_neg();
+                self.assigns[v.index()] = LBOOL_UNDEF;
+                self.reason[v.index()] = None;
+                if !self.order.contains(v.index()) {
+                    self.order.insert(v.index(), &self.activity);
+                }
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v] == LBOOL_UNDEF {
+                return Some(Lit::new(Var(v as u32), self.polarity[v]));
+            }
+        }
+        None
+    }
+
+    fn max_learnts(&self) -> usize {
+        (self.clauses.len() - self.num_learnts) / 3 + 2000
+    }
+
+    /// Removes roughly half of the learnt clauses, lowest activity
+    /// first, keeping clauses that are reasons for current assignments.
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                cl.learnt && !cl.deleted
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        let locked: Vec<bool> = learnt_refs
+            .iter()
+            .map(|&c| {
+                let first = self.clauses[c as usize].lits[0];
+                self.reason[first.var().index()] == Some(c)
+                    && self.lit_value(first) == Some(true)
+            })
+            .collect();
+        let target = learnt_refs.len() / 2;
+        let mut removed = 0usize;
+        for (i, &c) in learnt_refs.iter().enumerate() {
+            if removed >= target {
+                break;
+            }
+            if locked[i] {
+                continue;
+            }
+            self.clauses[c as usize].deleted = true;
+            self.num_learnts -= 1;
+            removed += 1;
+        }
+        self.stats.removed += removed as u64;
+        // Watches are cleaned lazily in propagate (deleted clauses are
+        // dropped when encountered).
+    }
+
+    fn search(&mut self, conflict_limit: u64, budget: &mut Option<u64>, assumptions: &[Lit]) -> Search {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if let Some(b) = budget {
+                    if *b == 0 {
+                        return Search::Budget;
+                    }
+                    *b -= 1;
+                }
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Search::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                // Backtracking may undo assumption levels; they are
+                // re-applied by the decision loop below, which reports
+                // Unsat if one of them is now falsified.
+                self.backtrack(bt);
+                self.stats.learned += 1;
+                if learnt.len() == 1 {
+                    debug_assert_eq!(self.decision_level(), 0);
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let first = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+                self.var_decay();
+                self.cla_decay();
+            } else {
+                if conflicts_here >= conflict_limit {
+                    self.backtrack(0);
+                    return Search::Restart;
+                }
+                if self.num_learnts >= self.max_learnts() {
+                    self.reduce_db();
+                }
+                // Honor assumptions before free decisions.
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => return Search::Unsat,
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                            break;
+                        }
+                    }
+                }
+                if self.qhead < self.trail.len() {
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return Search::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(&[], None)
+    }
+
+    /// Solves under temporary unit assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, None)
+    }
+
+    /// Solves under assumptions with a conflict budget; returns
+    /// [`SolveResult::Unknown`] when the budget runs out.
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        conflict_budget: Option<u64>,
+    ) -> SolveResult {
+        self.stats.solves += 1;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut budget = conflict_budget;
+        let mut restart = 0u32;
+        let result = loop {
+            let limit = 64 * luby(restart);
+            match self.search(limit, &mut budget, assumptions) {
+                Search::Sat => {
+                    self.model = self
+                        .assigns
+                        .iter()
+                        .map(|&a| a == 1)
+                        .collect();
+                    break SolveResult::Sat;
+                }
+                Search::Unsat => break SolveResult::Unsat,
+                Search::Budget => break SolveResult::Unknown,
+                Search::Restart => {
+                    self.stats.restarts += 1;
+                    restart += 1;
+                }
+            }
+        };
+        self.backtrack(0);
+        result
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, …
+fn luby(i: u32) -> u64 {
+    // Find the finite subsequence containing index i.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < (i as u64) + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i as u64;
+    let mut sz = size;
+    let mut sq = seq;
+    while sz - 1 != i {
+        sz = (sz - 1) / 2;
+        sq -= 1;
+        i %= sz;
+    }
+    1u64 << sq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(x: i32) -> Lit {
+        Lit::new(Var((x.unsigned_abs() - 1) as u32), x > 0)
+    }
+
+    fn solver_with(num_vars: usize, clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&x| lit(x)).collect();
+            s.add_clause(&lits);
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = solver_with(1, &[&[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var(0)), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn chain_implications() {
+        // x1 -> x2 -> ... -> x10, x1 forced.
+        let mut s = Solver::new();
+        for _ in 0..10 {
+            s.new_var();
+        }
+        s.add_clause(&[lit(1)]);
+        for i in 1..10 {
+            s.add_clause(&[lit(-(i as i32)), lit(i as i32 + 1)]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in 0..10 {
+            assert_eq!(s.value(Var(v)), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. vars: 3 pigeons x 2 holes.
+        // v(i,j) = i*2 + j + 1
+        let v = |i: i32, j: i32| i * 2 + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(6, &refs);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5i32;
+        let h = 4i32;
+        let v = |i: i32, j: i32| i * h + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..n {
+            clauses.push((0..h).map(|j| v(i, j)).collect());
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with((n * h) as usize, &refs);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_flip_answers() {
+        // (a | b) & (!a | b): b=0 requires a contradiction.
+        let mut s = solver_with(2, &[&[1, 2], &[-1, 2]]);
+        assert_eq!(s.solve_with_assumptions(&[lit(-2)]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[lit(2)]), SolveResult::Sat);
+        // Incremental reuse with no assumptions still works.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+
+    #[test]
+    fn assumption_of_fixed_literal() {
+        let mut s = solver_with(2, &[&[1], &[1, 2]]);
+        assert_eq!(s.solve_with_assumptions(&[lit(1)]), SolveResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[lit(-1)]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[lit(-1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var(1)), Some(true));
+        s.add_clause(&[lit(-2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once unsat, stays unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_returns_unknown_on_hard_instance() {
+        // A PHP(7,6) instance with a 1-conflict budget cannot finish.
+        let n = 7i32;
+        let h = 6i32;
+        let v = |i: i32, j: i32| i * h + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..n {
+            clauses.push((0..h).map(|j| v(i, j)).collect());
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with((n * h) as usize, &refs);
+        assert_eq!(s.solve_limited(&[], Some(1)), SolveResult::Unknown);
+        // With no budget it finishes.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for round in 0..30 {
+            let nv = rng.gen_range(3..15usize);
+            let nc = rng.gen_range(1..40usize);
+            let mut cnf = Cnf::new();
+            cnf.new_vars(nv as u32);
+            for _ in 0..nc {
+                let len = rng.gen_range(1..4usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(Var(rng.gen_range(0..nv) as u32), rng.gen()))
+                    .collect();
+                cnf.add_clause(lits);
+            }
+            let mut s = Solver::from_cnf(&cnf);
+            match s.solve() {
+                SolveResult::Sat => {
+                    assert!(cnf.eval(s.model()), "model must satisfy formula (round {round})");
+                }
+                SolveResult::Unsat => {
+                    // Cross-check with brute force.
+                    let mut any = false;
+                    for m in 0..(1u64 << nv) {
+                        let assign: Vec<bool> = (0..nv).map(|i| (m >> i) & 1 == 1).collect();
+                        if cnf.eval(&assign) {
+                            any = true;
+                            break;
+                        }
+                    }
+                    assert!(!any, "solver said unsat but a model exists (round {round})");
+                }
+                SolveResult::Unknown => panic!("no budget was set"),
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = solver_with(2, &[]);
+        assert!(s.add_clause(&[lit(1), lit(1), lit(2)]));
+        assert!(s.add_clause(&[lit(1), lit(-1)])); // tautology: dropped
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = solver_with(2, &[&[1, 2], &[-1, 2]]);
+        let _ = s.solve();
+        let st = s.stats();
+        assert_eq!(st.solves, 1);
+        let _ = s.solve_with_assumptions(&[lit(-2)]);
+        assert_eq!(s.stats().solves, 2);
+        assert!(s.stats().conflicts >= st.conflicts);
+    }
+}

@@ -1,0 +1,206 @@
+//! Stress and property tests of the CDCL solver against brute force,
+//! including learnt-database reduction, restarts, incrementality and
+//! assumption semantics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simgen_sat::{Cnf, Lit, SolveResult, Solver, Var};
+
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let nv = cnf.num_vars();
+    (0..(1u64 << nv)).any(|m| {
+        let assign: Vec<bool> = (0..nv).map(|i| (m >> i) & 1 == 1).collect();
+        cnf.eval(&assign)
+    })
+}
+
+/// Random k-SAT at a given clause/variable ratio.
+fn random_ksat(nv: usize, nc: usize, k: usize, seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new();
+    cnf.new_vars(nv as u32);
+    for _ in 0..nc {
+        let mut vars: Vec<usize> = Vec::new();
+        while vars.len() < k.min(nv) {
+            let v = rng.gen_range(0..nv);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits: Vec<Lit> = vars
+            .into_iter()
+            .map(|v| Lit::new(Var(v as u32), rng.gen()))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+#[test]
+fn phase_transition_3sat_matches_brute_force() {
+    // Ratio 4.26 is the hard region; with 14 vars both answers occur.
+    let mut sat_seen = 0;
+    let mut unsat_seen = 0;
+    for seed in 0..40 {
+        let cnf = random_ksat(14, 60, 3, seed);
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            SolveResult::Sat => {
+                assert!(cnf.eval(solver.model()), "model check (seed {seed})");
+                sat_seen += 1;
+            }
+            SolveResult::Unsat => {
+                assert!(!brute_force_sat(&cnf), "false unsat (seed {seed})");
+                unsat_seen += 1;
+            }
+            SolveResult::Unknown => panic!("no budget set"),
+        }
+    }
+    assert!(sat_seen > 0 && unsat_seen > 0, "both outcomes exercised");
+}
+
+#[test]
+fn pigeonhole_exercises_learning_and_reduction() {
+    // PHP(8,7): thousands of conflicts — restarts, VSIDS decay and
+    // learnt-database reduction all fire.
+    let n = 8i32;
+    let h = 7i32;
+    let v = |i: i32, j: i32| Var((i * h + j) as u32);
+    let mut s = Solver::new();
+    for _ in 0..(n * h) {
+        s.new_var();
+    }
+    for i in 0..n {
+        let clause: Vec<Lit> = (0..h).map(|j| Lit::pos(v(i, j))).collect();
+        s.add_clause(&clause);
+    }
+    for j in 0..h {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(v(i1, j)), Lit::neg(v(i2, j))]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let st = s.stats();
+    assert!(st.conflicts > 100, "nontrivial search: {st:?}");
+    assert!(st.learned > 100);
+    assert!(st.restarts > 0, "restarts fired");
+}
+
+#[test]
+fn assumptions_equal_added_units() {
+    for seed in 0..30 {
+        let cnf = random_ksat(10, 35, 3, 1000 + seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assumption = Lit::new(Var(rng.gen_range(0..10)), rng.gen());
+        // Route A: assumptions.
+        let mut s1 = Solver::from_cnf(&cnf);
+        let r1 = s1.solve_with_assumptions(&[assumption]);
+        // Route B: the assumption as a unit clause.
+        let mut s2 = Solver::from_cnf(&cnf);
+        s2.add_clause(&[assumption]);
+        let r2 = s2.solve();
+        assert_eq!(r1, r2, "seed {seed}: assumption vs unit must agree");
+        // And the assumption never leaks into later solves.
+        let r3 = s1.solve();
+        if r3 == SolveResult::Sat {
+            assert!(cnf.eval(s1.model()));
+        }
+    }
+}
+
+#[test]
+fn incremental_growth_is_sound() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut solver = Solver::new();
+    let mut cnf = Cnf::new(); // shadow copy for brute force
+    for _ in 0..12 {
+        solver.new_var();
+        cnf.new_var();
+    }
+    for round in 0..25 {
+        let k = rng.gen_range(1..4usize);
+        let lits: Vec<Lit> = (0..k)
+            .map(|_| Lit::new(Var(rng.gen_range(0..12)), rng.gen()))
+            .collect();
+        solver.add_clause(&lits);
+        cnf.add_clause(lits.iter().copied());
+        let expected = brute_force_sat(&cnf);
+        match solver.solve() {
+            SolveResult::Sat => {
+                assert!(expected, "round {round}");
+                assert!(cnf.eval(solver.model()), "round {round}");
+            }
+            SolveResult::Unsat => assert!(!expected, "round {round}"),
+            SolveResult::Unknown => panic!("no budget"),
+        }
+        if !expected {
+            break; // once unsat, stays unsat — already covered elsewhere
+        }
+    }
+}
+
+#[test]
+fn budget_monotonicity() {
+    // A budget large enough to finish gives the same answer as
+    // unbounded; Unknown only appears for smaller budgets.
+    let cnf = random_ksat(13, 56, 3, 99);
+    let mut unbounded = Solver::from_cnf(&cnf);
+    let truth = unbounded.solve();
+    let conflicts = unbounded.stats().conflicts;
+    let mut s = Solver::from_cnf(&cnf);
+    assert_eq!(s.solve_limited(&[], Some(conflicts + 10)), truth);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_cnf_agrees_with_brute_force(
+        nv in 2usize..10,
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..10, any::<bool>()), 1..4), 0..35)
+    ) {
+        let mut cnf = Cnf::new();
+        cnf.new_vars(nv as u32);
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .into_iter()
+                .map(|(v, p)| Lit::new(Var((v % nv) as u32), p))
+                .collect();
+            cnf.add_clause(lits);
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            SolveResult::Sat => prop_assert!(cnf.eval(solver.model())),
+            SolveResult::Unsat => prop_assert!(!brute_force_sat(&cnf)),
+            SolveResult::Unknown => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn dimacs_roundtrip_preserves_satisfiability(
+        nv in 1usize..8,
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..8, any::<bool>()), 1..4), 1..20)
+    ) {
+        let mut cnf = Cnf::new();
+        cnf.new_vars(nv as u32);
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .into_iter()
+                .map(|(v, p)| Lit::new(Var((v % nv) as u32), p))
+                .collect();
+            cnf.add_clause(lits);
+        }
+        let mut buf = Vec::new();
+        cnf.write_dimacs(&mut buf).expect("write");
+        let back = Cnf::read_dimacs(&buf[..]).expect("read");
+        let r1 = Solver::from_cnf(&cnf).solve();
+        let r2 = Solver::from_cnf(&back).solve();
+        prop_assert_eq!(r1, r2);
+    }
+}

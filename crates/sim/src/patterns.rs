@@ -1,0 +1,194 @@
+//! Sets of simulation input vectors, stored bit-parallel.
+//!
+//! A [`PatternSet`] holds `num_patterns` input vectors for `num_pis`
+//! inputs. Storage is transposed for word-parallel simulation: per PI,
+//! a vector of `u64` words where bit `p % 64` of word `p / 64` is the
+//! value of that PI in pattern `p`.
+
+use rand::Rng;
+
+/// A bit-parallel container of simulation input vectors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternSet {
+    num_pis: usize,
+    num_patterns: usize,
+    /// `words[pi][w]`: 64 patterns' values for one PI.
+    words: Vec<Vec<u64>>,
+}
+
+impl PatternSet {
+    /// Creates an empty set for `num_pis` inputs.
+    pub fn new(num_pis: usize) -> Self {
+        PatternSet {
+            num_pis,
+            num_patterns: 0,
+            words: vec![Vec::new(); num_pis],
+        }
+    }
+
+    /// Creates `num_patterns` uniformly random vectors.
+    pub fn random(num_pis: usize, num_patterns: usize, rng: &mut impl Rng) -> Self {
+        let num_words = num_patterns.div_ceil(64);
+        let words = (0..num_pis)
+            .map(|_| {
+                let mut v: Vec<u64> = (0..num_words).map(|_| rng.gen()).collect();
+                mask_tail(&mut v, num_patterns);
+                v
+            })
+            .collect();
+        PatternSet {
+            num_pis,
+            num_patterns,
+            words,
+        }
+    }
+
+    /// Number of primary inputs per vector.
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+
+    /// Number of stored vectors.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of 64-bit words per PI lane.
+    pub fn num_words(&self) -> usize {
+        self.num_patterns.div_ceil(64)
+    }
+
+    /// The word lane of one PI.
+    pub fn lane(&self, pi: usize) -> &[u64] {
+        &self.words[pi]
+    }
+
+    /// Appends one input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len() != num_pis`.
+    pub fn push(&mut self, vector: &[bool]) {
+        assert_eq!(vector.len(), self.num_pis, "wrong vector width");
+        let word = self.num_patterns / 64;
+        let bit = self.num_patterns % 64;
+        for (pi, &v) in vector.iter().enumerate() {
+            if bit == 0 {
+                self.words[pi].push(0);
+            }
+            if v {
+                self.words[pi][word] |= 1 << bit;
+            }
+        }
+        self.num_patterns += 1;
+    }
+
+    /// Reads pattern `p` back as a plain vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_patterns`.
+    pub fn vector(&self, p: usize) -> Vec<bool> {
+        assert!(p < self.num_patterns, "pattern index out of range");
+        (0..self.num_pis)
+            .map(|pi| (self.words[pi][p / 64] >> (p % 64)) & 1 == 1)
+            .collect()
+    }
+
+    /// Appends all vectors of another set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PI counts differ.
+    pub fn extend(&mut self, other: &PatternSet) {
+        assert_eq!(self.num_pis, other.num_pis, "pi count mismatch");
+        for p in 0..other.num_patterns {
+            self.push(&other.vector(p));
+        }
+    }
+
+    /// Builds a set from explicit vectors.
+    pub fn from_vectors(num_pis: usize, vectors: &[Vec<bool>]) -> Self {
+        let mut set = PatternSet::new(num_pis);
+        for v in vectors {
+            set.push(v);
+        }
+        set
+    }
+}
+
+fn mask_tail(words: &mut [u64], num_patterns: usize) {
+    let rem = num_patterns % 64;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut set = PatternSet::new(3);
+        set.push(&[true, false, true]);
+        set.push(&[false, false, true]);
+        assert_eq!(set.num_patterns(), 2);
+        assert_eq!(set.vector(0), vec![true, false, true]);
+        assert_eq!(set.vector(1), vec![false, false, true]);
+    }
+
+    #[test]
+    fn crosses_word_boundary() {
+        let mut set = PatternSet::new(1);
+        for p in 0..130 {
+            set.push(&[p % 3 == 0]);
+        }
+        assert_eq!(set.num_words(), 3);
+        for p in 0..130 {
+            assert_eq!(set.vector(p), vec![p % 3 == 0], "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_by_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        let s1 = PatternSet::random(5, 100, &mut r1);
+        let s2 = PatternSet::random(5, 100, &mut r2);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.num_patterns(), 100);
+        assert_eq!(s1.num_words(), 2);
+    }
+
+    #[test]
+    fn random_masks_tail_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let s = PatternSet::random(4, 70, &mut rng);
+        for pi in 0..4 {
+            let last = *s.lane(pi).last().unwrap();
+            assert_eq!(last >> 6, 0, "bits beyond pattern 70 must be clear");
+        }
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let a = PatternSet::from_vectors(2, &[vec![true, false]]);
+        let b = PatternSet::from_vectors(2, &[vec![false, true], vec![true, true]]);
+        let mut c = a.clone();
+        c.extend(&b);
+        assert_eq!(c.num_patterns(), 3);
+        assert_eq!(c.vector(0), vec![true, false]);
+        assert_eq!(c.vector(2), vec![true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong vector width")]
+    fn wrong_width_panics() {
+        let mut set = PatternSet::new(2);
+        set.push(&[true]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Static signal-probability estimation.
+//!
+//! Propagates the probability that each node evaluates to 1 under
+//! independent uniform PIs — the classic testability measure ATPG
+//! tools use. SimGen's *topology-aware OUTgold* extension (mentioned
+//! as an open direction in the paper's Section 3) uses these
+//! estimates to demand each target's **unlikely** value, which random
+//! simulation almost never exercises.
+//!
+//! The per-LUT computation is exact given the (approximate)
+//! independence assumption: sum over the truth table's on-set
+//! minterms of the product of fanin probabilities.
+
+use simgen_netlist::{LutNetwork, NodeKind};
+
+/// Estimates `P(node = 1)` for every node under independent uniform
+/// inputs (`P = 0.5` per PI).
+pub fn signal_probabilities(net: &LutNetwork) -> Vec<f64> {
+    signal_probabilities_with_inputs(net, 0.5)
+}
+
+/// Like [`signal_probabilities`] with a custom per-PI one-probability.
+pub fn signal_probabilities_with_inputs(net: &LutNetwork, pi_prob: f64) -> Vec<f64> {
+    let mut probs = vec![0.0f64; net.len()];
+    for id in net.node_ids() {
+        probs[id.index()] = match net.kind(id) {
+            NodeKind::Pi { .. } => pi_prob,
+            NodeKind::Lut { fanins, tt } => {
+                let arity = fanins.len();
+                let mut p1 = 0.0;
+                for m in 0..(1u64 << arity) {
+                    if !tt.eval(m) {
+                        continue;
+                    }
+                    let mut pm = 1.0;
+                    for (i, f) in fanins.iter().enumerate() {
+                        let pf = probs[f.index()];
+                        pm *= if (m >> i) & 1 == 1 { pf } else { 1.0 - pf };
+                    }
+                    p1 += pm;
+                }
+                p1
+            }
+        };
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_netlist::TruthTable;
+
+    #[test]
+    fn basic_gates() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let and = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let or = net.add_lut(vec![a, b], TruthTable::or2()).unwrap();
+        let xor = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+        let not = net.add_lut(vec![and], TruthTable::not1()).unwrap();
+        net.add_po(xor, "x");
+        let p = signal_probabilities(&net);
+        assert!((p[a.index()] - 0.5).abs() < 1e-12);
+        assert!((p[and.index()] - 0.25).abs() < 1e-12);
+        assert!((p[or.index()] - 0.75).abs() < 1e-12);
+        assert!((p[xor.index()] - 0.5).abs() < 1e-12);
+        assert!((p[not.index()] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_and_chain_probability_decays() {
+        let mut net = LutNetwork::new();
+        let mut cur = net.add_pi("p0");
+        for i in 1..6 {
+            let pi = net.add_pi(format!("p{i}"));
+            cur = net.add_lut(vec![cur, pi], TruthTable::and2()).unwrap();
+        }
+        net.add_po(cur, "f");
+        let p = signal_probabilities(&net);
+        assert!((p[cur.index()] - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_are_certain() {
+        let mut net = LutNetwork::new();
+        let _ = net.add_pi("a");
+        let one = net.add_const(true);
+        let zero = net.add_const(false);
+        net.add_po(one, "one");
+        let p = signal_probabilities(&net);
+        assert_eq!(p[one.index()], 1.0);
+        assert_eq!(p[zero.index()], 0.0);
+    }
+
+    #[test]
+    fn tree_estimates_are_exact() {
+        // On a fanout-free tree the independence assumption holds, so
+        // the estimate must equal the exact minterm count fraction.
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let d = net.add_pi("d");
+        let x = net.add_lut(vec![a, b], TruthTable::nand2()).unwrap();
+        let y = net.add_lut(vec![c, d], TruthTable::xor2()).unwrap();
+        let f = net.add_lut(vec![x, y], TruthTable::or2()).unwrap();
+        net.add_po(f, "f");
+        let p = signal_probabilities(&net);
+        let mut ones = 0;
+        for m in 0..16u32 {
+            let ins: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            if net.eval(&ins)[f.index()] {
+                ones += 1;
+            }
+        }
+        assert!((p[f.index()] - ones as f64 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_inputs() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let and = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        net.add_po(and, "f");
+        let p = signal_probabilities_with_inputs(&net, 0.9);
+        assert!((p[and.index()] - 0.81).abs() < 1e-12);
+    }
+}

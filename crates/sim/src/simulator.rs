@@ -1,0 +1,333 @@
+//! Word-parallel network simulation.
+//!
+//! Each node's value over 64 patterns is computed in one pass over its
+//! truth table's on-set cubes: a cube contributes the AND of its
+//! specified fanin lanes (complemented as needed), and the node lane
+//! is the OR of the cube terms. For the ≤ 6-input LUTs of the paper's
+//! flow the covers are small, so this beats per-minterm evaluation.
+
+use simgen_netlist::{LutNetwork, NodeId, NodeKind};
+
+use crate::patterns::PatternSet;
+
+/// The simulation signature of every node over a pattern set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimResult {
+    num_patterns: usize,
+    /// `lanes[node][w]`: the node's value bits for patterns `64w..`.
+    lanes: Vec<Vec<u64>>,
+}
+
+impl SimResult {
+    /// An empty result for incremental simulation (zero patterns).
+    pub fn empty(net: &LutNetwork) -> Self {
+        SimResult {
+            num_patterns: 0,
+            lanes: vec![Vec::new(); net.len()],
+        }
+    }
+
+    /// Number of simulated patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of nodes covered by this result.
+    pub fn num_nodes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Appends one pattern incrementally: a scalar evaluation of the
+    /// network (O(nodes)) plus a bit append per lane — far cheaper
+    /// than resimulating the whole accumulated pattern set when
+    /// counterexamples arrive one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the network's PI count.
+    pub fn push_pattern(&mut self, net: &LutNetwork, vector: &[bool]) {
+        let vals = net.eval(vector);
+        let word = self.num_patterns / 64;
+        let bit = self.num_patterns % 64;
+        for (lane, &v) in self.lanes.iter_mut().zip(&vals) {
+            if bit == 0 {
+                lane.push(0);
+            }
+            if v {
+                lane[word] |= 1 << bit;
+            }
+        }
+        self.num_patterns += 1;
+    }
+
+    /// Appends a whole pattern block incrementally (word-parallel
+    /// simulation of just the new block).
+    pub fn extend_patterns(&mut self, net: &LutNetwork, patterns: &PatternSet) {
+        if patterns.num_patterns() == 0 {
+            return;
+        }
+        let block = simulate(net, patterns);
+        if self.num_patterns % 64 == 0 {
+            // Word-aligned: splice the block lanes in directly.
+            for (lane, extra) in self.lanes.iter_mut().zip(block.lanes) {
+                lane.extend(extra);
+            }
+            self.num_patterns += block.num_patterns;
+        } else {
+            for p in 0..patterns.num_patterns() {
+                let word = self.num_patterns / 64;
+                let bit = self.num_patterns % 64;
+                for (node, lane) in self.lanes.iter_mut().enumerate() {
+                    if bit == 0 {
+                        lane.push(0);
+                    }
+                    if (block.lanes[node][p / 64] >> (p % 64)) & 1 == 1 {
+                        lane[word] |= 1 << bit;
+                    }
+                }
+                self.num_patterns += 1;
+            }
+        }
+    }
+
+    /// The full word lane (signature) of a node.
+    pub fn signature(&self, node: NodeId) -> &[u64] {
+        &self.lanes[node.index()]
+    }
+
+    /// The value of `node` under pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_patterns`.
+    pub fn value(&self, node: NodeId, p: usize) -> bool {
+        assert!(p < self.num_patterns, "pattern index out of range");
+        (self.lanes[node.index()][p / 64] >> (p % 64)) & 1 == 1
+    }
+
+    /// True if two nodes have identical signatures.
+    pub fn same_signature(&self, a: NodeId, b: NodeId) -> bool {
+        self.lanes[a.index()] == self.lanes[b.index()]
+    }
+
+    /// A pattern index on which the two nodes differ, if any.
+    pub fn distinguishing_pattern(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let (la, lb) = (&self.lanes[a.index()], &self.lanes[b.index()]);
+        for (w, (&wa, &wb)) in la.iter().zip(lb).enumerate() {
+            let diff = wa ^ wb;
+            if diff != 0 {
+                let p = w * 64 + diff.trailing_zeros() as usize;
+                if p < self.num_patterns {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Simulates all patterns through the network, producing per-node
+/// signatures.
+///
+/// # Panics
+///
+/// Panics if `patterns.num_pis()` differs from the network's PI count.
+pub fn simulate(net: &LutNetwork, patterns: &PatternSet) -> SimResult {
+    assert_eq!(
+        patterns.num_pis(),
+        net.num_pis(),
+        "pattern width must match network pis"
+    );
+    let num_words = patterns.num_words();
+    let tail_mask = tail_mask(patterns.num_patterns());
+    let mut lanes: Vec<Vec<u64>> = Vec::with_capacity(net.len());
+    for id in net.node_ids() {
+        let lane = match net.kind(id) {
+            NodeKind::Pi { index } => patterns.lane(*index).to_vec(),
+            NodeKind::Lut { fanins, tt } => {
+                let mut out = vec![0u64; num_words];
+                if tt.is_const1() {
+                    out.fill(u64::MAX);
+                } else {
+                    for cube in tt.onset_cover() {
+                        for w in 0..num_words {
+                            let mut term = u64::MAX;
+                            for (i, f) in fanins.iter().enumerate() {
+                                match cube.input(i) {
+                                    Some(true) => term &= lanes[f.index()][w],
+                                    Some(false) => term &= !lanes[f.index()][w],
+                                    None => {}
+                                }
+                            }
+                            out[w] |= term;
+                        }
+                    }
+                }
+                if let Some(last) = out.last_mut() {
+                    *last &= tail_mask;
+                }
+                out
+            }
+        };
+        lanes.push(lane);
+    }
+    SimResult {
+        num_patterns: patterns.num_patterns(),
+        lanes,
+    }
+}
+
+fn tail_mask(num_patterns: usize) -> u64 {
+    let rem = num_patterns % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use simgen_netlist::TruthTable;
+
+    fn random_network(seed: u64, pis: usize, luts: usize) -> LutNetwork {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = LutNetwork::new();
+        let mut pool: Vec<NodeId> = (0..pis).map(|i| net.add_pi(format!("p{i}"))).collect();
+        for _ in 0..luts {
+            let k = rng.gen_range(1..=4usize).min(pool.len());
+            let mut fanins = Vec::with_capacity(k);
+            while fanins.len() < k {
+                let cand = pool[rng.gen_range(0..pool.len())];
+                if !fanins.contains(&cand) {
+                    fanins.push(cand);
+                }
+            }
+            let tt = TruthTable::random(fanins.len(), &mut rng);
+            pool.push(net.add_lut(fanins, tt).unwrap());
+        }
+        net.add_po(*pool.last().unwrap(), "f");
+        net
+    }
+
+    #[test]
+    fn matches_scalar_eval_exhaustively() {
+        let net = random_network(1, 4, 10);
+        // All 16 input combinations as one pattern set.
+        let vectors: Vec<Vec<bool>> = (0..16u32)
+            .map(|m| (0..4).map(|i| (m >> i) & 1 == 1).collect())
+            .collect();
+        let patterns = PatternSet::from_vectors(4, &vectors);
+        let sim = simulate(&net, &patterns);
+        for (p, v) in vectors.iter().enumerate() {
+            let scalar = net.eval(v);
+            for id in net.node_ids() {
+                assert_eq!(
+                    sim.value(id, p),
+                    scalar[id.index()],
+                    "node {id} pattern {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scalar_eval_on_random_patterns() {
+        let net = random_network(2, 8, 40);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let patterns = PatternSet::random(8, 200, &mut rng);
+        let sim = simulate(&net, &patterns);
+        assert_eq!(sim.num_patterns(), 200);
+        for p in (0..200).step_by(17) {
+            let v = patterns.vector(p);
+            let scalar = net.eval(&v);
+            for id in net.node_ids() {
+                assert_eq!(sim.value(id, p), scalar[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_detect_equality_and_difference() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let x = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let y = net.add_lut(vec![b, a], TruthTable::and2()).unwrap();
+        let z = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
+        net.add_po(z, "z");
+        let vectors: Vec<Vec<bool>> = (0..4u32)
+            .map(|m| vec![m & 1 == 1, m & 2 == 2])
+            .collect();
+        let patterns = PatternSet::from_vectors(2, &vectors);
+        let sim = simulate(&net, &patterns);
+        assert!(sim.same_signature(x, y));
+        assert!(!sim.same_signature(x, z));
+        let p = sim.distinguishing_pattern(x, z).unwrap();
+        assert_ne!(sim.value(x, p), sim.value(z, p));
+        assert_eq!(sim.distinguishing_pattern(x, y), None);
+    }
+
+    #[test]
+    fn constant_luts_simulate_correctly() {
+        let mut net = LutNetwork::new();
+        let _ = net.add_pi("a");
+        let one = net.add_const(true);
+        let zero = net.add_const(false);
+        net.add_po(one, "one");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let patterns = PatternSet::random(1, 100, &mut rng);
+        let sim = simulate(&net, &patterns);
+        for p in 0..100 {
+            assert!(sim.value(one, p));
+            assert!(!sim.value(zero, p));
+        }
+        // Tail bits beyond pattern 100 must be masked for signature
+        // comparisons to be meaningful.
+        assert_eq!(sim.signature(one).last().unwrap() >> (100 - 64), 0);
+    }
+
+    #[test]
+    fn incremental_matches_batch_simulation() {
+        let net = random_network(11, 6, 30);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let patterns = PatternSet::random(6, 150, &mut rng);
+        let batch = simulate(&net, &patterns);
+        // Push one at a time.
+        let mut inc = SimResult::empty(&net);
+        for p in 0..150 {
+            inc.push_pattern(&net, &patterns.vector(p));
+        }
+        assert_eq!(inc, batch);
+        // Mixed block sizes, including unaligned appends.
+        let mut inc = SimResult::empty(&net);
+        let mut done = 0;
+        for chunk in [64usize, 1, 7, 64, 14] {
+            let vectors: Vec<Vec<bool>> =
+                (done..done + chunk).map(|p| patterns.vector(p)).collect();
+            inc.extend_patterns(&net, &PatternSet::from_vectors(6, &vectors));
+            done += chunk;
+        }
+        assert_eq!(done, 150);
+        assert_eq!(inc, batch);
+    }
+
+    #[test]
+    fn tail_masking_keeps_signatures_comparable() {
+        // A node equal to constant 1 on all patterns must compare
+        // equal to an explicit constant-1 node even with a partial
+        // last word.
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let na = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let taut = net.add_lut(vec![a, na], TruthTable::or2()).unwrap();
+        let one = net.add_const(true);
+        net.add_po(taut, "t");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let patterns = PatternSet::random(1, 70, &mut rng);
+        let sim = simulate(&net, &patterns);
+        assert!(sim.same_signature(taut, one));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests of the simulation layer: word-parallel vs scalar
+//! agreement, incremental-update equivalence under arbitrary
+//! chunkings, and refinement monotonicity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simgen_netlist::{LutNetwork, NodeId, TruthTable};
+
+use simgen_sim::EquivClasses;
+use simgen_sim::PatternSet;
+use simgen_sim::signal_probabilities;
+use simgen_sim::{simulate, SimResult};
+
+#[derive(Clone, Debug)]
+struct NetSpec {
+    pis: usize,
+    luts: Vec<(Vec<usize>, u64)>,
+}
+
+fn arb_net() -> impl Strategy<Value = NetSpec> {
+    (
+        1usize..6,
+        prop::collection::vec(
+            (prop::collection::vec(0usize..999, 1..4), any::<u64>()),
+            1..25,
+        ),
+    )
+        .prop_map(|(pis, luts)| NetSpec { pis, luts })
+}
+
+fn build(spec: &NetSpec) -> LutNetwork {
+    let mut net = LutNetwork::new();
+    let mut pool: Vec<NodeId> = (0..spec.pis).map(|i| net.add_pi(format!("p{i}"))).collect();
+    for (picks, bits) in &spec.luts {
+        let mut fanins = Vec::new();
+        for &p in picks {
+            let cand = pool[p % pool.len()];
+            if !fanins.contains(&cand) {
+                fanins.push(cand);
+            }
+        }
+        let tt = TruthTable::from_bits(fanins.len(), *bits).expect("arity <= 3");
+        pool.push(net.add_lut(fanins, tt).expect("topo"));
+    }
+    net.add_po(*pool.last().expect("nonempty"), "f");
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn word_parallel_matches_scalar(spec in arb_net(), seed in any::<u64>(), n in 1usize..150) {
+        let net = build(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pats = PatternSet::random(net.num_pis(), n, &mut rng);
+        let sim = simulate(&net, &pats);
+        for p in (0..n).step_by(1 + n / 10) {
+            let scalar = net.eval(&pats.vector(p));
+            for id in net.node_ids() {
+                prop_assert_eq!(sim.value(id, p), scalar[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_equals_batch_under_chunking(
+        spec in arb_net(),
+        seed in any::<u64>(),
+        chunks in prop::collection::vec(1usize..70, 1..6)
+    ) {
+        let net = build(&spec);
+        let total: usize = chunks.iter().sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pats = PatternSet::random(net.num_pis(), total, &mut rng);
+        let batch = simulate(&net, &pats);
+        let mut inc = SimResult::empty(&net);
+        let mut done = 0;
+        for &c in &chunks {
+            let vectors: Vec<Vec<bool>> = (done..done + c).map(|p| pats.vector(p)).collect();
+            inc.extend_patterns(&net, &PatternSet::from_vectors(net.num_pis(), &vectors));
+            done += c;
+        }
+        prop_assert_eq!(inc, batch);
+    }
+
+    #[test]
+    fn refinement_is_monotone_and_consistent(spec in arb_net(), seed in any::<u64>()) {
+        let net = build(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = SimResult::empty(&net);
+        let first = PatternSet::random(net.num_pis(), 2, &mut rng);
+        sim.extend_patterns(&net, &first);
+        let mut classes = EquivClasses::initial(&net, &sim);
+        let mut last_cost = classes.cost();
+        for _ in 0..5 {
+            let extra = PatternSet::random(net.num_pis(), 1, &mut rng);
+            sim.extend_patterns(&net, &extra);
+            classes.refine(&sim);
+            let cost = classes.cost();
+            prop_assert!(cost <= last_cost, "cost must not increase");
+            last_cost = cost;
+            for class in classes.classes() {
+                for &n in &class[1..] {
+                    prop_assert!(sim.same_signature(class[0], n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_are_probabilities(spec in arb_net()) {
+        let net = build(&spec);
+        let probs = signal_probabilities(&net);
+        for id in net.node_ids() {
+            let p = probs[id.index()];
+            prop_assert!((0.0..=1.0).contains(&p), "p({id}) = {p}");
+        }
+        // Complemented function has complemented probability.
+        let last = net.node_ids().last().expect("nonempty");
+        if let Some(tt) = net.truth_table(last) {
+            let mut net2 = net.clone();
+            let inv = net2
+                .add_lut(vec![last], TruthTable::not1())
+                .expect("inverter");
+            let probs2 = signal_probabilities(&net2);
+            prop_assert!((probs2[inv.index()] - (1.0 - probs[last.index()])).abs() < 1e-9);
+            let _ = tt;
+        }
+    }
+}

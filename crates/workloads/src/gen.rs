@@ -1,0 +1,726 @@
+//! Parameterized AIG generators: the circuit families the benchmark
+//! suites are built from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simgen_netlist::aig::{Aig, AigLit};
+
+/// Ripple-carry adder: two `width`-bit inputs plus carry-in.
+pub fn adder(width: usize) -> Aig {
+    let mut g = Aig::with_name(format!("add{width}"));
+    let a = g.add_pis(width);
+    let b = g.add_pis(width);
+    let cin = g.add_pi();
+    let mut carry = cin;
+    for i in 0..width {
+        let x = g.xor(a[i], b[i]);
+        let s = g.xor(x, carry);
+        let c1 = g.and(a[i], b[i]);
+        let c2 = g.and(x, carry);
+        carry = g.or(c1, c2);
+        g.add_po(s, format!("s{i}"));
+    }
+    g.add_po(carry, "cout");
+    g
+}
+
+/// Array multiplier producing the low `width` product bits.
+pub fn multiplier(width: usize) -> Aig {
+    let mut g = Aig::with_name(format!("mul{width}"));
+    let a = g.add_pis(width);
+    let b = g.add_pis(width);
+    // Partial products accumulated column-wise with full adders.
+    let mut columns: Vec<Vec<AigLit>> = vec![Vec::new(); width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            if i + j < width {
+                let pp = g.and(ai, bj);
+                columns[i + j].push(pp);
+            }
+        }
+    }
+    for col in 0..width {
+        while columns[col].len() > 1 {
+            if columns[col].len() >= 3 {
+                let x = columns[col].pop().expect("len>=3");
+                let y = columns[col].pop().expect("len>=2");
+                let z = columns[col].pop().expect("len>=1");
+                let t = g.xor(x, y);
+                let s = g.xor(t, z);
+                let c = g.maj3(x, y, z);
+                columns[col].push(s);
+                if col + 1 < width {
+                    columns[col + 1].push(c);
+                }
+            } else {
+                let x = columns[col].pop().expect("len>=2");
+                let y = columns[col].pop().expect("len>=1");
+                let s = g.xor(x, y);
+                let c = g.and(x, y);
+                columns[col].push(s);
+                if col + 1 < width {
+                    columns[col + 1].push(c);
+                }
+            }
+        }
+    }
+    for (col, bits) in columns.iter().enumerate() {
+        let bit = bits.first().copied().unwrap_or(AigLit::FALSE);
+        g.add_po(bit, format!("p{col}"));
+    }
+    g
+}
+
+/// A small ALU: add/sub/and/or/xor/slt over two `width`-bit operands,
+/// selected by a 3-bit opcode.
+pub fn alu(width: usize) -> Aig {
+    let mut g = Aig::with_name(format!("alu{width}"));
+    let a = g.add_pis(width);
+    let b = g.add_pis(width);
+    let op = g.add_pis(3);
+    // Adder/subtractor: b ^ sub, carry-in = sub.
+    let sub = op[0];
+    let mut carry = sub;
+    let mut addsub = Vec::with_capacity(width);
+    for i in 0..width {
+        let bi = g.xor(b[i], sub);
+        let x = g.xor(a[i], bi);
+        let s = g.xor(x, carry);
+        let c1 = g.and(a[i], bi);
+        let c2 = g.and(x, carry);
+        carry = g.or(c1, c2);
+        addsub.push(s);
+    }
+    for i in 0..width {
+        let and = g.and(a[i], b[i]);
+        let or = g.or(a[i], b[i]);
+        let xor = g.xor(a[i], b[i]);
+        // op[2:1]: 00 addsub, 01 and, 10 or, 11 xor.
+        let lo = g.mux(op[1], and, addsub[i]);
+        let hi = g.mux(op[1], xor, or);
+        let out = g.mux(op[2], hi, lo);
+        g.add_po(out, format!("r{i}"));
+    }
+    g.add_po(carry, "flag");
+    g
+}
+
+/// Two-level PLA-style logic: `outputs` sums of random cubes over
+/// `inputs` variables — the apex/table/misex family shape.
+pub fn pla(inputs: usize, outputs: usize, cubes: usize, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::with_name(format!("pla{inputs}x{outputs}"));
+    let pis = g.add_pis(inputs);
+    // A shared pool of product terms (PLAs share cubes across outputs).
+    let mut products = Vec::with_capacity(cubes);
+    for _ in 0..cubes {
+        let k = rng.gen_range(2..=inputs.min(5));
+        let mut lits = Vec::with_capacity(k);
+        let mut used = vec![false; inputs];
+        while lits.len() < k {
+            let v = rng.gen_range(0..inputs);
+            if used[v] {
+                continue;
+            }
+            used[v] = true;
+            let l = pis[v];
+            lits.push(if rng.gen() { l } else { !l });
+        }
+        products.push(g.and_many(&lits));
+    }
+    for o in 0..outputs {
+        let n = rng.gen_range(2..=(cubes / 2).max(3).min(cubes));
+        let chosen: Vec<AigLit> = (0..n)
+            .map(|_| products[rng.gen_range(0..products.len())])
+            .collect();
+        let out = g.or_many(&chosen);
+        g.add_po(out, format!("o{o}"));
+    }
+    g
+}
+
+/// Multi-level PLA: `stages` cascaded two-level blocks, each feeding
+/// the next (plus fresh PI taps), emulating the multilevel structure
+/// optimized MCNC circuits have after synthesis. Intermediate signals
+/// are highly correlated, which is what keeps equivalence classes
+/// alive under random simulation.
+pub fn pla_cascade(
+    inputs: usize,
+    outputs: usize,
+    cubes: usize,
+    stages: usize,
+    seed: u64,
+) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::with_name(format!("plac{inputs}x{outputs}x{stages}"));
+    let pis = g.add_pis(inputs);
+    let mut signals: Vec<AigLit> = pis.clone();
+    for _stage in 0..stages.max(1) {
+        // Shared product terms over the current signal layer.
+        let mut products = Vec::with_capacity(cubes);
+        for _ in 0..cubes {
+            let k = rng.gen_range(2..=5usize.min(signals.len()));
+            let mut lits = Vec::with_capacity(k);
+            let mut used = std::collections::HashSet::new();
+            while lits.len() < k {
+                let v = rng.gen_range(0..signals.len());
+                if !used.insert(v) {
+                    continue;
+                }
+                let l = signals[v];
+                lits.push(if rng.gen() { l } else { !l });
+            }
+            products.push(g.and_many(&lits));
+        }
+        let width = outputs.max(inputs / 2);
+        let mut next = Vec::with_capacity(width);
+        for _ in 0..width {
+            let n = rng.gen_range(2..=(cubes / 2).max(3).min(cubes));
+            let chosen: Vec<AigLit> = (0..n)
+                .map(|_| products[rng.gen_range(0..products.len())])
+                .collect();
+            next.push(g.or_many(&chosen));
+        }
+        // Next layer sees the new functions plus some original PIs.
+        let mut layer = next;
+        for _ in 0..(inputs / 4).max(1) {
+            layer.push(pis[rng.gen_range(0..inputs)]);
+        }
+        signals = layer;
+    }
+    for o in 0..outputs {
+        g.add_po(signals[o % signals.len()], format!("o{o}"));
+    }
+    g
+}
+
+/// Priority encoder over `width` request lines: one-hot grant plus a
+/// "valid" output.
+pub fn priority_encoder(width: usize) -> Aig {
+    let mut g = Aig::with_name(format!("prio{width}"));
+    let req = g.add_pis(width);
+    let mut none_above = AigLit::TRUE;
+    for i in 0..width {
+        let grant = g.and(req[i], none_above);
+        g.add_po(grant, format!("g{i}"));
+        none_above = g.and(none_above, !req[i]);
+    }
+    g.add_po(!none_above, "valid");
+    g
+}
+
+/// Round-robin-ish arbiter: priority rotated by a pointer input.
+pub fn arbiter(width: usize) -> Aig {
+    let ptr_bits = width.next_power_of_two().trailing_zeros() as usize;
+    let mut g = Aig::with_name(format!("arb{width}"));
+    let req = g.add_pis(width);
+    let ptr = g.add_pis(ptr_bits.max(1));
+    // For each rotation r, a priority chain; outputs muxed by pointer.
+    let mut grants_by_rot: Vec<Vec<AigLit>> = Vec::with_capacity(width);
+    for r in 0..width {
+        let mut none = AigLit::TRUE;
+        let mut grants = vec![AigLit::FALSE; width];
+        for k in 0..width {
+            let i = (r + k) % width;
+            grants[i] = g.and(req[i], none);
+            none = g.and(none, !req[i]);
+        }
+        grants_by_rot.push(grants);
+    }
+    for i in 0..width {
+        // Select grants_by_rot[ptr % width][i] with a mux tree.
+        let mut layer: Vec<AigLit> = (0..width.next_power_of_two())
+            .map(|r| grants_by_rot[r % width][i])
+            .collect();
+        let mut bit = 0;
+        while layer.len() > 1 {
+            let sel = ptr[bit.min(ptr.len() - 1)];
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(g.mux(sel, pair[1], pair[0]));
+            }
+            layer = next;
+            bit += 1;
+        }
+        g.add_po(layer[0], format!("g{i}"));
+    }
+    g
+}
+
+/// Binary decoder: `bits` select lines to `2^bits` one-hot outputs
+/// with an enable.
+pub fn decoder(bits: usize) -> Aig {
+    let mut g = Aig::with_name(format!("dec{bits}"));
+    let sel = g.add_pis(bits);
+    let en = g.add_pi();
+    for v in 0..(1usize << bits) {
+        let lits: Vec<AigLit> = sel
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if (v >> i) & 1 == 1 { s } else { !s })
+            .collect();
+        let term = g.and_many(&lits);
+        let out = g.and(term, en);
+        g.add_po(out, format!("d{v}"));
+    }
+    g
+}
+
+/// Majority voter: `width` inputs, output 1 when more than half are 1
+/// (a popcount comparator, the EPFL "voter" shape).
+pub fn voter(width: usize) -> Aig {
+    let mut g = Aig::with_name(format!("voter{width}"));
+    let ins = g.add_pis(width);
+    // Popcount via an adder tree of (sum) vectors.
+    let mut sums: Vec<Vec<AigLit>> = ins.iter().map(|&l| vec![l]).collect();
+    while sums.len() > 1 {
+        let mut next = Vec::with_capacity(sums.len() / 2 + 1);
+        let mut it = sums.into_iter();
+        while let (Some(x), y) = (it.next(), it.next()) {
+            match y {
+                Some(y) => next.push(add_vectors(&mut g, &x, &y)),
+                None => next.push(x),
+            }
+        }
+        sums = next;
+    }
+    let count = &sums[0];
+    // count > width/2  <=>  count >= floor(width/2)+1.
+    let threshold = width / 2 + 1;
+    let ge = vector_ge_const(&mut g, count, threshold as u64);
+    g.add_po(ge, "maj");
+    g
+}
+
+fn add_vectors(g: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    let w = a.len().max(b.len()) + 1;
+    let mut out = Vec::with_capacity(w);
+    let mut carry = AigLit::FALSE;
+    for i in 0..w {
+        let x = a.get(i).copied().unwrap_or(AigLit::FALSE);
+        let y = b.get(i).copied().unwrap_or(AigLit::FALSE);
+        let t = g.xor(x, y);
+        let s = g.xor(t, carry);
+        carry = g.maj3(x, y, carry);
+        out.push(s);
+    }
+    out
+}
+
+fn vector_ge_const(g: &mut Aig, v: &[AigLit], c: u64) -> AigLit {
+    // v >= c, folded LSB-first: R_i = (v[i] > c[i]) | (v[i] == c[i]) & R_{i-1}.
+    let mut result = AigLit::TRUE;
+    for i in 0..v.len() {
+        let cb = (c >> i) & 1 == 1;
+        result = if cb {
+            // need v[i] = 1 to stay >=; v[i]=0 makes it <.
+            g.and(v[i], result)
+        } else {
+            // v[i]=1 makes it >; v[i]=0 keeps comparing.
+            g.or(v[i], result)
+        };
+    }
+    result
+}
+
+/// CORDIC-style shift-add pipeline: `stages` conditional add/sub
+/// stages over two `width`-bit registers.
+pub fn cordic(width: usize, stages: usize) -> Aig {
+    let mut g = Aig::with_name(format!("cordic{width}x{stages}"));
+    let mut x: Vec<AigLit> = g.add_pis(width);
+    let mut y: Vec<AigLit> = g.add_pis(width);
+    let dir = g.add_pis(stages);
+    for s in 0..stages {
+        let shift = (s + 1).min(width - 1);
+        // y >> shift and x >> shift (logical).
+        let ys: Vec<AigLit> = (0..width)
+            .map(|i| y.get(i + shift).copied().unwrap_or(AigLit::FALSE))
+            .collect();
+        let xs: Vec<AigLit> = (0..width)
+            .map(|i| x.get(i + shift).copied().unwrap_or(AigLit::FALSE))
+            .collect();
+        // x' = x ± ys, y' = y ∓ xs (add/sub selected by dir[s]).
+        x = addsub(&mut g, &x, &ys, dir[s]);
+        y = addsub(&mut g, &y, &xs, !dir[s]);
+    }
+    for (i, &b) in x.iter().enumerate() {
+        g.add_po(b, format!("x{i}"));
+    }
+    for (i, &b) in y.iter().enumerate() {
+        g.add_po(b, format!("y{i}"));
+    }
+    g
+}
+
+fn addsub(g: &mut Aig, a: &[AigLit], b: &[AigLit], sub: AigLit) -> Vec<AigLit> {
+    let mut carry = sub;
+    let mut out = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let bi = g.xor(b[i], sub);
+        let t = g.xor(a[i], bi);
+        let s = g.xor(t, carry);
+        carry = g.maj3(a[i], bi, carry);
+        out.push(s);
+    }
+    out
+}
+
+/// DES-flavored substitution/permutation rounds: random 4-bit S-boxes
+/// and bit permutations applied `rounds` times with round-key XORs.
+pub fn spn(width: usize, rounds: usize, seed: u64) -> Aig {
+    assert!(width % 4 == 0, "spn width must be a multiple of 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::with_name(format!("spn{width}x{rounds}"));
+    let mut state: Vec<AigLit> = g.add_pis(width);
+    let key: Vec<AigLit> = g.add_pis(width);
+    // Fixed random S-box (4 -> 4) per round, shared across nibbles.
+    for r in 0..rounds {
+        // Key mixing (rotated key).
+        state = state
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| g.xor(s, key[(i + r) % width]))
+            .collect();
+        // S-boxes: each output bit is a random function of the nibble.
+        let sbox: Vec<u16> = (0..4).map(|_| rng.gen()).collect();
+        let mut next = Vec::with_capacity(width);
+        for nib in 0..width / 4 {
+            let bits = &state[nib * 4..nib * 4 + 4];
+            for out_bit in 0..4 {
+                let f = sbox[out_bit];
+                // Sum of minterms of the 4-input function.
+                let mut terms = Vec::new();
+                for m in 0..16u16 {
+                    if (f >> m) & 1 == 1 {
+                        let lits: Vec<AigLit> = (0..4)
+                            .map(|i| {
+                                if (m >> i) & 1 == 1 {
+                                    bits[i]
+                                } else {
+                                    !bits[i]
+                                }
+                            })
+                            .collect();
+                        terms.push(g.and_many(&lits));
+                    }
+                }
+                next.push(g.or_many(&terms));
+            }
+        }
+        // Permutation.
+        let mut perm: Vec<usize> = (0..width).collect();
+        for i in (1..width).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        state = perm.iter().map(|&i| next[i]).collect();
+    }
+    for (i, &b) in state.iter().enumerate() {
+        g.add_po(b, format!("c{i}"));
+    }
+    g
+}
+
+/// Random reconvergent DAG logic (the "i10"-style random glue).
+pub fn random_logic(inputs: usize, gates: usize, outputs: usize, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::with_name(format!("rand{inputs}x{gates}"));
+    let pis = g.add_pis(inputs);
+    let mut pool = pis;
+    for _ in 0..gates {
+        let a = pool[rng.gen_range(0..pool.len())];
+        // Bias toward recent nodes for depth.
+        let lo = pool.len().saturating_sub(20);
+        let b = pool[rng.gen_range(lo..pool.len())];
+        let a = if rng.gen() { a } else { !a };
+        let b = if rng.gen() { b } else { !b };
+        pool.push(g.and(a, b));
+    }
+    for o in 0..outputs {
+        let l = pool[pool.len() - 1 - (o % pool.len().min(50))];
+        g.add_po(l, format!("o{o}"));
+    }
+    g
+}
+
+/// ITC'99-style mixed core: a control FSM's next-state logic plus a
+/// `rounds`-deep datapath of adders, subtractors, shifters and muxes
+/// sharing inputs — the b14..b22 family.
+pub fn itc_core_rounds(width: usize, fsm_states: usize, rounds: usize, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::with_name(format!("itc{width}"));
+    let state_bits = fsm_states.next_power_of_two().trailing_zeros().max(1) as usize;
+    let mut data_a = g.add_pis(width);
+    let mut data_b = g.add_pis(width);
+    let state = g.add_pis(state_bits);
+    let flags = g.add_pis(4);
+
+    // State decoding (shared by all rounds).
+    let mut state_hot = Vec::with_capacity(4);
+    for v in 0..4usize {
+        let lits: Vec<AigLit> = state
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if (v >> i) & 1 == 1 { s } else { !s })
+            .collect();
+        state_hot.push(g.and_many(&lits));
+    }
+
+    for round in 0..rounds.max(1) {
+        // Datapath: add, sub, shift, pass — muxed by decoded state.
+        let sum = addsub(&mut g, &data_a, &data_b, AigLit::FALSE);
+        let diff = addsub(&mut g, &data_a, &data_b, AigLit::TRUE);
+        let shifted: Vec<AigLit> = (0..width)
+            .map(|i| {
+                if i == 0 {
+                    flags[round % 4]
+                } else {
+                    data_a[i - 1]
+                }
+            })
+            .collect();
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            let t0 = g.and(state_hot[0], sum[i]);
+            let t1 = g.and(state_hot[1], diff[i]);
+            let t2 = g.and(state_hot[2], shifted[i]);
+            let t3 = g.and(state_hot[3], data_b[i]);
+            let o1 = g.or(t0, t1);
+            let o2 = g.or(t2, t3);
+            out.push(g.or(o1, o2));
+        }
+        // Chain: this round's result becomes the next round's operand.
+        data_b = data_a;
+        data_a = out;
+    }
+    for (i, &b) in data_a.iter().enumerate() {
+        g.add_po(b, format!("d{i}"));
+    }
+    // Next-state logic: random transition conditions over flags and
+    // data zero-detection.
+    let a_zero = {
+        let ors = g.or_many(&data_a);
+        !ors
+    };
+    for sb in 0..state_bits {
+        let mut terms = Vec::new();
+        for _ in 0..fsm_states {
+            let mut lits = vec![state[rng.gen_range(0..state_bits)]];
+            lits.push(flags[rng.gen_range(0..4)]);
+            if rng.gen() {
+                lits.push(a_zero);
+            }
+            let lits: Vec<AigLit> = lits
+                .into_iter()
+                .map(|l| if rng.gen() { l } else { !l })
+                .collect();
+            terms.push(g.and_many(&lits));
+        }
+        let ns = g.or_many(&terms);
+        g.add_po(ns, format!("ns{sb}"));
+    }
+    g
+}
+
+/// Single-round [`itc_core_rounds`] (kept for small control cores).
+pub fn itc_core(width: usize, fsm_states: usize, seed: u64) -> Aig {
+    itc_core_rounds(width, fsm_states, 1, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_u64(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn from_u64(x: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (x >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn adder_adds() {
+        let g = adder(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in 0..2u64 {
+                    let mut ins = from_u64(a, 4);
+                    ins.extend(from_u64(b, 4));
+                    ins.push(cin == 1);
+                    let out = g.eval(&ins);
+                    let sum = to_u64(&out);
+                    assert_eq!(sum, a + b + cin, "{a}+{b}+{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies_low_bits() {
+        let g = multiplier(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut ins = from_u64(a, 4);
+                ins.extend(from_u64(b, 4));
+                let out = g.eval(&ins);
+                assert_eq!(to_u64(&out), (a * b) & 0xF, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_operations() {
+        let g = alu(4);
+        for a in [0u64, 3, 9, 15] {
+            for b in [0u64, 5, 12, 15] {
+                for op in 0..8u64 {
+                    let mut ins = from_u64(a, 4);
+                    ins.extend(from_u64(b, 4));
+                    ins.extend(from_u64(op, 3));
+                    let out = g.eval(&ins);
+                    let r = to_u64(&out[..4]);
+                    let expect = match (op >> 1) & 3 {
+                        0 => {
+                            if op & 1 == 1 {
+                                (a.wrapping_sub(b)) & 0xF
+                            } else {
+                                (a + b) & 0xF
+                            }
+                        }
+                        1 => a & b,
+                        2 => a | b,
+                        _ => a ^ b,
+                    };
+                    assert_eq!(r, expect, "a={a} b={b} op={op:03b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_grants_lowest() {
+        let g = priority_encoder(5);
+        for req in 0..32u64 {
+            let out = g.eval(&from_u64(req, 5));
+            let grants = to_u64(&out[..5]);
+            if req == 0 {
+                assert_eq!(grants, 0);
+                assert!(!out[5], "valid low");
+            } else {
+                let lowest = req & req.wrapping_neg();
+                assert_eq!(grants, lowest, "req {req:05b}");
+                assert!(out[5], "valid high");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let g = decoder(3);
+        for v in 0..8u64 {
+            for en in [false, true] {
+                let mut ins = from_u64(v, 3);
+                ins.push(en);
+                let out = g.eval(&ins);
+                for (i, &o) in out.iter().enumerate() {
+                    assert_eq!(o, en && i as u64 == v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voter_is_majority() {
+        let g = voter(7);
+        for m in 0..128u64 {
+            let out = g.eval(&from_u64(m, 7));
+            assert_eq!(out[0], m.count_ones() > 3, "m {m:07b}");
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_exactly_one_when_requested() {
+        let g = arbiter(4);
+        for req in 0..16u64 {
+            for ptr in 0..4u64 {
+                let mut ins = from_u64(req, 4);
+                ins.extend(from_u64(ptr, 2));
+                let out = g.eval(&ins);
+                let grants = to_u64(&out);
+                if req == 0 {
+                    assert_eq!(grants, 0);
+                } else {
+                    assert_eq!(grants.count_ones(), 1, "req {req:04b} ptr {ptr}");
+                    assert_eq!(grants & req, grants, "grant only requesters");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for (a, b) in [
+            (pla(8, 4, 20, 7), pla(8, 4, 20, 7)),
+            (random_logic(6, 50, 4, 3), random_logic(6, 50, 4, 3)),
+            (spn(8, 2, 5), spn(8, 2, 5)),
+            (itc_core(6, 5, 9), itc_core(6, 5, 9)),
+        ] {
+            assert_eq!(a.num_pis(), b.num_pis());
+            assert_eq!(a.num_ands(), b.num_ands());
+            for m in 0..64u64 {
+                let ins = from_u64(m, a.num_pis().min(6));
+                let mut full = ins.clone();
+                full.resize(a.num_pis(), false);
+                assert_eq!(a.eval(&full), b.eval(&full));
+            }
+        }
+    }
+
+    #[test]
+    fn cordic_structure_is_sane() {
+        let g = cordic(8, 4);
+        assert_eq!(g.num_pis(), 8 + 8 + 4);
+        assert_eq!(g.num_pos(), 16);
+        assert!(g.num_ands() > 100);
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn spn_rounds_scramble() {
+        let g = spn(8, 3, 11);
+        assert_eq!(g.num_pis(), 16);
+        assert_eq!(g.num_pos(), 8);
+        // Flipping one input bit must change at least one output on
+        // some key (avalanche sanity, not a cryptographic claim).
+        let base = g.eval(&vec![false; 16]);
+        let mut flipped_in = vec![false; 16];
+        flipped_in[0] = true;
+        let flipped = g.eval(&flipped_in);
+        assert_ne!(base, flipped);
+    }
+
+    #[test]
+    fn all_generators_pass_structural_check() {
+        for g in [
+            adder(8),
+            multiplier(5),
+            alu(6),
+            pla(10, 6, 30, 1),
+            priority_encoder(8),
+            arbiter(4),
+            decoder(4),
+            voter(9),
+            cordic(8, 5),
+            spn(12, 2, 2),
+            random_logic(10, 200, 8, 4),
+            itc_core(8, 6, 5),
+        ] {
+            assert!(g.check().is_ok(), "{} fails check", g.name());
+            assert!(g.num_pos() > 0);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Function-preserving restructuring: produces a structurally
+//! different but functionally identical AIG.
+//!
+//! Real CEC instances compare a design before and after optimization.
+//! We emulate the optimizer with a cut-based resynthesis pass: for a
+//! random subset of nodes, the function of a 4-feasible cut is
+//! re-derived and rebuilt by Shannon expansion over a *permuted* leaf
+//! order, which yields different AND/inverter structure for the same
+//! function. The remaining nodes are copied as-is (modulo structural
+//! hashing). The result pairs with the original to form the sweeping
+//! workload: the two sides share many equivalent internal functions
+//! that random simulation cannot easily tell apart.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simgen_mapping::cuts::enumerate_cuts;
+use simgen_mapping::map::cone_truth_table;
+use simgen_netlist::aig::{Aig, AigLit, AigVar};
+use simgen_netlist::TruthTable;
+
+/// Rebuilds `aig` with roughly `fraction` of its nodes resynthesized
+/// through permuted Shannon decomposition (deterministic per seed).
+///
+/// The output computes exactly the same PO functions.
+pub fn restructure(aig: &Aig, fraction: f64, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cuts = enumerate_cuts(aig, 4, 6);
+    let mut out = Aig::with_name(format!("{}_rw", aig.name()));
+    // map[var] = literal in `out` computing the same function.
+    let mut map: Vec<AigLit> = Vec::with_capacity(aig.num_vars());
+    map.push(AigLit::FALSE);
+    for _ in 0..aig.num_pis() {
+        map.push(out.add_pi());
+    }
+    for i in 0..aig.num_ands() {
+        let v = AigVar((aig.num_pis() + 1 + i) as u32);
+        let cut = cuts[v.0 as usize].best();
+        let resynth = cut.leaves.len() >= 2
+            && cut.leaves.len() <= 4
+            && rng.gen_bool(fraction.clamp(0.0, 1.0));
+        let lit = if resynth {
+            let tt = cone_truth_table(aig, v, &cut.leaves);
+            // Permute the leaves and rebuild by Shannon expansion.
+            let mut order: Vec<usize> = (0..cut.leaves.len()).collect();
+            for k in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=k);
+                order.swap(k, j);
+            }
+            let leaf_lits: Vec<AigLit> =
+                cut.leaves.iter().map(|l| map[l.0 as usize]).collect();
+            build_shannon(&mut out, &tt, &leaf_lits, &order)
+        } else {
+            let (a, b) = aig.and_fanins(v);
+            let fa = translate(&map, a);
+            let fb = translate(&map, b);
+            out.and(fa, fb)
+        };
+        map.push(lit);
+    }
+    for (l, name) in aig.pos() {
+        out.add_po(translate(&map, *l), name.clone());
+    }
+    // Resynthesis leaves the copied cone interiors dangling when a
+    // rebuilt node replaced them; drop the dead logic.
+    out.compact()
+}
+
+fn translate(map: &[AigLit], l: AigLit) -> AigLit {
+    let base = map[l.var().0 as usize];
+    if l.is_complement() {
+        !base
+    } else {
+        base
+    }
+}
+
+/// Builds `tt` over `leaves` by Shannon-expanding variables in the
+/// given order (first entries expanded first = outermost muxes).
+fn build_shannon(g: &mut Aig, tt: &TruthTable, leaves: &[AigLit], order: &[usize]) -> AigLit {
+    if tt.is_const0() {
+        return AigLit::FALSE;
+    }
+    if tt.is_const1() {
+        return AigLit::TRUE;
+    }
+    // Projection or complemented projection?
+    for (i, &leaf) in leaves.iter().enumerate() {
+        let var = TruthTable::var(tt.arity(), i);
+        if *tt == var {
+            return leaf;
+        }
+        if *tt == var.negate() {
+            return !leaf;
+        }
+    }
+    // Find the first order entry the function depends on.
+    let (&v, rest) = order
+        .split_first()
+        .expect("non-constant function depends on some leaf");
+    if !tt.depends_on(v) {
+        return build_shannon(g, tt, leaves, rest);
+    }
+    let hi = tt.cofactor1(v);
+    let lo = tt.cofactor0(v);
+    let t = build_shannon(g, &hi, leaves, rest);
+    let e = build_shannon(g, &lo, leaves, rest);
+    g.mux(leaves[v], t, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn assert_equivalent(a: &Aig, b: &Aig, exhaustive_limit: usize) {
+        assert_eq!(a.num_pis(), b.num_pis());
+        assert_eq!(a.num_pos(), b.num_pos());
+        let n = a.num_pis();
+        if n <= exhaustive_limit {
+            for m in 0..(1u64 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                assert_eq!(a.eval(&ins), b.eval(&ins), "mismatch at {m:b}");
+            }
+        } else {
+            let mut rng = StdRng::seed_from_u64(42);
+            for _ in 0..500 {
+                let ins: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+                assert_eq!(a.eval(&ins), b.eval(&ins));
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_adder_function() {
+        let g = gen::adder(4);
+        let rw = restructure(&g, 0.5, 1);
+        assert_equivalent(&g, &rw, 12);
+    }
+
+    #[test]
+    fn preserves_random_logic() {
+        for seed in 0..5 {
+            let g = gen::random_logic(8, 120, 6, seed);
+            let rw = restructure(&g, 0.4, seed + 50);
+            assert_equivalent(&g, &rw, 8);
+        }
+    }
+
+    #[test]
+    fn preserves_pla_and_alu() {
+        let g = gen::pla(9, 5, 25, 3);
+        let rw = restructure(&g, 0.6, 7);
+        assert_equivalent(&g, &rw, 9);
+        let g = gen::alu(4);
+        let rw = restructure(&g, 0.5, 8);
+        assert_equivalent(&g, &rw, 11);
+    }
+
+    #[test]
+    fn changes_structure() {
+        let g = gen::adder(8);
+        let rw = restructure(&g, 0.8, 2);
+        // Same function but (almost surely) different node count.
+        assert_ne!(
+            g.num_ands(),
+            rw.num_ands(),
+            "restructuring should alter the and count"
+        );
+    }
+
+    #[test]
+    fn zero_fraction_is_structural_copy() {
+        // With no resynthesis the result is a structural copy modulo
+        // dead-node elimination (restructure always compacts).
+        let g = gen::random_logic(6, 60, 4, 1);
+        let rw = restructure(&g, 0.0, 3);
+        assert_eq!(g.compact().num_ands(), rw.num_ands());
+        assert_equivalent(&g, &rw, 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::pla(8, 4, 20, 5);
+        let r1 = restructure(&g, 0.5, 9);
+        let r2 = restructure(&g, 0.5, 9);
+        assert_eq!(r1.num_ands(), r2.num_ands());
+        assert_equivalent(&r1, &r2, 8);
+    }
+}

@@ -1,0 +1,205 @@
+//! The 42 named benchmarks of the paper's evaluation, mapped to
+//! deterministic synthetic generators of the matching circuit family.
+
+use simgen_netlist::Aig;
+
+use crate::gen;
+
+/// The benchmark suite a circuit belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// MCNC circuits distributed with VTR.
+    Vtr,
+    /// The EPFL combinational benchmark suite.
+    Epfl,
+    /// ITC'99 combinational cores.
+    Itc99,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Vtr => write!(f, "VTR"),
+            Suite::Epfl => write!(f, "EPFL"),
+            Suite::Itc99 => write!(f, "ITC'99"),
+        }
+    }
+}
+
+/// One named benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Benchmark {
+    /// The paper's benchmark name (e.g. `"apex2"`, `"b21_C"`).
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+}
+
+/// All 42 benchmarks, in the paper's Table 2 order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    use Suite::*;
+    const LIST: &[(&str, Suite)] = &[
+        ("alu4", Vtr),
+        ("apex1", Vtr),
+        ("apex2", Vtr),
+        ("apex3", Vtr),
+        ("apex4", Vtr),
+        ("apex5", Vtr),
+        ("cordic", Vtr),
+        ("cps", Vtr),
+        ("dalu", Vtr),
+        ("des", Vtr),
+        ("e64", Vtr),
+        ("ex1010", Vtr),
+        ("ex5p", Vtr),
+        ("i10", Vtr),
+        ("k2", Vtr),
+        ("misex3", Vtr),
+        ("misex3c", Vtr),
+        ("pdc", Vtr),
+        ("seq", Vtr),
+        ("spla", Vtr),
+        ("table3", Vtr),
+        ("table5", Vtr),
+        ("sin", Epfl),
+        ("square", Epfl),
+        ("arbiter", Epfl),
+        ("dec", Epfl),
+        ("m_ctrl", Epfl),
+        ("priority", Epfl),
+        ("voter", Epfl),
+        ("log2", Epfl),
+        ("b14_C", Itc99),
+        ("b14_C2", Itc99),
+        ("b15_C", Itc99),
+        ("b15_C2", Itc99),
+        ("b17_C", Itc99),
+        ("b17_C2", Itc99),
+        ("b20_C", Itc99),
+        ("b20_C2", Itc99),
+        ("b21_C", Itc99),
+        ("b21_C2", Itc99),
+        ("b22_C", Itc99),
+        ("b22_C2", Itc99),
+    ];
+    LIST.iter()
+        .map(|&(name, suite)| Benchmark { name, suite })
+        .collect()
+}
+
+/// Builds the AIG of a named benchmark (deterministic).
+///
+/// Returns `None` for unknown names.
+pub fn build_aig(name: &str) -> Option<Aig> {
+    let mut aig = match name {
+        // VTR / MCNC: arithmetic + multilevel PLA logic.
+        "alu4" => gen::pla_cascade(14, 8, 180, 2, 100),
+        "apex1" => gen::pla_cascade(20, 20, 120, 2, 101),
+        "apex2" => gen::pla_cascade(24, 12, 150, 2, 102),
+        "apex3" => gen::pla_cascade(20, 24, 130, 2, 103),
+        "apex4" => gen::pla_cascade(12, 24, 200, 2, 104),
+        "apex5" => gen::pla_cascade(28, 16, 100, 2, 105),
+        "cordic" => gen::cordic(16, 10),
+        "cps" => gen::pla_cascade(24, 24, 160, 2, 106),
+        "dalu" => gen::pla_cascade(18, 16, 140, 2, 121),
+        "des" => gen::spn(48, 4, 107),
+        "e64" => gen::pla_cascade(16, 12, 80, 2, 108),
+        "ex1010" => gen::pla_cascade(10, 10, 250, 3, 109),
+        "ex5p" => gen::pla_cascade(8, 24, 120, 3, 110),
+        "i10" => gen::random_logic(32, 2500, 32, 111),
+        "k2" => gen::pla_cascade(24, 16, 130, 2, 112),
+        "misex3" => gen::pla_cascade(14, 14, 150, 2, 113),
+        "misex3c" => gen::pla_cascade(14, 14, 100, 2, 114),
+        "pdc" => gen::pla_cascade(16, 24, 220, 2, 115),
+        "seq" => gen::pla_cascade(24, 20, 180, 2, 116),
+        "spla" => gen::pla_cascade(16, 24, 200, 2, 117),
+        "table3" => gen::pla_cascade(14, 14, 170, 3, 118),
+        "table5" => gen::pla_cascade(17, 15, 170, 3, 119),
+        // EPFL: arithmetic + control.
+        "sin" => gen::cordic(16, 12),
+        "square" => gen::multiplier(16),
+        "arbiter" => gen::arbiter(16),
+        "dec" => gen::decoder(7),
+        "m_ctrl" => gen::itc_core_rounds(16, 12, 3, 120),
+        "priority" => gen::priority_encoder(48),
+        "voter" => gen::voter(31),
+        "log2" => gen::cordic(20, 10),
+        // ITC'99 combinational cores: datapath + FSM mixtures. The
+        // `_C2` variants are independently seeded second cores.
+        "b14_C" => gen::itc_core_rounds(16, 8, 2, 201),
+        "b14_C2" => gen::itc_core_rounds(16, 8, 2, 202),
+        "b15_C" => gen::itc_core_rounds(16, 10, 3, 203),
+        "b15_C2" => gen::itc_core_rounds(16, 10, 3, 204),
+        "b17_C" => gen::itc_core_rounds(20, 12, 4, 205),
+        "b17_C2" => gen::itc_core_rounds(20, 12, 4, 206),
+        "b20_C" => gen::itc_core_rounds(20, 14, 3, 207),
+        "b20_C2" => gen::itc_core_rounds(20, 14, 3, 208),
+        "b21_C" => gen::itc_core_rounds(20, 14, 3, 209),
+        "b21_C2" => gen::itc_core_rounds(20, 14, 3, 210),
+        "b22_C" => gen::itc_core_rounds(24, 14, 3, 211),
+        "b22_C2" => gen::itc_core_rounds(24, 14, 3, 212),
+        _ => return None,
+    };
+    aig.set_name(name.to_string());
+    Some(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_42_benchmarks() {
+        let list = all_benchmarks();
+        assert_eq!(list.len(), 42);
+        let names: HashSet<&str> = list.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 42, "names are unique");
+    }
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        let list = all_benchmarks();
+        let count = |s: Suite| list.iter().filter(|b| b.suite == s).count();
+        assert_eq!(count(Suite::Vtr), 22);
+        assert_eq!(count(Suite::Epfl), 8);
+        assert_eq!(count(Suite::Itc99), 12);
+    }
+
+    #[test]
+    fn every_benchmark_builds() {
+        for b in all_benchmarks() {
+            let aig = build_aig(b.name).unwrap_or_else(|| panic!("{} must build", b.name));
+            assert!(aig.check().is_ok(), "{} fails structural check", b.name);
+            assert!(aig.num_pos() > 0, "{} has outputs", b.name);
+            assert!(aig.num_ands() > 10, "{} is nontrivial", b.name);
+            assert_eq!(aig.name(), b.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build_aig("nonexistent").is_none());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for name in ["apex2", "b14_C", "voter"] {
+            let a = build_aig(name).unwrap();
+            let b = build_aig(name).unwrap();
+            assert_eq!(a.num_ands(), b.num_ands());
+            let ins = vec![false; a.num_pis()];
+            assert_eq!(a.eval(&ins), b.eval(&ins));
+        }
+    }
+
+    #[test]
+    fn variant_cores_differ() {
+        let a = build_aig("b14_C").unwrap();
+        let b = build_aig("b14_C2").unwrap();
+        assert_eq!(a.num_pis(), b.num_pis());
+        // Same family, different logic.
+        let ins: Vec<bool> = (0..a.num_pis()).map(|i| i % 3 == 0).collect();
+        assert_ne!(a.eval(&ins), b.eval(&ins));
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests over randomly generated circuits, exercising
+//! the core invariants end to end:
+//!
+//! * the CDCL solver agrees with brute force on small CNFs;
+//! * Tseitin encodings agree with direct network evaluation;
+//! * SimGen's honored targets always evaluate to their OUTgold value;
+//! * reverse simulation's vectors always realize the requested split;
+//! * LUT mapping preserves functions for arbitrary AIGs;
+//! * equivalence-class refinement never lies (same class ⇒ same
+//!   signature).
+
+use proptest::prelude::*;
+
+use simgen_suite::core::engine::InputVectorGenerator;
+use simgen_suite::core::revsim::reverse_simulate;
+use simgen_suite::core::{DecisionStrategy, ImplicationStrategy, TargetOutcome};
+use simgen_suite::mapping::map_to_luts;
+use simgen_suite::netlist::{Aig, AigLit, LutNetwork, NodeId, TruthTable};
+use simgen_suite::sat::{Cnf, Lit, SolveResult, Solver, Var};
+use simgen_suite::sim::{simulate, EquivClasses, PatternSet};
+
+/// Strategy: a random CNF with up to 8 vars and 25 clauses.
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    (2usize..8, prop::collection::vec(prop::collection::vec((0usize..8, any::<bool>()), 1..4), 1..25))
+        .prop_map(|(nv, clauses)| {
+            let mut cnf = Cnf::new();
+            cnf.new_vars(nv as u32);
+            for c in clauses {
+                let lits: Vec<Lit> = c
+                    .into_iter()
+                    .map(|(v, pos)| Lit::new(Var((v % nv) as u32), pos))
+                    .collect();
+                cnf.add_clause(lits);
+            }
+            cnf
+        })
+}
+
+/// Strategy: a random LUT network description (pis, and per-LUT fanin
+/// picks + function bits) that `build_net` turns into a valid network.
+#[derive(Clone, Debug)]
+struct NetSpec {
+    pis: usize,
+    luts: Vec<(Vec<usize>, u64)>,
+}
+
+fn arb_net() -> impl Strategy<Value = NetSpec> {
+    (2usize..6, prop::collection::vec((prop::collection::vec(0usize..100, 1..4), any::<u64>()), 1..25))
+        .prop_map(|(pis, luts)| NetSpec { pis, luts })
+}
+
+fn build_net(spec: &NetSpec) -> LutNetwork {
+    let mut net = LutNetwork::new();
+    let mut pool: Vec<NodeId> = (0..spec.pis).map(|i| net.add_pi(format!("p{i}"))).collect();
+    for (picks, bits) in &spec.luts {
+        let mut fanins: Vec<NodeId> = Vec::new();
+        for &p in picks {
+            let cand = pool[p % pool.len()];
+            if !fanins.contains(&cand) {
+                fanins.push(cand);
+            }
+        }
+        let tt = TruthTable::from_bits(fanins.len(), *bits).expect("arity <= 3");
+        pool.push(net.add_lut(fanins, tt).expect("topological order"));
+    }
+    net.add_po(*pool.last().expect("nonempty"), "f");
+    net
+}
+
+/// Strategy: a random AIG description.
+#[derive(Clone, Debug)]
+struct AigSpec {
+    pis: usize,
+    ands: Vec<(usize, usize, bool, bool)>,
+    po_neg: bool,
+}
+
+fn arb_aig() -> impl Strategy<Value = AigSpec> {
+    (
+        2usize..7,
+        prop::collection::vec((0usize..200, 0usize..200, any::<bool>(), any::<bool>()), 1..60),
+        any::<bool>(),
+    )
+        .prop_map(|(pis, ands, po_neg)| AigSpec { pis, ands, po_neg })
+}
+
+fn build_aig(spec: &AigSpec) -> Aig {
+    let mut g = Aig::new();
+    let mut pool: Vec<AigLit> = g.add_pis(spec.pis);
+    for &(i, j, ci, cj) in &spec.ands {
+        let a = pool[i % pool.len()];
+        let b = pool[j % pool.len()];
+        let a = if ci { !a } else { a };
+        let b = if cj { !b } else { b };
+        pool.push(g.and(a, b));
+    }
+    let out = *pool.last().expect("nonempty");
+    g.add_po(if spec.po_neg { !out } else { out }, "f");
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(cnf in arb_cnf()) {
+        let mut solver = Solver::from_cnf(&cnf);
+        let result = solver.solve();
+        let nv = cnf.num_vars();
+        let mut any_model = false;
+        for m in 0..(1u64 << nv) {
+            let assign: Vec<bool> = (0..nv).map(|i| (m >> i) & 1 == 1).collect();
+            if cnf.eval(&assign) {
+                any_model = true;
+                break;
+            }
+        }
+        match result {
+            SolveResult::Sat => {
+                prop_assert!(cnf.eval(solver.model()), "model must satisfy");
+                prop_assert!(any_model);
+            }
+            SolveResult::Unsat => prop_assert!(!any_model, "solver says unsat but model exists"),
+            SolveResult::Unknown => prop_assert!(false, "no budget set"),
+        }
+    }
+
+    #[test]
+    fn simgen_honored_targets_hold(spec in arb_net(), seed in 0u64..1000) {
+        let net = build_net(&spec);
+        let luts: Vec<NodeId> = net.node_ids().filter(|&n| !net.is_pi(n)).collect();
+        let t1 = luts[seed as usize % luts.len()];
+        let t2 = luts[(seed as usize / 2) % luts.len()];
+        prop_assume!(t1 != t2);
+        let mut engine = InputVectorGenerator::new(&net);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let targets = [(t1, true), (t2, false)];
+        let r = engine.generate(
+            &targets,
+            ImplicationStrategy::Advanced,
+            DecisionStrategy::DcMffc,
+            100.0,
+            1.0,
+            &mut rng,
+        );
+        let vals = net.eval(&r.vector);
+        for (o, &(n, gold)) in r.outcomes.iter().zip(&targets) {
+            if *o == TargetOutcome::Honored {
+                prop_assert_eq!(vals[n.index()], gold, "honored target violated");
+            }
+        }
+    }
+
+    #[test]
+    fn simple_implication_targets_hold_too(spec in arb_net(), seed in 0u64..1000) {
+        let net = build_net(&spec);
+        let luts: Vec<NodeId> = net.node_ids().filter(|&n| !net.is_pi(n)).collect();
+        let t1 = luts[seed as usize % luts.len()];
+        let mut engine = InputVectorGenerator::new(&net);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let targets = [(t1, seed % 2 == 0)];
+        let r = engine.generate(
+            &targets,
+            ImplicationStrategy::Simple,
+            DecisionStrategy::Random,
+            100.0,
+            1.0,
+            &mut rng,
+        );
+        let vals = net.eval(&r.vector);
+        if r.outcomes[0] == TargetOutcome::Honored {
+            prop_assert_eq!(vals[t1.index()], targets[0].1);
+        }
+    }
+
+    #[test]
+    fn revsim_vectors_realize_split(spec in arb_net(), seed in 0u64..1000) {
+        let net = build_net(&spec);
+        let luts: Vec<NodeId> = net.node_ids().filter(|&n| !net.is_pi(n)).collect();
+        let t1 = luts[seed as usize % luts.len()];
+        let t2 = luts[(seed as usize / 3) % luts.len()];
+        prop_assume!(t1 != t2);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        if let Some(v) = reverse_simulate(&net, (t1, t2), &mut rng) {
+            let vals = net.eval(&v);
+            prop_assert!(vals[t1.index()]);
+            prop_assert!(!vals[t2.index()]);
+        }
+    }
+
+    #[test]
+    fn mapping_is_function_preserving(spec in arb_aig(), k in 2usize..7) {
+        let aig = build_aig(&spec);
+        let net = map_to_luts(&aig, k);
+        let n = aig.num_pis();
+        for m in 0..(1u64 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(aig.eval(&ins), net.eval_pos(&ins));
+        }
+    }
+
+    #[test]
+    fn class_members_share_signatures(spec in arb_net(), patterns in 1usize..100) {
+        let net = build_net(&spec);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+        let pats = PatternSet::random(net.num_pis(), patterns, &mut rng);
+        let sim = simulate(&net, &pats);
+        let classes = EquivClasses::initial(&net, &sim);
+        for class in classes.classes() {
+            prop_assert!(class.len() >= 2);
+            for &n in &class[1..] {
+                prop_assert!(sim.same_signature(class[0], n));
+            }
+        }
+        // Cost consistency with Equation 5.
+        let expected: u64 = classes.classes().iter().map(|c| (c.len() - 1) as u64).sum();
+        prop_assert_eq!(classes.cost(), expected);
+    }
+
+    #[test]
+    fn tseitin_encoding_matches_eval(spec in arb_net()) {
+        use simgen_suite::sat::tseitin::NetworkEncoder;
+        let net = build_net(&spec);
+        let root = net.pos()[0].node;
+        let mut solver = Solver::new();
+        let mut enc = NetworkEncoder::new(&net);
+        let v = enc.encode_cone(&net, &mut solver, root);
+        let n = net.num_pis();
+        for m in 0..(1u64 << n).min(32) {
+            let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let assumptions: Vec<Lit> = net
+                .pis()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &pi)| enc.var(pi).map(|pv| Lit::new(pv, ins[i])))
+                .collect();
+            prop_assert_eq!(solver.solve_with_assumptions(&assumptions), SolveResult::Sat);
+            let expect = net.eval(&ins)[root.index()];
+            prop_assert_eq!(solver.value(v), Some(expect));
+        }
+    }
+}
