@@ -57,8 +57,16 @@ impl BddManager {
             ite_cache: HashMap::new(),
         };
         // Slots 0 and 1 are the terminals.
-        m.nodes.push(Node { var: TERMINAL_VAR, low: Bdd::FALSE, high: Bdd::FALSE });
-        m.nodes.push(Node { var: TERMINAL_VAR, low: Bdd::TRUE, high: Bdd::TRUE });
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: Bdd::FALSE,
+            high: Bdd::FALSE,
+        });
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: Bdd::TRUE,
+            high: Bdd::TRUE,
+        });
         m
     }
 
@@ -136,10 +144,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -182,7 +187,11 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_const() {
             let n = self.nodes[cur.0 as usize];
-            cur = if assignment[n.var as usize] { n.high } else { n.low };
+            cur = if assignment[n.var as usize] {
+                n.high
+            } else {
+                n.low
+            };
         }
         cur == Bdd::TRUE
     }

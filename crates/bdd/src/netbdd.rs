@@ -44,8 +44,7 @@ pub fn network_bdds(net: &LutNetwork, node_limit: usize) -> Option<NetworkBdds> 
         let f = match net.kind(id) {
             NodeKind::Pi { index } => manager.var(*index),
             NodeKind::Lut { fanins, tt } => {
-                let fanin_bdds: Vec<Bdd> =
-                    fanins.iter().map(|f| bdds[f.index()]).collect();
+                let fanin_bdds: Vec<Bdd> = fanins.iter().map(|f| bdds[f.index()]).collect();
                 // OR over the on-set cubes of ANDs of fanin literals.
                 let mut acc = manager.constant(false);
                 if tt.is_const1() {

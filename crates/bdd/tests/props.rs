@@ -23,7 +23,11 @@ fn arb_expr() -> impl Strategy<Value = ExprSpec> {
 /// Builds the expression in the manager and as a semantic bitmask.
 fn build(m: &mut BddManager, spec: &ExprSpec) -> (Bdd, u64) {
     let nv = spec.nv;
-    let mask = if nv == 6 { u64::MAX } else { (1u64 << (1 << nv)) - 1 };
+    let mask = if nv == 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << nv)) - 1
+    };
     let var_bits = |i: usize| -> u64 {
         let mut bits = 0u64;
         for mnt in 0..(1u64 << nv) {

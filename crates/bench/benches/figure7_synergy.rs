@@ -14,7 +14,8 @@ fn bench_figure7(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure7_strategies");
     for bmk in ["apex2", "cps"] {
         let net = benchmark_network(bmk, 6).expect("known benchmark");
-        let variants: [(&str, fn(u64) -> Box<dyn simgen_core::PatternGenerator>); 3] = [
+        type GenCtor = fn(u64) -> Box<dyn simgen_core::PatternGenerator>;
+        let variants: [(&str, GenCtor); 3] = [
             ("RandS", |s| make_generator(Strategy::Random, s)),
             ("RandS->RevS", |s| make_combined(Strategy::RevS, s)),
             ("RandS->SimGen", |s| make_combined(Strategy::AiDcMffc, s)),

@@ -61,10 +61,22 @@ fn bench_vector_generation(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("vector_generation");
     for (label, imp, dec) in [
-        ("SI+RD", ImplicationStrategy::Simple, DecisionStrategy::Random),
-        ("AI+RD", ImplicationStrategy::Advanced, DecisionStrategy::Random),
+        (
+            "SI+RD",
+            ImplicationStrategy::Simple,
+            DecisionStrategy::Random,
+        ),
+        (
+            "AI+RD",
+            ImplicationStrategy::Advanced,
+            DecisionStrategy::Random,
+        ),
         ("AI+DC", ImplicationStrategy::Advanced, DecisionStrategy::Dc),
-        ("AI+DC+MFFC", ImplicationStrategy::Advanced, DecisionStrategy::DcMffc),
+        (
+            "AI+DC+MFFC",
+            ImplicationStrategy::Advanced,
+            DecisionStrategy::DcMffc,
+        ),
     ] {
         group.bench_function(label, |b| {
             let mut engine = InputVectorGenerator::new(&net);

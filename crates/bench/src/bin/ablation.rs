@@ -14,9 +14,7 @@
 
 use simgen_bench::{experiment_config, REVSIM_ATTEMPTS};
 use simgen_cec::{ProofEngine, SweepConfig, Sweeper};
-use simgen_core::{
-    OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig,
-};
+use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_workloads::benchmark_network;
 
 const BENCHES: [&str; 6] = ["apex2", "k2", "cps", "b17_C", "b21_C", "i10"];
@@ -99,8 +97,12 @@ fn main() {
 
     println!("\n5. Strategy roundup (full sweep incl. SAT; note RandS emits 64 vectors");
     println!("   per iteration vs <=1 for guided strategies - volume, not guidance):");
-    println!("{:>16} {:>12} {:>12}", "strategy", "avg cost", "avg SAT calls");
-    let entries: [(&str, Box<dyn Fn(u64) -> Box<dyn PatternGenerator>>); 4] = [
+    println!(
+        "{:>16} {:>12} {:>12}",
+        "strategy", "avg cost", "avg SAT calls"
+    );
+    type GenCtor = Box<dyn Fn(u64) -> Box<dyn PatternGenerator>>;
+    let entries: [(&str, GenCtor); 4] = [
         ("RandS", Box::new(|s| Box::new(RandomPatterns::new(s, 64)))),
         ("1-dist", Box::new(|s| Box::new(OneDistance::new(s, 8)))),
         (
@@ -118,13 +120,24 @@ fn main() {
     }
 
     println!("\n6. Proof engine (SimGen patterns; resolution time per benchmark):");
-    println!("{:>10} {:>12} {:>12} {:>12}", "bmk", "SAT ms", "BDD ms", "BDD result");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "bmk", "SAT ms", "BDD ms", "BDD result"
+    );
     for name in BENCHES {
         let net = benchmark_network(name, 6).expect("known benchmark");
         let mut row = Vec::new();
         let mut bdd_note = "ok";
-        for engine in [ProofEngine::Sat, ProofEngine::Bdd { node_limit: 2_000_000 }] {
-            let cfg = SweepConfig { proof: engine, ..experiment_config(true) };
+        for engine in [
+            ProofEngine::Sat,
+            ProofEngine::Bdd {
+                node_limit: 2_000_000,
+            },
+        ] {
+            let cfg = SweepConfig {
+                proof: engine,
+                ..experiment_config(true)
+            };
             let mut gen = SimGen::new(SimGenConfig::default());
             let r = Sweeper::new(cfg).run(&net, &mut gen);
             row.push(r.stats.sat_time.as_secs_f64() * 1e3);
@@ -132,6 +145,9 @@ fn main() {
                 bdd_note = "blow-up";
             }
         }
-        println!("{name:>10} {:>12.2} {:>12.2} {bdd_note:>12}", row[0], row[1]);
+        println!(
+            "{name:>10} {:>12.2} {:>12.2} {bdd_note:>12}",
+            row[0], row[1]
+        );
     }
 }

@@ -27,8 +27,17 @@ fn main() {
     if verbose {
         println!(
             "{:10} {:>8} {:>8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "bmk", "RevS", "SI+RD", "AI+RD", "AI+DC", "AI+MFFC", "t_RevS", "t_SIRD", "t_AIRD",
-            "t_AIDC", "t_MFFC"
+            "bmk",
+            "RevS",
+            "SI+RD",
+            "AI+RD",
+            "AI+DC",
+            "AI+MFFC",
+            "t_RevS",
+            "t_SIRD",
+            "t_AIRD",
+            "t_AIDC",
+            "t_MFFC"
         );
     }
 

@@ -52,7 +52,11 @@ fn main() {
         let row = compare_on_avg(&net, &name, true, 0xBEEF, 3);
         let tr = row.revs.sat_time.as_secs_f64() * 1e3;
         let ts = row.sgen.sat_time.as_secs_f64() * 1e3;
-        let d = if tr > 0.0 { (ts - tr) / tr * 100.0 } else { 0.0 };
+        let d = if tr > 0.0 {
+            (ts - tr) / tr * 100.0
+        } else {
+            0.0
+        };
         println!(
             "{:14} {:>7} | {:>9} {:>9} | {:>10.2}ms {:>10.2}ms | {:>6.1}%",
             row.name, row.luts, row.revs.sat_calls, row.sgen.sat_calls, tr, ts, d

@@ -74,9 +74,9 @@ pub fn make_generator(strategy: Strategy, seed: u64) -> Box<dyn PatternGenerator
         Strategy::SiRd => Box::new(SimGen::new(SimGenConfig::simple_random().with_seed(seed))),
         Strategy::AiRd => Box::new(SimGen::new(SimGenConfig::advanced_random().with_seed(seed))),
         Strategy::AiDc => Box::new(SimGen::new(SimGenConfig::advanced_dc().with_seed(seed))),
-        Strategy::AiDcMffc => {
-            Box::new(SimGen::new(SimGenConfig::advanced_dc_mffc().with_seed(seed)))
-        }
+        Strategy::AiDcMffc => Box::new(SimGen::new(
+            SimGenConfig::advanced_dc_mffc().with_seed(seed),
+        )),
         Strategy::Random => Box::new(RandomPatterns::new(seed, 64)),
     }
 }
@@ -92,7 +92,12 @@ pub fn make_combined(guided: Strategy, seed: u64) -> Box<dyn PatternGenerator> {
 }
 
 /// Runs one sweep of `net` with the given strategy.
-pub fn run_strategy(net: &LutNetwork, strategy: Strategy, cfg: SweepConfig, seed: u64) -> SweepReport {
+pub fn run_strategy(
+    net: &LutNetwork,
+    strategy: Strategy,
+    cfg: SweepConfig,
+    seed: u64,
+) -> SweepReport {
     let mut generator = make_generator(strategy, seed);
     Sweeper::new(cfg).run(net, generator.as_mut())
 }
@@ -108,6 +113,7 @@ pub fn experiment_config(run_sat: bool) -> SweepConfig {
         run_sat,
         proof: simgen_cec::ProofEngine::Sat,
         seed: 0xC1C,
+        ..SweepConfig::default()
     }
 }
 

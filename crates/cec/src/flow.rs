@@ -9,8 +9,8 @@ use simgen_netlist::{LutNetwork, NetlistError, NodeId};
 use simgen_sim::EquivClasses;
 
 use crate::prove::{PairProver, ProveOutcome};
-use crate::sweep::{SweepConfig, Sweeper};
 use crate::stats::SweepStats;
+use crate::sweep::SweepConfig;
 
 /// Verdict of a full CEC run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,7 +63,11 @@ pub fn check_equivalence(
     }
     let combined = combine(a, b)?;
     let net = &combined.network;
-    let sweep = Sweeper::new(config).run(net, generator);
+    // Internal proofs always run through the dispatch engine. Its
+    // reports are scheduling-invariant, so every `jobs` value —
+    // including the default 1, which runs inline without spawning
+    // threads — yields byte-identical classes and proof counts.
+    let sweep = crate::ParallelSweeper::new(config).run(net, generator);
 
     // Final proofs on the PO pairs. Seeding the prover with every
     // equivalence the sweep established (fraig-style merging) is what
@@ -84,10 +88,13 @@ pub fn check_equivalence(
         match prover.prove(na, nb, config.sat_budget) {
             ProveOutcome::Equivalent => {}
             ProveOutcome::Counterexample(witness) => {
-                verdict = CecVerdict::NotEquivalent { po_index: i, witness };
+                verdict = CecVerdict::NotEquivalent {
+                    po_index: i,
+                    witness,
+                };
                 break;
             }
-            ProveOutcome::Unknown => {
+            ProveOutcome::Undecided { .. } => {
                 verdict = CecVerdict::Undecided;
             }
         }
@@ -179,6 +186,7 @@ pub fn lut_nodes(net: &LutNetwork) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::Sweeper;
     use simgen_core::{RandomPatterns, SimGen, SimGenConfig};
     use simgen_netlist::TruthTable;
 
@@ -221,8 +229,7 @@ mod tests {
     fn equivalent_designs_verify() {
         let (n1, n2) = adder_pair();
         let mut gen = SimGen::new(SimGenConfig::default());
-        let report =
-            check_equivalence(&n1, &n2, &mut gen, SweepConfig::default()).unwrap();
+        let report = check_equivalence(&n1, &n2, &mut gen, SweepConfig::default()).unwrap();
         assert_eq!(report.verdict, CecVerdict::Equivalent);
         assert!(report.output_sat_calls >= 2);
     }
@@ -238,8 +245,7 @@ mod tests {
         n2.add_po(sum_node, "sum");
         n2.add_po(broken, "cout");
         let mut gen = SimGen::new(SimGenConfig::default());
-        let report =
-            check_equivalence(&n1, &n2, &mut gen, SweepConfig::default()).unwrap();
+        let report = check_equivalence(&n1, &n2, &mut gen, SweepConfig::default()).unwrap();
         match report.verdict {
             CecVerdict::NotEquivalent { po_index, witness } => {
                 assert_eq!(po_index, 1);
@@ -258,7 +264,9 @@ mod tests {
         let a = single.add_pi("a");
         let b = single.add_pi("b");
         let c = single.add_pi("c");
-        let g = single.add_lut(vec![a, b, c], TruthTable::const0(3)).unwrap();
+        let g = single
+            .add_lut(vec![a, b, c], TruthTable::const0(3))
+            .unwrap();
         single.add_po(g, "only");
         let mut gen = RandomPatterns::new(1, 8);
         assert!(check_equivalence(&n1, &single, &mut gen, SweepConfig::default()).is_err());

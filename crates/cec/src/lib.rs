@@ -34,11 +34,14 @@
 //! ```
 
 pub mod flow;
+pub mod parallel;
 pub mod prove;
 pub mod stats;
 pub mod sweep;
 
 pub use flow::{check_equivalence, CecReport, CecVerdict, SwitchOnPlateau};
+pub use parallel::ParallelSweeper;
 pub use prove::{BddProver, EquivProver, PairProver, ProveOutcome};
-pub use stats::{IterationRecord, SweepStats};
+pub use simgen_dispatch::BudgetSchedule;
+pub use stats::{DispatchSummary, IterationRecord, SweepStats, WorkerSummary};
 pub use sweep::{ProofEngine, SweepConfig, SweepReport, Sweeper};

@@ -1,0 +1,516 @@
+//! The parallel proof-dispatch sweeper.
+//!
+//! Phases 1–2 (random + guided simulation) are identical to the
+//! serial [`crate::Sweeper`]. Phase 3 replaces the one-incremental-
+//! solver loop with synchronised *rounds*: every candidate pair
+//! `(rep, candᵢ)` of every surviving class is listed in a
+//! deterministic order, dispatched across a work-stealing worker pool
+//! ([`simgen_dispatch::run_ordered`]), and the results are merged back
+//! **in pair order**. Each pair gets a fresh [`PairProver`] seeded
+//! with the equivalences proven in *earlier rounds* (restricted to the
+//! pair's fanin cones), so a pair's outcome is a pure function of the
+//! round history — never of which worker ran it or in what order.
+//! That is what makes the sweep report byte-identical for any `jobs`
+//! value.
+//!
+//! Counterexamples produced during a round are batched and flushed
+//! through one word-parallel resimulation
+//! ([`crate::sweep::flush_counterexamples`], shared with the serial
+//! path) at the end of the round.
+//!
+//! Budget escalation: with [`SweepConfig::budget_schedule`] set, each
+//! pair climbs the [`BudgetSchedule`] ladder (small conflict budget,
+//! multiplied on every retry) and finally falls back to a node-limited
+//! BDD check; pairs that exhaust everything are reported unresolved.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use simgen_core::PatternGenerator;
+use simgen_dispatch::{run_ordered, Attempt, BudgetSchedule};
+use simgen_netlist::{LutNetwork, NodeId};
+
+use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
+use crate::stats::{DispatchSummary, WorkerSummary};
+use crate::sweep::{
+    flush_counterexamples, record_merge, run_sim_phases, ProofEngine, SimPhases, SweepConfig,
+    SweepReport,
+};
+
+/// Scheduling-independent result of one pair proof (the wall-clock
+/// metadata travels separately in the worker state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PairVerdict {
+    /// Proven equal.
+    Equivalent,
+    /// Distinguishing input vector.
+    Counterexample(Vec<bool>),
+    /// Ladder (and fallback, if enabled) exhausted.
+    Undecided,
+}
+
+/// Per-worker proving state: outcome counters plus the lazily-built
+/// BDD fallback engine. The counters mirror
+/// [`crate::stats::WorkerSummary`].
+struct WorkerState<'n> {
+    net: &'n LutNetwork,
+    /// Lazily created on the first pair that exhausts its SAT ladder
+    /// (or immediately when BDD is the primary engine).
+    bdd: Option<BddProver<'n>>,
+    proofs: u64,
+    conflicts: u64,
+    timeouts: u64,
+    escalations: u64,
+    sat_calls: u64,
+    sat_time: Duration,
+}
+
+impl<'n> WorkerState<'n> {
+    fn new(net: &'n LutNetwork) -> Self {
+        WorkerState {
+            net,
+            bdd: None,
+            proofs: 0,
+            conflicts: 0,
+            timeouts: 0,
+            escalations: 0,
+            sat_calls: 0,
+            sat_time: Duration::ZERO,
+        }
+    }
+
+    /// BDD query through the worker's cached engine.
+    fn bdd_prove(&mut self, a: NodeId, b: NodeId, node_limit: usize) -> PairVerdict {
+        let net = self.net;
+        let bdd = self
+            .bdd
+            .get_or_insert_with(|| BddProver::new(net, node_limit));
+        match bdd.prove(a, b, None) {
+            ProveOutcome::Equivalent => PairVerdict::Equivalent,
+            ProveOutcome::Counterexample(v) => PairVerdict::Counterexample(v),
+            ProveOutcome::Undecided { .. } => PairVerdict::Undecided,
+        }
+    }
+
+    /// Proves one pair: fresh SAT prover seeded with the prior-round
+    /// equivalences inside the pair's cones, escalated per `cfg`, with
+    /// BDD fallback. Deterministic given `(seeds, a, b, cfg)`.
+    fn prove_pair(
+        &mut self,
+        seeds: &[(NodeId, NodeId)],
+        a: NodeId,
+        b: NodeId,
+        cfg: &SweepConfig,
+    ) -> PairVerdict {
+        self.proofs += 1;
+        if let ProofEngine::Bdd { node_limit } = cfg.proof {
+            let verdict = self.bdd_prove(a, b, node_limit);
+            if verdict == PairVerdict::Undecided {
+                self.timeouts += 1;
+            }
+            return verdict;
+        }
+
+        let mut prover = PairProver::new(self.net);
+        let cone = cone_union(self.net, a, b);
+        for &(x, y) in seeds {
+            if cone.contains(&x) && cone.contains(&y) {
+                prover.assert_equal(x, y);
+            }
+        }
+        let schedule = cfg.budget_schedule.unwrap_or(BudgetSchedule {
+            // No ladder configured: one attempt at the flat budget,
+            // no BDD fallback — the parallel analogue of the serial
+            // sweeper's single `sat_budget` try.
+            initial: cfg.sat_budget.unwrap_or(u64::MAX),
+            multiplier: 1,
+            attempts: 1,
+            bdd_node_limit: 0,
+        });
+        let esc = schedule.run(|budget| match prover.prove(a, b, Some(budget)) {
+            ProveOutcome::Equivalent => Attempt::Resolved(PairVerdict::Equivalent),
+            ProveOutcome::Counterexample(v) => Attempt::Resolved(PairVerdict::Counterexample(v)),
+            ProveOutcome::Undecided { conflicts } => Attempt::Undecided { conflicts },
+        });
+        self.escalations += u64::from(esc.escalations);
+        self.conflicts += esc.conflicts;
+        self.sat_calls += prover.calls();
+        self.sat_time += prover.time();
+        let verdict = match esc.outcome {
+            Some(v) => v,
+            None if schedule.bdd_node_limit > 0 => self.bdd_prove(a, b, schedule.bdd_node_limit),
+            None => PairVerdict::Undecided,
+        };
+        if verdict == PairVerdict::Undecided {
+            self.timeouts += 1;
+        }
+        verdict
+    }
+}
+
+/// The transitive fanin cone of `a` and `b` (both included).
+fn cone_union(net: &LutNetwork, a: NodeId, b: NodeId) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![a, b];
+    while let Some(n) = stack.pop() {
+        if seen.insert(n) {
+            stack.extend(net.fanins(n).iter().copied());
+        }
+    }
+    seen
+}
+
+/// The parallel sweeping engine. Produces the same report structure
+/// as [`crate::Sweeper`]; proof outcomes and class results are
+/// independent of [`SweepConfig::jobs`].
+#[derive(Clone, Debug)]
+pub struct ParallelSweeper {
+    config: SweepConfig,
+}
+
+impl ParallelSweeper {
+    /// Creates a parallel sweeper with the given configuration.
+    pub fn new(config: SweepConfig) -> Self {
+        ParallelSweeper { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Runs the full sweep on `net` using `generator` for the guided
+    /// phase and `config.jobs` workers for the proof phase.
+    pub fn run(&self, net: &LutNetwork, generator: &mut dyn PatternGenerator) -> SweepReport {
+        let cfg = &self.config;
+        let jobs = cfg.jobs.max(1);
+        let SimPhases {
+            mut stats,
+            mut patterns,
+            mut sim,
+            classes,
+        } = run_sim_phases(cfg, net, generator);
+        let cost_after_sim = classes.cost();
+
+        let mut proven: Vec<Vec<NodeId>> = Vec::new();
+        let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
+        if cfg.run_sat {
+            let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
+            let mut merged: Vec<Vec<NodeId>> = Vec::new();
+            // Equivalences proven in earlier rounds, in merge order:
+            // the deterministic seed set for every later pair prover.
+            let mut seeds: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut summary = DispatchSummary {
+                jobs,
+                rounds: 0,
+                workers: (0..jobs)
+                    .map(|worker| WorkerSummary {
+                        worker,
+                        ..WorkerSummary::default()
+                    })
+                    .collect(),
+            };
+            loop {
+                // One round: every (rep, candidate) pair of every
+                // surviving class, shallowest candidates first (the
+                // same priority the serial sweeper uses).
+                let mut pairs: Vec<(NodeId, NodeId)> = work
+                    .iter()
+                    .flat_map(|c| {
+                        let rep = c[0];
+                        c[1..].iter().map(move |&cand| (rep, cand))
+                    })
+                    .collect();
+                if pairs.is_empty() {
+                    break;
+                }
+                pairs.sort_by_key(|&(_, cand)| (net.level(cand), cand));
+                summary.rounds += 1;
+
+                let seeds_ref: &[(NodeId, NodeId)] = &seeds;
+                let outcome = run_ordered(
+                    jobs,
+                    pairs.clone(),
+                    |_| WorkerState::new(net),
+                    |state, &(a, b)| state.prove_pair(seeds_ref, a, b, cfg),
+                );
+                for report in &outcome.workers {
+                    let agg = &mut summary.workers[report.worker];
+                    agg.proofs += report.state.proofs;
+                    agg.conflicts += report.state.conflicts;
+                    agg.timeouts += report.state.timeouts;
+                    agg.escalations += report.state.escalations;
+                    agg.steals += report.stolen;
+                    stats.sat_calls += report.state.sat_calls;
+                    stats.sat_time += report.state.sat_time;
+                }
+
+                // Merge in pair order — the only order-sensitive step,
+                // and it only depends on the (deterministic) results.
+                let mut pending: Vec<Vec<bool>> = Vec::new();
+                let mut benched: Vec<NodeId> = Vec::new();
+                let mut dropped: HashSet<NodeId> = HashSet::new();
+                for ((rep, cand), verdict) in pairs.into_iter().zip(outcome.results) {
+                    match verdict {
+                        PairVerdict::Equivalent => {
+                            stats.proved_equivalent += 1;
+                            record_merge(&mut merged, rep, cand);
+                            seeds.push((rep, cand));
+                            dropped.insert(cand);
+                        }
+                        PairVerdict::Counterexample(v) => {
+                            stats.disproved += 1;
+                            generator.observe_counterexample(&v);
+                            pending.push(v);
+                            benched.push(cand);
+                            dropped.insert(cand);
+                        }
+                        PairVerdict::Undecided => {
+                            stats.aborted += 1;
+                            unresolved.push((rep, cand));
+                            dropped.insert(cand);
+                        }
+                    }
+                }
+                for class in &mut work {
+                    class.retain(|n| !dropped.contains(n));
+                }
+                work.retain(|c| c.len() >= 2);
+                if !pending.is_empty() {
+                    let t = std::time::Instant::now();
+                    work = flush_counterexamples(
+                        net,
+                        &mut patterns,
+                        &mut sim,
+                        work,
+                        &mut pending,
+                        &mut benched,
+                    );
+                    stats.sim_time += t.elapsed();
+                } else if !benched.is_empty() {
+                    unreachable!("benched candidates always carry a counterexample");
+                }
+            }
+            stats.dispatch = Some(summary);
+            proven = merged;
+        }
+
+        SweepReport {
+            stats,
+            cost_after_sim,
+            proven_classes: proven,
+            unresolved,
+            patterns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Sweeper;
+    use simgen_core::{SimGen, SimGenConfig};
+    use simgen_netlist::TruthTable;
+
+    /// A network with several provably-equivalent node groups and a
+    /// couple of near-miss lookalikes.
+    fn workload_net(seed: u64) -> LutNetwork {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut pool = pis.clone();
+        for _ in 0..30 {
+            let a = pool[rng.gen_range(0..pool.len())];
+            let b = pool[rng.gen_range(0..pool.len())];
+            let tt = match rng.gen_range(0..4usize) {
+                0 => TruthTable::and2(),
+                1 => TruthTable::or2(),
+                2 => TruthTable::xor2(),
+                _ => TruthTable::nor2(),
+            };
+            if let Ok(n) = net.add_lut(vec![a, b], tt) {
+                pool.push(n);
+            }
+        }
+        // Duplicate a few gates with commuted fanins (and the truth
+        // table permuted to match) to guarantee provable equivalences.
+        let dup_targets: Vec<NodeId> = pool[pis.len()..].iter().copied().take(6).collect();
+        for n in dup_targets {
+            let f = net.fanins(n).to_vec();
+            let tt = net.truth_table(n).unwrap().permute_inputs(&[1, 0]);
+            if let Ok(d) = net.add_lut(vec![f[1], f[0]], tt) {
+                pool.push(d);
+            }
+        }
+        let out = *pool.last().unwrap();
+        net.add_po(out, "f");
+        for (i, &n) in pool.iter().rev().take(4).enumerate() {
+            net.add_po(n, format!("o{i}"));
+        }
+        net
+    }
+
+    /// Sorted copy of the proven classes for order-insensitive
+    /// comparison between engines.
+    fn normalized(mut classes: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+        for c in &mut classes {
+            c.sort();
+        }
+        classes.sort();
+        classes
+    }
+
+    #[test]
+    fn parallel_matches_serial_outcomes() {
+        for seed in [1u64, 2, 3] {
+            let net = workload_net(seed);
+            let base_cfg = SweepConfig {
+                seed,
+                ..SweepConfig::default()
+            };
+            let mut g = SimGen::new(SimGenConfig::default().with_seed(seed));
+            let serial = Sweeper::new(base_cfg).run(&net, &mut g);
+            for jobs in [1usize, 4] {
+                let cfg = SweepConfig { jobs, ..base_cfg };
+                let mut g = SimGen::new(SimGenConfig::default().with_seed(seed));
+                let par = ParallelSweeper::new(cfg).run(&net, &mut g);
+                assert_eq!(
+                    normalized(par.proven_classes.clone()),
+                    normalized(serial.proven_classes.clone()),
+                    "seed {seed} jobs {jobs}"
+                );
+                assert_eq!(par.stats.proved_equivalent, serial.stats.proved_equivalent);
+                assert!(par.unresolved.is_empty());
+                assert!(serial.unresolved.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn job_count_does_not_change_the_report() {
+        let net = workload_net(7);
+        let run = |jobs: usize| {
+            let cfg = SweepConfig {
+                jobs,
+                budget_schedule: Some(BudgetSchedule::default()),
+                seed: 7,
+                ..SweepConfig::default()
+            };
+            let mut g = SimGen::new(SimGenConfig::default().with_seed(7));
+            ParallelSweeper::new(cfg).run(&net, &mut g)
+        };
+        let r1 = run(1);
+        for jobs in [2usize, 4] {
+            let rj = run(jobs);
+            // Byte-identical proof results and deterministic stats.
+            assert_eq!(rj.proven_classes, r1.proven_classes, "jobs {jobs}");
+            assert_eq!(rj.unresolved, r1.unresolved);
+            assert_eq!(rj.patterns.num_patterns(), r1.patterns.num_patterns());
+            assert_eq!(rj.stats.proved_equivalent, r1.stats.proved_equivalent);
+            assert_eq!(rj.stats.disproved, r1.stats.disproved);
+            assert_eq!(rj.stats.aborted, r1.stats.aborted);
+            assert_eq!(rj.stats.sat_calls, r1.stats.sat_calls);
+            let d1 = r1.stats.dispatch.as_ref().unwrap();
+            let dj = rj.stats.dispatch.as_ref().unwrap();
+            assert_eq!(dj.rounds, d1.rounds);
+            assert_eq!(dj.total_proofs(), d1.total_proofs());
+            assert_eq!(dj.total_timeouts(), d1.total_timeouts());
+        }
+    }
+
+    #[test]
+    fn escalation_ladder_resolves_with_tiny_initial_budget() {
+        // initial=1 forces escalations on any pair needing search; the
+        // multiplied retries must still resolve everything.
+        let net = workload_net(11);
+        let cfg = SweepConfig {
+            jobs: 2,
+            budget_schedule: Some(BudgetSchedule {
+                initial: 1,
+                multiplier: 1_000,
+                attempts: 3,
+                bdd_node_limit: 0,
+            }),
+            seed: 11,
+            ..SweepConfig::default()
+        };
+        let mut g = SimGen::new(SimGenConfig::default().with_seed(11));
+        let r = ParallelSweeper::new(cfg).run(&net, &mut g);
+        let d = r.stats.dispatch.as_ref().unwrap();
+        assert!(r.stats.proved_equivalent > 0, "duplicated gates must merge");
+        assert_eq!(
+            d.total_proofs(),
+            r.stats.proved_equivalent + r.stats.disproved + r.stats.aborted
+        );
+    }
+
+    #[test]
+    fn bdd_fallback_rescues_exhausted_ladder() {
+        // Zero-attempt... smallest ladder (1 attempt, budget 1) on a
+        // pair of reassociated xor trees: SAT at budget 1 cannot prove
+        // it, the BDD fallback can.
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..8).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut l = pis[0];
+        for &p in &pis[1..] {
+            l = net.add_lut(vec![l, p], TruthTable::xor2()).unwrap();
+        }
+        let mut r = pis[7];
+        for &p in pis[..7].iter().rev() {
+            r = net.add_lut(vec![r, p], TruthTable::xor2()).unwrap();
+        }
+        net.add_po(l, "l");
+        net.add_po(r, "r");
+        let run = |bdd_node_limit: usize| {
+            let cfg = SweepConfig {
+                jobs: 2,
+                random_batch: 64,
+                guided_iterations: 2,
+                budget_schedule: Some(BudgetSchedule {
+                    initial: 1,
+                    multiplier: 1,
+                    attempts: 1,
+                    bdd_node_limit,
+                }),
+                ..SweepConfig::default()
+            };
+            let mut g = SimGen::new(SimGenConfig::default());
+            ParallelSweeper::new(cfg).run(&net, &mut g)
+        };
+        let without = run(0);
+        // The xor pair survives simulation (equivalent functions) and
+        // must end up unresolved without a fallback...
+        assert!(without
+            .unresolved
+            .iter()
+            .any(|&(a, b)| (a, b) == (l, r) || (a, b) == (r, l)));
+        // ...and proven with one.
+        let with = run(1_000_000);
+        assert!(with
+            .proven_classes
+            .iter()
+            .any(|c| c.contains(&l) && c.contains(&r)));
+        assert!(with.stats.dispatch.as_ref().unwrap().total_escalations() == 0);
+    }
+
+    #[test]
+    fn worker_stats_cover_all_proofs() {
+        let net = workload_net(5);
+        let cfg = SweepConfig {
+            jobs: 4,
+            seed: 5,
+            ..SweepConfig::default()
+        };
+        let mut g = SimGen::new(SimGenConfig::default().with_seed(5));
+        let r = ParallelSweeper::new(cfg).run(&net, &mut g);
+        let d = r.stats.dispatch.as_ref().unwrap();
+        assert_eq!(d.jobs, 4);
+        assert!(d.rounds >= 1);
+        assert_eq!(
+            d.total_proofs(),
+            r.stats.proved_equivalent + r.stats.disproved + r.stats.aborted
+        );
+    }
+}

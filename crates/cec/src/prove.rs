@@ -5,8 +5,12 @@
 //! XOR selector variable is constrained to `a ⊕ b`, and the selector
 //! is assumed true. UNSAT proves the pair equivalent; SAT yields a
 //! counterexample input vector for resimulation; a conflict-budget
-//! overrun returns [`ProveOutcome::Unknown`].
+//! overrun returns [`ProveOutcome::Undecided`] carrying the number of
+//! conflicts the aborted attempt consumed (the dispatch layer's
+//! escalation signal).
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use simgen_netlist::{LutNetwork, NodeId};
@@ -20,8 +24,22 @@ pub enum ProveOutcome {
     Equivalent,
     /// An input vector on which the nodes differ.
     Counterexample(Vec<bool>),
-    /// The conflict budget ran out.
-    Unknown,
+    /// The proof attempt was aborted before an answer — conflict
+    /// budget exhausted, interrupt raised, or (for the BDD engine)
+    /// the node limit exceeded. `conflicts` is the number of solver
+    /// conflicts the aborted attempt consumed (0 for BDD blow-ups),
+    /// which budget-escalation policies use to price the retry.
+    Undecided {
+        /// Conflicts spent by the aborted attempt.
+        conflicts: u64,
+    },
+}
+
+impl ProveOutcome {
+    /// True for [`ProveOutcome::Undecided`].
+    pub fn is_undecided(&self) -> bool {
+        matches!(self, ProveOutcome::Undecided { .. })
+    }
 }
 
 /// A verification engine answering pairwise node-equivalence queries
@@ -70,6 +88,13 @@ impl<'n> PairProver<'n> {
         self.calls
     }
 
+    /// Installs a shared interrupt flag on the underlying solver;
+    /// while raised, [`PairProver::prove`] returns
+    /// [`ProveOutcome::Undecided`] instead of searching.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.solver.set_interrupt(flag);
+    }
+
     /// Wall time spent inside the solver so far.
     pub fn time(&self) -> Duration {
         self.time
@@ -109,13 +134,16 @@ impl<'n> PairProver<'n> {
         self.solver
             .add_clause(&[Lit::pos(t), Lit::pos(va), Lit::neg(vb)]);
         self.calls += 1;
+        let conflicts_before = self.solver.stats().conflicts;
         let result = self.solver.solve_limited(&[Lit::pos(t)], budget);
         let outcome = match result {
             SolveResult::Unsat => ProveOutcome::Equivalent,
             SolveResult::Sat => ProveOutcome::Counterexample(
                 self.encoder.extract_input_vector(self.net, &self.solver),
             ),
-            SolveResult::Unknown => ProveOutcome::Unknown,
+            SolveResult::Unknown => ProveOutcome::Undecided {
+                conflicts: self.solver.stats().conflicts - conflicts_before,
+            },
         };
         self.time += start.elapsed();
         outcome
@@ -181,7 +209,7 @@ impl EquivProver for BddProver<'_> {
             self.bdds = Some(simgen_bdd::network_bdds(self.net, self.node_limit));
         }
         let outcome = match self.bdds.as_mut().expect("just built") {
-            None => ProveOutcome::Unknown, // node limit exceeded
+            None => ProveOutcome::Undecided { conflicts: 0 }, // node limit exceeded
             Some(nb) => match nb.counterexample(a, b) {
                 None => ProveOutcome::Equivalent,
                 Some(cex) => ProveOutcome::Counterexample(cex),
@@ -284,8 +312,28 @@ mod tests {
         net.add_po(l, "l");
         net.add_po(r, "r");
         let mut p = PairProver::new(&net);
+        // A tiny budget is a hard cap: the attempt aborts and reports
+        // how many conflicts it burned (bounded by budget + 1).
+        match p.prove(l, r, Some(1)) {
+            ProveOutcome::Undecided { conflicts } => {
+                assert!((1..=2).contains(&conflicts), "conflicts {conflicts}");
+            }
+            other => panic!("expected undecided, got {other:?}"),
+        }
         // Unbounded: equivalent.
         assert_eq!(p.prove(l, r, None), ProveOutcome::Equivalent);
+    }
+
+    #[test]
+    fn interrupted_prover_returns_undecided() {
+        use std::sync::atomic::Ordering;
+        let (net, x, y, _) = demo_net();
+        let mut p = PairProver::new(&net);
+        let flag = Arc::new(AtomicBool::new(true));
+        p.set_interrupt(Arc::clone(&flag));
+        assert!(p.prove(x, y, None).is_undecided());
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(p.prove(x, y, None), ProveOutcome::Equivalent);
     }
 
     #[test]

@@ -38,6 +38,62 @@ pub struct SweepStats {
     pub aborted: u64,
     /// Per-iteration history of the simulation phase.
     pub history: Vec<IterationRecord>,
+    /// Parallel-dispatch breakdown (`None` for serial sweeps).
+    pub dispatch: Option<DispatchSummary>,
+}
+
+/// What one dispatch worker contributed across all proof rounds.
+///
+/// Every field except `steals` is a deterministic function of the
+/// candidate-pair list (outcomes do not depend on scheduling); steal
+/// counts reflect actual thread interleaving and vary run to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Worker index.
+    pub worker: usize,
+    /// Pair proofs this worker executed.
+    pub proofs: u64,
+    /// Solver conflicts spent in aborted (budget-limited) attempts.
+    pub conflicts: u64,
+    /// Pairs whose whole escalation ladder (and fallback) exhausted.
+    pub timeouts: u64,
+    /// Budget-escalation retries beyond each pair's first attempt.
+    pub escalations: u64,
+    /// Jobs stolen from other workers' queues (scheduling-dependent).
+    pub steals: u64,
+}
+
+/// Aggregated parallel-dispatch statistics for one sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DispatchSummary {
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Synchronised proof rounds executed.
+    pub rounds: u64,
+    /// Per-worker breakdown, indexed by worker id.
+    pub workers: Vec<WorkerSummary>,
+}
+
+impl DispatchSummary {
+    /// Total pair proofs across workers.
+    pub fn total_proofs(&self) -> u64 {
+        self.workers.iter().map(|w| w.proofs).sum()
+    }
+
+    /// Total escalation retries across workers.
+    pub fn total_escalations(&self) -> u64 {
+        self.workers.iter().map(|w| w.escalations).sum()
+    }
+
+    /// Total exhausted pairs across workers.
+    pub fn total_timeouts(&self) -> u64 {
+        self.workers.iter().map(|w| w.timeouts).sum()
+    }
+
+    /// Total steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
 }
 
 impl SweepStats {

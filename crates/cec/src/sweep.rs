@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use simgen_core::PatternGenerator;
+use simgen_dispatch::BudgetSchedule;
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_sim::{EquivClasses, PatternSet, SimResult};
 
@@ -46,6 +47,14 @@ pub struct SweepConfig {
     pub proof: ProofEngine,
     /// Seed for the random-simulation RNG.
     pub seed: u64,
+    /// Worker threads for the SAT-resolution phase. `1` keeps the
+    /// fully serial incremental sweep; larger values dispatch pairs
+    /// through [`crate::ParallelSweeper`]'s work-stealing pool.
+    pub jobs: usize,
+    /// Budget-escalation ladder for the parallel sweeper (`None` =
+    /// a single attempt at [`SweepConfig::sat_budget`] per pair).
+    /// Ignored by the serial sweeper.
+    pub budget_schedule: Option<BudgetSchedule>,
 }
 
 impl Default for SweepConfig {
@@ -58,6 +67,8 @@ impl Default for SweepConfig {
             run_sat: true,
             proof: ProofEngine::Sat,
             seed: 0xC1C,
+            jobs: 1,
+            budget_schedule: None,
         }
     }
 }
@@ -98,60 +109,12 @@ impl Sweeper {
     /// phase.
     pub fn run(&self, net: &LutNetwork, generator: &mut dyn PatternGenerator) -> SweepReport {
         let cfg = &self.config;
-        let mut stats = SweepStats::default();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut iteration = 0usize;
-
-        // Phase 1: random simulation rounds.
-        let mut patterns = PatternSet::new(net.num_pis());
-        let t = Instant::now();
-        for _ in 0..cfg.random_rounds.max(1) {
-            let batch = PatternSet::random(net.num_pis(), cfg.random_batch, &mut rng);
-            patterns.extend(&batch);
-        }
-        // Simulated incrementally so later single-vector pushes stay
-        // O(nodes) instead of re-running the whole accumulated set.
-        let mut sim = SimResult::empty(net);
-        sim.extend_patterns(net, &patterns);
-        generator.observe_simulation(&sim);
-        let mut classes = EquivClasses::initial(net, &sim);
-        let sim_time = t.elapsed();
-        stats.sim_time += sim_time;
-        stats.history.push(IterationRecord {
-            iteration,
-            cost: classes.cost(),
-            vectors: patterns.num_patterns(),
-            gen_time: std::time::Duration::ZERO,
-            sim_time,
-        });
-        iteration += 1;
-
-        // Phase 2: guided iterations.
-        for _ in 0..cfg.guided_iterations {
-            let t = Instant::now();
-            let vectors = generator.generate(net, &classes);
-            let gen_time = t.elapsed();
-            stats.gen_time += gen_time;
-            let t = Instant::now();
-            if !vectors.is_empty() {
-                for v in &vectors {
-                    patterns.push(v);
-                    sim.push_pattern(net, v);
-                }
-                generator.observe_simulation(&sim);
-                classes.refine(&sim);
-            }
-            let sim_time = t.elapsed();
-            stats.sim_time += sim_time;
-            stats.history.push(IterationRecord {
-                iteration,
-                cost: classes.cost(),
-                vectors: vectors.len(),
-                gen_time,
-                sim_time,
-            });
-            iteration += 1;
-        }
+        let SimPhases {
+            mut stats,
+            mut patterns,
+            mut sim,
+            classes,
+        } = run_sim_phases(cfg, net, generator);
         let cost_after_sim = classes.cost();
 
         // Phase 3: SAT resolution with counterexample feedback.
@@ -164,16 +127,43 @@ impl Sweeper {
             };
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
             let mut merged: Vec<Vec<NodeId>> = Vec::new();
-            // Resolve pairs shallowest-candidate-first: proofs of deep
-            // pairs then reuse the already-asserted equivalences of
-            // their fanin cones (the fraig induction order).
-            while let Some(ci) = work
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.len() >= 2)
-                .min_by_key(|(_, c)| (net.level(c[1]), c[1]))
-                .map(|(i, _)| i)
-            {
+            // Counterexamples are not resimulated one at a time:
+            // they accumulate in `pending` (with the disproved
+            // candidates parked in `benched`) until a full 64-bit
+            // machine word is buffered or no provable pair remains,
+            // then one word-parallel resimulation refines everything
+            // at once. Benched candidates sit out until the flush so
+            // a disproved pair is never re-proved before the pattern
+            // that separates it lands in the signatures.
+            let mut pending: Vec<Vec<bool>> = Vec::new();
+            let mut benched: Vec<NodeId> = Vec::new();
+            loop {
+                // Resolve pairs shallowest-candidate-first: proofs of
+                // deep pairs then reuse the already-asserted
+                // equivalences of their fanin cones (the fraig
+                // induction order).
+                let Some(ci) = work
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.len() >= 2)
+                    .min_by_key(|(_, c)| (net.level(c[1]), c[1]))
+                    .map(|(i, _)| i)
+                else {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let t = Instant::now();
+                    work = flush_counterexamples(
+                        net,
+                        &mut patterns,
+                        &mut sim,
+                        work,
+                        &mut pending,
+                        &mut benched,
+                    );
+                    stats.sim_time += t.elapsed();
+                    continue;
+                };
                 let rep = work[ci][0];
                 let cand = work[ci][1];
                 match prover.prove(rep, cand, cfg.sat_budget) {
@@ -193,13 +183,26 @@ impl Sweeper {
                         // Figure 2's feedback arrow: the generator may
                         // learn from counterexamples (e.g. 1-distance).
                         generator.observe_counterexample(&v);
-                        let t = Instant::now();
-                        patterns.push(&v);
-                        sim.push_pattern(net, &v);
-                        work = refine_groups(work, &sim);
-                        stats.sim_time += t.elapsed();
+                        pending.push(v);
+                        benched.push(cand);
+                        work[ci].remove(1);
+                        if work[ci].len() < 2 {
+                            work.remove(ci);
+                        }
+                        if pending.len() >= CEX_FLUSH_THRESHOLD {
+                            let t = Instant::now();
+                            work = flush_counterexamples(
+                                net,
+                                &mut patterns,
+                                &mut sim,
+                                work,
+                                &mut pending,
+                                &mut benched,
+                            );
+                            stats.sim_time += t.elapsed();
+                        }
                     }
-                    ProveOutcome::Unknown => {
+                    ProveOutcome::Undecided { .. } => {
                         stats.aborted += 1;
                         unresolved.push((rep, cand));
                         work[ci].remove(1);
@@ -224,9 +227,145 @@ impl Sweeper {
     }
 }
 
+/// Output of the simulation half of a sweep (phases 1–2 of the
+/// paper's Figure 2), shared by the serial and parallel sweepers.
+pub(crate) struct SimPhases {
+    /// Stats with the simulation history filled in.
+    pub stats: SweepStats,
+    /// Patterns accumulated so far (random + guided).
+    pub patterns: PatternSet,
+    /// Incremental simulation of `patterns`.
+    pub sim: SimResult,
+    /// Equivalence classes after refinement.
+    pub classes: EquivClasses,
+}
+
+/// Phases 1–2: random simulation rounds, then guided iterations.
+pub(crate) fn run_sim_phases(
+    cfg: &SweepConfig,
+    net: &LutNetwork,
+    generator: &mut dyn PatternGenerator,
+) -> SimPhases {
+    let mut stats = SweepStats::default();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut iteration = 0usize;
+
+    // Phase 1: random simulation rounds.
+    let mut patterns = PatternSet::new(net.num_pis());
+    let t = Instant::now();
+    for _ in 0..cfg.random_rounds.max(1) {
+        let batch = PatternSet::random(net.num_pis(), cfg.random_batch, &mut rng);
+        patterns.extend(&batch);
+    }
+    // Simulated incrementally so later single-vector pushes stay
+    // O(nodes) instead of re-running the whole accumulated set.
+    let mut sim = SimResult::empty(net);
+    sim.extend_patterns(net, &patterns);
+    generator.observe_simulation(&sim);
+    let mut classes = EquivClasses::initial(net, &sim);
+    let sim_time = t.elapsed();
+    stats.sim_time += sim_time;
+    stats.history.push(IterationRecord {
+        iteration,
+        cost: classes.cost(),
+        vectors: patterns.num_patterns(),
+        gen_time: std::time::Duration::ZERO,
+        sim_time,
+    });
+    iteration += 1;
+
+    // Phase 2: guided iterations.
+    for _ in 0..cfg.guided_iterations {
+        let t = Instant::now();
+        let vectors = generator.generate(net, &classes);
+        let gen_time = t.elapsed();
+        stats.gen_time += gen_time;
+        let t = Instant::now();
+        if !vectors.is_empty() {
+            for v in &vectors {
+                patterns.push(v);
+                sim.push_pattern(net, v);
+            }
+            generator.observe_simulation(&sim);
+            classes.refine(&sim);
+        }
+        let sim_time = t.elapsed();
+        stats.sim_time += sim_time;
+        stats.history.push(IterationRecord {
+            iteration,
+            cost: classes.cost(),
+            vectors: vectors.len(),
+            gen_time,
+            sim_time,
+        });
+        iteration += 1;
+    }
+
+    SimPhases {
+        stats,
+        patterns,
+        sim,
+        classes,
+    }
+}
+
+/// Counterexamples buffered before a batched resimulation: one full
+/// 64-bit pattern word, so every flush costs exactly one word-parallel
+/// pass over the network.
+pub(crate) const CEX_FLUSH_THRESHOLD: usize = 64;
+
+/// Flushes buffered counterexamples through one word-parallel
+/// resimulation and re-partitions the working classes (with the
+/// benched candidates folded back in) by the updated signatures.
+///
+/// Returns the refined working classes. `pending` and `benched` are
+/// drained.
+pub(crate) fn flush_counterexamples(
+    net: &LutNetwork,
+    patterns: &mut PatternSet,
+    sim: &mut SimResult,
+    work: Vec<Vec<NodeId>>,
+    pending: &mut Vec<Vec<bool>>,
+    benched: &mut Vec<NodeId>,
+) -> Vec<Vec<NodeId>> {
+    for v in pending.iter() {
+        patterns.push(v);
+    }
+    sim.extend_vectors(net, pending);
+    pending.clear();
+    // A global signature partition is exact here: every working class
+    // is signature-uniform and distinct classes already differ on some
+    // earlier pattern, so re-partitioning the flattened node set can
+    // only split groups (and slot each benched candidate back beside
+    // whichever former classmates it still matches) — it can never
+    // merge nodes across classes.
+    let nodes: Vec<NodeId> = work
+        .into_iter()
+        .flatten()
+        .chain(benched.drain(..))
+        .collect();
+    partition_by_signature(&nodes, sim)
+}
+
+/// Partitions nodes into groups of identical full signatures,
+/// preserving first-seen order; singleton groups are dropped.
+pub(crate) fn partition_by_signature(nodes: &[NodeId], sim: &SimResult) -> Vec<Vec<NodeId>> {
+    let mut index: std::collections::HashMap<&[u64], usize> = std::collections::HashMap::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for &n in nodes {
+        let gi = *index.entry(sim.signature(n)).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[gi].push(n);
+    }
+    groups.retain(|g| g.len() >= 2);
+    groups
+}
+
 /// Adds `cand` to the proven group containing `rep`, or starts a new
 /// group.
-fn record_merge(groups: &mut Vec<Vec<NodeId>>, rep: NodeId, cand: NodeId) {
+pub(crate) fn record_merge(groups: &mut Vec<Vec<NodeId>>, rep: NodeId, cand: NodeId) {
     for g in groups.iter_mut() {
         if g.contains(&rep) {
             g.push(cand);
@@ -237,7 +376,9 @@ fn record_merge(groups: &mut Vec<Vec<NodeId>>, rep: NodeId, cand: NodeId) {
 }
 
 /// Re-partitions working classes by the latest signatures, dropping
-/// singletons.
+/// singletons. Kept as the reference implementation that
+/// [`partition_by_signature`] is checked against.
+#[cfg(test)]
 fn refine_groups(groups: Vec<Vec<NodeId>>, sim: &SimResult) -> Vec<Vec<NodeId>> {
     let mut out = Vec::with_capacity(groups.len());
     for g in groups {
@@ -322,10 +463,7 @@ mod tests {
         let mut net = LutNetwork::new();
         let pis: Vec<NodeId> = (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
         let f1 = net
-            .add_lut(
-                pis.clone(),
-                TruthTable::from_fn(6, |m| m.count_ones() >= 3),
-            )
+            .add_lut(pis.clone(), TruthTable::from_fn(6, |m| m.count_ones() >= 3))
             .unwrap();
         let f2 = net
             .add_lut(
@@ -408,7 +546,9 @@ mod tests {
         let (net, ands) = redundant_net();
         let sat_cfg = SweepConfig::default();
         let bdd_cfg = SweepConfig {
-            proof: ProofEngine::Bdd { node_limit: 1_000_000 },
+            proof: ProofEngine::Bdd {
+                node_limit: 1_000_000,
+            },
             ..SweepConfig::default()
         };
         let mut g1 = SimGen::new(SimGenConfig::default());
@@ -438,7 +578,10 @@ mod tests {
         };
         let mut g = SimGen::new(SimGenConfig::default());
         let r = Sweeper::new(cfg).run(&net, &mut g);
-        assert_eq!(r.stats.proved_equivalent, 0, "nothing proven under a 1-node limit");
+        assert_eq!(
+            r.stats.proved_equivalent, 0,
+            "nothing proven under a 1-node limit"
+        );
         // Whatever survived simulation is now unresolved, not merged.
         assert_eq!(r.stats.aborted as usize, r.unresolved.len());
     }
@@ -454,7 +597,10 @@ mod tests {
             .add_lut(pis.clone(), TruthTable::from_fn(6, |m| m.count_ones() >= 3))
             .unwrap();
         let f2 = net
-            .add_lut(pis.clone(), TruthTable::from_fn(6, |m| m.count_ones() >= 3 || m == 0b000011))
+            .add_lut(
+                pis.clone(),
+                TruthTable::from_fn(6, |m| m.count_ones() >= 3 || m == 0b000011),
+            )
             .unwrap();
         net.add_po(f1, "f1");
         net.add_po(f2, "f2");
@@ -467,7 +613,10 @@ mod tests {
         let mut gen = simgen_core::OneDistance::new(3, 2);
         let report = Sweeper::new(cfg).run(&net, &mut gen);
         if report.stats.disproved > 0 {
-            assert!(gen.pool_len() > 0, "counterexamples must reach the generator");
+            assert!(
+                gen.pool_len() > 0,
+                "counterexamples must reach the generator"
+            );
         }
     }
 
@@ -486,5 +635,69 @@ mod tests {
         let groups = refine_groups(vec![vec![x, y, z]], &sim);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0], vec![x, z]);
+    }
+
+    #[test]
+    fn partition_by_signature_matches_refine_groups() {
+        let (net, _) = redundant_net();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let p = PatternSet::random(net.num_pis(), 3, &mut rng);
+        let sim = simgen_sim::simulate(&net, &p);
+        let classes = EquivClasses::initial(&net, &sim);
+        let groups = classes.classes().to_vec();
+        let flat: Vec<NodeId> = groups.iter().flatten().copied().collect();
+        assert_eq!(
+            partition_by_signature(&flat, &sim),
+            refine_groups(groups, &sim),
+            "global partition must equal per-group refinement when \
+             groups are signature classes"
+        );
+    }
+
+    #[test]
+    fn flush_batches_counterexamples_into_words() {
+        // A sweep that forces many SAT disproofs must still produce
+        // sound results with batched resimulation, and the pattern set
+        // must contain every counterexample it buffered.
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..5).map(|i| net.add_pi(format!("p{i}"))).collect();
+        // Many pairwise-distinct threshold-ish functions that collide
+        // under a tiny random phase.
+        let mut outs = Vec::new();
+        for k in 0..8u64 {
+            let f = net
+                .add_lut(
+                    pis.clone(),
+                    TruthTable::from_fn(5, move |m| m.count_ones() >= 3 || m == k),
+                )
+                .unwrap();
+            outs.push(f);
+            net.add_po(f, format!("f{k}"));
+        }
+        let cfg = SweepConfig {
+            random_rounds: 1,
+            random_batch: 1,
+            guided_iterations: 0,
+            ..SweepConfig::default()
+        };
+        let mut gen = RandomPatterns::new(1, 0);
+        let report = Sweeper::new(cfg).run(&net, &mut gen);
+        // No two of the distinct functions may be merged.
+        for g in &report.proven_classes {
+            for (i, &a) in outs.iter().enumerate() {
+                for &b in &outs[i + 1..] {
+                    assert!(
+                        !(g.contains(&a) && g.contains(&b)),
+                        "distinct functions {a} and {b} merged"
+                    );
+                }
+            }
+        }
+        // Every counterexample the SAT phase produced landed in the
+        // accumulated pattern set.
+        assert_eq!(
+            report.patterns.num_patterns() as u64,
+            1 + report.stats.disproved,
+        );
     }
 }

@@ -3,7 +3,8 @@
 //! equivalences wherever BDDs stay within their node limit.
 
 use simgen_cec::{
-    BddProver, EquivProver, PairProver, ProofEngine, ProveOutcome, SweepConfig, Sweeper,
+    BddProver, BudgetSchedule, EquivProver, PairProver, ParallelSweeper, ProofEngine, ProveOutcome,
+    SweepConfig, Sweeper,
 };
 use simgen_core::{SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
@@ -84,4 +85,113 @@ fn sweeps_agree_on_proven_sets() {
         norm(bdd.proven_classes),
         "identical equivalence structure from both engines"
     );
+}
+
+/// A seeded sweep workload: a benchmark miter'd against its own
+/// restructured variant, guaranteeing plenty of true equivalences.
+fn workload(name: &str, seed: u64) -> simgen_netlist::LutNetwork {
+    let aig = build_aig(name).expect("known benchmark");
+    let variant = restructure(&aig, 0.4, seed);
+    let left = map_to_luts(&aig, 6);
+    let right = map_to_luts(&variant, 6);
+    simgen_netlist::miter::combine(&left, &right)
+        .expect("matched interfaces")
+        .network
+}
+
+fn norm(mut classes: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    for c in classes.iter_mut() {
+        c.sort();
+    }
+    classes.sort();
+    classes
+}
+
+/// The dispatch engine must reproduce the serial sweeper's semantic
+/// outcome — same proven equivalence structure, same proof-outcome
+/// counts — at every worker count, across a spread of seeded workload
+/// circuits.
+#[test]
+fn parallel_sweeps_match_serial_across_workloads() {
+    let circuits = [
+        ("e64", 11u64),
+        ("e64", 19),
+        ("priority", 23),
+        ("priority", 31),
+        ("dec", 37),
+    ];
+    for (name, seed) in circuits {
+        let net = workload(name, seed);
+        let base = SweepConfig {
+            guided_iterations: 5,
+            seed,
+            ..SweepConfig::default()
+        };
+        let mut gen = SimGen::new(SimGenConfig::default().with_seed(seed));
+        let serial = Sweeper::new(base).run(&net, &mut gen);
+        let mut parallel_reports = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            let cfg = SweepConfig {
+                jobs,
+                budget_schedule: Some(BudgetSchedule {
+                    initial: 2_000,
+                    multiplier: 50,
+                    attempts: 2,
+                    bdd_node_limit: 0,
+                }),
+                ..base
+            };
+            let mut gen = SimGen::new(SimGenConfig::default().with_seed(seed));
+            let par = ParallelSweeper::new(cfg).run(&net, &mut gen);
+            assert_eq!(
+                norm(par.proven_classes.clone()),
+                norm(serial.proven_classes.clone()),
+                "{name}: parallel jobs={jobs} must prove the same classes"
+            );
+            assert_eq!(
+                par.stats.proved_equivalent, serial.stats.proved_equivalent,
+                "{name} jobs={jobs}"
+            );
+            assert_eq!(
+                par.stats.aborted, 0,
+                "{name} jobs={jobs}: nothing may time out"
+            );
+            assert_eq!(
+                serial.stats.aborted, 0,
+                "{name}: serial baseline fully resolves"
+            );
+            parallel_reports.push(par);
+        }
+        // Across worker counts the parallel reports are identical in
+        // every deterministic respect (not just up to reordering).
+        let first = &parallel_reports[0];
+        for (i, r) in parallel_reports.iter().enumerate().skip(1) {
+            assert_eq!(r.proven_classes, first.proven_classes, "{name} report {i}");
+            assert_eq!(r.unresolved, first.unresolved, "{name} report {i}");
+            assert_eq!(
+                r.stats.disproved, first.stats.disproved,
+                "{name} report {i}"
+            );
+            assert_eq!(
+                r.stats.sat_calls, first.stats.sat_calls,
+                "{name} report {i}"
+            );
+            assert_eq!(
+                r.patterns.num_patterns(),
+                first.patterns.num_patterns(),
+                "{name} report {i}"
+            );
+            let (da, db) = (
+                r.stats.dispatch.as_ref().unwrap(),
+                first.stats.dispatch.as_ref().unwrap(),
+            );
+            assert_eq!(da.rounds, db.rounds, "{name} report {i}");
+            assert_eq!(da.total_proofs(), db.total_proofs(), "{name} report {i}");
+            assert_eq!(
+                da.total_escalations(),
+                db.total_escalations(),
+                "{name} report {i}"
+            );
+        }
+    }
 }

@@ -9,13 +9,11 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
 
-use simgen_cec::{check_equivalence, CecVerdict, SweepConfig, Sweeper};
-use simgen_sat::{Cnf, SolveResult, Solver};
-use simgen_core::{
-    OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig,
-};
+use simgen_cec::{check_equivalence, CecVerdict, ParallelSweeper, SweepConfig};
+use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
 use simgen_netlist::{aiger, bench_fmt, blif, Aig, LutNetwork};
+use simgen_sat::{Cnf, SolveResult, Solver};
 use simgen_workloads::{all_benchmarks, build_aig};
 
 /// A user-facing CLI error (message only, no panic).
@@ -174,7 +172,7 @@ pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str>
     out
 }
 
-const VALUE_FLAGS: [&str; 4] = ["-k", "--strategy", "--iters", "--seed"];
+const VALUE_FLAGS: [&str; 6] = ["-k", "--strategy", "--iters", "--seed", "--jobs", "-j"];
 
 /// Dispatches a CLI invocation. Returns the process exit code.
 ///
@@ -188,13 +186,28 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
     };
     let rest = &args[1..];
     let k: usize = flag_value(rest, "-k")
-        .map(|v| v.parse().map_err(|_| CliError(format!("bad -k value `{v}`"))))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError(format!("bad -k value `{v}`")))
+        })
         .transpose()?
         .unwrap_or(6);
     let seed: u64 = flag_value(rest, "--seed")
-        .map(|v| v.parse().map_err(|_| CliError(format!("bad --seed value `{v}`"))))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError(format!("bad --seed value `{v}`")))
+        })
         .transpose()?
         .unwrap_or(0);
+    let jobs: usize = flag_value(rest, "--jobs")
+        .or_else(|| flag_value(rest, "-j"))
+        .map(|v| {
+            v.parse::<usize>().ok().filter(|&j| j >= 1).ok_or_else(|| {
+                CliError(format!("bad --jobs value `{v}` (need a positive integer)"))
+            })
+        })
+        .transpose()?
+        .unwrap_or(1);
     let pos = positionals(rest, &VALUE_FLAGS);
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -256,8 +269,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let [path] = pos[..] else {
                 return err("usage: simgen sat <file.cnf>");
             };
-            let f = File::open(path)
-                .map_err(|e| CliError(format!("cannot open `{path}`: {e}")))?;
+            let f = File::open(path).map_err(|e| CliError(format!("cannot open `{path}`: {e}")))?;
             let cnf = Cnf::read_dimacs(BufReader::new(f))
                 .map_err(|e| CliError(format!("{path}: {e}")))?;
             let mut solver = Solver::from_cnf(&cnf);
@@ -305,24 +317,29 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let net = load(path)?.into_lut(k);
             let strategy = flag_value(rest, "--strategy").unwrap_or("simgen");
             let iters: usize = flag_value(rest, "--iters")
-                .map(|v| v.parse().map_err(|_| CliError(format!("bad --iters `{v}`"))))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad --iters `{v}`")))
+                })
                 .transpose()?
                 .unwrap_or(20);
             let mut gen = make_strategy(strategy, seed)?;
             let cfg = SweepConfig {
                 guided_iterations: iters,
+                jobs,
                 ..SweepConfig::default()
             };
-            let report = Sweeper::new(cfg).run(&net, gen.as_mut());
+            // Always the dispatch engine: its reports are
+            // scheduling-invariant, so every --jobs value (including
+            // the default 1, which runs inline without threads)
+            // prints byte-identical classes and proof counts.
+            let report = ParallelSweeper::new(cfg).run(&net, gen.as_mut());
             println!(
-                "{path}: {} LUTs | strategy {}",
+                "{path}: {} LUTs | strategy {} | jobs {jobs}",
                 net.num_luts(),
                 gen.name()
             );
-            println!(
-                "  cost after simulation : {}",
-                report.cost_after_sim
-            );
+            println!("  cost after simulation : {}", report.cost_after_sim);
             println!("  SAT calls             : {}", report.stats.sat_calls);
             println!("  SAT time              : {:?}", report.stats.sat_time);
             println!(
@@ -335,6 +352,15 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             );
             println!("  disproved             : {}", report.stats.disproved);
             println!("  unresolved            : {}", report.unresolved.len());
+            if let Some(d) = &report.stats.dispatch {
+                println!(
+                    "  dispatch              : {} rounds, {} proofs, {} escalations, {} steals",
+                    d.rounds,
+                    d.total_proofs(),
+                    d.total_escalations(),
+                    d.total_steals()
+                );
+            }
             Ok(ExitCode::SUCCESS)
         }
         "cec" => {
@@ -345,19 +371,22 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let nb = load(pb)?.into_lut(k);
             let strategy = flag_value(rest, "--strategy").unwrap_or("simgen");
             let mut gen = make_strategy(strategy, seed)?;
-            let report =
-                check_equivalence(&na, &nb, gen.as_mut(), SweepConfig::default())
-                    .map_err(|e| CliError(e.to_string()))?;
+            let cfg = SweepConfig {
+                jobs,
+                ..SweepConfig::default()
+            };
+            let report = check_equivalence(&na, &nb, gen.as_mut(), cfg)
+                .map_err(|e| CliError(e.to_string()))?;
             match report.verdict {
                 CecVerdict::Equivalent => {
-                    println!("EQUIVALENT ({} sweep SAT calls)", report.sweep_stats.sat_calls);
+                    println!(
+                        "EQUIVALENT ({} sweep SAT calls)",
+                        report.sweep_stats.sat_calls
+                    );
                     Ok(ExitCode::SUCCESS)
                 }
                 CecVerdict::NotEquivalent { po_index, witness } => {
-                    let bits: String = witness
-                        .iter()
-                        .map(|&b| if b { '1' } else { '0' })
-                        .collect();
+                    let bits: String = witness.iter().map(|&b| if b { '1' } else { '0' }).collect();
                     println!("NOT EQUIVALENT: output pair {po_index} differs on input {bits}");
                     Ok(ExitCode::from(1))
                 }
@@ -371,8 +400,8 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let [name, output] = pos[..] else {
                 return err("usage: simgen bench <name> <out>");
             };
-            let aig = build_aig(name)
-                .ok_or_else(|| CliError(format!("unknown benchmark `{name}`")))?;
+            let aig =
+                build_aig(name).ok_or_else(|| CliError(format!("unknown benchmark `{name}`")))?;
             save(&Circuit::Aig(aig), output, k)?;
             println!("wrote {output}");
             Ok(ExitCode::SUCCESS)
@@ -397,13 +426,15 @@ USAGE:
   simgen map <in> <out.blif> [-k K]        LUT-map an AIG file to BLIF
   simgen export <in> <out.dot|out.v> [-k K]  Graphviz / structural Verilog
   simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
-  simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N]
-  simgen cec <a> <b> [--strategy S] [-k K] [--seed N]
+  simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N] [--jobs N]
+  simgen cec <a> <b> [--strategy S] [-k K] [--seed N] [--jobs N]
   simgen bench <name> <out>                emit a built-in benchmark circuit
   simgen list-benchmarks                   list the 42 built-in benchmarks
 
 Formats by extension: .aig (binary AIGER), .aag (ASCII AIGER),
-.bench (ISCAS), .blif. Strategies: simgen (default), revs, rand, 1dist."
+.bench (ISCAS), .blif. Strategies: simgen (default), revs, rand, 1dist.
+--jobs/-j N runs the SAT-resolution phase on N worker threads (the
+results are identical for any N)."
     );
 }
 
@@ -427,14 +458,21 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let args = s(&["sweep.blif", "--strategy", "revs", "-k", "4"]);
+        let args = s(&["sweep.blif", "--strategy", "revs", "-k", "4", "-j", "8"]);
         assert_eq!(flag_value(&args, "--strategy"), Some("revs"));
         assert_eq!(flag_value(&args, "-k"), Some("4"));
         assert_eq!(flag_value(&args, "--iters"), None);
-        assert_eq!(
-            positionals(&args, &VALUE_FLAGS),
-            vec!["sweep.blif"]
-        );
+        assert_eq!(flag_value(&args, "-j"), Some("8"));
+        assert_eq!(positionals(&args, &VALUE_FLAGS), vec!["sweep.blif"]);
+    }
+
+    #[test]
+    fn bad_jobs_value_is_rejected() {
+        for bad in ["0", "-3", "many"] {
+            let res = run(&s(&["sweep", "x.blif", "--jobs", bad]));
+            let msg = res.expect_err("jobs must be a positive integer").0;
+            assert!(msg.contains("--jobs"), "unexpected error: {msg}");
+        }
     }
 
     #[test]
@@ -500,16 +538,24 @@ mod tests {
         let v_text = std::fs::read_to_string(&v).unwrap();
         assert!(v_text.contains("endmodule"));
         // SAT subcommand: (x1 | x2) & !x1 is satisfiable.
-        std::fs::write(&cnf, "p cnf 2 2
+        std::fs::write(
+            &cnf,
+            "p cnf 2 2
 1 2 0
 -1 0
-").unwrap();
+",
+        )
+        .unwrap();
         let code = run(&s(&["sat", cnf.to_str().unwrap()])).unwrap();
         assert_eq!(code, ExitCode::from(10));
-        std::fs::write(&cnf, "p cnf 1 2
+        std::fs::write(
+            &cnf,
+            "p cnf 1 2
 1 0
 -1 0
-").unwrap();
+",
+        )
+        .unwrap();
         let code = run(&s(&["sat", cnf.to_str().unwrap()])).unwrap();
         assert_eq!(code, ExitCode::from(20));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -526,6 +572,12 @@ mod tests {
         run(&s(&["bench", "e64", &a_s])).unwrap();
         run(&s(&["map", &a_s, &b_s])).unwrap();
         let code = run(&s(&["cec", &a_s, &b_s])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        // Same verdict through the parallel dispatch path.
+        let code = run(&s(&["cec", &a_s, &b_s, "--jobs", "4"])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        // And the sweep subcommand accepts the short flag.
+        let code = run(&s(&["sweep", &b_s, "-j", "2", "--iters", "2"])).unwrap();
         assert_eq!(code, ExitCode::SUCCESS);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -80,6 +80,7 @@ impl MffcDepths {
 ///
 /// The chosen row's specified values are assigned to all currently
 /// unassigned pins of the gate (inputs and, if free, the output).
+#[allow(clippy::too_many_arguments)]
 pub fn decide(
     net: &LutNetwork,
     values: &mut ValueMap,
@@ -212,8 +213,15 @@ mod tests {
         let mut rng = Rng_::seed_from_u64(1);
         vm.assign(f.z, Value::One);
         let d = decide(
-            &f.net, &mut vm, &mut db, &mut mf, f.z,
-            DecisionStrategy::Random, 100.0, 1.0, &mut rng,
+            &f.net,
+            &mut vm,
+            &mut db,
+            &mut mf,
+            f.z,
+            DecisionStrategy::Random,
+            100.0,
+            1.0,
+            &mut rng,
         );
         match d {
             Decision::Assigned(newly) => {
@@ -242,8 +250,15 @@ mod tests {
         vm.assign(b, Value::One);
         vm.assign(f.x, Value::Zero);
         let d = decide(
-            &f.net, &mut vm, &mut db, &mut mf, f.x,
-            DecisionStrategy::Dc, 100.0, 1.0, &mut rng,
+            &f.net,
+            &mut vm,
+            &mut db,
+            &mut mf,
+            f.x,
+            DecisionStrategy::Dc,
+            100.0,
+            1.0,
+            &mut rng,
         );
         assert_eq!(d, Decision::NoRows);
     }
@@ -261,8 +276,15 @@ mod tests {
         vm.assign(b, Value::One);
         vm.assign(f.x, Value::One);
         let d = decide(
-            &f.net, &mut vm, &mut db, &mut mf, f.x,
-            DecisionStrategy::Random, 100.0, 1.0, &mut rng,
+            &f.net,
+            &mut vm,
+            &mut db,
+            &mut mf,
+            f.x,
+            DecisionStrategy::Random,
+            100.0,
+            1.0,
+            &mut rng,
         );
         assert_eq!(d, Decision::Saturated);
     }
@@ -290,17 +312,21 @@ mod tests {
         for _ in 0..20 {
             let mut vm = ValueMap::new(net.len());
             let d = decide(
-                &net, &mut vm, &mut db, &mut mf, g,
-                DecisionStrategy::Dc, 100.0, 1.0, &mut rng,
+                &net,
+                &mut vm,
+                &mut db,
+                &mut mf,
+                g,
+                DecisionStrategy::Dc,
+                100.0,
+                1.0,
+                &mut rng,
             );
             match d {
                 Decision::Assigned(_) => {
                     assert_eq!(vm.get(g), Value::Zero, "dc strategy picks an off row");
                     // Exactly one input assigned (2 DCs).
-                    let assigned = [a, b, c]
-                        .iter()
-                        .filter(|&&n| vm.is_assigned(n))
-                        .count();
+                    let assigned = [a, b, c].iter().filter(|&&n| vm.is_assigned(n)).count();
                     assert_eq!(assigned, 1);
                 }
                 other => panic!("unexpected {other:?}"),
@@ -327,8 +353,15 @@ mod tests {
             let mut mf = MffcDepths::new(&f.net);
             vm.assign(f.z, Value::One);
             let d = decide(
-                &f.net, &mut vm, &mut db, &mut mf, f.z,
-                DecisionStrategy::DcMffc, 0.0, 10.0, &mut rng,
+                &f.net,
+                &mut vm,
+                &mut db,
+                &mut mf,
+                f.z,
+                DecisionStrategy::DcMffc,
+                0.0,
+                10.0,
+                &mut rng,
             );
             if let Decision::Assigned(_) = d {
                 total += 1;
@@ -349,7 +382,10 @@ mod tests {
         assert!(total == 200);
         let frac = chose_x as f64 / total as f64;
         let expect = dx / (dx + dy);
-        assert!((frac - expect).abs() < 0.15, "frac {frac} vs expected {expect}");
+        assert!(
+            (frac - expect).abs() < 0.15,
+            "frac {frac} vs expected {expect}"
+        );
     }
 
     #[test]

@@ -137,14 +137,29 @@ impl<'n> InputVectorGenerator<'n> {
             assignments += 1;
             // Line 6: the DFS fanin cone (its PIs are the goal set).
             let cone = fanin_cone_dfs(self.net, target);
-            let cone_pis: Vec<NodeId> =
-                cone.iter().copied().filter(|&n| self.net.is_pi(n)).collect();
+            let cone_pis: Vec<NodeId> = cone
+                .iter()
+                .copied()
+                .filter(|&n| self.net.is_pi(n))
+                .collect();
             let mut in_cone = vec![false; self.net.len()];
             for &n in &cone {
                 in_cone[n.index()] = true;
             }
 
-            let mut seeds: Vec<NodeId> = vec![target];
+            // Seed propagation with every already-assigned cone node
+            // (not just the target): earlier targets may have assigned
+            // this cone's PIs from *their* regions without ever
+            // examining the gates above them here. Without these seeds
+            // the "all cone PIs assigned" exit below can fire while an
+            // interior gate still carries an unrealizable obligation,
+            // yielding a vector that does not honor the target.
+            let mut seeds: Vec<NodeId> = cone
+                .iter()
+                .copied()
+                .filter(|&n| n != target && self.values.is_assigned(n))
+                .collect();
+            seeds.push(target);
             // Gates proven unable to make further progress (their
             // compatible rows' specified pins are all assigned).
             let mut exhausted = vec![false; self.net.len()];
@@ -315,8 +330,7 @@ mod tests {
         for seed in 0..15 {
             let mut build = Rng_::seed_from_u64(seed);
             let mut net = LutNetwork::new();
-            let mut pool: Vec<NodeId> =
-                (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
+            let mut pool: Vec<NodeId> = (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
             for _ in 0..25 {
                 let k = build.gen_range(1..=3usize);
                 let mut fanins = Vec::new();

@@ -182,9 +182,7 @@ impl PatternGenerator for SimGen {
 
         let probs = match self.cfg.outgold {
             OutGoldPolicy::Alternating => None,
-            OutGoldPolicy::TopologyAware => {
-                Some(simgen_sim::signal_probabilities(net))
-            }
+            OutGoldPolicy::TopologyAware => Some(simgen_sim::signal_probabilities(net)),
             // Adaptive: observed frequencies if any simulation has
             // been reported, else fall back to alternating golds.
             OutGoldPolicy::Adaptive => self.observed_freq.clone(),
@@ -192,7 +190,11 @@ impl PatternGenerator for SimGen {
         let rows = self.rows.take().unwrap_or_default();
         let mut engine = InputVectorGenerator::with_rows(net, rows);
         let mut produced = Vec::new();
-        for attempt in 0..order.len().min(self.max_attempts) {
+        // Up to `max_attempts` class attempts, wrapping around when
+        // fewer classes exist: the engine is randomized, so retrying a
+        // class redraws its decisions and can succeed where the first
+        // try produced a one-sided (non-splitting) vector.
+        for attempt in 0..self.max_attempts {
             let class = order[(self.cursor + attempt) % order.len()];
             let targets = match &probs {
                 None => outgold::alternating(class),
@@ -381,7 +383,10 @@ mod tests {
         assert_eq!(SimGen::new(SimGenConfig::simple_random()).name(), "SI+RD");
         assert_eq!(SimGen::new(SimGenConfig::advanced_random()).name(), "AI+RD");
         assert_eq!(SimGen::new(SimGenConfig::advanced_dc()).name(), "AI+DC");
-        assert_eq!(SimGen::new(SimGenConfig::advanced_dc_mffc()).name(), "SimGen");
+        assert_eq!(
+            SimGen::new(SimGenConfig::advanced_dc_mffc()).name(),
+            "SimGen"
+        );
     }
 
     #[test]

@@ -179,7 +179,16 @@ mod tests {
         let y = net.add_lut(vec![inv, c], TruthTable::nand2()).unwrap();
         let z = net.add_lut(vec![x, y], TruthTable::and2()).unwrap();
         net.add_po(z, "d");
-        Fig1 { net, a, b, c, inv, x, y, z }
+        Fig1 {
+            net,
+            a,
+            b,
+            c,
+            inv,
+            x,
+            y,
+            z,
+        }
     }
 
     #[test]
@@ -193,7 +202,13 @@ mod tests {
         let mut vm = ValueMap::new(f.net.len());
         let mut db = RowDb::new();
         vm.assign(f.z, Value::One);
-        let r = propagate(&f.net, &mut vm, &mut db, &[f.z], ImplicationStrategy::Advanced);
+        let r = propagate(
+            &f.net,
+            &mut vm,
+            &mut db,
+            &[f.z],
+            ImplicationStrategy::Advanced,
+        );
         assert!(r.is_ok());
         assert_eq!(vm.get(f.x), Value::One);
         assert_eq!(vm.get(f.y), Value::One);
@@ -217,9 +232,19 @@ mod tests {
         let mut db = RowDb::new();
         vm.assign(f.y, Value::One);
         vm.assign(f.b, Value::Zero);
-        let r = propagate(&f.net, &mut vm, &mut db, &[f.b, f.y], ImplicationStrategy::Advanced);
+        let r = propagate(
+            &f.net,
+            &mut vm,
+            &mut db,
+            &[f.b, f.y],
+            ImplicationStrategy::Advanced,
+        );
         assert!(r.is_ok());
-        assert_eq!(vm.get(f.inv), Value::One, "forward implication through inverter");
+        assert_eq!(
+            vm.get(f.inv),
+            Value::One,
+            "forward implication through inverter"
+        );
         assert_eq!(vm.get(f.c), Value::Zero, "nand(1, c) = 1 forces c = 0");
     }
 
@@ -232,7 +257,13 @@ mod tests {
         // contradiction. Build it directly: b=1 assigned, inv=1 assigned.
         vm.assign(f.b, Value::One);
         vm.assign(f.inv, Value::One);
-        let r = propagate(&f.net, &mut vm, &mut db, &[f.b, f.inv], ImplicationStrategy::Advanced);
+        let r = propagate(
+            &f.net,
+            &mut vm,
+            &mut db,
+            &[f.b, f.inv],
+            ImplicationStrategy::Advanced,
+        );
         assert_eq!(r, Propagation::Conflict(f.inv));
     }
 
@@ -242,7 +273,13 @@ mod tests {
         let mut vm = ValueMap::new(f.net.len());
         let mut db = RowDb::new();
         vm.assign(f.a, Value::Zero);
-        let r = propagate(&f.net, &mut vm, &mut db, &[f.a], ImplicationStrategy::Advanced);
+        let r = propagate(
+            &f.net,
+            &mut vm,
+            &mut db,
+            &[f.a],
+            ImplicationStrategy::Advanced,
+        );
         assert!(r.is_ok());
         // and(0, b) = 0 regardless of b.
         assert_eq!(vm.get(f.x), Value::Zero);
@@ -286,7 +323,13 @@ mod tests {
         let mut vm = ValueMap::new(f.net.len());
         let mut db = RowDb::new();
         vm.assign(f.z, Value::One);
-        match propagate(&f.net, &mut vm, &mut db, &[f.z], ImplicationStrategy::Advanced) {
+        match propagate(
+            &f.net,
+            &mut vm,
+            &mut db,
+            &[f.z],
+            ImplicationStrategy::Advanced,
+        ) {
             Propagation::Quiescent(n) => assert_eq!(n, 5), // x, y, a, b, inv
             other => panic!("unexpected {other:?}"),
         }

@@ -64,10 +64,10 @@ pub mod revsim;
 pub mod rows;
 pub mod tv;
 
+pub use decision::DecisionStrategy;
 pub use engine::{InputVectorGenerator, TargetOutcome};
 pub use generator::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen};
 pub use implication::ImplicationStrategy;
-pub use decision::DecisionStrategy;
 pub use tv::{Value, ValueMap};
 
 /// How OUTgold values are assigned across a class (paper Section 3;

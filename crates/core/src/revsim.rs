@@ -211,8 +211,7 @@ mod tests {
         for seed in 0..10 {
             let mut build = Rng_::seed_from_u64(seed);
             let mut net = LutNetwork::new();
-            let mut pool: Vec<NodeId> =
-                (0..5).map(|i| net.add_pi(format!("p{i}"))).collect();
+            let mut pool: Vec<NodeId> = (0..5).map(|i| net.add_pi(format!("p{i}"))).collect();
             for _ in 0..20 {
                 let k = build.gen_range(1..=3usize);
                 let mut fanins = Vec::new();

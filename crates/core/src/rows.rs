@@ -44,11 +44,10 @@ impl RowDb {
                 .into_iter()
                 .map(|cube| Row { cube, output: true })
                 .collect();
-            rows.extend(
-                tt.offset_cover()
-                    .into_iter()
-                    .map(|cube| Row { cube, output: false }),
-            );
+            rows.extend(tt.offset_cover().into_iter().map(|cube| Row {
+                cube,
+                output: false,
+            }));
             rows
         })
     }

@@ -154,7 +154,10 @@ mod tests {
         assert!(Value::Zero.is_assigned());
         assert!(!Value::Unknown.is_assigned());
         assert_eq!(Value::default(), Value::Unknown);
-        assert_eq!(format!("{}{}{}", Value::Zero, Value::One, Value::Unknown), "01-");
+        assert_eq!(
+            format!("{}{}{}", Value::Zero, Value::One, Value::Unknown),
+            "01-"
+        );
     }
 
     #[test]

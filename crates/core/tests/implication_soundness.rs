@@ -14,7 +14,9 @@ use simgen_netlist::{LutNetwork, NodeId, TruthTable};
 /// Builds a single-gate network with the given function.
 fn single_gate(tt: TruthTable) -> (LutNetwork, Vec<NodeId>, NodeId) {
     let mut net = LutNetwork::new();
-    let pis: Vec<NodeId> = (0..tt.arity()).map(|i| net.add_pi(format!("p{i}"))).collect();
+    let pis: Vec<NodeId> = (0..tt.arity())
+        .map(|i| net.add_pi(format!("p{i}")))
+        .collect();
     let g = net.add_lut(pis.clone(), tt).unwrap();
     net.add_po(g, "f");
     (net, pis, g)

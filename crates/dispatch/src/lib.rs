@@ -1,0 +1,20 @@
+//! Parallel proof dispatch: a work-stealing scheduler for candidate
+//! equivalence pairs, plus the budget-escalation policy that decides
+//! how much SAT effort each pair receives before falling back to BDDs.
+//!
+//! The crate is deliberately domain-agnostic: the executor runs any
+//! `Fn(&mut State, Job) -> Result` over a job list and returns results
+//! **in input order**, so a sweeping layer built on top produces
+//! identical output regardless of worker count or scheduling. Worker
+//! state (`State`) is where callers keep their per-worker SAT solver
+//! and BDD fallback; [`BudgetSchedule`] prices the retries.
+//!
+//! Determinism contract: everything about the returned
+//! [`DispatchOutcome::results`] is a pure function of the job list —
+//! only the per-worker execution/steal counters depend on scheduling.
+
+mod executor;
+mod schedule;
+
+pub use executor::{run_ordered, DispatchOutcome, WorkerReport};
+pub use schedule::{Attempt, BudgetSchedule, Escalation};

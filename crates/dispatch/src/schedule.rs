@@ -1,0 +1,193 @@
+//! Budget escalation: how much proof effort a pair receives.
+//!
+//! A pair proof starts with a small conflict budget (most pairs are
+//! easy — either quickly UNSAT or quickly SAT), and only the hard
+//! stragglers earn multiplied retries. Pairs that exhaust the whole
+//! SAT ladder may fall back to a BDD engine, guarded by a node limit
+//! so arithmetic cones cannot blow the heap.
+
+/// The escalation ladder for one pair proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetSchedule {
+    /// Conflict budget of the first SAT attempt.
+    pub initial: u64,
+    /// Budget multiplier applied on each retry.
+    pub multiplier: u64,
+    /// Total SAT attempts (including the first) before giving up on
+    /// the solver.
+    pub attempts: u32,
+    /// Node limit for the BDD fallback tried after the SAT ladder is
+    /// exhausted; `0` disables the fallback.
+    pub bdd_node_limit: usize,
+}
+
+impl Default for BudgetSchedule {
+    fn default() -> Self {
+        BudgetSchedule {
+            initial: 1_000,
+            multiplier: 10,
+            attempts: 3,
+            bdd_node_limit: 0,
+        }
+    }
+}
+
+/// One attempt's result, fed back into [`BudgetSchedule::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Attempt<T> {
+    /// The attempt produced a definitive answer.
+    Resolved(T),
+    /// The attempt hit its budget after spending `conflicts`
+    /// conflicts.
+    Undecided {
+        /// Conflicts the aborted attempt consumed.
+        conflicts: u64,
+    },
+}
+
+/// Accumulated record of one pair's trip up the ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Escalation<T> {
+    /// The definitive answer, or `None` if every rung was exhausted.
+    pub outcome: Option<T>,
+    /// SAT attempts performed.
+    pub attempts: u32,
+    /// Retries beyond the first attempt (the "escalations" metric).
+    pub escalations: u32,
+    /// Total conflicts spent across the aborted attempts.
+    pub conflicts: u64,
+}
+
+impl BudgetSchedule {
+    /// The conflict budget of the `attempt`-th try (0-based),
+    /// saturating on overflow.
+    pub fn budget(&self, attempt: u32) -> u64 {
+        let mut b = self.initial.max(1);
+        for _ in 0..attempt {
+            b = b.saturating_mul(self.multiplier.max(1));
+        }
+        b
+    }
+
+    /// Drives `try_once` up the ladder: each call receives the next
+    /// budget; the loop stops at the first [`Attempt::Resolved`] or
+    /// after [`BudgetSchedule::attempts`] undecided tries.
+    ///
+    /// The BDD fallback is *not* run here — the caller owns the BDD
+    /// engine and consults [`BudgetSchedule::bdd_node_limit`] when
+    /// `outcome` comes back `None`.
+    pub fn run<T>(&self, mut try_once: impl FnMut(u64) -> Attempt<T>) -> Escalation<T> {
+        let mut conflicts = 0u64;
+        let rungs = self.attempts.max(1);
+        for attempt in 0..rungs {
+            match try_once(self.budget(attempt)) {
+                Attempt::Resolved(t) => {
+                    return Escalation {
+                        outcome: Some(t),
+                        attempts: attempt + 1,
+                        escalations: attempt,
+                        conflicts,
+                    }
+                }
+                Attempt::Undecided { conflicts: c } => conflicts += c,
+            }
+        }
+        Escalation {
+            outcome: None,
+            attempts: rungs,
+            escalations: rungs - 1,
+            conflicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_multiply() {
+        let s = BudgetSchedule {
+            initial: 100,
+            multiplier: 10,
+            attempts: 3,
+            bdd_node_limit: 0,
+        };
+        assert_eq!(s.budget(0), 100);
+        assert_eq!(s.budget(1), 1_000);
+        assert_eq!(s.budget(2), 10_000);
+    }
+
+    #[test]
+    fn budget_saturates() {
+        let s = BudgetSchedule {
+            initial: u64::MAX / 2,
+            multiplier: 4,
+            attempts: 2,
+            bdd_node_limit: 0,
+        };
+        assert_eq!(s.budget(5), u64::MAX);
+    }
+
+    #[test]
+    fn degenerate_schedule_still_tries_once() {
+        let s = BudgetSchedule {
+            initial: 0,
+            multiplier: 0,
+            attempts: 0,
+            bdd_node_limit: 0,
+        };
+        // Zeroes are clamped: one attempt with budget 1.
+        let mut budgets = Vec::new();
+        let e = s.run(|b| -> Attempt<()> {
+            budgets.push(b);
+            Attempt::Undecided { conflicts: 1 }
+        });
+        assert_eq!(budgets, vec![1]);
+        assert_eq!(e.outcome, None);
+        assert_eq!(e.attempts, 1);
+        assert_eq!(e.escalations, 0);
+        assert_eq!(e.conflicts, 1);
+    }
+
+    #[test]
+    fn resolves_on_later_rung() {
+        let s = BudgetSchedule {
+            initial: 10,
+            multiplier: 2,
+            attempts: 4,
+            bdd_node_limit: 0,
+        };
+        let mut seen = Vec::new();
+        let e = s.run(|b| {
+            seen.push(b);
+            if b >= 40 {
+                Attempt::Resolved("done")
+            } else {
+                Attempt::Undecided { conflicts: b }
+            }
+        });
+        assert_eq!(seen, vec![10, 20, 40]);
+        assert_eq!(e.outcome, Some("done"));
+        assert_eq!(e.attempts, 3);
+        assert_eq!(e.escalations, 2);
+        // Conflicts only from the two aborted tries.
+        assert_eq!(e.conflicts, 30);
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_totals() {
+        let s = BudgetSchedule {
+            initial: 5,
+            multiplier: 3,
+            attempts: 3,
+            bdd_node_limit: 1_000,
+        };
+        let e = s.run(|_| -> Attempt<()> { Attempt::Undecided { conflicts: 2 } });
+        assert_eq!(e.outcome, None);
+        assert_eq!(e.attempts, 3);
+        assert_eq!(e.escalations, 2);
+        assert_eq!(e.conflicts, 6);
+        assert_eq!(s.bdd_node_limit, 1_000);
+    }
+}

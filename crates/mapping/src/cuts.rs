@@ -41,7 +41,9 @@ impl Cut {
         if self.signature & !other.signature != 0 {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 
@@ -79,7 +81,7 @@ impl CutSet {
 ///
 /// Panics if `k == 0` or `k > 6`.
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<CutSet> {
-    assert!(k >= 1 && k <= 6, "lut size must be between 1 and 6");
+    assert!((1..=6).contains(&k), "lut size must be between 1 and 6");
     let n = aig.num_vars();
     let mut sets: Vec<CutSet> = vec![CutSet::default(); n];
     // Arrival time of a node = depth of its best cut (0 for PIs).
@@ -97,9 +99,9 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<CutSet> {
         refs[l.var().0 as usize] += 1;
     }
 
-    for pi in 1..=aig.num_pis() {
+    for (pi, set) in sets.iter_mut().enumerate().take(aig.num_pis() + 1).skip(1) {
         let v = AigVar(pi as u32);
-        sets[pi].cuts.push(Cut::trivial(v, 0, 0.0));
+        set.cuts.push(Cut::trivial(v, 0, 0.0));
     }
     for i in 0..aig.num_ands() {
         let v = AigVar((aig.num_pis() + 1 + i) as u32);

@@ -433,8 +433,18 @@ mod tests {
             depth.0 += d.depth();
             depth.1 += a.depth();
         }
-        assert!(luts.1 <= luts.0, "area mode total luts {} vs {}", luts.1, luts.0);
-        assert!(depth.0 <= depth.1, "depth mode total depth {} vs {}", depth.0, depth.1);
+        assert!(
+            luts.1 <= luts.0,
+            "area mode total luts {} vs {}",
+            luts.1,
+            luts.0
+        );
+        assert!(
+            depth.0 <= depth.1,
+            "depth mode total depth {} vs {}",
+            depth.0,
+            depth.1
+        );
     }
 
     #[test]

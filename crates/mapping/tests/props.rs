@@ -17,7 +17,10 @@ struct AigSpec {
 fn arb_aig() -> impl Strategy<Value = AigSpec> {
     (
         1usize..8,
-        prop::collection::vec((0usize..999, 0usize..999, any::<bool>(), any::<bool>()), 0..70),
+        prop::collection::vec(
+            (0usize..999, 0usize..999, any::<bool>(), any::<bool>()),
+            0..70,
+        ),
         prop::collection::vec((0usize..999, any::<bool>()), 1..5),
     )
         .prop_map(|(pis, ands, pos)| AigSpec { pis, ands, pos })

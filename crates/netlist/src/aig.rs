@@ -479,7 +479,9 @@ mod tests {
             assert_eq!(out[1], va || vb);
             assert_eq!(out[2], va ^ vb);
             assert_eq!(out[3], if va { vb } else { vc });
-            assert_eq!(out[4], (va && vb) || (va && vc) || (vb && vc));
+            #[allow(clippy::nonminimal_bool)]
+            let maj = (va && vb) || (va && vc) || (vb && vc);
+            assert_eq!(out[4], maj);
         }
     }
 

@@ -173,8 +173,8 @@ pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
 }
 
 fn read_ascii_body(body: &[u8], i: u32, o: u32, a: u32) -> Result<Aig, NetlistError> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| NetlistError::parse(0, "ascii body is not utf-8"))?;
+    let text =
+        std::str::from_utf8(body).map_err(|_| NetlistError::parse(0, "ascii body is not utf-8"))?;
     let mut lines = text.lines().enumerate().map(|(n, s)| (n + 2, s));
     let mut next_line = |what: &str| {
         lines
@@ -192,7 +192,10 @@ fn read_ascii_body(body: &[u8], i: u32, o: u32, a: u32) -> Result<Aig, NetlistEr
         if lit != (k + 1) * 2 {
             return Err(NetlistError::parse(
                 ln,
-                format!("input literal {lit} out of order (expected {})", (k + 1) * 2),
+                format!(
+                    "input literal {lit} out of order (expected {})",
+                    (k + 1) * 2
+                ),
             ));
         }
         pis.push(aig.add_pi());
@@ -228,7 +231,10 @@ fn read_ascii_body(body: &[u8], i: u32, o: u32, a: u32) -> Result<Aig, NetlistEr
         if lhs & 1 == 1 || lhs / 2 != lit_map.len() as u32 {
             return Err(NetlistError::parse(
                 ln,
-                format!("and lhs {lhs} out of order (expected {})", lit_map.len() * 2),
+                format!(
+                    "and lhs {lhs} out of order (expected {})",
+                    lit_map.len() * 2
+                ),
             ));
         }
         if r0 >= lhs || r1 >= lhs {

@@ -24,10 +24,7 @@ pub fn write<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
         writeln!(w, "OUTPUT({name})")?;
     }
     // Constant-literal support: emit gnd = AND(pi0, NOT(pi0)) lazily.
-    let needs_const = aig
-        .pos()
-        .iter()
-        .any(|(l, _)| l.is_const())
+    let needs_const = aig.pos().iter().any(|(l, _)| l.is_const())
         || (0..aig.num_ands()).any(|i| {
             let (a, b) = aig.and_fanins(AigVar((aig.num_pis() + 1 + i) as u32));
             a.is_const() || b.is_const()
@@ -76,13 +73,7 @@ pub fn write<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
         let (a, b) = aig.and_fanins(var);
         emit_not(&mut w, a, &mut emitted_not)?;
         emit_not(&mut w, b, &mut emitted_not)?;
-        writeln!(
-            w,
-            "g{} = AND({}, {})",
-            var.0,
-            lit_name(a),
-            lit_name(b)
-        )?;
+        writeln!(w, "g{} = AND({}, {})", var.0, lit_name(a), lit_name(b))?;
     }
     for (l, name) in aig.pos() {
         emit_not(&mut w, *l, &mut emitted_not)?;
@@ -144,9 +135,17 @@ pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
-            gates.push(Gate { out, op, ins, line: ln });
+            gates.push(Gate {
+                out,
+                op,
+                ins,
+                line: ln,
+            });
         } else {
-            return Err(NetlistError::parse(ln, format!("unparseable line `{line}`")));
+            return Err(NetlistError::parse(
+                ln,
+                format!("unparseable line `{line}`"),
+            ));
         }
     }
 
@@ -155,7 +154,10 @@ pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
     for name in &inputs {
         let l = aig.add_pi();
         if sig.insert(name.clone(), l).is_some() {
-            return Err(NetlistError::parse(0, format!("input `{name}` declared twice")));
+            return Err(NetlistError::parse(
+                0,
+                format!("input `{name}` declared twice"),
+            ));
         }
     }
     let mut remaining: Vec<Option<Gate>> = gates.into_iter().map(Some).collect();
@@ -171,8 +173,8 @@ pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
             left -= 1;
             progressed = true;
             let ins: Vec<AigLit> = g.ins.iter().map(|s| sig[s]).collect();
-            let lit = build_gate(&mut aig, &g.op, &ins)
-                .map_err(|m| NetlistError::parse(g.line, m))?;
+            let lit =
+                build_gate(&mut aig, &g.op, &ins).map_err(|m| NetlistError::parse(g.line, m))?;
             if sig.insert(g.out.clone(), lit).is_some() {
                 return Err(NetlistError::parse(
                     g.line,
@@ -181,11 +183,7 @@ pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
             }
         }
         if !progressed {
-            let stuck: Vec<&str> = remaining
-                .iter()
-                .flatten()
-                .map(|g| g.out.as_str())
-                .collect();
+            let stuck: Vec<&str> = remaining.iter().flatten().map(|g| g.out.as_str()).collect();
             return Err(NetlistError::parse(
                 0,
                 format!("cyclic or undriven signals: {}", stuck.join(", ")),
@@ -223,7 +221,10 @@ fn build_gate(aig: &mut Aig, op: &str, ins: &[AigLit]) -> Result<AigLit, String>
         if ins.len() >= n {
             Ok(())
         } else {
-            Err(format!("gate {op} expects at least {n} inputs, got {}", ins.len()))
+            Err(format!(
+                "gate {op} expects at least {n} inputs, got {}",
+                ins.len()
+            ))
         }
     };
     Ok(match op {
@@ -330,16 +331,16 @@ f = XOR(x, y)
         let mut buf = Vec::new();
         write(&g, &mut buf).unwrap();
         let back = read(&buf[..]).unwrap();
-        assert_eq!(back.eval(&[false])[0], true);
-        assert_eq!(back.eval(&[true])[1], true);
+        assert!(back.eval(&[false])[0]);
+        assert!(back.eval(&[true])[1]);
     }
 
     #[test]
     fn mux_gate() {
         let text = "INPUT(s)\nINPUT(t)\nINPUT(e)\nOUTPUT(f)\nf = MUX(s, t, e)\n";
         let aig = read(text.as_bytes()).unwrap();
-        assert_eq!(aig.eval(&[true, true, false])[0], true);
-        assert_eq!(aig.eval(&[false, true, false])[0], false);
+        assert!(aig.eval(&[true, true, false])[0]);
+        assert!(!aig.eval(&[false, true, false])[0]);
     }
 
     #[test]

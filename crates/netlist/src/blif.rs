@@ -20,7 +20,11 @@ use crate::truth::{Cube, TruthTable};
 ///
 /// Propagates I/O errors from the writer.
 pub fn write<W: Write>(net: &LutNetwork, mut w: W) -> std::io::Result<()> {
-    let model = if net.name().is_empty() { "top" } else { net.name() };
+    let model = if net.name().is_empty() {
+        "top"
+    } else {
+        net.name()
+    };
     writeln!(w, ".model {model}")?;
     let sig = |id: NodeId| -> String {
         match net.node_name(id) {

@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = NetlistError::ArityMismatch { fanins: 3, arity: 2 };
+        let e = NetlistError::ArityMismatch {
+            fanins: 3,
+            arity: 2,
+        };
         assert_eq!(
             e.to_string(),
             "lut fanin count 3 does not match truth table arity 2"

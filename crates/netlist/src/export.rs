@@ -60,7 +60,11 @@ pub fn write_dot<W: Write>(net: &LutNetwork, mut w: W) -> std::io::Result<()> {
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_verilog<W: Write>(net: &LutNetwork, mut w: W) -> std::io::Result<()> {
-    let module = if net.name().is_empty() { "top" } else { net.name() };
+    let module = if net.name().is_empty() {
+        "top"
+    } else {
+        net.name()
+    };
     let sig = |id: NodeId| -> String {
         match net.kind(id) {
             NodeKind::Pi { .. } => ident(net.node_name(id).unwrap_or("pi")),
@@ -125,7 +129,13 @@ fn sanitize(s: &str) -> String {
 fn ident(s: &str) -> String {
     let mut out: String = s
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, '_');

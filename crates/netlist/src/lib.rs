@@ -43,8 +43,8 @@ pub mod cone;
 pub mod error;
 pub mod export;
 pub mod id;
-pub mod miter;
 pub mod mffc;
+pub mod miter;
 pub mod network;
 pub mod stack;
 pub mod truth;

@@ -100,7 +100,11 @@ pub fn mffc(net: &LutNetwork, root: NodeId, refs: &mut [u32]) -> Mffc {
             }
         }
     }
-    Mffc { root, interior, leaves }
+    Mffc {
+        root,
+        interior,
+        leaves,
+    }
 }
 
 fn deref_rec(
@@ -228,7 +232,7 @@ mod tests {
         let m1 = net.add_lut(vec![p, q], TruthTable::and2()).unwrap(); // level 1
         let n1 = net.add_lut(vec![m1, r], TruthTable::or2()).unwrap(); // level 2
         let y1 = net.add_lut(vec![n1, s], TruthTable::and2()).unwrap(); // level 3
-        // Make m1, n1, y1 shared so they become leaves of the root's MFFC.
+                                                                        // Make m1, n1, y1 shared so they become leaves of the root's MFFC.
         net.add_po(m1, "po_m");
         net.add_po(n1, "po_n");
         net.add_po(y1, "po_y");

@@ -76,7 +76,11 @@ pub fn combine(a: &LutNetwork, b: &LutNetwork) -> Result<Combined, NetlistError>
     for po in b.pos() {
         net.add_po(map_b[po.node.index()], format!("b_{}", po.name));
     }
-    Ok(Combined { network: net, map_a, map_b })
+    Ok(Combined {
+        network: net,
+        map_a,
+        map_b,
+    })
 }
 
 fn copy_into(src: &LutNetwork, dst: &mut LutNetwork, pis: &[NodeId]) -> Vec<NodeId> {

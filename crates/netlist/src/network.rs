@@ -87,7 +87,9 @@ impl LutNetwork {
     pub fn add_pi(&mut self, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
-            kind: NodeKind::Pi { index: self.pis.len() },
+            kind: NodeKind::Pi {
+                index: self.pis.len(),
+            },
             level: 0,
             name: Some(name.into()),
         });
@@ -142,7 +144,8 @@ impl LutNetwork {
         } else {
             TruthTable::const0(0)
         };
-        self.add_lut(Vec::new(), tt).expect("const lut is always valid")
+        self.add_lut(Vec::new(), tt)
+            .expect("const lut is always valid")
     }
 
     /// Registers `node` as a primary output named `name`.
@@ -364,7 +367,13 @@ mod tests {
         let mut net = LutNetwork::new();
         let a = net.add_pi("a");
         let err = net.add_lut(vec![a], TruthTable::and2()).unwrap_err();
-        assert!(matches!(err, NetlistError::ArityMismatch { fanins: 1, arity: 2 }));
+        assert!(matches!(
+            err,
+            NetlistError::ArityMismatch {
+                fanins: 1,
+                arity: 2
+            }
+        ));
     }
 
     #[test]

@@ -50,15 +50,10 @@ pub fn put_on_top(net: &LutNetwork, copies: usize) -> LutNetwork {
             let new_id = match net.kind(id) {
                 NodeKind::Pi { index } => match feed[*index] {
                     Some(driver) => driver,
-                    None => out.add_pi(format!(
-                        "{}_c{}",
-                        net.node_name(id).unwrap_or("pi"),
-                        copy
-                    )),
+                    None => out.add_pi(format!("{}_c{}", net.node_name(id).unwrap_or("pi"), copy)),
                 },
                 NodeKind::Lut { fanins, tt } => {
-                    let new_fanins: Vec<NodeId> =
-                        fanins.iter().map(|f| map[f.index()]).collect();
+                    let new_fanins: Vec<NodeId> = fanins.iter().map(|f| map[f.index()]).collect();
                     out.add_lut(new_fanins, *tt)
                         .expect("copying preserves arity and order")
                 }
@@ -153,9 +148,9 @@ mod tests {
         let stacked = put_on_top(&fanout_net(), 3);
         assert_eq!(stacked.num_pis(), 1);
         assert_eq!(stacked.num_pos(), 2 + 2); // one extra per lower copy + 2 on top
-        // Semantics: copy0 gets a; f0_c0 = !a (fed), f1_c0 = a (exposed);
-        // copy1 gets !a; exposes f1_c1 = !a; feeds !!a = a; top gets a:
-        // f0_c2 = !a, f1_c2 = a.
+                                              // Semantics: copy0 gets a; f0_c0 = !a (fed), f1_c0 = a (exposed);
+                                              // copy1 gets !a; exposes f1_c1 = !a; feeds !!a = a; top gets a:
+                                              // f0_c2 = !a, f1_c2 = a.
         let out_names: Vec<&str> = stacked.pos().iter().map(|p| p.name.as_str()).collect();
         assert_eq!(out_names, vec!["f1_c0", "f1_c1", "f0_c2", "f1_c2"]);
         for a in [false, true] {

@@ -122,37 +122,58 @@ impl TruthTable {
 
     /// Two-input AND.
     pub fn and2() -> Self {
-        TruthTable { bits: 0b1000, arity: 2 }
+        TruthTable {
+            bits: 0b1000,
+            arity: 2,
+        }
     }
 
     /// Two-input OR.
     pub fn or2() -> Self {
-        TruthTable { bits: 0b1110, arity: 2 }
+        TruthTable {
+            bits: 0b1110,
+            arity: 2,
+        }
     }
 
     /// Two-input XOR.
     pub fn xor2() -> Self {
-        TruthTable { bits: 0b0110, arity: 2 }
+        TruthTable {
+            bits: 0b0110,
+            arity: 2,
+        }
     }
 
     /// Two-input NAND (the running example gate of the paper's Figure 1).
     pub fn nand2() -> Self {
-        TruthTable { bits: 0b0111, arity: 2 }
+        TruthTable {
+            bits: 0b0111,
+            arity: 2,
+        }
     }
 
     /// Two-input NOR.
     pub fn nor2() -> Self {
-        TruthTable { bits: 0b0001, arity: 2 }
+        TruthTable {
+            bits: 0b0001,
+            arity: 2,
+        }
     }
 
     /// One-input inverter.
     pub fn not1() -> Self {
-        TruthTable { bits: 0b01, arity: 1 }
+        TruthTable {
+            bits: 0b01,
+            arity: 1,
+        }
     }
 
     /// One-input buffer.
     pub fn buf1() -> Self {
-        TruthTable { bits: 0b10, arity: 1 }
+        TruthTable {
+            bits: 0b10,
+            arity: 1,
+        }
     }
 
     /// A uniformly random function of the given arity.
@@ -205,14 +226,20 @@ impl TruthTable {
     pub fn cofactor0(&self, var: usize) -> Self {
         assert!(var < self.arity());
         let (lo, _) = self.split(var);
-        TruthTable { bits: lo, arity: self.arity }
+        TruthTable {
+            bits: lo,
+            arity: self.arity,
+        }
     }
 
     /// The positive cofactor: `f` with input `var` fixed to 1.
     pub fn cofactor1(&self, var: usize) -> Self {
         assert!(var < self.arity());
         let (_, hi) = self.split(var);
-        TruthTable { bits: hi, arity: self.arity }
+        TruthTable {
+            bits: hi,
+            arity: self.arity,
+        }
     }
 
     /// Splits into (f|var=0, f|var=1), both expanded so `var` is a
@@ -389,7 +416,7 @@ impl TruthTable {
             }
             for i in 0..k {
                 heaps(tt, k - 1, perm, best);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     perm.swap(i, k - 1);
                 } else {
                     perm.swap(0, k - 1);
@@ -413,10 +440,7 @@ impl TruthTable {
         // Greedy: repeatedly take the prime covering the most
         // still-uncovered minterms, breaking ties toward more
         // don't-cares (larger cubes first).
-        let mut masks: Vec<(u64, Cube)> = primes
-            .iter()
-            .map(|c| (c.minterm_mask(n), *c))
-            .collect();
+        let mut masks: Vec<(u64, Cube)> = primes.iter().map(|c| (c.minterm_mask(n), *c)).collect();
         masks.sort_by_key(|(_, c)| c.care.count_ones());
         while uncovered != 0 {
             let best = masks
@@ -605,7 +629,7 @@ mod tests {
     #[test]
     fn support_detects_vacuous_variables() {
         // f(a, b, c) = a ^ c ignores b.
-        let f = TruthTable::from_fn(3, |m| ((m >> 0) ^ (m >> 2)) & 1 == 1);
+        let f = TruthTable::from_fn(3, |m| (m ^ (m >> 2)) & 1 == 1);
         assert_eq!(f.support(), vec![0, 2]);
         assert!(!f.depends_on(1));
     }

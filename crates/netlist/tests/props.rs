@@ -91,7 +91,10 @@ struct AigSpec {
 fn arb_aig_spec() -> impl Strategy<Value = AigSpec> {
     (
         1usize..8,
-        prop::collection::vec((0usize..999, 0usize..999, any::<bool>(), any::<bool>()), 0..80),
+        prop::collection::vec(
+            (0usize..999, 0usize..999, any::<bool>(), any::<bool>()),
+            0..80,
+        ),
         prop::collection::vec((0usize..999, any::<bool>()), 1..6),
     )
         .prop_map(|(pis, ands, pos)| AigSpec { pis, ands, pos })

@@ -78,10 +78,8 @@ impl Cnf {
     /// Evaluates the formula under a complete assignment
     /// (`assignment[v]` = value of variable `v`).
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var().index()] != l.is_neg())
-        })
+        self.clauses()
+            .all(|c| c.iter().any(|l| assignment[l.var().index()] != l.is_neg()))
     }
 
     /// Writes the formula in DIMACS `cnf` format.

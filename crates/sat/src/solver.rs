@@ -10,6 +10,9 @@
 //! constraints for a single query) and *conflict budgets* (queries
 //! return [`SolveResult::Unknown`] instead of stalling the sweep).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::cnf::Cnf;
 use crate::heap::ActivityHeap;
 use crate::lit::{Lit, Var};
@@ -98,6 +101,9 @@ pub struct Solver {
     model: Vec<bool>,
     stats: SolverStats,
     num_learnts: usize,
+    /// Shared cancellation flag checked inside the CDCL loop; cloning
+    /// the solver shares the flag.
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Solver {
@@ -135,7 +141,25 @@ impl Solver {
             model: Vec::new(),
             stats: SolverStats::default(),
             num_learnts: 0,
+            interrupt: None,
         }
+    }
+
+    /// Installs a shared interrupt flag. While the flag is set, any
+    /// in-flight or future [`Solver::solve_limited`] call returns
+    /// [`SolveResult::Unknown`] at its next conflict or decision
+    /// boundary, regardless of the conflict budget. Dispatch workers
+    /// use this to abandon escalated proofs when the sweep is torn
+    /// down.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// True when an installed interrupt flag is currently raised.
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Builds a solver preloaded with a CNF formula's variables and
@@ -448,9 +472,9 @@ impl Solver {
     fn redundant(&self, l: Lit) -> bool {
         match self.reason[l.var().index()] {
             None => false,
-            Some(cref) => self.clauses[cref as usize].lits[1..].iter().all(|&q| {
-                self.seen[q.var().index()] || self.level[q.var().index()] == 0
-            }),
+            Some(cref) => self.clauses[cref as usize].lits[1..]
+                .iter()
+                .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0),
         }
     }
 
@@ -503,8 +527,7 @@ impl Solver {
             .iter()
             .map(|&c| {
                 let first = self.clauses[c as usize].lits[0];
-                self.reason[first.var().index()] == Some(c)
-                    && self.lit_value(first) == Some(true)
+                self.reason[first.var().index()] == Some(c) && self.lit_value(first) == Some(true)
             })
             .collect();
         let target = learnt_refs.len() / 2;
@@ -525,9 +548,17 @@ impl Solver {
         // dropped when encountered).
     }
 
-    fn search(&mut self, conflict_limit: u64, budget: &mut Option<u64>, assumptions: &[Lit]) -> Search {
+    fn search(
+        &mut self,
+        conflict_limit: u64,
+        budget: &mut Option<u64>,
+        assumptions: &[Lit],
+    ) -> Search {
         let mut conflicts_here = 0u64;
         loop {
+            if self.interrupted() {
+                return Search::Budget;
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
@@ -623,11 +654,7 @@ impl Solver {
             let limit = 64 * luby(restart);
             match self.search(limit, &mut budget, assumptions) {
                 Search::Sat => {
-                    self.model = self
-                        .assigns
-                        .iter()
-                        .map(|&a| a == 1)
-                        .collect();
+                    self.model = self.assigns.iter().map(|&a| a == 1).collect();
                     break SolveResult::Sat;
                 }
                 Search::Unsat => break SolveResult::Unsat,
@@ -668,7 +695,7 @@ mod tests {
     use super::*;
 
     fn lit(x: i32) -> Lit {
-        Lit::new(Var((x.unsigned_abs() - 1) as u32), x > 0)
+        Lit::new(Var(x.unsigned_abs() - 1), x > 0)
     }
 
     fn solver_with(num_vars: usize, clauses: &[&[i32]]) -> Solver {
@@ -711,7 +738,7 @@ mod tests {
         }
         s.add_clause(&[lit(1)]);
         for i in 1..10 {
-            s.add_clause(&[lit(-(i as i32)), lit(i as i32 + 1)]);
+            s.add_clause(&[lit(-i), lit(i + 1)]);
         }
         assert_eq!(s.solve(), SolveResult::Sat);
         for v in 0..10 {
@@ -836,7 +863,10 @@ mod tests {
             let mut s = Solver::from_cnf(&cnf);
             match s.solve() {
                 SolveResult::Sat => {
-                    assert!(cnf.eval(s.model()), "model must satisfy formula (round {round})");
+                    assert!(
+                        cnf.eval(s.model()),
+                        "model must satisfy formula (round {round})"
+                    );
                 }
                 SolveResult::Unsat => {
                     // Cross-check with brute force.
@@ -853,6 +883,33 @@ mod tests {
                 SolveResult::Unknown => panic!("no budget was set"),
             }
         }
+    }
+
+    #[test]
+    fn interrupt_flag_aborts_solves() {
+        let n = 7i32;
+        let h = 6i32;
+        let v = |i: i32, j: i32| i * h + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..n {
+            clauses.push((0..h).map(|j| v(i, j)).collect());
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with((n * h) as usize, &refs);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Arc::clone(&flag));
+        // Raised flag: even an unbounded solve returns Unknown.
+        assert_eq!(s.solve_limited(&[], None), SolveResult::Unknown);
+        // Lowered flag: the same instance solves normally.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

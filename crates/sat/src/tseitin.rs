@@ -163,7 +163,10 @@ mod tests {
         let and = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
         let xor = net.add_lut(vec![and, c], TruthTable::xor2()).unwrap();
         let maj = net
-            .add_lut(vec![a, b, c], TruthTable::from_fn(3, |m| m.count_ones() >= 2))
+            .add_lut(
+                vec![a, b, c],
+                TruthTable::from_fn(3, |m| m.count_ones() >= 2),
+            )
             .unwrap();
         net.add_po(xor, "x");
         net.add_po(maj, "m");
@@ -271,7 +274,7 @@ mod tests {
             SolveResult::Sat
         );
         let cex = enc.extract_input_vector(&net, &solver);
-        assert_eq!(net.eval(&cex)[x.index()], false);
-        assert_eq!(net.eval(&cex)[z.index()], true);
+        assert!(!net.eval(&cex)[x.index()]);
+        assert!(net.eval(&cex)[z.index()]);
     }
 }

@@ -35,8 +35,7 @@ impl EquivClasses {
         for &n in nodes {
             groups.entry(sim.signature(n)).or_default().push(n);
         }
-        let mut classes: Vec<Vec<NodeId>> =
-            groups.into_values().filter(|g| g.len() > 1).collect();
+        let mut classes: Vec<Vec<NodeId>> = groups.into_values().filter(|g| g.len() > 1).collect();
         // Deterministic order: by smallest member id.
         classes.sort_by_key(|c| c.iter().min().copied());
         EquivClasses { classes }
@@ -136,9 +135,7 @@ mod tests {
     }
 
     fn exhaustive_patterns() -> PatternSet {
-        let vectors: Vec<Vec<bool>> = (0..4u32)
-            .map(|m| vec![m & 1 == 1, m & 2 == 2])
-            .collect();
+        let vectors: Vec<Vec<bool>> = (0..4u32).map(|m| vec![m & 1 == 1, m & 2 == 2]).collect();
         PatternSet::from_vectors(2, &vectors)
     }
 

@@ -67,7 +67,7 @@ impl SimResult {
             return;
         }
         let block = simulate(net, patterns);
-        if self.num_patterns % 64 == 0 {
+        if self.num_patterns.is_multiple_of(64) {
             // Word-aligned: splice the block lanes in directly.
             for (lane, extra) in self.lanes.iter_mut().zip(block.lanes) {
                 lane.extend(extra);
@@ -87,6 +87,26 @@ impl SimResult {
                 }
                 self.num_patterns += 1;
             }
+        }
+    }
+
+    /// Appends a batch of single input vectors as one word-parallel
+    /// resimulation: the vectors are packed into 64-bit pattern words
+    /// and simulated as a block, instead of one O(nodes) scalar
+    /// evaluation per vector. This is the shared entry point for
+    /// counterexample resimulation — both the serial sweeper and the
+    /// parallel dispatch engine accumulate counterexamples and flush
+    /// them through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from the network's PI
+    /// count.
+    pub fn extend_vectors(&mut self, net: &LutNetwork, vectors: &[Vec<bool>]) {
+        match vectors {
+            [] => {}
+            [v] => self.push_pattern(net, v),
+            _ => self.extend_patterns(net, &PatternSet::from_vectors(net.num_pis(), vectors)),
         }
     }
 
@@ -258,9 +278,7 @@ mod tests {
         let y = net.add_lut(vec![b, a], TruthTable::and2()).unwrap();
         let z = net.add_lut(vec![a, b], TruthTable::xor2()).unwrap();
         net.add_po(z, "z");
-        let vectors: Vec<Vec<bool>> = (0..4u32)
-            .map(|m| vec![m & 1 == 1, m & 2 == 2])
-            .collect();
+        let vectors: Vec<Vec<bool>> = (0..4u32).map(|m| vec![m & 1 == 1, m & 2 == 2]).collect();
         let patterns = PatternSet::from_vectors(2, &vectors);
         let sim = simulate(&net, &patterns);
         assert!(sim.same_signature(x, y));
@@ -312,6 +330,27 @@ mod tests {
         }
         assert_eq!(done, 150);
         assert_eq!(inc, batch);
+    }
+
+    #[test]
+    fn extend_vectors_matches_single_pushes() {
+        let net = random_network(17, 5, 24);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let patterns = PatternSet::random(5, 100, &mut rng);
+        let all: Vec<Vec<bool>> = (0..100).map(|p| patterns.vector(p)).collect();
+        let mut pushed = SimResult::empty(&net);
+        for v in &all {
+            pushed.push_pattern(&net, v);
+        }
+        // Batched in uneven chunks (empty, single, word, partial).
+        let mut batched = SimResult::empty(&net);
+        let mut done = 0;
+        for chunk in [0usize, 1, 64, 13, 22] {
+            batched.extend_vectors(&net, &all[done..done + chunk]);
+            done += chunk;
+        }
+        assert_eq!(done, 100);
+        assert_eq!(batched, pushed);
     }
 
     #[test]

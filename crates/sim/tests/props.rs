@@ -8,9 +8,9 @@ use rand::SeedableRng;
 
 use simgen_netlist::{LutNetwork, NodeId, TruthTable};
 
+use simgen_sim::signal_probabilities;
 use simgen_sim::EquivClasses;
 use simgen_sim::PatternSet;
-use simgen_sim::signal_probabilities;
 use simgen_sim::{simulate, SimResult};
 
 #[derive(Clone, Debug)]

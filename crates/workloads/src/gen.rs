@@ -145,13 +145,7 @@ pub fn pla(inputs: usize, outputs: usize, cubes: usize, seed: u64) -> Aig {
 /// optimized MCNC circuits have after synthesis. Intermediate signals
 /// are highly correlated, which is what keeps equivalence classes
 /// alive under random simulation.
-pub fn pla_cascade(
-    inputs: usize,
-    outputs: usize,
-    cubes: usize,
-    stages: usize,
-    seed: u64,
-) -> Aig {
+pub fn pla_cascade(inputs: usize, outputs: usize, cubes: usize, stages: usize, seed: u64) -> Aig {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Aig::with_name(format!("plac{inputs}x{outputs}x{stages}"));
     let pis = g.add_pis(inputs);
@@ -201,10 +195,10 @@ pub fn priority_encoder(width: usize) -> Aig {
     let mut g = Aig::with_name(format!("prio{width}"));
     let req = g.add_pis(width);
     let mut none_above = AigLit::TRUE;
-    for i in 0..width {
-        let grant = g.and(req[i], none_above);
+    for (i, &r) in req.iter().enumerate() {
+        let grant = g.and(r, none_above);
         g.add_po(grant, format!("g{i}"));
-        none_above = g.and(none_above, !req[i]);
+        none_above = g.and(none_above, !r);
     }
     g.add_po(!none_above, "valid");
     g
@@ -228,6 +222,7 @@ pub fn arbiter(width: usize) -> Aig {
         }
         grants_by_rot.push(grants);
     }
+    #[allow(clippy::needless_range_loop)]
     for i in 0..width {
         // Select grants_by_rot[ptr % width][i] with a mux tree.
         let mut layer: Vec<AigLit> = (0..width.next_power_of_two())
@@ -311,14 +306,14 @@ fn add_vectors(g: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
 fn vector_ge_const(g: &mut Aig, v: &[AigLit], c: u64) -> AigLit {
     // v >= c, folded LSB-first: R_i = (v[i] > c[i]) | (v[i] == c[i]) & R_{i-1}.
     let mut result = AigLit::TRUE;
-    for i in 0..v.len() {
+    for (i, &vi) in v.iter().enumerate() {
         let cb = (c >> i) & 1 == 1;
         result = if cb {
             // need v[i] = 1 to stay >=; v[i]=0 makes it <.
-            g.and(v[i], result)
+            g.and(vi, result)
         } else {
             // v[i]=1 makes it >; v[i]=0 keeps comparing.
-            g.or(v[i], result)
+            g.or(vi, result)
         };
     }
     result
@@ -331,7 +326,7 @@ pub fn cordic(width: usize, stages: usize) -> Aig {
     let mut x: Vec<AigLit> = g.add_pis(width);
     let mut y: Vec<AigLit> = g.add_pis(width);
     let dir = g.add_pis(stages);
-    for s in 0..stages {
+    for (s, &d) in dir.iter().enumerate().take(stages) {
         let shift = (s + 1).min(width - 1);
         // y >> shift and x >> shift (logical).
         let ys: Vec<AigLit> = (0..width)
@@ -341,8 +336,8 @@ pub fn cordic(width: usize, stages: usize) -> Aig {
             .map(|i| x.get(i + shift).copied().unwrap_or(AigLit::FALSE))
             .collect();
         // x' = x ± ys, y' = y ∓ xs (add/sub selected by dir[s]).
-        x = addsub(&mut g, &x, &ys, dir[s]);
-        y = addsub(&mut g, &y, &xs, !dir[s]);
+        x = addsub(&mut g, &x, &ys, d);
+        y = addsub(&mut g, &y, &xs, !d);
     }
     for (i, &b) in x.iter().enumerate() {
         g.add_po(b, format!("x{i}"));
@@ -369,7 +364,7 @@ fn addsub(g: &mut Aig, a: &[AigLit], b: &[AigLit], sub: AigLit) -> Vec<AigLit> {
 /// DES-flavored substitution/permutation rounds: random 4-bit S-boxes
 /// and bit permutations applied `rounds` times with round-key XORs.
 pub fn spn(width: usize, rounds: usize, seed: u64) -> Aig {
-    assert!(width % 4 == 0, "spn width must be a multiple of 4");
+    assert!(width.is_multiple_of(4), "spn width must be a multiple of 4");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Aig::with_name(format!("spn{width}x{rounds}"));
     let mut state: Vec<AigLit> = g.add_pis(width);
@@ -387,20 +382,13 @@ pub fn spn(width: usize, rounds: usize, seed: u64) -> Aig {
         let mut next = Vec::with_capacity(width);
         for nib in 0..width / 4 {
             let bits = &state[nib * 4..nib * 4 + 4];
-            for out_bit in 0..4 {
-                let f = sbox[out_bit];
+            for &f in &sbox {
                 // Sum of minterms of the 4-input function.
                 let mut terms = Vec::new();
                 for m in 0..16u16 {
                     if (f >> m) & 1 == 1 {
                         let lits: Vec<AigLit> = (0..4)
-                            .map(|i| {
-                                if (m >> i) & 1 == 1 {
-                                    bits[i]
-                                } else {
-                                    !bits[i]
-                                }
-                            })
+                            .map(|i| if (m >> i) & 1 == 1 { bits[i] } else { !bits[i] })
                             .collect();
                         terms.push(g.and_many(&lits));
                     }
@@ -507,7 +495,7 @@ pub fn itc_core_rounds(width: usize, fsm_states: usize, rounds: usize, seed: u64
         let mut terms = Vec::new();
         for _ in 0..fsm_states {
             let mut lits = vec![state[rng.gen_range(0..state_bits)]];
-            lits.push(flags[rng.gen_range(0..4)]);
+            lits.push(flags[rng.gen_range(0..4usize)]);
             if rng.gen() {
                 lits.push(a_zero);
             }
@@ -696,7 +684,7 @@ mod tests {
         assert_eq!(g.num_pos(), 8);
         // Flipping one input bit must change at least one output on
         // some key (avalanche sanity, not a cryptographic claim).
-        let base = g.eval(&vec![false; 16]);
+        let base = g.eval(&[false; 16]);
         let mut flipped_in = vec![false; 16];
         flipped_in[0] = true;
         let flipped = g.eval(&flipped_in);

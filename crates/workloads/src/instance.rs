@@ -46,11 +46,9 @@ pub fn cec_instance(name: &str, k: usize) -> Option<CecInstance> {
     let aig = build_aig(name)?;
     // Seed the rewrite with a name hash so every benchmark gets a
     // distinct but reproducible restructuring.
-    let seed = name
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
-        });
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    });
     let variant = restructure(&aig, REWRITE_FRACTION, seed);
     let left = map_to_luts(&aig, k);
     let right = map_to_luts(&variant, k);

@@ -47,8 +47,7 @@ pub fn restructure(aig: &Aig, fraction: f64, seed: u64) -> Aig {
                 let j = rng.gen_range(0..=k);
                 order.swap(k, j);
             }
-            let leaf_lits: Vec<AigLit> =
-                cut.leaves.iter().map(|l| map[l.0 as usize]).collect();
+            let leaf_lits: Vec<AigLit> = cut.leaves.iter().map(|l| map[l.0 as usize]).collect();
             build_shannon(&mut out, &tt, &leaf_lits, &order)
         } else {
             let (a, b) = aig.and_fanins(v);

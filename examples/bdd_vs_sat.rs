@@ -27,7 +27,12 @@ fn main() {
 
     for (label, engine) in [
         ("SAT (CDCL, incremental)", ProofEngine::Sat),
-        ("BDD (2M-node limit)", ProofEngine::Bdd { node_limit: 2_000_000 }),
+        (
+            "BDD (2M-node limit)",
+            ProofEngine::Bdd {
+                node_limit: 2_000_000,
+            },
+        ),
     ] {
         let cfg = SweepConfig {
             proof: engine,

@@ -26,11 +26,7 @@ fn main() {
 
     let left = map_to_luts(&original, 6);
     let right = map_to_luts(&optimized, 6);
-    println!(
-        "mapped: {} vs {} 6-LUTs",
-        left.num_luts(),
-        right.num_luts()
-    );
+    println!("mapped: {} vs {} 6-LUTs", left.num_luts(), right.num_luts());
 
     let mut generator = SimGen::new(SimGenConfig::default());
     let report = check_equivalence(&left, &right, &mut generator, SweepConfig::default())

@@ -44,11 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Map to 6-LUTs and round trip through BLIF.
     let net = map_to_luts(&aig, 6);
-    println!(
-        "mapped: {} LUTs, depth {}",
-        net.num_luts(),
-        net.depth()
-    );
+    println!("mapped: {} LUTs, depth {}", net.num_luts(), net.depth());
     let mut text = Vec::new();
     blif::write(&net, &mut text)?;
     let back = blif::read(&text[..])?;

@@ -49,7 +49,9 @@ fn main() {
             None => conflicts += 1,
         }
     }
-    println!("reverse simulation over 100 random seeds: {successes} successes, {conflicts} conflicts");
+    println!(
+        "reverse simulation over 100 random seeds: {successes} successes, {conflicts} conflicts"
+    );
     println!("(the conflicts are the Figure 1a/1b failure: the nand row picked at");
     println!(" random clashes with B's earlier assignment)\n");
 
@@ -73,7 +75,10 @@ fn main() {
             ok += 1;
         }
     }
-    println!("SimGen (AI+DC+MFFC) over 100 seeds: {ok} honored, {} failures", 100 - ok);
+    println!(
+        "SimGen (AI+DC+MFFC) over 100 seeds: {ok} honored, {} failures",
+        100 - ok
+    );
     assert_eq!(ok, 100, "advanced implication never conflicts here");
     println!("\nSimGen turns the Figure 1 conflict into a pure implication chain.");
 }

@@ -41,10 +41,7 @@ fn main() {
 
     println!(
         "{:>5} | {:>10} {:>10} {:>10}",
-        "iter",
-        reports[0].0,
-        reports[1].0,
-        reports[2].0
+        "iter", reports[0].0, reports[1].0, reports[2].0
     );
     let iters = reports[0].1.stats.history.len();
     for it in 0..iters {

@@ -6,18 +6,15 @@ use simgen_suite::cec::{check_equivalence, CecVerdict, SweepConfig, Sweeper};
 use simgen_suite::core::{PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_suite::mapping::map_to_luts;
 use simgen_suite::netlist::{validate, TruthTable};
-use simgen_suite::workloads::{
-    benchmark_network, build_aig, cec_instance, rewrite::restructure,
-};
+use simgen_suite::workloads::{benchmark_network, build_aig, cec_instance, rewrite::restructure};
 
 #[test]
 fn equivalent_designs_pass_cec() {
     for name in ["e64", "b14_C", "misex3c"] {
         let inst = cec_instance(name, 6).expect("known benchmark");
         let mut gen = SimGen::new(SimGenConfig::default());
-        let report =
-            check_equivalence(&inst.left, &inst.right, &mut gen, SweepConfig::default())
-                .expect("interfaces match");
+        let report = check_equivalence(&inst.left, &inst.right, &mut gen, SweepConfig::default())
+            .expect("interfaces match");
         assert_eq!(
             report.verdict,
             CecVerdict::Equivalent,

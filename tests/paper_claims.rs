@@ -4,12 +4,14 @@
 //! result has drifted, not just an implementation detail.
 
 use simgen_suite::cec::{SweepConfig, Sweeper, SwitchOnPlateau};
-use simgen_suite::core::{
-    PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig,
-};
+use simgen_suite::core::{PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_suite::workloads::benchmark_network;
 
-fn sweep(net: &simgen_suite::netlist::LutNetwork, gen: &mut dyn PatternGenerator, run_sat: bool) -> simgen_suite::cec::SweepReport {
+fn sweep(
+    net: &simgen_suite::netlist::LutNetwork,
+    gen: &mut dyn PatternGenerator,
+    run_sat: bool,
+) -> simgen_suite::cec::SweepReport {
     let cfg = SweepConfig {
         run_sat,
         ..SweepConfig::default()
@@ -33,7 +35,10 @@ fn simgen_variants_beat_revs_on_cost() {
     let full = avg(&|s| Box::new(SimGen::new(SimGenConfig::advanced_dc_mffc().with_seed(s))));
     assert!(si_rd < revs, "SI+RD {si_rd} must beat RevS {revs}");
     assert!(full < revs, "AI+DC+MFFC {full} must beat RevS {revs}");
-    assert!(full <= si_rd * 1.05, "advanced should not lose to simple: {full} vs {si_rd}");
+    assert!(
+        full <= si_rd * 1.05,
+        "advanced should not lose to simple: {full} vs {si_rd}"
+    );
 }
 
 /// Table 2's direction: SimGen needs no more SAT calls than RevS on

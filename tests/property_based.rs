@@ -21,7 +21,13 @@ use simgen_suite::sim::{simulate, EquivClasses, PatternSet};
 
 /// Strategy: a random CNF with up to 8 vars and 25 clauses.
 fn arb_cnf() -> impl Strategy<Value = Cnf> {
-    (2usize..8, prop::collection::vec(prop::collection::vec((0usize..8, any::<bool>()), 1..4), 1..25))
+    (
+        2usize..8,
+        prop::collection::vec(
+            prop::collection::vec((0usize..8, any::<bool>()), 1..4),
+            1..25,
+        ),
+    )
         .prop_map(|(nv, clauses)| {
             let mut cnf = Cnf::new();
             cnf.new_vars(nv as u32);
@@ -45,7 +51,13 @@ struct NetSpec {
 }
 
 fn arb_net() -> impl Strategy<Value = NetSpec> {
-    (2usize..6, prop::collection::vec((prop::collection::vec(0usize..100, 1..4), any::<u64>()), 1..25))
+    (
+        2usize..6,
+        prop::collection::vec(
+            (prop::collection::vec(0usize..100, 1..4), any::<u64>()),
+            1..25,
+        ),
+    )
         .prop_map(|(pis, luts)| NetSpec { pis, luts })
 }
 
@@ -78,7 +90,10 @@ struct AigSpec {
 fn arb_aig() -> impl Strategy<Value = AigSpec> {
     (
         2usize..7,
-        prop::collection::vec((0usize..200, 0usize..200, any::<bool>(), any::<bool>()), 1..60),
+        prop::collection::vec(
+            (0usize..200, 0usize..200, any::<bool>(), any::<bool>()),
+            1..60,
+        ),
         any::<bool>(),
     )
         .prop_map(|(pis, ands, po_neg)| AigSpec { pis, ands, po_neg })

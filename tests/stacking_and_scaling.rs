@@ -61,8 +61,7 @@ fn sweeping_a_stacked_benchmark_terminates_with_sane_stats() {
     ] {
         let report = Sweeper::new(cfg).run(&stacked, gen.as_mut());
         assert!(
-            report.stats.sat_calls
-                >= report.stats.proved_equivalent + report.stats.disproved,
+            report.stats.sat_calls >= report.stats.proved_equivalent + report.stats.disproved,
             "{label}: call accounting"
         );
         // Every pattern has the stacked PI width.
