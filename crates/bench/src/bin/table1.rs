@@ -12,12 +12,16 @@ use simgen_workloads::{all_benchmarks, benchmark_network};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let verbose = args.iter().any(|a| a == "--verbose");
-    let seeds: u64 = args
-        .iter()
-        .position(|a| a == "--seeds")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let seeds: u64 = match args.iter().position(|a| a == "--seeds") {
+        None => 3,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("bad --seeds value (need a positive integer)");
+                std::process::exit(64);
+            }
+        },
+    };
     let cfg = experiment_config(false);
     let strategies = Strategy::table1();
 

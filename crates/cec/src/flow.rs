@@ -4,15 +4,34 @@
 use std::time::Instant;
 
 use simgen_core::PatternGenerator;
+use simgen_dispatch::{Deadline, Progress};
 use simgen_netlist::miter::combine;
 use simgen_netlist::{LutNetwork, NetlistError, NodeId};
 use simgen_sim::EquivClasses;
 
 use crate::prove::{PairProver, ProveOutcome};
 use crate::stats::SweepStats;
-use crate::sweep::SweepConfig;
+use crate::sweep::{spawn_watchdog, SweepConfig};
+
+/// Why a CEC run ended without a definitive answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InconclusiveReason {
+    /// The wall-clock deadline expired (or the interrupt flag was
+    /// tripped) before every output pair was resolved.
+    DeadlineExpired,
+    /// Some output proof exhausted its conflict budget (stall-tripped
+    /// proofs also land here: the solver cannot tell the two aborts
+    /// apart, and the deadline had not passed).
+    BudgetExhausted,
+}
 
 /// Verdict of a full CEC run.
+///
+/// Three-valued on purpose: an anytime run that cannot finish must
+/// say so rather than guess. Only [`CecVerdict::Equivalent`] claims
+/// equivalence, and it is only produced when *every* output pair was
+/// actually proven — partial results degrade to
+/// [`CecVerdict::Inconclusive`], never to a false positive.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CecVerdict {
     /// Every PO pair proven equal.
@@ -25,8 +44,15 @@ pub enum CecVerdict {
         /// Input vector on which the outputs differ.
         witness: Vec<bool>,
     },
-    /// Some PO pair could not be resolved within the SAT budget.
-    Undecided,
+    /// One or more PO pairs were left unresolved — by budget, by
+    /// deadline, or both. A sound partial result: no falsified pair
+    /// was found, and no unproven pair is claimed equal.
+    Inconclusive {
+        /// Indices of the output pairs left unresolved, ascending.
+        unresolved_pairs: Vec<usize>,
+        /// What cut the run short.
+        reason: InconclusiveReason,
+    },
 }
 
 /// Report of [`check_equivalence`].
@@ -54,6 +80,27 @@ pub fn check_equivalence(
     generator: &mut dyn PatternGenerator,
     config: SweepConfig,
 ) -> Result<CecReport, NetlistError> {
+    check_equivalence_under(a, b, generator, config, &Deadline::never())
+}
+
+/// [`check_equivalence`] as an anytime computation: the whole run —
+/// sweep, internal proofs, output proofs — shares one [`Deadline`].
+/// When it expires, in-flight SAT calls are interrupted and the
+/// remaining output pairs are reported in
+/// [`CecVerdict::Inconclusive`] instead of being guessed at. A
+/// counterexample found before expiry still wins: `NotEquivalent` is
+/// definitive no matter how the run ends.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if the PI or PO counts differ.
+pub fn check_equivalence_under(
+    a: &LutNetwork,
+    b: &LutNetwork,
+    generator: &mut dyn PatternGenerator,
+    config: SweepConfig,
+    deadline: &Deadline,
+) -> Result<CecReport, NetlistError> {
     if a.num_pos() != b.num_pos() {
         return Err(NetlistError::Invalid(format!(
             "po count mismatch: {} vs {}",
@@ -67,38 +114,62 @@ pub fn check_equivalence(
     // reports are scheduling-invariant, so every `jobs` value —
     // including the default 1, which runs inline without spawning
     // threads — yields byte-identical classes and proof counts.
-    let sweep = crate::ParallelSweeper::new(config).run(net, generator);
+    // Internal pairs left unresolved (budget, deadline, quarantine)
+    // only cost the output proofs their seeds; they never make the
+    // verdict wrong, so the flow keeps going regardless.
+    let sweep = crate::ParallelSweeper::new(config).run_under(net, generator, deadline);
 
     // Final proofs on the PO pairs. Seeding the prover with every
     // equivalence the sweep established (fraig-style merging) is what
     // makes the output proofs tractable: without it, deep arithmetic
     // PO miters re-derive all internal equivalences from scratch.
     let mut prover = PairProver::new(net);
+    prover.bind_deadline(deadline);
     for class in &sweep.proven_classes {
         let rep = class[0];
         for &member in &class[1..] {
             prover.assert_equal(rep, member);
         }
     }
+    let progress = Progress::default();
+    let _watchdog = spawn_watchdog(&config, deadline, &progress);
     let t = Instant::now();
-    let mut verdict = CecVerdict::Equivalent;
+    let mut cex: Option<(usize, Vec<bool>)> = None;
+    let mut unresolved_pairs: Vec<usize> = Vec::new();
     for (i, (pa, pb)) in a.pos().iter().zip(b.pos()).enumerate() {
+        if deadline.expired() {
+            unresolved_pairs.push(i);
+            continue;
+        }
         let na = combined.map_a[pa.node.index()];
         let nb = combined.map_b[pb.node.index()];
-        match prover.prove(na, nb, config.sat_budget) {
+        let outcome = prover.prove(na, nb, config.sat_budget);
+        progress.tick();
+        match outcome {
             ProveOutcome::Equivalent => {}
             ProveOutcome::Counterexample(witness) => {
-                verdict = CecVerdict::NotEquivalent {
-                    po_index: i,
-                    witness,
-                };
+                cex = Some((i, witness));
                 break;
             }
             ProveOutcome::Undecided { .. } => {
-                verdict = CecVerdict::Undecided;
+                unresolved_pairs.push(i);
             }
         }
     }
+    let verdict = if let Some((po_index, witness)) = cex {
+        CecVerdict::NotEquivalent { po_index, witness }
+    } else if unresolved_pairs.is_empty() {
+        CecVerdict::Equivalent
+    } else {
+        CecVerdict::Inconclusive {
+            unresolved_pairs,
+            reason: if deadline.expired() {
+                InconclusiveReason::DeadlineExpired
+            } else {
+                InconclusiveReason::BudgetExhausted
+            },
+        }
+    };
     Ok(CecReport {
         verdict,
         sweep_stats: sweep.stats,
@@ -255,6 +326,58 @@ mod tests {
             }
             other => panic!("expected inequivalence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_is_inconclusive_not_equivalent() {
+        let (n1, n2) = adder_pair();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let deadline = Deadline::after(std::time::Duration::ZERO);
+        let report =
+            check_equivalence_under(&n1, &n2, &mut gen, SweepConfig::default(), &deadline).unwrap();
+        match report.verdict {
+            CecVerdict::Inconclusive {
+                unresolved_pairs,
+                reason,
+            } => {
+                // Both output pairs were still open when time ran out.
+                assert_eq!(unresolved_pairs, vec![0, 1]);
+                assert_eq!(reason, InconclusiveReason::DeadlineExpired);
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        assert_eq!(report.output_sat_calls, 0, "no output proof may start");
+    }
+
+    #[test]
+    fn zero_budget_is_inconclusive_with_budget_reason() {
+        let (n1, n2) = adder_pair();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let cfg = SweepConfig {
+            sat_budget: Some(0),
+            ..SweepConfig::default()
+        };
+        let report = check_equivalence(&n1, &n2, &mut gen, cfg).unwrap();
+        match report.verdict {
+            CecVerdict::Inconclusive {
+                unresolved_pairs,
+                reason,
+            } => {
+                assert!(!unresolved_pairs.is_empty());
+                assert_eq!(reason, InconclusiveReason::BudgetExhausted);
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_still_verifies() {
+        let (n1, n2) = adder_pair();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let deadline = Deadline::after(std::time::Duration::from_secs(3600));
+        let report =
+            check_equivalence_under(&n1, &n2, &mut gen, SweepConfig::default(), &deadline).unwrap();
+        assert_eq!(report.verdict, CecVerdict::Equivalent);
     }
 
     #[test]

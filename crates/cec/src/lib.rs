@@ -39,9 +39,12 @@ pub mod prove;
 pub mod stats;
 pub mod sweep;
 
-pub use flow::{check_equivalence, CecReport, CecVerdict, SwitchOnPlateau};
+pub use flow::{
+    check_equivalence, check_equivalence_under, CecReport, CecVerdict, InconclusiveReason,
+    SwitchOnPlateau,
+};
 pub use parallel::ParallelSweeper;
 pub use prove::{BddProver, EquivProver, PairProver, ProveOutcome};
-pub use simgen_dispatch::BudgetSchedule;
+pub use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
 pub use stats::{DispatchSummary, IterationRecord, SweepStats, WorkerSummary};
 pub use sweep::{ProofEngine, SweepConfig, SweepReport, Sweeper};

@@ -27,14 +27,14 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use simgen_core::PatternGenerator;
-use simgen_dispatch::{run_ordered, Attempt, BudgetSchedule};
+use simgen_dispatch::{run_ordered, Attempt, BudgetSchedule, Deadline, JobStatus, Progress};
 use simgen_netlist::{LutNetwork, NodeId};
 
 use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
 use crate::stats::{DispatchSummary, WorkerSummary};
 use crate::sweep::{
-    flush_counterexamples, record_merge, run_sim_phases, ProofEngine, SimPhases, SweepConfig,
-    SweepReport,
+    flush_counterexamples, record_merge, run_sim_phases, spawn_watchdog, ProofEngine, SimPhases,
+    SweepConfig, SweepReport,
 };
 
 /// Scheduling-independent result of one pair proof (the wall-clock
@@ -54,6 +54,8 @@ enum PairVerdict {
 /// [`crate::stats::WorkerSummary`].
 struct WorkerState<'n> {
     net: &'n LutNetwork,
+    /// Shared deadline bound to every prover this worker builds.
+    deadline: Deadline,
     /// Lazily created on the first pair that exhausts its SAT ladder
     /// (or immediately when BDD is the primary engine).
     bdd: Option<BddProver<'n>>,
@@ -66,9 +68,10 @@ struct WorkerState<'n> {
 }
 
 impl<'n> WorkerState<'n> {
-    fn new(net: &'n LutNetwork) -> Self {
+    fn new(net: &'n LutNetwork, deadline: Deadline) -> Self {
         WorkerState {
             net,
+            deadline,
             bdd: None,
             proofs: 0,
             conflicts: 0,
@@ -112,6 +115,7 @@ impl<'n> WorkerState<'n> {
         }
 
         let mut prover = PairProver::new(self.net);
+        prover.bind_deadline(&self.deadline);
         let cone = cone_union(self.net, a, b);
         for &(x, y) in seeds {
             if cone.contains(&x) && cone.contains(&y) {
@@ -166,12 +170,18 @@ fn cone_union(net: &LutNetwork, a: NodeId, b: NodeId) -> HashSet<NodeId> {
 #[derive(Clone, Debug)]
 pub struct ParallelSweeper {
     config: SweepConfig,
+    /// Test-only fault injection: pairs matching the predicate make
+    /// their prover panic, exercising the quarantine path.
+    panic_on: Option<fn(NodeId, NodeId) -> bool>,
 }
 
 impl ParallelSweeper {
     /// Creates a parallel sweeper with the given configuration.
     pub fn new(config: SweepConfig) -> Self {
-        ParallelSweeper { config }
+        ParallelSweeper {
+            config,
+            panic_on: None,
+        }
     }
 
     /// The active configuration.
@@ -179,22 +189,52 @@ impl ParallelSweeper {
         &self.config
     }
 
+    /// Fault injection for robustness tests: any pair `(rep, cand)`
+    /// for which `trigger` returns true panics inside its prover. The
+    /// dispatch layer must quarantine it and finish the sweep.
+    #[doc(hidden)]
+    pub fn with_panic_injection(mut self, trigger: fn(NodeId, NodeId) -> bool) -> Self {
+        self.panic_on = Some(trigger);
+        self
+    }
+
     /// Runs the full sweep on `net` using `generator` for the guided
-    /// phase and `config.jobs` workers for the proof phase.
+    /// phase and `config.jobs` workers for the proof phase, with no
+    /// deadline.
     pub fn run(&self, net: &LutNetwork, generator: &mut dyn PatternGenerator) -> SweepReport {
+        self.run_under(net, generator, &Deadline::never())
+    }
+
+    /// Runs the full sweep as an *anytime* computation. When
+    /// `deadline` expires, in-flight proofs are interrupted through
+    /// the shared flag, pairs not yet started are skipped, and
+    /// everything unproven is reported unresolved. For runs that
+    /// finish under deadline the report is byte-identical to an
+    /// undeadlined run with the same config, for any `jobs` value.
+    pub fn run_under(
+        &self,
+        net: &LutNetwork,
+        generator: &mut dyn PatternGenerator,
+        deadline: &Deadline,
+    ) -> SweepReport {
         let cfg = &self.config;
         let jobs = cfg.jobs.max(1);
+        let panic_on = self.panic_on;
         let SimPhases {
             mut stats,
             mut patterns,
             mut sim,
             classes,
-        } = run_sim_phases(cfg, net, generator);
+        } = run_sim_phases(cfg, net, generator, deadline);
         let cost_after_sim = classes.cost();
 
         let mut proven: Vec<Vec<NodeId>> = Vec::new();
         let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut quarantined: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut interrupted = false;
         if cfg.run_sat {
+            let progress = Progress::default();
+            let _watchdog = spawn_watchdog(cfg, deadline, &progress);
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
             let mut merged: Vec<Vec<NodeId>> = Vec::new();
             // Equivalences proven in earlier rounds, in merge order:
@@ -203,6 +243,7 @@ impl ParallelSweeper {
             let mut summary = DispatchSummary {
                 jobs,
                 rounds: 0,
+                quarantined: 0,
                 workers: (0..jobs)
                     .map(|worker| WorkerSummary {
                         worker,
@@ -225,14 +266,33 @@ impl ParallelSweeper {
                     break;
                 }
                 pairs.sort_by_key(|&(_, cand)| (net.level(cand), cand));
+                if deadline.expired() {
+                    // Out of time before the round started: every
+                    // remaining pair is unresolved, in the same
+                    // deterministic order it would have been proven.
+                    interrupted = true;
+                    for (rep, cand) in pairs {
+                        stats.aborted += 1;
+                        unresolved.push((rep, cand));
+                    }
+                    break;
+                }
                 summary.rounds += 1;
 
                 let seeds_ref: &[(NodeId, NodeId)] = &seeds;
                 let outcome = run_ordered(
                     jobs,
                     pairs.clone(),
-                    |_| WorkerState::new(net),
-                    |state, &(a, b)| state.prove_pair(seeds_ref, a, b, cfg),
+                    Some(deadline),
+                    |_| WorkerState::new(net, deadline.clone()),
+                    |state, &(a, b)| {
+                        if panic_on.is_some_and(|trigger| trigger(a, b)) {
+                            panic!("injected prover panic on pair ({a}, {b})");
+                        }
+                        let verdict = state.prove_pair(seeds_ref, a, b, cfg);
+                        progress.tick();
+                        verdict
+                    },
                 );
                 for report in &outcome.workers {
                     let agg = &mut summary.workers[report.worker];
@@ -241,16 +301,33 @@ impl ParallelSweeper {
                     agg.timeouts += report.state.timeouts;
                     agg.escalations += report.state.escalations;
                     agg.steals += report.stolen;
+                    agg.panics += report.panics;
                     stats.sat_calls += report.state.sat_calls;
                     stats.sat_time += report.state.sat_time;
                 }
 
                 // Merge in pair order — the only order-sensitive step,
                 // and it only depends on the (deterministic) results.
+                // Panicked and skipped pairs are quarantined: counted,
+                // reported unresolved, and never merged — the sound
+                // direction to fail in.
                 let mut pending: Vec<Vec<bool>> = Vec::new();
                 let mut benched: Vec<NodeId> = Vec::new();
                 let mut dropped: HashSet<NodeId> = HashSet::new();
-                for ((rep, cand), verdict) in pairs.into_iter().zip(outcome.results) {
+                for ((rep, cand), status) in pairs.into_iter().zip(outcome.results) {
+                    let verdict = match status {
+                        JobStatus::Done(verdict) => verdict,
+                        JobStatus::Panicked { .. } => {
+                            summary.quarantined += 1;
+                            quarantined.push((rep, cand));
+                            PairVerdict::Undecided
+                        }
+                        JobStatus::Skipped => {
+                            summary.quarantined += 1;
+                            interrupted = true;
+                            PairVerdict::Undecided
+                        }
+                    };
                     match verdict {
                         PairVerdict::Equivalent => {
                             stats.proved_equivalent += 1;
@@ -300,6 +377,8 @@ impl ParallelSweeper {
             cost_after_sim,
             proven_classes: proven,
             unresolved,
+            quarantined,
+            interrupted: interrupted || deadline.expired(),
             patterns,
         }
     }
@@ -493,6 +572,101 @@ mod tests {
             .iter()
             .any(|c| c.contains(&l) && c.contains(&r)));
         assert!(with.stats.dispatch.as_ref().unwrap().total_escalations() == 0);
+    }
+
+    #[test]
+    fn panicking_prover_is_quarantined_not_fatal() {
+        // Every single pair proof panics; the sweep must still run to
+        // completion with everything quarantined and nothing merged.
+        let net = workload_net(13);
+        for jobs in [1usize, 4] {
+            let cfg = SweepConfig {
+                jobs,
+                seed: 13,
+                ..SweepConfig::default()
+            };
+            let mut g = SimGen::new(SimGenConfig::default().with_seed(13));
+            let r = ParallelSweeper::new(cfg)
+                .with_panic_injection(|_, _| true)
+                .run(&net, &mut g);
+            assert!(r.proven_classes.is_empty(), "jobs={jobs}");
+            assert!(!r.quarantined.is_empty(), "jobs={jobs}");
+            assert!(!r.interrupted, "no deadline involved, jobs={jobs}");
+            let d = r.stats.dispatch.as_ref().unwrap();
+            assert_eq!(d.quarantined, r.quarantined.len() as u64);
+            assert_eq!(d.total_panics(), d.quarantined);
+            // Soundness: every quarantined pair is reported unresolved.
+            for p in &r.quarantined {
+                assert!(r.unresolved.contains(p), "jobs={jobs}");
+            }
+            assert_eq!(r.stats.aborted as usize, r.unresolved.len());
+        }
+    }
+
+    #[test]
+    fn partial_panic_injection_spares_other_pairs() {
+        // Panic on pairs with an even candidate id: those quarantine,
+        // the rest must still resolve normally.
+        let net = workload_net(3);
+        let cfg = SweepConfig {
+            jobs: 2,
+            seed: 3,
+            ..SweepConfig::default()
+        };
+        let mut g = SimGen::new(SimGenConfig::default().with_seed(3));
+        let baseline = ParallelSweeper::new(cfg).run(&net, &mut g);
+        assert!(baseline.stats.proved_equivalent > 0, "workload sanity");
+
+        let mut g = SimGen::new(SimGenConfig::default().with_seed(3));
+        let r = ParallelSweeper::new(cfg)
+            .with_panic_injection(|_, cand| cand.index() % 2 == 0)
+            .run(&net, &mut g);
+        let d = r.stats.dispatch.as_ref().unwrap();
+        assert!(d.quarantined > 0, "some pair must have been injected");
+        assert_eq!(d.total_panics(), d.quarantined);
+        for p in &r.quarantined {
+            assert!(r.unresolved.contains(p));
+            // The injection never reached a prover, so no quarantined
+            // pair may appear merged.
+            assert!(r
+                .proven_classes
+                .iter()
+                .all(|c| !(c.contains(&p.0) && c.contains(&p.1))));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_deterministically() {
+        // With the deadline already gone, every jobs value must
+        // produce the identical sound partial report: nothing proven,
+        // all surviving pairs unresolved in the same order.
+        let net = workload_net(17);
+        let run = |jobs: usize| {
+            let cfg = SweepConfig {
+                jobs,
+                seed: 17,
+                ..SweepConfig::default()
+            };
+            let mut g = SimGen::new(SimGenConfig::default().with_seed(17));
+            ParallelSweeper::new(cfg).run_under(&net, &mut g, &Deadline::after(Duration::ZERO))
+        };
+        let r1 = run(1);
+        assert!(r1.interrupted);
+        assert!(r1.proven_classes.is_empty());
+        assert!(!r1.unresolved.is_empty(), "pairs survive simulation");
+        assert_eq!(r1.stats.sat_calls, 0, "no proof may start");
+        for jobs in [2usize, 4] {
+            let rj = run(jobs);
+            assert!(rj.interrupted, "jobs={jobs}");
+            assert_eq!(rj.proven_classes, r1.proven_classes, "jobs={jobs}");
+            assert_eq!(rj.unresolved, r1.unresolved, "jobs={jobs}");
+            assert_eq!(rj.stats.aborted, r1.stats.aborted, "jobs={jobs}");
+            assert_eq!(
+                rj.stats.history.len(),
+                r1.stats.history.len(),
+                "jobs={jobs}"
+            );
+        }
     }
 
     #[test]

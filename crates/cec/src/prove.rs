@@ -95,6 +95,17 @@ impl<'n> PairProver<'n> {
         self.solver.set_interrupt(flag);
     }
 
+    /// Binds a [`Deadline`] to the underlying solver: its shared flag
+    /// becomes the interrupt hook (so a watchdog trip aborts the
+    /// in-flight solve) and its expiry instant is checked by the CDCL
+    /// loop itself (so expiry fires even without a watchdog). After
+    /// the deadline passes, every [`PairProver::prove`] answers
+    /// [`ProveOutcome::Undecided`].
+    pub fn bind_deadline(&mut self, deadline: &simgen_dispatch::Deadline) {
+        self.solver.set_interrupt(deadline.flag());
+        self.solver.set_deadline(deadline.expires_at());
+    }
+
     /// Wall time spent inside the solver so far.
     pub fn time(&self) -> Duration {
         self.time

@@ -34,7 +34,9 @@ pub struct SweepStats {
     pub proved_equivalent: u64,
     /// Pairs disproven by a SAT counterexample.
     pub disproved: u64,
-    /// Pairs abandoned on conflict budget.
+    /// Pairs abandoned without an answer: conflict budget exhausted,
+    /// deadline expired before the pair was started, or the pair's
+    /// prover was quarantined after a panic.
     pub aborted: u64,
     /// Per-iteration history of the simulation phase.
     pub history: Vec<IterationRecord>,
@@ -61,6 +63,9 @@ pub struct WorkerSummary {
     pub escalations: u64,
     /// Jobs stolen from other workers' queues (scheduling-dependent).
     pub steals: u64,
+    /// Prover panics caught on this worker; each one quarantined its
+    /// pair and cost a worker-state respawn.
+    pub panics: u64,
 }
 
 /// Aggregated parallel-dispatch statistics for one sweep.
@@ -70,6 +75,9 @@ pub struct DispatchSummary {
     pub jobs: usize,
     /// Synchronised proof rounds executed.
     pub rounds: u64,
+    /// Pairs quarantined because their proof panicked or was skipped
+    /// by an expired deadline; all of them end the sweep unresolved.
+    pub quarantined: u64,
     /// Per-worker breakdown, indexed by worker id.
     pub workers: Vec<WorkerSummary>,
 }
@@ -93,6 +101,11 @@ impl DispatchSummary {
     /// Total steals across workers.
     pub fn total_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total caught prover panics across workers.
+    pub fn total_panics(&self) -> u64 {
+        self.workers.iter().map(|w| w.panics).sum()
     }
 }
 
@@ -135,5 +148,49 @@ mod tests {
         s.sim_time = Duration::from_millis(6);
         assert_eq!(s.final_cost(), 7);
         assert_eq!(s.total_sim_phase(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn dispatch_summary_aggregates_panics_and_quarantine() {
+        let summary = DispatchSummary {
+            jobs: 3,
+            rounds: 2,
+            quarantined: 4,
+            workers: vec![
+                WorkerSummary {
+                    worker: 0,
+                    proofs: 10,
+                    panics: 1,
+                    steals: 2,
+                    ..WorkerSummary::default()
+                },
+                WorkerSummary {
+                    worker: 1,
+                    proofs: 8,
+                    panics: 2,
+                    ..WorkerSummary::default()
+                },
+                WorkerSummary {
+                    worker: 2,
+                    proofs: 5,
+                    timeouts: 1,
+                    ..WorkerSummary::default()
+                },
+            ],
+        };
+        assert_eq!(summary.total_panics(), 3);
+        assert_eq!(summary.total_proofs(), 23);
+        assert_eq!(summary.total_steals(), 2);
+        assert_eq!(summary.total_timeouts(), 1);
+        // Quarantined covers panicked *and* deadline-skipped pairs, so
+        // it is tracked independently of the per-worker panic counts.
+        assert_eq!(summary.quarantined, 4);
+    }
+
+    #[test]
+    fn default_summary_is_clean() {
+        let summary = DispatchSummary::default();
+        assert_eq!(summary.total_panics(), 0);
+        assert_eq!(summary.quarantined, 0);
     }
 }

@@ -1,13 +1,13 @@
 //! The SAT sweeping loop: random simulation → guided pattern
 //! generation → SAT resolution with counterexample feedback.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use simgen_core::PatternGenerator;
-use simgen_dispatch::BudgetSchedule;
+use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_sim::{EquivClasses, PatternSet, SimResult};
 
@@ -55,6 +55,11 @@ pub struct SweepConfig {
     /// a single attempt at [`SweepConfig::sat_budget`] per pair).
     /// Ignored by the serial sweeper.
     pub budget_schedule: Option<BudgetSchedule>,
+    /// Per-pair stall threshold: when no pair resolves for this long,
+    /// the watchdog interrupts whatever is in flight (the stuck pair
+    /// ends `Undecided`) and the sweep moves on. `None` disables
+    /// stall detection.
+    pub stall: Option<Duration>,
 }
 
 impl Default for SweepConfig {
@@ -69,6 +74,7 @@ impl Default for SweepConfig {
             seed: 0xC1C,
             jobs: 1,
             budget_schedule: None,
+            stall: None,
         }
     }
 }
@@ -82,8 +88,18 @@ pub struct SweepReport {
     pub cost_after_sim: u64,
     /// Groups of nodes proven functionally equivalent by SAT.
     pub proven_classes: Vec<Vec<NodeId>>,
-    /// Pairs the SAT budget could not resolve.
+    /// Pairs no prover resolved — budget exhausted, deadline expired,
+    /// or (parallel only) quarantined after a prover panic. Every
+    /// entry also appears in the per-cause breakdowns; none of them
+    /// is ever merged, which is what keeps partial results sound.
     pub unresolved: Vec<(NodeId, NodeId)>,
+    /// The subset of [`SweepReport::unresolved`] that was quarantined
+    /// because its proof panicked (always empty for serial sweeps,
+    /// which run the prover on the caller's own thread).
+    pub quarantined: Vec<(NodeId, NodeId)>,
+    /// True when the deadline expired (or was tripped) before the
+    /// sweep finished; the report is then a sound partial result.
+    pub interrupted: bool,
     /// All simulation patterns accumulated during the sweep.
     pub patterns: PatternSet,
 }
@@ -106,23 +122,43 @@ impl Sweeper {
     }
 
     /// Runs the full sweep on `net` using `generator` for the guided
-    /// phase.
+    /// phase, with no deadline.
     pub fn run(&self, net: &LutNetwork, generator: &mut dyn PatternGenerator) -> SweepReport {
+        self.run_under(net, generator, &Deadline::never())
+    }
+
+    /// Runs the full sweep as an *anytime* computation: when
+    /// `deadline` expires (or is tripped), the in-flight proof is
+    /// interrupted, every remaining pair is reported unresolved, and
+    /// the partial report is returned — sound, just less merged.
+    pub fn run_under(
+        &self,
+        net: &LutNetwork,
+        generator: &mut dyn PatternGenerator,
+        deadline: &Deadline,
+    ) -> SweepReport {
         let cfg = &self.config;
         let SimPhases {
             mut stats,
             mut patterns,
             mut sim,
             classes,
-        } = run_sim_phases(cfg, net, generator);
+        } = run_sim_phases(cfg, net, generator, deadline);
         let cost_after_sim = classes.cost();
 
         // Phase 3: SAT resolution with counterexample feedback.
         let mut proven: Vec<Vec<NodeId>> = Vec::new();
         let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut interrupted = false;
         if cfg.run_sat {
+            let progress = Progress::default();
+            let _watchdog = spawn_watchdog(cfg, deadline, &progress);
             let mut prover: Box<dyn EquivProver + '_> = match cfg.proof {
-                ProofEngine::Sat => Box::new(PairProver::new(net)),
+                ProofEngine::Sat => {
+                    let mut p = PairProver::new(net);
+                    p.bind_deadline(deadline);
+                    Box::new(p)
+                }
                 ProofEngine::Bdd { node_limit } => Box::new(BddProver::new(net, node_limit)),
             };
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
@@ -138,6 +174,21 @@ impl Sweeper {
             let mut pending: Vec<Vec<bool>> = Vec::new();
             let mut benched: Vec<NodeId> = Vec::new();
             loop {
+                if deadline.expired() {
+                    // Graceful degradation: whatever is still paired
+                    // up was not proven, so it is reported unresolved
+                    // — never merged. Pending counterexamples are
+                    // dropped (their pairs are already split).
+                    interrupted = true;
+                    for class in work.iter().filter(|c| c.len() >= 2) {
+                        let rep = class[0];
+                        for &cand in &class[1..] {
+                            stats.aborted += 1;
+                            unresolved.push((rep, cand));
+                        }
+                    }
+                    break;
+                }
                 // Resolve pairs shallowest-candidate-first: proofs of
                 // deep pairs then reuse the already-asserted
                 // equivalences of their fanin cones (the fraig
@@ -166,7 +217,9 @@ impl Sweeper {
                 };
                 let rep = work[ci][0];
                 let cand = work[ci][1];
-                match prover.prove(rep, cand, cfg.sat_budget) {
+                let outcome = prover.prove(rep, cand, cfg.sat_budget);
+                progress.tick();
+                match outcome {
                     ProveOutcome::Equivalent => {
                         stats.proved_equivalent += 1;
                         // Feed the equivalence back into the solver so
@@ -222,9 +275,30 @@ impl Sweeper {
             cost_after_sim,
             proven_classes: proven,
             unresolved,
+            // Serial proofs run on the caller's thread; a panic there
+            // propagates to the caller, so nothing is ever quarantined.
+            quarantined: Vec::new(),
+            interrupted: interrupted || deadline.expired(),
             patterns,
         }
     }
+}
+
+/// Spawns the watchdog for a proof phase when there is anything for
+/// it to watch: a finite deadline (trip the flag the moment it
+/// passes) or a stall threshold (trip when `progress` stops moving).
+pub(crate) fn spawn_watchdog(
+    cfg: &SweepConfig,
+    deadline: &Deadline,
+    progress: &Progress,
+) -> Option<Watchdog> {
+    if !deadline.is_finite() && cfg.stall.is_none() {
+        return None;
+    }
+    Some(Watchdog::spawn(
+        deadline.clone(),
+        cfg.stall.map(|window| (progress.clone(), window)),
+    ))
 }
 
 /// Output of the simulation half of a sweep (phases 1–2 of the
@@ -241,10 +315,17 @@ pub(crate) struct SimPhases {
 }
 
 /// Phases 1–2: random simulation rounds, then guided iterations.
+///
+/// The deadline is polled between guided iterations (the only
+/// unbounded part); the mandatory random round always runs so the
+/// equivalence classes exist. Because the check sits on iteration
+/// boundaries and the phases are single-threaded, an expired deadline
+/// truncates the history identically for every `jobs` value.
 pub(crate) fn run_sim_phases(
     cfg: &SweepConfig,
     net: &LutNetwork,
     generator: &mut dyn PatternGenerator,
+    deadline: &Deadline,
 ) -> SimPhases {
     let mut stats = SweepStats::default();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -276,6 +357,9 @@ pub(crate) fn run_sim_phases(
 
     // Phase 2: guided iterations.
     for _ in 0..cfg.guided_iterations {
+        if deadline.expired() {
+            break;
+        }
         let t = Instant::now();
         let vectors = generator.generate(net, &classes);
         let gen_time = t.elapsed();
@@ -618,6 +702,46 @@ mod tests {
                 "counterexamples must reach the generator"
             );
         }
+    }
+
+    #[test]
+    fn expired_deadline_yields_sound_partial_report() {
+        // Serial sweeper under an already-expired deadline: the
+        // random phase still builds classes, but no proof may run and
+        // every surviving pair must surface as unresolved.
+        let (net, ands) = redundant_net();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let deadline = Deadline::after(Duration::ZERO);
+        let report = Sweeper::new(SweepConfig::default()).run_under(&net, &mut gen, &deadline);
+        assert!(report.interrupted);
+        assert!(report.proven_classes.is_empty(), "nothing may be claimed");
+        assert!(report.quarantined.is_empty(), "serial never quarantines");
+        assert_eq!(report.stats.sat_calls, 0);
+        // The redundant ANDs survive simulation, so they must be
+        // reported unresolved rather than silently dropped.
+        assert!(report
+            .unresolved
+            .iter()
+            .any(|&(a, b)| ands.contains(&a) && ands.contains(&b)));
+        assert_eq!(report.stats.aborted as usize, report.unresolved.len());
+        // Only the mandatory random round made it into the history.
+        assert_eq!(report.stats.history.len(), 1);
+    }
+
+    #[test]
+    fn finishing_under_deadline_matches_undeadlined_run() {
+        // A generous deadline must not perturb the report.
+        let (net, _) = redundant_net();
+        let mut g1 = SimGen::new(SimGenConfig::default());
+        let plain = Sweeper::new(SweepConfig::default()).run(&net, &mut g1);
+        let mut g2 = SimGen::new(SimGenConfig::default());
+        let deadline = Deadline::after(Duration::from_secs(3600));
+        let timed = Sweeper::new(SweepConfig::default()).run_under(&net, &mut g2, &deadline);
+        assert!(!timed.interrupted);
+        assert_eq!(timed.proven_classes, plain.proven_classes);
+        assert_eq!(timed.unresolved, plain.unresolved);
+        assert_eq!(timed.stats.proved_equivalent, plain.stats.proved_equivalent);
+        assert_eq!(timed.stats.sat_calls, plain.stats.sat_calls);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! equivalences wherever BDDs stay within their node limit.
 
 use simgen_cec::{
-    BddProver, BudgetSchedule, EquivProver, PairProver, ParallelSweeper, ProofEngine, ProveOutcome,
-    SweepConfig, Sweeper,
+    check_equivalence_under, BddProver, BudgetSchedule, CecVerdict, Deadline, EquivProver,
+    InconclusiveReason, PairProver, ParallelSweeper, ProofEngine, ProveOutcome, SweepConfig,
+    Sweeper,
 };
 use simgen_core::{SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
@@ -193,5 +194,83 @@ fn parallel_sweeps_match_serial_across_workloads() {
                 "{name} report {i}"
             );
         }
+    }
+}
+
+/// Anytime degradation is as scheduling-invariant as completion: under
+/// an already-expired deadline, every worker count produces the same
+/// partial sweep report, and the full CEC flow returns the same
+/// `Inconclusive` verdict naming the same unresolved output pairs.
+#[test]
+fn expired_deadline_reports_are_identical_across_worker_counts() {
+    for (name, seed) in [("e64", 11u64), ("priority", 23)] {
+        let net = workload(name, seed);
+        let base = SweepConfig {
+            guided_iterations: 5,
+            seed,
+            ..SweepConfig::default()
+        };
+        let mut reports = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            let cfg = SweepConfig { jobs, ..base };
+            let mut gen = SimGen::new(SimGenConfig::default().with_seed(seed));
+            let deadline = Deadline::after(std::time::Duration::ZERO);
+            let par = ParallelSweeper::new(cfg).run_under(&net, &mut gen, &deadline);
+            assert!(par.interrupted, "{name} jobs={jobs} must flag interruption");
+            assert_eq!(
+                par.stats.sat_calls, 0,
+                "{name} jobs={jobs}: no proof may start past the deadline"
+            );
+            assert!(
+                par.proven_classes.is_empty(),
+                "{name} jobs={jobs}: partial results never claim unproven equivalences"
+            );
+            reports.push(par);
+        }
+        let first = &reports[0];
+        for (i, r) in reports.iter().enumerate().skip(1) {
+            assert_eq!(r.proven_classes, first.proven_classes, "{name} report {i}");
+            assert_eq!(r.unresolved, first.unresolved, "{name} report {i}");
+            assert_eq!(r.quarantined, first.quarantined, "{name} report {i}");
+            assert_eq!(
+                r.patterns.num_patterns(),
+                first.patterns.num_patterns(),
+                "{name} report {i}"
+            );
+        }
+
+        // End-to-end flow: same Inconclusive verdict for every jobs value.
+        let left = map_to_luts(&build_aig(name).expect("known benchmark"), 6);
+        let right = map_to_luts(
+            &restructure(&build_aig(name).expect("known benchmark"), 0.4, seed),
+            6,
+        );
+        let mut verdicts = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            let cfg = SweepConfig { jobs, ..base };
+            let mut gen = SimGen::new(SimGenConfig::default().with_seed(seed));
+            let deadline = Deadline::after(std::time::Duration::ZERO);
+            let report = check_equivalence_under(&left, &right, &mut gen, cfg, &deadline)
+                .expect("interfaces match");
+            match &report.verdict {
+                CecVerdict::Inconclusive {
+                    unresolved_pairs,
+                    reason,
+                } => {
+                    assert_eq!(*reason, InconclusiveReason::DeadlineExpired, "{name}");
+                    assert_eq!(
+                        unresolved_pairs.len(),
+                        left.num_pos(),
+                        "{name}: every output pair unresolved"
+                    );
+                    verdicts.push(unresolved_pairs.clone());
+                }
+                other => panic!("{name} jobs={jobs}: expected Inconclusive, got {other:?}"),
+            }
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "{name}: identical unresolved sets across worker counts"
+        );
     }
 }

@@ -8,8 +8,11 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use simgen_cec::{check_equivalence, CecVerdict, ParallelSweeper, SweepConfig};
+use simgen_cec::{
+    check_equivalence_under, CecVerdict, Deadline, InconclusiveReason, ParallelSweeper, SweepConfig,
+};
 use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
 use simgen_netlist::{aiger, bench_fmt, blif, Aig, LutNetwork};
@@ -172,7 +175,66 @@ pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str>
     out
 }
 
-const VALUE_FLAGS: [&str; 6] = ["-k", "--strategy", "--iters", "--seed", "--jobs", "-j"];
+const VALUE_FLAGS: [&str; 8] = [
+    "-k",
+    "--strategy",
+    "--iters",
+    "--seed",
+    "--jobs",
+    "-j",
+    "--timeout",
+    "--stall",
+];
+
+/// True for tokens the argument grammar treats as flags (same shape
+/// test [`positionals`] uses to skip them).
+fn looks_like_flag(a: &str) -> bool {
+    a.starts_with("--") || (a.starts_with('-') && a.len() == 2 && !a.starts_with("-."))
+}
+
+/// Rejects flag-shaped tokens that no command understands. Without
+/// this, a typo like `--time 5` would silently drop the flag and turn
+/// `5` into a positional argument.
+fn reject_unknown_flags(args: &[String]) -> Result<(), CliError> {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            // Value of a known flag; `-1` after `--timeout` is a
+            // (bad) value to validate later, not an unknown option.
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if looks_like_flag(a) {
+            return err(format!("unknown option `{a}` (see `simgen help`)"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a `--timeout`/`--stall` style duration given in (possibly
+/// fractional) seconds. `allow_zero` lets `--timeout 0` mean "already
+/// expired" — handy for forcing the degraded path deterministically.
+fn parse_secs(flag: &str, value: &str, allow_zero: bool) -> Result<Duration, CliError> {
+    value
+        .parse::<f64>()
+        .ok()
+        .and_then(|secs| Duration::try_from_secs_f64(secs).ok())
+        .filter(|d| allow_zero || !d.is_zero())
+        .ok_or_else(|| {
+            let need = if allow_zero {
+                "non-negative"
+            } else {
+                "positive"
+            };
+            CliError(format!(
+                "bad {flag} value `{value}` (need a {need} number of seconds)"
+            ))
+        })
+}
 
 /// Dispatches a CLI invocation. Returns the process exit code.
 ///
@@ -185,10 +247,17 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
         return Ok(ExitCode::from(64));
     };
     let rest = &args[1..];
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return Ok(ExitCode::SUCCESS);
+    }
+    reject_unknown_flags(rest)?;
     let k: usize = flag_value(rest, "-k")
         .map(|v| {
             v.parse()
-                .map_err(|_| CliError(format!("bad -k value `{v}`")))
+                .ok()
+                .filter(|k| (1..=6).contains(k))
+                .ok_or_else(|| CliError(format!("bad -k value `{v}` (need 1..=6)")))
         })
         .transpose()?
         .unwrap_or(6);
@@ -208,6 +277,15 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
         })
         .transpose()?
         .unwrap_or(1);
+    let timeout: Option<Duration> = flag_value(rest, "--timeout")
+        .map(|v| parse_secs("--timeout", v, true))
+        .transpose()?;
+    let stall: Option<Duration> = flag_value(rest, "--stall")
+        .map(|v| parse_secs("--stall", v, false))
+        .transpose()?;
+    // One deadline for the whole invocation: `--timeout 0` starts
+    // already expired, which degrades every proof phase immediately.
+    let deadline = timeout.map(Deadline::after).unwrap_or_default();
     let pos = positionals(rest, &VALUE_FLAGS);
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -327,13 +405,14 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let cfg = SweepConfig {
                 guided_iterations: iters,
                 jobs,
+                stall,
                 ..SweepConfig::default()
             };
             // Always the dispatch engine: its reports are
             // scheduling-invariant, so every --jobs value (including
             // the default 1, which runs inline without threads)
             // prints byte-identical classes and proof counts.
-            let report = ParallelSweeper::new(cfg).run(&net, gen.as_mut());
+            let report = ParallelSweeper::new(cfg).run_under(&net, gen.as_mut(), &deadline);
             println!(
                 "{path}: {} LUTs | strategy {} | jobs {jobs}",
                 net.num_luts(),
@@ -360,6 +439,17 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     d.total_escalations(),
                     d.total_steals()
                 );
+                if d.total_panics() > 0 || d.quarantined > 0 {
+                    println!(
+                        "  quarantined           : {} pairs ({} worker panics)",
+                        d.quarantined,
+                        d.total_panics()
+                    );
+                }
+            }
+            if report.interrupted {
+                println!("  INTERRUPTED: deadline expired; classes above are partial");
+                return Ok(ExitCode::from(2));
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -373,9 +463,10 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let mut gen = make_strategy(strategy, seed)?;
             let cfg = SweepConfig {
                 jobs,
+                stall,
                 ..SweepConfig::default()
             };
-            let report = check_equivalence(&na, &nb, gen.as_mut(), cfg)
+            let report = check_equivalence_under(&na, &nb, gen.as_mut(), cfg, &deadline)
                 .map_err(|e| CliError(e.to_string()))?;
             match report.verdict {
                 CecVerdict::Equivalent => {
@@ -390,8 +481,22 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     println!("NOT EQUIVALENT: output pair {po_index} differs on input {bits}");
                     Ok(ExitCode::from(1))
                 }
-                CecVerdict::Undecided => {
-                    println!("UNDECIDED (SAT budget exhausted)");
+                CecVerdict::Inconclusive {
+                    unresolved_pairs,
+                    reason,
+                } => {
+                    let why = match reason {
+                        InconclusiveReason::DeadlineExpired => "deadline expired",
+                        InconclusiveReason::BudgetExhausted => "SAT budget exhausted",
+                    };
+                    let pairs: Vec<String> =
+                        unresolved_pairs.iter().map(usize::to_string).collect();
+                    println!(
+                        "INCONCLUSIVE ({why}): {} unresolved output pair(s): {}",
+                        pairs.len(),
+                        pairs.join(" ")
+                    );
+                    println!("note: no inequivalence was found; the result is a sound partial one");
                     Ok(ExitCode::from(2))
                 }
             }
@@ -427,14 +532,24 @@ USAGE:
   simgen export <in> <out.dot|out.v> [-k K]  Graphviz / structural Verilog
   simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
   simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N] [--jobs N]
+                      [--timeout SECS] [--stall SECS]
   simgen cec <a> <b> [--strategy S] [-k K] [--seed N] [--jobs N]
+                     [--timeout SECS] [--stall SECS]
   simgen bench <name> <out>                emit a built-in benchmark circuit
   simgen list-benchmarks                   list the 42 built-in benchmarks
 
 Formats by extension: .aig (binary AIGER), .aag (ASCII AIGER),
 .bench (ISCAS), .blif. Strategies: simgen (default), revs, rand, 1dist.
 --jobs/-j N runs the SAT-resolution phase on N worker threads (the
-results are identical for any N)."
+results are identical for any N).
+
+Anytime operation: --timeout SECS bounds the whole run by a wall-clock
+deadline; --stall SECS aborts any single proof making no progress for
+that long. On expiry the tool reports the sound partial result it has.
+
+Exit codes for `cec`: 0 equivalent, 1 not equivalent (counterexample
+printed), 2 inconclusive (deadline or SAT budget ran out before all
+output pairs were resolved). `sweep` exits 2 if interrupted."
     );
 }
 
@@ -558,6 +673,82 @@ mod tests {
         .unwrap();
         let code = run(&s(&["sat", cnf.to_str().unwrap()])).unwrap();
         assert_eq!(code, ExitCode::from(20));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for args in [
+            s(&["sweep", "x.blif", "--cuts", "4"]),
+            s(&["cec", "a.aig", "b.aig", "--time", "5"]),
+            s(&["stats", "-z", "x.aig"]),
+        ] {
+            let msg = run(&args).expect_err("unknown flag must error").0;
+            assert!(msg.contains("unknown option"), "unexpected error: {msg}");
+        }
+    }
+
+    #[test]
+    fn malformed_value_flags_are_rejected() {
+        for (args, needle) in [
+            (
+                s(&["cec", "a.aig", "b.aig", "--timeout", "soon"]),
+                "--timeout",
+            ),
+            (
+                s(&["cec", "a.aig", "b.aig", "--timeout", "-1"]),
+                "--timeout",
+            ),
+            (s(&["sweep", "x.blif", "--stall", "0"]), "--stall"),
+            (s(&["sweep", "x.blif", "--stall", "NaN"]), "--stall"),
+            (s(&["map", "a.aig", "b.blif", "-k", "0"]), "-k"),
+            (s(&["map", "a.aig", "b.blif", "-k", "9"]), "-k"),
+            (s(&["sweep", "x.blif", "--seed", "twelve"]), "--seed"),
+        ] {
+            let msg = run(&args).expect_err("malformed value must error").0;
+            assert!(msg.contains(needle), "expected {needle} in: {msg}");
+        }
+    }
+
+    #[test]
+    fn cec_exit_codes_cover_all_three_verdicts() {
+        let dir = std::env::temp_dir().join(format!("simgen_cli_exit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let and_p = dir.join("and.aag");
+        let or_p = dir.join("or.aag");
+        // Two 2-input circuits: x = a & b vs x = ~(~a & ~b) = a | b.
+        std::fs::write(&and_p, "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n").unwrap();
+        std::fs::write(&or_p, "aag 3 2 0 1 1\n2\n4\n7\n6 3 5\n").unwrap();
+        let and_s = and_p.to_str().unwrap().to_string();
+        let or_s = or_p.to_str().unwrap().to_string();
+        // 0: equivalent (file vs itself).
+        let code = run(&s(&["cec", &and_s, &and_s])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        // 1: not equivalent, counterexample found.
+        let code = run(&s(&["cec", &and_s, &or_s])).unwrap();
+        assert_eq!(code, ExitCode::from(1));
+        // 2: inconclusive under an already-expired deadline — and the
+        // partial result must not claim equivalence.
+        let code = run(&s(&["cec", &and_s, &and_s, "--timeout", "0"])).unwrap();
+        assert_eq!(code, ExitCode::from(2));
+        // Same degraded path through the parallel sweeper.
+        let code = run(&s(&["cec", &and_s, &and_s, "--timeout", "0", "-j", "2"])).unwrap();
+        assert_eq!(code, ExitCode::from(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_under_expired_deadline_exits_interrupted() {
+        let dir = std::env::temp_dir().join(format!("simgen_cli_swto_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let aag = dir.join("e64.aag");
+        let aag_s = aag.to_str().unwrap().to_string();
+        run(&s(&["bench", "e64", &aag_s])).unwrap();
+        let code = run(&s(&["sweep", &aag_s, "--timeout", "0"])).unwrap();
+        assert_eq!(code, ExitCode::from(2));
+        // A generous deadline changes nothing about the result.
+        let code = run(&s(&["sweep", &aag_s, "--timeout", "3600", "--stall", "30"])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,298 @@
+//! Wall-clock deadlines and the watchdog that enforces them.
+//!
+//! A [`Deadline`] is the one object threaded from the CLI down to the
+//! CDCL loop: it pairs an optional expiry instant with a shared
+//! interrupt flag (the same `Arc<AtomicBool>` the SAT solver polls).
+//! Anything holding a clone can ask [`Deadline::expired`] at a natural
+//! boundary — between rounds, between pairs, between conflicts — and
+//! anything stuck *inside* a long operation is rescued by the
+//! [`Watchdog`] thread, which trips the flag from outside when the
+//! deadline passes or per-pair progress stalls.
+//!
+//! The flag is sticky for real expiry: once the instant is past, every
+//! `expired()` call answers `true` forever. A stall trip is different —
+//! the watchdog raises the flag to abort whatever is in flight, then
+//! lowers it again once progress resumes, so one pathological pair
+//! costs only itself (reported `Undecided`), not the rest of the sweep.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A shared wall-clock deadline joined to an interrupt flag.
+///
+/// Clones share the flag, so tripping one clone interrupts every
+/// solver the others were handed to. The default value never expires.
+#[derive(Clone, Debug, Default)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+    flag: Arc<AtomicBool>,
+}
+
+impl Deadline {
+    /// A deadline that never expires on its own (it can still be
+    /// tripped manually via [`Deadline::trip`]).
+    pub fn never() -> Self {
+        Deadline::default()
+    }
+
+    /// Expires `timeout` from now. A huge `timeout` that would
+    /// overflow `Instant` arithmetic degrades to "never".
+    pub fn after(timeout: Duration) -> Self {
+        Deadline {
+            expires_at: Instant::now().checked_add(timeout),
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Expires at the given instant.
+    pub fn at(expires_at: Instant) -> Self {
+        Deadline {
+            expires_at: Some(expires_at),
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// True if this deadline has a finite expiry instant.
+    pub fn is_finite(&self) -> bool {
+        self.expires_at.is_some()
+    }
+
+    /// The expiry instant, if finite. Solvers store this and compare
+    /// against `Instant::now()` at conflict boundaries.
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.expires_at
+    }
+
+    /// The shared interrupt flag, for wiring into a solver's
+    /// interrupt hook.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// True once the expiry instant has passed (time only; ignores
+    /// the flag and does not raise it).
+    pub fn past_due(&self) -> bool {
+        self.expires_at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// True once the deadline has expired or the flag has been
+    /// tripped. Observing real expiry raises the flag, so in-flight
+    /// solvers abort even without a watchdog.
+    pub fn expired(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.past_due() {
+            self.flag.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Raises the interrupt flag manually (watchdog stall trips,
+    /// signal handlers).
+    pub fn trip(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Lowers the flag again, but only while the deadline itself has
+    /// not passed — real expiry stays sticky. Used by the watchdog to
+    /// recover after a stall trip.
+    pub fn clear_if_not_due(&self) {
+        if !self.past_due() {
+            self.flag.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Time left until expiry (`None` for a never-expiring deadline,
+    /// zero once past due).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// A shared monotone counter the sweep bumps once per completed pair;
+/// the watchdog watches it to detect a stalled prover.
+#[derive(Clone, Debug, Default)]
+pub struct Progress(Arc<AtomicU64>);
+
+impl Progress {
+    /// Records one unit of forward progress.
+    pub fn tick(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Background thread that trips a [`Deadline`]'s flag when the expiry
+/// instant passes, and optionally when no [`Progress`] tick lands
+/// within a stall window. Dropping the watchdog stops and joins it.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// How often the watchdog polls. Coarse enough to stay invisible in
+/// profiles, fine enough that a deadline overshoot is bounded by ~5ms.
+const POLL: Duration = Duration::from_millis(5);
+
+impl Watchdog {
+    /// Spawns the watchdog. `stall` is the optional pair
+    /// (progress counter, stall window): if the counter does not move
+    /// for a full window the flag is raised, and lowered again once it
+    /// moves (unless the deadline itself has passed).
+    pub fn spawn(deadline: Deadline, stall: Option<(Progress, Duration)>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("simgen-watchdog".into())
+            .spawn(move || watch(&deadline, stall.as_ref(), &stop2))
+            .expect("spawn watchdog thread");
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+fn watch(deadline: &Deadline, stall: Option<&(Progress, Duration)>, stop: &AtomicBool) {
+    let mut last_count = stall.map(|(p, _)| p.count());
+    let mut last_change = Instant::now();
+    let mut tripped_for_stall = false;
+    while !stop.load(Ordering::Relaxed) {
+        if deadline.past_due() {
+            deadline.trip();
+            return;
+        }
+        if let Some((progress, window)) = stall {
+            let count = progress.count();
+            if Some(count) != last_count {
+                last_count = Some(count);
+                last_change = Instant::now();
+                if tripped_for_stall {
+                    // The stalled pair aborted and work resumed: give
+                    // the remaining pairs their interrupt flag back.
+                    deadline.clear_if_not_due();
+                    tripped_for_stall = false;
+                }
+            } else if !tripped_for_stall && last_change.elapsed() >= *window {
+                deadline.trip();
+                tripped_for_stall = true;
+            }
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_deadline_does_not_expire() {
+        let d = Deadline::never();
+        assert!(!d.is_finite());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn past_instant_is_expired_and_raises_flag() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert!(d.flag().load(Ordering::Relaxed), "expiry raises the flag");
+        // Sticky: stays expired, and clear_if_not_due cannot revive it.
+        d.clear_if_not_due();
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn manual_trip_is_shared_across_clones_and_clearable() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        let clone = d.clone();
+        assert!(!clone.expired());
+        d.trip();
+        assert!(clone.expired(), "clones share the flag");
+        d.clear_if_not_due();
+        assert!(!clone.expired(), "not past due, so the trip clears");
+    }
+
+    #[test]
+    fn remaining_saturates_at_zero() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(10));
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn watchdog_trips_flag_at_deadline() {
+        let d = Deadline::after(Duration::from_millis(20));
+        let _w = Watchdog::spawn(d.clone(), None);
+        let start = Instant::now();
+        while !d.flag().load(Ordering::Relaxed) {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never tripped the flag"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_stall_and_recovers_on_progress() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        let progress = Progress::default();
+        let _w = Watchdog::spawn(
+            d.clone(),
+            Some((progress.clone(), Duration::from_millis(30))),
+        );
+        let start = Instant::now();
+        while !d.expired() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "stall never tripped the flag"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Progress resumes: flag must come back down (deadline far off).
+        // Tick every poll so the watchdog keeps seeing fresh progress
+        // and cannot legitimately re-trip while we wait.
+        let start = Instant::now();
+        loop {
+            progress.tick();
+            if !d.expired() {
+                break;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "flag never cleared after progress resumed"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn progress_counts_ticks() {
+        let p = Progress::default();
+        assert_eq!(p.count(), 0);
+        p.tick();
+        p.tick();
+        assert_eq!(p.count(), 2);
+    }
+}

@@ -10,9 +10,54 @@
 //! Results carry their input index and are re-assembled in input
 //! order before returning, which is what makes a sweep built on top
 //! scheduling-invariant.
+//!
+//! Two failure modes are absorbed rather than propagated:
+//!
+//! * A `step` that **panics** poisons only its own job: the panic is
+//!   caught, the job is reported as [`JobStatus::Panicked`], the
+//!   worker's state is rebuilt with a fresh `init(w)` (the old state
+//!   may be mid-mutation and cannot be trusted), and the worker keeps
+//!   draining jobs.
+//! * An expired **deadline** stops workers from *starting* new jobs;
+//!   everything not yet begun comes back as [`JobStatus::Skipped`].
+//!   In-flight jobs are interrupted through the deadline's shared
+//!   flag, not killed, so their results are still sound.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+use crate::deadline::Deadline;
+
+/// Per-job outcome of a dispatch run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus<R> {
+    /// The step ran to completion.
+    Done(R),
+    /// The step panicked; the job is quarantined and the worker was
+    /// respawned with fresh state.
+    Panicked {
+        /// Panic payload rendered as text (best effort).
+        message: String,
+    },
+    /// The deadline expired before any worker started this job.
+    Skipped,
+}
+
+impl<R> JobStatus<R> {
+    /// The result, if the job completed.
+    pub fn done(self) -> Option<R> {
+        match self {
+            JobStatus::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True if the job completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobStatus::Done(_))
+    }
+}
 
 /// What one worker did, plus its final caller-owned state (where the
 /// sweeping layer keeps per-worker provers and proof counters).
@@ -20,10 +65,13 @@ use std::sync::Mutex;
 pub struct WorkerReport<S> {
     /// Worker index in `0..jobs`.
     pub worker: usize,
-    /// Jobs this worker executed.
+    /// Jobs this worker executed (completed or panicked).
     pub executed: u64,
     /// Jobs this worker stole from other workers' deques.
     pub stolen: u64,
+    /// Jobs whose step panicked on this worker (each one also cost a
+    /// state respawn).
+    pub panics: u64,
     /// Final worker state.
     pub state: S,
 }
@@ -31,23 +79,66 @@ pub struct WorkerReport<S> {
 /// Everything a dispatch run produces.
 #[derive(Clone, Debug)]
 pub struct DispatchOutcome<R, S> {
-    /// One result per input job, **in input order** — independent of
+    /// One status per input job, **in input order** — independent of
     /// worker count and steal interleaving.
-    pub results: Vec<R>,
+    pub results: Vec<JobStatus<R>>,
     /// Per-worker execution reports, indexed by worker id.
     pub workers: Vec<WorkerReport<S>>,
 }
 
-/// Runs `step` over `items` on `jobs` workers and returns the results
-/// in input order.
+/// Renders a caught panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker's drain loop body: run `step` under `catch_unwind`,
+/// respawning the state on panic. Shared by the inline and threaded
+/// paths so both have identical failure semantics.
+fn run_step<J, R, S, I, F>(
+    worker: usize,
+    state: &mut S,
+    item: &J,
+    init: &I,
+    step: &F,
+    panics: &mut u64,
+) -> JobStatus<R>
+where
+    I: Fn(usize) -> S,
+    F: Fn(&mut S, &J) -> R,
+{
+    match catch_unwind(AssertUnwindSafe(|| step(state, item))) {
+        Ok(result) => JobStatus::Done(result),
+        Err(payload) => {
+            *panics += 1;
+            // The old state was abandoned mid-mutation; rebuild it
+            // before touching the next job.
+            *state = init(worker);
+            JobStatus::Panicked {
+                message: panic_message(payload),
+            }
+        }
+    }
+}
+
+/// Runs `step` over `items` on `jobs` workers and returns one
+/// [`JobStatus`] per item, in input order.
 ///
 /// `init(worker)` builds each worker's private state once, on the
 /// worker's own thread (provers are neither `Send` nor cheap — they
-/// must be born where they work). `jobs <= 1` runs everything inline
-/// on the calling thread with no synchronisation at all.
+/// must be born where they work), and again after any panic. `jobs <=
+/// 1` runs everything inline on the calling thread with no
+/// synchronisation at all. `deadline`, if given, is checked before
+/// each job is started; jobs never started are [`JobStatus::Skipped`].
 pub fn run_ordered<J, R, S, I, F>(
     jobs: usize,
     items: Vec<J>,
+    deadline: Option<&Deadline>,
     init: I,
     step: F,
 ) -> DispatchOutcome<R, S>
@@ -58,13 +149,19 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, &J) -> R + Sync,
 {
+    let expired = || deadline.is_some_and(Deadline::expired);
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
         let mut state = init(0);
         let mut results = Vec::with_capacity(items.len());
         let mut executed = 0u64;
+        let mut panics = 0u64;
         for item in &items {
-            results.push(step(&mut state, item));
+            if expired() {
+                results.push(JobStatus::Skipped);
+                continue;
+            }
+            results.push(run_step(0, &mut state, item, &init, &step, &mut panics));
             executed += 1;
         }
         return DispatchOutcome {
@@ -73,6 +170,7 @@ where
                 worker: 0,
                 executed,
                 stolen: 0,
+                panics,
                 state,
             }],
         };
@@ -92,18 +190,25 @@ where
     let queues = &queues;
     let init = &init;
     let step = &step;
+    let expired = &expired;
 
     let mut workers: Vec<WorkerReport<S>> = Vec::with_capacity(jobs);
-    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut indexed: Vec<(usize, JobStatus<R>)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 scope.spawn(move || {
                     let mut state = init(w);
-                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut out: Vec<(usize, JobStatus<R>)> = Vec::new();
                     let mut executed = 0u64;
                     let mut stolen = 0u64;
+                    let mut panics = 0u64;
                     loop {
+                        // Stop *starting* work once the deadline is
+                        // gone; unclaimed jobs surface as Skipped.
+                        if expired() {
+                            break;
+                        }
                         // Own shard first (front), then steal (back).
                         let job = queues[w]
                             .lock()
@@ -121,7 +226,7 @@ where
                                 })
                             });
                         let Some((idx, item)) = job else { break };
-                        out.push((idx, step(&mut state, item)));
+                        out.push((idx, run_step(w, &mut state, item, init, step, &mut panics)));
                         executed += 1;
                     }
                     (
@@ -129,6 +234,7 @@ where
                             worker: w,
                             executed,
                             stolen,
+                            panics,
                             state,
                         },
                         out,
@@ -137,14 +243,17 @@ where
             })
             .collect();
         for handle in handles {
-            let (report, out) = handle.join().expect("worker panicked");
+            let (report, out) = handle.join().expect("worker thread died outside step");
             workers.push(report);
             indexed.extend(out);
         }
     });
     workers.sort_by_key(|r| r.worker);
-    indexed.sort_by_key(|(i, _)| *i);
-    let results = indexed.into_iter().map(|(_, r)| r).collect();
+    // Any job no worker reached (deadline) fills in as Skipped.
+    let mut results: Vec<JobStatus<R>> = (0..items.len()).map(|_| JobStatus::Skipped).collect();
+    for (i, status) in indexed {
+        results[i] = status;
+    }
     DispatchOutcome { results, workers }
 }
 
@@ -152,10 +261,19 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// Unwraps every status, panicking on Panicked/Skipped.
+    fn all_done<R, S>(out: DispatchOutcome<R, S>) -> Vec<R> {
+        out.results
+            .into_iter()
+            .map(|s| s.done().expect("job did not complete"))
+            .collect()
+    }
 
     #[test]
     fn empty_input_is_fine() {
-        let out = run_ordered(4, Vec::<u32>::new(), |_| (), |_, x| *x);
+        let out = run_ordered(4, Vec::<u32>::new(), None, |_| (), |_, x| *x);
         assert!(out.results.is_empty());
         assert_eq!(out.workers.len(), 1);
         assert_eq!(out.workers[0].executed, 0);
@@ -165,13 +283,13 @@ mod tests {
     fn results_stay_in_input_order_for_any_job_count() {
         let items: Vec<u64> = (0..257).collect();
         for jobs in [1, 2, 3, 4, 8] {
-            let out = run_ordered(jobs, items.clone(), |_| (), |_, x| x * 2);
+            let out = run_ordered(jobs, items.clone(), None, |_| (), |_, x| x * 2);
+            let total: u64 = out.workers.iter().map(|w| w.executed).sum();
             assert_eq!(
-                out.results,
+                all_done(out),
                 items.iter().map(|x| x * 2).collect::<Vec<_>>(),
                 "order broken at jobs={jobs}"
             );
-            let total: u64 = out.workers.iter().map(|w| w.executed).sum();
             assert_eq!(total, items.len() as u64);
         }
     }
@@ -182,23 +300,24 @@ mod tests {
         let out = run_ordered(
             1,
             vec![1u8, 2, 3],
+            None,
             |w| w,
             move |_, x| {
                 assert_eq!(std::thread::current().id(), caller);
                 *x as u32
             },
         );
-        assert_eq!(out.results, vec![1, 2, 3]);
         assert_eq!(out.workers.len(), 1);
         assert_eq!(out.workers[0].stolen, 0);
+        assert_eq!(all_done(out), vec![1, 2, 3]);
     }
 
     #[test]
     fn worker_pool_never_exceeds_item_count() {
         // 2 items on 8 requested workers → at most 2 workers.
-        let out = run_ordered(8, vec![10u32, 20], |w| w, |_, x| *x);
+        let out = run_ordered(8, vec![10u32, 20], None, |w| w, |_, x| *x);
         assert!(out.workers.len() <= 2);
-        assert_eq!(out.results, vec![10, 20]);
+        assert_eq!(all_done(out), vec![10, 20]);
     }
 
     #[test]
@@ -206,7 +325,7 @@ mod tests {
         // Each worker counts its own executions in its state; the sum
         // must cover every item exactly once.
         let items: Vec<u32> = (0..100).collect();
-        let out = run_ordered(4, items, |w| (w, 0u64), |s, _| s.1 += 1);
+        let out = run_ordered(4, items, None, |w| (w, 0u64), |s, _| s.1 += 1);
         let by_state: u64 = out.workers.iter().map(|w| w.state.1).sum();
         assert_eq!(by_state, 100);
         for w in &out.workers {
@@ -226,21 +345,132 @@ mod tests {
             let out = run_ordered(
                 2,
                 (0..64u64).collect::<Vec<_>>(),
+                None,
                 |_| (),
                 |_, x| {
                     if x % 2 == 0 {
                         slow_hits.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        std::thread::sleep(Duration::from_millis(2));
                     }
                     *x
                 },
             );
-            assert_eq!(out.results, (0..64).collect::<Vec<_>>());
             let stolen: u64 = out.workers.iter().map(|w| w.stolen).sum();
+            assert_eq!(all_done(out), (0..64).collect::<Vec<_>>());
             if stolen > 0 {
                 return;
             }
         }
         panic!("no steal observed across 5 heavily unbalanced runs");
+    }
+
+    #[test]
+    fn panicking_step_quarantines_only_its_job() {
+        for jobs in [1, 2, 4] {
+            let items: Vec<u32> = (0..20).collect();
+            let out = run_ordered(
+                jobs,
+                items,
+                None,
+                |_| (),
+                |_, x| {
+                    if *x % 5 == 3 {
+                        panic!("injected failure on {x}");
+                    }
+                    *x * 10
+                },
+            );
+            for (i, status) in out.results.iter().enumerate() {
+                if i % 5 == 3 {
+                    match status {
+                        JobStatus::Panicked { message } => {
+                            assert!(message.contains("injected failure"), "got {message:?}")
+                        }
+                        other => panic!("job {i} should have panicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*status, JobStatus::Done(i as u32 * 10), "jobs={jobs}");
+                }
+            }
+            let panics: u64 = out.workers.iter().map(|w| w.panics).sum();
+            assert_eq!(panics, 4, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn panic_respawns_worker_state() {
+        // State counts jobs since its birth. A panic must reset it, so
+        // no state's final count may include jobs from before a panic
+        // on the same worker.
+        let spawns = AtomicU64::new(0);
+        let out = run_ordered(
+            1,
+            (0..10u32).collect::<Vec<_>>(),
+            None,
+            |_| {
+                spawns.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |s, x| {
+                if *x == 4 {
+                    panic!("boom");
+                }
+                *s += 1;
+            },
+        );
+        // init ran once up front and once for the respawn.
+        assert_eq!(spawns.load(Ordering::Relaxed), 2);
+        // Final state saw only the 5 jobs after the panic.
+        assert_eq!(out.workers[0].state, 5);
+        assert_eq!(out.workers[0].panics, 1);
+        assert_eq!(out.workers[0].executed, 10);
+    }
+
+    #[test]
+    fn expired_deadline_skips_everything() {
+        let deadline = Deadline::after(Duration::ZERO);
+        for jobs in [1, 2, 4] {
+            let out = run_ordered(
+                jobs,
+                (0..16u32).collect::<Vec<_>>(),
+                Some(&deadline),
+                |_| (),
+                |_, x| *x,
+            );
+            assert_eq!(out.results.len(), 16);
+            assert!(
+                out.results.iter().all(|s| *s == JobStatus::Skipped),
+                "jobs={jobs}"
+            );
+            let executed: u64 = out.workers.iter().map(|w| w.executed).sum();
+            assert_eq!(executed, 0, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn mid_run_trip_leaves_prefix_done_suffix_skipped() {
+        // Inline path: trip the deadline from inside job 3. Jobs 0-3
+        // complete, 4.. are skipped — deterministically, since jobs==1.
+        let deadline = Deadline::never();
+        let d = deadline.clone();
+        let out = run_ordered(
+            1,
+            (0..8u32).collect::<Vec<_>>(),
+            Some(&deadline),
+            |_| (),
+            move |_, x| {
+                if *x == 3 {
+                    d.trip();
+                }
+                *x
+            },
+        );
+        for (i, status) in out.results.iter().enumerate() {
+            if i <= 3 {
+                assert_eq!(*status, JobStatus::Done(i as u32));
+            } else {
+                assert_eq!(*status, JobStatus::Skipped);
+            }
+        }
     }
 }

@@ -12,9 +12,17 @@
 //! Determinism contract: everything about the returned
 //! [`DispatchOutcome::results`] is a pure function of the job list —
 //! only the per-worker execution/steal counters depend on scheduling.
+//!
+//! Resilience contract: a panicking step quarantines only its own job
+//! ([`JobStatus::Panicked`]; the worker respawns and keeps going), and
+//! an expired [`Deadline`] stops new jobs from starting
+//! ([`JobStatus::Skipped`]) while the [`Watchdog`] interrupts whatever
+//! is already in flight through the shared flag.
 
+mod deadline;
 mod executor;
 mod schedule;
 
-pub use executor::{run_ordered, DispatchOutcome, WorkerReport};
+pub use deadline::{Deadline, Progress, Watchdog};
+pub use executor::{run_ordered, DispatchOutcome, JobStatus, WorkerReport};
 pub use schedule::{Attempt, BudgetSchedule, Escalation};

@@ -101,6 +101,14 @@ fn write_leb<W: Write>(w: &mut W, mut x: u32) -> std::io::Result<()> {
     }
 }
 
+/// Upper bound (exclusive) on the variable count a header may declare.
+/// Generous for every suite the harness ingests — the EPFL and ITC'99
+/// circuits top out well under a million ANDs — while keeping a
+/// hostile 30-byte header from making the reader allocate gigabytes.
+/// With `M < 2^26`, every literal computation (`var * 2 + 1`) fits a
+/// `u32` with room to spare.
+pub const MAX_VARS: u32 = 1 << 26;
+
 fn read_leb(bytes: &[u8], pos: &mut usize) -> Result<u32, NetlistError> {
     let mut x: u32 = 0;
     let mut shift = 0;
@@ -159,15 +167,45 @@ pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
             "sequential aiger files (latches) are not supported",
         ));
     }
-    if m != i + a {
+    // Checked: a hostile header like `aag 0 4294967295 0 0 1` must not
+    // wrap I+A around u32 (a debug-build panic, a silent mismatch in
+    // release).
+    let total = i
+        .checked_add(a)
+        .ok_or_else(|| NetlistError::parse(1, "header I+A overflows u32"))?;
+    if m != total {
         return Err(NetlistError::parse(
             1,
-            format!("header M={m} inconsistent with I+A={}", i + a),
+            format!("header M={m} inconsistent with I+A={total}"),
+        ));
+    }
+    if m >= MAX_VARS {
+        return Err(NetlistError::parse(
+            1,
+            format!("header M={m} exceeds the supported maximum {MAX_VARS}"),
+        ));
+    }
+    let body = &data[header_end + 1..];
+    // Plausibility: every declared output or AND occupies at least two
+    // body bytes (a digit plus newline in ASCII, two delta bytes in
+    // binary; ASCII inputs likewise). Rejecting up front keeps a tiny
+    // file with huge counts from driving large pre-allocations below.
+    let min_len = match fmt {
+        "aag" => 2 * (u64::from(i) + u64::from(o) + u64::from(a)),
+        _ => 2 * (u64::from(o) + u64::from(a)),
+    };
+    if (body.len() as u64) < min_len {
+        return Err(NetlistError::parse(
+            1,
+            format!(
+                "body has {} bytes, too short for the declared counts",
+                body.len()
+            ),
         ));
     }
     match fmt {
-        "aag" => read_ascii_body(&data[header_end + 1..], i, o, a),
-        "aig" => read_binary_body(&data[header_end + 1..], i, o, a),
+        "aag" => read_ascii_body(body, i, o, a),
+        "aig" => read_binary_body(body, i, o, a),
         other => Err(NetlistError::parse(1, format!("unknown format `{other}`"))),
     }
 }

@@ -128,7 +128,8 @@ pub fn read<R: Read>(mut r: R) -> Result<Aig, NetlistError> {
                 .ok_or_else(|| NetlistError::parse(ln, "gate body missing `(`"))?;
             let close = rhs
                 .rfind(')')
-                .ok_or_else(|| NetlistError::parse(ln, "gate body missing `)`"))?;
+                .filter(|&c| c > open)
+                .ok_or_else(|| NetlistError::parse(ln, "gate body missing `)` after `(`"))?;
             let op = rhs[..open].trim().to_ascii_uppercase();
             let ins: Vec<String> = rhs[open + 1..close]
                 .split(',')
@@ -205,7 +206,8 @@ fn extract_paren(line: &str, ln: usize) -> Result<String, NetlistError> {
         .ok_or_else(|| NetlistError::parse(ln, "missing `(`"))?;
     let close = line
         .rfind(')')
-        .ok_or_else(|| NetlistError::parse(ln, "missing `)`"))?;
+        .filter(|&c| c > open)
+        .ok_or_else(|| NetlistError::parse(ln, "missing `)` after `(`"))?;
     Ok(line[open + 1..close].trim().to_string())
 }
 

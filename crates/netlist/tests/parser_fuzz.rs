@@ -1,0 +1,128 @@
+//! Fuzz-style robustness tests for the file-format readers.
+//!
+//! The parsers are the tool's attack surface: they consume files the
+//! user found on disk, not structures the library built. The contract
+//! is that **no byte stream makes a reader panic** — malformed input
+//! must come back as `Err(NetlistError::Parse)` (or, rarely, parse as
+//! something harmless), never as an abort, an arithmetic overflow or a
+//! runaway allocation.
+//!
+//! Two layers of coverage:
+//!
+//! 1. Property tests driving arbitrary and semi-structured byte
+//!    streams through all three readers.
+//! 2. A checked-in corpus (`tests/corpus/`) of truncated and corrupt
+//!    headers distilled from defects found while hardening the
+//!    parsers; each file must be rejected cleanly.
+
+use proptest::prelude::*;
+
+use simgen_netlist::{aiger, bench_fmt, blif};
+
+/// Every reader accepts any byte stream without panicking.
+fn feed_all(bytes: &[u8]) {
+    let _ = aiger::read(bytes);
+    let _ = bench_fmt::read(bytes);
+    let _ = blif::read(bytes);
+}
+
+/// Line fragments biased toward the parsers' tricky spots: reversed
+/// parentheses, empty gate bodies, dangling continuations, cube rows
+/// adrift of any `.names` block.
+const FRAGMENTS: &[&str] = &[
+    "INPUT(a)\n",
+    "OUTPUT(f)\n",
+    "f = AND(a, b)\n",
+    "x = )AND(\n",
+    "g = NOT()\n",
+    "( = (((\n",
+    ")\n",
+    "= \n",
+    "h = MUX(a)\n",
+    ".model m\n",
+    ".inputs a b\n",
+    ".outputs f\n",
+    ".names a b f\n",
+    "11 1\n",
+    "-- 1\n",
+    "1 \n",
+    ".names f\n",
+    ".end\n",
+    "\\\n",
+    ".latch a b 0\n",
+    "# comment\n",
+    "aag 3 2 0 1 1\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        feed_all(&bytes);
+    }
+
+    #[test]
+    fn aiger_headers_with_arbitrary_counts_never_panic(
+        binary in any::<bool>(),
+        m in any::<u32>(),
+        i in any::<u32>(),
+        l in 0u32..2,
+        o in any::<u32>(),
+        a in any::<u32>(),
+        body in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // A syntactically valid header with unconstrained counts in
+        // front of random bytes: exercises the overflow and
+        // plausibility checks, then whatever body parsing survives.
+        let fmt = if binary { "aig" } else { "aag" };
+        let mut data = format!("{fmt} {m} {i} {l} {o} {a}\n").into_bytes();
+        data.extend_from_slice(&body);
+        let _ = aiger::read(&data[..]);
+    }
+
+    #[test]
+    fn structured_line_soup_never_panics(
+        parts in prop::collection::vec(0usize..FRAGMENTS.len(), 0..32),
+    ) {
+        let text: String = parts.iter().map(|&i| FRAGMENTS[i]).collect();
+        feed_all(text.as_bytes());
+    }
+}
+
+/// Every corpus file is rejected with a clean parse error — these are
+/// regression pins for inputs that used to panic (slice out of
+/// bounds, u32 overflow) or pre-allocate unbounded memory.
+#[test]
+fn corpus_files_error_cleanly() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let bytes = std::fs::read(&path).expect("readable corpus file");
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        let res = match ext {
+            "aag" | "aig" => aiger::read(&bytes[..]).map(drop),
+            "bench" => bench_fmt::read(&bytes[..]).map(drop),
+            "blif" => blif::read(&bytes[..]).map(drop),
+            other => panic!(
+                "unexpected corpus extension {other:?} at {}",
+                path.display()
+            ),
+        };
+        let err = res.expect_err(&format!("{} must be rejected", path.display()));
+        // Rejections carry a message, not just a unit error.
+        assert!(!err.to_string().is_empty());
+        // And are reproducible through every reader without a panic.
+        feed_all(&bytes);
+        checked += 1;
+    }
+    assert!(
+        checked >= 12,
+        "expected a full corpus, found {checked} files"
+    );
+}

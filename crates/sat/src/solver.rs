@@ -104,6 +104,9 @@ pub struct Solver {
     /// Shared cancellation flag checked inside the CDCL loop; cloning
     /// the solver shares the flag.
     interrupt: Option<Arc<AtomicBool>>,
+    /// Wall-clock point past which solves abort with `Unknown`.
+    /// Checked every few search iterations (clock reads are syscalls).
+    deadline: Option<std::time::Instant>,
 }
 
 impl Default for Solver {
@@ -142,6 +145,7 @@ impl Solver {
             stats: SolverStats::default(),
             num_learnts: 0,
             interrupt: None,
+            deadline: None,
         }
     }
 
@@ -160,6 +164,23 @@ impl Solver {
         self.interrupt
             .as_ref()
             .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Installs (or clears) a wall-clock deadline. Once the instant
+    /// passes, any in-flight or future [`Solver::solve_limited`] call
+    /// returns [`SolveResult::Unknown`] within a bounded number of
+    /// search steps. This is the belt to the interrupt flag's braces:
+    /// it needs no watchdog thread to fire, only the solver's own
+    /// loop. An `Unsat` already established at level 0 still wins —
+    /// sound answers are never discarded for lateness.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// True once the installed deadline instant has passed.
+    fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|at| std::time::Instant::now() >= at)
     }
 
     /// Builds a solver preloaded with a CNF formula's variables and
@@ -555,9 +576,22 @@ impl Solver {
         assumptions: &[Lit],
     ) -> Search {
         let mut conflicts_here = 0u64;
+        let mut steps_since_clock = 0u32;
         loop {
             if self.interrupted() {
                 return Search::Budget;
+            }
+            // Reading the clock is a syscall, so only sample it every
+            // 64 iterations; each iteration is one conflict or one
+            // decision, so the overshoot past the deadline is tiny.
+            if self.deadline.is_some() {
+                steps_since_clock += 1;
+                if steps_since_clock >= 64 {
+                    steps_since_clock = 0;
+                    if self.past_deadline() {
+                        return Search::Budget;
+                    }
+                }
             }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -646,6 +680,9 @@ impl Solver {
         self.stats.solves += 1;
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        if self.past_deadline() {
+            return SolveResult::Unknown;
         }
         debug_assert_eq!(self.decision_level(), 0);
         let mut budget = conflict_budget;
@@ -909,6 +946,35 @@ mod tests {
         assert_eq!(s.solve_limited(&[], None), SolveResult::Unknown);
         // Lowered flag: the same instance solves normally.
         flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn past_deadline_aborts_solves() {
+        let mut s = solver_with(2, &[&[1, 2], &[-1, 2]]);
+        s.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        ));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Clearing the deadline restores normal solving.
+        s.set_deadline(None);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // A comfortably distant deadline never fires on an easy instance.
+        s.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(3600),
+        ));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn established_unsat_outranks_deadline() {
+        // A top-level conflict makes the formula unsat forever; that
+        // answer is sound and must not be masked by an expired clock.
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        ));
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
