@@ -1,0 +1,166 @@
+//! Simulation throughput: compiled opcode kernels vs the original
+//! cube-cover interpreter, plus the parallel and cone-restricted
+//! paths, on a >10k-node random LUT network.
+//!
+//! Besides the criterion samples, the bench writes a one-shot summary
+//! to `BENCH_sim.json` at the repository root: patterns/second for
+//! every mode and the headline compiled-vs-interpreter speedup.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simgen_netlist::{LutNetwork, NodeId, TruthTable};
+use simgen_sim::{reference_lanes, PatternSet, SimResult};
+
+const NUM_LUTS: usize = 12_000;
+const NUM_PIS: usize = 64;
+const NUM_PATTERNS: usize = 4_096;
+/// Roughly 5% of the nodes act as still-active sweep roots in the
+/// cone-restricted mode.
+const CONE_ROOT_STRIDE: usize = 20;
+
+/// Deterministic random network: 12k LUTs of arity 1–6 over a pool
+/// biased toward recent nodes (so depth grows and the Shannon tape
+/// path is exercised alongside the fused fast paths).
+fn big_net(seed: u64) -> LutNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = LutNetwork::new();
+    let mut pool: Vec<NodeId> = (0..NUM_PIS).map(|i| net.add_pi(format!("p{i}"))).collect();
+    for _ in 0..NUM_LUTS {
+        let arity = rng.gen_range(1..=6usize);
+        let mut fanins: Vec<NodeId> = Vec::with_capacity(arity);
+        while fanins.len() < arity {
+            // Bias toward the most recent quarter of the pool.
+            let lo = if rng.gen_bool(0.5) {
+                pool.len() - (pool.len() / 4).max(1)
+            } else {
+                0
+            };
+            let cand = pool[rng.gen_range(lo..pool.len())];
+            if !fanins.contains(&cand) {
+                fanins.push(cand);
+            }
+        }
+        let arity = fanins.len();
+        let tt = TruthTable::from_bits(arity, rng.gen()).expect("arity <= 6");
+        pool.push(net.add_lut(fanins, tt).expect("topological"));
+    }
+    net.add_po(*pool.last().unwrap(), "f");
+    net
+}
+
+/// Fastest of `reps` runs, as patterns per second.
+fn best_pps<F: FnMut()>(reps: usize, patterns: usize, mut f: F) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    patterns as f64 / best.as_secs_f64()
+}
+
+fn write_summary(net: &LutNetwork, pats: &PatternSet) {
+    let base = SimResult::empty(net); // compile once, outside timing
+    let interp = best_pps(3, NUM_PATTERNS, || {
+        std::hint::black_box(reference_lanes(net, pats));
+    });
+    let compiled = best_pps(5, NUM_PATTERNS, || {
+        let mut s = base.clone();
+        s.extend_patterns_jobs(net, pats, 1);
+        std::hint::black_box(&s);
+    });
+    let mut parallel = Vec::new();
+    for jobs in [2usize, 4, 8] {
+        let pps = best_pps(5, NUM_PATTERNS, || {
+            let mut s = base.clone();
+            s.extend_patterns_jobs(net, pats, jobs);
+            std::hint::black_box(&s);
+        });
+        parallel.push((jobs, pps));
+    }
+    let roots: Vec<NodeId> = net
+        .node_ids()
+        .filter(|n| !net.is_pi(*n))
+        .step_by(CONE_ROOT_STRIDE)
+        .collect();
+    let cone = best_pps(5, NUM_PATTERNS, || {
+        let mut s = base.clone();
+        s.extend_patterns_cone(net, pats, &roots, 1);
+        std::hint::black_box(&s);
+    });
+
+    let speedup = compiled / interp;
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"nodes\": {},\n", net.len()));
+    json.push_str(&format!("  \"patterns\": {NUM_PATTERNS},\n"));
+    json.push_str(&format!(
+        "  \"interpreter_patterns_per_sec\": {interp:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"compiled_patterns_per_sec\": {compiled:.1},\n"
+    ));
+    for (jobs, pps) in &parallel {
+        json.push_str(&format!(
+            "  \"compiled_jobs{jobs}_patterns_per_sec\": {pps:.1},\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  \"cone_restricted_roots\": {},\n  \"cone_restricted_patterns_per_sec\": {cone:.1},\n",
+        roots.len()
+    ));
+    json.push_str(&format!(
+        "  \"compiled_vs_interpreter_speedup\": {speedup:.2}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("sim_throughput: compiled {speedup:.2}x vs interpreter; wrote {path}");
+    print!("{json}");
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let net = big_net(0x51B);
+    let mut rng = StdRng::seed_from_u64(7);
+    let pats = PatternSet::random(net.num_pis(), NUM_PATTERNS, &mut rng);
+
+    write_summary(&net, &pats);
+
+    let base = SimResult::empty(&net);
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("interpreter", |b| {
+        b.iter(|| std::hint::black_box(reference_lanes(&net, &pats)))
+    });
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("compiled", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let mut s = base.clone();
+                s.extend_patterns_jobs(&net, &pats, jobs);
+                s
+            })
+        });
+    }
+    let roots: Vec<NodeId> = net
+        .node_ids()
+        .filter(|n| !net.is_pi(*n))
+        .step_by(CONE_ROOT_STRIDE)
+        .collect();
+    group.bench_function("cone_restricted", |b| {
+        b.iter(|| {
+            let mut s = base.clone();
+            s.extend_patterns_cone(&net, &pats, &roots, 1);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_throughput
+}
+criterion_main!(benches);

@@ -312,7 +312,7 @@ impl ParallelSweeper {
                 // reported unresolved, and never merged — the sound
                 // direction to fail in.
                 let mut pending: Vec<Vec<bool>> = Vec::new();
-                let mut benched: Vec<NodeId> = Vec::new();
+                let mut benched: Vec<(NodeId, NodeId)> = Vec::new();
                 let mut dropped: HashSet<NodeId> = HashSet::new();
                 for ((rep, cand), status) in pairs.into_iter().zip(outcome.results) {
                     let verdict = match status {
@@ -339,7 +339,7 @@ impl ParallelSweeper {
                             stats.disproved += 1;
                             generator.observe_counterexample(&v);
                             pending.push(v);
-                            benched.push(cand);
+                            benched.push((cand, rep));
                             dropped.insert(cand);
                         }
                         PairVerdict::Undecided => {
@@ -362,6 +362,7 @@ impl ParallelSweeper {
                         work,
                         &mut pending,
                         &mut benched,
+                        cfg.jobs.max(1),
                     );
                     stats.sim_time += t.elapsed();
                 } else if !benched.is_empty() {

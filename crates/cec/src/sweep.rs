@@ -172,7 +172,7 @@ impl Sweeper {
             // a disproved pair is never re-proved before the pattern
             // that separates it lands in the signatures.
             let mut pending: Vec<Vec<bool>> = Vec::new();
-            let mut benched: Vec<NodeId> = Vec::new();
+            let mut benched: Vec<(NodeId, NodeId)> = Vec::new();
             loop {
                 if deadline.expired() {
                     // Graceful degradation: whatever is still paired
@@ -211,6 +211,7 @@ impl Sweeper {
                         work,
                         &mut pending,
                         &mut benched,
+                        cfg.jobs.max(1),
                     );
                     stats.sim_time += t.elapsed();
                     continue;
@@ -237,7 +238,7 @@ impl Sweeper {
                         // learn from counterexamples (e.g. 1-distance).
                         generator.observe_counterexample(&v);
                         pending.push(v);
-                        benched.push(cand);
+                        benched.push((cand, rep));
                         work[ci].remove(1);
                         if work[ci].len() < 2 {
                             work.remove(ci);
@@ -251,6 +252,7 @@ impl Sweeper {
                                 work,
                                 &mut pending,
                                 &mut benched,
+                                cfg.jobs.max(1),
                             );
                             stats.sim_time += t.elapsed();
                         }
@@ -339,9 +341,11 @@ pub(crate) fn run_sim_phases(
         patterns.extend(&batch);
     }
     // Simulated incrementally so later single-vector pushes stay
-    // O(nodes) instead of re-running the whole accumulated set.
+    // O(nodes) instead of re-running the whole accumulated set. Large
+    // random blocks are word-split across the worker pool; the lanes
+    // are byte-identical for every jobs value.
     let mut sim = SimResult::empty(net);
-    sim.extend_patterns(net, &patterns);
+    sim.extend_patterns_jobs(net, &patterns, cfg.jobs.max(1));
     generator.observe_simulation(&sim);
     let mut classes = EquivClasses::initial(net, &sim);
     let sim_time = t.elapsed();
@@ -355,7 +359,9 @@ pub(crate) fn run_sim_phases(
     });
     iteration += 1;
 
-    // Phase 2: guided iterations.
+    // Phase 2: guided iterations. One scalar-evaluation scratch
+    // buffer serves every pushed vector.
+    let mut scratch: Vec<bool> = Vec::new();
     for _ in 0..cfg.guided_iterations {
         if deadline.expired() {
             break;
@@ -368,7 +374,7 @@ pub(crate) fn run_sim_phases(
         if !vectors.is_empty() {
             for v in &vectors {
                 patterns.push(v);
-                sim.push_pattern(net, v);
+                sim.push_pattern_with(net, v, &mut scratch);
             }
             generator.observe_simulation(&sim);
             classes.refine(&sim);
@@ -398,9 +404,18 @@ pub(crate) fn run_sim_phases(
 /// pass over the network.
 pub(crate) const CEX_FLUSH_THRESHOLD: usize = 64;
 
-/// Flushes buffered counterexamples through one word-parallel
-/// resimulation and re-partitions the working classes (with the
-/// benched candidates folded back in) by the updated signatures.
+/// Flushes buffered counterexamples through one word-parallel,
+/// *cone-restricted* resimulation and re-partitions the working
+/// classes (with the benched candidates folded back in) by the
+/// updated signatures.
+///
+/// Only the union of fanin cones of the still-compared nodes — the
+/// surviving class members plus the benched candidates, exactly the
+/// nodes whose signatures the partition below reads — gets new lane
+/// words; everything already resolved to a singleton keeps its stale
+/// (shorter) lanes and is never compared again. `benched` entries are
+/// `(candidate, origin rep)` pairs: the rep of the class the
+/// candidate was disproved out of, which keys the delta partition.
 ///
 /// Returns the refined working classes. `pending` and `benched` are
 /// drained.
@@ -410,29 +425,63 @@ pub(crate) fn flush_counterexamples(
     sim: &mut SimResult,
     work: Vec<Vec<NodeId>>,
     pending: &mut Vec<Vec<bool>>,
-    benched: &mut Vec<NodeId>,
+    benched: &mut Vec<(NodeId, NodeId)>,
+    jobs: usize,
 ) -> Vec<Vec<NodeId>> {
-    for v in pending.iter() {
-        patterns.push(v);
-    }
-    sim.extend_vectors(net, pending);
+    let first_new = sim.num_patterns();
+    let block = PatternSet::from_vectors(net.num_pis(), pending);
     pending.clear();
-    // A global signature partition is exact here: every working class
-    // is signature-uniform and distinct classes already differ on some
-    // earlier pattern, so re-partitioning the flattened node set can
-    // only split groups (and slot each benched candidate back beside
-    // whichever former classmates it still matches) — it can never
-    // merge nodes across classes.
-    let nodes: Vec<NodeId> = work
-        .into_iter()
+    patterns.extend(&block);
+    let roots: Vec<NodeId> = work
+        .iter()
         .flatten()
-        .chain(benched.drain(..))
+        .copied()
+        .chain(benched.iter().map(|&(cand, _)| cand))
         .collect();
-    partition_by_signature(&nodes, sim)
+    sim.extend_patterns_cone(net, &block, &roots, jobs);
+
+    // Delta partition keyed on (origin class rep, newly appended
+    // signature words). Exact, because simulation only advances at
+    // flushes: every current and benched member of one class agrees
+    // on all pre-flush patterns, while distinct classes already
+    // differ on one — so grouping by origin plus the new words equals
+    // the full-signature partition at O(new words) per node. It can
+    // only split classes (and slot each benched candidate back beside
+    // whichever former classmates it still matches), never merge.
+    let from = first_new / 64;
+    let sim_ref: &SimResult = sim;
+    let mut index: std::collections::HashMap<(NodeId, &[u64]), usize> =
+        std::collections::HashMap::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    let mut slot = |origin: NodeId, n: NodeId, groups: &mut Vec<Vec<NodeId>>| {
+        let sig = sim_ref.signature(n);
+        let gi = *index
+            .entry((origin, &sig[from.min(sig.len())..]))
+            .or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+        groups[gi].push(n);
+    };
+    for class in &work {
+        let origin = class[0];
+        for &n in class {
+            slot(origin, n, &mut groups);
+        }
+    }
+    for &(cand, origin) in benched.iter() {
+        slot(origin, cand, &mut groups);
+    }
+    benched.clear();
+    groups.retain(|g| g.len() >= 2);
+    groups
 }
 
 /// Partitions nodes into groups of identical full signatures,
-/// preserving first-seen order; singleton groups are dropped.
+/// preserving first-seen order; singleton groups are dropped. Kept as
+/// the reference the delta partition in [`flush_counterexamples`] is
+/// checked against.
+#[cfg(test)]
 pub(crate) fn partition_by_signature(nodes: &[NodeId], sim: &SimResult) -> Vec<Vec<NodeId>> {
     let mut index: std::collections::HashMap<&[u64], usize> = std::collections::HashMap::new();
     let mut groups: Vec<Vec<NodeId>> = Vec::new();
@@ -776,6 +825,84 @@ mod tests {
             "global partition must equal per-group refinement when \
              groups are signature classes"
         );
+    }
+
+    #[test]
+    fn flush_delta_partition_matches_full_signature_partition() {
+        // The cone-restricted, delta-keyed partition inside
+        // `flush_counterexamples` must equal a from-scratch
+        // full-signature partition of the same universe after a full
+        // (all-node) resimulation — for any job count.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..4).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut pool = pis.clone();
+        for i in 0..40usize {
+            let a = pool[i % pool.len()];
+            let b = pool[(i * 7 + 1) % pool.len()];
+            let tt = match i % 3 {
+                0 => TruthTable::and2(),
+                1 => TruthTable::or2(),
+                _ => TruthTable::xor2(),
+            };
+            pool.push(net.add_lut(vec![a, b], tt).unwrap());
+        }
+        net.add_po(*pool.last().unwrap(), "f");
+
+        // Two patterns leave plenty of multi-member classes.
+        let patterns = PatternSet::random(net.num_pis(), 2, &mut rng);
+        let sim = simgen_sim::simulate(&net, &patterns);
+        let classes = EquivClasses::initial(&net, &sim);
+        let mut work = classes.classes().to_vec();
+        assert!(!work.is_empty(), "test net must leave collisions");
+        // Bench the last member of every class, as a SAT disproof would.
+        let mut benched_proto: Vec<(NodeId, NodeId)> = Vec::new();
+        for class in &mut work {
+            if class.len() > 2 {
+                benched_proto.push((class.pop().unwrap(), class[0]));
+            }
+        }
+        // 70 "counterexamples" crossing the 64-bit word boundary.
+        let pending_proto: Vec<Vec<bool>> = (0..70usize)
+            .map(|i| (0..4).map(|j| (i * 5 + j * 3) % 7 < 3).collect())
+            .collect();
+
+        // Reference: full resimulation of every node, then a plain
+        // full-signature partition of the universe.
+        let block = PatternSet::from_vectors(net.num_pis(), &pending_proto);
+        let mut sim_full = sim.clone();
+        sim_full.extend_patterns(&net, &block);
+        let universe: Vec<NodeId> = work
+            .iter()
+            .flatten()
+            .copied()
+            .chain(benched_proto.iter().map(|&(c, _)| c))
+            .collect();
+        let expected = partition_by_signature(&universe, &sim_full);
+
+        for jobs in [1usize, 2, 4] {
+            let mut patterns_j = patterns.clone();
+            let mut sim_j = sim.clone();
+            let mut pending = pending_proto.clone();
+            let mut benched = benched_proto.clone();
+            let got = flush_counterexamples(
+                &net,
+                &mut patterns_j,
+                &mut sim_j,
+                work.clone(),
+                &mut pending,
+                &mut benched,
+                jobs,
+            );
+            assert_eq!(got, expected, "jobs={jobs}");
+            assert!(pending.is_empty() && benched.is_empty());
+            assert_eq!(patterns_j.num_patterns(), 72);
+            // Universe signatures are fully extended and match the
+            // all-node resimulation bit for bit.
+            for &n in &universe {
+                assert_eq!(sim_j.signature(n), sim_full.signature(n));
+            }
+        }
     }
 
     #[test]

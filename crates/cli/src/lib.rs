@@ -540,8 +540,9 @@ USAGE:
 
 Formats by extension: .aig (binary AIGER), .aag (ASCII AIGER),
 .bench (ISCAS), .blif. Strategies: simgen (default), revs, rand, 1dist.
---jobs/-j N runs the SAT-resolution phase on N worker threads (the
-results are identical for any N).
+--jobs/-j N runs the SAT-resolution phase on N worker threads and
+splits large simulation blocks across the same pool (results are
+byte-identical for any N).
 
 Anytime operation: --timeout SECS bounds the whole run by a wall-clock
 deadline; --stall SECS aborts any single proof making no progress for

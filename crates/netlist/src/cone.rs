@@ -66,6 +66,29 @@ pub fn fanout_cone_mask(net: &LutNetwork, root: NodeId) -> Vec<bool> {
     mask
 }
 
+/// Membership bitmap of the joint fanin cone of several roots
+/// (deduplicated union, roots included), indexed by node id.
+///
+/// This is the cone form the incremental resimulator consumes: the
+/// set of nodes whose lanes must be recomputed so that every root's
+/// signature stays exact.
+pub fn multi_fanin_cone_mask(net: &LutNetwork, roots: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; net.len()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    while let Some(n) = stack.pop() {
+        if mask[n.index()] {
+            continue;
+        }
+        mask[n.index()] = true;
+        for &f in net.fanins(n) {
+            if !mask[f.index()] {
+                stack.push(f);
+            }
+        }
+    }
+    mask
+}
+
 /// Joint fanin cone of several roots (deduplicated union), in
 /// discovery order.
 pub fn multi_fanin_cone(net: &LutNetwork, roots: &[NodeId]) -> Vec<NodeId> {
@@ -158,6 +181,18 @@ mod tests {
         assert_eq!(cone.len(), 5);
         for n in [a, b, c, x, y] {
             assert!(cone.contains(&n));
+        }
+    }
+
+    #[test]
+    fn multi_cone_mask_matches_listing() {
+        let (net, [_a, _b, _c, x, y, f]) = diamond();
+        for roots in [vec![x], vec![x, y], vec![f], vec![y, f]] {
+            let mask = multi_fanin_cone_mask(&net, &roots);
+            let listed = multi_fanin_cone(&net, &roots);
+            for id in net.node_ids() {
+                assert_eq!(mask[id.index()], listed.contains(&id), "node {id}");
+            }
         }
     }
 }

@@ -1,0 +1,92 @@
+//! Levelized traversal schedules.
+//!
+//! Word-parallel simulators evaluate nodes level by level: every node
+//! of level `l` depends only on nodes of level `< l`, so a levelized
+//! order is always a valid evaluation order, and it is the order the
+//! compiled simulation kernels execute restricted node subsets in.
+
+use crate::id::NodeId;
+use crate::network::LutNetwork;
+
+/// Groups every node by its level: `levelize(net)[l]` lists the nodes
+/// of level `l` in ascending id order. PIs (level 0) come first.
+pub fn levelize(net: &LutNetwork) -> Vec<Vec<NodeId>> {
+    let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); net.depth() as usize + 1];
+    for id in net.node_ids() {
+        by_level[net.level(id) as usize].push(id);
+    }
+    by_level
+}
+
+/// Flattens the members of `mask` into a levelized evaluation order:
+/// sorted by `(level, id)`. Because fanins always sit on strictly
+/// smaller levels, evaluating the returned list front to back sees
+/// every node after all of its fanins — provided `mask` is closed
+/// under fanins (a fanin cone is).
+///
+/// # Panics
+///
+/// Panics if `mask.len()` differs from the network size.
+pub fn levelized_order(net: &LutNetwork, mask: &[bool]) -> Vec<NodeId> {
+    assert_eq!(mask.len(), net.len(), "mask must cover every node");
+    let mut order: Vec<NodeId> = net.node_ids().filter(|&id| mask[id.index()]).collect();
+    order.sort_by_key(|&id| (net.level(id), id));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::multi_fanin_cone_mask;
+    use crate::truth::TruthTable;
+
+    fn chain() -> (LutNetwork, Vec<NodeId>) {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let x = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let y = net.add_lut(vec![x, b], TruthTable::or2()).unwrap();
+        let z = net.add_lut(vec![y, a], TruthTable::xor2()).unwrap();
+        net.add_po(z, "z");
+        (net, vec![a, b, x, y, z])
+    }
+
+    #[test]
+    fn levelize_partitions_all_nodes() {
+        let (net, nodes) = chain();
+        let levels = levelize(&net);
+        assert_eq!(levels.len(), net.depth() as usize + 1);
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, net.len());
+        for (l, group) in levels.iter().enumerate() {
+            for &n in group {
+                assert_eq!(net.level(n) as usize, l);
+            }
+        }
+        // PIs are exactly level 0.
+        assert_eq!(levels[0], vec![nodes[0], nodes[1]]);
+    }
+
+    #[test]
+    fn levelized_order_respects_fanin_dependencies() {
+        let (net, nodes) = chain();
+        let mask = multi_fanin_cone_mask(&net, &[*nodes.last().unwrap()]);
+        let order = levelized_order(&net, &mask);
+        assert_eq!(order.len(), net.len(), "full cone of the output");
+        let pos = |id: NodeId| order.iter().position(|&n| n == id).unwrap();
+        for id in net.node_ids() {
+            for &f in net.fanins(id) {
+                assert!(pos(f) < pos(id), "{f} must precede {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn levelized_order_restricts_to_mask() {
+        let (net, nodes) = chain();
+        let x = nodes[2];
+        let mask = multi_fanin_cone_mask(&net, &[x]);
+        let order = levelized_order(&net, &mask);
+        assert_eq!(order, vec![nodes[0], nodes[1], x]);
+    }
+}

@@ -13,9 +13,10 @@
 //!   mapper consumes.
 //! * AIGER ([`aiger`]), BLIF ([`blif`]) and BENCH ([`bench_fmt`]) file
 //!   I/O.
-//! * Structural analyses: fanin cones ([`cone`]), maximum fanout-free
-//!   cones ([`mffc`]), network stacking ([`stack`], the `&putontop`
-//!   equivalent) and miter construction ([`miter`]).
+//! * Structural analyses: fanin cones ([`cone`]), levelized schedules
+//!   ([`levels`]), maximum fanout-free cones ([`mffc`]), network
+//!   stacking ([`stack`], the `&putontop` equivalent) and miter
+//!   construction ([`miter`]).
 //!
 //! # Example
 //!
@@ -43,6 +44,7 @@ pub mod cone;
 pub mod error;
 pub mod export;
 pub mod id;
+pub mod levels;
 pub mod mffc;
 pub mod miter;
 pub mod network;

@@ -273,8 +273,18 @@ impl LutNetwork {
     /// value of every node. Used by tests and reference checks; bulk
     /// simulation lives in `simgen-sim`.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut vals = Vec::new();
+        self.eval_into(inputs, &mut vals);
+        vals
+    }
+
+    /// Like [`LutNetwork::eval`], but writes into a caller-provided
+    /// buffer so hot loops (e.g. counterexample resimulation) can
+    /// evaluate many vectors without allocating per call.
+    pub fn eval_into(&self, inputs: &[bool], vals: &mut Vec<bool>) {
         assert_eq!(inputs.len(), self.pis.len(), "wrong input count");
-        let mut vals = vec![false; self.nodes.len()];
+        vals.clear();
+        vals.resize(self.nodes.len(), false);
         for (idx, node) in self.nodes.iter().enumerate() {
             vals[idx] = match &node.kind {
                 NodeKind::Pi { index } => inputs[*index],
@@ -289,7 +299,6 @@ impl LutNetwork {
                 }
             };
         }
-        vals
     }
 
     /// Evaluates only the primary outputs on one input minterm.

@@ -19,6 +19,10 @@ use crate::simulator::SimResult;
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EquivClasses {
     classes: Vec<Vec<NodeId>>,
+    /// Pattern count this partition has already been refined against;
+    /// [`EquivClasses::refine`] only hashes signature words appended
+    /// since (delta refinement).
+    refined_patterns: usize,
 }
 
 impl EquivClasses {
@@ -38,20 +42,43 @@ impl EquivClasses {
         let mut classes: Vec<Vec<NodeId>> = groups.into_values().filter(|g| g.len() > 1).collect();
         // Deterministic order: by smallest member id.
         classes.sort_by_key(|c| c.iter().min().copied());
-        EquivClasses { classes }
+        EquivClasses {
+            classes,
+            refined_patterns: sim.num_patterns(),
+        }
     }
 
     /// Refines every class against a new simulation result, splitting
     /// members whose signatures now differ. Returns the number of new
     /// classes created (splits).
+    ///
+    /// Only the signature words holding patterns appended since the
+    /// previous refinement are hashed: classmates are already equal on
+    /// every earlier pattern (the class invariant), so grouping *within
+    /// a class* by the new words alone produces exactly the partition
+    /// full-signature hashing would — at O(new words) per node instead
+    /// of O(all words). `sim` must therefore be an extension of the
+    /// result this partition was last refined against.
     pub fn refine(&mut self, sim: &SimResult) -> usize {
+        // Words at or past this index carry at least one new pattern;
+        // re-hashing the (possibly partially old) boundary word is
+        // harmless because classmates agree on its old bits.
+        let from = if sim.num_patterns() >= self.refined_patterns {
+            self.refined_patterns / 64
+        } else {
+            0
+        };
         let old_len = self.total_classes_including_singletons();
         let mut next: Vec<Vec<NodeId>> = Vec::with_capacity(self.classes.len());
         let mut new_singletons = 0usize;
         for class in self.classes.drain(..) {
             let mut groups: HashMap<&[u64], Vec<NodeId>> = HashMap::new();
             for &n in &class {
-                groups.entry(sim.signature(n)).or_default().push(n);
+                let sig = sim.signature(n);
+                groups
+                    .entry(&sig[from.min(sig.len())..])
+                    .or_default()
+                    .push(n);
             }
             for (_, g) in groups {
                 if g.len() > 1 {
@@ -63,6 +90,7 @@ impl EquivClasses {
         }
         next.sort_by_key(|c| c.iter().min().copied());
         self.classes = next;
+        self.refined_patterns = sim.num_patterns();
         let new_len = self.total_classes_including_singletons() + new_singletons;
         new_len - old_len
     }
@@ -222,6 +250,51 @@ mod tests {
         assert!(classes.is_empty());
         assert_eq!(classes.cost(), 0);
         assert_eq!(classes.num_members(), 0);
+    }
+
+    #[test]
+    fn delta_refinement_equals_full_signature_refinement() {
+        use rand::SeedableRng;
+        use simgen_netlist::NodeId;
+        // Incremental delta refinement (hashing only newly appended
+        // words) must land on exactly the partition a from-scratch
+        // full-signature grouping of the same universe produces, even
+        // when refinements happen at unaligned pattern counts.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..4).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut pool = pis.clone();
+        for i in 0..30usize {
+            let a = pool[i % pool.len()];
+            let b = pool[(i * 7 + 1) % pool.len()];
+            let tt = match i % 3 {
+                0 => TruthTable::and2(),
+                1 => TruthTable::or2(),
+                _ => TruthTable::xor2(),
+            };
+            pool.push(net.add_lut(vec![a, b], tt).unwrap());
+        }
+        net.add_po(*pool.last().unwrap(), "f");
+        let luts: Vec<NodeId> = net.node_ids().filter(|&n| !net.is_pi(n)).collect();
+
+        let mut sim = SimResult::empty(&net);
+        let first = PatternSet::random(net.num_pis(), 3, &mut rng);
+        sim.extend_patterns(&net, &first);
+        let mut delta = EquivClasses::initial(&net, &sim);
+        // Unaligned chunk sizes force refinements mid-word and across
+        // word boundaries.
+        for chunk in [1usize, 60, 5, 64, 37] {
+            let extra = PatternSet::random(net.num_pis(), chunk, &mut rng);
+            sim.extend_patterns(&net, &extra);
+            delta.refine(&sim);
+            let full = EquivClasses::from_nodes(&luts, &sim);
+            assert_eq!(
+                delta.classes(),
+                full.classes(),
+                "after {} patterns",
+                sim.num_patterns()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,743 @@
+//! Compiled simulation kernels.
+//!
+//! Interpreting a LUT's on-set cover cube by cube costs a nested loop
+//! (cubes × fanins) per 64-pattern word. This module removes that
+//! interpretation overhead with a one-time compilation pass: every
+//! node is translated into a [`NodeKernel`] — either a single fused
+//! fast-path operation (BUF/NOT, ten two-input gates, MUX) or a flat
+//! tape of bitwise [`Op`]s obtained by recursive Shannon cofactoring
+//! of the truth table (`f = s ? f|ₛ₌₁ : f|ₛ₌₀`, memoized on cofactor
+//! bits so shared subfunctions are computed once).
+//!
+//! Execution is cache-blocked: the pattern words are processed in
+//! blocks of [`BLOCK_WORDS`], with all nodes evaluated per block, so
+//! the fanin lanes a node reads are still resident in cache. Large
+//! blocks can additionally be split across worker threads — each
+//! worker runs the same levelized tape over a disjoint word range, so
+//! the assembled lanes are byte-identical for any worker count.
+
+use std::sync::Arc;
+
+use simgen_dispatch::{run_ordered, JobStatus};
+use simgen_netlist::{LutNetwork, NodeId, NodeKind, TruthTable};
+
+use crate::patterns::PatternSet;
+
+/// Words processed per cache block: 64 nodes × 16 words × 8 bytes is
+/// 8 KiB of hot lanes per 64-node stretch, comfortably inside L1.
+pub(crate) const BLOCK_WORDS: usize = 16;
+
+/// Minimum pattern words each worker must receive before the parallel
+/// path engages; below this the splice overhead dominates.
+pub(crate) const MIN_WORDS_PER_JOB: usize = 4;
+
+/// A fused two-input bitwise operation. `AndNot`/`OrNot` absorb one
+/// input complement so every 2-support function that is not a
+/// constant, copy or inverter compiles to exactly one op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `a & b`
+    And,
+    /// `a | b`
+    Or,
+    /// `a ^ b`
+    Xor,
+    /// `!(a & b)`
+    Nand,
+    /// `!(a | b)`
+    Nor,
+    /// `!(a ^ b)`
+    Xnor,
+    /// `a & !b`
+    AndNot,
+    /// `a | !b`
+    OrNot,
+}
+
+impl BinOp {
+    #[inline(always)]
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Nand => !(a & b),
+            BinOp::Nor => !(a | b),
+            BinOp::Xnor => !(a ^ b),
+            BinOp::AndNot => a & !b,
+            BinOp::OrNot => a | !b,
+        }
+    }
+}
+
+/// Classifies a genuine 2-support function into a fused op plus the
+/// operand order `(a_var, b_var)` (indices into the support pair).
+///
+/// `t2` is the 4-bit truth table over `(v1, v0)` with minterm index
+/// `(b1 << 1) | b0`. Functions that do not depend on both variables
+/// never reach this classifier.
+fn classify_binary(t2: u8) -> (BinOp, bool) {
+    match t2 {
+        0b1000 => (BinOp::And, false),
+        0b1110 => (BinOp::Or, false),
+        0b0110 => (BinOp::Xor, false),
+        0b0111 => (BinOp::Nand, false),
+        0b0001 => (BinOp::Nor, false),
+        0b1001 => (BinOp::Xnor, false),
+        0b0010 => (BinOp::AndNot, false),
+        0b0100 => (BinOp::AndNot, true),
+        0b1011 => (BinOp::OrNot, false),
+        0b1101 => (BinOp::OrNot, true),
+        _ => unreachable!("t2 {t2:04b} does not depend on both variables"),
+    }
+}
+
+/// One tape instruction. Register encoding: `reg < num_nodes` reads
+/// the lane of that node (always a fanin of the node being compiled);
+/// `reg >= num_nodes` addresses transient scratch register
+/// `reg - num_nodes`. Destinations are always scratch and strictly
+/// SSA: each op writes a register larger than any it reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Op {
+    kind: OpKind,
+    dst: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpKind {
+    Const0,
+    Const1,
+    Not,
+    Binary(BinOp),
+    /// `dst = (a & b) | (!a & c)` — the Shannon recombination step.
+    Mux,
+}
+
+/// The compiled evaluation strategy of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeKernel {
+    /// Copy the PI lane from the pattern set.
+    Pi { index: u32 },
+    /// Constant function (degenerate LUT).
+    Const { value: bool },
+    /// Buffer or inverter of one fanin lane.
+    Unary { negate: bool, a: u32 },
+    /// One fused two-input gate over fanin lanes.
+    Binary { op: BinOp, a: u32, b: u32 },
+    /// 2:1 multiplexer over three fanin lanes: `s ? t : e`.
+    Mux { s: u32, t: u32, e: u32 },
+    /// General function: run ops `start..end` of the shared tape, the
+    /// node lane is scratch register `out`.
+    Tape { start: u32, end: u32, out: u32 },
+}
+
+/// A network compiled to per-node simulation kernels.
+#[derive(Debug)]
+pub struct CompiledNet {
+    num_nodes: usize,
+    kernels: Vec<NodeKernel>,
+    /// Concatenated Shannon tapes of every [`NodeKernel::Tape`] node.
+    ops: Vec<Op>,
+    /// Scratch registers needed by the widest tape.
+    num_scratch: usize,
+}
+
+/// Tape-construction state for one node.
+struct TapeBuilder<'a> {
+    ops: &'a mut Vec<Op>,
+    fanins: &'a [NodeId],
+    num_nodes: u32,
+    next_scratch: u32,
+    /// Memoized cofactors: truth-table bits → register holding them.
+    memo: std::collections::HashMap<u64, u32>,
+}
+
+impl TapeBuilder<'_> {
+    fn fresh(&mut self) -> u32 {
+        let reg = self.num_nodes + self.next_scratch;
+        self.next_scratch += 1;
+        reg
+    }
+
+    fn push(&mut self, kind: OpKind, dst: u32, a: u32, b: u32, c: u32) {
+        self.ops.push(Op { kind, dst, a, b, c });
+    }
+
+    fn fanin_reg(&self, var: usize) -> u32 {
+        self.fanins[var].index() as u32
+    }
+
+    /// Emits ops computing `tt` and returns the register holding it.
+    fn emit(&mut self, tt: &TruthTable) -> u32 {
+        if let Some(&reg) = self.memo.get(&tt.bits()) {
+            return reg;
+        }
+        let sup = tt.support();
+        let reg = match sup.len() {
+            0 => {
+                let d = self.fresh();
+                let kind = if tt.eval(0) {
+                    OpKind::Const1
+                } else {
+                    OpKind::Const0
+                };
+                self.push(kind, d, 0, 0, 0);
+                d
+            }
+            1 => {
+                let v = sup[0];
+                let a = self.fanin_reg(v);
+                if tt.eval(1 << v) {
+                    a
+                } else {
+                    let d = self.fresh();
+                    self.push(OpKind::Not, d, a, 0, 0);
+                    d
+                }
+            }
+            2 => {
+                let (v0, v1) = (sup[0], sup[1]);
+                let mut t2 = 0u8;
+                for m2 in 0..4u64 {
+                    let m = ((m2 & 1) << v0) | ((m2 >> 1) << v1);
+                    if tt.eval(m) {
+                        t2 |= 1 << m2;
+                    }
+                }
+                let (op, swapped) = classify_binary(t2);
+                let (ra, rb) = if swapped {
+                    (self.fanin_reg(v1), self.fanin_reg(v0))
+                } else {
+                    (self.fanin_reg(v0), self.fanin_reg(v1))
+                };
+                let d = self.fresh();
+                self.push(OpKind::Binary(op), d, ra, rb, 0);
+                d
+            }
+            _ => {
+                // Shannon decomposition on the highest support
+                // variable; both cofactors shed it, so recursion
+                // terminates, and the memo collapses shared cofactors.
+                let v = *sup.last().expect("non-empty support");
+                let r0 = self.emit(&tt.cofactor0(v));
+                let r1 = self.emit(&tt.cofactor1(v));
+                let d = self.fresh();
+                self.push(OpKind::Mux, d, self.fanin_reg(v), r1, r0);
+                d
+            }
+        };
+        self.memo.insert(tt.bits(), reg);
+        reg
+    }
+}
+
+/// Detects `tt == s ? t : e` over its 3-variable support, returning
+/// the chosen (s, t, e) variable indices.
+fn detect_mux(tt: &TruthTable, sup: &[usize]) -> Option<(usize, usize, usize)> {
+    debug_assert_eq!(sup.len(), 3);
+    for &s in sup {
+        let rest: Vec<usize> = sup.iter().copied().filter(|&v| v != s).collect();
+        for (t, e) in [(rest[0], rest[1]), (rest[1], rest[0])] {
+            let mux = TruthTable::from_fn(tt.arity(), |m| {
+                if (m >> s) & 1 == 1 {
+                    (m >> t) & 1 == 1
+                } else {
+                    (m >> e) & 1 == 1
+                }
+            });
+            if mux.bits() == tt.bits() {
+                return Some((s, t, e));
+            }
+        }
+    }
+    None
+}
+
+impl CompiledNet {
+    /// Compiles every node of `net` into its simulation kernel.
+    pub fn compile(net: &LutNetwork) -> Self {
+        let num_nodes = net.len();
+        let mut kernels = Vec::with_capacity(num_nodes);
+        let mut ops: Vec<Op> = Vec::new();
+        let mut num_scratch = 0usize;
+        for id in net.node_ids() {
+            let kernel = match net.kind(id) {
+                NodeKind::Pi { index } => NodeKernel::Pi {
+                    index: *index as u32,
+                },
+                NodeKind::Lut { fanins, tt } => {
+                    let sup = tt.support();
+                    match sup.len() {
+                        0 => NodeKernel::Const { value: tt.eval(0) },
+                        1 => NodeKernel::Unary {
+                            negate: !tt.eval(1 << sup[0]),
+                            a: fanins[sup[0]].index() as u32,
+                        },
+                        2 => {
+                            let (v0, v1) = (sup[0], sup[1]);
+                            let mut t2 = 0u8;
+                            for m2 in 0..4u64 {
+                                let m = ((m2 & 1) << v0) | ((m2 >> 1) << v1);
+                                if tt.eval(m) {
+                                    t2 |= 1 << m2;
+                                }
+                            }
+                            let (op, swapped) = classify_binary(t2);
+                            let (a, b) = if swapped { (v1, v0) } else { (v0, v1) };
+                            NodeKernel::Binary {
+                                op,
+                                a: fanins[a].index() as u32,
+                                b: fanins[b].index() as u32,
+                            }
+                        }
+                        3 if detect_mux(tt, &sup).is_some() => {
+                            let (s, t, e) = detect_mux(tt, &sup).expect("just matched");
+                            NodeKernel::Mux {
+                                s: fanins[s].index() as u32,
+                                t: fanins[t].index() as u32,
+                                e: fanins[e].index() as u32,
+                            }
+                        }
+                        _ => {
+                            let start = ops.len() as u32;
+                            let mut builder = TapeBuilder {
+                                ops: &mut ops,
+                                fanins,
+                                num_nodes: num_nodes as u32,
+                                next_scratch: 0,
+                                memo: std::collections::HashMap::new(),
+                            };
+                            let out = builder.emit(tt);
+                            num_scratch = num_scratch.max(builder.next_scratch as usize);
+                            let end = ops.len() as u32;
+                            debug_assert!(out >= num_nodes as u32, "tape result is scratch");
+                            NodeKernel::Tape {
+                                start,
+                                end,
+                                out: out - num_nodes as u32,
+                            }
+                        }
+                    }
+                }
+            };
+            kernels.push(kernel);
+        }
+        CompiledNet {
+            num_nodes,
+            kernels,
+            ops,
+            num_scratch,
+        }
+    }
+
+    /// Number of nodes this kernel set was compiled for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total tape instructions across all general nodes (fast-path
+    /// nodes contribute none).
+    pub fn tape_len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Simulates `patterns` over the nodes listed in `order` (which
+    /// must be topologically sorted and closed under fanins, e.g. a
+    /// [`simgen_netlist::levels::levelized_order`] of a fanin cone).
+    ///
+    /// Returns one lane per node — empty for nodes outside `order` —
+    /// with tail bits beyond `patterns.num_patterns()` masked to zero.
+    /// With `jobs > 1` and enough pattern words, the word range is
+    /// split across a worker pool; every worker runs the identical
+    /// levelized tape over its disjoint slice, so the spliced result
+    /// is byte-identical to the serial one.
+    pub fn simulate_lanes(
+        self: &Arc<Self>,
+        patterns: &PatternSet,
+        order: &[NodeId],
+        jobs: usize,
+    ) -> Vec<Vec<u64>> {
+        let num_words = patterns.num_words();
+        let jobs = jobs.max(1).min(num_words / MIN_WORDS_PER_JOB.max(1)).max(1);
+        if jobs == 1 {
+            return self.execute_chunk(patterns, order, 0, num_words);
+        }
+        // Balanced word ranges: the first `extra` chunks get one more.
+        let base = num_words / jobs;
+        let extra = num_words % jobs;
+        let mut ranges = Vec::with_capacity(jobs);
+        let mut start = 0usize;
+        for j in 0..jobs {
+            let len = base + usize::from(j < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        let outcome = run_ordered(
+            jobs,
+            ranges,
+            None,
+            |_| (),
+            |_, &(w0, w1)| self.execute_chunk(patterns, order, w0, w1),
+        );
+        let mut parts = Vec::with_capacity(jobs);
+        for status in outcome.results {
+            match status {
+                JobStatus::Done(lanes) => parts.push(lanes),
+                // No deadline is passed, so jobs are never skipped; a
+                // panic in the kernel is a bug worth propagating.
+                JobStatus::Panicked { message } => {
+                    panic!("simulation worker panicked: {message}")
+                }
+                JobStatus::Skipped => unreachable!("no deadline on simulation dispatch"),
+            }
+        }
+        let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); self.num_nodes];
+        for &id in order {
+            let lane = &mut lanes[id.index()];
+            lane.reserve_exact(num_words);
+            for part in &mut parts {
+                lane.append(&mut part[id.index()]);
+            }
+        }
+        lanes
+    }
+
+    /// Serial cache-blocked execution over the word range `[w0, w1)`.
+    /// Returns range-local lanes (length `w1 - w0`) for `order` nodes.
+    fn execute_chunk(
+        &self,
+        patterns: &PatternSet,
+        order: &[NodeId],
+        w0: usize,
+        w1: usize,
+    ) -> Vec<Vec<u64>> {
+        let len = w1 - w0;
+        let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); self.num_nodes];
+        for &id in order {
+            lanes[id.index()] = vec![0u64; len];
+        }
+        let mut scratch = vec![vec![0u64; BLOCK_WORDS]; self.num_scratch];
+        let mut b0 = w0;
+        while b0 < w1 {
+            let b1 = (b0 + BLOCK_WORDS).min(w1);
+            for &id in order {
+                self.exec_node(patterns, &mut lanes, &mut scratch, id, w0, b0, b1);
+            }
+            b0 = b1;
+        }
+        // Mask the tail of the final global word so signatures stay
+        // comparable; PI lanes inherit the mask from the pattern set.
+        if w1 == patterns.num_words() {
+            let mask = tail_mask(patterns.num_patterns());
+            for &id in order {
+                if let Some(last) = lanes[id.index()].last_mut() {
+                    *last &= mask;
+                }
+            }
+        }
+        lanes
+    }
+
+    /// Evaluates one node's kernel over block words `[b0, b1)`.
+    /// `base` is the chunk origin: lane slot `w - base` holds global
+    /// word `w`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_node(
+        &self,
+        patterns: &PatternSet,
+        lanes: &mut [Vec<u64>],
+        scratch: &mut [Vec<u64>],
+        id: NodeId,
+        base: usize,
+        b0: usize,
+        b1: usize,
+    ) {
+        let idx = id.index();
+        let (s0, s1) = (b0 - base, b1 - base);
+        match self.kernels[idx] {
+            NodeKernel::Pi { index } => {
+                let src = &patterns.lane(index as usize)[b0..b1];
+                lanes[idx][s0..s1].copy_from_slice(src);
+            }
+            NodeKernel::Const { value } => {
+                lanes[idx][s0..s1].fill(if value { u64::MAX } else { 0 });
+            }
+            NodeKernel::Unary { negate, a } => {
+                let (lo, hi) = lanes.split_at_mut(idx);
+                let av = &lo[a as usize][s0..s1];
+                let out = &mut hi[0][s0..s1];
+                if negate {
+                    for (o, &x) in out.iter_mut().zip(av) {
+                        *o = !x;
+                    }
+                } else {
+                    out.copy_from_slice(av);
+                }
+            }
+            NodeKernel::Binary { op, a, b } => {
+                let (lo, hi) = lanes.split_at_mut(idx);
+                let av = &lo[a as usize][s0..s1];
+                let bv = &lo[b as usize][s0..s1];
+                let out = &mut hi[0][s0..s1];
+                // Monomorphic inner loops: the op dispatch happens
+                // once per block, not once per word.
+                macro_rules! lane_loop {
+                    ($f:expr) => {
+                        for (o, (&x, &y)) in out.iter_mut().zip(av.iter().zip(bv)) {
+                            *o = $f(x, y);
+                        }
+                    };
+                }
+                match op {
+                    BinOp::And => lane_loop!(|x, y| x & y),
+                    BinOp::Or => lane_loop!(|x, y| x | y),
+                    BinOp::Xor => lane_loop!(|x, y| x ^ y),
+                    BinOp::Nand => lane_loop!(|x: u64, y: u64| !(x & y)),
+                    BinOp::Nor => lane_loop!(|x: u64, y: u64| !(x | y)),
+                    BinOp::Xnor => lane_loop!(|x: u64, y: u64| !(x ^ y)),
+                    BinOp::AndNot => lane_loop!(|x: u64, y: u64| x & !y),
+                    BinOp::OrNot => lane_loop!(|x: u64, y: u64| x | !y),
+                }
+            }
+            NodeKernel::Mux { s, t, e } => {
+                let (lo, hi) = lanes.split_at_mut(idx);
+                let sv = &lo[s as usize][s0..s1];
+                let tv = &lo[t as usize][s0..s1];
+                let ev = &lo[e as usize][s0..s1];
+                let out = &mut hi[0][s0..s1];
+                for (w, o) in out.iter_mut().enumerate() {
+                    *o = (sv[w] & tv[w]) | (!sv[w] & ev[w]);
+                }
+            }
+            NodeKernel::Tape { start, end, out } => {
+                let n = self.num_nodes as u32;
+                let len = s1 - s0;
+                for op in &self.ops[start as usize..end as usize] {
+                    let dsti = (op.dst - n) as usize;
+                    let (slo, shi) = scratch.split_at_mut(dsti);
+                    let dst = &mut shi[0][..len];
+                    // SSA guarantee: inputs are node lanes or scratch
+                    // registers strictly below `dst`, so `slo` covers
+                    // every scratch read.
+                    let rd = |reg: u32| -> &[u64] {
+                        if reg < n {
+                            &lanes[reg as usize][s0..s1]
+                        } else {
+                            &slo[(reg - n) as usize][..len]
+                        }
+                    };
+                    match op.kind {
+                        OpKind::Const0 => dst.fill(0),
+                        OpKind::Const1 => dst.fill(u64::MAX),
+                        OpKind::Not => {
+                            let a = rd(op.a);
+                            for (o, &x) in dst.iter_mut().zip(a) {
+                                *o = !x;
+                            }
+                        }
+                        OpKind::Binary(bin) => {
+                            let a = rd(op.a);
+                            let b = rd(op.b);
+                            for (o, (&x, &y)) in dst.iter_mut().zip(a.iter().zip(b)) {
+                                *o = bin.apply(x, y);
+                            }
+                        }
+                        OpKind::Mux => {
+                            let s = rd(op.a);
+                            let t = rd(op.b);
+                            let e = rd(op.c);
+                            for (w, o) in dst.iter_mut().enumerate() {
+                                *o = (s[w] & t[w]) | (!s[w] & e[w]);
+                            }
+                        }
+                    }
+                }
+                lanes[idx][s0..s1].copy_from_slice(&scratch[out as usize][..len]);
+            }
+        }
+    }
+}
+
+/// Mask covering the valid bits of the last signature word.
+pub(crate) fn tail_mask(num_patterns: usize) -> u64 {
+    let rem = num_patterns % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use simgen_netlist::levels::levelized_order;
+
+    fn random_network(seed: u64, pis: usize, luts: usize, max_k: usize) -> LutNetwork {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = LutNetwork::new();
+        let mut pool: Vec<NodeId> = (0..pis).map(|i| net.add_pi(format!("p{i}"))).collect();
+        for _ in 0..luts {
+            let k = rng.gen_range(1..=max_k).min(pool.len());
+            let mut fanins = Vec::with_capacity(k);
+            while fanins.len() < k {
+                let cand = pool[rng.gen_range(0..pool.len())];
+                if !fanins.contains(&cand) {
+                    fanins.push(cand);
+                }
+            }
+            let tt = TruthTable::random(fanins.len(), &mut rng);
+            pool.push(net.add_lut(fanins, tt).unwrap());
+        }
+        net.add_po(*pool.last().unwrap(), "f");
+        net
+    }
+
+    fn all_nodes(net: &LutNetwork) -> Vec<NodeId> {
+        net.node_ids().collect()
+    }
+
+    #[test]
+    fn compiled_lanes_match_scalar_eval() {
+        for (seed, max_k) in [(1u64, 3), (2, 4), (3, 6), (4, 6)] {
+            let net = random_network(seed, 6, 40, max_k);
+            let kernel = Arc::new(CompiledNet::compile(&net));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
+            let patterns = PatternSet::random(6, 200, &mut rng);
+            let lanes = kernel.simulate_lanes(&patterns, &all_nodes(&net), 1);
+            for p in 0..200 {
+                let scalar = net.eval(&patterns.vector(p));
+                for id in net.node_ids() {
+                    let bit = (lanes[id.index()][p / 64] >> (p % 64)) & 1 == 1;
+                    assert_eq!(bit, scalar[id.index()], "seed {seed} node {id} pat {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_paths_cover_expected_shapes() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let buf = net.add_lut(vec![a], TruthTable::buf1()).unwrap();
+        let inv = net.add_lut(vec![a], TruthTable::not1()).unwrap();
+        let and = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        // s ? t : e over (c, a, b): bits where c picks a else b.
+        let mux_tt = TruthTable::from_fn(3, |m| {
+            if (m >> 2) & 1 == 1 {
+                m & 1 == 1
+            } else {
+                (m >> 1) & 1 == 1
+            }
+        });
+        let mux = net.add_lut(vec![a, b, c], mux_tt).unwrap();
+        net.add_po(mux, "m");
+        let kernel = CompiledNet::compile(&net);
+        assert!(matches!(
+            kernel.kernels[buf.index()],
+            NodeKernel::Unary { negate: false, .. }
+        ));
+        assert!(matches!(
+            kernel.kernels[inv.index()],
+            NodeKernel::Unary { negate: true, .. }
+        ));
+        assert!(matches!(
+            kernel.kernels[and.index()],
+            NodeKernel::Binary { op: BinOp::And, .. }
+        ));
+        assert!(matches!(
+            kernel.kernels[mux.index()],
+            NodeKernel::Mux { .. }
+        ));
+        assert_eq!(kernel.tape_len(), 0, "all nodes took fast paths");
+    }
+
+    #[test]
+    fn every_three_input_function_compiles_correctly() {
+        // Exhaustive over all 256 3-input functions: fast paths,
+        // degenerate supports and Shannon tapes all agree with eval.
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|m| (0..3).map(|i| (m >> i) & 1 == 1).collect())
+            .collect();
+        let patterns = PatternSet::from_vectors(3, &vectors);
+        for bits in 0..256u64 {
+            let mut net = LutNetwork::new();
+            let pis: Vec<NodeId> = (0..3).map(|i| net.add_pi(format!("p{i}"))).collect();
+            let tt = TruthTable::from_bits(3, bits).unwrap();
+            let f = net.add_lut(pis, tt).unwrap();
+            net.add_po(f, "f");
+            let kernel = Arc::new(CompiledNet::compile(&net));
+            let lanes = kernel.simulate_lanes(&patterns, &all_nodes(&net), 1);
+            for (m, v) in vectors.iter().enumerate() {
+                let expect = net.eval(v)[f.index()];
+                let got = (lanes[f.index()][0] >> m) & 1 == 1;
+                assert_eq!(got, expect, "bits {bits:08b} minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_order_skips_outside_lanes() {
+        let net = random_network(9, 5, 30, 4);
+        let kernel = Arc::new(CompiledNet::compile(&net));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let patterns = PatternSet::random(5, 100, &mut rng);
+        let root = net.node_ids().last().unwrap();
+        let mask = simgen_netlist::cone::multi_fanin_cone_mask(&net, &[root]);
+        let order = levelized_order(&net, &mask);
+        let lanes = kernel.simulate_lanes(&patterns, &order, 1);
+        let full = kernel.simulate_lanes(&patterns, &all_nodes(&net), 1);
+        for id in net.node_ids() {
+            if mask[id.index()] {
+                assert_eq!(lanes[id.index()], full[id.index()], "cone node {id}");
+            } else {
+                assert!(lanes[id.index()].is_empty(), "non-cone node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_lanes_are_byte_identical() {
+        let net = random_network(21, 8, 120, 6);
+        let kernel = Arc::new(CompiledNet::compile(&net));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        // Enough words (40) to engage several workers, plus a ragged
+        // tail bit count.
+        let patterns = PatternSet::random(8, 2530, &mut rng);
+        let order = all_nodes(&net);
+        let serial = kernel.simulate_lanes(&patterns, &order, 1);
+        for jobs in [2usize, 3, 4, 8] {
+            let par = kernel.simulate_lanes(&patterns, &order, jobs);
+            assert_eq!(par, serial, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn shannon_tapes_stay_compact() {
+        // A random 6-input function needs at most 2^0+..+2^3 muxes
+        // plus leaf ops per node; the memo keeps tapes well below the
+        // naive 63-op bound.
+        let net = random_network(33, 6, 50, 6);
+        let kernel = CompiledNet::compile(&net);
+        let tape_nodes = kernel
+            .kernels
+            .iter()
+            .filter(|k| matches!(k, NodeKernel::Tape { .. }))
+            .count();
+        if tape_nodes > 0 {
+            assert!(
+                kernel.tape_len() <= tape_nodes * 63,
+                "{} ops for {} tape nodes",
+                kernel.tape_len(),
+                tape_nodes
+            );
+        }
+    }
+}

@@ -32,11 +32,16 @@
 //! ```
 
 pub mod classes;
+pub mod kernel;
 pub mod patterns;
 pub mod probability;
 pub mod simulator;
 
 pub use classes::EquivClasses;
+pub use kernel::CompiledNet;
 pub use patterns::PatternSet;
 pub use probability::signal_probabilities;
-pub use simulator::{simulate, SimResult};
+pub use simulator::{simulate, simulate_jobs, SimResult};
+
+#[cfg(any(test, feature = "reference"))]
+pub use simulator::{reference_lanes, simulate_reference};

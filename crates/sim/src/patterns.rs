@@ -63,6 +63,18 @@ impl PatternSet {
         &self.words[pi]
     }
 
+    /// One 64-pattern word of one PI lane: bit `p % 64` of
+    /// `word(pi, p / 64)` is the PI's value in pattern `p`. This is
+    /// the word-level accessor hot resimulation paths use instead of
+    /// extracting whole vectors bit by bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= num_words()`.
+    pub fn word(&self, pi: usize, w: usize) -> u64 {
+        self.words[pi][w]
+    }
+
     /// Appends one input vector.
     ///
     /// # Panics
@@ -95,26 +107,74 @@ impl PatternSet {
             .collect()
     }
 
-    /// Appends all vectors of another set.
+    /// Appends all vectors of another set, splicing whole 64-bit
+    /// words (shifted across the boundary when the current count is
+    /// not word-aligned) instead of round-tripping through per-pattern
+    /// `vector`/`push` calls.
     ///
     /// # Panics
     ///
     /// Panics if the PI counts differ.
     pub fn extend(&mut self, other: &PatternSet) {
         assert_eq!(self.num_pis, other.num_pis, "pi count mismatch");
-        for p in 0..other.num_patterns {
-            self.push(&other.vector(p));
+        if other.num_patterns == 0 {
+            return;
         }
+        for (lane, block) in self.words.iter_mut().zip(&other.words) {
+            splice_bits(lane, self.num_patterns, block, other.num_patterns);
+        }
+        self.num_patterns += other.num_patterns;
     }
 
     /// Builds a set from explicit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `num_pis`.
     pub fn from_vectors(num_pis: usize, vectors: &[Vec<bool>]) -> Self {
-        let mut set = PatternSet::new(num_pis);
-        for v in vectors {
-            set.push(v);
+        let num_words = vectors.len().div_ceil(64);
+        let mut words = vec![vec![0u64; num_words]; num_pis];
+        for (p, v) in vectors.iter().enumerate() {
+            assert_eq!(v.len(), num_pis, "wrong vector width");
+            let (w, bit) = (p / 64, p % 64);
+            for (pi, &val) in v.iter().enumerate() {
+                if val {
+                    words[pi][w] |= 1 << bit;
+                }
+            }
         }
-        set
+        PatternSet {
+            num_pis,
+            num_patterns: vectors.len(),
+            words,
+        }
     }
+}
+
+/// Appends `new_bits` valid bits of `block` onto a packed bit lane
+/// currently holding `old_bits` bits. Word-aligned appends are plain
+/// word copies; unaligned appends shift each block word across the
+/// boundary. Both sides must keep their tail bits masked to zero (the
+/// invariant every lane in this crate maintains), which the output
+/// then preserves.
+pub(crate) fn splice_bits(lane: &mut Vec<u64>, old_bits: usize, block: &[u64], new_bits: usize) {
+    let block = &block[..new_bits.div_ceil(64)];
+    let total_words = (old_bits + new_bits).div_ceil(64);
+    let shift = old_bits % 64;
+    if shift == 0 {
+        lane.extend_from_slice(block);
+    } else {
+        let mut pos = old_bits / 64;
+        lane.reserve(total_words - lane.len());
+        for &w in block {
+            lane[pos] |= w << shift;
+            pos += 1;
+            if pos < total_words {
+                lane.push(w >> (64 - shift));
+            }
+        }
+    }
+    debug_assert_eq!(lane.len(), total_words);
 }
 
 fn mask_tail(words: &mut [u64], num_patterns: usize) {
@@ -190,5 +250,50 @@ mod tests {
     fn wrong_width_panics() {
         let mut set = PatternSet::new(2);
         set.push(&[true]);
+    }
+
+    #[test]
+    fn word_accessor_matches_vector_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let s = PatternSet::random(3, 150, &mut rng);
+        for p in 0..150 {
+            for (pi, &bit) in s.vector(p).iter().enumerate() {
+                assert_eq!((s.word(pi, p / 64) >> (p % 64)) & 1 == 1, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn word_level_extend_matches_per_pattern_pushes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        // Deliberately unaligned sizes on both sides, repeated so the
+        // running count crosses several word boundaries.
+        let mut fast = PatternSet::new(4);
+        let mut slow = PatternSet::new(4);
+        for n in [1usize, 63, 64, 65, 7, 128, 30] {
+            let block = PatternSet::random(4, n, &mut rng);
+            fast.extend(&block);
+            for p in 0..n {
+                slow.push(&block.vector(p));
+            }
+            assert_eq!(fast, slow, "after extending by {n}");
+        }
+    }
+
+    #[test]
+    fn from_vectors_packs_words_directly() {
+        let vectors: Vec<Vec<bool>> = (0..70u32)
+            .map(|p| (0..3).map(|pi| (p + pi) % 3 == 0).collect())
+            .collect();
+        let packed = PatternSet::from_vectors(3, &vectors);
+        let mut pushed = PatternSet::new(3);
+        for v in &vectors {
+            pushed.push(v);
+        }
+        assert_eq!(packed, pushed);
+        // Tail bits of the last word stay clear.
+        for pi in 0..3 {
+            assert_eq!(packed.word(pi, 1) >> 6, 0);
+        }
     }
 }

@@ -1,29 +1,51 @@
-//! Word-parallel network simulation.
+//! Word-parallel network simulation over compiled kernels.
 //!
-//! Each node's value over 64 patterns is computed in one pass over its
-//! truth table's on-set cubes: a cube contributes the AND of its
-//! specified fanin lanes (complemented as needed), and the node lane
-//! is the OR of the cube terms. For the ≤ 6-input LUTs of the paper's
-//! flow the covers are small, so this beats per-minterm evaluation.
+//! [`simulate`] and the incremental [`SimResult`] methods execute the
+//! flat opcode tapes built by [`crate::kernel::CompiledNet`] — a
+//! one-time compilation pass per network — over multi-word blocks
+//! with cache-blocked lanes. The previous implementation, which
+//! re-interpreted each LUT's on-set cube cover per word, is preserved
+//! as [`simulate_reference`] (tests and the `reference` feature) and
+//! pins the kernels' semantics.
 
-use simgen_netlist::{LutNetwork, NodeId, NodeKind};
+use std::sync::Arc;
 
-use crate::patterns::PatternSet;
+use simgen_netlist::cone::multi_fanin_cone_mask;
+use simgen_netlist::levels::levelized_order;
+use simgen_netlist::{LutNetwork, NodeId};
+
+use crate::kernel::CompiledNet;
+use crate::patterns::{splice_bits, PatternSet};
 
 /// The simulation signature of every node over a pattern set.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Holds the compiled kernels of its network so incremental extension
+/// never recompiles; two results compare equal on pattern count and
+/// lanes alone.
+#[derive(Clone, Debug)]
 pub struct SimResult {
     num_patterns: usize,
     /// `lanes[node][w]`: the node's value bits for patterns `64w..`.
     lanes: Vec<Vec<u64>>,
+    kernel: Arc<CompiledNet>,
 }
+
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_patterns == other.num_patterns && self.lanes == other.lanes
+    }
+}
+
+impl Eq for SimResult {}
 
 impl SimResult {
     /// An empty result for incremental simulation (zero patterns).
+    /// Compiles the network's kernels once, up front.
     pub fn empty(net: &LutNetwork) -> Self {
         SimResult {
             num_patterns: 0,
             lanes: vec![Vec::new(); net.len()],
+            kernel: Arc::new(CompiledNet::compile(net)),
         }
     }
 
@@ -37,19 +59,37 @@ impl SimResult {
         self.lanes.len()
     }
 
-    /// Appends one pattern incrementally: a scalar evaluation of the
-    /// network (O(nodes)) plus a bit append per lane — far cheaper
-    /// than resimulating the whole accumulated pattern set when
-    /// counterexamples arrive one at a time.
+    /// Appends one pattern incrementally. Allocates a scalar
+    /// evaluation buffer per call; hot loops should use
+    /// [`SimResult::push_pattern_with`] with a reused buffer.
     ///
     /// # Panics
     ///
     /// Panics if `vector.len()` differs from the network's PI count.
     pub fn push_pattern(&mut self, net: &LutNetwork, vector: &[bool]) {
-        let vals = net.eval(vector);
+        let mut scratch = Vec::new();
+        self.push_pattern_with(net, vector, &mut scratch);
+    }
+
+    /// Appends one pattern incrementally: a scalar evaluation of the
+    /// network (O(nodes)) plus a bit append per lane — far cheaper
+    /// than resimulating the whole accumulated pattern set when
+    /// vectors arrive one at a time. `scratch` is the evaluation
+    /// buffer, reused across calls by the sweeper's guided phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the network's PI count.
+    pub fn push_pattern_with(
+        &mut self,
+        net: &LutNetwork,
+        vector: &[bool],
+        scratch: &mut Vec<bool>,
+    ) {
+        net.eval_into(vector, scratch);
         let word = self.num_patterns / 64;
         let bit = self.num_patterns % 64;
-        for (lane, &v) in self.lanes.iter_mut().zip(&vals) {
+        for (lane, &v) in self.lanes.iter_mut().zip(scratch.iter()) {
             if bit == 0 {
                 lane.push(0);
             }
@@ -63,31 +103,14 @@ impl SimResult {
     /// Appends a whole pattern block incrementally (word-parallel
     /// simulation of just the new block).
     pub fn extend_patterns(&mut self, net: &LutNetwork, patterns: &PatternSet) {
-        if patterns.num_patterns() == 0 {
-            return;
-        }
-        let block = simulate(net, patterns);
-        if self.num_patterns.is_multiple_of(64) {
-            // Word-aligned: splice the block lanes in directly.
-            for (lane, extra) in self.lanes.iter_mut().zip(block.lanes) {
-                lane.extend(extra);
-            }
-            self.num_patterns += block.num_patterns;
-        } else {
-            for p in 0..patterns.num_patterns() {
-                let word = self.num_patterns / 64;
-                let bit = self.num_patterns % 64;
-                for (node, lane) in self.lanes.iter_mut().enumerate() {
-                    if bit == 0 {
-                        lane.push(0);
-                    }
-                    if (block.lanes[node][p / 64] >> (p % 64)) & 1 == 1 {
-                        lane[word] |= 1 << bit;
-                    }
-                }
-                self.num_patterns += 1;
-            }
-        }
+        self.extend_patterns_jobs(net, patterns, 1);
+    }
+
+    /// Like [`SimResult::extend_patterns`], splitting the block's
+    /// word range across up to `jobs` workers when it is large enough.
+    /// The result is byte-identical for every `jobs` value.
+    pub fn extend_patterns_jobs(&mut self, net: &LutNetwork, patterns: &PatternSet, jobs: usize) {
+        self.extend_block(net, patterns, None, jobs);
     }
 
     /// Appends a batch of single input vectors as one word-parallel
@@ -103,11 +126,90 @@ impl SimResult {
     /// Panics if any vector's length differs from the network's PI
     /// count.
     pub fn extend_vectors(&mut self, net: &LutNetwork, vectors: &[Vec<bool>]) {
-        match vectors {
-            [] => {}
-            [v] => self.push_pattern(net, v),
-            _ => self.extend_patterns(net, &PatternSet::from_vectors(net.num_pis(), vectors)),
+        if vectors.is_empty() {
+            return;
         }
+        let block = PatternSet::from_vectors(net.num_pis(), vectors);
+        self.extend_block(net, &block, None, 1);
+    }
+
+    /// Cone-restricted incremental resimulation: appends the block
+    /// computing new lane words **only** for nodes in the union of
+    /// fanin cones of `roots`, leaving every other lane untouched
+    /// (stale at its old length).
+    ///
+    /// This is sound for the sweepers' counterexample flushes because
+    /// the still-active node set only ever shrinks: signatures are
+    /// compared among roots, whose cones keep every lane they
+    /// transitively read fully up to date. Once a result has been
+    /// extended this way, later extensions must use the same or a
+    /// smaller root set (checked by a debug assertion), and global
+    /// consumers such as [`SimResult::signature`] are only meaningful
+    /// for cone nodes.
+    pub fn extend_patterns_cone(
+        &mut self,
+        net: &LutNetwork,
+        patterns: &PatternSet,
+        roots: &[NodeId],
+        jobs: usize,
+    ) {
+        let mask = multi_fanin_cone_mask(net, roots);
+        self.extend_block(net, patterns, Some(&mask), jobs);
+    }
+
+    /// [`SimResult::extend_vectors`] restricted to the fanin cones of
+    /// `roots` (see [`SimResult::extend_patterns_cone`]).
+    pub fn extend_vectors_cone(
+        &mut self,
+        net: &LutNetwork,
+        vectors: &[Vec<bool>],
+        roots: &[NodeId],
+        jobs: usize,
+    ) {
+        if vectors.is_empty() {
+            return;
+        }
+        let block = PatternSet::from_vectors(net.num_pis(), vectors);
+        self.extend_patterns_cone(net, &block, roots, jobs);
+    }
+
+    /// Shared block-append path: simulates `patterns` through the
+    /// compiled kernels (optionally restricted to `mask` in levelized
+    /// order, optionally word-split across `jobs` workers) and
+    /// splices the new lane words onto the accumulated signatures.
+    fn extend_block(
+        &mut self,
+        net: &LutNetwork,
+        patterns: &PatternSet,
+        mask: Option<&[bool]>,
+        jobs: usize,
+    ) {
+        let added = patterns.num_patterns();
+        if added == 0 {
+            return;
+        }
+        assert_eq!(
+            patterns.num_pis(),
+            net.num_pis(),
+            "pattern width must match network pis"
+        );
+        let order: Vec<NodeId> = match mask {
+            None => net.node_ids().collect(),
+            Some(mask) => levelized_order(net, mask),
+        };
+        let block_lanes = self.kernel.simulate_lanes(patterns, &order, jobs);
+        let old_words = self.num_patterns.div_ceil(64);
+        for &id in &order {
+            let lane = &mut self.lanes[id.index()];
+            debug_assert_eq!(
+                lane.len(),
+                old_words,
+                "stale lane for {id}: cone-restricted extensions must \
+                 only ever shrink the root set"
+            );
+            splice_bits(lane, self.num_patterns, &block_lanes[id.index()], added);
+        }
+        self.num_patterns += added;
     }
 
     /// The full word lane (signature) of a node.
@@ -146,20 +248,58 @@ impl SimResult {
     }
 }
 
-/// Simulates all patterns through the network, producing per-node
-/// signatures.
+/// Simulates all patterns through the network's compiled kernels,
+/// producing per-node signatures.
 ///
 /// # Panics
 ///
 /// Panics if `patterns.num_pis()` differs from the network's PI count.
 pub fn simulate(net: &LutNetwork, patterns: &PatternSet) -> SimResult {
+    simulate_jobs(net, patterns, 1)
+}
+
+/// [`simulate`] with the pattern words split across up to `jobs`
+/// workers ([`simgen_dispatch`]'s pool); each worker runs the same
+/// levelized kernel tape over a disjoint word range, so the result is
+/// byte-identical for every `jobs` value.
+pub fn simulate_jobs(net: &LutNetwork, patterns: &PatternSet, jobs: usize) -> SimResult {
+    let mut sim = SimResult::empty(net);
+    sim.extend_block(net, patterns, None, jobs);
+    sim
+}
+
+/// The original cube-cover interpreter: each node's value over 64
+/// patterns is one pass over its truth table's on-set cubes — a cube
+/// contributes the AND of its specified fanin lanes (complemented as
+/// needed) and the node lane is the OR of the cube terms.
+///
+/// Superseded by the compiled kernels as the production path; kept as
+/// the executable semantics the kernels are property-tested against
+/// and as the baseline the `sim_throughput` bench measures speedups
+/// over (enable the `reference` feature outside test builds).
+#[cfg(any(test, feature = "reference"))]
+pub fn simulate_reference(net: &LutNetwork, patterns: &PatternSet) -> SimResult {
+    SimResult {
+        num_patterns: patterns.num_patterns(),
+        lanes: reference_lanes(net, patterns),
+        kernel: Arc::new(CompiledNet::compile(net)),
+    }
+}
+
+/// The raw lane computation of [`simulate_reference`], with no kernel
+/// compilation attached — the pure-interpreter baseline the
+/// `sim_throughput` bench times.
+#[cfg(any(test, feature = "reference"))]
+pub fn reference_lanes(net: &LutNetwork, patterns: &PatternSet) -> Vec<Vec<u64>> {
+    use crate::kernel::tail_mask;
+    use simgen_netlist::NodeKind;
     assert_eq!(
         patterns.num_pis(),
         net.num_pis(),
         "pattern width must match network pis"
     );
     let num_words = patterns.num_words();
-    let tail_mask = tail_mask(patterns.num_patterns());
+    let mask = tail_mask(patterns.num_patterns());
     let mut lanes: Vec<Vec<u64>> = Vec::with_capacity(net.len());
     for id in net.node_ids() {
         let lane = match net.kind(id) {
@@ -184,26 +324,14 @@ pub fn simulate(net: &LutNetwork, patterns: &PatternSet) -> SimResult {
                     }
                 }
                 if let Some(last) = out.last_mut() {
-                    *last &= tail_mask;
+                    *last &= mask;
                 }
                 out
             }
         };
         lanes.push(lane);
     }
-    SimResult {
-        num_patterns: patterns.num_patterns(),
-        lanes,
-    }
-}
-
-fn tail_mask(num_patterns: usize) -> u64 {
-    let rem = num_patterns % 64;
-    if rem == 0 {
-        u64::MAX
-    } else {
-        (1u64 << rem) - 1
-    }
+    lanes
 }
 
 #[cfg(test)]
@@ -270,6 +398,20 @@ mod tests {
     }
 
     #[test]
+    fn compiled_kernels_match_reference_interpreter() {
+        for seed in [5u64, 6, 7] {
+            let net = random_network(seed, 6, 50);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 50);
+            // Ragged pattern count to cover tail masking.
+            let patterns = PatternSet::random(6, 173, &mut rng);
+            assert_eq!(
+                simulate(&net, &patterns),
+                simulate_reference(&net, &patterns)
+            );
+        }
+    }
+
+    #[test]
     fn signatures_detect_equality_and_difference() {
         let mut net = LutNetwork::new();
         let a = net.add_pi("a");
@@ -313,10 +455,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let patterns = PatternSet::random(6, 150, &mut rng);
         let batch = simulate(&net, &patterns);
-        // Push one at a time.
+        // Push one at a time, with a reused scratch buffer.
         let mut inc = SimResult::empty(&net);
+        let mut scratch = Vec::new();
         for p in 0..150 {
-            inc.push_pattern(&net, &patterns.vector(p));
+            inc.push_pattern_with(&net, &patterns.vector(p), &mut scratch);
         }
         assert_eq!(inc, batch);
         // Mixed block sizes, including unaligned appends.
@@ -351,6 +494,48 @@ mod tests {
         }
         assert_eq!(done, 100);
         assert_eq!(batched, pushed);
+    }
+
+    #[test]
+    fn parallel_extension_is_byte_identical() {
+        let net = random_network(23, 7, 60);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let patterns = PatternSet::random(7, 1000, &mut rng);
+        let serial = simulate(&net, &patterns);
+        for jobs in [2usize, 4, 8] {
+            assert_eq!(simulate_jobs(&net, &patterns, jobs), serial, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn cone_restricted_extension_matches_full_on_cone_nodes() {
+        let net = random_network(31, 6, 40);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let base = PatternSet::random(6, 64, &mut rng);
+        let extra = PatternSet::random(6, 70, &mut rng);
+
+        let mut full = simulate(&net, &base);
+        full.extend_patterns(&net, &extra);
+
+        let roots: Vec<NodeId> = net
+            .node_ids()
+            .filter(|&n| !net.is_pi(n))
+            .rev()
+            .take(3)
+            .collect();
+        let mask = multi_fanin_cone_mask(&net, &roots);
+        let mut cone = simulate(&net, &base);
+        cone.extend_patterns_cone(&net, &extra, &roots, 1);
+
+        assert_eq!(cone.num_patterns(), full.num_patterns());
+        for id in net.node_ids() {
+            if mask[id.index()] {
+                assert_eq!(cone.signature(id), full.signature(id), "cone node {id}");
+            } else {
+                // Stale lanes keep their pre-extension length.
+                assert_eq!(cone.signature(id).len(), 1, "stale node {id}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use simgen_netlist::{LutNetwork, NodeId, TruthTable};
 use simgen_sim::signal_probabilities;
 use simgen_sim::EquivClasses;
 use simgen_sim::PatternSet;
-use simgen_sim::{simulate, SimResult};
+use simgen_sim::{simulate, simulate_jobs, simulate_reference, SimResult};
 
 #[derive(Clone, Debug)]
 struct NetSpec {
@@ -24,6 +24,20 @@ fn arb_net() -> impl Strategy<Value = NetSpec> {
         1usize..6,
         prop::collection::vec(
             (prop::collection::vec(0usize..999, 1..4), any::<u64>()),
+            1..25,
+        ),
+    )
+        .prop_map(|(pis, luts)| NetSpec { pis, luts })
+}
+
+/// Like [`arb_net`] but with LUT arities up to 6 so the compiled
+/// kernels' Shannon-decomposed tape path (arity > 3) gets exercised,
+/// not just the fused fast paths.
+fn arb_wide_net() -> impl Strategy<Value = NetSpec> {
+    (
+        1usize..8,
+        prop::collection::vec(
+            (prop::collection::vec(0usize..999, 1..7), any::<u64>()),
             1..25,
         ),
     )
@@ -84,6 +98,54 @@ proptest! {
             done += c;
         }
         prop_assert_eq!(inc, batch);
+    }
+
+    #[test]
+    fn kernels_interpreter_and_scalar_agree(
+        spec in arb_wide_net(),
+        seed in any::<u64>(),
+        chunks in prop::collection::vec(1usize..70, 1..6),
+        jobs in 1usize..5,
+    ) {
+        // Three independent evaluators must agree bit for bit on any
+        // network: the compiled opcode kernels (serial and parallel,
+        // fed in arbitrary unaligned chunks), the original cube-cover
+        // interpreter, and the scalar `net.eval` path.
+        let net = build(&spec);
+        let total: usize = chunks.iter().sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pats = PatternSet::random(net.num_pis(), total, &mut rng);
+
+        let reference = simulate_reference(&net, &pats);
+        let compiled = simulate_jobs(&net, &pats, jobs);
+        prop_assert_eq!(&compiled, &reference, "compiled vs interpreter");
+
+        let mut inc = SimResult::empty(&net);
+        let mut done = 0;
+        for &c in &chunks {
+            let vectors: Vec<Vec<bool>> = (done..done + c).map(|p| pats.vector(p)).collect();
+            inc.extend_vectors(&net, &vectors);
+            done += c;
+        }
+        prop_assert_eq!(&inc, &reference, "chunked compiled vs interpreter");
+
+        // Scalar spot checks, plus the tail-mask invariant: bits at
+        // or past `total` in the last signature word stay zero.
+        let tail = if total.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (total % 64)) - 1
+        };
+        for p in (0..total).step_by(1 + total / 8) {
+            let scalar = net.eval(&pats.vector(p));
+            for id in net.node_ids() {
+                prop_assert_eq!(compiled.value(id, p), scalar[id.index()]);
+            }
+        }
+        for id in net.node_ids() {
+            let sig = compiled.signature(id);
+            prop_assert_eq!(sig.last().copied().unwrap_or(0) & !tail, 0, "tail bits leak");
+        }
     }
 
     #[test]
