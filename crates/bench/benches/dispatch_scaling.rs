@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use simgen_bench::{write_bench_report, BenchReport, Json};
 use simgen_cec::{BudgetSchedule, ParallelSweeper, SweepConfig};
 use simgen_core::{SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
@@ -46,6 +47,9 @@ fn run_once(net: &LutNetwork, jobs: usize) -> u64 {
 }
 
 fn bench_dispatch_scaling(c: &mut Criterion) {
+    let mut report = BenchReport::new("dispatch_scaling");
+    report.param("benchmarks", Json::Str("e64, alu4".to_string()));
+    report.param("guided_iterations", Json::U64(2));
     let mut group = c.benchmark_group("dispatch_scaling");
     group.sample_size(10);
     for name in ["e64", "alu4"] {
@@ -59,6 +63,11 @@ fn bench_dispatch_scaling(c: &mut Criterion) {
             let elapsed = t.elapsed();
             let speedup = serial_time.get_or_insert(elapsed).as_secs_f64() / elapsed.as_secs_f64();
             println!("{name}: jobs={jobs} {elapsed:?} ({proved} proved, {speedup:.2}x vs j=1)");
+            report.metric(
+                &format!("{name}_jobs{jobs}_ms"),
+                Json::F64(elapsed.as_secs_f64() * 1e3),
+            );
+            report.metric(&format!("{name}_jobs{jobs}_speedup"), Json::F64(speedup));
         }
         for jobs in [1usize, 2, 4, 8] {
             group.bench_with_input(BenchmarkId::new(name, jobs), &jobs, |b, &jobs| {
@@ -67,6 +76,8 @@ fn bench_dispatch_scaling(c: &mut Criterion) {
         }
     }
     group.finish();
+    let path = write_bench_report(&report, "BENCH_dispatch.json");
+    println!("dispatch_scaling: wrote {}", path.display());
 }
 
 criterion_group! {

@@ -3,8 +3,9 @@
 //! paths, on a >10k-node random LUT network.
 //!
 //! Besides the criterion samples, the bench writes a one-shot summary
-//! to `BENCH_sim.json` at the repository root: patterns/second for
-//! every mode and the headline compiled-vs-interpreter speedup.
+//! to `BENCH_sim.json` at the repository root (schema
+//! `simgen-bench-report/1`): patterns/second for every mode and the
+//! headline compiled-vs-interpreter speedup.
 
 use std::time::{Duration, Instant};
 
@@ -12,6 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use simgen_bench::{write_bench_report, BenchReport, Json};
 use simgen_netlist::{LutNetwork, NodeId, TruthTable};
 use simgen_sim::{reference_lanes, PatternSet, SimResult};
 
@@ -94,31 +96,26 @@ fn write_summary(net: &LutNetwork, pats: &PatternSet) {
     });
 
     let speedup = compiled / interp;
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"nodes\": {},\n", net.len()));
-    json.push_str(&format!("  \"patterns\": {NUM_PATTERNS},\n"));
-    json.push_str(&format!(
-        "  \"interpreter_patterns_per_sec\": {interp:.1},\n"
-    ));
-    json.push_str(&format!(
-        "  \"compiled_patterns_per_sec\": {compiled:.1},\n"
-    ));
+    let mut report = BenchReport::new("sim_throughput");
+    report.param("nodes", Json::U64(net.len() as u64));
+    report.param("patterns", Json::U64(NUM_PATTERNS as u64));
+    report.param("cone_restricted_roots", Json::U64(roots.len() as u64));
+    report.metric("interpreter_patterns_per_sec", Json::F64(interp));
+    report.metric("compiled_patterns_per_sec", Json::F64(compiled));
     for (jobs, pps) in &parallel {
-        json.push_str(&format!(
-            "  \"compiled_jobs{jobs}_patterns_per_sec\": {pps:.1},\n"
-        ));
+        report.metric(
+            &format!("compiled_jobs{jobs}_patterns_per_sec"),
+            Json::F64(*pps),
+        );
     }
-    json.push_str(&format!(
-        "  \"cone_restricted_roots\": {},\n  \"cone_restricted_patterns_per_sec\": {cone:.1},\n",
-        roots.len()
-    ));
-    json.push_str(&format!(
-        "  \"compiled_vs_interpreter_speedup\": {speedup:.2}\n}}\n"
-    ));
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    std::fs::write(path, &json).expect("write BENCH_sim.json");
-    println!("sim_throughput: compiled {speedup:.2}x vs interpreter; wrote {path}");
-    print!("{json}");
+    report.metric("cone_restricted_patterns_per_sec", Json::F64(cone));
+    report.metric("compiled_vs_interpreter_speedup", Json::F64(speedup));
+    let path = write_bench_report(&report, "BENCH_sim.json");
+    println!(
+        "sim_throughput: compiled {speedup:.2}x vs interpreter; wrote {}",
+        path.display()
+    );
+    print!("{}", report.to_pretty());
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {

@@ -12,7 +12,7 @@
 //! cargo run --release -p simgen-bench --bin ablation
 //! ```
 
-use simgen_bench::{experiment_config, REVSIM_ATTEMPTS};
+use simgen_bench::{experiment_config, write_bench_report, BenchReport, Json, REVSIM_ATTEMPTS};
 use simgen_cec::{ProofEngine, SweepConfig, Sweeper};
 use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_workloads::benchmark_network;
@@ -38,6 +38,12 @@ fn avg_cost(mut make: impl FnMut(u64) -> Box<dyn PatternGenerator>, run_sat: boo
 
 fn main() {
     println!("Ablations over {BENCHES:?} (2 seeds each, cost = Eq.5 after sim phase)\n");
+    let mut report = BenchReport::new("ablation");
+    report.param(
+        "benchmarks",
+        Json::Arr(BENCHES.iter().map(|b| Json::Str(b.to_string())).collect()),
+    );
+    report.param("seeds", Json::U64(2));
 
     println!("1. Equation 4 priority weights (AI+DC+MFFC):");
     println!("{:>8} {:>8} {:>12}", "alpha", "beta", "avg cost");
@@ -59,6 +65,10 @@ fn main() {
             false,
         );
         println!("{alpha:>8} {beta:>8} {cost:>12.1}");
+        report.metric(
+            &format!("eq4_alpha{alpha}_beta{beta}_avg_cost"),
+            Json::F64(cost),
+        );
     }
 
     println!("\n2. OUTgold policy:");
@@ -74,6 +84,10 @@ fn main() {
             false,
         );
         println!("{label:>16}: avg cost {cost:.1}");
+        report.metric(
+            &format!("outgold_{}_avg_cost", label.replace('-', "_")),
+            Json::F64(cost),
+        );
     }
 
     println!("\n3. SimGen class attempts per iteration:");
@@ -87,12 +101,20 @@ fn main() {
             false,
         );
         println!("{attempts:>16}: avg cost {cost:.1}");
+        report.metric(
+            &format!("simgen_attempts{attempts}_avg_cost"),
+            Json::F64(cost),
+        );
     }
 
     println!("\n4. RevS pair-retry budget:");
     for attempts in [5usize, REVSIM_ATTEMPTS, 100] {
         let (cost, _) = avg_cost(|seed| Box::new(RevSim::new(seed, attempts)), false);
         println!("{attempts:>16}: avg cost {cost:.1}");
+        report.metric(
+            &format!("revs_attempts{attempts}_avg_cost"),
+            Json::F64(cost),
+        );
     }
 
     println!("\n5. Strategy roundup (full sweep incl. SAT; note RandS emits 64 vectors");
@@ -117,6 +139,9 @@ fn main() {
     for (label, make) in entries {
         let (cost, calls) = avg_cost(|s| make(s), true);
         println!("{label:>16} {cost:>12.1} {calls:>12.1}");
+        let key = label.to_ascii_lowercase().replace('-', "_");
+        report.metric(&format!("strategy_{key}_avg_cost"), Json::F64(cost));
+        report.metric(&format!("strategy_{key}_avg_sat_calls"), Json::F64(calls));
     }
 
     println!("\n6. Proof engine (SimGen patterns; resolution time per benchmark):");
@@ -149,5 +174,13 @@ fn main() {
             "{name:>10} {:>12.2} {:>12.2} {bdd_note:>12}",
             row[0], row[1]
         );
+        report.metric(&format!("{name}_sat_ms"), Json::F64(row[0]));
+        report.metric(&format!("{name}_bdd_ms"), Json::F64(row[1]));
+        report.metric(
+            &format!("{name}_bdd_result"),
+            Json::Str(bdd_note.to_string()),
+        );
     }
+    let path = write_bench_report(&report, "results/BENCH_ablation.json");
+    println!("wrote {}", path.display());
 }

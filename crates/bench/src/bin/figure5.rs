@@ -7,7 +7,7 @@
 //! cargo run --release -p simgen-bench --bin figure5
 //! ```
 
-use simgen_bench::{ascii_bar, compare_on_avg, norm_diff};
+use simgen_bench::{ascii_bar, compare_on_avg, norm_diff, write_bench_report, BenchReport, Json};
 use simgen_workloads::{all_benchmarks, benchmark_network};
 
 fn main() {
@@ -20,6 +20,7 @@ fn main() {
     );
     let mut sums = [0.0f64; 4];
     let mut n = 0usize;
+    let mut row_json = Vec::new();
     for b in all_benchmarks() {
         let net = benchmark_network(b.name, 6).expect("known benchmark");
         let row = compare_on_avg(&net, b.name, true, 0xBEEF, 3);
@@ -51,6 +52,13 @@ fn main() {
             *s += v;
         }
         n += 1;
+        let mut obj = Json::obj();
+        obj.push("bmk", Json::Str(row.name.clone()));
+        obj.push("cost_diff", Json::F64(d[0]));
+        obj.push("sim_time_diff", Json::F64(d[1]));
+        obj.push("sat_calls_diff", Json::F64(d[2]));
+        obj.push("sat_time_diff", Json::F64(d[3]));
+        row_json.push(obj);
     }
     println!();
     println!(
@@ -63,4 +71,15 @@ fn main() {
     println!();
     println!("Paper reference (Figure 5): cost, SAT calls and SAT runtime drop on most");
     println!("benchmarks; simulation runtime occasionally increases (the accepted tradeoff).");
+
+    let mut report = BenchReport::new("figure5");
+    report.param("benchmarks", Json::U64(n as u64));
+    report.param("seeds", Json::U64(3));
+    report.metric("rows", Json::Arr(row_json));
+    report.metric("avg_cost_diff", Json::F64(sums[0] / n as f64));
+    report.metric("avg_sim_time_diff", Json::F64(sums[1] / n as f64));
+    report.metric("avg_sat_calls_diff", Json::F64(sums[2] / n as f64));
+    report.metric("avg_sat_time_diff", Json::F64(sums[3] / n as f64));
+    let path = write_bench_report(&report, "results/BENCH_figure5.json");
+    println!("wrote {}", path.display());
 }

@@ -6,7 +6,10 @@
 //! cargo run --release -p simgen-bench --bin figure6
 //! ```
 
-use simgen_bench::{ascii_bar, compare_on_avg, norm_diff, stacked_benchmarks, stacked_network};
+use simgen_bench::{
+    ascii_bar, compare_on_avg, norm_diff, stacked_benchmarks, stacked_network, write_bench_report,
+    BenchReport, Json,
+};
 
 fn main() {
     println!("Figure 6: normalized difference (SimGen - RevS) / RevS, stacked benchmarks");
@@ -18,6 +21,7 @@ fn main() {
     );
     let mut sums = [0.0f64; 4];
     let mut n = 0usize;
+    let mut row_json = Vec::new();
     for (name, copies) in stacked_benchmarks() {
         let net = stacked_network(name, copies, 6).expect("known benchmark");
         let label = format!("{name} ({copies})");
@@ -50,6 +54,13 @@ fn main() {
             *s += v;
         }
         n += 1;
+        let mut obj = Json::obj();
+        obj.push("bmk", Json::Str(row.name.clone()));
+        obj.push("cost_diff", Json::F64(d[0]));
+        obj.push("sim_time_diff", Json::F64(d[1]));
+        obj.push("sat_calls_diff", Json::F64(d[2]));
+        obj.push("sat_time_diff", Json::F64(d[3]));
+        row_json.push(obj);
     }
     println!();
     println!(
@@ -62,4 +73,15 @@ fn main() {
     println!();
     println!("Paper reference (Figure 6): the Figure 5 trends persist at scale — SimGen");
     println!("keeps reducing SAT calls and runtime with an occasional simulation-time cost.");
+
+    let mut report = BenchReport::new("figure6");
+    report.param("stacked_benchmarks", Json::U64(n as u64));
+    report.param("seeds", Json::U64(3));
+    report.metric("rows", Json::Arr(row_json));
+    report.metric("avg_cost_diff", Json::F64(sums[0] / n as f64));
+    report.metric("avg_sim_time_diff", Json::F64(sums[1] / n as f64));
+    report.metric("avg_sat_calls_diff", Json::F64(sums[2] / n as f64));
+    report.metric("avg_sat_time_diff", Json::F64(sums[3] / n as f64));
+    let path = write_bench_report(&report, "results/BENCH_figure6.json");
+    println!("wrote {}", path.display());
 }

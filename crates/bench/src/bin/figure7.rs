@@ -8,7 +8,10 @@
 //! cargo run --release -p simgen-bench --bin figure7
 //! ```
 
-use simgen_bench::{experiment_config, make_combined, make_generator, Strategy};
+use simgen_bench::{
+    experiment_config, make_combined, make_generator, write_bench_report, BenchReport, Json,
+    Strategy,
+};
 use simgen_cec::{SweepConfig, Sweeper};
 use simgen_core::PatternGenerator;
 use simgen_workloads::benchmark_network;
@@ -19,6 +22,8 @@ fn main() {
         run_sat: false,
         ..experiment_config(false)
     };
+    let mut report = BenchReport::new("figure7");
+    report.param("guided_iterations", Json::U64(30));
     for bmk in ["apex2", "cps"] {
         let net = benchmark_network(bmk, 6).expect("known benchmark");
         println!("=== {bmk} ({} luts) ===", net.num_luts());
@@ -55,8 +60,29 @@ fn main() {
             final_costs[0], final_costs[1], final_costs[2]
         );
         println!();
+        for (label, r) in ["rands", "rands_revs", "rands_simgen"]
+            .into_iter()
+            .zip(&reports)
+        {
+            report.metric(
+                &format!("{bmk}_{label}_cost_curve"),
+                Json::Arr(
+                    r.stats
+                        .history
+                        .iter()
+                        .map(|rec| Json::U64(rec.cost))
+                        .collect(),
+                ),
+            );
+            report.metric(
+                &format!("{bmk}_{label}_final_cost"),
+                Json::U64(r.stats.history.last().map_or(0, |rec| rec.cost)),
+            );
+        }
     }
     println!("Paper reference (Figure 7): RandS plateaus after a few iterations; switching");
     println!("to SimGen keeps splitting classes (lowest final cost) at extra runtime, with");
     println!("RevS in between.");
+    let path = write_bench_report(&report, "results/BENCH_figure7.json");
+    println!("wrote {}", path.display());
 }

@@ -6,7 +6,9 @@
 //! cargo run --release -p simgen-bench --bin table1 [-- --verbose] [--seeds N]
 //! ```
 
-use simgen_bench::{experiment_config, run_strategy, Strategy};
+use simgen_bench::{
+    experiment_config, run_strategy, write_bench_report, BenchReport, Json, Strategy,
+};
 use simgen_workloads::{all_benchmarks, benchmark_network};
 
 fn main() {
@@ -122,4 +124,25 @@ fn main() {
     println!();
     println!("Paper reference (Table 1): cost 1.000 / 0.814 / 0.812 / 0.810 / 0.807 (-19.3%),");
     println!("sim runtime 1.000 / 1.204 / 1.263 / 1.262 / 1.130 (+13.0%).");
+
+    let mut report = BenchReport::new("table1");
+    report.param("seeds", Json::U64(seeds));
+    report.param("benchmarks_used", Json::U64(used as u64));
+    report.param(
+        "skipped",
+        Json::Arr(skipped.iter().map(|s| Json::Str(s.to_string())).collect()),
+    );
+    for (i, s) in strategies.iter().enumerate() {
+        let key = s.label().to_ascii_lowercase().replace('+', "_");
+        report.metric(
+            &format!("cost_ratio_{key}"),
+            Json::F64(avg(&cost_ratios[i])),
+        );
+        report.metric(
+            &format!("time_ratio_{key}"),
+            Json::F64(avg(&time_ratios[i])),
+        );
+    }
+    let path = write_bench_report(&report, "results/BENCH_table1.json");
+    println!("wrote {}", path.display());
 }

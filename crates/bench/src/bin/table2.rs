@@ -6,7 +6,9 @@
 //! cargo run --release -p simgen-bench --bin table2 [-- --stacked]
 //! ```
 
-use simgen_bench::{compare_on_avg, stacked_benchmarks, stacked_network};
+use simgen_bench::{
+    compare_on_avg, stacked_benchmarks, stacked_network, write_bench_report, BenchReport, Json,
+};
 use simgen_workloads::{all_benchmarks, benchmark_network};
 
 fn main() {
@@ -47,6 +49,7 @@ fn main() {
 
     let mut tot_calls = [0u64; 2];
     let mut tot_time = [0.0f64; 2];
+    let mut row_json = Vec::new();
     for (name, net) in rows {
         let net = net.expect("known benchmark");
         let row = compare_on_avg(&net, &name, true, 0xBEEF, 3);
@@ -65,6 +68,14 @@ fn main() {
         tot_calls[1] += row.sgen.sat_calls;
         tot_time[0] += tr;
         tot_time[1] += ts;
+        let mut obj = Json::obj();
+        obj.push("bmk", Json::Str(row.name.clone()));
+        obj.push("luts", Json::U64(row.luts as u64));
+        obj.push("revs_sat_calls", Json::U64(row.revs.sat_calls));
+        obj.push("simgen_sat_calls", Json::U64(row.sgen.sat_calls));
+        obj.push("revs_sat_ms", Json::F64(tr));
+        obj.push("simgen_sat_ms", Json::F64(ts));
+        row_json.push(obj);
     }
     println!("{}", "-".repeat(84));
     println!(
@@ -84,4 +95,20 @@ fn main() {
     println!();
     println!("Paper reference: SimGen reduces SAT calls on the large majority of benchmarks,");
     println!("with SAT time following the call count (e.g. b21_C 1369->271 calls).");
+
+    let mut report = BenchReport::new(if stacked { "table2_stacked" } else { "table2" });
+    report.param("stacked", Json::Bool(stacked));
+    report.param("seeds", Json::U64(3));
+    report.metric("rows", Json::Arr(row_json));
+    report.metric("total_revs_sat_calls", Json::U64(tot_calls[0]));
+    report.metric("total_simgen_sat_calls", Json::U64(tot_calls[1]));
+    report.metric("total_revs_sat_ms", Json::F64(tot_time[0]));
+    report.metric("total_simgen_sat_ms", Json::F64(tot_time[1]));
+    let rel = if stacked {
+        "results/BENCH_table2_stacked.json"
+    } else {
+        "results/BENCH_table2.json"
+    };
+    let path = write_bench_report(&report, rel);
+    println!("wrote {}", path.display());
 }

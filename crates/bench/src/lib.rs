@@ -22,6 +22,21 @@ use simgen_netlist::stack::put_on_top;
 use simgen_netlist::LutNetwork;
 use simgen_workloads::benchmark_network;
 
+pub use simgen_obs::{BenchReport, Json};
+
+/// Writes a bench report to `rel_path`, interpreted relative to the
+/// repository root (e.g. `"BENCH_sim.json"` or
+/// `"results/BENCH_table1.json"`), and returns the path written.
+/// Every `BENCH_*.json` artifact in the workspace goes through this
+/// one function so they all share the `simgen-bench-report/1` schema.
+pub fn write_bench_report(report: &BenchReport, rel_path: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel_path);
+    report.write_to(&path).expect("write bench report");
+    path
+}
+
 /// The pattern-generation strategies the paper compares.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {

@@ -7,6 +7,7 @@ use simgen_core::PatternGenerator;
 use simgen_dispatch::{Deadline, Progress};
 use simgen_netlist::miter::combine;
 use simgen_netlist::{LutNetwork, NetlistError, NodeId};
+use simgen_obs::{Counter, Json, Observer, Phase};
 use simgen_sim::EquivClasses;
 
 use crate::prove::{PairProver, ProveOutcome};
@@ -66,6 +67,20 @@ pub struct CecReport {
     pub output_sat_calls: u64,
     /// Wall time of the output proofs.
     pub output_sat_time: std::time::Duration,
+    /// CDCL solver totals of the output-proof prover (the sweep's own
+    /// solver totals live in [`SweepStats::solver`]).
+    pub output_solver: simgen_sat::SolverStats,
+    /// Class cost (Equation 5) after the simulation phase of the sweep.
+    pub sweep_cost_after_sim: u64,
+    /// Equivalence classes the sweep proved (each seeds the output
+    /// proofs with fraig-style merges).
+    pub sweep_proven_classes: u64,
+    /// Internal candidate pairs the sweep left unresolved.
+    pub sweep_unresolved: u64,
+    /// Internal pairs quarantined after a prover panic.
+    pub sweep_quarantined: u64,
+    /// Simulation patterns the sweep accumulated.
+    pub sweep_patterns: u64,
 }
 
 /// Checks combinational equivalence of two networks with identical
@@ -101,6 +116,26 @@ pub fn check_equivalence_under(
     config: SweepConfig,
     deadline: &Deadline,
 ) -> Result<CecReport, NetlistError> {
+    check_equivalence_observed(a, b, generator, config, deadline, &mut Observer::disabled())
+}
+
+/// [`check_equivalence_under`] with an [`Observer`] attached: phase
+/// timings, counters, and trace events from the whole flow — sweep,
+/// internal proofs, output proofs — land in `obs`. Passing
+/// [`Observer::disabled`] makes this identical to
+/// [`check_equivalence_under`] at no measurable cost.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if the PI or PO counts differ.
+pub fn check_equivalence_observed(
+    a: &LutNetwork,
+    b: &LutNetwork,
+    generator: &mut dyn PatternGenerator,
+    config: SweepConfig,
+    deadline: &Deadline,
+    obs: &mut Observer,
+) -> Result<CecReport, NetlistError> {
     if a.num_pos() != b.num_pos() {
         return Err(NetlistError::Invalid(format!(
             "po count mismatch: {} vs {}",
@@ -117,7 +152,7 @@ pub fn check_equivalence_under(
     // Internal pairs left unresolved (budget, deadline, quarantine)
     // only cost the output proofs their seeds; they never make the
     // verdict wrong, so the flow keeps going regardless.
-    let sweep = crate::ParallelSweeper::new(config).run_under(net, generator, deadline);
+    let sweep = crate::ParallelSweeper::new(config).run_observed(net, generator, deadline, obs);
 
     // Final proofs on the PO pairs. Seeding the prover with every
     // equivalence the sweep established (fraig-style merging) is what
@@ -132,8 +167,9 @@ pub fn check_equivalence_under(
         }
     }
     let progress = Progress::default();
-    let _watchdog = spawn_watchdog(&config, deadline, &progress);
+    let _watchdog = spawn_watchdog(&config, deadline, &progress, &obs.trace);
     let t = Instant::now();
+    let output_start = obs.recorder.is_enabled().then(Instant::now);
     let mut cex: Option<(usize, Vec<bool>)> = None;
     let mut unresolved_pairs: Vec<usize> = Vec::new();
     for (i, (pa, pb)) in a.pos().iter().zip(b.pos()).enumerate() {
@@ -143,8 +179,23 @@ pub fn check_equivalence_under(
         }
         let na = combined.map_a[pa.node.index()];
         let nb = combined.map_b[pb.node.index()];
+        obs.recorder.add(Counter::OutputProofs, 1);
         let outcome = prover.prove(na, nb, config.sat_budget);
         progress.tick();
+        if obs.trace.is_enabled() {
+            let name = match &outcome {
+                ProveOutcome::Equivalent => "equivalent",
+                ProveOutcome::Counterexample(_) => "disproved",
+                ProveOutcome::Undecided { .. } => "undecided",
+            };
+            obs.trace.emit(
+                "output_proof",
+                vec![
+                    ("po_index", Json::U64(i as u64)),
+                    ("verdict", Json::Str(name.to_string())),
+                ],
+            );
+        }
         match outcome {
             ProveOutcome::Equivalent => {}
             ProveOutcome::Counterexample(witness) => {
@@ -155,6 +206,11 @@ pub fn check_equivalence_under(
                 unresolved_pairs.push(i);
             }
         }
+    }
+    if let Some(start) = output_start {
+        let elapsed = start.elapsed();
+        obs.recorder.add_wall(Phase::OutputProofs, elapsed);
+        obs.recorder.add_cpu(Phase::OutputProofs, elapsed);
     }
     let verdict = if let Some((po_index, witness)) = cex {
         CecVerdict::NotEquivalent { po_index, witness }
@@ -172,9 +228,15 @@ pub fn check_equivalence_under(
     };
     Ok(CecReport {
         verdict,
-        sweep_stats: sweep.stats,
         output_sat_calls: prover.calls(),
         output_sat_time: t.elapsed(),
+        output_solver: prover.solver_stats(),
+        sweep_cost_after_sim: sweep.cost_after_sim,
+        sweep_proven_classes: sweep.proven_classes.len() as u64,
+        sweep_unresolved: sweep.unresolved.len() as u64,
+        sweep_quarantined: sweep.quarantined.len() as u64,
+        sweep_patterns: sweep.patterns.num_patterns() as u64,
+        sweep_stats: sweep.stats,
     })
 }
 

@@ -36,15 +36,17 @@
 pub mod flow;
 pub mod parallel;
 pub mod prove;
+pub mod report;
 pub mod stats;
 pub mod sweep;
 
 pub use flow::{
-    check_equivalence, check_equivalence_under, CecReport, CecVerdict, InconclusiveReason,
-    SwitchOnPlateau,
+    check_equivalence, check_equivalence_observed, check_equivalence_under, CecReport, CecVerdict,
+    InconclusiveReason, SwitchOnPlateau,
 };
 pub use parallel::ParallelSweeper;
 pub use prove::{BddProver, EquivProver, PairProver, ProveOutcome};
+pub use report::{cec_run_report, design_info, sweep_config_json, sweep_run_report, RunMeta};
 pub use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
 pub use stats::{DispatchSummary, IterationRecord, SweepStats, WorkerSummary};
 pub use sweep::{ProofEngine, SweepConfig, SweepReport, Sweeper};

@@ -15,8 +15,8 @@
 //!
 //! Counterexamples produced during a round are batched and flushed
 //! through one word-parallel resimulation
-//! ([`crate::sweep::flush_counterexamples`], shared with the serial
-//! path) at the end of the round.
+//! (`flush_counterexamples`, shared with the serial path) at the end
+//! of the round.
 //!
 //! Budget escalation: with [`SweepConfig::budget_schedule`] set, each
 //! pair climbs the [`BudgetSchedule`] ladder (small conflict budget,
@@ -27,14 +27,16 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use simgen_core::PatternGenerator;
-use simgen_dispatch::{run_ordered, Attempt, BudgetSchedule, Deadline, JobStatus, Progress};
+use simgen_dispatch::{run_ordered_traced, Attempt, BudgetSchedule, Deadline, JobStatus, Progress};
 use simgen_netlist::{LutNetwork, NodeId};
+use simgen_obs::{Counter, Json, LocalRecorder, Observer, Phase};
+use simgen_sat::SolverStats;
 
 use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
 use crate::stats::{DispatchSummary, WorkerSummary};
 use crate::sweep::{
-    flush_counterexamples, record_merge, run_sim_phases, spawn_watchdog, ProofEngine, SimPhases,
-    SweepConfig, SweepReport,
+    flush_counterexamples, record_exec_counters, record_merge, run_sim_phases, spawn_watchdog,
+    ProofEngine, SimPhases, SweepConfig, SweepReport,
 };
 
 /// Scheduling-independent result of one pair proof (the wall-clock
@@ -65,10 +67,15 @@ struct WorkerState<'n> {
     escalations: u64,
     sat_calls: u64,
     sat_time: Duration,
+    solver: SolverStats,
+    /// Busy-span recorder merged into the orchestrator's at the round
+    /// barrier (CPU attribution only; counters stay on the main
+    /// thread so panics cannot lose deterministic counts).
+    local: LocalRecorder,
 }
 
 impl<'n> WorkerState<'n> {
-    fn new(net: &'n LutNetwork, deadline: Deadline) -> Self {
+    fn new(net: &'n LutNetwork, deadline: Deadline, local: LocalRecorder) -> Self {
         WorkerState {
             net,
             deadline,
@@ -79,6 +86,8 @@ impl<'n> WorkerState<'n> {
             escalations: 0,
             sat_calls: 0,
             sat_time: Duration::ZERO,
+            solver: SolverStats::default(),
+            local,
         }
     }
 
@@ -99,6 +108,23 @@ impl<'n> WorkerState<'n> {
     /// equivalences inside the pair's cones, escalated per `cfg`, with
     /// BDD fallback. Deterministic given `(seeds, a, b, cfg)`.
     fn prove_pair(
+        &mut self,
+        seeds: &[(NodeId, NodeId)],
+        a: NodeId,
+        b: NodeId,
+        cfg: &SweepConfig,
+    ) -> PairVerdict {
+        let start = self.local.is_enabled().then(std::time::Instant::now);
+        let verdict = self.prove_pair_inner(seeds, a, b, cfg);
+        if let Some(start) = start {
+            self.local.add_busy(Phase::SatResolution, start.elapsed());
+        }
+        verdict
+    }
+
+    /// The actual proof; split out so [`WorkerState::prove_pair`] can
+    /// book its busy time without borrowing `self` twice.
+    fn prove_pair_inner(
         &mut self,
         seeds: &[(NodeId, NodeId)],
         a: NodeId,
@@ -140,6 +166,7 @@ impl<'n> WorkerState<'n> {
         self.conflicts += esc.conflicts;
         self.sat_calls += prover.calls();
         self.sat_time += prover.time();
+        self.solver += prover.solver_stats();
         let verdict = match esc.outcome {
             Some(v) => v,
             None if schedule.bdd_node_limit > 0 => self.bdd_prove(a, b, schedule.bdd_node_limit),
@@ -217,6 +244,21 @@ impl ParallelSweeper {
         generator: &mut dyn PatternGenerator,
         deadline: &Deadline,
     ) -> SweepReport {
+        self.run_observed(net, generator, deadline, &mut Observer::disabled())
+    }
+
+    /// [`ParallelSweeper::run_under`] with instrumentation. Counters
+    /// are bumped on the orchestrating thread from the merge-ordered
+    /// results (never from worker-side observations), so the recorded
+    /// totals are as scheduling-invariant as the report itself; worker
+    /// CPU spans are merged at each round barrier.
+    pub fn run_observed(
+        &self,
+        net: &LutNetwork,
+        generator: &mut dyn PatternGenerator,
+        deadline: &Deadline,
+        obs: &mut Observer,
+    ) -> SweepReport {
         let cfg = &self.config;
         let jobs = cfg.jobs.max(1);
         let panic_on = self.panic_on;
@@ -225,7 +267,7 @@ impl ParallelSweeper {
             mut patterns,
             mut sim,
             classes,
-        } = run_sim_phases(cfg, net, generator, deadline);
+        } = run_sim_phases(cfg, net, generator, deadline, obs);
         let cost_after_sim = classes.cost();
 
         let mut proven: Vec<Vec<NodeId>> = Vec::new();
@@ -234,7 +276,9 @@ impl ParallelSweeper {
         let mut interrupted = false;
         if cfg.run_sat {
             let progress = Progress::default();
-            let _watchdog = spawn_watchdog(cfg, deadline, &progress);
+            let _watchdog = spawn_watchdog(cfg, deadline, &progress, &obs.trace);
+            let sat_start = obs.recorder.is_enabled().then(std::time::Instant::now);
+            let resim_before = stats.resim_time;
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
             let mut merged: Vec<Vec<NodeId>> = Vec::new();
             // Equivalences proven in earlier rounds, in merge order:
@@ -271,6 +315,11 @@ impl ParallelSweeper {
                     // remaining pair is unresolved, in the same
                     // deterministic order it would have been proven.
                     interrupted = true;
+                    obs.recorder.add(Counter::DeadlineTrips, 1);
+                    obs.trace.emit(
+                        "sweep_deadline_expired",
+                        vec![("unresolved", Json::U64(pairs.len() as u64))],
+                    );
                     for (rep, cand) in pairs {
                         stats.aborted += 1;
                         unresolved.push((rep, cand));
@@ -278,13 +327,23 @@ impl ParallelSweeper {
                     break;
                 }
                 summary.rounds += 1;
+                obs.recorder.add(Counter::Rounds, 1);
+                obs.trace.emit(
+                    "round_start",
+                    vec![
+                        ("round", Json::U64(summary.rounds)),
+                        ("pairs", Json::U64(pairs.len() as u64)),
+                    ],
+                );
 
                 let seeds_ref: &[(NodeId, NodeId)] = &seeds;
-                let outcome = run_ordered(
+                let recorder = &obs.recorder;
+                let outcome = run_ordered_traced(
                     jobs,
                     pairs.clone(),
                     Some(deadline),
-                    |_| WorkerState::new(net, deadline.clone()),
+                    &obs.trace,
+                    |_| WorkerState::new(net, deadline.clone(), recorder.local()),
                     |state, &(a, b)| {
                         if panic_on.is_some_and(|trigger| trigger(a, b)) {
                             panic!("injected prover panic on pair ({a}, {b})");
@@ -294,6 +353,12 @@ impl ParallelSweeper {
                         verdict
                     },
                 );
+                // Round barrier: merge the workers' CPU spans (sum is
+                // order-independent), then fold the deterministic
+                // outcome counts on this thread.
+                obs.recorder
+                    .merge(outcome.workers.iter().map(|r| &r.state.local));
+                let mut escalations_this_round = 0;
                 for report in &outcome.workers {
                     let agg = &mut summary.workers[report.worker];
                     agg.proofs += report.state.proofs;
@@ -304,7 +369,11 @@ impl ParallelSweeper {
                     agg.panics += report.panics;
                     stats.sat_calls += report.state.sat_calls;
                     stats.sat_time += report.state.sat_time;
+                    stats.solver += report.state.solver;
+                    escalations_this_round += report.state.escalations;
                 }
+                obs.recorder
+                    .add(Counter::ProofsEscalated, escalations_this_round);
 
                 // Merge in pair order — the only order-sensitive step,
                 // and it only depends on the (deterministic) results.
@@ -316,27 +385,57 @@ impl ParallelSweeper {
                 let mut dropped: HashSet<NodeId> = HashSet::new();
                 for ((rep, cand), status) in pairs.into_iter().zip(outcome.results) {
                     let verdict = match status {
-                        JobStatus::Done(verdict) => verdict,
+                        JobStatus::Done(verdict) => {
+                            obs.recorder.add(Counter::ProofsDispatched, 1);
+                            verdict
+                        }
                         JobStatus::Panicked { .. } => {
                             summary.quarantined += 1;
                             quarantined.push((rep, cand));
+                            obs.recorder.add(Counter::ProofsDispatched, 1);
+                            obs.recorder.add(Counter::ProofsQuarantined, 1);
+                            obs.trace.emit(
+                                "proof_quarantined",
+                                vec![
+                                    ("rep", Json::U64(rep.index() as u64)),
+                                    ("cand", Json::U64(cand.index() as u64)),
+                                ],
+                            );
                             PairVerdict::Undecided
                         }
                         JobStatus::Skipped => {
                             summary.quarantined += 1;
                             interrupted = true;
+                            obs.recorder.add(Counter::ProofsSkipped, 1);
                             PairVerdict::Undecided
                         }
                     };
+                    if obs.trace.is_enabled() {
+                        let name = match &verdict {
+                            PairVerdict::Equivalent => "equivalent",
+                            PairVerdict::Counterexample(_) => "disproved",
+                            PairVerdict::Undecided => "undecided",
+                        };
+                        obs.trace.emit(
+                            "proof",
+                            vec![
+                                ("rep", Json::U64(rep.index() as u64)),
+                                ("cand", Json::U64(cand.index() as u64)),
+                                ("verdict", Json::Str(name.to_string())),
+                            ],
+                        );
+                    }
                     match verdict {
                         PairVerdict::Equivalent => {
                             stats.proved_equivalent += 1;
+                            obs.recorder.add(Counter::ProofsEquivalent, 1);
                             record_merge(&mut merged, rep, cand);
                             seeds.push((rep, cand));
                             dropped.insert(cand);
                         }
                         PairVerdict::Counterexample(v) => {
                             stats.disproved += 1;
+                            obs.recorder.add(Counter::ProofsDisproved, 1);
                             generator.observe_counterexample(&v);
                             pending.push(v);
                             benched.push((cand, rep));
@@ -344,6 +443,7 @@ impl ParallelSweeper {
                         }
                         PairVerdict::Undecided => {
                             stats.aborted += 1;
+                            obs.recorder.add(Counter::ProofsUndecided, 1);
                             unresolved.push((rep, cand));
                             dropped.insert(cand);
                         }
@@ -363,15 +463,31 @@ impl ParallelSweeper {
                         &mut pending,
                         &mut benched,
                         cfg.jobs.max(1),
+                        obs,
                     );
-                    stats.sim_time += t.elapsed();
+                    let elapsed = t.elapsed();
+                    stats.sim_time += elapsed;
+                    stats.resim_time += elapsed;
                 } else if !benched.is_empty() {
                     unreachable!("benched candidates always carry a counterexample");
                 }
             }
+            if let Some(start) = sat_start {
+                // Wall time only: resimulation wall is booked to CexResim
+                // by the flush itself, and SAT CPU time arrives through the
+                // merged per-worker busy spans.
+                obs.recorder.add_wall(
+                    Phase::SatResolution,
+                    start
+                        .elapsed()
+                        .saturating_sub(stats.resim_time - resim_before),
+                );
+            }
             stats.dispatch = Some(summary);
             proven = merged;
         }
+        stats.exec = sim.exec_stats();
+        record_exec_counters(obs, &stats.exec);
 
         SweepReport {
             stats,

@@ -59,6 +59,12 @@ pub trait EquivProver {
 
     /// Wall time spent proving so far.
     fn time(&self) -> Duration;
+
+    /// Cumulative CDCL statistics of the underlying solver, for
+    /// engines that have one (`None` for BDDs).
+    fn solver_stats(&self) -> Option<simgen_sat::SolverStats> {
+        None
+    }
 }
 
 /// Incremental prover bound to one network.
@@ -95,7 +101,8 @@ impl<'n> PairProver<'n> {
         self.solver.set_interrupt(flag);
     }
 
-    /// Binds a [`Deadline`] to the underlying solver: its shared flag
+    /// Binds a [`Deadline`](simgen_dispatch::Deadline) to the
+    /// underlying solver: its shared flag
     /// becomes the interrupt hook (so a watchdog trip aborts the
     /// in-flight solve) and its expiry instant is checked by the CDCL
     /// loop itself (so expiry fires even without a watchdog). After
@@ -109,6 +116,11 @@ impl<'n> PairProver<'n> {
     /// Wall time spent inside the solver so far.
     pub fn time(&self) -> Duration {
         self.time
+    }
+
+    /// Cumulative CDCL statistics of the underlying solver.
+    pub fn solver_stats(&self) -> simgen_sat::SolverStats {
+        self.solver.stats()
     }
 
     /// Records a *proven* equivalence as two binary clauses
@@ -176,6 +188,10 @@ impl EquivProver for PairProver<'_> {
 
     fn time(&self) -> Duration {
         PairProver::time(self)
+    }
+
+    fn solver_stats(&self) -> Option<simgen_sat::SolverStats> {
+        Some(PairProver::solver_stats(self))
     }
 }
 

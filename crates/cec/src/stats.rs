@@ -26,10 +26,23 @@ pub struct SweepStats {
     pub sat_calls: u64,
     /// Wall time inside the SAT solver.
     pub sat_time: Duration,
+    /// Aggregated CDCL solver totals, summed over every prover the
+    /// sweep created. Per-pair solver work is deterministic and
+    /// addition is commutative, so the totals are `--jobs`-invariant.
+    pub solver: simgen_sat::SolverStats,
     /// Wall time generating patterns (guided strategies).
     pub gen_time: Duration,
     /// Wall time simulating patterns and refining classes.
     pub sim_time: Duration,
+    /// Wall time of batched counterexample resimulation (a subset of
+    /// [`SweepStats::sim_time`]).
+    pub resim_time: Duration,
+    /// Shape of the compiled simulation kernel (`None` until the
+    /// simulation phase compiles one).
+    pub kernel: Option<simgen_sim::KernelSummary>,
+    /// Simulation-executor work totals (kernel executions, lane words,
+    /// scalar pushes), harvested at the end of the sweep.
+    pub exec: simgen_sim::ExecStats,
     /// Pairs proven equivalent by SAT.
     pub proved_equivalent: u64,
     /// Pairs disproven by a SAT counterexample.

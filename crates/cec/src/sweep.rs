@@ -9,6 +9,7 @@ use rand::SeedableRng;
 use simgen_core::PatternGenerator;
 use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
 use simgen_netlist::{LutNetwork, NodeId};
+use simgen_obs::{Counter, Json, Observer, Phase, Trace};
 use simgen_sim::{EquivClasses, PatternSet, SimResult};
 
 use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
@@ -137,13 +138,28 @@ impl Sweeper {
         generator: &mut dyn PatternGenerator,
         deadline: &Deadline,
     ) -> SweepReport {
+        self.run_observed(net, generator, deadline, &mut Observer::disabled())
+    }
+
+    /// [`Sweeper::run_under`] with instrumentation: per-phase timings
+    /// and counters land in `obs.recorder`, decision-level events
+    /// (proof outcomes, flushes, deadline trips) in `obs.trace`. With
+    /// [`Observer::disabled`] every instrumentation site is a branch
+    /// over a dead flag.
+    pub fn run_observed(
+        &self,
+        net: &LutNetwork,
+        generator: &mut dyn PatternGenerator,
+        deadline: &Deadline,
+        obs: &mut Observer,
+    ) -> SweepReport {
         let cfg = &self.config;
         let SimPhases {
             mut stats,
             mut patterns,
             mut sim,
             classes,
-        } = run_sim_phases(cfg, net, generator, deadline);
+        } = run_sim_phases(cfg, net, generator, deadline, obs);
         let cost_after_sim = classes.cost();
 
         // Phase 3: SAT resolution with counterexample feedback.
@@ -152,7 +168,9 @@ impl Sweeper {
         let mut interrupted = false;
         if cfg.run_sat {
             let progress = Progress::default();
-            let _watchdog = spawn_watchdog(cfg, deadline, &progress);
+            let _watchdog = spawn_watchdog(cfg, deadline, &progress, &obs.trace);
+            let sat_start = obs.recorder.is_enabled().then(std::time::Instant::now);
+            let resim_before = stats.resim_time;
             let mut prover: Box<dyn EquivProver + '_> = match cfg.proof {
                 ProofEngine::Sat => {
                     let mut p = PairProver::new(net);
@@ -180,6 +198,7 @@ impl Sweeper {
                     // — never merged. Pending counterexamples are
                     // dropped (their pairs are already split).
                     interrupted = true;
+                    obs.recorder.add(Counter::DeadlineTrips, 1);
                     for class in work.iter().filter(|c| c.len() >= 2) {
                         let rep = class[0];
                         for &cand in &class[1..] {
@@ -187,6 +206,10 @@ impl Sweeper {
                             unresolved.push((rep, cand));
                         }
                     }
+                    obs.trace.emit(
+                        "sweep_deadline_expired",
+                        vec![("unresolved", Json::U64(unresolved.len() as u64))],
+                    );
                     break;
                 }
                 // Resolve pairs shallowest-candidate-first: proofs of
@@ -212,17 +235,37 @@ impl Sweeper {
                         &mut pending,
                         &mut benched,
                         cfg.jobs.max(1),
+                        obs,
                     );
-                    stats.sim_time += t.elapsed();
+                    let elapsed = t.elapsed();
+                    stats.sim_time += elapsed;
+                    stats.resim_time += elapsed;
                     continue;
                 };
                 let rep = work[ci][0];
                 let cand = work[ci][1];
+                obs.recorder.add(Counter::ProofsDispatched, 1);
                 let outcome = prover.prove(rep, cand, cfg.sat_budget);
                 progress.tick();
+                if obs.trace.is_enabled() {
+                    let verdict = match &outcome {
+                        ProveOutcome::Equivalent => "equivalent",
+                        ProveOutcome::Counterexample(_) => "disproved",
+                        ProveOutcome::Undecided { .. } => "undecided",
+                    };
+                    obs.trace.emit(
+                        "proof",
+                        vec![
+                            ("rep", Json::U64(rep.index() as u64)),
+                            ("cand", Json::U64(cand.index() as u64)),
+                            ("verdict", Json::Str(verdict.to_string())),
+                        ],
+                    );
+                }
                 match outcome {
                     ProveOutcome::Equivalent => {
                         stats.proved_equivalent += 1;
+                        obs.recorder.add(Counter::ProofsEquivalent, 1);
                         // Feed the equivalence back into the solver so
                         // deeper proofs reuse it (fraig-style merging).
                         prover.assert_equal(rep, cand);
@@ -234,6 +277,7 @@ impl Sweeper {
                     }
                     ProveOutcome::Counterexample(v) => {
                         stats.disproved += 1;
+                        obs.recorder.add(Counter::ProofsDisproved, 1);
                         // Figure 2's feedback arrow: the generator may
                         // learn from counterexamples (e.g. 1-distance).
                         generator.observe_counterexample(&v);
@@ -253,12 +297,16 @@ impl Sweeper {
                                 &mut pending,
                                 &mut benched,
                                 cfg.jobs.max(1),
+                                obs,
                             );
-                            stats.sim_time += t.elapsed();
+                            let elapsed = t.elapsed();
+                            stats.sim_time += elapsed;
+                            stats.resim_time += elapsed;
                         }
                     }
                     ProveOutcome::Undecided { .. } => {
                         stats.aborted += 1;
+                        obs.recorder.add(Counter::ProofsUndecided, 1);
                         unresolved.push((rep, cand));
                         work[ci].remove(1);
                         if work[ci].len() < 2 {
@@ -269,8 +317,20 @@ impl Sweeper {
             }
             stats.sat_calls = prover.calls();
             stats.sat_time = prover.time();
+            stats.solver = prover.solver_stats().unwrap_or_default();
             proven = merged;
+            if let Some(start) = sat_start {
+                // The flushes inside the loop already booked their
+                // time to the resim phase; keep the two disjoint.
+                let elapsed = start
+                    .elapsed()
+                    .saturating_sub(stats.resim_time - resim_before);
+                obs.recorder.add_wall(Phase::SatResolution, elapsed);
+                obs.recorder.add_cpu(Phase::SatResolution, elapsed);
+            }
         }
+        stats.exec = sim.exec_stats();
+        record_exec_counters(obs, &stats.exec);
 
         SweepReport {
             stats,
@@ -289,18 +349,32 @@ impl Sweeper {
 /// Spawns the watchdog for a proof phase when there is anything for
 /// it to watch: a finite deadline (trip the flag the moment it
 /// passes) or a stall threshold (trip when `progress` stops moving).
+/// Watchdog trips and recoveries land in `trace`.
 pub(crate) fn spawn_watchdog(
     cfg: &SweepConfig,
     deadline: &Deadline,
     progress: &Progress,
+    trace: &Trace,
 ) -> Option<Watchdog> {
     if !deadline.is_finite() && cfg.stall.is_none() {
         return None;
     }
-    Some(Watchdog::spawn(
+    Some(Watchdog::spawn_traced(
         deadline.clone(),
         cfg.stall.map(|window| (progress.clone(), window)),
+        trace.clone(),
     ))
+}
+
+/// Copies the simulator's execution totals into the deterministic
+/// counters (they are `--jobs`-invariant: blocks are word-split the
+/// same way for every worker count).
+pub(crate) fn record_exec_counters(obs: &mut Observer, exec: &simgen_sim::ExecStats) {
+    obs.recorder.add(Counter::SimExecCalls, exec.exec_calls);
+    obs.recorder.add(Counter::SimExecWords, exec.exec_words);
+    obs.recorder
+        .add(Counter::ConeExecCalls, exec.cone_exec_calls);
+    obs.recorder.add(Counter::ScalarPushes, exec.scalar_pushes);
 }
 
 /// Output of the simulation half of a sweep (phases 1–2 of the
@@ -328,6 +402,7 @@ pub(crate) fn run_sim_phases(
     net: &LutNetwork,
     generator: &mut dyn PatternGenerator,
     deadline: &Deadline,
+    obs: &mut Observer,
 ) -> SimPhases {
     let mut stats = SweepStats::default();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -344,12 +419,33 @@ pub(crate) fn run_sim_phases(
     // O(nodes) instead of re-running the whole accumulated set. Large
     // random blocks are word-split across the worker pool; the lanes
     // are byte-identical for every jobs value.
+    let compile_start = obs.recorder.is_enabled().then(Instant::now);
     let mut sim = SimResult::empty(net);
+    let compile_time = compile_start.map(|s| s.elapsed()).unwrap_or_default();
+    obs.recorder.add(Counter::KernelCompiles, 1);
+    obs.recorder.add_wall(Phase::KernelCompile, compile_time);
+    obs.recorder.add_cpu(Phase::KernelCompile, compile_time);
+    let kernel = sim.kernel().summary();
+    stats.kernel = Some(kernel);
+    obs.recorder.add(Counter::KernelTapeOps, kernel.tape_ops);
+    obs.trace.emit(
+        "kernel_compile",
+        vec![
+            ("nodes", Json::U64(kernel.nodes)),
+            ("fused", Json::U64(kernel.fused)),
+            ("tape_nodes", Json::U64(kernel.tape_nodes)),
+            ("tape_ops", Json::U64(kernel.tape_ops)),
+        ],
+    );
     sim.extend_patterns_jobs(net, &patterns, cfg.jobs.max(1));
     generator.observe_simulation(&sim);
     let mut classes = EquivClasses::initial(net, &sim);
     let sim_time = t.elapsed();
     stats.sim_time += sim_time;
+    obs.recorder
+        .add_wall(Phase::RandomSim, sim_time.saturating_sub(compile_time));
+    obs.recorder
+        .add_cpu(Phase::RandomSim, sim_time.saturating_sub(compile_time));
     stats.history.push(IterationRecord {
         iteration,
         cost: classes.cost(),
@@ -364,6 +460,11 @@ pub(crate) fn run_sim_phases(
     let mut scratch: Vec<bool> = Vec::new();
     for _ in 0..cfg.guided_iterations {
         if deadline.expired() {
+            obs.recorder.add(Counter::DeadlineTrips, 1);
+            obs.trace.emit(
+                "sim_deadline_expired",
+                vec![("iteration", Json::U64(iteration as u64))],
+            );
             break;
         }
         let t = Instant::now();
@@ -381,9 +482,25 @@ pub(crate) fn run_sim_phases(
         }
         let sim_time = t.elapsed();
         stats.sim_time += sim_time;
+        let cost = classes.cost();
+        obs.recorder.add(Counter::GuidedIterations, 1);
+        obs.recorder
+            .add(Counter::VectorsGenerated, vectors.len() as u64);
+        obs.recorder.add_wall(Phase::GuidedGen, gen_time);
+        obs.recorder.add_cpu(Phase::GuidedGen, gen_time);
+        obs.recorder.add_wall(Phase::GuidedSim, sim_time);
+        obs.recorder.add_cpu(Phase::GuidedSim, sim_time);
+        obs.trace.emit(
+            "guided_iteration",
+            vec![
+                ("iteration", Json::U64(iteration as u64)),
+                ("vectors", Json::U64(vectors.len() as u64)),
+                ("cost", Json::U64(cost)),
+            ],
+        );
         stats.history.push(IterationRecord {
             iteration,
-            cost: classes.cost(),
+            cost,
             vectors: vectors.len(),
             gen_time,
             sim_time,
@@ -419,6 +536,7 @@ pub(crate) const CEX_FLUSH_THRESHOLD: usize = 64;
 ///
 /// Returns the refined working classes. `pending` and `benched` are
 /// drained.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn flush_counterexamples(
     net: &LutNetwork,
     patterns: &mut PatternSet,
@@ -427,7 +545,11 @@ pub(crate) fn flush_counterexamples(
     pending: &mut Vec<Vec<bool>>,
     benched: &mut Vec<(NodeId, NodeId)>,
     jobs: usize,
+    obs: &mut Observer,
 ) -> Vec<Vec<NodeId>> {
+    let resim_start = obs.recorder.is_enabled().then(Instant::now);
+    obs.recorder.add(Counter::ResimFlushes, 1);
+    obs.recorder.add(Counter::CexBuffered, pending.len() as u64);
     let first_new = sim.num_patterns();
     let block = PatternSet::from_vectors(net.num_pis(), pending);
     pending.clear();
@@ -438,6 +560,13 @@ pub(crate) fn flush_counterexamples(
         .copied()
         .chain(benched.iter().map(|&(cand, _)| cand))
         .collect();
+    obs.trace.emit(
+        "cex_flush",
+        vec![
+            ("patterns", Json::U64(block.num_patterns() as u64)),
+            ("roots", Json::U64(roots.len() as u64)),
+        ],
+    );
     sim.extend_patterns_cone(net, &block, &roots, jobs);
 
     // Delta partition keyed on (origin class rep, newly appended
@@ -474,6 +603,11 @@ pub(crate) fn flush_counterexamples(
     }
     benched.clear();
     groups.retain(|g| g.len() >= 2);
+    if let Some(start) = resim_start {
+        let elapsed = start.elapsed();
+        obs.recorder.add_wall(Phase::CexResim, elapsed);
+        obs.recorder.add_cpu(Phase::CexResim, elapsed);
+    }
     groups
 }
 
@@ -893,6 +1027,7 @@ mod tests {
                 &mut pending,
                 &mut benched,
                 jobs,
+                &mut Observer::disabled(),
             );
             assert_eq!(got, expected, "jobs={jobs}");
             assert!(pending.is_empty() && benched.is_empty());

@@ -3,9 +3,9 @@
 //! equivalences wherever BDDs stay within their node limit.
 
 use simgen_cec::{
-    check_equivalence_under, BddProver, BudgetSchedule, CecVerdict, Deadline, EquivProver,
-    InconclusiveReason, PairProver, ParallelSweeper, ProofEngine, ProveOutcome, SweepConfig,
-    Sweeper,
+    check_equivalence_under, design_info, sweep_run_report, BddProver, BudgetSchedule, CecVerdict,
+    Deadline, EquivProver, InconclusiveReason, PairProver, ParallelSweeper, ProofEngine,
+    ProveOutcome, RunMeta, SweepConfig, Sweeper,
 };
 use simgen_core::{SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
@@ -194,6 +194,92 @@ fn parallel_sweeps_match_serial_across_workloads() {
                 "{name} report {i}"
             );
         }
+    }
+}
+
+/// The observability layer must not weaken the scheduling-invariance
+/// contract: a fully instrumented run serialized as a [`RunReport`]
+/// and reduced to its deterministic form (timing `*_ms` fields and
+/// scheduling keys stripped) is byte-identical for every worker count.
+#[test]
+fn run_reports_are_byte_identical_across_worker_counts() {
+    for (name, seed) in [("e64", 11u64), ("priority", 23)] {
+        let net = workload(name, seed);
+        let base = SweepConfig {
+            guided_iterations: 5,
+            seed,
+            ..SweepConfig::default()
+        };
+        let mut deterministic_forms = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            let cfg = SweepConfig { jobs, ..base };
+            let mut gen = SimGen::new(SimGenConfig::default().with_seed(seed));
+            let mut obs = simgen_obs::Observer::enabled();
+            let report = ParallelSweeper::new(cfg).run_observed(
+                &net,
+                &mut gen,
+                &Deadline::never(),
+                &mut obs,
+            );
+            let meta = RunMeta {
+                command: "sweep".to_string(),
+                argv: vec![
+                    "sweep".to_string(),
+                    format!("{name}.blif"),
+                    "--jobs".to_string(),
+                    jobs.to_string(),
+                ],
+                design: design_info(&net, name, &format!("{name}.blif")),
+            };
+            let run = sweep_run_report(meta, &cfg, &report, &obs);
+            simgen_obs::RunReport::validate(&run.to_json()).expect("instrumented run validates");
+            deterministic_forms.push(run.deterministic_json());
+        }
+        for (i, form) in deterministic_forms.iter().enumerate().skip(1) {
+            assert_eq!(
+                form, &deterministic_forms[0],
+                "{name}: deterministic RunReport for jobs index {i} diverges"
+            );
+        }
+    }
+}
+
+/// Same contract under an already-expired deadline: the interrupted
+/// partial report keeps its deterministic form byte-identical across
+/// `--jobs`, so anytime results stay comparable run-over-run.
+#[test]
+fn expired_deadline_run_reports_are_byte_identical() {
+    let (name, seed) = ("e64", 11u64);
+    let net = workload(name, seed);
+    let base = SweepConfig {
+        guided_iterations: 5,
+        seed,
+        ..SweepConfig::default()
+    };
+    let mut deterministic_forms = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let cfg = SweepConfig { jobs, ..base };
+        let mut gen = SimGen::new(SimGenConfig::default().with_seed(seed));
+        let mut obs = simgen_obs::Observer::enabled();
+        let deadline = Deadline::after(std::time::Duration::ZERO);
+        let report = ParallelSweeper::new(cfg).run_observed(&net, &mut gen, &deadline, &mut obs);
+        assert!(report.interrupted, "jobs={jobs} must flag interruption");
+        let meta = RunMeta {
+            command: "sweep".to_string(),
+            argv: vec!["sweep".to_string(), format!("{name}.blif")],
+            design: design_info(&net, name, &format!("{name}.blif")),
+        };
+        let run = sweep_run_report(meta, &cfg, &report, &obs);
+        simgen_obs::RunReport::validate(&run.to_json()).expect("interrupted run validates");
+        assert_eq!(run.outcome.status, "interrupted");
+        assert_eq!(run.outcome.exit_code, 2);
+        deterministic_forms.push(run.deterministic_json());
+    }
+    for (i, form) in deterministic_forms.iter().enumerate().skip(1) {
+        assert_eq!(
+            form, &deterministic_forms[0],
+            "deterministic interrupted RunReport for jobs index {i} diverges"
+        );
     }
 }
 

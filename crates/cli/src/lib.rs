@@ -11,11 +11,13 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use simgen_cec::{
-    check_equivalence_under, CecVerdict, Deadline, InconclusiveReason, ParallelSweeper, SweepConfig,
+    cec_run_report, check_equivalence_observed, design_info, sweep_run_report, CecVerdict,
+    Deadline, InconclusiveReason, ParallelSweeper, RunMeta, SweepConfig,
 };
 use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
 use simgen_netlist::{aiger, bench_fmt, blif, Aig, LutNetwork};
+use simgen_obs::{Observer, RunReport};
 use simgen_sat::{Cnf, SolveResult, Solver};
 use simgen_workloads::{all_benchmarks, build_aig};
 
@@ -175,7 +177,7 @@ pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str>
     out
 }
 
-const VALUE_FLAGS: [&str; 8] = [
+const VALUE_FLAGS: [&str; 10] = [
     "-k",
     "--strategy",
     "--iters",
@@ -184,7 +186,12 @@ const VALUE_FLAGS: [&str; 8] = [
     "-j",
     "--timeout",
     "--stall",
+    "--stats-json",
+    "--trace",
 ];
+
+/// Flags that stand alone (no value token follows).
+const BOOL_FLAGS: [&str; 1] = ["--profile"];
 
 /// True for tokens the argument grammar treats as flags (same shape
 /// test [`positionals`] uses to skip them).
@@ -206,6 +213,9 @@ fn reject_unknown_flags(args: &[String]) -> Result<(), CliError> {
         }
         if VALUE_FLAGS.contains(&a.as_str()) {
             skip = true;
+            continue;
+        }
+        if BOOL_FLAGS.contains(&a.as_str()) {
             continue;
         }
         if looks_like_flag(a) {
@@ -234,6 +244,51 @@ fn parse_secs(flag: &str, value: &str, allow_zero: bool) -> Result<Duration, Cli
                 "bad {flag} value `{value}` (need a {need} number of seconds)"
             ))
         })
+}
+
+/// File stem used as the design name inside run reports.
+fn design_name(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string()
+}
+
+/// Writes whichever observability outputs the command line asked for:
+/// the `RunReport` JSON (`--stats-json`), the event trace as JSON
+/// Lines (`--trace`), and the folded-stack phase profile on stdout
+/// (`--profile`, flamegraph-ready).
+fn write_observability(
+    report: &RunReport,
+    obs: &Observer,
+    stats_json: Option<&str>,
+    trace_path: Option<&str>,
+    profile: bool,
+) -> Result<(), CliError> {
+    if let Some(path) = stats_json {
+        let mut text = report.to_pretty();
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        std::fs::write(path, text).map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+        eprintln!("stats: wrote {path}");
+    }
+    if let Some(path) = trace_path {
+        let f = File::create(path).map_err(|e| CliError(format!("cannot create `{path}`: {e}")))?;
+        obs.trace
+            .write_jsonl(BufWriter::new(f))
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        eprintln!(
+            "trace: wrote {path} ({} events, {} dropped)",
+            obs.trace.emitted(),
+            obs.trace.dropped()
+        );
+    }
+    if profile {
+        print!("{}", obs.recorder.folded());
+    }
+    Ok(())
 }
 
 /// Dispatches a CLI invocation. Returns the process exit code.
@@ -283,6 +338,9 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let stall: Option<Duration> = flag_value(rest, "--stall")
         .map(|v| parse_secs("--stall", v, false))
         .transpose()?;
+    let stats_json = flag_value(rest, "--stats-json");
+    let trace_path = flag_value(rest, "--trace");
+    let profile = rest.iter().any(|a| a == "--profile");
     // One deadline for the whole invocation: `--timeout 0` starts
     // already expired, which degrades every proof phase immediately.
     let deadline = timeout.map(Deadline::after).unwrap_or_default();
@@ -412,7 +470,20 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             // scheduling-invariant, so every --jobs value (including
             // the default 1, which runs inline without threads)
             // prints byte-identical classes and proof counts.
-            let report = ParallelSweeper::new(cfg).run_under(&net, gen.as_mut(), &deadline);
+            let mut obs = Observer::with(stats_json.is_some() || profile, trace_path.is_some());
+            let report =
+                ParallelSweeper::new(cfg).run_observed(&net, gen.as_mut(), &deadline, &mut obs);
+            let run_report = sweep_run_report(
+                RunMeta {
+                    command: "sweep".to_string(),
+                    argv: args.to_vec(),
+                    design: design_info(&net, &design_name(path), path),
+                },
+                &cfg,
+                &report,
+                &obs,
+            );
+            write_observability(&run_report, &obs, stats_json, trace_path, profile)?;
             println!(
                 "{path}: {} LUTs | strategy {} | jobs {jobs}",
                 net.num_luts(),
@@ -466,8 +537,21 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 stall,
                 ..SweepConfig::default()
             };
-            let report = check_equivalence_under(&na, &nb, gen.as_mut(), cfg, &deadline)
-                .map_err(|e| CliError(e.to_string()))?;
+            let mut obs = Observer::with(stats_json.is_some() || profile, trace_path.is_some());
+            let report =
+                check_equivalence_observed(&na, &nb, gen.as_mut(), cfg, &deadline, &mut obs)
+                    .map_err(|e| CliError(e.to_string()))?;
+            let run_report = cec_run_report(
+                RunMeta {
+                    command: "cec".to_string(),
+                    argv: args.to_vec(),
+                    design: design_info(&na, &design_name(pa), pa),
+                },
+                &cfg,
+                &report,
+                &obs,
+            );
+            write_observability(&run_report, &obs, stats_json, trace_path, profile)?;
             match report.verdict {
                 CecVerdict::Equivalent => {
                     println!(
@@ -533,8 +617,10 @@ USAGE:
   simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
   simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N] [--jobs N]
                       [--timeout SECS] [--stall SECS]
+                      [--stats-json PATH] [--trace PATH] [--profile]
   simgen cec <a> <b> [--strategy S] [-k K] [--seed N] [--jobs N]
                      [--timeout SECS] [--stall SECS]
+                     [--stats-json PATH] [--trace PATH] [--profile]
   simgen bench <name> <out>                emit a built-in benchmark circuit
   simgen list-benchmarks                   list the 42 built-in benchmarks
 
@@ -547,6 +633,11 @@ byte-identical for any N).
 Anytime operation: --timeout SECS bounds the whole run by a wall-clock
 deadline; --stall SECS aborts any single proof making no progress for
 that long. On expiry the tool reports the sound partial result it has.
+
+Observability: --stats-json PATH writes a simgen-run-report/1 JSON
+document (schema: docs/observability.md); --trace PATH writes the
+event trace as JSON Lines; --profile prints per-phase folded stacks
+on stdout (pipe into a flamegraph tool).
 
 Exit codes for `cec`: 0 equivalent, 1 not equivalent (counterexample
 printed), 2 inconclusive (deadline or SAT budget ran out before all
@@ -709,6 +800,105 @@ mod tests {
             let msg = run(&args).expect_err("malformed value must error").0;
             assert!(msg.contains(needle), "expected {needle} in: {msg}");
         }
+    }
+
+    #[test]
+    fn stats_json_trace_and_profile_outputs() {
+        use simgen_obs::Json;
+        let dir = std::env::temp_dir().join(format!("simgen_cli_obs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let aag = dir.join("e64.aag");
+        let stats = dir.join("run.json");
+        let trace = dir.join("run.trace.jsonl");
+        let aag_s = aag.to_str().unwrap().to_string();
+        run(&s(&["bench", "e64", &aag_s])).unwrap();
+        let code = run(&s(&[
+            "sweep",
+            &aag_s,
+            "--iters",
+            "2",
+            "--stats-json",
+            stats.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--profile",
+        ]))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        // The report parses and validates against the schema.
+        let text = std::fs::read_to_string(&stats).unwrap();
+        let json = Json::parse(&text).unwrap();
+        RunReport::validate(&json).expect("CLI-written report is schema-valid");
+        assert_eq!(
+            json.get("command").and_then(Json::as_str),
+            Some("sweep"),
+            "command echoed"
+        );
+        assert_eq!(
+            json.get("design")
+                .unwrap()
+                .get("name")
+                .and_then(Json::as_str),
+            Some("e64")
+        );
+        // The trace is JSON Lines: every line parses on its own.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(!trace_text.is_empty());
+        for line in trace_text.lines() {
+            Json::parse(line).expect("trace line is valid JSON");
+        }
+        // cec writes the same schema.
+        let cec_stats = dir.join("cec.json");
+        let code = run(&s(&[
+            "cec",
+            &aag_s,
+            &aag_s,
+            "--stats-json",
+            cec_stats.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        let json = Json::parse(&std::fs::read_to_string(&cec_stats).unwrap()).unwrap();
+        RunReport::validate(&json).expect("cec report is schema-valid");
+        assert_eq!(
+            json.get("outcome")
+                .unwrap()
+                .get("status")
+                .and_then(Json::as_str),
+            Some("equivalent")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_json_deterministic_across_jobs() {
+        use simgen_obs::{report::strip_nondeterministic, Json};
+        let dir = std::env::temp_dir().join(format!("simgen_cli_det_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let aag = dir.join("e64.aag");
+        let aag_s = aag.to_str().unwrap().to_string();
+        run(&s(&["bench", "e64", &aag_s])).unwrap();
+        let mut forms = Vec::new();
+        for jobs in ["1", "2", "4"] {
+            let out = dir.join(format!("run{jobs}.json"));
+            run(&s(&[
+                "sweep",
+                &aag_s,
+                "--iters",
+                "2",
+                "--jobs",
+                jobs,
+                "--stats-json",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let mut json = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+            strip_nondeterministic(&mut json);
+            forms.push(json.to_pretty());
+        }
+        assert_eq!(forms[0], forms[1], "jobs 1 vs 2");
+        assert_eq!(forms[0], forms[2], "jobs 1 vs 4");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

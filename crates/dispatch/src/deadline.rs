@@ -150,11 +150,23 @@ impl Watchdog {
     /// for a full window the flag is raised, and lowered again once it
     /// moves (unless the deadline itself has passed).
     pub fn spawn(deadline: Deadline, stall: Option<(Progress, Duration)>) -> Self {
+        Watchdog::spawn_traced(deadline, stall, simgen_obs::Trace::disabled())
+    }
+
+    /// [`Watchdog::spawn`] with an event trace: emits
+    /// `watchdog_deadline_trip` when the wall clock runs out and
+    /// `watchdog_stall_trip` / `watchdog_stall_clear` around stall
+    /// recoveries.
+    pub fn spawn_traced(
+        deadline: Deadline,
+        stall: Option<(Progress, Duration)>,
+        trace: simgen_obs::Trace,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("simgen-watchdog".into())
-            .spawn(move || watch(&deadline, stall.as_ref(), &stop2))
+            .spawn(move || watch(&deadline, stall.as_ref(), &stop2, &trace))
             .expect("spawn watchdog thread");
         Watchdog {
             stop,
@@ -163,13 +175,19 @@ impl Watchdog {
     }
 }
 
-fn watch(deadline: &Deadline, stall: Option<&(Progress, Duration)>, stop: &AtomicBool) {
+fn watch(
+    deadline: &Deadline,
+    stall: Option<&(Progress, Duration)>,
+    stop: &AtomicBool,
+    trace: &simgen_obs::Trace,
+) {
     let mut last_count = stall.map(|(p, _)| p.count());
     let mut last_change = Instant::now();
     let mut tripped_for_stall = false;
     while !stop.load(Ordering::Relaxed) {
         if deadline.past_due() {
             deadline.trip();
+            trace.emit("watchdog_deadline_trip", vec![]);
             return;
         }
         if let Some((progress, window)) = stall {
@@ -182,10 +200,18 @@ fn watch(deadline: &Deadline, stall: Option<&(Progress, Duration)>, stop: &Atomi
                     // the remaining pairs their interrupt flag back.
                     deadline.clear_if_not_due();
                     tripped_for_stall = false;
+                    trace.emit(
+                        "watchdog_stall_clear",
+                        vec![("progress", simgen_obs::Json::U64(count))],
+                    );
                 }
             } else if !tripped_for_stall && last_change.elapsed() >= *window {
                 deadline.trip();
                 tripped_for_stall = true;
+                trace.emit(
+                    "watchdog_stall_trip",
+                    vec![("progress", simgen_obs::Json::U64(count))],
+                );
             }
         }
         std::thread::sleep(POLL);

@@ -27,6 +27,8 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
+use simgen_obs::{Json, Trace};
+
 use crate::deadline::Deadline;
 
 /// Per-job outcome of a dispatch run.
@@ -100,13 +102,16 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// One worker's drain loop body: run `step` under `catch_unwind`,
 /// respawning the state on panic. Shared by the inline and threaded
 /// paths so both have identical failure semantics.
+#[allow(clippy::too_many_arguments)]
 fn run_step<J, R, S, I, F>(
     worker: usize,
+    index: usize,
     state: &mut S,
     item: &J,
     init: &I,
     step: &F,
     panics: &mut u64,
+    trace: &Trace,
 ) -> JobStatus<R>
 where
     I: Fn(usize) -> S,
@@ -116,12 +121,19 @@ where
         Ok(result) => JobStatus::Done(result),
         Err(payload) => {
             *panics += 1;
+            let message = panic_message(payload);
+            trace.emit(
+                "job_panicked",
+                vec![
+                    ("job", Json::U64(index as u64)),
+                    ("worker", Json::U64(worker as u64)),
+                    ("message", Json::Str(message.clone())),
+                ],
+            );
             // The old state was abandoned mid-mutation; rebuild it
             // before touching the next job.
             *state = init(worker);
-            JobStatus::Panicked {
-                message: panic_message(payload),
-            }
+            JobStatus::Panicked { message }
         }
     }
 }
@@ -149,6 +161,58 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, &J) -> R + Sync,
 {
+    run_ordered_traced(jobs, items, deadline, &Trace::disabled(), init, step)
+}
+
+/// [`run_ordered`] with an event [`Trace`]: emits `job_panicked` (with
+/// job index, worker, and panic message) as panics are absorbed, and
+/// one `jobs_skipped` summary when an expired deadline left jobs
+/// unstarted. A disabled trace makes this identical to [`run_ordered`]
+/// at a branch's cost per event site.
+pub fn run_ordered_traced<J, R, S, I, F>(
+    jobs: usize,
+    items: Vec<J>,
+    deadline: Option<&Deadline>,
+    trace: &Trace,
+    init: I,
+    step: F,
+) -> DispatchOutcome<R, S>
+where
+    J: Sync,
+    R: Send,
+    S: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, &J) -> R + Sync,
+{
+    let outcome = run_ordered_inner(jobs, items, deadline, trace, init, step);
+    if trace.is_enabled() {
+        let skipped = outcome
+            .results
+            .iter()
+            .filter(|s| matches!(s, JobStatus::Skipped))
+            .count();
+        if skipped > 0 {
+            trace.emit("jobs_skipped", vec![("count", Json::U64(skipped as u64))]);
+        }
+    }
+    outcome
+}
+
+fn run_ordered_inner<J, R, S, I, F>(
+    jobs: usize,
+    items: Vec<J>,
+    deadline: Option<&Deadline>,
+    trace: &Trace,
+    init: I,
+    step: F,
+) -> DispatchOutcome<R, S>
+where
+    J: Sync,
+    R: Send,
+    S: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, &J) -> R + Sync,
+{
     let expired = || deadline.is_some_and(Deadline::expired);
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
@@ -156,12 +220,21 @@ where
         let mut results = Vec::with_capacity(items.len());
         let mut executed = 0u64;
         let mut panics = 0u64;
-        for item in &items {
+        for (index, item) in items.iter().enumerate() {
             if expired() {
                 results.push(JobStatus::Skipped);
                 continue;
             }
-            results.push(run_step(0, &mut state, item, &init, &step, &mut panics));
+            results.push(run_step(
+                0,
+                index,
+                &mut state,
+                item,
+                &init,
+                &step,
+                &mut panics,
+                trace,
+            ));
             executed += 1;
         }
         return DispatchOutcome {
@@ -226,7 +299,10 @@ where
                                 })
                             });
                         let Some((idx, item)) = job else { break };
-                        out.push((idx, run_step(w, &mut state, item, init, step, &mut panics)));
+                        out.push((
+                            idx,
+                            run_step(w, idx, &mut state, item, init, step, &mut panics, trace),
+                        ));
                         executed += 1;
                     }
                     (
@@ -310,6 +386,47 @@ mod tests {
         assert_eq!(out.workers.len(), 1);
         assert_eq!(out.workers[0].stolen, 0);
         assert_eq!(all_done(out), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn traced_run_emits_panic_and_skip_events() {
+        // A panicking job produces a job_panicked event with its index.
+        let trace = Trace::enabled();
+        let out = run_ordered_traced(
+            1,
+            vec![0u32, 1, 2],
+            None,
+            &trace,
+            |_| (),
+            |_, x| {
+                if *x == 1 {
+                    panic!("boom");
+                }
+                *x
+            },
+        );
+        assert!(matches!(out.results[1], JobStatus::Panicked { .. }));
+        let events = trace.snapshot();
+        let panic_event = events
+            .iter()
+            .find(|e| e.kind == "job_panicked")
+            .expect("panic event emitted");
+        assert!(panic_event.to_line().contains("\"job\":1"));
+
+        // An expired deadline produces one jobs_skipped summary.
+        let trace = Trace::enabled();
+        let deadline = Deadline::after(Duration::ZERO);
+        let out = run_ordered_traced(
+            2,
+            vec![1u32, 2, 3],
+            Some(&deadline),
+            &trace,
+            |_| (),
+            |_, x| *x,
+        );
+        assert!(out.results.iter().all(|s| matches!(s, JobStatus::Skipped)));
+        let events = trace.snapshot();
+        assert!(events.iter().any(|e| e.kind == "jobs_skipped"));
     }
 
     #[test]

@@ -24,5 +24,5 @@ mod executor;
 mod schedule;
 
 pub use deadline::{Deadline, Progress, Watchdog};
-pub use executor::{run_ordered, DispatchOutcome, JobStatus, WorkerReport};
+pub use executor::{run_ordered, run_ordered_traced, DispatchOutcome, JobStatus, WorkerReport};
 pub use schedule::{Attempt, BudgetSchedule, Escalation};

@@ -1,0 +1,144 @@
+//! The versioned `BenchReport` document for `BENCH_*.json` artifacts.
+//!
+//! Every benchmark in the workspace — the criterion-shim benches
+//! (`sim_throughput`, `dispatch_scaling`) and the paper-table binaries
+//! — writes its machine-readable summary through this one schema, so
+//! the perf trajectory is append-only and diffable: re-running a bench
+//! on a new commit produces a file comparable field-by-field with the
+//! previous run.
+
+use crate::json::Json;
+
+/// A benchmark summary: fixed workload parameters plus measured
+/// metrics, under one schema id.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    /// Benchmark name, e.g. `"sim_throughput"` or `"table1"`.
+    pub name: String,
+    /// Workload parameters (sizes, seeds, strategies) — everything
+    /// that must match for two runs to be comparable.
+    pub params: Vec<(String, Json)>,
+    /// Measured results (throughputs, speedups, times).
+    pub metrics: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// Schema identifier written into every bench report.
+    pub const SCHEMA: &'static str = "simgen-bench-report/1";
+
+    /// A report with the given benchmark name and no fields yet.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Adds a workload parameter.
+    pub fn param(&mut self, key: &str, value: Json) -> &mut Self {
+        self.params.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a measured metric.
+    pub fn metric(&mut self, key: &str, value: Json) -> &mut Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.push("schema", Json::Str(Self::SCHEMA.to_string()));
+        root.push("name", Json::Str(self.name.clone()));
+        let mut params = Json::obj();
+        for (key, value) in &self.params {
+            params.push(key, value.clone());
+        }
+        root.push("params", params);
+        let mut metrics = Json::obj();
+        for (key, value) in &self.metrics {
+            metrics.push(key, value.clone());
+        }
+        root.push("metrics", metrics);
+        root
+    }
+
+    /// The report in the canonical pretty format.
+    pub fn to_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Structurally validates a parsed bench report.
+    pub fn validate(json: &Json) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        if json.entries().is_none() {
+            return Err(vec!["bench report root is not an object".to_string()]);
+        }
+        match json.get("schema").and_then(Json::as_str) {
+            Some(s) if s == Self::SCHEMA => {}
+            Some(s) => errors.push(format!("schema is {s:?}, expected {:?}", Self::SCHEMA)),
+            None => errors.push("missing string field: schema".to_string()),
+        }
+        if json.get("name").and_then(Json::as_str).is_none() {
+            errors.push("missing string field: name".to_string());
+        }
+        for section in ["params", "metrics"] {
+            match json.get(section) {
+                None => errors.push(format!("missing object field: {section}")),
+                Some(v) if v.entries().is_none() => {
+                    errors.push(format!("{section} is not an object"))
+                }
+                Some(_) => {}
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Writes the report to a file, creating parent directories.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_round_trips_and_validates() {
+        let mut report = BenchReport::new("sim_throughput");
+        report.param("nodes", Json::U64(12000));
+        report.param("patterns", Json::U64(4096));
+        report.metric("compiled_patterns_per_sec", Json::F64(1.25e7));
+        report.metric("speedup", Json::F64(5.4));
+        let text = report.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        BenchReport::validate(&parsed).expect("bench report is schema-valid");
+        assert_eq!(
+            parsed.get("name").and_then(Json::as_str),
+            Some("sim_throughput")
+        );
+        assert_eq!(
+            parsed.get("params").unwrap().get("nodes").unwrap().as_u64(),
+            Some(12000)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_missing_sections() {
+        let mut bad = Json::obj();
+        bad.push("schema", Json::Str(BenchReport::SCHEMA.into()));
+        let errors = BenchReport::validate(&bad).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("name")));
+        assert!(errors.iter().any(|e| e.contains("params")));
+        assert!(errors.iter().any(|e| e.contains("metrics")));
+    }
+}

@@ -1,0 +1,244 @@
+//! A bounded event ring buffer for run tracing.
+//!
+//! [`Trace`] is a cheap cloneable handle; clones share one ring.
+//! Workers emit events from any thread — the ring is a `Mutex`-guarded
+//! `VecDeque` rather than anything lock-free because events fire at
+//! *decision* granularity (per proof, per flush, per round), thousands
+//! per run at most, far off the simulation hot path. When the ring is
+//! full the **oldest** events are dropped and counted, so a trace
+//! always ends with the run's final moments.
+//!
+//! A disabled trace is a `None` handle: `emit` is one branch, no
+//! allocation, no clock read. Event ordering follows emission order
+//! (the mutex serializes writers), so traces from parallel runs are
+//! scheduling-dependent by nature — they are diagnostics, explicitly
+//! **outside** the byte-identical determinism guarantee that covers
+//! run reports.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring capacity (events kept before the oldest drop).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One traced event: a monotone sequence number, microseconds since
+/// the trace was created, an event kind, and kind-specific attributes.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Emission index (0-based, never reused; survives drops).
+    pub seq: u64,
+    /// Microseconds since trace creation.
+    pub t_us: u64,
+    /// Event kind, e.g. `"proof"` or `"cex_flush"`.
+    pub kind: &'static str,
+    /// Kind-specific attributes, in emission order.
+    pub attrs: Vec<(&'static str, Json)>,
+}
+
+impl TraceEvent {
+    /// The event as one JSONL line (no trailing newline):
+    /// `{"seq":…,"t_us":…,"event":"…",…attrs}`.
+    pub fn to_line(&self) -> String {
+        let mut obj = Json::obj();
+        obj.push("seq", Json::U64(self.seq));
+        obj.push("t_us", Json::U64(self.t_us));
+        obj.push("event", Json::Str(self.kind.to_string()));
+        for (key, value) in &self.attrs {
+            obj.push(key, value.clone());
+        }
+        obj.to_line()
+    }
+}
+
+struct TraceBuf {
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+struct TraceInner {
+    start: Instant,
+    capacity: usize,
+    buf: Mutex<TraceBuf>,
+}
+
+/// A shared handle to an event ring, or a no-op when disabled.
+#[derive(Clone)]
+pub struct Trace(Option<Arc<TraceInner>>);
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Trace(disabled)"),
+            Some(inner) => {
+                let buf = inner.buf.lock().expect("trace poisoned");
+                write!(
+                    f,
+                    "Trace(capacity={}, emitted={}, dropped={})",
+                    inner.capacity, buf.next_seq, buf.dropped
+                )
+            }
+        }
+    }
+}
+
+impl Trace {
+    /// The no-op trace: `emit` is one branch.
+    pub fn disabled() -> Trace {
+        Trace(None)
+    }
+
+    /// An enabled trace with the default ring capacity.
+    pub fn enabled() -> Trace {
+        Trace::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled trace keeping at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace(Some(Arc::new(TraceInner {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            buf: Mutex::new(TraceBuf {
+                next_seq: 0,
+                dropped: 0,
+                events: VecDeque::new(),
+            }),
+        })))
+    }
+
+    /// True when events are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records an event. Drops the oldest event when the ring is full.
+    pub fn emit(&self, kind: &'static str, attrs: Vec<(&'static str, Json)>) {
+        let Some(inner) = &self.0 else { return };
+        let t_us = inner.start.elapsed().as_micros() as u64;
+        let mut buf = inner.buf.lock().expect("trace poisoned");
+        let seq = buf.next_seq;
+        buf.next_seq += 1;
+        if buf.events.len() == inner.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(TraceEvent {
+            seq,
+            t_us,
+            kind,
+            attrs,
+        });
+    }
+
+    /// Total events emitted (including any that were dropped).
+    pub fn emitted(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner.buf.lock().expect("trace poisoned").next_seq,
+        }
+    }
+
+    /// Events lost to ring overflow.
+    pub fn dropped(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner.buf.lock().expect("trace poisoned").dropped,
+        }
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner
+                .buf
+                .lock()
+                .expect("trace poisoned")
+                .events
+                .iter()
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Writes the retained events as JSONL, one event per line.
+    pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for event in self.snapshot() {
+            writeln!(w, "{}", event.to_line())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_is_inert() {
+        let trace = Trace::disabled();
+        trace.emit("proof", vec![]);
+        assert!(!trace.is_enabled());
+        assert_eq!(trace.emitted(), 0);
+        assert!(trace.snapshot().is_empty());
+    }
+
+    #[test]
+    fn events_keep_emission_order_and_seq() {
+        let trace = Trace::enabled();
+        trace.emit("a", vec![("n", Json::U64(1))]);
+        trace.emit("b", vec![]);
+        let events = trace.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].seq, events[0].kind), (0, "a"));
+        assert_eq!((events[1].seq, events[1].kind), (1, "b"));
+        assert!(events[0].t_us <= events[1].t_us);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest() {
+        let trace = Trace::with_capacity(3);
+        for i in 0..5u64 {
+            trace.emit("tick", vec![("i", Json::U64(i))]);
+        }
+        let events = trace.snapshot();
+        assert_eq!(trace.emitted(), 5);
+        assert_eq!(trace.dropped(), 2);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_are_parseable() {
+        let trace = Trace::enabled();
+        trace.emit(
+            "proof",
+            vec![
+                ("rep", Json::U64(3)),
+                ("outcome", Json::Str("equivalent".into())),
+            ],
+        );
+        let mut out = Vec::new();
+        trace.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let line = text.lines().next().unwrap();
+        let parsed = Json::parse(line).expect("jsonl line parses");
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("proof"));
+        assert_eq!(parsed.get("rep").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let trace = Trace::enabled();
+        let clone = trace.clone();
+        std::thread::scope(|s| {
+            s.spawn(|| clone.emit("from_worker", vec![]));
+        });
+        trace.emit("from_main", vec![]);
+        assert_eq!(trace.emitted(), 2);
+    }
+}

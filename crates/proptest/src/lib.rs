@@ -3,8 +3,8 @@
 //! The build environment cannot reach crates.io, so this crate
 //! reimplements the slice of `proptest 1.x` the workspace's property
 //! tests use: the [`proptest!`] macro, `prop_assert*`/`prop_assume!`,
-//! [`Strategy`] with `prop_map`, range and tuple strategies,
-//! [`any`], and `prop::collection::vec`.
+//! [`Strategy`](strategy::Strategy) with `prop_map`, range and tuple
+//! strategies, [`any`](strategy::any), and `prop::collection::vec`.
 //!
 //! Unlike upstream there is **no shrinking**: a failing case panics
 //! with the assertion message. Cases are generated from a
@@ -37,7 +37,7 @@ pub mod strategy {
 
         /// Generates vectors whose elements come from `self` (method
         /// form used by some call sites; see also
-        /// [`collection::vec`](crate::collection::vec)).
+        /// [`crate::collection::vec`]).
         fn prop_flat_map<U, S2: Strategy<Value = U>, F: Fn(Self::Value) -> S2>(
             self,
             f: F,
@@ -204,7 +204,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact size or a range.
+    /// Length specification for [`vec()`]: an exact size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -235,7 +235,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -47,6 +47,21 @@ pub struct SolverStats {
     pub solves: u64,
 }
 
+impl std::ops::AddAssign for SolverStats {
+    /// Field-wise sum — how per-pair and per-worker stats aggregate
+    /// into run-report totals (commutative, so the aggregate is
+    /// independent of merge order).
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.conflicts += rhs.conflicts;
+        self.restarts += rhs.restarts;
+        self.learned += rhs.learned;
+        self.removed += rhs.removed;
+        self.solves += rhs.solves;
+    }
+}
+
 const LBOOL_UNDEF: i8 = 2;
 
 type ClauseRef = u32;

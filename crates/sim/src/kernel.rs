@@ -3,14 +3,14 @@
 //! Interpreting a LUT's on-set cover cube by cube costs a nested loop
 //! (cubes × fanins) per 64-pattern word. This module removes that
 //! interpretation overhead with a one-time compilation pass: every
-//! node is translated into a [`NodeKernel`] — either a single fused
+//! node is translated into a `NodeKernel` — either a single fused
 //! fast-path operation (BUF/NOT, ten two-input gates, MUX) or a flat
-//! tape of bitwise [`Op`]s obtained by recursive Shannon cofactoring
+//! tape of bitwise `Op`s obtained by recursive Shannon cofactoring
 //! of the truth table (`f = s ? f|ₛ₌₁ : f|ₛ₌₀`, memoized on cofactor
 //! bits so shared subfunctions are computed once).
 //!
 //! Execution is cache-blocked: the pattern words are processed in
-//! blocks of [`BLOCK_WORDS`], with all nodes evaluated per block, so
+//! blocks of `BLOCK_WORDS` (16), with all nodes evaluated per block, so
 //! the fanin lanes a node reads are still resident in cache. Large
 //! blocks can additionally be split across worker threads — each
 //! worker runs the same levelized tape over a disjoint word range, so
@@ -132,6 +132,27 @@ enum NodeKernel {
     /// General function: run ops `start..end` of the shared tape, the
     /// node lane is scratch register `out`.
     Tape { start: u32, end: u32, out: u32 },
+}
+
+/// Shape breakdown of a compiled kernel set: how many nodes landed on
+/// each lowering path and how big the Shannon tapes are. Produced by
+/// [`CompiledNet::summary`] for run reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelSummary {
+    /// Nodes compiled (PIs included).
+    pub nodes: u64,
+    /// Primary-input kernels.
+    pub pis: u64,
+    /// Constant kernels.
+    pub consts: u64,
+    /// Fast-path fused kernels (unary, binary, mux).
+    pub fused: u64,
+    /// Nodes lowered to Shannon tapes.
+    pub tape_nodes: u64,
+    /// Total tape instructions.
+    pub tape_ops: u64,
+    /// Scratch registers needed by the widest tape.
+    pub scratch: u64,
 }
 
 /// A network compiled to per-node simulation kernels.
@@ -342,6 +363,28 @@ impl CompiledNet {
     /// nodes contribute none).
     pub fn tape_len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Counts each kernel kind — the shape breakdown run reports carry
+    /// in their `sim.kernel` section.
+    pub fn summary(&self) -> KernelSummary {
+        let mut summary = KernelSummary {
+            nodes: self.num_nodes as u64,
+            tape_ops: self.ops.len() as u64,
+            scratch: self.num_scratch as u64,
+            ..KernelSummary::default()
+        };
+        for kernel in &self.kernels {
+            match kernel {
+                NodeKernel::Pi { .. } => summary.pis += 1,
+                NodeKernel::Const { .. } => summary.consts += 1,
+                NodeKernel::Unary { .. } | NodeKernel::Binary { .. } | NodeKernel::Mux { .. } => {
+                    summary.fused += 1
+                }
+                NodeKernel::Tape { .. } => summary.tape_nodes += 1,
+            }
+        }
+        summary
     }
 
     /// Simulates `patterns` over the nodes listed in `order` (which

@@ -38,10 +38,10 @@ pub mod probability;
 pub mod simulator;
 
 pub use classes::EquivClasses;
-pub use kernel::CompiledNet;
+pub use kernel::{CompiledNet, KernelSummary};
 pub use patterns::PatternSet;
 pub use probability::signal_probabilities;
-pub use simulator::{simulate, simulate_jobs, SimResult};
+pub use simulator::{simulate, simulate_jobs, ExecStats, SimResult};
 
 #[cfg(any(test, feature = "reference"))]
 pub use simulator::{reference_lanes, simulate_reference};

@@ -17,6 +17,26 @@ use simgen_netlist::{LutNetwork, NodeId};
 use crate::kernel::CompiledNet;
 use crate::patterns::{splice_bits, PatternSet};
 
+/// Execution totals a [`SimResult`] accumulates over its lifetime:
+/// how many kernel block executions ran, how much lane data they
+/// computed, and how many went through the cone-restricted or scalar
+/// paths. Counted at call granularity (one bump per block, not per
+/// word), so keeping them always-on costs nothing measurable; the
+/// observability layer copies them into run reports. All values are
+/// independent of the `jobs` word-splitting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Kernel block executions (full-net or cone-restricted).
+    pub exec_calls: u64,
+    /// Lane-words computed across all block executions
+    /// (`words-per-block × nodes-in-order`, summed).
+    pub exec_words: u64,
+    /// Cone-restricted executions among `exec_calls`.
+    pub cone_exec_calls: u64,
+    /// Single patterns appended through the scalar path.
+    pub scalar_pushes: u64,
+}
+
 /// The simulation signature of every node over a pattern set.
 ///
 /// Holds the compiled kernels of its network so incremental extension
@@ -28,6 +48,7 @@ pub struct SimResult {
     /// `lanes[node][w]`: the node's value bits for patterns `64w..`.
     lanes: Vec<Vec<u64>>,
     kernel: Arc<CompiledNet>,
+    exec: ExecStats,
 }
 
 impl PartialEq for SimResult {
@@ -46,7 +67,18 @@ impl SimResult {
             num_patterns: 0,
             lanes: vec![Vec::new(); net.len()],
             kernel: Arc::new(CompiledNet::compile(net)),
+            exec: ExecStats::default(),
         }
+    }
+
+    /// Execution totals accumulated so far (see [`ExecStats`]).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec
+    }
+
+    /// The compiled kernel backing this result.
+    pub fn kernel(&self) -> &CompiledNet {
+        &self.kernel
     }
 
     /// Number of simulated patterns.
@@ -98,6 +130,7 @@ impl SimResult {
             }
         }
         self.num_patterns += 1;
+        self.exec.scalar_pushes += 1;
     }
 
     /// Appends a whole pattern block incrementally (word-parallel
@@ -210,6 +243,11 @@ impl SimResult {
             splice_bits(lane, self.num_patterns, &block_lanes[id.index()], added);
         }
         self.num_patterns += added;
+        self.exec.exec_calls += 1;
+        self.exec.exec_words += (added.div_ceil(64) * order.len()) as u64;
+        if mask.is_some() {
+            self.exec.cone_exec_calls += 1;
+        }
     }
 
     /// The full word lane (signature) of a node.
@@ -283,6 +321,7 @@ pub fn simulate_reference(net: &LutNetwork, patterns: &PatternSet) -> SimResult 
         num_patterns: patterns.num_patterns(),
         lanes: reference_lanes(net, patterns),
         kernel: Arc::new(CompiledNet::compile(net)),
+        exec: ExecStats::default(),
     }
 }
 
@@ -536,6 +575,43 @@ mod tests {
                 assert_eq!(cone.signature(id).len(), 1, "stale node {id}");
             }
         }
+    }
+
+    #[test]
+    fn exec_stats_and_kernel_summary_track_work() {
+        let net = random_network(41, 5, 20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let patterns = PatternSet::random(5, 128, &mut rng);
+        let mut sim = SimResult::empty(&net);
+        assert_eq!(sim.exec_stats(), ExecStats::default());
+
+        sim.extend_patterns(&net, &patterns);
+        let stats = sim.exec_stats();
+        assert_eq!(stats.exec_calls, 1);
+        assert_eq!(stats.exec_words, 2 * net.len() as u64);
+        assert_eq!(stats.cone_exec_calls, 0);
+
+        sim.push_pattern(&net, &patterns.vector(0));
+        assert_eq!(sim.exec_stats().scalar_pushes, 1);
+
+        let roots: Vec<NodeId> = net.node_ids().rev().take(1).collect();
+        sim.extend_vectors_cone(&net, &[patterns.vector(1)], &roots, 1);
+        assert_eq!(sim.exec_stats().exec_calls, 2);
+        assert_eq!(sim.exec_stats().cone_exec_calls, 1);
+
+        // Stats are word-split invariant, like the lanes themselves.
+        let serial = simulate_jobs(&net, &patterns, 1);
+        let parallel = simulate_jobs(&net, &patterns, 4);
+        assert_eq!(serial.exec_stats(), parallel.exec_stats());
+
+        let summary = sim.kernel().summary();
+        assert_eq!(summary.nodes, net.len() as u64);
+        assert_eq!(summary.pis, 5);
+        assert_eq!(
+            summary.pis + summary.consts + summary.fused + summary.tape_nodes,
+            summary.nodes
+        );
+        assert_eq!(summary.tape_ops, sim.kernel().tape_len() as u64);
     }
 
     #[test]
