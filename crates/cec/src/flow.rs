@@ -8,8 +8,9 @@ use simgen_dispatch::{Deadline, Progress};
 use simgen_netlist::miter::combine;
 use simgen_netlist::{LutNetwork, NetlistError, NodeId};
 use simgen_obs::{Counter, Json, Observer, Phase};
-use simgen_sim::EquivClasses;
+use simgen_sim::{EquivClasses, Replayer};
 
+use crate::certify::{certify_counterexample, certify_equivalence, PROOF_BYTE_BUDGET};
 use crate::prove::{PairProver, ProveOutcome};
 use crate::stats::SweepStats;
 use crate::sweep::{spawn_watchdog, SweepConfig};
@@ -24,6 +25,13 @@ pub enum InconclusiveReason {
     /// proofs also land here: the solver cannot tell the two aborts
     /// apart, and the deadline had not passed).
     BudgetExhausted,
+    /// Certification (`SweepConfig::certify`) rejected an engine
+    /// answer somewhere in the run — a DRAT certificate the checker
+    /// refused or a counterexample that did not replay. The affected
+    /// pairs were quarantined, so the result is still sound, but an
+    /// engine produced an answer its own evidence does not support;
+    /// the CLI maps this to exit code 3.
+    CertificationFailed,
 }
 
 /// Verdict of a full CEC run.
@@ -77,7 +85,8 @@ pub struct CecReport {
     pub sweep_proven_classes: u64,
     /// Internal candidate pairs the sweep left unresolved.
     pub sweep_unresolved: u64,
-    /// Internal pairs quarantined after a prover panic.
+    /// Internal pairs quarantined: prover panics and failed
+    /// certification checks.
     pub sweep_quarantined: u64,
     /// Simulation patterns the sweep accumulated.
     pub sweep_patterns: u64,
@@ -160,6 +169,9 @@ pub fn check_equivalence_observed(
     // PO miters re-derive all internal equivalences from scratch.
     let mut prover = PairProver::new(net);
     prover.bind_deadline(deadline);
+    if config.certify {
+        prover.enable_certification(PROOF_BYTE_BUDGET);
+    }
     for class in &sweep.proven_classes {
         let rep = class[0];
         for &member in &class[1..] {
@@ -172,6 +184,8 @@ pub fn check_equivalence_observed(
     let output_start = obs.recorder.is_enabled().then(Instant::now);
     let mut cex: Option<(usize, Vec<bool>)> = None;
     let mut unresolved_pairs: Vec<usize> = Vec::new();
+    let mut replayer = Replayer::new();
+    let mut output_cert_failures: u64 = 0;
     for (i, (pa, pb)) in a.pos().iter().zip(b.pos()).enumerate() {
         if deadline.expired() {
             unresolved_pairs.push(i);
@@ -197,8 +211,40 @@ pub fn check_equivalence_observed(
             );
         }
         match outcome {
-            ProveOutcome::Equivalent => {}
+            ProveOutcome::Equivalent => {
+                // Trust-but-verify: an uncertified "equivalent" on an
+                // output pair must not contribute to an Equivalent
+                // verdict — demote it to unresolved.
+                if config.certify {
+                    obs.recorder.add(Counter::CertificatesChecked, 1);
+                    if !certify_equivalence(&prover) {
+                        output_cert_failures += 1;
+                        obs.recorder.add(Counter::CertificatesFailed, 1);
+                        obs.trace.emit(
+                            "certification_failed",
+                            vec![("po_index", Json::U64(i as u64))],
+                        );
+                        unresolved_pairs.push(i);
+                    }
+                }
+            }
             ProveOutcome::Counterexample(witness) => {
+                if config.certify {
+                    obs.recorder.add(Counter::CexReplays, 1);
+                    if !certify_counterexample(net, &mut replayer, &witness, na, nb) {
+                        // The witness does not actually distinguish
+                        // the outputs: an untrusted inequivalence
+                        // claim never terminates the run.
+                        output_cert_failures += 1;
+                        obs.recorder.add(Counter::CexReplayFailures, 1);
+                        obs.trace.emit(
+                            "certification_failed",
+                            vec![("po_index", Json::U64(i as u64))],
+                        );
+                        unresolved_pairs.push(i);
+                        continue;
+                    }
+                }
                 cex = Some((i, witness));
                 break;
             }
@@ -219,13 +265,21 @@ pub fn check_equivalence_observed(
     } else {
         CecVerdict::Inconclusive {
             unresolved_pairs,
-            reason: if deadline.expired() {
+            // Certification trouble outranks the softer reasons: it
+            // means an engine bug was caught, not just a tight budget.
+            reason: if output_cert_failures > 0 {
+                InconclusiveReason::CertificationFailed
+            } else if deadline.expired() {
                 InconclusiveReason::DeadlineExpired
             } else {
                 InconclusiveReason::BudgetExhausted
             },
         }
     };
+    // Output-proof certification failures fold into the run-wide
+    // counter the report builders key exit code 3 on.
+    let mut sweep_stats = sweep.stats;
+    sweep_stats.certification_failures += output_cert_failures;
     Ok(CecReport {
         verdict,
         output_sat_calls: prover.calls(),
@@ -236,7 +290,7 @@ pub fn check_equivalence_observed(
         sweep_unresolved: sweep.unresolved.len() as u64,
         sweep_quarantined: sweep.quarantined.len() as u64,
         sweep_patterns: sweep.patterns.num_patterns() as u64,
-        sweep_stats: sweep.stats,
+        sweep_stats,
     })
 }
 
@@ -388,6 +442,43 @@ mod tests {
             }
             other => panic!("expected inequivalence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn certified_cec_still_verifies_and_falsifies() {
+        let (n1, n2) = adder_pair();
+        let cfg = SweepConfig {
+            certify: true,
+            ..SweepConfig::default()
+        };
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let report = check_equivalence(&n1, &n2, &mut gen, cfg).unwrap();
+        assert_eq!(report.verdict, CecVerdict::Equivalent);
+        assert_eq!(report.sweep_stats.certification_failures, 0);
+        assert!(
+            report.output_solver.proof_clauses > 0,
+            "output proofs were logged"
+        );
+
+        // And a genuinely broken design still yields its witness —
+        // now replay-verified before being reported.
+        let (n1, mut n2) = adder_pair();
+        let cout_node = n2.pos()[1].node;
+        let broken = n2.add_lut(vec![cout_node], TruthTable::not1()).unwrap();
+        let sum_node = n2.pos()[0].node;
+        n2.clear_pos();
+        n2.add_po(sum_node, "sum");
+        n2.add_po(broken, "cout");
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let report = check_equivalence(&n1, &n2, &mut gen, cfg).unwrap();
+        match report.verdict {
+            CecVerdict::NotEquivalent { po_index, witness } => {
+                assert_eq!(po_index, 1);
+                assert_ne!(n1.eval_pos(&witness)[1], n2.eval_pos(&witness)[1]);
+            }
+            other => panic!("expected inequivalence, got {other:?}"),
+        }
+        assert_eq!(report.sweep_stats.certification_failures, 0);
     }
 
     #[test]

@@ -28,10 +28,14 @@ use std::time::Duration;
 
 use simgen_core::PatternGenerator;
 use simgen_dispatch::{run_ordered_traced, Attempt, BudgetSchedule, Deadline, JobStatus, Progress};
+#[cfg(feature = "fault-inject")]
+use simgen_dispatch::{FaultAction, FaultPlan};
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_obs::{Counter, Json, LocalRecorder, Observer, Phase};
 use simgen_sat::SolverStats;
+use simgen_sim::Replayer;
 
+use crate::certify::{certify_equivalence, PROOF_BYTE_BUDGET};
 use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
 use crate::stats::{DispatchSummary, WorkerSummary};
 use crate::sweep::{
@@ -43,17 +47,66 @@ use crate::sweep::{
 /// metadata travels separately in the worker state).
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum PairVerdict {
-    /// Proven equal.
+    /// Proven equal (and, under certify, DRAT-certified).
     Equivalent,
-    /// Distinguishing input vector.
+    /// Distinguishing input vector (replay-verified under certify).
     Counterexample(Vec<bool>),
     /// Ladder (and fallback, if enabled) exhausted.
     Undecided,
+    /// The engine answered but certification rejected the answer:
+    /// `replay: false` means the DRAT checker refused an `Equivalent`
+    /// proof, `replay: true` means the scalar replay could not
+    /// reproduce a counterexample. The merge loop quarantines the
+    /// pair either way.
+    CertificationFailed {
+        /// Whether the rejected evidence was a counterexample.
+        replay: bool,
+    },
 }
 
-/// Per-worker proving state: outcome counters plus the lazily-built
-/// BDD fallback engine. The counters mirror
-/// [`crate::stats::WorkerSummary`].
+/// Everything a proof job hands back to the merge loop. The counter
+/// deltas travel in the result — not in worker state — because a
+/// panicking step respawns its worker with fresh state: under fault
+/// injection, state-side accumulation would silently lose the counts
+/// of every earlier job on that worker and make the totals depend on
+/// scheduling. Merge-side accumulation over these results is exact
+/// for any `--jobs` value (a panicked job contributes nothing,
+/// deterministically).
+struct PairOutcome {
+    verdict: PairVerdict,
+    sat_calls: u64,
+    sat_time: Duration,
+    solver: SolverStats,
+    /// Conflicts spent in aborted (budget-limited) attempts.
+    conflicts: u64,
+    /// Budget escalations beyond the first attempt.
+    escalations: u64,
+    /// Whether the whole ladder (and fallback) exhausted.
+    timeout: bool,
+}
+
+impl PairOutcome {
+    /// Outcome of a path that did no SAT work (BDD primary engine, or
+    /// an injected spurious answer).
+    fn engine_only(verdict: PairVerdict) -> Self {
+        let timeout = verdict == PairVerdict::Undecided;
+        PairOutcome {
+            verdict,
+            sat_calls: 0,
+            sat_time: Duration::ZERO,
+            solver: SolverStats::default(),
+            conflicts: 0,
+            escalations: 0,
+            timeout,
+        }
+    }
+}
+
+/// Per-worker proving state: diagnostic counters plus the lazily-
+/// built BDD fallback engine. The counters mirror
+/// [`crate::stats::WorkerSummary`] and are diagnostics only — a panic
+/// respawns the worker's state, losing them — the authoritative
+/// totals are accumulated merge-side from each job's [`PairOutcome`].
 struct WorkerState<'n> {
     net: &'n LutNetwork,
     /// Shared deadline bound to every prover this worker builds.
@@ -61,16 +114,15 @@ struct WorkerState<'n> {
     /// Lazily created on the first pair that exhausts its SAT ladder
     /// (or immediately when BDD is the primary engine).
     bdd: Option<BddProver<'n>>,
+    /// Scalar reference evaluator for counterexample replay (reused
+    /// across this worker's pairs; its buffers are scratch space).
+    replayer: Replayer,
     proofs: u64,
     conflicts: u64,
     timeouts: u64,
     escalations: u64,
-    sat_calls: u64,
-    sat_time: Duration,
-    solver: SolverStats,
     /// Busy-span recorder merged into the orchestrator's at the round
-    /// barrier (CPU attribution only; counters stay on the main
-    /// thread so panics cannot lose deterministic counts).
+    /// barrier (CPU attribution only).
     local: LocalRecorder,
 }
 
@@ -80,13 +132,11 @@ impl<'n> WorkerState<'n> {
             net,
             deadline,
             bdd: None,
+            replayer: Replayer::new(),
             proofs: 0,
             conflicts: 0,
             timeouts: 0,
             escalations: 0,
-            sat_calls: 0,
-            sat_time: Duration::ZERO,
-            solver: SolverStats::default(),
             local,
         }
     }
@@ -106,20 +156,21 @@ impl<'n> WorkerState<'n> {
 
     /// Proves one pair: fresh SAT prover seeded with the prior-round
     /// equivalences inside the pair's cones, escalated per `cfg`, with
-    /// BDD fallback. Deterministic given `(seeds, a, b, cfg)`.
+    /// BDD fallback, and (under certify) the answer independently
+    /// checked. Deterministic given `(seeds, a, b, cfg)`.
     fn prove_pair(
         &mut self,
         seeds: &[(NodeId, NodeId)],
         a: NodeId,
         b: NodeId,
         cfg: &SweepConfig,
-    ) -> PairVerdict {
+    ) -> PairOutcome {
         let start = self.local.is_enabled().then(std::time::Instant::now);
-        let verdict = self.prove_pair_inner(seeds, a, b, cfg);
+        let outcome = self.prove_pair_inner(seeds, a, b, cfg);
         if let Some(start) = start {
             self.local.add_busy(Phase::SatResolution, start.elapsed());
         }
-        verdict
+        outcome
     }
 
     /// The actual proof; split out so [`WorkerState::prove_pair`] can
@@ -130,18 +181,25 @@ impl<'n> WorkerState<'n> {
         a: NodeId,
         b: NodeId,
         cfg: &SweepConfig,
-    ) -> PairVerdict {
+    ) -> PairOutcome {
         self.proofs += 1;
         if let ProofEngine::Bdd { node_limit } = cfg.proof {
-            let verdict = self.bdd_prove(a, b, node_limit);
-            if verdict == PairVerdict::Undecided {
-                self.timeouts += 1;
+            // BDD answers carry no DRAT proof, so under certify the
+            // SAT engine below proves the pair instead.
+            if !cfg.certify {
+                let verdict = self.bdd_prove(a, b, node_limit);
+                if verdict == PairVerdict::Undecided {
+                    self.timeouts += 1;
+                }
+                return PairOutcome::engine_only(verdict);
             }
-            return verdict;
         }
 
         let mut prover = PairProver::new(self.net);
         prover.bind_deadline(&self.deadline);
+        if cfg.certify {
+            prover.enable_certification(PROOF_BYTE_BUDGET);
+        }
         let cone = cone_union(self.net, a, b);
         for &(x, y) in seeds {
             if cone.contains(&x) && cone.contains(&y) {
@@ -164,18 +222,41 @@ impl<'n> WorkerState<'n> {
         });
         self.escalations += u64::from(esc.escalations);
         self.conflicts += esc.conflicts;
-        self.sat_calls += prover.calls();
-        self.sat_time += prover.time();
-        self.solver += prover.solver_stats();
-        let verdict = match esc.outcome {
+        let mut verdict = match esc.outcome {
             Some(v) => v,
-            None if schedule.bdd_node_limit > 0 => self.bdd_prove(a, b, schedule.bdd_node_limit),
+            // The BDD fallback is equally uncertifiable, so under
+            // certify an exhausted ladder stays Undecided.
+            None if schedule.bdd_node_limit > 0 && !cfg.certify => {
+                self.bdd_prove(a, b, schedule.bdd_node_limit)
+            }
             None => PairVerdict::Undecided,
         };
-        if verdict == PairVerdict::Undecided {
+        if cfg.certify {
+            verdict = match verdict {
+                PairVerdict::Equivalent if !certify_equivalence(&prover) => {
+                    PairVerdict::CertificationFailed { replay: false }
+                }
+                PairVerdict::Counterexample(ref v)
+                    if !self.replayer.distinguishes(self.net, v, a, b) =>
+                {
+                    PairVerdict::CertificationFailed { replay: true }
+                }
+                v => v,
+            };
+        }
+        let timeout = verdict == PairVerdict::Undecided;
+        if timeout {
             self.timeouts += 1;
         }
-        verdict
+        PairOutcome {
+            verdict,
+            sat_calls: prover.calls(),
+            sat_time: prover.time(),
+            solver: prover.solver_stats(),
+            conflicts: esc.conflicts,
+            escalations: u64::from(esc.escalations),
+            timeout,
+        }
     }
 }
 
@@ -200,6 +281,12 @@ pub struct ParallelSweeper {
     /// Test-only fault injection: pairs matching the predicate make
     /// their prover panic, exercising the quarantine path.
     panic_on: Option<fn(NodeId, NodeId) -> bool>,
+    /// Seeded chaos plan applied to every dispatched proof job,
+    /// keyed on the job's global input-order index. Kept out of
+    /// [`SweepConfig`] so feature-gated builds report identical
+    /// configuration.
+    #[cfg(feature = "fault-inject")]
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ParallelSweeper {
@@ -208,6 +295,8 @@ impl ParallelSweeper {
         ParallelSweeper {
             config,
             panic_on: None,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
     }
 
@@ -222,6 +311,19 @@ impl ParallelSweeper {
     #[doc(hidden)]
     pub fn with_panic_injection(mut self, trigger: fn(NodeId, NodeId) -> bool) -> Self {
         self.panic_on = Some(trigger);
+        self
+    }
+
+    /// Deterministic chaos: `plan` decides, per global job index,
+    /// whether that proof job panics, stalls briefly, or returns a
+    /// spurious `Unknown`. Because the key is the job's position in
+    /// the deterministic pair order (never the worker or the wall
+    /// clock), a fixed plan injects the identical fault set for every
+    /// `--jobs` value — which is what lets the chaos suite demand
+    /// byte-identical reports under faults.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -262,6 +364,8 @@ impl ParallelSweeper {
         let cfg = &self.config;
         let jobs = cfg.jobs.max(1);
         let panic_on = self.panic_on;
+        #[cfg(feature = "fault-inject")]
+        let fault_plan = self.fault_plan;
         let SimPhases {
             mut stats,
             mut patterns,
@@ -286,15 +390,17 @@ impl ParallelSweeper {
             let mut seeds: Vec<(NodeId, NodeId)> = Vec::new();
             let mut summary = DispatchSummary {
                 jobs,
-                rounds: 0,
-                quarantined: 0,
                 workers: (0..jobs)
                     .map(|worker| WorkerSummary {
                         worker,
                         ..WorkerSummary::default()
                     })
                     .collect(),
+                ..DispatchSummary::default()
             };
+            // Global input-order job index, running across rounds —
+            // the key fault plans select on.
+            let mut next_job_index = 0usize;
             loop {
                 // One round: every (rep, candidate) pair of every
                 // surviving class, shallowest candidates first (the
@@ -338,27 +444,58 @@ impl ParallelSweeper {
 
                 let seeds_ref: &[(NodeId, NodeId)] = &seeds;
                 let recorder = &obs.recorder;
+                // Jobs carry their global input-order index so fault
+                // plans key on *which pair* is proven, never on
+                // scheduling.
+                let indexed: Vec<(usize, NodeId, NodeId)> = pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(a, b))| (next_job_index + i, a, b))
+                    .collect();
+                next_job_index += pairs.len();
                 let outcome = run_ordered_traced(
                     jobs,
-                    pairs.clone(),
+                    indexed,
                     Some(deadline),
                     &obs.trace,
                     |_| WorkerState::new(net, deadline.clone(), recorder.local()),
-                    |state, &(a, b)| {
+                    |state, &(job_index, a, b)| {
+                        #[cfg(feature = "fault-inject")]
+                        if let Some(plan) = fault_plan {
+                            match plan.action(job_index) {
+                                FaultAction::Panic => {
+                                    panic!("injected fault: panic on job {job_index}")
+                                }
+                                // A stall must not change the result,
+                                // only its timing.
+                                FaultAction::Stall(d) => std::thread::sleep(d),
+                                FaultAction::SpuriousUnknown => {
+                                    state.proofs += 1;
+                                    state.timeouts += 1;
+                                    progress.tick();
+                                    return PairOutcome::engine_only(PairVerdict::Undecided);
+                                }
+                                FaultAction::None => {}
+                            }
+                        }
+                        #[cfg(not(feature = "fault-inject"))]
+                        let _ = job_index;
                         if panic_on.is_some_and(|trigger| trigger(a, b)) {
                             panic!("injected prover panic on pair ({a}, {b})");
                         }
-                        let verdict = state.prove_pair(seeds_ref, a, b, cfg);
+                        let outcome = state.prove_pair(seeds_ref, a, b, cfg);
                         progress.tick();
-                        verdict
+                        outcome
                     },
                 );
                 // Round barrier: merge the workers' CPU spans (sum is
-                // order-independent), then fold the deterministic
-                // outcome counts on this thread.
+                // order-independent) and their diagnostic rows. The
+                // authoritative, scheduling-invariant totals come from
+                // the per-job results in the merge loop below —
+                // a panicked step respawns its worker's state, so the
+                // rows may under-report.
                 obs.recorder
                     .merge(outcome.workers.iter().map(|r| &r.state.local));
-                let mut escalations_this_round = 0;
                 for report in &outcome.workers {
                     let agg = &mut summary.workers[report.worker];
                     agg.proofs += report.state.proofs;
@@ -367,13 +504,7 @@ impl ParallelSweeper {
                     agg.escalations += report.state.escalations;
                     agg.steals += report.stolen;
                     agg.panics += report.panics;
-                    stats.sat_calls += report.state.sat_calls;
-                    stats.sat_time += report.state.sat_time;
-                    stats.solver += report.state.solver;
-                    escalations_this_round += report.state.escalations;
                 }
-                obs.recorder
-                    .add(Counter::ProofsEscalated, escalations_this_round);
 
                 // Merge in pair order — the only order-sensitive step,
                 // and it only depends on the (deterministic) results.
@@ -383,13 +514,25 @@ impl ParallelSweeper {
                 let mut pending: Vec<Vec<bool>> = Vec::new();
                 let mut benched: Vec<(NodeId, NodeId)> = Vec::new();
                 let mut dropped: HashSet<NodeId> = HashSet::new();
+                let mut escalations_this_round = 0;
                 for ((rep, cand), status) in pairs.into_iter().zip(outcome.results) {
                     let verdict = match status {
-                        JobStatus::Done(verdict) => {
+                        JobStatus::Done(out) => {
                             obs.recorder.add(Counter::ProofsDispatched, 1);
-                            verdict
+                            summary.proofs += 1;
+                            summary.conflicts += out.conflicts;
+                            summary.escalations += out.escalations;
+                            escalations_this_round += out.escalations;
+                            if out.timeout {
+                                summary.timeouts += 1;
+                            }
+                            stats.sat_calls += out.sat_calls;
+                            stats.sat_time += out.sat_time;
+                            stats.solver += out.solver;
+                            out.verdict
                         }
                         JobStatus::Panicked { .. } => {
+                            summary.panics += 1;
                             summary.quarantined += 1;
                             quarantined.push((rep, cand));
                             obs.recorder.add(Counter::ProofsDispatched, 1);
@@ -415,6 +558,7 @@ impl ParallelSweeper {
                             PairVerdict::Equivalent => "equivalent",
                             PairVerdict::Counterexample(_) => "disproved",
                             PairVerdict::Undecided => "undecided",
+                            PairVerdict::CertificationFailed { .. } => "certification_failed",
                         };
                         obs.trace.emit(
                             "proof",
@@ -427,6 +571,9 @@ impl ParallelSweeper {
                     }
                     match verdict {
                         PairVerdict::Equivalent => {
+                            if cfg.certify {
+                                obs.recorder.add(Counter::CertificatesChecked, 1);
+                            }
                             stats.proved_equivalent += 1;
                             obs.recorder.add(Counter::ProofsEquivalent, 1);
                             record_merge(&mut merged, rep, cand);
@@ -434,6 +581,9 @@ impl ParallelSweeper {
                             dropped.insert(cand);
                         }
                         PairVerdict::Counterexample(v) => {
+                            if cfg.certify {
+                                obs.recorder.add(Counter::CexReplays, 1);
+                            }
                             stats.disproved += 1;
                             obs.recorder.add(Counter::ProofsDisproved, 1);
                             generator.observe_counterexample(&v);
@@ -447,8 +597,36 @@ impl ParallelSweeper {
                             unresolved.push((rep, cand));
                             dropped.insert(cand);
                         }
+                        PairVerdict::CertificationFailed { replay } => {
+                            // An answer its own evidence does not
+                            // support: quarantine the pair, never
+                            // merge or split on it.
+                            if replay {
+                                obs.recorder.add(Counter::CexReplays, 1);
+                                obs.recorder.add(Counter::CexReplayFailures, 1);
+                            } else {
+                                obs.recorder.add(Counter::CertificatesChecked, 1);
+                                obs.recorder.add(Counter::CertificatesFailed, 1);
+                            }
+                            stats.certification_failures += 1;
+                            stats.aborted += 1;
+                            summary.quarantined += 1;
+                            obs.recorder.add(Counter::ProofsQuarantined, 1);
+                            obs.trace.emit(
+                                "certification_failed",
+                                vec![
+                                    ("rep", Json::U64(rep.index() as u64)),
+                                    ("cand", Json::U64(cand.index() as u64)),
+                                ],
+                            );
+                            unresolved.push((rep, cand));
+                            quarantined.push((rep, cand));
+                            dropped.insert(cand);
+                        }
                     }
                 }
+                obs.recorder
+                    .add(Counter::ProofsEscalated, escalations_this_round);
                 for class in &mut work {
                     class.retain(|n| !dropped.contains(n));
                 }
@@ -783,6 +961,77 @@ mod tests {
                 r1.stats.history.len(),
                 "jobs={jobs}"
             );
+        }
+    }
+
+    #[test]
+    fn certified_parallel_sweep_is_jobs_invariant() {
+        // Certification must not disturb the determinism contract:
+        // identical classes and deterministic stats for any jobs
+        // value, zero failures on a healthy engine, and the same
+        // merges an uncertified run produces.
+        let net = workload_net(9);
+        let run = |jobs: usize, certify: bool| {
+            let cfg = SweepConfig {
+                jobs,
+                certify,
+                seed: 9,
+                ..SweepConfig::default()
+            };
+            let mut g = SimGen::new(SimGenConfig::default().with_seed(9));
+            ParallelSweeper::new(cfg).run(&net, &mut g)
+        };
+        let plain = run(1, false);
+        let r1 = run(1, true);
+        assert_eq!(r1.proven_classes, plain.proven_classes);
+        assert_eq!(r1.stats.certification_failures, 0);
+        assert!(r1.quarantined.is_empty());
+        assert!(r1.stats.solver.proof_clauses > 0);
+        for jobs in [2usize, 4] {
+            let rj = run(jobs, true);
+            assert_eq!(rj.proven_classes, r1.proven_classes, "jobs {jobs}");
+            assert_eq!(rj.unresolved, r1.unresolved);
+            assert_eq!(rj.stats.solver, r1.stats.solver);
+            assert_eq!(
+                rj.stats.dispatch.as_ref().unwrap().proofs,
+                r1.stats.dispatch.as_ref().unwrap().proofs
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_totals_survive_worker_respawns() {
+        // Panics respawn worker state; the merge-side totals must
+        // still account for every completed job, for any jobs value.
+        let net = workload_net(19);
+        let run = |jobs: usize| {
+            let cfg = SweepConfig {
+                jobs,
+                seed: 19,
+                ..SweepConfig::default()
+            };
+            let mut g = SimGen::new(SimGenConfig::default().with_seed(19));
+            ParallelSweeper::new(cfg)
+                .with_panic_injection(|_, cand| cand.index() % 3 == 0)
+                .run(&net, &mut g)
+        };
+        let r1 = run(1);
+        let d1 = r1.stats.dispatch.clone().unwrap();
+        assert!(d1.panics > 0, "injection sanity");
+        // Completed proofs + panicked jobs account for every verdict.
+        assert_eq!(
+            d1.proofs + d1.panics,
+            r1.stats.proved_equivalent + r1.stats.disproved + r1.stats.aborted
+        );
+        for jobs in [2usize, 4] {
+            let rj = run(jobs);
+            let dj = rj.stats.dispatch.clone().unwrap();
+            assert_eq!(dj.proofs, d1.proofs, "jobs {jobs}");
+            assert_eq!(dj.panics, d1.panics, "jobs {jobs}");
+            assert_eq!(dj.conflicts, d1.conflicts, "jobs {jobs}");
+            assert_eq!(dj.timeouts, d1.timeouts, "jobs {jobs}");
+            assert_eq!(rj.stats.sat_calls, r1.stats.sat_calls, "jobs {jobs}");
+            assert_eq!(rj.stats.solver, r1.stats.solver, "jobs {jobs}");
         }
     }
 

@@ -65,6 +65,15 @@ pub trait EquivProver {
     fn solver_stats(&self) -> Option<simgen_sat::SolverStats> {
         None
     }
+
+    /// Independently certifies the engine's most recent
+    /// [`ProveOutcome::Equivalent`] answer. The default fails closed:
+    /// an engine that cannot produce a checkable certificate (BDDs, or
+    /// SAT without proof logging) must never be trusted under
+    /// [`SweepConfig::certify`](crate::SweepConfig).
+    fn certify_last(&self) -> bool {
+        false
+    }
 }
 
 /// Incremental prover bound to one network.
@@ -116,6 +125,22 @@ impl<'n> PairProver<'n> {
     /// Wall time spent inside the solver so far.
     pub fn time(&self) -> Duration {
         self.time
+    }
+
+    /// Turns on DRAT proof logging in the underlying solver so that
+    /// every [`ProveOutcome::Equivalent`] answer can be independently
+    /// revalidated (see [`certify`](crate::certify)). Must be called
+    /// before the first query; `byte_budget` bounds the recorded
+    /// proof text.
+    pub fn enable_certification(&mut self, byte_budget: u64) {
+        self.solver.enable_proof_logging(byte_budget);
+    }
+
+    /// The DRAT certificate of the most recent query, present iff
+    /// that query answered [`ProveOutcome::Equivalent`] with
+    /// certification enabled and the proof log intact.
+    pub fn certificate(&self) -> Option<simgen_sat::Certificate<'_>> {
+        self.solver.certificate()
     }
 
     /// Cumulative CDCL statistics of the underlying solver.
@@ -192,6 +217,10 @@ impl EquivProver for PairProver<'_> {
 
     fn solver_stats(&self) -> Option<simgen_sat::SolverStats> {
         Some(PairProver::solver_stats(self))
+    }
+
+    fn certify_last(&self) -> bool {
+        crate::certify::certify_equivalence(self)
     }
 }
 

@@ -99,6 +99,7 @@ pub fn sweep_config_json(cfg: &SweepConfig) -> Vec<(String, Json)> {
         cfg.stall
             .map_or(Json::Null, |d| Json::F64(d.as_secs_f64() * 1e3)),
     ));
+    entries.push(("certify".to_string(), Json::Bool(cfg.certify)));
     entries
 }
 
@@ -156,6 +157,8 @@ fn sat_section(stats: &SweepStats, extra: Option<&simgen_sat::SolverStats>) -> S
         restarts: solver.restarts,
         learned: solver.learned,
         removed: solver.removed,
+        proof_clauses: solver.proof_clauses,
+        proof_bytes: solver.proof_bytes,
         wall_ms: ms(stats.sat_time),
     }
 }
@@ -165,6 +168,11 @@ fn dispatch_section(stats: &SweepStats) -> Option<DispatchSection> {
         jobs: d.jobs as u64,
         rounds: d.rounds,
         quarantined: d.quarantined,
+        proofs: d.proofs,
+        conflicts: d.conflicts,
+        timeouts: d.timeouts,
+        escalations: d.escalations,
+        panics: d.panics,
         workers: d
             .workers
             .iter()
@@ -209,7 +217,7 @@ pub fn sweep_run_report(
     obs: &Observer,
 ) -> RunReport {
     let stats = &report.stats;
-    let outcome = if report.interrupted {
+    let mut outcome = if report.interrupted {
         Outcome {
             status: "interrupted".to_string(),
             exit_code: 2,
@@ -227,6 +235,15 @@ pub fn sweep_run_report(
             detail: vec![],
         }
     };
+    // A failed certification outranks every other exit: it means an
+    // engine produced an answer its own evidence does not support.
+    if stats.certification_failures > 0 {
+        outcome.exit_code = 3;
+        outcome.detail.push((
+            "certification_failures".to_string(),
+            Json::U64(stats.certification_failures),
+        ));
+    }
     RunReport {
         command: meta.command,
         argv: meta.argv,
@@ -263,7 +280,7 @@ pub fn cec_run_report(
     obs: &Observer,
 ) -> RunReport {
     let stats = &report.sweep_stats;
-    let outcome = match &report.verdict {
+    let mut outcome = match &report.verdict {
         CecVerdict::Equivalent => Outcome {
             status: "equivalent".to_string(),
             exit_code: 0,
@@ -290,6 +307,7 @@ pub fn cec_run_report(
                         match reason {
                             InconclusiveReason::DeadlineExpired => "deadline_expired",
                             InconclusiveReason::BudgetExhausted => "budget_exhausted",
+                            InconclusiveReason::CertificationFailed => "certification_failed",
                         }
                         .to_string(),
                     ),
@@ -301,6 +319,17 @@ pub fn cec_run_report(
             ],
         },
     };
+    // Certification failures force exit 3 — except for NotEquivalent,
+    // whose witness was itself replay-certified and is definitive.
+    if stats.certification_failures > 0
+        && !matches!(report.verdict, CecVerdict::NotEquivalent { .. })
+    {
+        outcome.exit_code = 3;
+        outcome.detail.push((
+            "certification_failures".to_string(),
+            Json::U64(stats.certification_failures),
+        ));
+    }
     let mut sat = sat_section(stats, Some(&report.output_solver));
     sat.calls += report.output_sat_calls;
     sat.wall_ms += ms(report.output_sat_time);
@@ -446,6 +475,7 @@ mod tests {
                 "jobs",
                 "budget_schedule",
                 "stall",
+                "certify",
             ]
         );
         assert!(matches!(

@@ -51,6 +51,12 @@ pub struct SweepStats {
     /// deadline expired before the pair was started, or the pair's
     /// prover was quarantined after a panic.
     pub aborted: u64,
+    /// Pairs quarantined because certification rejected the engine's
+    /// answer: the DRAT checker refused an `Equivalent` proof, or the
+    /// scalar replay refused a counterexample. Always zero unless the
+    /// sweep ran with [`SweepConfig::certify`](crate::SweepConfig)
+    /// and any nonzero value means an engine bug was caught.
+    pub certification_failures: u64,
     /// Per-iteration history of the simulation phase.
     pub history: Vec<IterationRecord>,
     /// Parallel-dispatch breakdown (`None` for serial sweeps).
@@ -59,9 +65,11 @@ pub struct SweepStats {
 
 /// What one dispatch worker contributed across all proof rounds.
 ///
-/// Every field except `steals` is a deterministic function of the
-/// candidate-pair list (outcomes do not depend on scheduling); steal
-/// counts reflect actual thread interleaving and vary run to run.
+/// These rows are diagnostics, not the authoritative totals: a worker
+/// whose step panics is respawned with fresh state, losing whatever it
+/// had accumulated, and steal counts reflect actual thread
+/// interleaving. The deterministic totals live directly on
+/// [`DispatchSummary`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorkerSummary {
     /// Worker index.
@@ -82,43 +90,64 @@ pub struct WorkerSummary {
 }
 
 /// Aggregated parallel-dispatch statistics for one sweep.
+///
+/// The total fields are accumulated merge-side, in candidate-pair
+/// input order, from each job's returned outcome — so they are
+/// identical for any `--jobs` value even when injected faults panic
+/// workers mid-round (a panicked job deterministically contributes
+/// nothing). Summing the [`WorkerSummary`] rows instead would lose
+/// whatever a panicking worker had accumulated before its respawn.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DispatchSummary {
     /// Worker count the sweep ran with.
     pub jobs: usize,
     /// Synchronised proof rounds executed.
     pub rounds: u64,
-    /// Pairs quarantined because their proof panicked or was skipped
-    /// by an expired deadline; all of them end the sweep unresolved.
+    /// Pairs quarantined because their proof panicked, was skipped by
+    /// an expired deadline, or failed certification; all of them end
+    /// the sweep unresolved.
     pub quarantined: u64,
-    /// Per-worker breakdown, indexed by worker id.
+    /// Proof jobs that ran to completion (panicked/skipped jobs are
+    /// excluded).
+    pub proofs: u64,
+    /// Solver conflicts spent in aborted (budget-limited) attempts.
+    pub conflicts: u64,
+    /// Pairs whose whole escalation ladder (and fallback) exhausted.
+    pub timeouts: u64,
+    /// Budget-escalation retries beyond each pair's first attempt.
+    pub escalations: u64,
+    /// Proof jobs that panicked; each one quarantined its pair.
+    pub panics: u64,
+    /// Per-worker breakdown, indexed by worker id (diagnostics only —
+    /// lossy under panics, see [`WorkerSummary`]).
     pub workers: Vec<WorkerSummary>,
 }
 
 impl DispatchSummary {
-    /// Total pair proofs across workers.
+    /// Total completed pair proofs (deterministic, merge-side).
     pub fn total_proofs(&self) -> u64 {
-        self.workers.iter().map(|w| w.proofs).sum()
+        self.proofs
     }
 
-    /// Total escalation retries across workers.
+    /// Total escalation retries (deterministic, merge-side).
     pub fn total_escalations(&self) -> u64 {
-        self.workers.iter().map(|w| w.escalations).sum()
+        self.escalations
     }
 
-    /// Total exhausted pairs across workers.
+    /// Total exhausted pairs (deterministic, merge-side).
     pub fn total_timeouts(&self) -> u64 {
-        self.workers.iter().map(|w| w.timeouts).sum()
+        self.timeouts
     }
 
-    /// Total steals across workers.
+    /// Total steals across workers. Steals are scheduling-dependent,
+    /// so this is the one total that still sums the worker rows.
     pub fn total_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.steals).sum()
     }
 
-    /// Total caught prover panics across workers.
+    /// Total panicked proof jobs (deterministic, merge-side).
     pub fn total_panics(&self) -> u64 {
-        self.workers.iter().map(|w| w.panics).sum()
+        self.panics
     }
 }
 
@@ -164,15 +193,21 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_summary_aggregates_panics_and_quarantine() {
+    fn dispatch_summary_totals_are_merge_side_not_row_sums() {
         let summary = DispatchSummary {
             jobs: 3,
             rounds: 2,
             quarantined: 4,
+            proofs: 23,
+            timeouts: 1,
+            panics: 3,
             workers: vec![
+                // Worker 0 panicked and was respawned, so its row
+                // under-reports: rows are diagnostics, the summary's
+                // own fields are authoritative.
                 WorkerSummary {
                     worker: 0,
-                    proofs: 10,
+                    proofs: 4,
                     panics: 1,
                     steals: 2,
                     ..WorkerSummary::default()
@@ -190,13 +225,15 @@ mod tests {
                     ..WorkerSummary::default()
                 },
             ],
+            ..DispatchSummary::default()
         };
         assert_eq!(summary.total_panics(), 3);
         assert_eq!(summary.total_proofs(), 23);
         assert_eq!(summary.total_steals(), 2);
         assert_eq!(summary.total_timeouts(), 1);
-        // Quarantined covers panicked *and* deadline-skipped pairs, so
-        // it is tracked independently of the per-worker panic counts.
+        // Quarantined covers panicked, deadline-skipped and
+        // certification-failed pairs, so it is tracked independently
+        // of the panic counts.
         assert_eq!(summary.quarantined, 4);
     }
 

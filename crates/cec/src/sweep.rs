@@ -10,7 +10,7 @@ use simgen_core::PatternGenerator;
 use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_obs::{Counter, Json, Observer, Phase, Trace};
-use simgen_sim::{EquivClasses, PatternSet, SimResult};
+use simgen_sim::{EquivClasses, PatternSet, Replayer, SimResult};
 
 use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
 use crate::stats::{IterationRecord, SweepStats};
@@ -61,6 +61,14 @@ pub struct SweepConfig {
     /// ends `Undecided`) and the sweep moves on. `None` disables
     /// stall detection.
     pub stall: Option<Duration>,
+    /// Trust-but-verify mode: every `Equivalent` answer must carry a
+    /// DRAT certificate the independent checker accepts, and every
+    /// counterexample must replay through the scalar reference
+    /// evaluator. Failed checks quarantine the pair (counted in
+    /// [`SweepStats::certification_failures`](crate::SweepStats)).
+    /// Since BDD answers carry no DRAT proof, certification forces
+    /// the SAT engine and skips the BDD fallback.
+    pub certify: bool,
 }
 
 impl Default for SweepConfig {
@@ -76,6 +84,7 @@ impl Default for SweepConfig {
             jobs: 1,
             budget_schedule: None,
             stall: None,
+            certify: false,
         }
     }
 }
@@ -95,8 +104,10 @@ pub struct SweepReport {
     /// is ever merged, which is what keeps partial results sound.
     pub unresolved: Vec<(NodeId, NodeId)>,
     /// The subset of [`SweepReport::unresolved`] that was quarantined
-    /// because its proof panicked (always empty for serial sweeps,
-    /// which run the prover on the caller's own thread).
+    /// because its proof could not be trusted: the prover panicked
+    /// (parallel sweeps only — serial proofs run on the caller's own
+    /// thread, where a panic propagates) or certification rejected
+    /// the engine's answer.
     pub quarantined: Vec<(NodeId, NodeId)>,
     /// True when the deadline expired (or was tripped) before the
     /// sweep finished; the report is then a sound partial result.
@@ -165,6 +176,7 @@ impl Sweeper {
         // Phase 3: SAT resolution with counterexample feedback.
         let mut proven: Vec<Vec<NodeId>> = Vec::new();
         let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut quarantined: Vec<(NodeId, NodeId)> = Vec::new();
         let mut interrupted = false;
         if cfg.run_sat {
             let progress = Progress::default();
@@ -172,13 +184,22 @@ impl Sweeper {
             let sat_start = obs.recorder.is_enabled().then(std::time::Instant::now);
             let resim_before = stats.resim_time;
             let mut prover: Box<dyn EquivProver + '_> = match cfg.proof {
-                ProofEngine::Sat => {
+                // BDD answers carry no DRAT proof: under certify the
+                // resolution phase falls back to the SAT engine, whose
+                // answers are checkable.
+                ProofEngine::Bdd { node_limit } if !cfg.certify => {
+                    Box::new(BddProver::new(net, node_limit))
+                }
+                _ => {
                     let mut p = PairProver::new(net);
                     p.bind_deadline(deadline);
+                    if cfg.certify {
+                        p.enable_certification(crate::certify::PROOF_BYTE_BUDGET);
+                    }
                     Box::new(p)
                 }
-                ProofEngine::Bdd { node_limit } => Box::new(BddProver::new(net, node_limit)),
             };
+            let mut replayer = Replayer::new();
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
             let mut merged: Vec<Vec<NodeId>> = Vec::new();
             // Counterexamples are not resimulated one at a time:
@@ -262,6 +283,50 @@ impl Sweeper {
                         ],
                     );
                 }
+                // Trust-but-verify: before an answer refines anything,
+                // certify it through a path independent of the engine
+                // that produced it. A rejected answer quarantines the
+                // pair — it is never merged and never splits a class.
+                if cfg.certify {
+                    let cert_failed = match &outcome {
+                        ProveOutcome::Equivalent => {
+                            obs.recorder.add(Counter::CertificatesChecked, 1);
+                            let ok = prover.certify_last();
+                            if !ok {
+                                obs.recorder.add(Counter::CertificatesFailed, 1);
+                            }
+                            !ok
+                        }
+                        ProveOutcome::Counterexample(v) => {
+                            obs.recorder.add(Counter::CexReplays, 1);
+                            let ok = replayer.distinguishes(net, v, rep, cand);
+                            if !ok {
+                                obs.recorder.add(Counter::CexReplayFailures, 1);
+                            }
+                            !ok
+                        }
+                        ProveOutcome::Undecided { .. } => false,
+                    };
+                    if cert_failed {
+                        stats.certification_failures += 1;
+                        stats.aborted += 1;
+                        obs.recorder.add(Counter::ProofsQuarantined, 1);
+                        obs.trace.emit(
+                            "certification_failed",
+                            vec![
+                                ("rep", Json::U64(rep.index() as u64)),
+                                ("cand", Json::U64(cand.index() as u64)),
+                            ],
+                        );
+                        unresolved.push((rep, cand));
+                        quarantined.push((rep, cand));
+                        work[ci].remove(1);
+                        if work[ci].len() < 2 {
+                            work.remove(ci);
+                        }
+                        continue;
+                    }
+                }
                 match outcome {
                     ProveOutcome::Equivalent => {
                         stats.proved_equivalent += 1;
@@ -337,9 +402,10 @@ impl Sweeper {
             cost_after_sim,
             proven_classes: proven,
             unresolved,
-            // Serial proofs run on the caller's thread; a panic there
-            // propagates to the caller, so nothing is ever quarantined.
-            quarantined: Vec::new(),
+            // Serial proofs run on the caller's thread, so panics
+            // propagate instead of quarantining; only certification
+            // failures land here.
+            quarantined,
             interrupted: interrupted || deadline.expired(),
             patterns,
         }
@@ -706,6 +772,56 @@ mod tests {
         }
         assert!(report.stats.proved_equivalent >= 2);
         assert!(report.unresolved.is_empty());
+    }
+
+    #[test]
+    fn certified_serial_sweep_matches_uncertified() {
+        // Certification on a healthy engine is pure overhead: same
+        // classes, same counts, zero failures, nothing quarantined.
+        let (net, ands) = redundant_net();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let plain = Sweeper::new(SweepConfig::default()).run(&net, &mut gen);
+        let cfg = SweepConfig {
+            certify: true,
+            ..SweepConfig::default()
+        };
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let certified = Sweeper::new(cfg).run(&net, &mut gen);
+        assert_eq!(certified.proven_classes, plain.proven_classes);
+        assert_eq!(
+            certified.stats.proved_equivalent,
+            plain.stats.proved_equivalent
+        );
+        assert_eq!(certified.stats.disproved, plain.stats.disproved);
+        assert_eq!(certified.stats.certification_failures, 0);
+        assert!(certified.quarantined.is_empty());
+        // The certified run logged proofs; the plain one did not.
+        assert!(certified.stats.solver.proof_clauses > 0);
+        assert_eq!(plain.stats.solver.proof_clauses, 0);
+        assert!(certified
+            .proven_classes
+            .iter()
+            .any(|c| ands.iter().all(|n| c.contains(n))));
+    }
+
+    #[test]
+    fn certify_forces_sat_engine_over_bdd() {
+        // BDD answers carry no DRAT proof, so a certified sweep must
+        // route proofs through SAT — and still resolve everything.
+        let (net, _) = redundant_net();
+        let cfg = SweepConfig {
+            proof: ProofEngine::Bdd {
+                node_limit: 1 << 20,
+            },
+            certify: true,
+            ..SweepConfig::default()
+        };
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let report = Sweeper::new(cfg).run(&net, &mut gen);
+        assert!(report.stats.proved_equivalent >= 2);
+        assert_eq!(report.stats.certification_failures, 0);
+        // SAT (not BDD) did the work, so proof clauses were recorded.
+        assert!(report.stats.solver.proof_clauses > 0);
     }
 
     #[test]

@@ -177,7 +177,7 @@ pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str>
     out
 }
 
-const VALUE_FLAGS: [&str; 10] = [
+const VALUE_FLAGS: [&str; 11] = [
     "-k",
     "--strategy",
     "--iters",
@@ -188,10 +188,11 @@ const VALUE_FLAGS: [&str; 10] = [
     "--stall",
     "--stats-json",
     "--trace",
+    "--fault-seed",
 ];
 
 /// Flags that stand alone (no value token follows).
-const BOOL_FLAGS: [&str; 1] = ["--profile"];
+const BOOL_FLAGS: [&str; 2] = ["--profile", "--certify"];
 
 /// True for tokens the argument grammar treats as flags (same shape
 /// test [`positionals`] uses to skip them).
@@ -341,6 +342,27 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let stats_json = flag_value(rest, "--stats-json");
     let trace_path = flag_value(rest, "--trace");
     let profile = rest.iter().any(|a| a == "--profile");
+    let certify = rest.iter().any(|a| a == "--certify");
+    // Validate --fault-seed eagerly, like every other flag: a bad
+    // value or a build without the feature is an error, never a
+    // silently ignored option.
+    let fault_seed: Option<u64> = flag_value(rest, "--fault-seed")
+        .map(|v| {
+            v.parse().map_err(|_| {
+                CliError(format!(
+                    "bad --fault-seed value `{v}` (need an unsigned integer)"
+                ))
+            })
+        })
+        .transpose()?;
+    #[cfg(not(feature = "fault-inject"))]
+    if fault_seed.is_some() {
+        return err("--fault-seed requires the fault-inject feature \
+             (rebuild with --features fault-inject)");
+    }
+    if fault_seed.is_some() && cmd != "sweep" {
+        return err("--fault-seed is only supported by `sweep`");
+    }
     // One deadline for the whole invocation: `--timeout 0` starts
     // already expired, which degrades every proof phase immediately.
     let deadline = timeout.map(Deadline::after).unwrap_or_default();
@@ -464,6 +486,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 guided_iterations: iters,
                 jobs,
                 stall,
+                certify,
                 ..SweepConfig::default()
             };
             // Always the dispatch engine: its reports are
@@ -471,8 +494,13 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             // the default 1, which runs inline without threads)
             // prints byte-identical classes and proof counts.
             let mut obs = Observer::with(stats_json.is_some() || profile, trace_path.is_some());
-            let report =
-                ParallelSweeper::new(cfg).run_observed(&net, gen.as_mut(), &deadline, &mut obs);
+            #[allow(unused_mut)]
+            let mut sweeper = ParallelSweeper::new(cfg);
+            #[cfg(feature = "fault-inject")]
+            if let Some(fseed) = fault_seed {
+                sweeper = sweeper.with_fault_plan(simgen_cec::FaultPlan::from_seed(fseed));
+            }
+            let report = sweeper.run_observed(&net, gen.as_mut(), &deadline, &mut obs);
             let run_report = sweep_run_report(
                 RunMeta {
                     command: "sweep".to_string(),
@@ -518,6 +546,16 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     );
                 }
             }
+            // Certification failure outranks a mere interruption:
+            // an engine answer was rejected, which the caller must
+            // not mistake for an ordinary timeout.
+            if report.stats.certification_failures > 0 {
+                println!(
+                    "  CERTIFICATION FAILED: {} engine answer(s) rejected and quarantined",
+                    report.stats.certification_failures
+                );
+                return Ok(ExitCode::from(3));
+            }
             if report.interrupted {
                 println!("  INTERRUPTED: deadline expired; classes above are partial");
                 return Ok(ExitCode::from(2));
@@ -535,6 +573,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let cfg = SweepConfig {
                 jobs,
                 stall,
+                certify,
                 ..SweepConfig::default()
             };
             let mut obs = Observer::with(stats_json.is_some() || profile, trace_path.is_some());
@@ -552,15 +591,29 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 &obs,
             );
             write_observability(&run_report, &obs, stats_json, trace_path, profile)?;
+            let cert_failures = report.sweep_stats.certification_failures;
             match report.verdict {
                 CecVerdict::Equivalent => {
                     println!(
                         "EQUIVALENT ({} sweep SAT calls)",
                         report.sweep_stats.sat_calls
                     );
+                    // An equivalence verdict built on top of rejected
+                    // engine answers is not trustworthy, even though
+                    // the output proofs themselves went through.
+                    if cert_failures > 0 {
+                        println!(
+                            "CERTIFICATION FAILED: {cert_failures} engine answer(s) rejected \
+                             during the sweep"
+                        );
+                        return Ok(ExitCode::from(3));
+                    }
                     Ok(ExitCode::SUCCESS)
                 }
                 CecVerdict::NotEquivalent { po_index, witness } => {
+                    // A counterexample is definitive: under --certify
+                    // it was replayed through the reference simulator
+                    // before this verdict was reached.
                     let bits: String = witness.iter().map(|&b| if b { '1' } else { '0' }).collect();
                     println!("NOT EQUIVALENT: output pair {po_index} differs on input {bits}");
                     Ok(ExitCode::from(1))
@@ -572,6 +625,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     let why = match reason {
                         InconclusiveReason::DeadlineExpired => "deadline expired",
                         InconclusiveReason::BudgetExhausted => "SAT budget exhausted",
+                        InconclusiveReason::CertificationFailed => "certification failed",
                     };
                     let pairs: Vec<String> =
                         unresolved_pairs.iter().map(usize::to_string).collect();
@@ -581,6 +635,9 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         pairs.join(" ")
                     );
                     println!("note: no inequivalence was found; the result is a sound partial one");
+                    if cert_failures > 0 {
+                        return Ok(ExitCode::from(3));
+                    }
                     Ok(ExitCode::from(2))
                 }
             }
@@ -616,10 +673,11 @@ USAGE:
   simgen export <in> <out.dot|out.v> [-k K]  Graphviz / structural Verilog
   simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
   simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N] [--jobs N]
-                      [--timeout SECS] [--stall SECS]
-                      [--stats-json PATH] [--trace PATH] [--profile]
+                      [--timeout SECS] [--stall SECS] [--certify]
+                      [--fault-seed N] [--stats-json PATH] [--trace PATH]
+                      [--profile]
   simgen cec <a> <b> [--strategy S] [-k K] [--seed N] [--jobs N]
-                     [--timeout SECS] [--stall SECS]
+                     [--timeout SECS] [--stall SECS] [--certify]
                      [--stats-json PATH] [--trace PATH] [--profile]
   simgen bench <name> <out>                emit a built-in benchmark circuit
   simgen list-benchmarks                   list the 42 built-in benchmarks
@@ -634,6 +692,14 @@ Anytime operation: --timeout SECS bounds the whole run by a wall-clock
 deadline; --stall SECS aborts any single proof making no progress for
 that long. On expiry the tool reports the sound partial result it has.
 
+Trust-but-verify: --certify double-checks every engine answer — UNSAT
+proofs are re-validated by an independent DRAT checker, and every
+counterexample is replayed through the reference simulator — before
+any class is refined (see docs/certification.md). Pairs whose evidence
+fails the check are quarantined, never merged. --fault-seed N
+(requires building with --features fault-inject) deterministically
+injects worker faults for chaos testing; sweep only.
+
 Observability: --stats-json PATH writes a simgen-run-report/1 JSON
 document (schema: docs/observability.md); --trace PATH writes the
 event trace as JSON Lines; --profile prints per-phase folded stacks
@@ -641,7 +707,9 @@ on stdout (pipe into a flamegraph tool).
 
 Exit codes for `cec`: 0 equivalent, 1 not equivalent (counterexample
 printed), 2 inconclusive (deadline or SAT budget ran out before all
-output pairs were resolved). `sweep` exits 2 if interrupted."
+output pairs were resolved), 3 certification rejected an engine answer
+under --certify. `sweep` exits 2 if interrupted, 3 on certification
+failure."
     );
 }
 
@@ -925,6 +993,70 @@ mod tests {
         // Same degraded path through the parallel sweeper.
         let code = run(&s(&["cec", &and_s, &and_s, "--timeout", "0", "-j", "2"])).unwrap();
         assert_eq!(code, ExitCode::from(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_seed_flag_is_validated() {
+        // Malformed values are rejected before any file I/O.
+        for bad in ["-1", "soon", "1.5"] {
+            let msg = run(&s(&["sweep", "x.blif", "--fault-seed", bad]))
+                .expect_err("bad fault seed must error")
+                .0;
+            assert!(msg.contains("--fault-seed"), "unexpected error: {msg}");
+        }
+        // A well-formed seed is rejected on commands other than sweep
+        // (and, without the fault-inject feature, everywhere).
+        let msg = run(&s(&["cec", "a.aig", "b.aig", "--fault-seed", "7"]))
+            .expect_err("cec must reject --fault-seed")
+            .0;
+        assert!(msg.contains("--fault-seed"), "unexpected error: {msg}");
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let msg = run(&s(&["sweep", "x.blif", "--fault-seed", "7"]))
+                .expect_err("fault injection needs the feature")
+                .0;
+            assert!(msg.contains("fault-inject"), "unexpected error: {msg}");
+        }
+    }
+
+    #[test]
+    fn certify_flag_is_accepted_and_keeps_verdicts() {
+        let dir = std::env::temp_dir().join(format!("simgen_cli_cert_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let and_p = dir.join("and.aag");
+        let or_p = dir.join("or.aag");
+        std::fs::write(&and_p, "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n").unwrap();
+        std::fs::write(&or_p, "aag 3 2 0 1 1\n2\n4\n7\n6 3 5\n").unwrap();
+        let and_s = and_p.to_str().unwrap().to_string();
+        let or_s = or_p.to_str().unwrap().to_string();
+        // Certified equivalence still exits 0, certified
+        // inequivalence (replayed witness) still exits 1.
+        let code = run(&s(&["cec", &and_s, &and_s, "--certify"])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        let code = run(&s(&["cec", &and_s, &or_s, "--certify"])).unwrap();
+        assert_eq!(code, ExitCode::from(1));
+        // Certified sweep succeeds and records proof activity in the
+        // run report's sat section.
+        use simgen_obs::Json;
+        let stats = dir.join("certified.json");
+        let code = run(&s(&[
+            "sweep",
+            &and_s,
+            "--certify",
+            "--iters",
+            "2",
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        let json = Json::parse(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+        assert_eq!(
+            json.get("config").unwrap().get("certify"),
+            Some(&Json::Bool(true)),
+            "certify mode is echoed in the report config"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -21,8 +21,12 @@
 
 mod deadline;
 mod executor;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod schedule;
 
 pub use deadline::{Deadline, Progress, Watchdog};
 pub use executor::{run_ordered, run_ordered_traced, DispatchOutcome, JobStatus, WorkerReport};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultAction, FaultPlan};
 pub use schedule::{Attempt, BudgetSchedule, Escalation};

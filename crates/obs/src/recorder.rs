@@ -92,7 +92,8 @@ enum_with_names! {
         ProofsUndecided => "proofs_undecided",
         /// Budget escalations across all pairs.
         ProofsEscalated => "proofs_escalated",
-        /// Pairs quarantined after a prover panic.
+        /// Pairs quarantined: a prover panic or a failed
+        /// certification check.
         ProofsQuarantined => "proofs_quarantined",
         /// Pairs skipped because the deadline expired first.
         ProofsSkipped => "proofs_skipped",
@@ -122,6 +123,18 @@ enum_with_names! {
         ScalarPushes => "scalar_pushes",
         /// Output-pair proofs dispatched (CEC only).
         OutputProofs => "output_proofs",
+        /// DRAT certificates checked behind `Equivalent` answers
+        /// (`--certify` runs only).
+        CertificatesChecked => "certificates_checked",
+        /// Certificates the independent checker rejected; each one
+        /// quarantined its pair.
+        CertificatesFailed => "certificates_failed",
+        /// Counterexamples replayed through the scalar reference
+        /// evaluator (`--certify` runs only).
+        CexReplays => "cex_replays",
+        /// Replays that failed to reproduce the counterexample; each
+        /// one quarantined its pair.
+        CexReplayFailures => "cex_replay_failures",
     }
 }
 

@@ -48,7 +48,8 @@ pub struct Outcome {
     /// `"complete"`, `"interrupted"`, `"equivalent"`,
     /// `"not_equivalent"`, or `"inconclusive"`.
     pub status: String,
-    /// The process exit code the CLI maps this outcome to (0/1/2).
+    /// The process exit code the CLI maps this outcome to (0/1/2, or
+    /// 3 when certification rejected an engine answer).
     pub exit_code: u64,
     /// True when a deadline or stall trip cut the run short.
     pub interrupted: bool,
@@ -122,6 +123,11 @@ pub struct SatSection {
     pub learned: u64,
     /// Learned clauses removed by reduction.
     pub removed: u64,
+    /// Clauses recorded into DRAT proof logs (zero unless proof
+    /// logging was on).
+    pub proof_clauses: u64,
+    /// Bytes of DRAT proof text those clauses amount to.
+    pub proof_bytes: u64,
     /// Total wall time inside provers, milliseconds.
     pub wall_ms: f64,
 }
@@ -146,6 +152,11 @@ pub struct WorkerRow {
 }
 
 /// Parallel-dispatch totals plus the per-worker breakdown.
+///
+/// The totals are accumulated merge-side from per-job results, NOT by
+/// summing the worker rows: a panicking step respawns its worker's
+/// state, so row counters can under-report while the totals stay
+/// deterministic for any worker count.
 #[derive(Clone, Debug, Default)]
 pub struct DispatchSection {
     /// Worker count the run used.
@@ -154,6 +165,16 @@ pub struct DispatchSection {
     pub rounds: u64,
     /// Pairs quarantined.
     pub quarantined: u64,
+    /// Proof jobs that ran to completion.
+    pub proofs: u64,
+    /// Conflicts spent in aborted (budget-limited) attempts.
+    pub conflicts: u64,
+    /// Pairs whose whole budget ladder exhausted.
+    pub timeouts: u64,
+    /// Budget escalations beyond first attempts.
+    pub escalations: u64,
+    /// Steps that panicked (each quarantined its pair).
+    pub panics: u64,
     /// Per-worker rows (stripped from the deterministic form).
     pub workers: Vec<WorkerRow>,
 }
@@ -336,6 +357,8 @@ impl RunReport {
             s.push("restarts", Json::U64(sat.restarts));
             s.push("learned", Json::U64(sat.learned));
             s.push("removed", Json::U64(sat.removed));
+            s.push("proof_clauses", Json::U64(sat.proof_clauses));
+            s.push("proof_bytes", Json::U64(sat.proof_bytes));
             s.push("wall_ms", Json::F64(sat.wall_ms));
             root.push("sat", s);
         }
@@ -346,13 +369,16 @@ impl RunReport {
             d.push("rounds", Json::U64(dispatch.rounds));
             d.push("quarantined", Json::U64(dispatch.quarantined));
             let mut totals = Json::obj();
-            let sum = |f: fn(&WorkerRow) -> u64| dispatch.workers.iter().map(f).sum::<u64>();
-            totals.push("proofs", Json::U64(sum(|w| w.proofs)));
-            totals.push("conflicts", Json::U64(sum(|w| w.conflicts)));
-            totals.push("timeouts", Json::U64(sum(|w| w.timeouts)));
-            totals.push("escalations", Json::U64(sum(|w| w.escalations)));
-            totals.push("steals", Json::U64(sum(|w| w.steals)));
-            totals.push("panics", Json::U64(sum(|w| w.panics)));
+            totals.push("proofs", Json::U64(dispatch.proofs));
+            totals.push("conflicts", Json::U64(dispatch.conflicts));
+            totals.push("timeouts", Json::U64(dispatch.timeouts));
+            totals.push("escalations", Json::U64(dispatch.escalations));
+            // Steals are inherently scheduling-dependent, so the only
+            // honest total is the sum of the rows; it is stripped from
+            // the deterministic form along with them.
+            let steals = dispatch.workers.iter().map(|w| w.steals).sum::<u64>();
+            totals.push("steals", Json::U64(steals));
+            totals.push("panics", Json::U64(dispatch.panics));
             d.push("totals", totals);
             let workers = dispatch
                 .workers
@@ -565,6 +591,8 @@ impl RunReport {
                 "restarts",
                 "learned",
                 "removed",
+                "proof_clauses",
+                "proof_bytes",
             ] {
                 expect_u64(&mut errors, sat, "sat", key);
             }
@@ -681,6 +709,7 @@ mod tests {
                 jobs,
                 rounds: 2,
                 quarantined: 0,
+                proofs: 12,
                 // The same 12 proofs split across however many
                 // workers ran — totals stay invariant, steals don't.
                 workers: (0..jobs)
@@ -691,6 +720,7 @@ mod tests {
                         ..WorkerRow::default()
                     })
                     .collect(),
+                ..DispatchSection::default()
             }),
             sim: Some(SimSection {
                 kernel_nodes: 40,
@@ -729,8 +759,16 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_totals_sum_worker_rows() {
-        let json = sample_report(3).to_json();
+    fn dispatch_totals_come_from_merge_side_fields() {
+        // Totals are the section's own (merge-accumulated) fields, not
+        // sums of the rows — a panic-respawned worker's rows may
+        // under-report. Steals stay a row sum: they have no
+        // deterministic counterpart.
+        let mut report = sample_report(3);
+        if let Some(d) = report.dispatch.as_mut() {
+            d.workers[0].proofs = 0; // simulate a respawned worker
+        }
+        let json = report.to_json();
         let totals = json.get("dispatch").unwrap().get("totals").unwrap();
         assert_eq!(totals.get("proofs").unwrap().as_u64(), Some(12));
         assert_eq!(totals.get("steals").unwrap().as_u64(), Some(3));

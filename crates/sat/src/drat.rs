@@ -1,0 +1,507 @@
+//! Independent backward RUP checking of DRAT-style proofs.
+//!
+//! [`Solver`](crate::Solver) can record the clauses it learns and
+//! deletes (see [`Solver::enable_proof_logging`]); this module
+//! revalidates an `Unsat` answer without trusting the solver: the
+//! checker shares no propagation code, no clause database and no
+//! heuristics with the CDCL engine. It replays the proof and verifies,
+//! by reverse unit propagation (RUP), that every learnt clause the
+//! conflict actually depends on is a consequence of the clauses that
+//! preceded it — and that the final database propagates to a conflict
+//! under the query's assumptions.
+//!
+//! The check is *backward*: a forward replay first reconstructs the
+//! final clause database, the final conflict is derived and its
+//! antecedents marked *core*, and then the proof is unwound in reverse
+//! so that each core addition is RUP-checked against exactly the
+//! clauses that were live when the solver learnt it. Non-core
+//! additions — learnt clauses the conflict never needed — are skipped,
+//! which is what makes backward checking cheaper than forward
+//! checking on real proofs.
+//!
+//! [`Solver::enable_proof_logging`]: crate::Solver::enable_proof_logging
+
+use std::collections::HashMap;
+
+use crate::lit::Lit;
+
+/// One step of a recorded DRAT proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause added to the database (a DRAT addition line). Learnt
+    /// clauses and the final empty clause are recorded this way.
+    Add(Vec<Lit>),
+    /// A clause removed by database reduction (a DRAT `d` line).
+    Delete(Vec<Lit>),
+}
+
+/// Why a certificate was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DratError {
+    /// The formula plus the full proof does not propagate to a
+    /// conflict under the query's assumptions — the proof proves
+    /// nothing about this query.
+    NoConflict,
+    /// The addition at `step` is not derivable from the clauses live
+    /// at that point by reverse unit propagation.
+    NotRup {
+        /// Index into the proof's step list.
+        step: usize,
+    },
+    /// The deletion at `step` names a clause that is not live in the
+    /// database.
+    UnknownDeletion {
+        /// Index into the proof's step list.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for DratError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DratError::NoConflict => {
+                write!(f, "proof does not derive a conflict under the assumptions")
+            }
+            DratError::NotRup { step } => {
+                write!(f, "proof step {step} is not a RUP consequence")
+            }
+            DratError::UnknownDeletion { step } => {
+                write!(f, "proof step {step} deletes a clause that is not live")
+            }
+        }
+    }
+}
+
+/// An unsatisfiability certificate: the original clauses of the
+/// formula, the assumptions of the query, and the recorded proof.
+///
+/// Obtained from [`Solver::certificate`](crate::Solver::certificate)
+/// after an `Unsat` answer; validated with [`Certificate::check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Certificate<'a> {
+    /// Every clause added to the solver, verbatim as the caller gave
+    /// it (before any internal simplification).
+    pub formula: &'a [Vec<Lit>],
+    /// The assumption literals of the certified query.
+    pub assumptions: &'a [Lit],
+    /// The recorded proof steps, in the order the solver emitted them.
+    pub steps: &'a [ProofStep],
+}
+
+impl Certificate<'_> {
+    /// Runs the backward RUP check. `Ok(())` means the answer
+    /// "`formula` ∧ `assumptions` is unsatisfiable" is independently
+    /// verified.
+    pub fn check(&self) -> Result<(), DratError> {
+        check(self.formula, self.assumptions, self.steps)
+    }
+}
+
+const UNDEF: i8 = 2;
+
+/// The checker's own propagation state: occurrence lists instead of
+/// watches (simple and obviously correct beats fast here), a flat
+/// assignment array, and per-variable reasons so conflict antecedents
+/// can be marked core.
+#[derive(Default)]
+struct Checker {
+    /// Clause id → literals. Formula clauses first, then additions.
+    lits: Vec<Vec<Lit>>,
+    /// Clause id → currently live in the database.
+    active: Vec<bool>,
+    /// Clause id → needed by the final conflict (transitively).
+    core: Vec<bool>,
+    /// Literal index → ids of clauses containing that literal.
+    occurs: Vec<Vec<usize>>,
+    /// Variable → 0 false, 1 true, 2 unassigned.
+    assigns: Vec<i8>,
+    /// Variable → clause that implied it (None for roots).
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+}
+
+/// Result of propagating to saturation.
+enum Saturated {
+    /// A conflict was reached. `None` means two root literals clashed
+    /// directly (no clause involved).
+    Conflict(Option<usize>),
+    /// Propagation stabilised without conflict.
+    Stable,
+}
+
+impl Checker {
+    fn ensure_var(&mut self, v: usize) {
+        while self.assigns.len() <= v {
+            self.assigns.push(UNDEF);
+            self.reason.push(None);
+            self.occurs.push(Vec::new());
+            self.occurs.push(Vec::new());
+        }
+    }
+
+    fn add_clause(&mut self, clause: &[Lit]) -> usize {
+        let id = self.lits.len();
+        // Duplicate literals would be double-counted as "unassigned"
+        // during unit detection; a deduplicated clause is logically
+        // identical, so store that.
+        let mut lits: Vec<Lit> = Vec::with_capacity(clause.len());
+        for &l in clause {
+            if lits.contains(&l) {
+                continue;
+            }
+            self.ensure_var(l.var().index());
+            self.occurs[l.index()].push(id);
+            lits.push(l);
+        }
+        self.lits.push(lits);
+        self.active.push(true);
+        self.core.push(false);
+        id
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        match self.assigns[l.var().index()] {
+            UNDEF => None,
+            x => Some((x == 1) != l.is_neg()),
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert!(self.value(l).is_none());
+        self.assigns[l.var().index()] = i8::from(!l.is_neg());
+        self.reason[l.var().index()] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation to saturation over the live clauses, starting
+    /// from `roots` forced true. Leaves the trail in place so the
+    /// caller can mark cores; undo with [`Checker::reset`].
+    fn saturate(&mut self, roots: &[Lit]) -> Saturated {
+        for &l in roots {
+            match self.value(l) {
+                Some(false) => return Saturated::Conflict(None),
+                Some(true) => {}
+                None => self.enqueue(l, None),
+            }
+        }
+        // Seed with a priori units and empties; longer clauses only
+        // become unit once literals are falsified, which the queue
+        // below observes through the occurrence lists.
+        for id in 0..self.lits.len() {
+            if !self.active[id] {
+                continue;
+            }
+            match self.lits[id].len() {
+                0 => return Saturated::Conflict(Some(id)),
+                1 => {
+                    let l = self.lits[id][0];
+                    match self.value(l) {
+                        Some(false) => return Saturated::Conflict(Some(id)),
+                        Some(true) => {}
+                        None => self.enqueue(l, Some(id)),
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut qhead = 0;
+        while qhead < self.trail.len() {
+            let p = self.trail[qhead];
+            qhead += 1;
+            let neg = (!p).index();
+            let mut i = 0;
+            while i < self.occurs[neg].len() {
+                let id = self.occurs[neg][i];
+                i += 1;
+                if !self.active[id] {
+                    continue;
+                }
+                let mut unassigned: Option<Lit> = None;
+                let mut open = false;
+                for &l in &self.lits[id] {
+                    match self.value(l) {
+                        Some(true) => {
+                            open = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            if unassigned.is_some() {
+                                open = true;
+                                break;
+                            }
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if open {
+                    continue;
+                }
+                match unassigned {
+                    None => return Saturated::Conflict(Some(id)),
+                    Some(l) => self.enqueue(l, Some(id)),
+                }
+            }
+        }
+        Saturated::Stable
+    }
+
+    /// Marks the conflict clause and, transitively through the
+    /// reasons of its falsified literals, every clause the conflict
+    /// depends on.
+    fn mark_core(&mut self, confl: Option<usize>) {
+        let mut stack: Vec<usize> = confl.into_iter().collect();
+        while let Some(id) = stack.pop() {
+            if self.core[id] {
+                continue;
+            }
+            self.core[id] = true;
+            for i in 0..self.lits[id].len() {
+                let v = self.lits[id][i].var().index();
+                if let Some(r) = self.reason[v] {
+                    if !self.core[r] {
+                        stack.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for l in self.trail.drain(..) {
+            let v = l.var().index();
+            self.assigns[v] = UNDEF;
+            self.reason[v] = None;
+        }
+    }
+
+    /// RUP test: assuming every literal of `clause` false, does unit
+    /// propagation over the live clauses conflict? On success the
+    /// conflict's antecedents are marked core.
+    fn rup(&mut self, clause: &[Lit]) -> bool {
+        let roots: Vec<Lit> = clause.iter().map(|&l| !l).collect();
+        let ok = match self.saturate(&roots) {
+            Saturated::Conflict(c) => {
+                self.mark_core(c);
+                true
+            }
+            Saturated::Stable => false,
+        };
+        self.reset();
+        ok
+    }
+}
+
+/// Clause identity for deletion matching: the sorted literal indices
+/// (the solver reorders literals in place as watches move).
+fn clause_key(lits: &[Lit]) -> Vec<u32> {
+    let mut key: Vec<u32> = lits.iter().map(|l| l.index() as u32).collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+enum Event {
+    Added(usize),
+    Deleted(usize),
+}
+
+/// Checks that `formula` ∧ `assumptions` is unsatisfiable, using
+/// `steps` as the DRAT derivation. See the [module docs](self) for
+/// the algorithm.
+///
+/// Addition steps are verified *without* the assumptions — learnt
+/// clauses must be consequences of the formula alone, so one
+/// cumulative proof stays valid across queries with different
+/// assumptions. Only the final conflict uses the assumptions.
+pub fn check(
+    formula: &[Vec<Lit>],
+    assumptions: &[Lit],
+    steps: &[ProofStep],
+) -> Result<(), DratError> {
+    let mut ck = Checker::default();
+    let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for clause in formula {
+        let id = ck.add_clause(clause);
+        index.entry(clause_key(clause)).or_default().push(id);
+    }
+    for &l in assumptions {
+        ck.ensure_var(l.var().index());
+    }
+
+    // Forward replay: reconstruct the final database, remembering
+    // which concrete clause each step touched.
+    let mut events: Vec<Event> = Vec::with_capacity(steps.len());
+    for (si, step) in steps.iter().enumerate() {
+        match step {
+            ProofStep::Add(lits) => {
+                let id = ck.add_clause(lits);
+                index.entry(clause_key(lits)).or_default().push(id);
+                events.push(Event::Added(id));
+            }
+            ProofStep::Delete(lits) => {
+                let found = index
+                    .get(&clause_key(lits))
+                    .and_then(|ids| ids.iter().rev().copied().find(|&id| ck.active[id]));
+                match found {
+                    Some(id) => {
+                        ck.active[id] = false;
+                        events.push(Event::Deleted(id));
+                    }
+                    None => return Err(DratError::UnknownDeletion { step: si }),
+                }
+            }
+        }
+    }
+
+    // The final database must conflict under the assumptions.
+    match ck.saturate(assumptions) {
+        Saturated::Conflict(c) => ck.mark_core(c),
+        Saturated::Stable => {
+            ck.reset();
+            return Err(DratError::NoConflict);
+        }
+    }
+    ck.reset();
+
+    // Backward pass: unwind the proof so each core addition is
+    // checked against exactly the clauses live when it was learnt.
+    for (si, ev) in events.iter().enumerate().rev() {
+        match *ev {
+            Event::Deleted(id) => ck.active[id] = true,
+            Event::Added(id) => {
+                ck.active[id] = false;
+                if ck.core[id] {
+                    let lits = ck.lits[id].clone();
+                    if !ck.rup(&lits) {
+                        return Err(DratError::NotRup { step: si });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(x: i32) -> Lit {
+        Lit::new(Var(x.unsigned_abs() - 1), x > 0)
+    }
+
+    fn clause(xs: &[i32]) -> Vec<Lit> {
+        xs.iter().map(|&x| lit(x)).collect()
+    }
+
+    #[test]
+    fn direct_contradiction_needs_no_proof() {
+        let formula = vec![clause(&[1]), clause(&[-1])];
+        assert_eq!(check(&formula, &[], &[]), Ok(()));
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_trivially_unsat() {
+        let formula = vec![clause(&[1, 2])];
+        assert_eq!(check(&formula, &[lit(1), lit(-1)], &[]), Ok(()));
+    }
+
+    #[test]
+    fn assumption_conflict_through_propagation() {
+        // (a ∨ b) ∧ (¬a ∨ b) under ¬b: propagation alone conflicts.
+        let formula = vec![clause(&[1, 2]), clause(&[-1, 2])];
+        assert_eq!(check(&formula, &[lit(-2)], &[]), Ok(()));
+    }
+
+    #[test]
+    fn satisfiable_formula_is_rejected() {
+        let formula = vec![clause(&[1, 2])];
+        assert_eq!(check(&formula, &[], &[]), Err(DratError::NoConflict));
+    }
+
+    #[test]
+    fn rup_chain_with_learnt_clauses() {
+        // a→b, b→c, a, ¬c is unsat; the "proof" learns (¬a ∨ c) then ⊥.
+        let formula = vec![
+            clause(&[-1, 2]),
+            clause(&[-2, 3]),
+            clause(&[1]),
+            clause(&[-3]),
+        ];
+        let steps = vec![ProofStep::Add(clause(&[-1, 3])), ProofStep::Add(Vec::new())];
+        assert_eq!(check(&formula, &[], &steps), Ok(()));
+    }
+
+    #[test]
+    fn non_rup_addition_is_rejected() {
+        // (x) with a bogus learnt clause (¬x) that nothing implies,
+        // followed by the empty clause "derived" from it.
+        let formula = vec![clause(&[1])];
+        let steps = vec![ProofStep::Add(clause(&[-1])), ProofStep::Add(Vec::new())];
+        assert_eq!(
+            check(&formula, &[], &steps),
+            Err(DratError::NotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn deleting_an_unknown_clause_is_rejected() {
+        let formula = vec![clause(&[1, 2])];
+        let steps = vec![ProofStep::Delete(clause(&[1, 3]))];
+        assert_eq!(
+            check(&formula, &[], &steps),
+            Err(DratError::UnknownDeletion { step: 0 })
+        );
+    }
+
+    #[test]
+    fn deleted_clause_is_unavailable_afterwards() {
+        // (a ∨ b), (¬a ∨ b), (¬b): deleting (¬b) first leaves the
+        // remainder satisfiable, so no conflict can be derived.
+        let formula = vec![clause(&[1, 2]), clause(&[-1, 2]), clause(&[-2])];
+        let steps = vec![ProofStep::Delete(clause(&[-2]))];
+        assert_eq!(check(&formula, &[], &steps), Err(DratError::NoConflict));
+    }
+
+    #[test]
+    fn deletion_events_are_unwound_for_earlier_checks() {
+        // The learnt clause (2) needs (¬1 ∨ 2) and (1), both of which
+        // are deleted *after* the learning step; the backward pass
+        // must reactivate them before checking the addition.
+        let formula = vec![clause(&[-1, 2]), clause(&[1]), clause(&[-2])];
+        let steps = vec![
+            ProofStep::Add(clause(&[2])),
+            ProofStep::Delete(clause(&[-1, 2])),
+            ProofStep::Add(Vec::new()),
+        ];
+        assert_eq!(check(&formula, &[], &steps), Ok(()));
+    }
+
+    #[test]
+    fn non_core_garbage_additions_are_skipped() {
+        // A satisfiable-looking junk clause over fresh variables is
+        // harmless as long as the conflict never depends on it.
+        let formula = vec![clause(&[1]), clause(&[-1])];
+        let steps = vec![ProofStep::Add(clause(&[7, 8]))];
+        assert_eq!(check(&formula, &[], &steps), Ok(()));
+    }
+
+    #[test]
+    fn tautological_addition_is_vacuously_rup() {
+        let formula = vec![clause(&[1]), clause(&[-1])];
+        let steps = vec![ProofStep::Add(clause(&[2, -2])), ProofStep::Add(Vec::new())];
+        assert_eq!(check(&formula, &[], &steps), Ok(()));
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        let e = DratError::NotRup { step: 3 };
+        assert!(e.to_string().contains("step 3"));
+        assert!(DratError::NoConflict.to_string().contains("conflict"));
+        assert!(DratError::UnknownDeletion { step: 0 }
+            .to_string()
+            .contains("deletes"));
+    }
+}

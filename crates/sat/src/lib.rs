@@ -30,11 +30,13 @@
 //! ```
 
 pub mod cnf;
+pub mod drat;
 pub mod heap;
 pub mod lit;
 pub mod solver;
 pub mod tseitin;
 
 pub use cnf::Cnf;
+pub use drat::{Certificate, DratError, ProofStep};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::cnf::Cnf;
+use crate::drat::{Certificate, ProofStep};
 use crate::heap::ActivityHeap;
 use crate::lit::{Lit, Var};
 
@@ -45,6 +46,10 @@ pub struct SolverStats {
     pub removed: u64,
     /// Number of solve calls.
     pub solves: u64,
+    /// Clauses recorded into DRAT proof logs (addition lines).
+    pub proof_clauses: u64,
+    /// Bytes of DRAT proof text recorded (addition and deletion lines).
+    pub proof_bytes: u64,
 }
 
 impl std::ops::AddAssign for SolverStats {
@@ -59,6 +64,8 @@ impl std::ops::AddAssign for SolverStats {
         self.learned += rhs.learned;
         self.removed += rhs.removed;
         self.solves += rhs.solves;
+        self.proof_clauses += rhs.proof_clauses;
+        self.proof_bytes += rhs.proof_bytes;
     }
 }
 
@@ -72,6 +79,49 @@ struct Clause {
     activity: f32,
     learnt: bool,
     deleted: bool,
+}
+
+/// Cumulative DRAT proof state, kept only while logging is enabled.
+///
+/// The proof is cumulative across queries on purpose: with
+/// incremental solving, a clause learnt in one query stays in the
+/// database and feeds propagation in later queries, so a later
+/// certificate is only checkable against the whole derivation
+/// history. Per-query state is just the assumptions and the
+/// `certifiable` verdict flag.
+#[derive(Clone, Debug)]
+struct ProofLog {
+    /// Every clause the caller added, verbatim (pre-simplification).
+    formula: Vec<Vec<Lit>>,
+    /// Recorded additions and deletions, in emission order.
+    steps: Vec<ProofStep>,
+    /// Assumptions of the most recent solve call.
+    assumptions: Vec<Lit>,
+    /// DRAT text bytes the recorded steps would occupy.
+    bytes: u64,
+    /// Recording stops (and certification is disabled) past this.
+    byte_budget: u64,
+    /// Sticky: the budget was hit and the proof is incomplete.
+    overflowed: bool,
+    /// The most recent answer was `Unsat` with a complete proof.
+    certifiable: bool,
+}
+
+/// Bytes the DRAT text line for `lits` would occupy: optional `d `
+/// prefix, each literal as a signed 1-based decimal plus a space, and
+/// the terminating `0\n`.
+fn drat_line_bytes(lits: &[Lit], delete: bool) -> u64 {
+    let mut n: u64 = if delete { 2 } else { 0 };
+    for &l in lits {
+        let mut digits = 1u64;
+        let mut v = (l.var().index() as u64 + 1) / 10;
+        while v > 0 {
+            digits += 1;
+            v /= 10;
+        }
+        n += digits + u64::from(l.is_neg()) + 1;
+    }
+    n + 2
 }
 
 /// A CDCL SAT solver. See the [module docs](self) for the feature set.
@@ -122,6 +172,9 @@ pub struct Solver {
     /// Wall-clock point past which solves abort with `Unknown`.
     /// Checked every few search iterations (clock reads are syscalls).
     deadline: Option<std::time::Instant>,
+    /// DRAT proof recording, when enabled. Boxed: the common path
+    /// (no certification) should not pay for the log's footprint.
+    proof: Option<Box<ProofLog>>,
 }
 
 impl Default for Solver {
@@ -161,7 +214,95 @@ impl Solver {
             num_learnts: 0,
             interrupt: None,
             deadline: None,
+            proof: None,
         }
+    }
+
+    /// Begins recording a DRAT-style proof of every clause the solver
+    /// learns or deletes, so `Unsat` answers can be independently
+    /// revalidated via [`Solver::certificate`]. Recording is bounded
+    /// by `byte_budget` (the size the proof would occupy as DRAT
+    /// text); once exceeded, the proof is marked overflowed and no
+    /// further certificates are issued — the solver's answers stay
+    /// correct, they are just no longer independently checkable.
+    ///
+    /// Must be called before any clauses are added: the certificate
+    /// needs the full formula.
+    pub fn enable_proof_logging(&mut self, byte_budget: u64) {
+        debug_assert!(
+            self.clauses.is_empty() && self.trail.is_empty(),
+            "proof logging must start before the first clause"
+        );
+        self.proof = Some(Box::new(ProofLog {
+            formula: Vec::new(),
+            steps: Vec::new(),
+            assumptions: Vec::new(),
+            bytes: 0,
+            byte_budget,
+            overflowed: false,
+            certifiable: false,
+        }));
+    }
+
+    /// True while DRAT proof recording is active.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// True once the proof byte budget was exceeded (certificates are
+    /// no longer issued for this solver).
+    pub fn proof_overflowed(&self) -> bool {
+        self.proof.as_ref().is_some_and(|p| p.overflowed)
+    }
+
+    /// The certificate for the most recent solve call, if and only if
+    /// that call answered [`SolveResult::Unsat`] with proof logging
+    /// active and the proof complete. `Sat` and `Unknown` answers —
+    /// including queries cut short by a deadline, interrupt or
+    /// conflict budget — never yield a certificate.
+    pub fn certificate(&self) -> Option<Certificate<'_>> {
+        let p = self.proof.as_ref()?;
+        if !p.certifiable {
+            return None;
+        }
+        Some(Certificate {
+            formula: &p.formula,
+            assumptions: &p.assumptions,
+            steps: &p.steps,
+        })
+    }
+
+    /// Records a proof addition line, honoring the byte budget.
+    fn record_add(&mut self, lits: &[Lit]) {
+        let Some(p) = &mut self.proof else { return };
+        if p.overflowed {
+            return;
+        }
+        let n = drat_line_bytes(lits, false);
+        if p.bytes + n > p.byte_budget {
+            p.overflowed = true;
+            return;
+        }
+        p.bytes += n;
+        p.steps.push(ProofStep::Add(lits.to_vec()));
+        self.stats.proof_clauses += 1;
+        self.stats.proof_bytes += n;
+    }
+
+    /// Records a proof deletion (`d`) line, honoring the byte budget.
+    fn record_delete(&mut self, lits: &[Lit]) {
+        let Some(p) = &mut self.proof else { return };
+        if p.overflowed {
+            return;
+        }
+        let n = drat_line_bytes(lits, true);
+        if p.bytes + n > p.byte_budget {
+            p.overflowed = true;
+            return;
+        }
+        p.bytes += n;
+        p.steps.push(ProofStep::Delete(lits.to_vec()));
+        self.stats.proof_bytes += n;
     }
 
     /// Installs a shared interrupt flag. While the flag is set, any
@@ -250,6 +391,12 @@ impl Solver {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.ok {
             return false;
+        }
+        if let Some(p) = &mut self.proof {
+            // The certificate checks against the formula exactly as
+            // given; the simplifications below are the solver's own
+            // business and never seen by the checker.
+            p.formula.push(clause.to_vec());
         }
         let mut lits: Vec<Lit> = Vec::with_capacity(clause.len());
         for &l in clause {
@@ -578,6 +725,10 @@ impl Solver {
             self.clauses[c as usize].deleted = true;
             self.num_learnts -= 1;
             removed += 1;
+            if self.proof.is_some() {
+                let lits = self.clauses[c as usize].lits.clone();
+                self.record_delete(&lits);
+            }
         }
         self.stats.removed += removed as u64;
         // Watches are cleaned lazily in propagate (deleted clauses are
@@ -619,6 +770,9 @@ impl Solver {
                 }
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    // The conflict at level zero is the derivation of
+                    // the empty clause.
+                    self.record_add(&[]);
                     return Search::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
@@ -627,6 +781,7 @@ impl Solver {
                 // Unsat if one of them is now falsified.
                 self.backtrack(bt);
                 self.stats.learned += 1;
+                self.record_add(&learnt);
                 if learnt.len() == 1 {
                     debug_assert_eq!(self.decision_level(), 0);
                     self.unchecked_enqueue(learnt[0], None);
@@ -693,7 +848,17 @@ impl Solver {
         conflict_budget: Option<u64>,
     ) -> SolveResult {
         self.stats.solves += 1;
+        if let Some(p) = &mut self.proof {
+            p.certifiable = false;
+            p.assumptions.clear();
+            p.assumptions.extend_from_slice(assumptions);
+        }
         if !self.ok {
+            // The formula is unsatisfiable outright; the cumulative
+            // proof already derives the conflict with no assumptions.
+            if let Some(p) = &mut self.proof {
+                p.certifiable = !p.overflowed;
+            }
             return SolveResult::Unsat;
         }
         if self.past_deadline() {
@@ -717,6 +882,11 @@ impl Solver {
                 }
             }
         };
+        if result == SolveResult::Unsat {
+            if let Some(p) = &mut self.proof {
+                p.certifiable = !p.overflowed;
+            }
+        }
         self.backtrack(0);
         result
     }
@@ -1005,6 +1175,180 @@ mod tests {
         assert!(s.add_clause(&[lit(1), lit(1), lit(2)]));
         assert!(s.add_clause(&[lit(1), lit(-1)])); // tautology: dropped
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    /// PHP(n, n-1) clauses — the stock hard-but-small UNSAT family.
+    fn pigeonhole(n: i32) -> (usize, Vec<Vec<i32>>) {
+        let h = n - 1;
+        let v = |i: i32, j: i32| i * h + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..n {
+            clauses.push((0..h).map(|j| v(i, j)).collect());
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        ((n * h) as usize, clauses)
+    }
+
+    fn logged_solver(num_vars: usize, clauses: &[Vec<i32>]) -> Solver {
+        let mut s = Solver::new();
+        s.enable_proof_logging(1 << 20);
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&x| lit(x)).collect();
+            s.add_clause(&lits);
+        }
+        s
+    }
+
+    #[test]
+    fn unsat_proof_passes_the_drat_checker() {
+        let (nv, clauses) = pigeonhole(4);
+        let mut s = logged_solver(nv, &clauses);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let cert = s.certificate().expect("unsat with logging certifies");
+        assert_eq!(cert.check(), Ok(()));
+        assert!(s.stats().proof_clauses > 0);
+        assert!(s.stats().proof_bytes > 0);
+    }
+
+    #[test]
+    fn assumption_unsat_is_certifiable_per_query() {
+        let mut s = Solver::new();
+        s.enable_proof_logging(1 << 20);
+        for _ in 0..2 {
+            s.new_var();
+        }
+        s.add_clause(&[lit(1), lit(2)]);
+        s.add_clause(&[lit(-1), lit(2)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(-2)]), SolveResult::Unsat);
+        let cert = s.certificate().expect("assumption unsat certifies");
+        assert_eq!(cert.assumptions, &[lit(-2)]);
+        assert_eq!(cert.check(), Ok(()));
+        // A Sat answer on the same instance never yields a certificate.
+        assert_eq!(s.solve_with_assumptions(&[lit(2)]), SolveResult::Sat);
+        assert!(s.certificate().is_none());
+    }
+
+    #[test]
+    fn incremental_unsat_keeps_a_checkable_proof() {
+        // Clauses arrive interleaved with solves; the cumulative
+        // proof must stay valid across the whole history.
+        let mut s = Solver::new();
+        s.enable_proof_logging(1 << 20);
+        for _ in 0..3 {
+            s.new_var();
+        }
+        s.add_clause(&[lit(1), lit(2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[lit(-1), lit(3)]);
+        s.add_clause(&[lit(-2), lit(3)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(-3)]), SolveResult::Unsat);
+        let cert = s.certificate().expect("certificate");
+        assert_eq!(cert.check(), Ok(()));
+        // Once the formula itself turns unsat, later queries certify
+        // from the same cumulative proof.
+        s.add_clause(&[lit(-3)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[lit(1)]), SolveResult::Unsat);
+        let cert = s.certificate().expect("sticky unsat certifies");
+        assert_eq!(cert.check(), Ok(()));
+    }
+
+    #[test]
+    fn interrupted_query_leaves_proof_clean_and_uncertified() {
+        // Satellite regression: a query cut short mid-search (budget,
+        // interrupt or deadline) must report Unknown with *no*
+        // certificate, while the proof log stays valid for the next
+        // query.
+        let (nv, clauses) = pigeonhole(7);
+        let mut s = logged_solver(nv, &clauses);
+
+        // Conflict budget expiry mid-query.
+        assert_eq!(s.solve_limited(&[], Some(1)), SolveResult::Unknown);
+        assert!(s.certificate().is_none(), "Unknown must not certify");
+
+        // Interrupt flag raised before the query.
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Arc::clone(&flag));
+        assert_eq!(s.solve_limited(&[], None), SolveResult::Unknown);
+        assert!(s.certificate().is_none());
+        flag.store(false, Ordering::Relaxed);
+
+        // Expired deadline.
+        s.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        ));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(s.certificate().is_none());
+        s.set_deadline(None);
+
+        // The aborted attempts left real learnt clauses behind; the
+        // eventual Unsat still carries a proof the checker accepts.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let cert = s.certificate().expect("full solve certifies");
+        assert_eq!(cert.check(), Ok(()));
+    }
+
+    #[test]
+    fn overflowed_byte_budget_disables_certification() {
+        let (nv, clauses) = pigeonhole(4);
+        let mut s = Solver::new();
+        s.enable_proof_logging(8); // absurdly small: overflows at once
+        for _ in 0..nv {
+            s.new_var();
+        }
+        for c in &clauses {
+            let lits: Vec<Lit> = c.iter().map(|&x| lit(x)).collect();
+            s.add_clause(&lits);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.proof_overflowed());
+        assert!(
+            s.certificate().is_none(),
+            "an incomplete proof must never certify"
+        );
+        // Recorded bytes never exceed the budget.
+        assert!(s.stats().proof_bytes <= 8);
+    }
+
+    #[test]
+    fn proof_stats_flow_through_add_assign() {
+        let (nv, clauses) = pigeonhole(3);
+        let mut s = logged_solver(nv, &clauses);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let mut total = SolverStats::default();
+        total += s.stats();
+        total += s.stats();
+        assert_eq!(total.proof_clauses, 2 * s.stats().proof_clauses);
+        assert_eq!(total.proof_bytes, 2 * s.stats().proof_bytes);
+    }
+
+    #[test]
+    fn logging_disabled_records_nothing() {
+        let (nv, clauses) = pigeonhole(4);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(nv, &refs);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.proof_logging());
+        assert!(s.certificate().is_none());
+        assert_eq!(s.stats().proof_clauses, 0);
+        assert_eq!(s.stats().proof_bytes, 0);
+    }
+
+    #[test]
+    fn drat_line_byte_estimate_matches_text() {
+        // "-10 3 0\n" = 8 bytes; "d 1 2 0\n" = 8 bytes; "0\n" = 2.
+        assert_eq!(drat_line_bytes(&[lit(-10), lit(3)], false), 8);
+        assert_eq!(drat_line_bytes(&[lit(1), lit(2)], true), 8);
+        assert_eq!(drat_line_bytes(&[], false), 2);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Certification property tests: on random small CNFs the solver
+//! must agree with a brute-force enumerator, and every `Unsat` answer
+//! must come with a DRAT proof the independent backward RUP checker
+//! accepts — with and without assumptions, across incremental reuse.
+
+use proptest::prelude::*;
+
+use simgen_sat::{Cnf, Lit, SolveResult, Solver, Var};
+
+fn brute_force_sat(cnf: &Cnf, assumptions: &[Lit]) -> bool {
+    let nv = cnf.num_vars();
+    (0..(1u64 << nv)).any(|m| {
+        let assign: Vec<bool> = (0..nv).map(|i| (m >> i) & 1 == 1).collect();
+        assumptions
+            .iter()
+            .all(|l| assign[l.var().index()] != l.is_neg())
+            && cnf.eval(&assign)
+    })
+}
+
+/// Builds a logging solver holding `cnf` (logging must precede the
+/// first clause, so `Solver::from_cnf` cannot be used).
+fn logged_solver(cnf: &Cnf) -> Solver {
+    let mut s = Solver::new();
+    s.enable_proof_logging(1 << 24);
+    for _ in 0..cnf.num_vars() {
+        s.new_var();
+    }
+    for c in cnf.clauses() {
+        s.add_clause(c);
+    }
+    s
+}
+
+fn build_cnf(nv: usize, clauses: Vec<Vec<(usize, bool)>>) -> Cnf {
+    let mut cnf = Cnf::new();
+    cnf.new_vars(nv as u32);
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .into_iter()
+            .map(|(v, p)| Lit::new(Var((v % nv) as u32), p))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_agrees_with_brute_force_and_unsat_certifies(
+        nv in 2usize..=12,
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..12, any::<bool>()), 1..4), 0..50)
+    ) {
+        let cnf = build_cnf(nv, clauses);
+        let mut solver = logged_solver(&cnf);
+        match solver.solve() {
+            SolveResult::Sat => {
+                prop_assert!(cnf.eval(solver.model()));
+                prop_assert!(solver.certificate().is_none());
+            }
+            SolveResult::Unsat => {
+                prop_assert!(!brute_force_sat(&cnf, &[]));
+                let cert = solver.certificate().expect("unsat certifies");
+                prop_assert_eq!(cert.check(), Ok(()));
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget set"),
+        }
+    }
+
+    #[test]
+    fn assumption_queries_certify_independently(
+        nv in 2usize..=12,
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..12, any::<bool>()), 1..4), 1..40),
+        assumed in prop::collection::vec((0usize..12, any::<bool>()), 1..4)
+    ) {
+        let cnf = build_cnf(nv, clauses);
+        let assumptions: Vec<Lit> = assumed
+            .into_iter()
+            .map(|(v, p)| Lit::new(Var((v % nv) as u32), p))
+            .collect();
+        let mut solver = logged_solver(&cnf);
+        // Two queries back to back: the assumption query and a free
+        // query, exercising cumulative-proof reuse in both orders.
+        match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat => {
+                prop_assert!(cnf.eval(solver.model()));
+                for &l in &assumptions {
+                    prop_assert!(solver.model()[l.var().index()] != l.is_neg());
+                }
+            }
+            SolveResult::Unsat => {
+                prop_assert!(!brute_force_sat(&cnf, &assumptions));
+                let cert = solver.certificate().expect("unsat certifies");
+                prop_assert_eq!(cert.assumptions, assumptions.as_slice());
+                prop_assert_eq!(cert.check(), Ok(()));
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget set"),
+        }
+        match solver.solve() {
+            SolveResult::Sat => prop_assert!(cnf.eval(solver.model())),
+            SolveResult::Unsat => {
+                prop_assert!(!brute_force_sat(&cnf, &[]));
+                let cert = solver.certificate().expect("unsat certifies");
+                prop_assert_eq!(cert.check(), Ok(()));
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget set"),
+        }
+    }
+}

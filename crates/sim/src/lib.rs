@@ -35,12 +35,14 @@ pub mod classes;
 pub mod kernel;
 pub mod patterns;
 pub mod probability;
+pub mod replay;
 pub mod simulator;
 
 pub use classes::EquivClasses;
 pub use kernel::{CompiledNet, KernelSummary};
 pub use patterns::PatternSet;
 pub use probability::signal_probabilities;
+pub use replay::{replay_distinguishes, Replayer};
 pub use simulator::{simulate, simulate_jobs, ExecStats, SimResult};
 
 #[cfg(any(test, feature = "reference"))]
