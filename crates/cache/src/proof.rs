@@ -1,0 +1,257 @@
+//! Serialization and replay of DRAT certificates.
+//!
+//! A cache hit for an `Equivalent` verdict is only as trustworthy as
+//! the proof stored with it. This module round-trips the
+//! [`Certificate`] a [`simgen_sat::Solver`] produced — formula
+//! clauses, query assumptions, and the recorded proof steps — through
+//! a line-oriented text blob (`simgen-proof/1`), and replays a parsed
+//! blob through the same independent backward-RUP checker certified
+//! live sweeps use. Truncation, bit-rot, or tampering surfaces as a
+//! parse error or a checker rejection, never as a trusted verdict.
+//!
+//! Literals are written DIMACS-style (1-based, negative = negated), so
+//! the blobs are human-inspectable with standard tooling.
+
+use simgen_sat::{Certificate, Lit, ProofStep, Var};
+
+/// Magic first line of a serialized proof blob.
+pub const PROOF_SCHEMA: &str = "simgen-proof/1";
+
+/// Why a proof blob failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofParseError {
+    /// Missing or wrong schema line.
+    BadSchema,
+    /// A line that is not valid UTF-8 or has an unknown tag.
+    BadLine(usize),
+    /// A literal token that is not a nonzero integer.
+    BadLiteral(usize),
+    /// The terminating `.` line is missing (truncated blob).
+    Truncated,
+}
+
+impl std::fmt::Display for ProofParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofParseError::BadSchema => write!(f, "missing {PROOF_SCHEMA} header"),
+            ProofParseError::BadLine(n) => write!(f, "unparseable proof line {n}"),
+            ProofParseError::BadLiteral(n) => write!(f, "bad literal on proof line {n}"),
+            ProofParseError::Truncated => write!(f, "proof blob is truncated"),
+        }
+    }
+}
+
+/// An owned, parsed certificate. [`Certificate`] borrows its slices
+/// from the solver; this is the same data rehydrated from a blob,
+/// re-borrowable for checking via [`OwnedCertificate::as_certificate`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OwnedCertificate {
+    /// The formula clauses, verbatim.
+    pub formula: Vec<Vec<Lit>>,
+    /// The assumption literals of the certified query.
+    pub assumptions: Vec<Lit>,
+    /// The recorded proof steps.
+    pub steps: Vec<ProofStep>,
+}
+
+impl OwnedCertificate {
+    /// Borrows the owned data as a checkable [`Certificate`].
+    pub fn as_certificate(&self) -> Certificate<'_> {
+        Certificate {
+            formula: &self.formula,
+            assumptions: &self.assumptions,
+            steps: &self.steps,
+        }
+    }
+
+    /// Parses a `simgen-proof/1` blob.
+    pub fn parse(bytes: &[u8]) -> Result<OwnedCertificate, ProofParseError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| ProofParseError::BadSchema)?;
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l == PROOF_SCHEMA => {}
+            _ => return Err(ProofParseError::BadSchema),
+        }
+        let mut cert = OwnedCertificate::default();
+        let mut terminated = false;
+        for (n, line) in lines {
+            let line = line.trim_end();
+            if line == "." {
+                terminated = true;
+                break;
+            }
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let lits = parse_lits(rest, n)?;
+            match tag {
+                "f" => cert.formula.push(lits),
+                "u" => cert.assumptions = lits,
+                "a" => cert.steps.push(ProofStep::Add(lits)),
+                "d" => cert.steps.push(ProofStep::Delete(lits)),
+                _ => return Err(ProofParseError::BadLine(n)),
+            }
+        }
+        if !terminated {
+            return Err(ProofParseError::Truncated);
+        }
+        Ok(cert)
+    }
+}
+
+/// Serializes a certificate into a `simgen-proof/1` blob.
+pub fn serialize_certificate(cert: &Certificate<'_>) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str(PROOF_SCHEMA);
+    out.push('\n');
+    for clause in cert.formula {
+        out.push('f');
+        push_lits(&mut out, clause);
+    }
+    out.push('u');
+    push_lits(&mut out, cert.assumptions);
+    for step in cert.steps {
+        let (tag, lits) = match step {
+            ProofStep::Add(l) => ('a', l),
+            ProofStep::Delete(l) => ('d', l),
+        };
+        out.push(tag);
+        push_lits(&mut out, lits);
+    }
+    out.push_str(".\n");
+    out.into_bytes()
+}
+
+/// Parses a stored proof blob and replays it through the independent
+/// backward-RUP checker. `true` iff the blob is well-formed and the
+/// checker accepts it — the gate a cached `Equivalent` verdict must
+/// pass before certify-mode trusts it.
+pub fn verify_proof(bytes: &[u8]) -> bool {
+    match OwnedCertificate::parse(bytes) {
+        Ok(cert) => cert.as_certificate().check().is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn push_lits(out: &mut String, lits: &[Lit]) {
+    for &l in lits {
+        let v = l.var().index() as i64 + 1;
+        let signed = if l.is_neg() { -v } else { v };
+        out.push(' ');
+        out.push_str(&signed.to_string());
+    }
+    out.push('\n');
+}
+
+fn parse_lits(s: &str, line: usize) -> Result<Vec<Lit>, ProofParseError> {
+    s.split_ascii_whitespace()
+        .map(|tok| {
+            let v: i64 = tok.parse().map_err(|_| ProofParseError::BadLiteral(line))?;
+            if v == 0 || v.unsigned_abs() > u32::MAX as u64 {
+                return Err(ProofParseError::BadLiteral(line));
+            }
+            let var = Var(v.unsigned_abs() as u32 - 1);
+            Ok(if v < 0 { Lit::neg(var) } else { Lit::pos(var) })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_sat::{SolveResult, Solver};
+
+    /// A solver run that produces a real certificate: pigeonhole-ish
+    /// unsat core under an assumption.
+    fn certified_unsat() -> (Vec<Vec<Lit>>, Vec<Lit>, Vec<ProofStep>) {
+        let mut s = Solver::new();
+        s.enable_proof_logging(1 << 20);
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let [a, b, c, d] = vars[..] else {
+            unreachable!()
+        };
+        for clause in [
+            vec![Lit::pos(a), Lit::pos(b)],
+            vec![Lit::pos(a), Lit::neg(b), Lit::pos(c)],
+            vec![Lit::neg(a), Lit::pos(c)],
+            vec![Lit::neg(c), Lit::pos(d)],
+            vec![Lit::neg(c), Lit::neg(d)],
+        ] {
+            s.add_clause(&clause);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let cert = s.certificate().expect("unsat with logging has a cert");
+        assert!(cert.check().is_ok());
+        (
+            cert.formula.to_vec(),
+            cert.assumptions.to_vec(),
+            cert.steps.to_vec(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_and_verifies() {
+        let (formula, assumptions, steps) = certified_unsat();
+        let cert = Certificate {
+            formula: &formula,
+            assumptions: &assumptions,
+            steps: &steps,
+        };
+        let blob = serialize_certificate(&cert);
+        let parsed = OwnedCertificate::parse(&blob).unwrap();
+        assert_eq!(parsed.formula, formula);
+        assert_eq!(parsed.assumptions, assumptions);
+        assert_eq!(parsed.steps, steps);
+        assert!(verify_proof(&blob));
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let (formula, assumptions, steps) = certified_unsat();
+        let cert = Certificate {
+            formula: &formula,
+            assumptions: &assumptions,
+            steps: &steps,
+        };
+        let blob = serialize_certificate(&cert);
+        // Truncation: drop the terminator and some tail.
+        assert!(!verify_proof(&blob[..blob.len() / 2]));
+        // Structural damage: garbage tag line.
+        let mut bad = String::from_utf8(blob.clone()).unwrap();
+        bad = bad.replacen("\nf ", "\nx ", 1);
+        assert!(!verify_proof(bad.as_bytes()));
+        // Semantic damage: flip a literal in a formula clause — the
+        // blob still parses but the checker must reject the proof.
+        let text = String::from_utf8(blob).unwrap();
+        let flipped = text.replacen("\nf 1 ", "\nf -1 ", 1);
+        if flipped != text {
+            assert!(!verify_proof(flipped.as_bytes()));
+        }
+        // Empty and garbage blobs.
+        assert!(!verify_proof(b""));
+        assert!(!verify_proof(b"not a proof"));
+        assert!(!verify_proof(&[0xff, 0xfe, 0x00]));
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert_eq!(
+            OwnedCertificate::parse(b"bogus/9\n.\n"),
+            Err(ProofParseError::BadSchema)
+        );
+        assert_eq!(
+            OwnedCertificate::parse(format!("{PROOF_SCHEMA}\nf 1 2\n").as_bytes()),
+            Err(ProofParseError::Truncated)
+        );
+        assert_eq!(
+            OwnedCertificate::parse(format!("{PROOF_SCHEMA}\nf 0\n.\n").as_bytes()),
+            Err(ProofParseError::BadLiteral(1))
+        );
+        assert_eq!(
+            OwnedCertificate::parse(format!("{PROOF_SCHEMA}\nq 1\n.\n").as_bytes()),
+            Err(ProofParseError::BadLine(1))
+        );
+        // The empty-but-terminated proof parses (and then fails the
+        // checker, since it derives nothing).
+        let empty = OwnedCertificate::parse(format!("{PROOF_SCHEMA}\n.\n").as_bytes()).unwrap();
+        assert!(empty.as_certificate().check().is_err());
+    }
+}

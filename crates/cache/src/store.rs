@@ -1,0 +1,544 @@
+//! The verdict store: an LRU-bounded, optionally disk-backed map from
+//! content address to cached verdict.
+//!
+//! Entries hold everything needed to reuse *and revalidate* a past
+//! answer: the verdict, the distinguishing input vector (support-
+//! ordered, see [`simgen_netlist::canon`]) for inequivalence, the
+//! serialized DRAT proof for equivalence, and — for whole-job entries
+//! the daemon stores — the deterministic run-report text. Memory is
+//! bounded by a byte budget with least-recently-used eviction; the
+//! persistent variant writes every entry through to
+//! `<dir>/<hex>.entry` with an atomic tmp+rename so concurrent
+//! readers (or a crash) never observe a torn entry, and deletes the
+//! file when the entry is evicted.
+//!
+//! The store itself never *trusts* anything: deciding whether a hit
+//! may be used (certify replay, witness replay) is the caller's job —
+//! see `simgen_cec`'s cached sweep hooks. What the store guarantees
+//! is integrity plumbing: a malformed on-disk entry is skipped at
+//! load, and [`ProofCache::evict`] lets a caller discard an entry
+//! whose evidence failed replay.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use simgen_obs::atomic_write;
+
+use crate::key::CacheKey;
+
+/// Magic first line of an on-disk entry file.
+pub const ENTRY_SCHEMA: &str = "simgen-cache-entry/1";
+
+/// Fixed per-entry accounting overhead (key, map slot, bookkeeping).
+const ENTRY_OVERHEAD: u64 = 96;
+
+/// A cached answer for one content address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachedVerdict {
+    /// The cone roots were proven equivalent. `proof` is the
+    /// serialized DRAT certificate (`simgen-proof/1`), or empty when
+    /// the proving run had certification disabled — such entries can
+    /// be reused by uncertified runs but never satisfy a certify-mode
+    /// lookup.
+    Equivalent {
+        /// Serialized certificate bytes (possibly empty).
+        proof: Vec<u8>,
+    },
+    /// The cone roots were distinguished. `witness` is the input
+    /// vector over the cone's support in canonical rank order; the
+    /// consumer widens it to the host network's full PI vector before
+    /// replay.
+    NotEquivalent {
+        /// Support-ordered distinguishing assignment.
+        witness: Vec<bool>,
+    },
+}
+
+/// One cache entry: the verdict plus, for job-level entries, the
+/// deterministic run-report text the daemon answers repeats with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The cached answer.
+    pub verdict: CachedVerdict,
+    /// Deterministic (stripped) run-report JSON for whole-job
+    /// entries; `None` for pair-level entries.
+    pub report: Option<String>,
+}
+
+impl CacheEntry {
+    /// Pair-level convenience constructor.
+    pub fn pair(verdict: CachedVerdict) -> CacheEntry {
+        CacheEntry {
+            verdict,
+            report: None,
+        }
+    }
+
+    /// Bytes this entry is accounted as.
+    fn cost(&self) -> u64 {
+        let payload = match &self.verdict {
+            CachedVerdict::Equivalent { proof } => proof.len(),
+            CachedVerdict::NotEquivalent { witness } => witness.len(),
+        } + self.report.as_ref().map_or(0, String::len);
+        ENTRY_OVERHEAD + payload as u64
+    }
+}
+
+struct Slot {
+    entry: CacheEntry,
+    cost: u64,
+    /// Monotonic access stamp; smallest = least recently used.
+    stamp: u64,
+}
+
+struct Inner {
+    slots: HashMap<CacheKey, Slot>,
+    bytes: u64,
+    tick: u64,
+    dir: Option<PathBuf>,
+}
+
+/// The content-addressed verdict store. All methods take `&self`;
+/// shared across job threads behind an `Arc`.
+pub struct ProofCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+impl ProofCache {
+    /// A memory-only cache bounded by `budget` bytes.
+    pub fn in_memory(budget: u64) -> ProofCache {
+        ProofCache {
+            budget,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+                dir: None,
+            }),
+        }
+    }
+
+    /// A disk-backed cache rooted at `dir` (created if missing).
+    /// Existing well-formed `*.entry` files are loaded in file-name
+    /// order; malformed ones are ignored. Inserts write through and
+    /// evictions delete, so the directory mirrors the live set.
+    pub fn persistent(dir: impl Into<PathBuf>, budget: u64) -> io::Result<ProofCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let cache = ProofCache::in_memory(budget);
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "entry"))
+            .collect();
+        names.sort();
+        for path in names {
+            let Some(key) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(CacheKey::from_hex)
+            else {
+                continue;
+            };
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            if let Some(entry) = parse_entry(&bytes) {
+                // In-memory insert only — no point rewriting the file.
+                cache.insert_inner(key, entry, false);
+            }
+        }
+        cache.inner.lock().unwrap().dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// Looks up `key`, refreshing its recency. Returns a clone — the
+    /// store stays locked only for the copy.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.get_mut(key).map(|slot| {
+            slot.stamp = tick;
+            slot.entry.clone()
+        })
+    }
+
+    /// Inserts (or replaces) an entry, evicting least-recently-used
+    /// entries as needed to respect the byte budget. Returns the
+    /// number of entries evicted. An entry larger than the whole
+    /// budget is not stored (and evicts nothing).
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> usize {
+        self.insert_inner(key, entry, true)
+    }
+
+    fn insert_inner(&self, key: CacheKey, entry: CacheEntry, persist: bool) -> usize {
+        let cost = entry.cost();
+        if cost > self.budget {
+            return 0;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let stamp = inner.tick;
+        if persist {
+            if let Some(dir) = inner.dir.clone() {
+                // Best-effort write-through: a full disk must not take
+                // down the daemon; the in-memory entry stays correct.
+                let _ = atomic_write(dir.join(format!("{}.entry", key.hex())), entry_text(&entry));
+            }
+        }
+        if let Some(old) = inner.slots.insert(key, Slot { entry, cost, stamp }) {
+            inner.bytes -= old.cost;
+        }
+        inner.bytes += cost;
+        let mut evicted = 0;
+        while inner.bytes > self.budget {
+            // O(n) LRU scan: entry counts are small (budget-bounded)
+            // and insertion is off the hot proving path.
+            let victim = inner
+                .slots
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            Self::remove_locked(&mut inner, &victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Discards `key` (memory and disk). Returns whether it was
+    /// present. This is the replay-failure path: an entry whose
+    /// evidence did not check out must never be served again.
+    pub fn evict(&self, key: &CacheKey) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        Self::remove_locked(&mut inner, key)
+    }
+
+    fn remove_locked(inner: &mut Inner, key: &CacheKey) -> bool {
+        match inner.slots.remove(key) {
+            Some(slot) => {
+                inner.bytes -= slot.cost;
+                if let Some(dir) = &inner.dir {
+                    let _ = std::fs::remove_file(dir.join(format!("{}.entry", key.hex())));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().slots.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounted bytes of the live entries.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+}
+
+impl std::fmt::Debug for ProofCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("ProofCache")
+            .field("entries", &inner.slots.len())
+            .field("bytes", &inner.bytes)
+            .field("budget", &self.budget)
+            .field("dir", &inner.dir)
+            .finish()
+    }
+}
+
+/// Serializes an entry to the on-disk text form: length-prefixed
+/// sections so the (arbitrary) proof and report bytes embed safely.
+fn entry_text(entry: &CacheEntry) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(ENTRY_SCHEMA.as_bytes());
+    out.push(b'\n');
+    match &entry.verdict {
+        CachedVerdict::Equivalent { proof } => {
+            out.extend_from_slice(b"verdict equivalent\n");
+            out.extend_from_slice(format!("proof {}\n", proof.len()).as_bytes());
+            out.extend_from_slice(proof);
+            out.push(b'\n');
+        }
+        CachedVerdict::NotEquivalent { witness } => {
+            out.extend_from_slice(b"verdict not-equivalent\n");
+            out.extend_from_slice(b"witness ");
+            out.extend(witness.iter().map(|&b| if b { b'1' } else { b'0' }));
+            out.push(b'\n');
+        }
+    }
+    if let Some(report) = &entry.report {
+        out.extend_from_slice(format!("report {}\n", report.len()).as_bytes());
+        out.extend_from_slice(report.as_bytes());
+        out.push(b'\n');
+    }
+    out.extend_from_slice(b"end\n");
+    out
+}
+
+/// Parses the on-disk form; `None` for anything malformed.
+fn parse_entry(bytes: &[u8]) -> Option<CacheEntry> {
+    let mut rest = bytes;
+    let mut line = || -> Option<&[u8]> {
+        let pos = rest.iter().position(|&b| b == b'\n')?;
+        let (l, r) = rest.split_at(pos);
+        rest = &r[1..];
+        Some(l)
+    };
+    if line()? != ENTRY_SCHEMA.as_bytes() {
+        return None;
+    }
+    let verdict_line = std::str::from_utf8(line()?).ok()?;
+    let take_blob = |rest: &mut &[u8], header: &str| -> Option<Vec<u8>> {
+        let len: usize = header.parse().ok()?;
+        if rest.len() < len + 1 || rest[len] != b'\n' {
+            return None;
+        }
+        let blob = rest[..len].to_vec();
+        *rest = &rest[len + 1..];
+        Some(blob)
+    };
+    let verdict = match verdict_line.strip_prefix("verdict ")? {
+        "equivalent" => {
+            let header = {
+                let pos = rest.iter().position(|&b| b == b'\n')?;
+                let (l, r) = rest.split_at(pos);
+                rest = &r[1..];
+                std::str::from_utf8(l).ok()?
+            };
+            let proof = take_blob(&mut rest, header.strip_prefix("proof ")?)?;
+            CachedVerdict::Equivalent { proof }
+        }
+        "not-equivalent" => {
+            let pos = rest.iter().position(|&b| b == b'\n')?;
+            let (l, r) = rest.split_at(pos);
+            rest = &r[1..];
+            let bits = std::str::from_utf8(l).ok()?.strip_prefix("witness ")?;
+            let witness = bits
+                .chars()
+                .map(|c| match c {
+                    '0' => Some(false),
+                    '1' => Some(true),
+                    _ => None,
+                })
+                .collect::<Option<Vec<bool>>>()?;
+            CachedVerdict::NotEquivalent { witness }
+        }
+        _ => return None,
+    };
+    // Optional report section, then the end marker.
+    let next = {
+        let pos = rest.iter().position(|&b| b == b'\n')?;
+        let (l, r) = rest.split_at(pos);
+        rest = &r[1..];
+        std::str::from_utf8(l).ok()?
+    };
+    let report = if let Some(header) = next.strip_prefix("report ") {
+        let blob = take_blob(&mut rest, header)?;
+        let text = String::from_utf8(blob).ok()?;
+        let pos = rest.iter().position(|&b| b == b'\n')?;
+        let (l, r) = rest.split_at(pos);
+        rest = &r[1..];
+        if l != b"end" {
+            return None;
+        }
+        Some(text)
+    } else if next == "end" {
+        None
+    } else {
+        return None;
+    };
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(CacheEntry { verdict, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> CacheKey {
+        CacheKey([n; 32])
+    }
+
+    fn eq_entry(proof_len: usize) -> CacheEntry {
+        CacheEntry::pair(CachedVerdict::Equivalent {
+            proof: vec![b'x'; proof_len],
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_replace() {
+        let cache = ProofCache::in_memory(1 << 20);
+        assert!(cache.lookup(&key(1)).is_none());
+        let entry = CacheEntry::pair(CachedVerdict::NotEquivalent {
+            witness: vec![true, false, true],
+        });
+        cache.insert(key(1), entry.clone());
+        assert_eq!(cache.lookup(&key(1)), Some(entry));
+        assert!(cache.lookup(&key(2)).is_none());
+        let bigger = eq_entry(10);
+        cache.insert(key(1), bigger.clone());
+        assert_eq!(cache.lookup(&key(1)), Some(bigger));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        // Budget fits exactly three minimal entries.
+        let one = eq_entry(0).cost();
+        let cache = ProofCache::in_memory(3 * one);
+        for n in 1..=3 {
+            assert_eq!(cache.insert(key(n), eq_entry(0)), 0);
+        }
+        assert_eq!(cache.len(), 3);
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.lookup(&key(1));
+        assert_eq!(cache.insert(key(4), eq_entry(0)), 1);
+        assert!(cache.lookup(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(3)).is_some());
+        assert!(cache.lookup(&key(4)).is_some());
+        assert!(cache.bytes() <= 3 * one);
+    }
+
+    #[test]
+    fn oversized_entry_is_refused() {
+        let cache = ProofCache::in_memory(200);
+        assert_eq!(cache.insert(key(1), eq_entry(0)), 0);
+        assert_eq!(cache.insert(key(2), eq_entry(10_000)), 0);
+        assert!(cache.lookup(&key(2)).is_none(), "over-budget entry dropped");
+        assert!(cache.lookup(&key(1)).is_some(), "and nothing was evicted");
+    }
+
+    #[test]
+    fn explicit_evict_removes() {
+        let cache = ProofCache::in_memory(1 << 20);
+        cache.insert(key(7), eq_entry(4));
+        assert!(cache.evict(&key(7)));
+        assert!(!cache.evict(&key(7)));
+        assert!(cache.lookup(&key(7)).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn entry_text_roundtrip() {
+        for entry in [
+            eq_entry(0),
+            eq_entry(100),
+            CacheEntry::pair(CachedVerdict::NotEquivalent { witness: vec![] }),
+            CacheEntry::pair(CachedVerdict::NotEquivalent {
+                witness: vec![true, true, false],
+            }),
+            CacheEntry {
+                verdict: CachedVerdict::Equivalent {
+                    proof: b"simgen-proof/1\nu\n.\n".to_vec(),
+                },
+                report: Some("{\n  \"schema\": \"x\"\n}".to_string()),
+            },
+        ] {
+            let text = entry_text(&entry);
+            assert_eq!(parse_entry(&text), Some(entry.clone()), "{entry:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_entry_text_is_rejected() {
+        let good = entry_text(&eq_entry(20));
+        assert!(parse_entry(&good[..good.len() - 5]).is_none(), "truncated");
+        assert!(parse_entry(b"garbage").is_none());
+        assert!(parse_entry(b"").is_none());
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(b"extra");
+        assert!(parse_entry(&trailing).is_none(), "trailing bytes");
+        let bad_len = String::from_utf8(good)
+            .unwrap()
+            .replacen("proof 20", "proof 9999", 1);
+        assert!(parse_entry(bad_len.as_bytes()).is_none(), "bad length");
+    }
+
+    #[test]
+    fn persistence_roundtrip_and_eviction_deletes() {
+        let dir = std::env::temp_dir().join(format!("simgen_cache_p_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
+            cache.insert(key(1), eq_entry(8));
+            cache.insert(
+                key(2),
+                CacheEntry {
+                    verdict: CachedVerdict::NotEquivalent {
+                        witness: vec![false, true],
+                    },
+                    report: Some("{}".to_string()),
+                },
+            );
+        }
+        // Reopen: both entries come back.
+        let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&key(1)), Some(eq_entry(8)));
+        assert_eq!(cache.lookup(&key(2)).unwrap().report.as_deref(), Some("{}"));
+        // Evict 1: its file disappears; reopen sees only 2.
+        cache.evict(&key(1));
+        let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key(2)).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_skipped_at_load() {
+        let dir = std::env::temp_dir().join(format!("simgen_cache_c_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
+            cache.insert(key(1), eq_entry(8));
+        }
+        // Corrupt the stored file and drop an unrelated garbage file.
+        let entry_path = dir.join(format!("{}.entry", key(1).hex()));
+        std::fs::write(&entry_path, b"scrambled").unwrap();
+        std::fs::write(dir.join("README"), b"not an entry").unwrap();
+        std::fs::write(dir.join("zz.entry"), b"bad name and body").unwrap();
+        let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
+        assert!(cache.is_empty(), "corrupt entries must not load");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(ProofCache::in_memory(1 << 20));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u8 {
+                    let k = key(i % 8);
+                    if (i + t) % 3 == 0 {
+                        cache.insert(k, eq_entry(usize::from(t)));
+                    } else {
+                        let _ = cache.lookup(&k);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 8);
+    }
+}

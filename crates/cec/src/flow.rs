@@ -11,7 +11,7 @@ use simgen_obs::{Counter, Json, Observer, Phase};
 use simgen_sim::{EquivClasses, Replayer};
 
 use crate::certify::{certify_counterexample, certify_equivalence, PROOF_BYTE_BUDGET};
-use crate::prove::{PairProver, ProveOutcome};
+use crate::prove::{EquivProver, PairProver, ProveOutcome};
 use crate::stats::SweepStats;
 use crate::sweep::{spawn_watchdog, SweepConfig};
 
@@ -145,6 +145,31 @@ pub fn check_equivalence_observed(
     deadline: &Deadline,
     obs: &mut Observer,
 ) -> Result<CecReport, NetlistError> {
+    check_equivalence_cached(a, b, generator, config, deadline, obs, None)
+}
+
+/// [`check_equivalence_observed`] consulting a content-addressed proof
+/// cache: internal sweep pairs *and* the final PO-pair proofs are
+/// looked up by the merkle hash of their canonical cones before any
+/// SAT work, and fresh verdicts are stored back. The trust policy is
+/// the cache module's ([`crate::cache`]): cached counterexamples must
+/// replay through the scalar evaluator, cached equivalences under
+/// [`SweepConfig::certify`] must pass the independent DRAT checker,
+/// and rejected entries are evicted and re-proved live.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if the PI or PO counts differ.
+#[allow(clippy::too_many_arguments)]
+pub fn check_equivalence_cached(
+    a: &LutNetwork,
+    b: &LutNetwork,
+    generator: &mut dyn PatternGenerator,
+    config: SweepConfig,
+    deadline: &Deadline,
+    obs: &mut Observer,
+    cache: Option<&simgen_cache::ProofCache>,
+) -> Result<CecReport, NetlistError> {
     if a.num_pos() != b.num_pos() {
         return Err(NetlistError::Invalid(format!(
             "po count mismatch: {} vs {}",
@@ -161,7 +186,9 @@ pub fn check_equivalence_observed(
     // Internal pairs left unresolved (budget, deadline, quarantine)
     // only cost the output proofs their seeds; they never make the
     // verdict wrong, so the flow keeps going regardless.
-    let sweep = crate::ParallelSweeper::new(config).run_observed(net, generator, deadline, obs);
+    let sweep =
+        crate::ParallelSweeper::new(config).run_cached(net, generator, deadline, obs, cache);
+    let mut sweep_cache = cache.map(|c| crate::cache::SweepCache::new(c, config.certify));
 
     // Final proofs on the PO pairs. Seeding the prover with every
     // equivalence the sweep established (fraig-style merging) is what
@@ -193,8 +220,22 @@ pub fn check_equivalence_observed(
         }
         let na = combined.map_a[pa.node.index()];
         let nb = combined.map_b[pb.node.index()];
-        obs.recorder.add(Counter::OutputProofs, 1);
-        let outcome = prover.prove(na, nb, config.sat_budget);
+        // A trusted cache hit answers the PO pair without a SAT call
+        // (its trust checks already ran inside `resolve`).
+        let cached = sweep_cache
+            .as_mut()
+            .and_then(|sc| match sc.resolve(net, na, nb, obs) {
+                crate::cache::CacheLookup::Hit(outcome) => Some(outcome),
+                crate::cache::CacheLookup::Miss => None,
+            });
+        let from_cache = cached.is_some();
+        let outcome = match cached {
+            Some(outcome) => outcome,
+            None => {
+                obs.recorder.add(Counter::OutputProofs, 1);
+                prover.prove(na, nb, config.sat_budget)
+            }
+        };
         progress.tick();
         if obs.trace.is_enabled() {
             let name = match &outcome {
@@ -214,8 +255,9 @@ pub fn check_equivalence_observed(
             ProveOutcome::Equivalent => {
                 // Trust-but-verify: an uncertified "equivalent" on an
                 // output pair must not contribute to an Equivalent
-                // verdict — demote it to unresolved.
-                if config.certify {
+                // verdict — demote it to unresolved. (Cache hits
+                // cleared the same bar inside `resolve`.)
+                if config.certify && !from_cache {
                     obs.recorder.add(Counter::CertificatesChecked, 1);
                     if !certify_equivalence(&prover) {
                         output_cert_failures += 1;
@@ -225,11 +267,22 @@ pub fn check_equivalence_observed(
                             vec![("po_index", Json::U64(i as u64))],
                         );
                         unresolved_pairs.push(i);
+                        continue;
+                    }
+                }
+                if !from_cache {
+                    if let Some(sc) = sweep_cache.as_mut() {
+                        let proof = if config.certify {
+                            prover.proof_blob()
+                        } else {
+                            None
+                        };
+                        sc.store(net, na, nb, &ProveOutcome::Equivalent, proof, obs);
                     }
                 }
             }
             ProveOutcome::Counterexample(witness) => {
-                if config.certify {
+                if config.certify && !from_cache {
                     obs.recorder.add(Counter::CexReplays, 1);
                     if !certify_counterexample(net, &mut replayer, &witness, na, nb) {
                         // The witness does not actually distinguish
@@ -243,6 +296,18 @@ pub fn check_equivalence_observed(
                         );
                         unresolved_pairs.push(i);
                         continue;
+                    }
+                }
+                if !from_cache {
+                    if let Some(sc) = sweep_cache.as_mut() {
+                        sc.store(
+                            net,
+                            na,
+                            nb,
+                            &ProveOutcome::Counterexample(witness.clone()),
+                            None,
+                            obs,
+                        );
                     }
                 }
                 cex = Some((i, witness));

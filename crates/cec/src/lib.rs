@@ -33,6 +33,7 @@
 //! assert_eq!(report.unresolved.len(), 0);
 //! ```
 
+pub mod cache;
 pub mod certify;
 pub mod flow;
 pub mod parallel;
@@ -43,12 +44,13 @@ pub mod sweep;
 
 pub use certify::{certify_counterexample, certify_equivalence, PROOF_BYTE_BUDGET};
 pub use flow::{
-    check_equivalence, check_equivalence_observed, check_equivalence_under, CecReport, CecVerdict,
-    InconclusiveReason, SwitchOnPlateau,
+    check_equivalence, check_equivalence_cached, check_equivalence_observed,
+    check_equivalence_under, CecReport, CecVerdict, InconclusiveReason, SwitchOnPlateau,
 };
 pub use parallel::ParallelSweeper;
 pub use prove::{BddProver, EquivProver, PairProver, ProveOutcome};
 pub use report::{cec_run_report, design_info, sweep_config_json, sweep_run_report, RunMeta};
+pub use simgen_cache::{job_key, pair_key, CacheKey, ProofCache};
 pub use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
 #[cfg(feature = "fault-inject")]
 pub use simgen_dispatch::{FaultAction, FaultPlan};

@@ -74,6 +74,9 @@ enum PairVerdict {
 /// deterministically).
 struct PairOutcome {
     verdict: PairVerdict,
+    /// Serialized DRAT blob of an `Equivalent` verdict, produced only
+    /// when the round wants to populate the proof cache.
+    proof: Option<Vec<u8>>,
     sat_calls: u64,
     sat_time: Duration,
     solver: SolverStats,
@@ -92,6 +95,7 @@ impl PairOutcome {
         let timeout = verdict == PairVerdict::Undecided;
         PairOutcome {
             verdict,
+            proof: None,
             sat_calls: 0,
             sat_time: Duration::ZERO,
             solver: SolverStats::default(),
@@ -164,9 +168,10 @@ impl<'n> WorkerState<'n> {
         a: NodeId,
         b: NodeId,
         cfg: &SweepConfig,
+        want_proof: bool,
     ) -> PairOutcome {
         let start = self.local.is_enabled().then(std::time::Instant::now);
-        let outcome = self.prove_pair_inner(seeds, a, b, cfg);
+        let outcome = self.prove_pair_inner(seeds, a, b, cfg, want_proof);
         if let Some(start) = start {
             self.local.add_busy(Phase::SatResolution, start.elapsed());
         }
@@ -181,6 +186,7 @@ impl<'n> WorkerState<'n> {
         a: NodeId,
         b: NodeId,
         cfg: &SweepConfig,
+        want_proof: bool,
     ) -> PairOutcome {
         self.proofs += 1;
         if let ProofEngine::Bdd { node_limit } = cfg.proof {
@@ -248,8 +254,16 @@ impl<'n> WorkerState<'n> {
         if timeout {
             self.timeouts += 1;
         }
+        // Serialize the certificate worker-side (where the solver
+        // state lives); the orchestrator stores it at the merge.
+        let proof = if want_proof && verdict == PairVerdict::Equivalent {
+            prover.proof_blob()
+        } else {
+            None
+        };
         PairOutcome {
             verdict,
+            proof,
             sat_calls: prover.calls(),
             sat_time: prover.time(),
             solver: prover.solver_stats(),
@@ -361,6 +375,25 @@ impl ParallelSweeper {
         deadline: &Deadline,
         obs: &mut Observer,
     ) -> SweepReport {
+        self.run_cached(net, generator, deadline, obs, None)
+    }
+
+    /// [`ParallelSweeper::run_observed`] consulting a content-addressed
+    /// proof cache. Lookups and inserts run on the orchestrating
+    /// thread in deterministic pair order — workers never touch the
+    /// cache — so the `cache_*` counters and the report stay
+    /// `--jobs`-invariant for a fixed starting cache state. Pairs a
+    /// trusted entry answers are never dispatched; their verdicts
+    /// merge in the same pair order as live ones (see
+    /// [`crate::cache`] for the trust policy).
+    pub fn run_cached(
+        &self,
+        net: &LutNetwork,
+        generator: &mut dyn PatternGenerator,
+        deadline: &Deadline,
+        obs: &mut Observer,
+        cache: Option<&simgen_cache::ProofCache>,
+    ) -> SweepReport {
         let cfg = &self.config;
         let jobs = cfg.jobs.max(1);
         let panic_on = self.panic_on;
@@ -383,6 +416,8 @@ impl ParallelSweeper {
             let _watchdog = spawn_watchdog(cfg, deadline, &progress, &obs.trace);
             let sat_start = obs.recorder.is_enabled().then(std::time::Instant::now);
             let resim_before = stats.resim_time;
+            let mut sweep_cache = cache.map(|c| crate::cache::SweepCache::new(c, cfg.certify));
+            let want_proof = cache.is_some() && cfg.certify;
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
             let mut merged: Vec<Vec<NodeId>> = Vec::new();
             // Equivalences proven in earlier rounds, in merge order:
@@ -442,6 +477,26 @@ impl ParallelSweeper {
                     ],
                 );
 
+                // Orchestrator-side cache pass, in pair order: pairs a
+                // trusted entry answers skip dispatch entirely; the
+                // rest go to the worker pool. Lookup order (and hence
+                // the cache counters) never depends on scheduling.
+                let resolutions: Vec<Option<PairVerdict>> = match sweep_cache.as_mut() {
+                    Some(sc) => pairs
+                        .iter()
+                        .map(|&(a, b)| match sc.resolve(net, a, b, obs) {
+                            crate::cache::CacheLookup::Hit(ProveOutcome::Equivalent) => {
+                                Some(PairVerdict::Equivalent)
+                            }
+                            crate::cache::CacheLookup::Hit(ProveOutcome::Counterexample(v)) => {
+                                Some(PairVerdict::Counterexample(v))
+                            }
+                            _ => None,
+                        })
+                        .collect(),
+                    None => vec![None; pairs.len()],
+                };
+
                 let seeds_ref: &[(NodeId, NodeId)] = &seeds;
                 let recorder = &obs.recorder;
                 // Jobs carry their global input-order index so fault
@@ -449,10 +504,12 @@ impl ParallelSweeper {
                 // scheduling.
                 let indexed: Vec<(usize, NodeId, NodeId)> = pairs
                     .iter()
+                    .zip(&resolutions)
+                    .filter(|(_, cached)| cached.is_none())
                     .enumerate()
-                    .map(|(i, &(a, b))| (next_job_index + i, a, b))
+                    .map(|(i, (&(a, b), _))| (next_job_index + i, a, b))
                     .collect();
-                next_job_index += pairs.len();
+                next_job_index += indexed.len();
                 let outcome = run_ordered_traced(
                     jobs,
                     indexed,
@@ -483,7 +540,7 @@ impl ParallelSweeper {
                         if panic_on.is_some_and(|trigger| trigger(a, b)) {
                             panic!("injected prover panic on pair ({a}, {b})");
                         }
-                        let outcome = state.prove_pair(seeds_ref, a, b, cfg);
+                        let outcome = state.prove_pair(seeds_ref, a, b, cfg, want_proof);
                         progress.tick();
                         outcome
                     },
@@ -515,8 +572,18 @@ impl ParallelSweeper {
                 let mut benched: Vec<(NodeId, NodeId)> = Vec::new();
                 let mut dropped: HashSet<NodeId> = HashSet::new();
                 let mut escalations_this_round = 0;
-                for ((rep, cand), status) in pairs.into_iter().zip(outcome.results) {
+                let mut live = outcome.results.into_iter();
+                for ((rep, cand), cached) in pairs.into_iter().zip(resolutions) {
+                    let from_cache = cached.is_some();
+                    let mut proof_blob: Option<Vec<u8>> = None;
+                    let status = match cached {
+                        // Trusted cache hits were never dispatched;
+                        // wrap them so one match handles both sources.
+                        Some(verdict) => JobStatus::Done(PairOutcome::engine_only(verdict)),
+                        None => live.next().expect("one result per dispatched pair"),
+                    };
                     let verdict = match status {
+                        JobStatus::Done(out) if from_cache => out.verdict,
                         JobStatus::Done(out) => {
                             obs.recorder.add(Counter::ProofsDispatched, 1);
                             summary.proofs += 1;
@@ -529,6 +596,7 @@ impl ParallelSweeper {
                             stats.sat_calls += out.sat_calls;
                             stats.sat_time += out.sat_time;
                             stats.solver += out.solver;
+                            proof_blob = out.proof;
                             out.verdict
                         }
                         JobStatus::Panicked { .. } => {
@@ -569,9 +637,35 @@ impl ParallelSweeper {
                             ],
                         );
                     }
+                    // Publish fresh verdicts (cache hits are already
+                    // stored; quarantined and undecided pairs carry no
+                    // fact worth keeping).
+                    if !from_cache {
+                        if let Some(sc) = sweep_cache.as_mut() {
+                            match &verdict {
+                                PairVerdict::Equivalent => sc.store(
+                                    net,
+                                    rep,
+                                    cand,
+                                    &ProveOutcome::Equivalent,
+                                    proof_blob.take(),
+                                    obs,
+                                ),
+                                PairVerdict::Counterexample(v) => sc.store(
+                                    net,
+                                    rep,
+                                    cand,
+                                    &ProveOutcome::Counterexample(v.clone()),
+                                    None,
+                                    obs,
+                                ),
+                                _ => {}
+                            }
+                        }
+                    }
                     match verdict {
                         PairVerdict::Equivalent => {
-                            if cfg.certify {
+                            if cfg.certify && !from_cache {
                                 obs.recorder.add(Counter::CertificatesChecked, 1);
                             }
                             stats.proved_equivalent += 1;
@@ -581,7 +675,7 @@ impl ParallelSweeper {
                             dropped.insert(cand);
                         }
                         PairVerdict::Counterexample(v) => {
-                            if cfg.certify {
+                            if cfg.certify && !from_cache {
                                 obs.recorder.add(Counter::CexReplays, 1);
                             }
                             stats.disproved += 1;

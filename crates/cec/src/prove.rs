@@ -74,6 +74,15 @@ pub trait EquivProver {
     fn certify_last(&self) -> bool {
         false
     }
+
+    /// The serialized DRAT blob of the engine's most recent
+    /// [`ProveOutcome::Equivalent`] answer, for storage in the proof
+    /// cache. `None` where no checkable certificate exists (BDDs, or
+    /// SAT without proof logging) — such verdicts are cached without a
+    /// proof and re-proved when a certified run later needs them.
+    fn proof_blob(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Incremental prover bound to one network.
@@ -221,6 +230,11 @@ impl EquivProver for PairProver<'_> {
 
     fn certify_last(&self) -> bool {
         crate::certify::certify_equivalence(self)
+    }
+
+    fn proof_blob(&self) -> Option<Vec<u8>> {
+        self.certificate()
+            .map(|c| simgen_cache::serialize_certificate(&c))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Builders that turn a finished sweep or CEC run plus its
 //! [`Observer`] into the versioned [`RunReport`] document
-//! (`simgen-run-report/1`).
+//! (`simgen-run-report/2`).
 //!
 //! The report shape is defined in `simgen-obs` (`docs/observability.md`
 //! spells it out field by field); this module owns the mapping from

@@ -164,6 +164,25 @@ impl Sweeper {
         deadline: &Deadline,
         obs: &mut Observer,
     ) -> SweepReport {
+        self.run_cached(net, generator, deadline, obs, None)
+    }
+
+    /// [`Sweeper::run_observed`] consulting a content-addressed proof
+    /// cache: each candidate pair is looked up by the merkle hash of
+    /// its canonical cones before any SAT work, and live verdicts are
+    /// stored back for later runs. Cached counterexamples are trusted
+    /// only after scalar replay; cached equivalences, under
+    /// [`SweepConfig::certify`], only after their stored DRAT blob
+    /// passes the independent checker — rejected entries are evicted
+    /// and the pair is proven live (see [`crate::cache`]).
+    pub fn run_cached(
+        &self,
+        net: &LutNetwork,
+        generator: &mut dyn PatternGenerator,
+        deadline: &Deadline,
+        obs: &mut Observer,
+        cache: Option<&simgen_cache::ProofCache>,
+    ) -> SweepReport {
         let cfg = &self.config;
         let SimPhases {
             mut stats,
@@ -200,6 +219,7 @@ impl Sweeper {
                 }
             };
             let mut replayer = Replayer::new();
+            let mut sweep_cache = cache.map(|c| crate::cache::SweepCache::new(c, cfg.certify));
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
             let mut merged: Vec<Vec<NodeId>> = Vec::new();
             // Counterexamples are not resimulated one at a time:
@@ -265,8 +285,23 @@ impl Sweeper {
                 };
                 let rep = work[ci][0];
                 let cand = work[ci][1];
-                obs.recorder.add(Counter::ProofsDispatched, 1);
-                let outcome = prover.prove(rep, cand, cfg.sat_budget);
+                // A trusted cache hit replaces the SAT call entirely
+                // (its trust checks already ran inside `resolve`).
+                let cached =
+                    sweep_cache
+                        .as_mut()
+                        .and_then(|sc| match sc.resolve(net, rep, cand, obs) {
+                            crate::cache::CacheLookup::Hit(outcome) => Some(outcome),
+                            crate::cache::CacheLookup::Miss => None,
+                        });
+                let from_cache = cached.is_some();
+                let outcome = match cached {
+                    Some(outcome) => outcome,
+                    None => {
+                        obs.recorder.add(Counter::ProofsDispatched, 1);
+                        prover.prove(rep, cand, cfg.sat_budget)
+                    }
+                };
                 progress.tick();
                 if obs.trace.is_enabled() {
                     let verdict = match &outcome {
@@ -287,7 +322,9 @@ impl Sweeper {
                 // certify it through a path independent of the engine
                 // that produced it. A rejected answer quarantines the
                 // pair — it is never merged and never splits a class.
-                if cfg.certify {
+                // (Cache hits already cleared the same bar in
+                // `resolve`, so only live answers are checked here.)
+                if cfg.certify && !from_cache {
                     let cert_failed = match &outcome {
                         ProveOutcome::Equivalent => {
                             obs.recorder.add(Counter::CertificatesChecked, 1);
@@ -325,6 +362,18 @@ impl Sweeper {
                             work.remove(ci);
                         }
                         continue;
+                    }
+                }
+                // A fresh live verdict (certified if required) is a
+                // fact about the cones: publish it for later runs.
+                if !from_cache {
+                    if let Some(sc) = sweep_cache.as_mut() {
+                        let proof = if cfg.certify {
+                            prover.proof_blob()
+                        } else {
+                            None
+                        };
+                        sc.store(net, rep, cand, &outcome, proof, obs);
                     }
                 }
                 match outcome {

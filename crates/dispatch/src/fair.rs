@@ -1,0 +1,270 @@
+//! A bounded, multi-producer job queue with per-client fairness.
+//!
+//! The serve daemon feeds every connection's submissions through one
+//! of these: each client gets its own FIFO lane, and the consumer
+//! drains lanes round-robin, so a client that dumps a hundred jobs
+//! cannot starve one that submits a single query — the "fair
+//! round-robin budget slicing" of the service layer.
+//!
+//! The queue is bounded by a *total* job count across all lanes.
+//! Pushing into a full queue fails immediately with
+//! [`PushError::Overloaded`] — the daemon surfaces that to the client
+//! as an explicit rejection instead of buffering unboundedly or
+//! blocking the reader thread. Closing the queue wakes all blocked
+//! consumers; remaining jobs can still be drained (`pop` returns
+//! queued work before reporting closure), which is what lets a
+//! SIGTERM shutdown finish in-flight submissions.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at its total capacity; the job was NOT enqueued.
+    /// Clients should see an explicit `overloaded` rejection.
+    Overloaded,
+    /// The queue was closed (daemon shutting down); the job was NOT
+    /// enqueued.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Overloaded => f.write_str("queue overloaded"),
+            PushError::Closed => f.write_str("queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+struct Lanes<T> {
+    /// One FIFO lane per client id; lanes persist for the queue's
+    /// lifetime (client ids are small integers handed out by the
+    /// accept loop, so the map never grows past the connection count).
+    lanes: HashMap<u64, VecDeque<T>>,
+    /// Round-robin order of lane ids: a lane is appended when it goes
+    /// from empty to non-empty and rotated to the back after serving
+    /// one job, so service interleaves clients 1:1.
+    order: VecDeque<u64>,
+    /// Total queued jobs across all lanes.
+    len: usize,
+    closed: bool,
+}
+
+/// Bounded multi-lane FIFO with round-robin service across lanes.
+pub struct FairQueue<T> {
+    state: Mutex<Lanes<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `capacity` jobs in total (across all
+    /// clients). Capacity 0 is clamped to 1 so the queue is usable.
+    pub fn new(capacity: usize) -> Self {
+        FairQueue {
+            state: Mutex::new(Lanes {
+                lanes: HashMap::new(),
+                order: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `job` on `client`'s lane. Fails fast when full or
+    /// closed — never blocks the producer.
+    pub fn push(&self, client: u64, job: T) -> Result<(), PushError> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.len >= self.capacity {
+            return Err(PushError::Overloaded);
+        }
+        let lane = s.lanes.entry(client).or_default();
+        let was_empty = lane.is_empty();
+        lane.push_back(job);
+        s.len += 1;
+        if was_empty {
+            s.order.push_back(client);
+        }
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job, serving client lanes round-robin.
+    /// Blocks while the queue is empty and open; returns `None` only
+    /// once the queue is closed *and* fully drained.
+    pub fn pop(&self) -> Option<(u64, T)> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(client) = s.order.pop_front() {
+                let lane = s.lanes.get_mut(&client).expect("lane exists while listed");
+                let job = lane.pop_front().expect("listed lane is non-empty");
+                let lane_has_more = !lane.is_empty();
+                s.len -= 1;
+                if lane_has_more {
+                    // Rotate to the back: one job per turn per client.
+                    s.order.push_back(client);
+                }
+                return Some((client, job));
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+
+    /// Non-blocking [`FairQueue::pop`].
+    pub fn try_pop(&self) -> Option<(u64, T)> {
+        let mut s = self.state.lock().unwrap();
+        let client = s.order.pop_front()?;
+        let lane = s.lanes.get_mut(&client).expect("lane exists while listed");
+        let job = lane.pop_front().expect("listed lane is non-empty");
+        let lane_has_more = !lane.is_empty();
+        s.len -= 1;
+        if lane_has_more {
+            s.order.push_back(client);
+        }
+        Some((client, job))
+    }
+
+    /// Marks the queue closed: future pushes fail with
+    /// [`PushError::Closed`], blocked consumers wake, and `pop`
+    /// drains what is already queued before returning `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Total queued jobs across all lanes.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().len
+    }
+
+    /// True when no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`FairQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_client() {
+        let q = FairQueue::new(16);
+        for i in 0..5 {
+            q.push(1, i).unwrap();
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.try_pop().map(|(_, j)| j)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn round_robin_across_clients() {
+        let q = FairQueue::new(16);
+        // Client 1 floods; client 2 submits one job afterwards.
+        for i in 0..4 {
+            q.push(1, (1, i)).unwrap();
+        }
+        q.push(2, (2, 0)).unwrap();
+        let order: Vec<(u64, (i32, i32))> = std::iter::from_fn(|| q.try_pop()).collect();
+        let clients: Vec<u64> = order.iter().map(|&(c, _)| c).collect();
+        // Client 2 is served second, not fifth.
+        assert_eq!(clients, vec![1, 2, 1, 1, 1]);
+        // And each lane stays FIFO internally.
+        let lane1: Vec<i32> = order
+            .iter()
+            .filter(|&&(c, _)| c == 1)
+            .map(|&(_, (_, i))| i)
+            .collect();
+        assert_eq!(lane1, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity_rejects_with_overloaded() {
+        let q = FairQueue::new(2);
+        q.push(1, 'a').unwrap();
+        q.push(2, 'b').unwrap();
+        assert_eq!(q.push(3, 'c'), Err(PushError::Overloaded));
+        assert_eq!(q.len(), 2);
+        // Draining frees capacity again.
+        q.try_pop().unwrap();
+        assert!(q.push(3, 'c').is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = FairQueue::new(8);
+        q.push(1, 1).unwrap();
+        q.push(1, 2).unwrap();
+        q.close();
+        assert_eq!(q.push(1, 3), Err(PushError::Closed));
+        // Queued jobs still come out, then None.
+        assert_eq!(q.pop(), Some((1, 1)));
+        assert_eq!(q.pop(), Some((1, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_close() {
+        let q = Arc::new(FairQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some((_, j)) = q2.pop() {
+                got.push(j);
+            }
+            got
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(1, 42).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(FairQueue::new(1024));
+        let mut producers = Vec::new();
+        for client in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    while q.push(client, (client, i)).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut per_client = HashMap::new();
+        while let Some((c, (c2, i))) = q.pop() {
+            assert_eq!(c, c2);
+            let next = per_client.entry(c).or_insert(0);
+            assert_eq!(*next, i, "lane {c} stays FIFO");
+            *next += 1;
+        }
+        assert!(per_client.values().all(|&n| n == 50));
+    }
+}

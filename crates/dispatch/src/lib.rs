@@ -21,12 +21,14 @@
 
 mod deadline;
 mod executor;
+mod fair;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 mod schedule;
 
 pub use deadline::{Deadline, Progress, Watchdog};
 pub use executor::{run_ordered, run_ordered_traced, DispatchOutcome, JobStatus, WorkerReport};
+pub use fair::{FairQueue, PushError};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultAction, FaultPlan};
 pub use schedule::{Attempt, BudgetSchedule, Escalation};

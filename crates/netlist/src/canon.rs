@@ -1,0 +1,231 @@
+//! Canonical (numbering-insensitive) cone extraction for content
+//! addressing.
+//!
+//! The proof cache keys every verdict by the *structure* of the cones
+//! involved, not by their [`NodeId`]s: two networks that build the
+//! same logic in a different node order — or the same network re-read
+//! from disk — must hash to the same key. This module produces that
+//! canonical form: a [`CanonicalCone`] lists the transitive fanin
+//! cone of a root set in a traversal order fixed purely by the
+//! structure (iterative DFS from the roots, fanins in fanin order,
+//! each node emitted after its fanins), with every [`NodeId`]
+//! replaced by a position in that order and every PI replaced by its
+//! *support rank* — the order in which the traversal first reaches it.
+//!
+//! Renumbering the nodes of a network, interleaving unrelated logic,
+//! or renaming the PIs all leave the canonical form byte-identical;
+//! changing a truth table, a fanin edge, or the root list changes it.
+
+use crate::id::NodeId;
+use crate::network::{LutNetwork, NodeKind};
+
+/// One node of a canonical cone. Fanin references are indices into
+/// [`CanonicalCone::nodes`]; post-order construction guarantees they
+/// point at earlier entries, so a single forward pass can fold the
+/// cone into a digest.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CanonicalNode {
+    /// A primary input, identified by the order in which the
+    /// structural traversal first reached it (its support rank) —
+    /// never by its PI index or name.
+    Pi {
+        /// 0-based first-visit rank within this cone's support.
+        rank: usize,
+    },
+    /// A LUT: canonical fanin positions plus the raw truth table.
+    Lut {
+        /// Positions of the fanins in [`CanonicalCone::nodes`],
+        /// in fanin order (fanin order is functional — permuting it
+        /// permutes the truth table — so it is part of the structure).
+        fanins: Vec<usize>,
+        /// The truth table bits, LSB-first over the fanin order.
+        tt: u64,
+    },
+}
+
+/// The canonical form of the transitive fanin cone of an ordered root
+/// list — the unit of content addressing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalCone {
+    /// Cone nodes in canonical order (every fanin precedes its user).
+    pub nodes: Vec<CanonicalNode>,
+    /// Positions of the requested roots inside `nodes`, in the order
+    /// they were given. The root order is part of the identity:
+    /// `canonical_cone(net, &[a, b])` and `canonical_cone(net, &[b, a])`
+    /// differ unless the cones coincide.
+    pub roots: Vec<usize>,
+    /// The cone's support in rank order: `support[r]` is the PI whose
+    /// canonical identity is rank `r`. This is the bridge back into
+    /// the concrete network — cached counterexamples are stored
+    /// support-ordered and widened through this list at replay time.
+    pub support: Vec<NodeId>,
+}
+
+impl CanonicalCone {
+    /// Number of nodes in the cone.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for the empty cone (only possible with no roots).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Extracts the canonical form of the union of the fanin cones of
+/// `roots` (each root included).
+///
+/// The traversal is an iterative DFS from each root in turn, pushing
+/// fanins in fanin order and emitting every node after all its fanins
+/// (post-order). The emission order — and hence every index in the
+/// result — depends only on the cone's structure and the root order,
+/// never on the [`NodeId`] numbering of the host network.
+pub fn canonical_cone(net: &LutNetwork, roots: &[NodeId]) -> CanonicalCone {
+    // usize::MAX = unvisited; otherwise the node's canonical position.
+    let mut pos = vec![usize::MAX; net.len()];
+    let mut nodes = Vec::new();
+    let mut support = Vec::new();
+    // DFS stack of (node, fanins already expanded?).
+    let mut stack: Vec<(NodeId, bool)> = Vec::new();
+    for &root in roots {
+        stack.push((root, false));
+        while let Some((n, expanded)) = stack.pop() {
+            if pos[n.index()] != usize::MAX {
+                continue;
+            }
+            if expanded {
+                pos[n.index()] = nodes.len();
+                let canonical = match net.kind(n) {
+                    NodeKind::Pi { .. } => {
+                        let rank = support.len();
+                        support.push(n);
+                        CanonicalNode::Pi { rank }
+                    }
+                    NodeKind::Lut { fanins, tt } => CanonicalNode::Lut {
+                        fanins: fanins.iter().map(|f| pos[f.index()]).collect(),
+                        tt: tt.bits(),
+                    },
+                };
+                nodes.push(canonical);
+            } else {
+                stack.push((n, true));
+                // Reversed so the first fanin is expanded (and thus
+                // emitted) first.
+                for &f in net.fanins(n).iter().rev() {
+                    if pos[f.index()] == usize::MAX {
+                        stack.push((f, false));
+                    }
+                }
+            }
+        }
+    }
+    CanonicalCone {
+        nodes,
+        roots: roots.iter().map(|r| pos[r.index()]).collect(),
+        support,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    /// f = (a & b) ^ c, plus an unrelated distractor gate.
+    fn build(interleave: bool) -> (LutNetwork, NodeId) {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        if interleave {
+            // Unrelated logic allocated first shifts every NodeId.
+            let d = net.add_pi("d");
+            let junk = net.add_lut(vec![c, d], TruthTable::or2()).unwrap();
+            net.add_po(junk, "junk");
+        }
+        let and = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let xor = net.add_lut(vec![and, c], TruthTable::xor2()).unwrap();
+        net.add_po(xor, "f");
+        (net, xor)
+    }
+
+    #[test]
+    fn fanins_precede_users_and_roots_resolve() {
+        let (net, root) = build(false);
+        let cone = canonical_cone(&net, &[root]);
+        assert_eq!(cone.roots, vec![cone.len() - 1]);
+        for (i, n) in cone.nodes.iter().enumerate() {
+            if let CanonicalNode::Lut { fanins, .. } = n {
+                assert!(fanins.iter().all(|&f| f < i), "node {i} fanins {fanins:?}");
+            }
+        }
+        assert_eq!(cone.support.len(), 3);
+    }
+
+    #[test]
+    fn insensitive_to_node_renumbering() {
+        let (plain, r1) = build(false);
+        let (shifted, r2) = build(true);
+        assert_ne!(r1, r2, "the distractor must shift the ids");
+        assert_eq!(
+            canonical_cone(&plain, &[r1]).nodes,
+            canonical_cone(&shifted, &[r2]).nodes
+        );
+    }
+
+    #[test]
+    fn sensitive_to_function_changes() {
+        let (net, root) = build(false);
+        let mut other = LutNetwork::new();
+        let a = other.add_pi("a");
+        let b = other.add_pi("b");
+        let c = other.add_pi("c");
+        let or = other.add_lut(vec![a, b], TruthTable::or2()).unwrap();
+        let xor = other.add_lut(vec![or, c], TruthTable::xor2()).unwrap();
+        other.add_po(xor, "f");
+        assert_ne!(
+            canonical_cone(&net, &[root]).nodes,
+            canonical_cone(&other, &[xor]).nodes
+        );
+    }
+
+    #[test]
+    fn root_order_is_part_of_the_identity() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let x = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let y = net.add_lut(vec![a, b], TruthTable::or2()).unwrap();
+        net.add_po(x, "x");
+        net.add_po(y, "y");
+        let xy = canonical_cone(&net, &[x, y]);
+        let yx = canonical_cone(&net, &[y, x]);
+        assert_ne!(xy, yx);
+        // Same node set either way, just a different canonical order.
+        assert_eq!(xy.len(), yx.len());
+    }
+
+    #[test]
+    fn support_ranks_follow_first_visit() {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        // Gate visits b before a: support order must be [b, a].
+        let g = net.add_lut(vec![b, a], TruthTable::and2()).unwrap();
+        net.add_po(g, "g");
+        let cone = canonical_cone(&net, &[g]);
+        assert_eq!(cone.support, vec![b, a]);
+        assert_eq!(cone.nodes[0], CanonicalNode::Pi { rank: 0 });
+        assert_eq!(cone.nodes[1], CanonicalNode::Pi { rank: 1 });
+    }
+
+    #[test]
+    fn empty_roots_give_empty_cone() {
+        let (net, _) = build(false);
+        let cone = canonical_cone(&net, &[]);
+        assert!(cone.is_empty());
+        assert!(cone.roots.is_empty());
+        assert!(cone.support.is_empty());
+    }
+}

@@ -13,7 +13,8 @@
 //!   mapper consumes.
 //! * AIGER ([`aiger`]), BLIF ([`blif`]) and BENCH ([`bench_fmt`]) file
 //!   I/O.
-//! * Structural analyses: fanin cones ([`cone`]), levelized schedules
+//! * Structural analyses: fanin cones ([`cone`]), canonical
+//!   numbering-insensitive cone forms ([`canon`]), levelized schedules
 //!   ([`levels`]), maximum fanout-free cones ([`mffc`]), network
 //!   stacking ([`stack`], the `&putontop` equivalent) and miter
 //!   construction ([`miter`]).
@@ -40,6 +41,7 @@ pub mod aig;
 pub mod aiger;
 pub mod bench_fmt;
 pub mod blif;
+pub mod canon;
 pub mod cone;
 pub mod error;
 pub mod export;
@@ -53,6 +55,7 @@ pub mod truth;
 pub mod validate;
 
 pub use aig::{Aig, AigLit, AigVar};
+pub use canon::{canonical_cone, CanonicalCone, CanonicalNode};
 pub use error::NetlistError;
 pub use id::NodeId;
 pub use network::{LutNetwork, NodeKind, Po};

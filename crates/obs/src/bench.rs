@@ -99,12 +99,15 @@ impl BenchReport {
         }
     }
 
-    /// Writes the report to a file, creating parent directories.
+    /// Writes the report to a file, creating parent directories. The
+    /// write is atomic (tmp + rename): `BENCH_*.json` artifacts are
+    /// read by CI scripts and the serve daemon while benches may
+    /// still be running, and neither may ever observe a torn file.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.to_pretty())
+        crate::fsutil::atomic_write(path, self.to_pretty())
     }
 }
 

@@ -1,0 +1,93 @@
+//! Atomic file writes for every artifact the suite persists.
+//!
+//! Run reports, `BENCH_*.json` perf artifacts, and proof-cache entries
+//! are all read by external processes (CI scripts, the serve daemon,
+//! a second `simgen` invocation) while the writer may still be
+//! running. A plain `std::fs::write` exposes a window in which a
+//! reader sees a truncated file; every writer in the workspace goes
+//! through [`atomic_write`] instead: the bytes land in a temporary
+//! sibling first and are published with a single `rename`, which POSIX
+//! makes atomic within a filesystem. Readers therefore observe either
+//! the old complete file or the new complete file, never a torn one.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers targeting the same path from the
+/// same process (the daemon's job threads); the pid in the tmp name
+/// distinguishes processes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: a temporary file in the same
+/// directory receives the full contents and is renamed over the
+/// destination. On any error the temporary is removed and the
+/// destination is left untouched.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => tmp_name.clone().into(),
+    };
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("simgen_fsutil_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = tmpdir("ow");
+        let p = dir.join("x.json");
+        atomic_write(&p, b"one").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"one");
+        atomic_write(&p, b"two").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temporaries_behind() {
+        let dir = tmpdir("tmp");
+        atomic_write(dir.join("a.txt"), b"payload").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.txt".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_does_not_clobber_existing_file() {
+        let dir = tmpdir("fail");
+        let p = dir.join("keep.json");
+        atomic_write(&p, b"original").unwrap();
+        // Writing *through* a missing subdirectory fails...
+        assert!(atomic_write(dir.join("no/such/dir/keep.json"), b"x").is_err());
+        // ...and the original is untouched.
+        assert_eq!(std::fs::read(&p).unwrap(), b"original");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -16,7 +16,7 @@
 //!   writable from any thread, drained to JSONL. Traces are
 //!   diagnostics: explicitly outside the determinism guarantee.
 //! * [`RunReport`] — the versioned JSON document
-//!   (`simgen-run-report/1`) every run can emit, with a
+//!   (`simgen-run-report/2`) every run can emit, with a
 //!   [`deterministic_json`](RunReport::deterministic_json) form that
 //!   strips timing (`*_ms`) and scheduling fields and is required to
 //!   be byte-identical for any worker count. [`BenchReport`]
@@ -33,12 +33,14 @@
 //! reads, no allocation, nothing measurable in `sim_throughput`.
 
 pub mod bench;
+pub mod fsutil;
 pub mod json;
 pub mod recorder;
 pub mod report;
 pub mod trace;
 
 pub use bench::BenchReport;
+pub use fsutil::atomic_write;
 pub use json::{Json, JsonError};
 pub use recorder::{Counter, LocalRecorder, Phase, Recorder};
 pub use report::{

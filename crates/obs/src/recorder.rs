@@ -135,6 +135,21 @@ enum_with_names! {
         /// Replays that failed to reproduce the counterexample; each
         /// one quarantined its pair.
         CexReplayFailures => "cex_replay_failures",
+        /// Proof-cache lookups answered from a cached verdict that
+        /// was accepted (after replay, when certification is on).
+        CacheHits => "cache_hits",
+        /// Proof-cache lookups that found no usable entry and fell
+        /// through to a live proof.
+        CacheMisses => "cache_misses",
+        /// Cached verdicts revalidated before use under `--certify`:
+        /// DRAT proofs re-checked or counterexamples replayed.
+        CacheReplays => "cache_replays",
+        /// Cache entries discarded — LRU budget pressure or a failed
+        /// revalidation.
+        CacheEvictions => "cache_evictions",
+        /// Service jobs rejected with an explicit `overloaded` error
+        /// because the fair queue was full.
+        JobsRejected => "jobs_rejected",
     }
 }
 

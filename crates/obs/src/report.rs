@@ -1,7 +1,8 @@
 //! The versioned `RunReport` document: one JSON file per run unifying
 //! sweep, SAT, dispatch, simulation, and iteration statistics.
 //!
-//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/1"`). The
+//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/2"`; version
+//! 2 added the proof-cache and service counters). The
 //! field-by-field specification lives in `docs/observability.md`; this
 //! module is the single source of truth for serialization
 //! ([`RunReport::to_json`]), for the deterministic comparison form
@@ -266,8 +267,10 @@ pub fn strip_nondeterministic(json: &mut Json) {
 }
 
 impl RunReport {
-    /// Schema identifier written into every report.
-    pub const SCHEMA: &'static str = "simgen-run-report/1";
+    /// Schema identifier written into every report. Version 2 added
+    /// the proof-cache counters (`cache_*`, `jobs_rejected`) to the
+    /// `counters` object; the structure is otherwise unchanged.
+    pub const SCHEMA: &'static str = "simgen-run-report/2";
 
     /// Serializes the full report.
     pub fn to_json(&self) -> Json {

@@ -1,0 +1,34 @@
+//! The submit client: one connection, one request line, one response
+//! line. `simgen submit` is a thin wrapper over [`submit`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::JobRequest;
+
+/// Sends `request` to the daemon at `socket` and returns the raw
+/// response line (JSON; `error` key present on failure).
+///
+/// # Errors
+///
+/// I/O errors connecting or talking to the socket; a daemon-reported
+/// job failure is a *successful* submit whose response carries an
+/// `error` field.
+pub fn submit(socket: &Path, request: &JobRequest) -> std::io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    let mut line = request.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without responding",
+        ));
+    }
+    Ok(response.trim_end().to_string())
+}

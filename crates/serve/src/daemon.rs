@@ -1,0 +1,552 @@
+//! The `simgen serve` daemon: a unix-socket CEC service in front of
+//! the content-addressed proof cache.
+//!
+//! Architecture (all plain threads, no async runtime):
+//!
+//! * an **accept loop** hands each connection a numeric client id and
+//!   spawns a reader thread;
+//! * **reader threads** parse JSONL requests and push them into a
+//!   bounded [`FairQueue`] — a full queue answers `overloaded`
+//!   immediately instead of buffering, and the round-robin lanes stop
+//!   one chatty client from starving the rest;
+//! * one **executor thread** pops jobs in fair order and runs each
+//!   through [`simgen_cec::check_equivalence_cached`] against the
+//!   shared [`ProofCache`], then writes the response back on the
+//!   job's connection.
+//!
+//! A single executor keeps cache effects deterministic (per-job
+//! parallelism still comes from the request's `jobs` field). Shutdown
+//! (SIGTERM/SIGINT or [`Server::shutdown`]) stops accepting, closes
+//! the queue, and drains every already-accepted job before the socket
+//! file is removed.
+//!
+//! ## Job-level caching and trust
+//!
+//! Besides the pair-level entries the sweep itself reads and writes,
+//! the daemon stores one entry per *job* (structural hash of both
+//! circuits plus the verdict-relevant config) holding the verdict and
+//! the deterministic run-report text. A repeat submission is answered
+//! byte-identically from that entry without touching the solver —
+//! after replaying the stored witness when the verdict was
+//! inequivalence (replay is always required for counterexamples; an
+//! entry that fails replay is evicted and the job re-proved live).
+//!
+//! Under `certify` the stored report is never trusted as a
+//! short-cut: the job re-runs against the pair-level cache, where
+//! every cached equivalence must pass the independent DRAT checker
+//! before reuse. Such runs report `cache: "replayed"`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use simgen_cache::{job_key, CacheEntry, CacheKey, CachedVerdict, ProofCache, Sha256};
+use simgen_cec::{
+    cec_run_report, check_equivalence_cached, design_info, CecVerdict, Deadline, RunMeta,
+    SweepConfig,
+};
+use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
+use simgen_dispatch::{FairQueue, PushError};
+use simgen_mapping::map_to_luts;
+use simgen_netlist::{aiger, bench_fmt, blif, LutNetwork};
+use simgen_obs::{Counter, Observer};
+
+use crate::protocol::{
+    error_response, parse_request, result_response, CacheOutcome, JobRequest, JobStatusLine,
+};
+
+/// Signal-visible shutdown flag; see [`request_shutdown`].
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Marks every running [`Server`] for graceful shutdown. Safe to call
+/// from a signal handler (one relaxed store).
+pub fn request_shutdown() {
+    SIGNALLED.store(true, Ordering::Relaxed);
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    request_shutdown();
+}
+
+/// Installs SIGTERM/SIGINT handlers that trigger a graceful drain.
+/// Uses the raw libc `signal` entry point — the workspace builds
+/// without a libc crate.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on (created on start, removed on
+    /// shutdown; a stale file from a dead daemon is replaced).
+    pub socket: PathBuf,
+    /// Directory for the persistent proof cache; `None` keeps the
+    /// cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Cache byte budget (LRU evicts beyond it).
+    pub cache_budget: u64,
+    /// Maximum queued jobs across all clients; beyond it submissions
+    /// are rejected with `overloaded`.
+    pub queue_limit: usize,
+}
+
+impl ServeOptions {
+    /// Defaults: in-memory cache, 64 MiB budget, 64 queued jobs.
+    pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            socket: socket.into(),
+            cache_dir: None,
+            cache_budget: 64 << 20,
+            queue_limit: 64,
+        }
+    }
+}
+
+/// Daemon lifetime totals (monotonic; readable while running).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Jobs answered (any cache outcome).
+    pub jobs_done: AtomicU64,
+    /// Jobs answered entirely from the job-level cache entry.
+    pub job_hits: AtomicU64,
+    /// Certified jobs answered by re-validating cached evidence.
+    pub replayed: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub rejected: AtomicU64,
+    /// Jobs that failed (bad paths, malformed circuits, PO mismatch).
+    pub errors: AtomicU64,
+}
+
+struct Job {
+    request: JobRequest,
+    writer: Arc<Mutex<UnixStream>>,
+}
+
+/// A running daemon. Dropping the handle does NOT stop it; call
+/// [`Server::shutdown`] then [`Server::join`] (or send SIGTERM to the
+/// process when the CLI installed handlers).
+pub struct Server {
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    socket: PathBuf,
+}
+
+impl Server {
+    /// Binds the socket and starts the accept loop, reader threads
+    /// and executor. Returns once the daemon is accepting.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        // Replace a stale socket file (left by a killed daemon);
+        // bind() would otherwise fail with AddrInUse forever.
+        if opts.socket.exists() {
+            std::fs::remove_file(&opts.socket)?;
+        }
+        let listener = UnixListener::bind(&opts.socket)?;
+        listener.set_nonblocking(true)?;
+        let cache = Arc::new(match &opts.cache_dir {
+            Some(dir) => ProofCache::persistent(dir, opts.cache_budget)?,
+            None => ProofCache::in_memory(opts.cache_budget),
+        });
+        let queue: Arc<FairQueue<Job>> = Arc::new(FairQueue::new(opts.queue_limit));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServeStats::default());
+
+        let executor = {
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                while let Some((_client, job)) = queue.pop() {
+                    let line = execute_job(&cache, &job.request, &stats);
+                    write_line(&job.writer, &line);
+                }
+            })
+        };
+
+        let accept_thread = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let socket = opts.socket.clone();
+            std::thread::spawn(move || {
+                let mut readers = Vec::new();
+                let mut conns: Vec<UnixStream> = Vec::new();
+                let mut next_client: u64 = 0;
+                while !stop.load(Ordering::Relaxed) && !SIGNALLED.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _addr)) => {
+                            let client = next_client;
+                            next_client += 1;
+                            if let Ok(clone) = stream.try_clone() {
+                                conns.push(clone);
+                            }
+                            let queue = Arc::clone(&queue);
+                            let stats = Arc::clone(&stats);
+                            readers.push(std::thread::spawn(move || {
+                                serve_connection(client, stream, &queue, &stats);
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Graceful drain: stop accepting, refuse new pushes,
+                // let the executor finish everything already queued.
+                queue.close();
+                let _ = executor.join();
+                // Unblock readers stuck in read(): close both ends.
+                for conn in &conns {
+                    let _ = conn.shutdown(std::net::Shutdown::Both);
+                }
+                for reader in readers {
+                    let _ = reader.join();
+                }
+                let _ = std::fs::remove_file(&socket);
+            })
+        };
+
+        Ok(Server {
+            stop,
+            stats,
+            accept_thread: Some(accept_thread),
+            socket: opts.socket,
+        })
+    }
+
+    /// Requests a graceful shutdown (drain, then exit).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the daemon has fully drained and cleaned up.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Lifetime totals.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// A handle on the totals that outlives [`Server::join`] (the CLI
+    /// prints them after the drain).
+    pub fn stats_handle(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The socket path the daemon is listening on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+}
+
+fn write_line(writer: &Arc<Mutex<UnixStream>>, line: &str) {
+    // A vanished client is not a daemon error; drop the response.
+    if let Ok(mut stream) = writer.lock() {
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+}
+
+fn serve_connection(client: u64, stream: UnixStream, queue: &FairQueue<Job>, stats: &ServeStats) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err((id, msg)) => write_line(&writer, &error_response(id.as_deref(), &msg)),
+            Ok(request) => {
+                let id = request.id.clone();
+                let job = Job {
+                    request,
+                    writer: Arc::clone(&writer),
+                };
+                match queue.push(client, job) {
+                    Ok(()) => {}
+                    Err(PushError::Overloaded) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        write_line(&writer, &error_response(Some(&id), "overloaded"));
+                    }
+                    Err(PushError::Closed) => {
+                        write_line(&writer, &error_response(Some(&id), "shutting down"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Loads a circuit file and maps it to a `k`-LUT network. A trimmed
+/// copy of the CLI loader — the daemon cannot depend on the CLI crate
+/// (the CLI depends on this one).
+fn load_lut(path: &str, k: usize) -> Result<LutNetwork, String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase);
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let r = BufReader::new(file);
+    match ext.as_deref() {
+        Some("aig" | "aag") => aiger::read(r)
+            .map(|aig| map_to_luts(&aig, k))
+            .map_err(|e| format!("{path}: {e}")),
+        Some("bench") => bench_fmt::read(r)
+            .map(|aig| map_to_luts(&aig, k))
+            .map_err(|e| format!("{path}: {e}")),
+        Some("blif") => blif::read(r).map_err(|e| format!("{path}: {e}")),
+        other => Err(format!(
+            "cannot infer format of `{path}` (extension {other:?}); use .aig/.aag/.bench/.blif"
+        )),
+    }
+}
+
+fn make_strategy(name: &str, seed: u64) -> Result<Box<dyn PatternGenerator>, String> {
+    match name {
+        "simgen" => Ok(Box::new(SimGen::new(
+            SimGenConfig::default().with_seed(seed),
+        ))),
+        "revs" => Ok(Box::new(RevSim::new(seed, 30))),
+        "rand" => Ok(Box::new(RandomPatterns::new(seed, 64))),
+        "1dist" => Ok(Box::new(OneDistance::new(seed, 8))),
+        other => Err(format!(
+            "unknown strategy `{other}` (expected simgen|revs|rand|1dist)"
+        )),
+    }
+}
+
+/// Content address of a whole job: structural hashes of both circuits
+/// (PO order included) plus the verdict-relevant configuration. The
+/// circuit *paths* are deliberately not part of the identity — the
+/// same pair of designs submitted from different file names shares
+/// the entry.
+fn serve_job_key(a: &LutNetwork, b: &LutNetwork, request: &JobRequest) -> CacheKey {
+    let roots = |net: &LutNetwork| -> Vec<_> { net.pos().iter().map(|po| po.node).collect() };
+    let mut h = Sha256::new();
+    h.update(b"simgen-serve-job/1\0");
+    h.update(&job_key(a, &roots(a)).0);
+    h.update(&job_key(b, &roots(b)).0);
+    h.update(request.cache_config().as_bytes());
+    CacheKey(h.finalize())
+}
+
+fn status_of(verdict: &CecVerdict) -> JobStatusLine {
+    match verdict {
+        CecVerdict::Equivalent => JobStatusLine::Equivalent,
+        CecVerdict::NotEquivalent { po_index, witness } => JobStatusLine::NotEquivalent {
+            po_index: *po_index,
+            witness: witness.clone(),
+        },
+        CecVerdict::Inconclusive {
+            unresolved_pairs, ..
+        } => JobStatusLine::Inconclusive {
+            unresolved: unresolved_pairs.len(),
+        },
+    }
+}
+
+/// Replays a stored job-level inequivalence witness: the two networks
+/// must actually differ on it. Returns the first differing PO index.
+fn replay_job_witness(a: &LutNetwork, b: &LutNetwork, witness: &[bool]) -> Option<usize> {
+    if witness.len() != a.num_pis() || witness.len() != b.num_pis() {
+        return None;
+    }
+    let outs_a = a.eval_pos(witness);
+    let outs_b = b.eval_pos(witness);
+    outs_a.iter().zip(&outs_b).position(|(x, y)| x != y)
+}
+
+/// Runs one job to a response line. This is the whole service policy:
+/// job-level lookup (with witness replay), fall-through to a live
+/// cached run, then job-level store of conclusive verdicts.
+fn execute_job(cache: &ProofCache, request: &JobRequest, stats: &ServeStats) -> String {
+    match execute_job_inner(cache, request, stats) {
+        Ok(line) => line,
+        Err(msg) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(Some(&request.id), &msg)
+        }
+    }
+}
+
+fn execute_job_inner(
+    cache: &ProofCache,
+    request: &JobRequest,
+    stats: &ServeStats,
+) -> Result<String, String> {
+    let a = load_lut(&request.a, request.k)?;
+    let b = load_lut(&request.b, request.k)?;
+    let key = serve_job_key(&a, &b, request);
+
+    // Job-level fast path. Never taken under certify: a stored report
+    // carries no checkable evidence, so certified jobs always re-run
+    // against the pair cache (where DRAT replay gates every reuse).
+    // Whether this job has been answered before still matters for the
+    // response's cache label ("replayed", not "miss").
+    let prior_entry = request.certify
+        && cache
+            .lookup(&key)
+            .is_some_and(|entry| entry.report.is_some());
+    if !request.certify {
+        if let Some(entry) = cache.lookup(&key) {
+            if let Some(report) = &entry.report {
+                match &entry.verdict {
+                    CachedVerdict::Equivalent { .. } => {
+                        stats.jobs_done.fetch_add(1, Ordering::Relaxed);
+                        stats.job_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(result_response(
+                            &request.id,
+                            CacheOutcome::Hit,
+                            &JobStatusLine::Equivalent,
+                            report,
+                        ));
+                    }
+                    CachedVerdict::NotEquivalent { witness } => {
+                        // Counterexamples are replayed in every mode;
+                        // a witness that no longer distinguishes the
+                        // pair means the entry is poisoned.
+                        if let Some(po_index) = replay_job_witness(&a, &b, witness) {
+                            stats.jobs_done.fetch_add(1, Ordering::Relaxed);
+                            stats.job_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(result_response(
+                                &request.id,
+                                CacheOutcome::Hit,
+                                &JobStatusLine::NotEquivalent {
+                                    po_index,
+                                    witness: witness.clone(),
+                                },
+                                report,
+                            ));
+                        }
+                        cache.evict(&key);
+                    }
+                }
+            } else {
+                // A pair-level entry can never share a job key (domain
+                // separation in the hash); report-less job entries are
+                // malformed — drop them.
+                cache.evict(&key);
+            }
+        }
+    }
+
+    // Live (but pair-cached) run.
+    let jobs = if request.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        request.jobs
+    };
+    let cfg = SweepConfig {
+        jobs,
+        certify: request.certify,
+        seed: request.seed,
+        ..SweepConfig::default()
+    };
+    let mut gen = make_strategy(&request.strategy, request.seed)?;
+    let deadline = request
+        .timeout
+        .and_then(|secs| Duration::try_from_secs_f64(secs).ok())
+        .map(Deadline::after)
+        .unwrap_or_default();
+    let mut obs = Observer::enabled();
+    let report =
+        check_equivalence_cached(&a, &b, gen.as_mut(), cfg, &deadline, &mut obs, Some(cache))
+            .map_err(|e| e.to_string())?;
+    let replayed = obs.recorder.get(Counter::CacheReplays) > 0;
+    let run_report = cec_run_report(
+        RunMeta {
+            command: "serve".to_string(),
+            // Deterministic pseudo-argv: identical jobs must yield
+            // identical reports, so the real process argv never
+            // appears here (and `argv` is stripped anyway).
+            argv: vec![
+                "serve".to_string(),
+                request.a.clone(),
+                request.b.clone(),
+                request.cache_config(),
+            ],
+            design: design_info(&a, &design_name(&request.a), &request.a),
+        },
+        &cfg,
+        &report,
+        &obs,
+    );
+    let text = run_report.deterministic_json();
+
+    // Cache conclusive verdicts at job level. For plain jobs the
+    // entry short-circuits repeats; for certify jobs it only informs
+    // the cache label (the verdict is always re-proved). Inconclusive
+    // results are never cached at any level.
+    match &report.verdict {
+        CecVerdict::Equivalent => {
+            cache.insert(
+                key,
+                CacheEntry {
+                    verdict: CachedVerdict::Equivalent { proof: Vec::new() },
+                    report: Some(text.clone()),
+                },
+            );
+        }
+        CecVerdict::NotEquivalent { witness, .. } => {
+            cache.insert(
+                key,
+                CacheEntry {
+                    verdict: CachedVerdict::NotEquivalent {
+                        witness: witness.clone(),
+                    },
+                    report: Some(text.clone()),
+                },
+            );
+        }
+        CecVerdict::Inconclusive { .. } => {}
+    }
+
+    stats.jobs_done.fetch_add(1, Ordering::Relaxed);
+    // "replayed" means: this exact job was answered before, and the
+    // repeat was served by re-validating cached evidence (DRAT checks
+    // and witness replays) instead of trusting it. A first run that
+    // merely reused its own intra-run pair entries is still a miss.
+    let outcome = if prior_entry && replayed {
+        stats.replayed.fetch_add(1, Ordering::Relaxed);
+        CacheOutcome::Replayed
+    } else {
+        CacheOutcome::Miss
+    };
+    Ok(result_response(
+        &request.id,
+        outcome,
+        &status_of(&report.verdict),
+        &text,
+    ))
+}
+
+fn design_name(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string()
+}

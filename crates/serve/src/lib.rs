@@ -1,0 +1,30 @@
+//! CEC-as-a-service: the `simgen serve` daemon and its submit client.
+//!
+//! The ROADMAP's service direction in one crate: a long-lived process
+//! that listens on a unix socket, accepts equivalence-checking jobs
+//! as JSON Lines, runs them through the cached CEC flow
+//! ([`simgen_cec::check_equivalence_cached`]), and answers repeated
+//! or overlapping queries from the content-addressed
+//! [`simgen_cache::ProofCache`] instead of the SAT solver.
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — the wire format: requests, responses, and the
+//!   `hit`/`miss`/`replayed` cache outcome vocabulary;
+//! * [`daemon`] — the server: accept loop, per-client fair queueing
+//!   ([`simgen_dispatch::FairQueue`]), bounded backpressure with
+//!   explicit `overloaded` rejections, the job-level cache policy,
+//!   and graceful signal-driven drain;
+//! * [`client`] — the one-shot submit helper the CLI wraps.
+//!
+//! See `docs/serving.md` for the protocol reference and trust model.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use client::submit;
+pub use daemon::{install_signal_handlers, request_shutdown, ServeOptions, ServeStats, Server};
+pub use protocol::{
+    error_response, parse_request, result_response, CacheOutcome, JobRequest, JobStatusLine,
+};

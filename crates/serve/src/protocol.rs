@@ -1,0 +1,342 @@
+//! The wire protocol: JSON Lines over a unix stream socket.
+//!
+//! One request per line, one response per line; see `docs/serving.md`
+//! for the full schema. Parsing is strict about what it needs (`id`,
+//! the two circuit paths) and defaulting about everything else, so a
+//! minimal request is just `{"id":"j1","a":"a.aig","b":"b.aig"}`.
+
+use simgen_obs::Json;
+
+/// A parsed equivalence-checking job request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: String,
+    /// Path of the first circuit (.aig/.aag/.bench/.blif).
+    pub a: String,
+    /// Path of the second circuit.
+    pub b: String,
+    /// Pattern-generation strategy (`simgen`/`revs`/`rand`/`1dist`).
+    pub strategy: String,
+    /// RNG seed for the simulation phases.
+    pub seed: u64,
+    /// LUT size used when mapping AIG inputs.
+    pub k: usize,
+    /// Worker threads for this job; `0` = auto-detect cores.
+    pub jobs: usize,
+    /// Per-job wall-clock deadline in seconds.
+    pub timeout: Option<f64>,
+    /// Trust-but-verify mode: DRAT-check every equivalence (cached
+    /// ones included) and replay every counterexample.
+    pub certify: bool,
+}
+
+impl JobRequest {
+    /// The configuration fields that can change the (deterministic,
+    /// stripped) run report — and therefore must be part of the job's
+    /// cache identity. `jobs` and `timeout` are deliberately absent:
+    /// reports are scheduling-invariant, and a conclusive verdict is
+    /// valid no matter what deadline it was found under.
+    pub fn cache_config(&self) -> String {
+        format!(
+            "strategy={};seed={};k={};certify={}",
+            self.strategy, self.seed, self.k, self.certify
+        )
+    }
+
+    /// Serializes the request as one JSONL line (used by the submit
+    /// client; the daemon only parses).
+    pub fn to_line(&self) -> String {
+        let mut req = Json::obj();
+        req.push("id", Json::Str(self.id.clone()));
+        req.push("a", Json::Str(self.a.clone()));
+        req.push("b", Json::Str(self.b.clone()));
+        let mut cfg = Json::obj();
+        cfg.push("strategy", Json::Str(self.strategy.clone()));
+        cfg.push("seed", Json::U64(self.seed));
+        cfg.push("k", Json::U64(self.k as u64));
+        cfg.push("jobs", Json::U64(self.jobs as u64));
+        if let Some(secs) = self.timeout {
+            cfg.push("timeout", Json::F64(secs));
+        }
+        cfg.push("certify", Json::Bool(self.certify));
+        req.push("config", cfg);
+        req.to_line()
+    }
+}
+
+impl Default for JobRequest {
+    fn default() -> Self {
+        JobRequest {
+            id: String::new(),
+            a: String::new(),
+            b: String::new(),
+            strategy: "simgen".to_string(),
+            seed: 0,
+            k: 6,
+            jobs: 1,
+            timeout: None,
+            certify: false,
+        }
+    }
+}
+
+/// How a response was produced, relative to the proof cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answered from the stored job-level entry (no solver work).
+    Hit,
+    /// Proven live; nothing reusable was cached.
+    Miss,
+    /// Proven by re-validating cached evidence under `--certify`:
+    /// stored DRAT proofs re-checked, stored witnesses replayed.
+    Replayed,
+}
+
+impl CacheOutcome {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Replayed => "replayed",
+        }
+    }
+}
+
+/// Parse failure: the id if one was recoverable, plus a message the
+/// daemon sends back verbatim.
+pub type ParseFailure = (Option<String>, String);
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<JobRequest, ParseFailure> {
+    let json = Json::parse(line).map_err(|e| (None, format!("bad request json: {e}")))?;
+    let id = json
+        .get("id")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or((None, "request needs a string `id`".to_string()))?;
+    let fail = |msg: &str| (Some(id.clone()), msg.to_string());
+    let path = |field: &str| {
+        json.get(field)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| fail(&format!("request needs a string `{field}` path")))
+    };
+    let mut req = JobRequest {
+        id: id.clone(),
+        a: path("a")?,
+        b: path("b")?,
+        ..JobRequest::default()
+    };
+    let Some(cfg) = json.get("config") else {
+        return Ok(req);
+    };
+    let entries = cfg
+        .entries()
+        .ok_or_else(|| fail("`config` must be an object"))?;
+    for (key, value) in entries {
+        match key.as_str() {
+            "strategy" => {
+                req.strategy = value
+                    .as_str()
+                    .ok_or_else(|| fail("`strategy` must be a string"))?
+                    .to_string();
+            }
+            "seed" => {
+                req.seed = value.as_u64().ok_or_else(|| fail("`seed` must be a u64"))?;
+            }
+            "k" => {
+                let k = value.as_u64().ok_or_else(|| fail("`k` must be 1..=6"))?;
+                if !(1..=6).contains(&k) {
+                    return Err(fail("`k` must be 1..=6"));
+                }
+                req.k = k as usize;
+            }
+            "jobs" => {
+                // 0 is meaningful: auto-detect cores at execution time.
+                req.jobs = value
+                    .as_u64()
+                    .ok_or_else(|| fail("`jobs` must be a u64 (0 = auto)"))?
+                    as usize;
+            }
+            "timeout" => {
+                let secs = match value {
+                    Json::F64(x) => *x,
+                    Json::U64(n) => *n as f64,
+                    _ => return Err(fail("`timeout` must be seconds")),
+                };
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(fail("`timeout` must be non-negative seconds"));
+                }
+                req.timeout = Some(secs);
+            }
+            "certify" => {
+                req.certify = match value {
+                    Json::Bool(b) => *b,
+                    _ => return Err(fail("`certify` must be a bool")),
+                };
+            }
+            other => return Err(fail(&format!("unknown config key `{other}`"))),
+        }
+    }
+    Ok(req)
+}
+
+/// Builds an error response line (no trailing newline).
+pub fn error_response(id: Option<&str>, message: &str) -> String {
+    let mut resp = Json::obj();
+    resp.push("id", id.map_or(Json::Null, |id| Json::Str(id.to_string())));
+    resp.push("error", Json::Str(message.to_string()));
+    resp.to_line()
+}
+
+/// The verdict summary carried alongside the full report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobStatusLine {
+    /// All output pairs proven equal.
+    Equivalent,
+    /// Output pair `po_index` differs on `witness` (full PI vector).
+    NotEquivalent {
+        /// First differing output pair.
+        po_index: usize,
+        /// Distinguishing input assignment over the primary inputs.
+        witness: Vec<bool>,
+    },
+    /// Budget or deadline ran out; `unresolved` pairs remain open.
+    Inconclusive {
+        /// Count of output pairs neither proven nor falsified.
+        unresolved: usize,
+    },
+}
+
+/// Builds a success response line: the id, the cache outcome, the
+/// verdict summary, and the full deterministic run report (embedded
+/// as a JSON object so clients need no second parse step).
+pub fn result_response(
+    id: &str,
+    cache: CacheOutcome,
+    status: &JobStatusLine,
+    report_text: &str,
+) -> String {
+    let mut resp = Json::obj();
+    resp.push("id", Json::Str(id.to_string()));
+    resp.push("cache", Json::Str(cache.as_str().to_string()));
+    match status {
+        JobStatusLine::Equivalent => resp.push("status", Json::Str("equivalent".to_string())),
+        JobStatusLine::NotEquivalent { po_index, witness } => {
+            resp.push("status", Json::Str("not_equivalent".to_string()));
+            resp.push("po_index", Json::U64(*po_index as u64));
+            let bits: String = witness.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            resp.push("witness", Json::Str(bits));
+        }
+        JobStatusLine::Inconclusive { unresolved } => {
+            resp.push("status", Json::Str("inconclusive".to_string()));
+            resp.push("unresolved", Json::U64(*unresolved as u64));
+        }
+    }
+    // The stored text is the daemon's own deterministic serialization,
+    // so it always parses; fall back to a string for safety.
+    match Json::parse(report_text) {
+        Ok(report) => resp.push("report", report),
+        Err(_) => resp.push("report", Json::Str(report_text.to_string())),
+    }
+    resp.to_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let req = parse_request(r#"{"id":"j1","a":"x.aig","b":"y.aig"}"#).unwrap();
+        assert_eq!(req.id, "j1");
+        assert_eq!(req.strategy, "simgen");
+        assert_eq!(req.k, 6);
+        assert_eq!(req.jobs, 1);
+        assert_eq!(req.timeout, None);
+        assert!(!req.certify);
+    }
+
+    #[test]
+    fn full_request_round_trips_through_to_line() {
+        let req = JobRequest {
+            id: "j2".into(),
+            a: "a.blif".into(),
+            b: "b.blif".into(),
+            strategy: "revs".into(),
+            seed: 7,
+            k: 4,
+            jobs: 0,
+            timeout: Some(2.5),
+            certify: true,
+        };
+        assert_eq!(parse_request(&req.to_line()).unwrap(), req);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_context() {
+        // No id at all: the error cannot be correlated.
+        let (id, msg) = parse_request("{}").unwrap_err();
+        assert_eq!(id, None);
+        assert!(msg.contains("id"), "{msg}");
+        // With an id, later failures carry it.
+        let (id, msg) =
+            parse_request(r#"{"id":"j","a":"x.aig","b":"y.aig","config":{"k":9}}"#).unwrap_err();
+        assert_eq!(id.as_deref(), Some("j"));
+        assert!(msg.contains('k'), "{msg}");
+        let (id, _) = parse_request(r#"{"id":"j","a":"x.aig","b":"y.aig","config":{"bogus":1}}"#)
+            .unwrap_err();
+        assert_eq!(id.as_deref(), Some("j"));
+        assert!(parse_request("not json").is_err());
+        assert!(
+            parse_request(r#"{"id":"j","a":"x.aig"}"#).is_err(),
+            "missing b"
+        );
+    }
+
+    #[test]
+    fn cache_config_ignores_scheduling_fields() {
+        let mut a = JobRequest {
+            id: "x".into(),
+            ..JobRequest::default()
+        };
+        let mut b = a.clone();
+        b.jobs = 8;
+        b.timeout = Some(30.0);
+        b.id = "y".into();
+        assert_eq!(a.cache_config(), b.cache_config());
+        a.certify = true;
+        assert_ne!(a.cache_config(), b.cache_config());
+    }
+
+    #[test]
+    fn response_lines_parse_back() {
+        let line = result_response(
+            "j1",
+            CacheOutcome::Hit,
+            &JobStatusLine::NotEquivalent {
+                po_index: 3,
+                witness: vec![true, false, true],
+            },
+            "{\n  \"schema\": \"simgen-run-report/2\"\n}\n",
+        );
+        let json = Json::parse(&line).unwrap();
+        assert_eq!(json.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(
+            json.get("status").and_then(Json::as_str),
+            Some("not_equivalent")
+        );
+        assert_eq!(json.get("witness").and_then(Json::as_str), Some("101"));
+        assert_eq!(
+            json.get("report")
+                .unwrap()
+                .get("schema")
+                .and_then(Json::as_str),
+            Some("simgen-run-report/2")
+        );
+        let err = error_response(None, "bad request json: oops");
+        assert_eq!(Json::parse(&err).unwrap().get("id"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,360 @@
+//! End-to-end daemon tests: a real unix socket, real job files, the
+//! acceptance contract of the service layer — repeat submissions are
+//! answered byte-identically from the cache, certify-mode repeats
+//! re-validate cached evidence, a full queue rejects explicitly, and
+//! shutdown drains instead of dropping.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use simgen_obs::Json;
+use simgen_serve::{submit, CacheOutcome, JobRequest, ServeOptions, Server};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simgen_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes an ASCII AIGER benchmark circuit.
+fn write_bench(dir: &std::path::Path, name: &str, bench: &str) -> String {
+    let aig = simgen_workloads::build_aig(bench).expect("known benchmark");
+    let path = dir.join(format!("{name}.aag"));
+    let f = std::fs::File::create(&path).unwrap();
+    simgen_netlist::aiger::write_ascii(&aig, &mut std::io::BufWriter::new(f)).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+/// Tiny hand-written pair: a & b vs a | b (not equivalent).
+fn write_and_or(dir: &std::path::Path) -> (String, String) {
+    let and_p = dir.join("and.aag");
+    let or_p = dir.join("or.aag");
+    std::fs::write(&and_p, "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n").unwrap();
+    std::fs::write(&or_p, "aag 3 2 0 1 1\n2\n4\n7\n6 3 5\n").unwrap();
+    (
+        and_p.to_str().unwrap().to_string(),
+        or_p.to_str().unwrap().to_string(),
+    )
+}
+
+fn request(id: &str, a: &str, b: &str) -> JobRequest {
+    JobRequest {
+        id: id.to_string(),
+        a: a.to_string(),
+        b: b.to_string(),
+        ..JobRequest::default()
+    }
+}
+
+fn parsed_submit(server: &Server, req: &JobRequest) -> Json {
+    let line = submit(server.socket(), req).expect("submit succeeds");
+    Json::parse(&line).expect("response is json")
+}
+
+fn cache_of(resp: &Json) -> &str {
+    resp.get("cache").and_then(Json::as_str).unwrap_or("<none>")
+}
+
+fn report_text(resp: &Json) -> String {
+    resp.get("report")
+        .expect("response has a report")
+        .to_pretty()
+}
+
+#[test]
+fn duplicate_jobs_are_answered_from_the_cache_byte_identically() {
+    let dir = temp_dir("dup");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let server = Server::start(ServeOptions::new(dir.join("sock"))).unwrap();
+
+    let first = parsed_submit(&server, &request("j1", &a, &b));
+    assert_eq!(
+        first.get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+    assert_eq!(cache_of(&first), CacheOutcome::Miss.as_str());
+
+    let second = parsed_submit(&server, &request("j2", &a, &b));
+    assert_eq!(
+        second.get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+    assert_eq!(cache_of(&second), CacheOutcome::Hit.as_str(), "{second:?}");
+    assert_eq!(
+        report_text(&first),
+        report_text(&second),
+        "repeat submissions must return byte-identical stripped reports"
+    );
+
+    // Structural addressing: the same circuits under different file
+    // names still hit.
+    let a2 = write_bench(&dir, "renamed", "e64");
+    let third = parsed_submit(&server, &request("j3", &a2, &b));
+    assert_eq!(cache_of(&third), CacheOutcome::Hit.as_str());
+
+    // A different config is a different job identity.
+    let mut seeded = request("j4", &a, &b);
+    seeded.seed = 9;
+    let fourth = parsed_submit(&server, &seeded);
+    assert_eq!(cache_of(&fourth), CacheOutcome::Miss.as_str());
+
+    assert_eq!(
+        server
+            .stats()
+            .jobs_done
+            .load(std::sync::atomic::Ordering::Relaxed),
+        4
+    );
+    assert_eq!(
+        server
+            .stats()
+            .job_hits
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn certified_repeats_replay_cached_evidence() {
+    let dir = temp_dir("cert");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let server = Server::start(ServeOptions::new(dir.join("sock"))).unwrap();
+
+    let mut req = request("c1", &a, &b);
+    req.certify = true;
+    let first = parsed_submit(&server, &req);
+    assert_eq!(
+        first.get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+    assert_eq!(cache_of(&first), CacheOutcome::Miss.as_str(), "{first:?}");
+
+    // The repeat must not be a blind report hit: certify-mode reuse
+    // goes through the pair cache, where every stored DRAT proof is
+    // re-checked before the verdict is trusted.
+    req.id = "c2".to_string();
+    let second = parsed_submit(&server, &req);
+    assert_eq!(
+        second.get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+    assert_eq!(
+        cache_of(&second),
+        CacheOutcome::Replayed.as_str(),
+        "{second:?}"
+    );
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn inequivalence_hits_replay_the_stored_witness() {
+    let dir = temp_dir("cex");
+    let (and_p, or_p) = write_and_or(&dir);
+    let server = Server::start(ServeOptions::new(dir.join("sock"))).unwrap();
+
+    let first = parsed_submit(&server, &request("n1", &and_p, &or_p));
+    assert_eq!(
+        first.get("status").and_then(Json::as_str),
+        Some("not_equivalent")
+    );
+    assert_eq!(cache_of(&first), CacheOutcome::Miss.as_str());
+    let witness = first
+        .get("witness")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    let second = parsed_submit(&server, &request("n2", &and_p, &or_p));
+    assert_eq!(cache_of(&second), CacheOutcome::Hit.as_str());
+    assert_eq!(
+        second.get("witness").and_then(Json::as_str),
+        Some(witness.as_str()),
+        "the cached witness is served back after replay"
+    );
+    assert_eq!(report_text(&first), report_text(&second));
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_requests_and_bad_jobs_get_error_responses() {
+    let dir = temp_dir("err");
+    let server = Server::start(ServeOptions::new(dir.join("sock"))).unwrap();
+
+    // Malformed JSON line → error with null id, connection stays up.
+    let mut stream = UnixStream::connect(server.socket()).unwrap();
+    stream.write_all(b"this is not json\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(resp.get("id"), Some(&Json::Null));
+    assert!(resp.get("error").is_some());
+
+    // Same connection still serves well-formed requests.
+    let req = request("missing", "/nonexistent/a.aig", "/nonexistent/b.aig");
+    stream.write_all(req.to_line().as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(resp.get("id").and_then(Json::as_str), Some("missing"));
+    let msg = resp.get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("cannot open"), "{msg}");
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_full_queue_rejects_with_overloaded() {
+    let dir = temp_dir("load");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let mut opts = ServeOptions::new(dir.join("sock"));
+    opts.queue_limit = 1;
+    let server = Server::start(opts).unwrap();
+
+    // Burst: write many requests without reading responses. With a
+    // one-slot queue and a single executor, most of them must be
+    // turned away — and every request still gets exactly one answer.
+    let total = 12;
+    let mut stream = UnixStream::connect(server.socket()).unwrap();
+    for i in 0..total {
+        // Distinct seeds so nothing is answered from the cache.
+        let mut req = request(&format!("burst{i}"), &a, &b);
+        req.seed = i as u64;
+        stream.write_all(req.to_line().as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.flush().unwrap();
+    let reader = BufReader::new(stream);
+    let mut answered = 0;
+    let mut overloaded = 0;
+    for line in reader.lines().take(total) {
+        let resp = Json::parse(line.unwrap().trim_end()).unwrap();
+        match resp.get("error").and_then(Json::as_str) {
+            Some("overloaded") => overloaded += 1,
+            Some(other) => panic!("unexpected error: {other}"),
+            None => {
+                answered += 1;
+                assert_eq!(
+                    resp.get("status").and_then(Json::as_str),
+                    Some("equivalent")
+                );
+            }
+        }
+    }
+    assert_eq!(answered + overloaded, total);
+    assert!(overloaded > 0, "a 1-slot queue must reject part of a burst");
+    assert!(answered > 0, "accepted jobs still complete");
+    assert_eq!(
+        server
+            .stats()
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed),
+        overloaded as u64
+    );
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_and_removes_the_socket() {
+    let dir = temp_dir("drain");
+    let (and_p, or_p) = write_and_or(&dir);
+    let socket = dir.join("sock");
+    let server = Server::start(ServeOptions::new(&socket)).unwrap();
+    assert!(socket.exists());
+
+    // Warm up the connection so the daemon has definitely accepted it
+    // (connect() alone only lands in the listen backlog).
+    let mut stream = UnixStream::connect(server.socket()).unwrap();
+    let warmup = request("w", &and_p, &or_p);
+    stream.write_all(warmup.to_line().as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(Json::parse(line.trim_end())
+        .unwrap()
+        .get("status")
+        .is_some());
+
+    // Queue two jobs, then request shutdown: both must still be
+    // answered before the daemon exits.
+    for id in ["d1", "d2"] {
+        let req = request(id, &and_p, &or_p);
+        stream.write_all(req.to_line().as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.flush().unwrap();
+    // Give the reader thread a beat to enqueue them, then shut down.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    server.shutdown();
+    let mut seen = Vec::new();
+    line.clear();
+    // The daemon may reset the connection right after the drain;
+    // treat a read error after the responses as EOF.
+    while matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+        let resp = Json::parse(line.trim_end()).unwrap();
+        // Jobs that raced the queue closing get an explicit
+        // `shutting down`; everything accepted must be answered.
+        if resp.get("error").and_then(Json::as_str) != Some("shutting down") {
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("not_equivalent")
+            );
+        }
+        seen.push(resp.get("id").and_then(Json::as_str).unwrap().to_string());
+        line.clear();
+    }
+    seen.sort();
+    assert_eq!(seen, vec!["d1", "d2"], "every submitted job got a response");
+
+    server.join();
+    assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn persistent_cache_survives_a_daemon_restart() {
+    let dir = temp_dir("persist");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let cache_dir = dir.join("cache");
+    let mut opts = ServeOptions::new(dir.join("sock"));
+    opts.cache_dir = Some(cache_dir.clone());
+
+    let server = Server::start(opts.clone()).unwrap();
+    let first = parsed_submit(&server, &request("p1", &a, &b));
+    assert_eq!(cache_of(&first), CacheOutcome::Miss.as_str());
+    server.shutdown();
+    server.join();
+
+    // A fresh daemon over the same cache directory answers the repeat
+    // from disk.
+    let server = Server::start(opts).unwrap();
+    let second = parsed_submit(&server, &request("p2", &a, &b));
+    assert_eq!(cache_of(&second), CacheOutcome::Hit.as_str(), "{second:?}");
+    assert_eq!(report_text(&first), report_text(&second));
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
