@@ -35,4 +35,7 @@ pub mod store;
 pub use digest::Sha256;
 pub use key::{cone_key, job_key, pair_key, CacheKey};
 pub use proof::{serialize_certificate, verify_proof, OwnedCertificate, ProofParseError};
-pub use store::{CacheEntry, CachedVerdict, ProofCache, ENTRY_SCHEMA};
+pub use store::{
+    scrub, CacheEntry, CachedVerdict, PinGuard, ProofCache, ScrubReport, ENTRY_SCHEMA,
+    ENTRY_SCHEMA_V1, QUARANTINE_DIR,
+};

@@ -15,21 +15,38 @@
 //! The store itself never *trusts* anything: deciding whether a hit
 //! may be used (certify replay, witness replay) is the caller's job —
 //! see `simgen_cec`'s cached sweep hooks. What the store guarantees
-//! is integrity plumbing: a malformed on-disk entry is skipped at
-//! load, and [`ProofCache::evict`] lets a caller discard an entry
-//! whose evidence failed replay.
+//! is integrity plumbing: every on-disk entry carries its own SHA-256
+//! body checksum and the key it was stored under, [`scrub`] (run
+//! automatically on every [`ProofCache::persistent`] open) moves
+//! anything that fails either check into a `quarantine/` subdirectory
+//! instead of serving it, and [`ProofCache::evict`] lets a caller
+//! discard an entry whose evidence failed replay.
+//!
+//! Long-running jobs can [`ProofCache::pin`] the entries they depend
+//! on: pinned entries are exempt from LRU eviction (but not from
+//! [`ProofCache::evict`] — a poisoned entry must never be served,
+//! pinned or not).
 
 use std::collections::HashMap;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use simgen_obs::atomic_write;
 
+use crate::digest::Sha256;
 use crate::key::CacheKey;
 
-/// Magic first line of an on-disk entry file.
-pub const ENTRY_SCHEMA: &str = "simgen-cache-entry/1";
+/// Magic first line of an on-disk entry file: key-stamped and
+/// checksummed.
+pub const ENTRY_SCHEMA: &str = "simgen-cache-entry/2";
+
+/// The pre-checksum schema, still accepted on load (its only
+/// integrity check is parseability).
+pub const ENTRY_SCHEMA_V1: &str = "simgen-cache-entry/1";
+
+/// Subdirectory corrupt entry files are moved into by [`scrub`].
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Fixed per-entry accounting overhead (key, map slot, bookkeeping).
 const ENTRY_OVERHEAD: u64 = 96;
@@ -98,6 +115,56 @@ struct Inner {
     bytes: u64,
     tick: u64,
     dir: Option<PathBuf>,
+    /// Pin refcounts: keys present here are exempt from LRU eviction.
+    pins: HashMap<CacheKey, usize>,
+}
+
+/// What a [`scrub`] pass found in a cache directory.
+#[derive(Debug, Default)]
+pub struct ScrubReport {
+    /// Entry files that passed the key and checksum verification.
+    pub valid: usize,
+    /// New (quarantine) locations of the files that failed it.
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// Verifies every `*.entry` file under `dir`: the file name must be a
+/// valid key, the body checksum must match (schema v2), and the body
+/// must parse. Failures are moved — not deleted — into
+/// `dir/quarantine/` so an operator can inspect them; nothing
+/// quarantined is ever loaded or served. Files without the `.entry`
+/// extension are ignored.
+pub fn scrub(dir: impl AsRef<Path>) -> io::Result<ScrubReport> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut report = ScrubReport::default();
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "entry"))
+        .collect();
+    names.sort();
+    for path in names {
+        let key = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(CacheKey::from_hex);
+        let ok = key.is_some_and(|key| {
+            std::fs::read(&path)
+                .ok()
+                .and_then(|bytes| parse_entry_file(&key, &bytes))
+                .is_some()
+        });
+        if ok {
+            report.valid += 1;
+            continue;
+        }
+        let qdir = dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&qdir)?;
+        let dest = qdir.join(path.file_name().expect("entry files have names"));
+        std::fs::rename(&path, &dest)?;
+        report.quarantined.push(dest);
+    }
+    Ok(report)
 }
 
 /// The content-addressed verdict store. All methods take `&self`;
@@ -117,21 +184,32 @@ impl ProofCache {
                 bytes: 0,
                 tick: 0,
                 dir: None,
+                pins: HashMap::new(),
             }),
         }
     }
 
-    /// A disk-backed cache rooted at `dir` (created if missing).
-    /// Existing well-formed `*.entry` files are loaded in file-name
-    /// order; malformed ones are ignored. Inserts write through and
+    /// A disk-backed cache rooted at `dir` (created if missing). The
+    /// directory is [`scrub`]bed first — corrupt entry files are
+    /// quarantined, never loaded — then the surviving `*.entry` files
+    /// are loaded in file-name order. Inserts write through and
     /// evictions delete, so the directory mirrors the live set.
     pub fn persistent(dir: impl Into<PathBuf>, budget: u64) -> io::Result<ProofCache> {
+        ProofCache::persistent_scrubbed(dir, budget).map(|(cache, _)| cache)
+    }
+
+    /// [`ProofCache::persistent`], also returning what the startup
+    /// scrub found.
+    pub fn persistent_scrubbed(
+        dir: impl Into<PathBuf>,
+        budget: u64,
+    ) -> io::Result<(ProofCache, ScrubReport)> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        let report = scrub(&dir)?;
         let cache = ProofCache::in_memory(budget);
         let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|e| e == "entry"))
+            .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "entry"))
             .collect();
         names.sort();
         for path in names {
@@ -145,13 +223,13 @@ impl ProofCache {
             let Ok(bytes) = std::fs::read(&path) else {
                 continue;
             };
-            if let Some(entry) = parse_entry(&bytes) {
+            if let Some(entry) = parse_entry_file(&key, &bytes) {
                 // In-memory insert only — no point rewriting the file.
                 cache.insert_inner(key, entry, false);
             }
         }
         cache.inner.lock().unwrap().dir = Some(dir);
-        Ok(cache)
+        Ok((cache, report))
     }
 
     /// Looks up `key`, refreshing its recency. Returns a clone — the
@@ -186,7 +264,10 @@ impl ProofCache {
             if let Some(dir) = inner.dir.clone() {
                 // Best-effort write-through: a full disk must not take
                 // down the daemon; the in-memory entry stays correct.
-                let _ = atomic_write(dir.join(format!("{}.entry", key.hex())), entry_text(&entry));
+                let _ = atomic_write(
+                    dir.join(format!("{}.entry", key.hex())),
+                    entry_text(&key, &entry),
+                );
             }
         }
         if let Some(old) = inner.slots.insert(key, Slot { entry, cost, stamp }) {
@@ -196,11 +277,14 @@ impl ProofCache {
         let mut evicted = 0;
         while inner.bytes > self.budget {
             // O(n) LRU scan: entry counts are small (budget-bounded)
-            // and insertion is off the hot proving path.
+            // and insertion is off the hot proving path. Pinned
+            // entries are never victims; if everything left is
+            // pinned, the cache runs over budget rather than pull an
+            // entry out from under an admitted job.
             let victim = inner
                 .slots
                 .iter()
-                .filter(|(k, _)| **k != key)
+                .filter(|(k, _)| **k != key && !inner.pins.contains_key(*k))
                 .min_by_key(|(_, s)| s.stamp)
                 .map(|(k, _)| *k);
             let Some(victim) = victim else { break };
@@ -210,9 +294,38 @@ impl ProofCache {
         evicted
     }
 
+    /// Marks `key` in use by an admitted job: while the pin refcount
+    /// is nonzero the entry is exempt from LRU eviction. Pinning a
+    /// key with no entry is allowed — it protects an entry inserted
+    /// later under that key.
+    pub fn pin(&self, key: &CacheKey) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.pins.entry(*key).or_insert(0) += 1;
+    }
+
+    /// Releases one [`ProofCache::pin`]; the entry becomes evictable
+    /// again when the refcount reaches zero.
+    pub fn unpin(&self, key: &CacheKey) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(count) = inner.pins.get_mut(key) {
+            *count -= 1;
+            if *count == 0 {
+                inner.pins.remove(key);
+            }
+        }
+    }
+
+    /// RAII [`ProofCache::pin`]: the key stays pinned until the guard
+    /// drops, panic or not.
+    pub fn pin_scope(&self, key: CacheKey) -> PinGuard<'_> {
+        self.pin(&key);
+        PinGuard { cache: self, key }
+    }
+
     /// Discards `key` (memory and disk). Returns whether it was
     /// present. This is the replay-failure path: an entry whose
-    /// evidence did not check out must never be served again.
+    /// evidence did not check out must never be served again — which
+    /// is why, unlike LRU eviction, this overrides any pins.
     pub fn evict(&self, key: &CacheKey) -> bool {
         let mut inner = self.inner.lock().unwrap();
         Self::remove_locked(&mut inner, key)
@@ -247,6 +360,19 @@ impl ProofCache {
     }
 }
 
+/// Keeps a key pinned for a lexical scope — see
+/// [`ProofCache::pin_scope`].
+pub struct PinGuard<'a> {
+    cache: &'a ProofCache,
+    key: CacheKey,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.unpin(&self.key);
+    }
+}
+
 impl std::fmt::Debug for ProofCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.lock().unwrap();
@@ -259,12 +385,34 @@ impl std::fmt::Debug for ProofCache {
     }
 }
 
-/// Serializes an entry to the on-disk text form: length-prefixed
-/// sections so the (arbitrary) proof and report bytes embed safely.
-fn entry_text(entry: &CacheEntry) -> Vec<u8> {
+/// Serializes an entry to the on-disk text form: the schema line, the
+/// key the entry is stored under, a SHA-256 checksum of the body, and
+/// the body itself (length-prefixed sections so the arbitrary proof
+/// and report bytes embed safely). The key line lets [`scrub`] catch
+/// an entry renamed onto the wrong address; the checksum catches any
+/// body corruption.
+fn entry_text(key: &CacheKey, entry: &CacheEntry) -> Vec<u8> {
+    let body = body_text(entry);
     let mut out = Vec::new();
     out.extend_from_slice(ENTRY_SCHEMA.as_bytes());
     out.push(b'\n');
+    out.extend_from_slice(format!("key {}\n", key.hex()).as_bytes());
+    out.extend_from_slice(format!("sum {}\n", hex_digest(&body)).as_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Hex SHA-256 of `bytes`.
+fn hex_digest(bytes: &[u8]) -> String {
+    Sha256::digest(bytes)
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+/// The verdict/report body shared by both schema versions.
+fn body_text(entry: &CacheEntry) -> Vec<u8> {
+    let mut out = Vec::new();
     match &entry.verdict {
         CachedVerdict::Equivalent { proof } => {
             out.extend_from_slice(b"verdict equivalent\n");
@@ -288,8 +436,11 @@ fn entry_text(entry: &CacheEntry) -> Vec<u8> {
     out
 }
 
-/// Parses the on-disk form; `None` for anything malformed.
-fn parse_entry(bytes: &[u8]) -> Option<CacheEntry> {
+/// Parses and verifies a full on-disk entry file; `None` for
+/// anything malformed, checksum-mismatched, or stored under a key
+/// other than `expected`. Legacy v1 files (no key or checksum line)
+/// are accepted when their body parses.
+fn parse_entry_file(expected: &CacheKey, bytes: &[u8]) -> Option<CacheEntry> {
     let mut rest = bytes;
     let mut line = || -> Option<&[u8]> {
         let pos = rest.iter().position(|&b| b == b'\n')?;
@@ -297,9 +448,32 @@ fn parse_entry(bytes: &[u8]) -> Option<CacheEntry> {
         rest = &r[1..];
         Some(l)
     };
-    if line()? != ENTRY_SCHEMA.as_bytes() {
-        return None;
+    match line()? {
+        schema if schema == ENTRY_SCHEMA.as_bytes() => {
+            let key_line = std::str::from_utf8(line()?).ok()?;
+            if key_line.strip_prefix("key ")? != expected.hex() {
+                return None;
+            }
+            let sum_line = std::str::from_utf8(line()?).ok()?;
+            if sum_line.strip_prefix("sum ")? != hex_digest(rest) {
+                return None;
+            }
+            parse_body(rest)
+        }
+        schema if schema == ENTRY_SCHEMA_V1.as_bytes() => parse_body(rest),
+        _ => None,
     }
+}
+
+/// Parses the verdict/report body; `None` for anything malformed.
+fn parse_body(bytes: &[u8]) -> Option<CacheEntry> {
+    let mut rest = bytes;
+    let mut line = || -> Option<&[u8]> {
+        let pos = rest.iter().position(|&b| b == b'\n')?;
+        let (l, r) = rest.split_at(pos);
+        rest = &r[1..];
+        Some(l)
+    };
     let verdict_line = std::str::from_utf8(line()?).ok()?;
     let take_blob = |rest: &mut &[u8], header: &str| -> Option<Vec<u8>> {
         let len: usize = header.parse().ok()?;
@@ -450,24 +624,58 @@ mod tests {
                 report: Some("{\n  \"schema\": \"x\"\n}".to_string()),
             },
         ] {
-            let text = entry_text(&entry);
-            assert_eq!(parse_entry(&text), Some(entry.clone()), "{entry:?}");
+            let text = entry_text(&key(1), &entry);
+            assert_eq!(
+                parse_entry_file(&key(1), &text),
+                Some(entry.clone()),
+                "{entry:?}"
+            );
         }
     }
 
     #[test]
     fn malformed_entry_text_is_rejected() {
-        let good = entry_text(&eq_entry(20));
-        assert!(parse_entry(&good[..good.len() - 5]).is_none(), "truncated");
-        assert!(parse_entry(b"garbage").is_none());
-        assert!(parse_entry(b"").is_none());
+        let good = entry_text(&key(1), &eq_entry(20));
+        assert!(
+            parse_entry_file(&key(1), &good[..good.len() - 5]).is_none(),
+            "truncated"
+        );
+        assert!(parse_entry_file(&key(1), b"garbage").is_none());
+        assert!(parse_entry_file(&key(1), b"").is_none());
         let mut trailing = good.clone();
         trailing.extend_from_slice(b"extra");
-        assert!(parse_entry(&trailing).is_none(), "trailing bytes");
+        assert!(parse_entry_file(&key(1), &trailing).is_none(), "trailing");
         let bad_len = String::from_utf8(good)
             .unwrap()
             .replacen("proof 20", "proof 9999", 1);
-        assert!(parse_entry(bad_len.as_bytes()).is_none(), "bad length");
+        assert!(
+            parse_entry_file(&key(1), bad_len.as_bytes()).is_none(),
+            "body edit breaks the checksum"
+        );
+    }
+
+    #[test]
+    fn key_mismatch_and_bit_flips_fail_verification() {
+        let entry = eq_entry(20);
+        let text = entry_text(&key(1), &entry);
+        // The same bytes under a different address: the key line
+        // catches a renamed (or hash-collided) file.
+        assert!(parse_entry_file(&key(2), &text).is_none(), "wrong key");
+        // Any single corrupted body byte breaks the checksum.
+        let mut flipped = text.clone();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x01;
+        assert!(parse_entry_file(&key(1), &flipped).is_none(), "bit flip");
+    }
+
+    #[test]
+    fn legacy_v1_entries_still_parse() {
+        let entry = eq_entry(8);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(ENTRY_SCHEMA_V1.as_bytes());
+        v1.push(b'\n');
+        v1.extend_from_slice(&body_text(&entry));
+        assert_eq!(parse_entry_file(&key(1), &v1), Some(entry));
     }
 
     #[test]
@@ -501,21 +709,105 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_files_are_skipped_at_load() {
+    fn corrupt_files_are_quarantined_at_load() {
         let dir = std::env::temp_dir().join(format!("simgen_cache_c_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
             let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
             cache.insert(key(1), eq_entry(8));
+            cache.insert(key(2), eq_entry(8));
         }
-        // Corrupt the stored file and drop an unrelated garbage file.
+        // Corrupt one stored file and drop unrelated garbage files.
         let entry_path = dir.join(format!("{}.entry", key(1).hex()));
         std::fs::write(&entry_path, b"scrambled").unwrap();
         std::fs::write(dir.join("README"), b"not an entry").unwrap();
         std::fs::write(dir.join("zz.entry"), b"bad name and body").unwrap();
-        let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
-        assert!(cache.is_empty(), "corrupt entries must not load");
+        let (cache, report) = ProofCache::persistent_scrubbed(&dir, 1 << 20).unwrap();
+        assert_eq!(cache.len(), 1, "only the intact entry loads");
+        assert!(cache.lookup(&key(2)).is_some());
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.quarantined.len(), 2);
+        // The corrupt files moved — they are gone from the cache dir
+        // but preserved under quarantine/ for inspection.
+        assert!(!entry_path.exists());
+        for q in &report.quarantined {
+            assert!(q.exists());
+            assert_eq!(q.parent().unwrap(), dir.join(QUARANTINE_DIR));
+        }
+        // A second open finds a clean directory.
+        let (_, report) = ProofCache::persistent_scrubbed(&dir, 1 << 20).unwrap();
+        assert_eq!(report.valid, 1);
+        assert!(report.quarantined.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_entries_survive_lru_pressure() {
+        let one = eq_entry(0).cost();
+        let cache = ProofCache::in_memory(3 * one);
+        for n in 1..=3 {
+            cache.insert(key(n), eq_entry(0));
+        }
+        // 1 is the LRU victim-to-be; pinning exempts it, so pressure
+        // falls on 2 instead.
+        cache.pin(&key(1));
+        cache.insert(key(4), eq_entry(0));
+        assert!(cache.lookup(&key(1)).is_some(), "pinned entry kept");
+        assert!(cache.lookup(&key(2)).is_none(), "next-LRU evicted");
+        // Unpinning (refcount to zero) makes 1 evictable again. The
+        // lookups above refreshed 1 and re-aged nothing else, so
+        // evict 3 and 4 first to leave 1 the oldest.
+        cache.unpin(&key(1));
+        cache.insert(key(3), eq_entry(0));
+        cache.insert(key(4), eq_entry(0));
+        cache.insert(key(5), eq_entry(0));
+        assert!(cache.lookup(&key(1)).is_none(), "unpinned entry evicts");
+    }
+
+    #[test]
+    fn pin_refcounts_and_guard_scope() {
+        let one = eq_entry(0).cost();
+        let cache = ProofCache::in_memory(2 * one);
+        cache.insert(key(1), eq_entry(0));
+        cache.pin(&key(1));
+        {
+            let _guard = cache.pin_scope(key(1));
+            cache.unpin(&key(1));
+            // Still held by the guard.
+            cache.insert(key(2), eq_entry(0));
+            cache.insert(key(3), eq_entry(0));
+            assert!(cache.lookup(&key(1)).is_some(), "guard still pins");
+        }
+        // Guard dropped: refcount is zero, eviction may proceed.
+        cache.insert(key(4), eq_entry(0));
+        cache.insert(key(5), eq_entry(0));
+        cache.insert(key(6), eq_entry(0));
+        assert!(cache.lookup(&key(1)).is_none());
+    }
+
+    #[test]
+    fn explicit_evict_overrides_pin() {
+        // A poisoned entry (failed replay) must never be served, even
+        // while a job holds a pin on its key.
+        let cache = ProofCache::in_memory(1 << 20);
+        cache.insert(key(1), eq_entry(0));
+        let _guard = cache.pin_scope(key(1));
+        assert!(cache.evict(&key(1)));
+        assert!(cache.lookup(&key(1)).is_none());
+    }
+
+    #[test]
+    fn fully_pinned_cache_stops_evicting() {
+        let one = eq_entry(0).cost();
+        let cache = ProofCache::in_memory(one);
+        cache.insert(key(1), eq_entry(0));
+        cache.pin(&key(1));
+        // Over budget with nothing evictable: the insert succeeds and
+        // evicts zero rather than spinning or dropping the pin.
+        assert_eq!(cache.insert(key(2), eq_entry(0)), 0);
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(2)).is_some());
+        assert!(cache.bytes() > one);
     }
 
     #[test]

@@ -170,6 +170,31 @@ pub fn check_equivalence_cached(
     obs: &mut Observer,
     cache: Option<&simgen_cache::ProofCache>,
 ) -> Result<CecReport, NetlistError> {
+    check_equivalence_checkpointed(a, b, generator, config, deadline, obs, cache, None)
+}
+
+/// [`check_equivalence_cached`] with an optional write-ahead sweep
+/// journal ([`crate::journal`]): the internal sweep commits each
+/// round barrier to the journal and, when the journal was opened in
+/// resume mode, replays journaled rounds instead of re-proving them.
+/// The output-pair proofs always run live — they are the cheap tail
+/// of the flow once the sweep's merges are seeded (and they hit the
+/// pair cache when one is attached).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if the PI or PO counts differ.
+#[allow(clippy::too_many_arguments)]
+pub fn check_equivalence_checkpointed(
+    a: &LutNetwork,
+    b: &LutNetwork,
+    generator: &mut dyn PatternGenerator,
+    config: SweepConfig,
+    deadline: &Deadline,
+    obs: &mut Observer,
+    cache: Option<&simgen_cache::ProofCache>,
+    journal: Option<&mut crate::SweepJournal>,
+) -> Result<CecReport, NetlistError> {
     if a.num_pos() != b.num_pos() {
         return Err(NetlistError::Invalid(format!(
             "po count mismatch: {} vs {}",
@@ -186,8 +211,8 @@ pub fn check_equivalence_cached(
     // Internal pairs left unresolved (budget, deadline, quarantine)
     // only cost the output proofs their seeds; they never make the
     // verdict wrong, so the flow keeps going regardless.
-    let sweep =
-        crate::ParallelSweeper::new(config).run_cached(net, generator, deadline, obs, cache);
+    let sweep = crate::ParallelSweeper::new(config)
+        .run_checkpointed(net, generator, deadline, obs, cache, journal);
     let mut sweep_cache = cache.map(|c| crate::cache::SweepCache::new(c, config.certify));
 
     // Final proofs on the PO pairs. Seeding the prover with every

@@ -1,0 +1,783 @@
+//! Write-ahead sweep journal: crash-safe checkpoint/resume for the
+//! round-synchronized parallel sweeper.
+//!
+//! At every round barrier the sweeper appends one record describing
+//! everything the round decided: the resolved pair verdicts (with
+//! counterexample witnesses), how many pairs were dispatched to
+//! workers, a signature of the surviving equivalence-class partition,
+//! and cumulative snapshots of the deterministic counters and sweep
+//! statistics. The journal is a checksummed JSONL file rewritten with
+//! [`simgen_obs::atomic_write`] on each commit, so a crash at any
+//! instant leaves either the previous complete journal or the new one
+//! — never a torn record.
+//!
+//! ## Resume semantics
+//!
+//! The simulation phases are deterministic and cheap relative to SAT,
+//! so a resumed run re-executes them live and only skips the proof
+//! dispatches. For each journaled round the sweeper:
+//!
+//! 1. rebuilds the round's candidate pairs from its own (live) state
+//!    and checks they match the record — a mismatch means the journal
+//!    belongs to a different run, and replay stops there;
+//! 2. applies the recorded verdicts through the same merge logic a
+//!    live round uses (merges, counterexample buffering, quarantine),
+//!    **without** bumping any counters or statistics;
+//! 3. re-runs the counterexample resimulation flush live (it is
+//!    deterministic, and it rebuilds the pattern set and class
+//!    partition exactly as the original run saw them);
+//! 4. restores the counter and statistics snapshots from the record,
+//!    making the observable state byte-identical to the original
+//!    run's state at that barrier;
+//! 5. verifies the class-partition signature.
+//!
+//! Because the restored state equals the crashed run's state at the
+//! last complete barrier — which equals an uninterrupted run's state
+//! at the same barrier — the rounds that follow, and the stripped
+//! run report, are byte-identical to an uninterrupted run.
+//!
+//! Already-certified verdicts are not re-proved: an `Equivalent`
+//! record was only written after the live round's trust checks
+//! (DRAT certification under `--certify`) passed, and journaled
+//! counterexamples are re-validated structurally by the live
+//! resimulation flush, which refines classes only where the witness
+//! actually distinguishes nodes.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::PathBuf;
+
+use simgen_cache::{job_key, Sha256};
+use simgen_netlist::{LutNetwork, NodeId};
+use simgen_obs::{atomic_write, Counter, Json, Observer};
+
+use crate::stats::{DispatchSummary, SweepStats};
+use crate::sweep::SweepConfig;
+
+/// Magic schema tag on the journal's meta line.
+pub const JOURNAL_SCHEMA: &str = "simgen-sweep-journal/1";
+
+/// File name of the journal inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "sweep.journal";
+
+/// Test hook: when this environment variable holds a round number,
+/// the process SIGKILLs itself immediately after committing that
+/// round's journal record — a deterministic stand-in for a crash,
+/// OOM kill, or power loss at the worst possible moment.
+pub const CRASH_ENV: &str = "SIMGEN_CRASH_AFTER_ROUND";
+
+/// How one journaled pair was resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalVerdict {
+    /// Proven equivalent (certified when the run demanded it).
+    Equivalent,
+    /// Disproven; carries the full primary-input witness.
+    Counterexample(Vec<bool>),
+    /// Budget exhausted without an answer.
+    Undecided,
+    /// The prover panicked; the pair was quarantined.
+    Panicked,
+    /// The deadline expired before the pair was dispatched.
+    Skipped,
+    /// Certification rejected the engine's answer.
+    CertificationFailed {
+        /// True when a counterexample replay failed (as opposed to a
+        /// DRAT certificate check).
+        replay: bool,
+    },
+}
+
+impl JournalVerdict {
+    fn tag(&self) -> &'static str {
+        match self {
+            JournalVerdict::Equivalent => "eq",
+            JournalVerdict::Counterexample(_) => "cex",
+            JournalVerdict::Undecided => "undec",
+            JournalVerdict::Panicked => "panic",
+            JournalVerdict::Skipped => "skip",
+            JournalVerdict::CertificationFailed { replay: true } => "certfail-replay",
+            JournalVerdict::CertificationFailed { replay: false } => "certfail-check",
+        }
+    }
+}
+
+/// One resolved pair inside a round record (raw node indices — the
+/// journal outlives any particular `LutNetwork` borrow).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairRecord {
+    /// Class representative's node index.
+    pub rep: usize,
+    /// Candidate's node index.
+    pub cand: usize,
+    /// How the pair was resolved.
+    pub verdict: JournalVerdict,
+}
+
+/// Cumulative sweep-statistics snapshot at a round barrier — exactly
+/// the fields that survive report stripping and are owned by the SAT
+/// phase (simulation-phase fields are reproduced live on resume).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// [`SweepStats::sat_calls`].
+    pub sat_calls: u64,
+    /// [`SweepStats::proved_equivalent`].
+    pub proved_equivalent: u64,
+    /// [`SweepStats::disproved`].
+    pub disproved: u64,
+    /// [`SweepStats::aborted`].
+    pub aborted: u64,
+    /// [`SweepStats::certification_failures`].
+    pub certification_failures: u64,
+    /// [`SweepStats::solver`] totals, in field order: decisions,
+    /// propagations, conflicts, restarts, learned, removed, solves,
+    /// proof_clauses, proof_bytes.
+    pub solver: [u64; 9],
+    /// [`DispatchSummary`] totals, in field order: rounds,
+    /// quarantined, proofs, conflicts, timeouts, escalations, panics.
+    pub dispatch: [u64; 7],
+}
+
+impl StatsSnapshot {
+    /// Captures the cumulative SAT-phase state at a round barrier.
+    pub(crate) fn capture(stats: &SweepStats, summary: &DispatchSummary) -> StatsSnapshot {
+        let s = &stats.solver;
+        StatsSnapshot {
+            sat_calls: stats.sat_calls,
+            proved_equivalent: stats.proved_equivalent,
+            disproved: stats.disproved,
+            aborted: stats.aborted,
+            certification_failures: stats.certification_failures,
+            solver: [
+                s.decisions,
+                s.propagations,
+                s.conflicts,
+                s.restarts,
+                s.learned,
+                s.removed,
+                s.solves,
+                s.proof_clauses,
+                s.proof_bytes,
+            ],
+            dispatch: [
+                summary.rounds,
+                summary.quarantined,
+                summary.proofs,
+                summary.conflicts,
+                summary.timeouts,
+                summary.escalations,
+                summary.panics,
+            ],
+        }
+    }
+
+    /// Restores the captured state by assignment. Only SAT-phase
+    /// fields are touched; timings and simulation-phase fields keep
+    /// their live values (they are stripped from deterministic
+    /// reports, or reproduced exactly by the live replay).
+    pub(crate) fn restore(&self, stats: &mut SweepStats, summary: &mut DispatchSummary) {
+        stats.sat_calls = self.sat_calls;
+        stats.proved_equivalent = self.proved_equivalent;
+        stats.disproved = self.disproved;
+        stats.aborted = self.aborted;
+        stats.certification_failures = self.certification_failures;
+        let [decisions, propagations, conflicts, restarts, learned, removed, solves, proof_clauses, proof_bytes] =
+            self.solver;
+        stats.solver.decisions = decisions;
+        stats.solver.propagations = propagations;
+        stats.solver.conflicts = conflicts;
+        stats.solver.restarts = restarts;
+        stats.solver.learned = learned;
+        stats.solver.removed = removed;
+        stats.solver.solves = solves;
+        stats.solver.proof_clauses = proof_clauses;
+        stats.solver.proof_bytes = proof_bytes;
+        let [rounds, quarantined, proofs, conflicts, timeouts, escalations, panics] = self.dispatch;
+        summary.rounds = rounds;
+        summary.quarantined = quarantined;
+        summary.proofs = proofs;
+        summary.conflicts = conflicts;
+        summary.timeouts = timeouts;
+        summary.escalations = escalations;
+        summary.panics = panics;
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("sat_calls", Json::U64(self.sat_calls));
+        j.push("proved_equivalent", Json::U64(self.proved_equivalent));
+        j.push("disproved", Json::U64(self.disproved));
+        j.push("aborted", Json::U64(self.aborted));
+        j.push(
+            "certification_failures",
+            Json::U64(self.certification_failures),
+        );
+        j.push(
+            "solver",
+            Json::Arr(self.solver.iter().map(|&v| Json::U64(v)).collect()),
+        );
+        j.push(
+            "dispatch",
+            Json::Arr(self.dispatch.iter().map(|&v| Json::U64(v)).collect()),
+        );
+        j
+    }
+
+    fn from_json(json: &Json) -> Option<StatsSnapshot> {
+        let field = |name: &str| json.get(name).and_then(Json::as_u64);
+        let array = |name: &str, out: &mut [u64]| -> Option<()> {
+            let items = json.get(name)?.items()?;
+            if items.len() != out.len() {
+                return None;
+            }
+            for (slot, item) in out.iter_mut().zip(items) {
+                *slot = item.as_u64()?;
+            }
+            Some(())
+        };
+        let mut snap = StatsSnapshot {
+            sat_calls: field("sat_calls")?,
+            proved_equivalent: field("proved_equivalent")?,
+            disproved: field("disproved")?,
+            aborted: field("aborted")?,
+            certification_failures: field("certification_failures")?,
+            ..StatsSnapshot::default()
+        };
+        array("solver", &mut snap.solver)?;
+        array("dispatch", &mut snap.dispatch)?;
+        Some(snap)
+    }
+}
+
+/// Everything one round barrier committed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// 1-based round number (matches `DispatchSummary::rounds`).
+    pub round: u64,
+    /// Resolved pairs, in the round's deterministic pair order.
+    pub pairs: Vec<PairRecord>,
+    /// Pairs dispatched to the worker pool (the rest were answered by
+    /// the proof cache) — advances the global fault-plan job index.
+    pub dispatched: u64,
+    /// Signature of the surviving class partition after the round's
+    /// counterexample flush.
+    pub class_sig: String,
+    /// Cumulative deterministic-counter snapshot (`name -> value`).
+    pub counters: Vec<(String, u64)>,
+    /// Cumulative SAT-phase statistics snapshot.
+    pub stats: StatsSnapshot,
+}
+
+impl RoundRecord {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("kind", Json::Str("round".to_string()));
+        j.push("round", Json::U64(self.round));
+        let pairs = self
+            .pairs
+            .iter()
+            .map(|p| {
+                let mut e = vec![
+                    Json::U64(p.rep as u64),
+                    Json::U64(p.cand as u64),
+                    Json::Str(p.verdict.tag().to_string()),
+                ];
+                if let JournalVerdict::Counterexample(w) = &p.verdict {
+                    e.push(Json::Str(bits_to_string(w)));
+                }
+                Json::Arr(e)
+            })
+            .collect();
+        j.push("pairs", Json::Arr(pairs));
+        j.push("dispatched", Json::U64(self.dispatched));
+        j.push("classes", Json::Str(self.class_sig.clone()));
+        let mut counters = Json::obj();
+        for (name, value) in &self.counters {
+            counters.push(name, Json::U64(*value));
+        }
+        j.push("counters", counters);
+        j.push("stats", self.stats.to_json());
+        j
+    }
+
+    fn from_json(json: &Json) -> Option<RoundRecord> {
+        if json.get("kind").and_then(Json::as_str) != Some("round") {
+            return None;
+        }
+        let mut pairs = Vec::new();
+        for item in json.get("pairs")?.items()? {
+            let fields = item.items()?;
+            let rep = fields.first()?.as_u64()? as usize;
+            let cand = fields.get(1)?.as_u64()? as usize;
+            let verdict = match fields.get(2)?.as_str()? {
+                "eq" => JournalVerdict::Equivalent,
+                "cex" => {
+                    JournalVerdict::Counterexample(bits_from_string(fields.get(3)?.as_str()?)?)
+                }
+                "undec" => JournalVerdict::Undecided,
+                "panic" => JournalVerdict::Panicked,
+                "skip" => JournalVerdict::Skipped,
+                "certfail-replay" => JournalVerdict::CertificationFailed { replay: true },
+                "certfail-check" => JournalVerdict::CertificationFailed { replay: false },
+                _ => return None,
+            };
+            pairs.push(PairRecord { rep, cand, verdict });
+        }
+        let counters = json
+            .get("counters")?
+            .entries()?
+            .iter()
+            .map(|(name, value)| Some((name.clone(), value.as_u64()?)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(RoundRecord {
+            round: json.get("round")?.as_u64()?,
+            pairs,
+            dispatched: json.get("dispatched")?.as_u64()?,
+            class_sig: json.get("classes")?.as_str()?.to_string(),
+            counters,
+            stats: StatsSnapshot::from_json(json.get("stats")?)?,
+        })
+    }
+}
+
+/// A write-ahead journal bound to one checkpoint directory.
+///
+/// Construct with [`SweepJournal::create`], then hand it to
+/// [`crate::ParallelSweeper::run_checkpointed`] (or the checkpointed
+/// CEC flow). With `resume` set, an existing valid journal whose
+/// fingerprint matches the run is replayed; otherwise the file is
+/// started fresh.
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    resume: bool,
+    /// Committed lines, meta first — the whole file is rewritten
+    /// atomically on each commit.
+    lines: Vec<String>,
+    /// Validated rounds available for replay (resume mode only).
+    replay: Vec<RoundRecord>,
+    begun: bool,
+    broken: bool,
+}
+
+impl SweepJournal {
+    /// Opens (creating if needed) the checkpoint directory. `resume`
+    /// selects whether an existing journal is replayed or replaced.
+    pub fn create(dir: impl Into<PathBuf>, resume: bool) -> io::Result<SweepJournal> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SweepJournal {
+            path: dir.join(JOURNAL_FILE),
+            resume,
+            lines: Vec::new(),
+            replay: Vec::new(),
+            begun: false,
+            broken: false,
+        })
+    }
+
+    /// True when this journal was opened in resume mode.
+    pub fn resuming(&self) -> bool {
+        self.resume
+    }
+
+    /// Binds the journal to a concrete run. In resume mode the
+    /// existing file is loaded and validated line by line (checksum,
+    /// schema, fingerprint, contiguous round numbers); everything up
+    /// to the first invalid line — a torn tail from a crash mid-write
+    /// cannot survive `atomic_write`, but a stale or foreign file can
+    /// — is kept for replay and the rest discarded.
+    pub(crate) fn begin(&mut self, fingerprint: &str) {
+        if self.begun {
+            return;
+        }
+        self.begun = true;
+        if self.resume {
+            if let Ok(text) = std::fs::read_to_string(&self.path) {
+                self.load(&text, fingerprint);
+            }
+        }
+        if self.lines.is_empty() {
+            let mut meta = Json::obj();
+            meta.push("kind", Json::Str("meta".to_string()));
+            meta.push("schema", Json::Str(JOURNAL_SCHEMA.to_string()));
+            meta.push("fingerprint", Json::Str(fingerprint.to_string()));
+            self.lines.push(seal(meta));
+            self.replay.clear();
+            self.flush();
+        }
+    }
+
+    fn load(&mut self, text: &str, fingerprint: &str) {
+        let mut lines = text.lines();
+        let Some(first) = lines.next() else { return };
+        let Some(meta) = open_line(first) else { return };
+        if meta.get("kind").and_then(Json::as_str) != Some("meta")
+            || meta.get("schema").and_then(Json::as_str) != Some(JOURNAL_SCHEMA)
+            || meta.get("fingerprint").and_then(Json::as_str) != Some(fingerprint)
+        {
+            return;
+        }
+        self.lines.push(first.to_string());
+        for (next_round, line) in (1..).zip(lines) {
+            let Some(record) = open_line(line).and_then(|j| RoundRecord::from_json(&j)) else {
+                break;
+            };
+            if record.round != next_round {
+                break;
+            }
+            self.lines.push(line.to_string());
+            self.replay.push(record);
+        }
+    }
+
+    /// The validated rounds available for replay.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.replay
+    }
+
+    /// Discards journaled rounds beyond the first `keep` — called when
+    /// replay diverges from the journal (the later records describe a
+    /// different run and must not survive on disk).
+    pub(crate) fn truncate(&mut self, keep: usize) {
+        if self.replay.len() > keep {
+            self.replay.truncate(keep);
+            self.lines.truncate(1 + keep);
+            self.flush();
+        }
+    }
+
+    /// Appends one round record and rewrites the journal atomically.
+    /// This is the round barrier's durability point: after it returns,
+    /// a crash loses nothing the round decided.
+    pub(crate) fn commit_round(&mut self, record: &RoundRecord) {
+        self.lines.push(seal(record.to_json()));
+        self.flush();
+        crash_hook(record.round);
+    }
+
+    fn flush(&mut self) {
+        if self.broken {
+            return;
+        }
+        let mut buffer = String::new();
+        for line in &self.lines {
+            buffer.push_str(line);
+            buffer.push('\n');
+        }
+        if let Err(e) = atomic_write(&self.path, buffer) {
+            // A full disk must not take the run down with it; the
+            // sweep continues correct but uncheckpointed.
+            eprintln!(
+                "simgen: warning: sweep journal write failed ({e}); \
+                 checkpointing disabled for the rest of this run"
+            );
+            self.broken = true;
+        }
+    }
+}
+
+/// Fingerprint binding a journal to a run: the structural hash of the
+/// swept network (PO cones) plus every configuration field that can
+/// change the deterministic report. Scheduling fields (`jobs`,
+/// `stall`) are excluded — resuming under a different worker count is
+/// explicitly supported.
+pub(crate) fn sweep_fingerprint(net: &LutNetwork, cfg: &SweepConfig) -> String {
+    let roots: Vec<NodeId> = net.pos().iter().map(|po| po.node).collect();
+    let mut h = Sha256::new();
+    h.update(JOURNAL_SCHEMA.as_bytes());
+    h.update(&[0]);
+    h.update(&job_key(net, &roots).0);
+    h.update(
+        format!(
+            "random_rounds={};random_batch={};guided_iterations={};sat_budget={:?};\
+             run_sat={};proof={:?};seed={};budget_schedule={:?};certify={}",
+            cfg.random_rounds,
+            cfg.random_batch,
+            cfg.guided_iterations,
+            cfg.sat_budget,
+            cfg.run_sat,
+            cfg.proof,
+            cfg.seed,
+            cfg.budget_schedule,
+            cfg.certify,
+        )
+        .as_bytes(),
+    );
+    hex(&h.finalize())
+}
+
+/// Order-sensitive signature of a class partition — the replay
+/// cross-check that the resumed run walked through the same states as
+/// the journaled one.
+pub(crate) fn class_signature(work: &[Vec<NodeId>]) -> String {
+    let mut h = Sha256::new();
+    for class in work {
+        h.update(b"class\0");
+        for &node in class {
+            h.update(&(node.index() as u64).to_le_bytes());
+        }
+    }
+    hex(&h.finalize())
+}
+
+/// Snapshot of every deterministic counter, in declaration order.
+pub(crate) fn counter_snapshot(obs: &Observer) -> Vec<(String, u64)> {
+    Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), obs.recorder.get(c)))
+        .collect()
+}
+
+/// Raises each counter to its journaled value. Replayed rounds bump
+/// nothing themselves (and the live resimulation flushes bump exactly
+/// what the original run's flushes did), so the positive difference
+/// is precisely the skipped proof/cache activity.
+pub(crate) fn restore_counters(obs: &mut Observer, counters: &[(String, u64)]) {
+    for &counter in Counter::ALL {
+        if let Some((_, value)) = counters.iter().find(|(name, _)| name == counter.name()) {
+            let current = obs.recorder.get(counter);
+            if *value > current {
+                obs.recorder.add(counter, *value - current);
+            }
+        }
+    }
+}
+
+/// Applies one replayed verdict's structural effects — the exact
+/// mutations the live merge loop performs, minus every counter and
+/// statistics bump (those are restored from the snapshot).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_replayed_pair(
+    record: PairRecord,
+    generator: &mut dyn simgen_core::PatternGenerator,
+    merged: &mut Vec<Vec<NodeId>>,
+    seeds: &mut Vec<(NodeId, NodeId)>,
+    unresolved: &mut Vec<(NodeId, NodeId)>,
+    quarantined: &mut Vec<(NodeId, NodeId)>,
+    pending: &mut Vec<Vec<bool>>,
+    benched: &mut Vec<(NodeId, NodeId)>,
+    dropped: &mut HashSet<NodeId>,
+    interrupted: &mut bool,
+) {
+    let rep = NodeId::from_index(record.rep);
+    let cand = NodeId::from_index(record.cand);
+    match record.verdict {
+        JournalVerdict::Equivalent => {
+            crate::sweep::record_merge(merged, rep, cand);
+            seeds.push((rep, cand));
+        }
+        JournalVerdict::Counterexample(witness) => {
+            generator.observe_counterexample(&witness);
+            pending.push(witness);
+            benched.push((cand, rep));
+        }
+        JournalVerdict::Undecided => {
+            unresolved.push((rep, cand));
+        }
+        JournalVerdict::Panicked => {
+            quarantined.push((rep, cand));
+            unresolved.push((rep, cand));
+        }
+        JournalVerdict::Skipped => {
+            *interrupted = true;
+            unresolved.push((rep, cand));
+        }
+        JournalVerdict::CertificationFailed { .. } => {
+            unresolved.push((rep, cand));
+            quarantined.push((rep, cand));
+        }
+    }
+    dropped.insert(cand);
+}
+
+/// Serializes a record to its sealed line form: the payload JSON with
+/// a `sum` field (SHA-256 over the payload serialization) appended.
+fn seal(mut payload: Json) -> String {
+    let body = payload.to_line();
+    payload.push("sum", Json::Str(hex(&Sha256::digest(body.as_bytes()))));
+    payload.to_line()
+}
+
+/// Parses and checksum-verifies one sealed line.
+fn open_line(line: &str) -> Option<Json> {
+    let json = Json::parse(line).ok()?;
+    let entries = json.entries()?;
+    let (last_key, last_value) = entries.last()?;
+    if last_key != "sum" {
+        return None;
+    }
+    let sum = last_value.as_str()?;
+    let mut payload = Json::obj();
+    for (key, value) in &entries[..entries.len() - 1] {
+        payload.push(key, value.clone());
+    }
+    if hex(&Sha256::digest(payload.to_line().as_bytes())) != sum {
+        return None;
+    }
+    Some(payload)
+}
+
+fn bits_to_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn bits_from_string(text: &str) -> Option<Vec<bool>> {
+    text.chars()
+        .map(|c| match c {
+            '0' => Some(false),
+            '1' => Some(true),
+            _ => None,
+        })
+        .collect()
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// See [`CRASH_ENV`]. SIGKILL leaves no chance for cleanup — exactly
+/// the failure mode the journal exists to survive.
+fn crash_hook(round: u64) {
+    let Ok(value) = std::env::var(CRASH_ENV) else {
+        return;
+    };
+    if value.parse::<u64>() != Ok(round) {
+        return;
+    }
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+            fn getpid() -> i32;
+        }
+        const SIGKILL: i32 = 9;
+        unsafe {
+            kill(getpid(), SIGKILL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(round: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            pairs: vec![
+                PairRecord {
+                    rep: 3,
+                    cand: 9,
+                    verdict: JournalVerdict::Equivalent,
+                },
+                PairRecord {
+                    rep: 3,
+                    cand: 11,
+                    verdict: JournalVerdict::Counterexample(vec![true, false, true]),
+                },
+                PairRecord {
+                    rep: 5,
+                    cand: 12,
+                    verdict: JournalVerdict::Undecided,
+                },
+                PairRecord {
+                    rep: 5,
+                    cand: 13,
+                    verdict: JournalVerdict::CertificationFailed { replay: true },
+                },
+            ],
+            dispatched: 3,
+            class_sig: "abcd".to_string(),
+            counters: vec![
+                ("rounds".to_string(), round),
+                ("proofs_dispatched".to_string(), 7),
+            ],
+            stats: StatsSnapshot {
+                sat_calls: 5,
+                proved_equivalent: 1,
+                disproved: 1,
+                aborted: 2,
+                certification_failures: 1,
+                solver: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+                dispatch: [round, 1, 3, 0, 0, 2, 0],
+            },
+        }
+    }
+
+    #[test]
+    fn round_records_roundtrip_through_sealed_lines() {
+        let record = sample_record(1);
+        let line = seal(record.to_json());
+        let payload = open_line(&line).expect("sealed line verifies");
+        assert_eq!(RoundRecord::from_json(&payload), Some(record));
+    }
+
+    #[test]
+    fn tampered_lines_are_rejected() {
+        let line = seal(sample_record(1).to_json());
+        assert!(open_line(&line).is_some());
+        let tampered = line.replace("\"dispatched\":3", "\"dispatched\":4");
+        assert!(open_line(&tampered).is_none(), "checksum must catch edits");
+        assert!(open_line("not json").is_none());
+        assert!(open_line("{}").is_none(), "missing sum");
+    }
+
+    #[test]
+    fn journal_survives_crash_and_discards_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("simgen_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fp = "f00d";
+        {
+            let mut journal = SweepJournal::create(&dir, false).unwrap();
+            journal.begin(fp);
+            journal.commit_round(&sample_record(1));
+            journal.commit_round(&sample_record(2));
+        }
+        // A crash can only leave whole lines behind (atomic_write),
+        // but a hand-damaged or foreign file must degrade gracefully:
+        // corrupt the second round's line.
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let damaged: Vec<&str> = text.lines().collect();
+        let mut tampered = damaged[..2].join("\n");
+        tampered.push('\n');
+        tampered.push_str(&damaged[2].replace("round\":2", "round\":7"));
+        tampered.push('\n');
+        std::fs::write(&path, tampered).unwrap();
+
+        let mut journal = SweepJournal::create(&dir, true).unwrap();
+        journal.begin(fp);
+        assert_eq!(journal.rounds().len(), 1, "valid prefix only");
+        assert_eq!(journal.rounds()[0], sample_record(1));
+
+        // A fingerprint mismatch discards everything.
+        let mut journal = SweepJournal::create(&dir, true).unwrap();
+        journal.begin("other");
+        assert!(journal.rounds().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_resume_mode_replaces_an_existing_journal() {
+        let dir = std::env::temp_dir().join(format!("simgen_journal_nr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut journal = SweepJournal::create(&dir, false).unwrap();
+            journal.begin("fp");
+            journal.commit_round(&sample_record(1));
+        }
+        let mut journal = SweepJournal::create(&dir, false).unwrap();
+        journal.begin("fp");
+        assert!(journal.rounds().is_empty(), "fresh start without --resume");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_is_assignment() {
+        let mut stats = SweepStats::default();
+        let mut summary = DispatchSummary::default();
+        let snap = sample_record(4).stats;
+        snap.restore(&mut stats, &mut summary);
+        assert_eq!(StatsSnapshot::capture(&stats, &summary), snap);
+    }
+}

@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod certify;
 pub mod flow;
+pub mod journal;
 pub mod parallel;
 pub mod prove;
 pub mod report;
@@ -44,8 +45,12 @@ pub mod sweep;
 
 pub use certify::{certify_counterexample, certify_equivalence, PROOF_BYTE_BUDGET};
 pub use flow::{
-    check_equivalence, check_equivalence_cached, check_equivalence_observed,
-    check_equivalence_under, CecReport, CecVerdict, InconclusiveReason, SwitchOnPlateau,
+    check_equivalence, check_equivalence_cached, check_equivalence_checkpointed,
+    check_equivalence_observed, check_equivalence_under, CecReport, CecVerdict, InconclusiveReason,
+    SwitchOnPlateau,
+};
+pub use journal::{
+    JournalVerdict, PairRecord, RoundRecord, SweepJournal, CRASH_ENV, JOURNAL_FILE, JOURNAL_SCHEMA,
 };
 pub use parallel::ParallelSweeper;
 pub use prove::{BddProver, EquivProver, PairProver, ProveOutcome};

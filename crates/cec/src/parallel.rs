@@ -36,6 +36,10 @@ use simgen_sat::SolverStats;
 use simgen_sim::Replayer;
 
 use crate::certify::{certify_equivalence, PROOF_BYTE_BUDGET};
+use crate::journal::{
+    apply_replayed_pair, class_signature, counter_snapshot, restore_counters, sweep_fingerprint,
+    JournalVerdict, PairRecord, RoundRecord, StatsSnapshot, SweepJournal,
+};
 use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
 use crate::stats::{DispatchSummary, WorkerSummary};
 use crate::sweep::{
@@ -394,6 +398,24 @@ impl ParallelSweeper {
         obs: &mut Observer,
         cache: Option<&simgen_cache::ProofCache>,
     ) -> SweepReport {
+        self.run_checkpointed(net, generator, deadline, obs, cache, None)
+    }
+
+    /// [`ParallelSweeper::run_cached`] with an optional write-ahead
+    /// [`SweepJournal`]. With a journal, every round barrier commits
+    /// the round's verdicts before the sweep proceeds; a journal
+    /// opened in resume mode replays its validated rounds instead of
+    /// re-proving them (see [`crate::journal`] for why the resulting
+    /// stripped report is byte-identical to an uninterrupted run).
+    pub fn run_checkpointed(
+        &self,
+        net: &LutNetwork,
+        generator: &mut dyn PatternGenerator,
+        deadline: &Deadline,
+        obs: &mut Observer,
+        cache: Option<&simgen_cache::ProofCache>,
+        mut journal: Option<&mut SweepJournal>,
+    ) -> SweepReport {
         let cfg = &self.config;
         let jobs = cfg.jobs.max(1);
         let panic_on = self.panic_on;
@@ -436,6 +458,16 @@ impl ParallelSweeper {
             // Global input-order job index, running across rounds —
             // the key fault plans select on.
             let mut next_job_index = 0usize;
+            // Validated journal rounds still awaiting replay (resume
+            // mode only; empty for fresh or absent journals).
+            let mut replay: std::collections::VecDeque<RoundRecord> = match journal.as_deref_mut() {
+                Some(j) => {
+                    j.begin(&sweep_fingerprint(net, cfg));
+                    j.rounds().to_vec().into()
+                }
+                None => std::collections::VecDeque::new(),
+            };
+            let mut replayed_rounds = 0usize;
             loop {
                 // One round: every (rep, candidate) pair of every
                 // surviving class, shallowest candidates first (the
@@ -451,6 +483,82 @@ impl ParallelSweeper {
                     break;
                 }
                 pairs.sort_by_key(|&(_, cand)| (net.level(cand), cand));
+                // Replay path: the next journaled round, if it matches
+                // the pairs this run derived, is applied without
+                // dispatching a single proof. The pair-list check runs
+                // before any state is touched, so a stale journal
+                // degrades into a plain live round.
+                if let Some(record) = replay.front() {
+                    let matches = record.pairs.len() == pairs.len()
+                        && record.pairs.iter().zip(&pairs).all(|(p, &(rep, cand))| {
+                            p.rep == rep.index() && p.cand == cand.index()
+                        });
+                    if matches {
+                        let record = replay.pop_front().expect("front checked above");
+                        let mut pending: Vec<Vec<bool>> = Vec::new();
+                        let mut benched: Vec<(NodeId, NodeId)> = Vec::new();
+                        let mut dropped: HashSet<NodeId> = HashSet::new();
+                        for pair in record.pairs {
+                            apply_replayed_pair(
+                                pair,
+                                generator,
+                                &mut merged,
+                                &mut seeds,
+                                &mut unresolved,
+                                &mut quarantined,
+                                &mut pending,
+                                &mut benched,
+                                &mut dropped,
+                                &mut interrupted,
+                            );
+                        }
+                        next_job_index += record.dispatched as usize;
+                        for class in &mut work {
+                            class.retain(|n| !dropped.contains(n));
+                        }
+                        work.retain(|c| c.len() >= 2);
+                        if !pending.is_empty() {
+                            let t = std::time::Instant::now();
+                            work = flush_counterexamples(
+                                net,
+                                &mut patterns,
+                                &mut sim,
+                                work,
+                                &mut pending,
+                                &mut benched,
+                                cfg.jobs.max(1),
+                                obs,
+                            );
+                            let elapsed = t.elapsed();
+                            stats.sim_time += elapsed;
+                            stats.resim_time += elapsed;
+                        }
+                        replayed_rounds += 1;
+                        // Restore the barrier's cumulative snapshots:
+                        // from here the observable state is identical
+                        // to the original run's at this point.
+                        record.stats.restore(&mut stats, &mut summary);
+                        restore_counters(obs, &record.counters);
+                        obs.trace
+                            .emit("round_replayed", vec![("round", Json::U64(record.round))]);
+                        if record.class_sig != class_signature(&work) {
+                            // The journal's later rounds describe a
+                            // different history; drop them (and scrub
+                            // the file) rather than replay divergence.
+                            replay.clear();
+                            if let Some(j) = journal.as_deref_mut() {
+                                j.truncate(replayed_rounds);
+                            }
+                        }
+                        continue;
+                    }
+                    // Pair list diverged before anything was applied:
+                    // abandon the remaining journal and prove live.
+                    replay.clear();
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.truncate(replayed_rounds);
+                    }
+                }
                 if deadline.expired() {
                     // Out of time before the round started: every
                     // remaining pair is unresolved, in the same
@@ -510,6 +618,7 @@ impl ParallelSweeper {
                     .map(|(i, (&(a, b), _))| (next_job_index + i, a, b))
                     .collect();
                 next_job_index += indexed.len();
+                let dispatched_this_round = indexed.len() as u64;
                 let outcome = run_ordered_traced(
                     jobs,
                     indexed,
@@ -572,10 +681,18 @@ impl ParallelSweeper {
                 let mut benched: Vec<(NodeId, NodeId)> = Vec::new();
                 let mut dropped: HashSet<NodeId> = HashSet::new();
                 let mut escalations_this_round = 0;
+                // Journal-bound verdict log for this round (collected
+                // only when a journal is attached).
+                let mut round_log: Option<Vec<PairRecord>> = journal.is_some().then(Vec::new);
                 let mut live = outcome.results.into_iter();
                 for ((rep, cand), cached) in pairs.into_iter().zip(resolutions) {
                     let from_cache = cached.is_some();
                     let mut proof_blob: Option<Vec<u8>> = None;
+                    // The journal distinguishes panicked/skipped pairs
+                    // from ordinary undecided ones (their replay
+                    // effects differ); record the flaw here because
+                    // the verdict below collapses both to `Undecided`.
+                    let mut flaw: Option<JournalVerdict> = None;
                     let status = match cached {
                         // Trusted cache hits were never dispatched;
                         // wrap them so one match handles both sources.
@@ -600,6 +717,7 @@ impl ParallelSweeper {
                             out.verdict
                         }
                         JobStatus::Panicked { .. } => {
+                            flaw = Some(JournalVerdict::Panicked);
                             summary.panics += 1;
                             summary.quarantined += 1;
                             quarantined.push((rep, cand));
@@ -615,12 +733,30 @@ impl ParallelSweeper {
                             PairVerdict::Undecided
                         }
                         JobStatus::Skipped => {
+                            flaw = Some(JournalVerdict::Skipped);
                             summary.quarantined += 1;
                             interrupted = true;
                             obs.recorder.add(Counter::ProofsSkipped, 1);
                             PairVerdict::Undecided
                         }
                     };
+                    if let Some(log) = round_log.as_mut() {
+                        let journaled = flaw.unwrap_or_else(|| match &verdict {
+                            PairVerdict::Equivalent => JournalVerdict::Equivalent,
+                            PairVerdict::Counterexample(v) => {
+                                JournalVerdict::Counterexample(v.clone())
+                            }
+                            PairVerdict::Undecided => JournalVerdict::Undecided,
+                            PairVerdict::CertificationFailed { replay } => {
+                                JournalVerdict::CertificationFailed { replay: *replay }
+                            }
+                        });
+                        log.push(PairRecord {
+                            rep: rep.index(),
+                            cand: cand.index(),
+                            verdict: journaled,
+                        });
+                    }
                     if obs.trace.is_enabled() {
                         let name = match &verdict {
                             PairVerdict::Equivalent => "equivalent",
@@ -743,6 +879,18 @@ impl ParallelSweeper {
                 } else if !benched.is_empty() {
                     unreachable!("benched candidates always carry a counterexample");
                 }
+                // Round barrier durability point: everything merged
+                // above survives a crash from here on.
+                if let Some(j) = journal.as_deref_mut() {
+                    j.commit_round(&RoundRecord {
+                        round: summary.rounds,
+                        pairs: round_log.take().unwrap_or_default(),
+                        dispatched: dispatched_this_round,
+                        class_sig: class_signature(&work),
+                        counters: counter_snapshot(obs),
+                        stats: StatsSnapshot::capture(&stats, &summary),
+                    });
+                }
             }
             if let Some(start) = sat_start {
                 // Wall time only: resimulation wall is booked to CexResim
@@ -782,7 +930,7 @@ mod tests {
 
     /// A network with several provably-equivalent node groups and a
     /// couple of near-miss lookalikes.
-    fn workload_net(seed: u64) -> LutNetwork {
+    pub(super) fn workload_net(seed: u64) -> LutNetwork {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
@@ -1146,5 +1294,207 @@ mod tests {
             d.total_proofs(),
             r.stats.proved_equivalent + r.stats.disproved + r.stats.aborted
         );
+    }
+
+    /// A net whose sweep deterministically needs *two* dispatch
+    /// rounds: `z1`/`z2` differ from `x1`/`x2` only on the all-ones
+    /// minterm of twelve PIs, which 64 random patterns essentially
+    /// never sample, so the four lookalikes land in one class. Round
+    /// one proves `(rep, x1)` and `(rep, x2)` and disproves `(rep,
+    /// z1)` and `(rep, z2)`; the counterexample flush regroups the
+    /// split-off pair into `{z1, z2}`, which round two proves.
+    ///
+    /// Node indices are deterministic: PIs `0..=11`, AND-tree nodes
+    /// `12..=22`, then `x1 = 23`, `x2 = 24`, `z1 = 25`, `z2 = 26` —
+    /// so a capture-free panic trigger can select round-one pairs by
+    /// `rep.index() < 23`.
+    pub(super) fn multiround_net() -> LutNetwork {
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..12).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut layer = pis.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for ch in layer.chunks(2) {
+                match ch {
+                    [a, b] => next.push(net.add_lut(vec![*a, *b], TruthTable::and2()).unwrap()),
+                    [a] => next.push(*a),
+                    _ => unreachable!(),
+                }
+            }
+            layer = next;
+        }
+        let all = layer[0];
+        let x1 = net
+            .add_lut(vec![pis[0], pis[1]], TruthTable::and2())
+            .unwrap();
+        let x2 = net
+            .add_lut(vec![pis[1], pis[0]], TruthTable::and2())
+            .unwrap();
+        let z1 = net.add_lut(vec![x1, all], TruthTable::xor2()).unwrap();
+        let z2 = net.add_lut(vec![all, x2], TruthTable::xor2()).unwrap();
+        assert_eq!(z2.index(), 26, "multiround_net layout drifted");
+        net.add_po(z1, "z1");
+        net.add_po(z2, "z2");
+        net.add_po(all, "all");
+        net
+    }
+
+    fn multiround_cfg(seed: u64, jobs: usize) -> SweepConfig {
+        SweepConfig {
+            seed,
+            guided_iterations: 0,
+            jobs,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Runs the multi-round workload with (or without) a journal and
+    /// returns the stripped RunReport plus the raw sweep report.
+    fn multiround_run(
+        seed: u64,
+        jobs: usize,
+        journal: Option<&mut SweepJournal>,
+        trigger: Option<fn(NodeId, NodeId) -> bool>,
+    ) -> (String, SweepReport) {
+        let net = multiround_net();
+        let cfg = multiround_cfg(seed, jobs);
+        let mut obs = simgen_obs::Observer::enabled();
+        let mut g = simgen_core::RandomPatterns::new(seed, 64);
+        let mut sweeper = ParallelSweeper::new(cfg);
+        if let Some(t) = trigger {
+            sweeper = sweeper.with_panic_injection(t);
+        }
+        let report =
+            sweeper.run_checkpointed(&net, &mut g, &Deadline::never(), &mut obs, None, journal);
+        let run_report = crate::report::sweep_run_report(
+            crate::report::RunMeta {
+                command: "sweep".to_string(),
+                argv: vec!["sweep".to_string(), "multiround.blif".to_string()],
+                design: crate::report::design_info(&net, "multiround", "multiround.blif"),
+            },
+            &cfg,
+            &report,
+            &obs,
+        );
+        (run_report.deterministic_json(), report)
+    }
+
+    fn journal_lines(dir: &std::path::Path) -> Vec<String> {
+        std::fs::read_to_string(dir.join(crate::journal::JOURNAL_FILE))
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn journaled_run_report_matches_plain_run() {
+        let dir = std::env::temp_dir().join(format!("simgen_resume_eq_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for jobs in [1usize, 4] {
+            let (plain, report) = multiround_run(0, jobs, None, None);
+            assert_eq!(
+                report.stats.dispatch.as_ref().unwrap().rounds,
+                2,
+                "workload must exercise two rounds"
+            );
+            let mut j = SweepJournal::create(&dir, false).unwrap();
+            let (journaled, _) = multiround_run(0, jobs, Some(&mut j), None);
+            assert_eq!(journaled, plain, "jobs {jobs}");
+            // Journal holds the meta line plus one line per round.
+            assert_eq!(journal_lines(&dir).len(), 3);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_replays_journaled_rounds_without_reproving() {
+        let dir = std::env::temp_dir().join(format!("simgen_resume_tr_{}", std::process::id()));
+        for jobs in [1usize, 4] {
+            let _ = std::fs::remove_dir_all(&dir);
+            let (reference, _) = multiround_run(0, jobs, None, None);
+            let mut j = SweepJournal::create(&dir, false).unwrap();
+            let _ = multiround_run(0, jobs, Some(&mut j), None);
+            drop(j);
+            // Keep only the meta line and round one — the state a
+            // SIGKILL between the two round barriers leaves behind.
+            let lines = journal_lines(&dir);
+            std::fs::write(
+                dir.join(crate::journal::JOURNAL_FILE),
+                format!("{}\n{}\n", lines[0], lines[1]),
+            )
+            .unwrap();
+            // The panic trigger fires on every round-one pair (their
+            // reps are AND-tree nodes, index < 23): if resume
+            // re-dispatched any of them the prover would panic, the
+            // pair would be quarantined, and the report would differ.
+            let mut j = SweepJournal::create(&dir, true).unwrap();
+            let (resumed, report) =
+                multiround_run(0, jobs, Some(&mut j), Some(|rep, _| rep.index() < 23));
+            assert!(report.quarantined.is_empty(), "round one was re-proven");
+            assert_eq!(resumed, reference, "jobs {jobs}");
+            // The live second round re-committed: journal is whole
+            // again.
+            assert_eq!(journal_lines(&dir).len(), 3);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_complete_journal_dispatches_nothing() {
+        let dir = std::env::temp_dir().join(format!("simgen_resume_full_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (reference, _) = multiround_run(0, 1, None, None);
+        let mut j = SweepJournal::create(&dir, false).unwrap();
+        let _ = multiround_run(0, 1, Some(&mut j), None);
+        drop(j);
+        // Every pair re-dispatched would panic — a fully journaled
+        // run must replay end to end without a single proof job.
+        let mut j = SweepJournal::create(&dir, true).unwrap();
+        let (resumed, report) = multiround_run(0, 1, Some(&mut j), Some(|_, _| true));
+        assert!(report.quarantined.is_empty());
+        assert_eq!(resumed, reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_crosses_job_counts() {
+        // The fingerprint deliberately excludes `jobs`: a journal
+        // written by a serial run resumes under four workers (and
+        // vice versa) with a byte-identical report.
+        let dir = std::env::temp_dir().join(format!("simgen_resume_xj_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (reference, _) = multiround_run(0, 4, None, None);
+        let mut j = SweepJournal::create(&dir, false).unwrap();
+        let _ = multiround_run(0, 1, Some(&mut j), None);
+        drop(j);
+        let lines = journal_lines(&dir);
+        std::fs::write(
+            dir.join(crate::journal::JOURNAL_FILE),
+            format!("{}\n{}\n", lines[0], lines[1]),
+        )
+        .unwrap();
+        let mut j = SweepJournal::create(&dir, true).unwrap();
+        let (resumed, _) = multiround_run(0, 4, Some(&mut j), None);
+        assert_eq!(resumed, reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_journal_from_other_config_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("simgen_resume_st_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut j = SweepJournal::create(&dir, false).unwrap();
+        let _ = multiround_run(0, 1, Some(&mut j), None);
+        drop(j);
+        // Different seed → different fingerprint: resume must discard
+        // the journal and prove everything live, matching a fresh
+        // seed-3 run exactly.
+        let (reference, _) = multiround_run(3, 1, None, None);
+        let mut j = SweepJournal::create(&dir, true).unwrap();
+        let (resumed, report) = multiround_run(3, 1, Some(&mut j), None);
+        assert!(report.stats.sat_calls > 0);
+        assert_eq!(resumed, reference);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -177,7 +177,7 @@ pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str>
     out
 }
 
-const VALUE_FLAGS: [&str; 16] = [
+const VALUE_FLAGS: [&str; 20] = [
     "-k",
     "--strategy",
     "--iters",
@@ -194,10 +194,14 @@ const VALUE_FLAGS: [&str; 16] = [
     "--cache-budget",
     "--queue-limit",
     "--id",
+    "--checkpoint-dir",
+    "--retry",
+    "--backoff",
+    "--default-timeout",
 ];
 
 /// Flags that stand alone (no value token follows).
-const BOOL_FLAGS: [&str; 2] = ["--profile", "--certify"];
+const BOOL_FLAGS: [&str; 3] = ["--profile", "--certify", "--resume"];
 
 /// True for tokens the argument grammar treats as flags (same shape
 /// test [`positionals`] uses to skip them).
@@ -382,6 +386,21 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
         .transpose()?;
     let profile = rest.iter().any(|a| a == "--profile");
     let certify = rest.iter().any(|a| a == "--certify");
+    // `--checkpoint-dir` journals sweep rounds for crash-safe resume
+    // (docs/recovery.md); `--resume` replays a journal left behind by
+    // an interrupted run instead of discarding it.
+    let checkpoint_dir = flag_value(rest, "--checkpoint-dir");
+    let resume = rest.iter().any(|a| a == "--resume");
+    if resume && checkpoint_dir.is_none() {
+        return err("--resume needs --checkpoint-dir DIR (nothing to resume from)");
+    }
+    let mut journal: Option<simgen_cec::SweepJournal> = checkpoint_dir
+        .filter(|_| cmd == "sweep" || cmd == "cec")
+        .map(|dir| {
+            simgen_cec::SweepJournal::create(dir, resume)
+                .map_err(|e| CliError(format!("cannot open checkpoint dir `{dir}`: {e}")))
+        })
+        .transpose()?;
     // Validate --fault-seed eagerly, like every other flag: a bad
     // value or a build without the feature is an error, never a
     // silently ignored option.
@@ -401,6 +420,11 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
     }
     if fault_seed.is_some() && cmd != "sweep" {
         return err("--fault-seed is only supported by `sweep`");
+    }
+    // Injected faults quarantine pairs nondeterministically, which a
+    // resumed journal would then replay as truth — refuse the combo.
+    if fault_seed.is_some() && checkpoint_dir.is_some() {
+        return err("--fault-seed cannot be combined with --checkpoint-dir");
     }
     // One deadline for the whole invocation: `--timeout 0` starts
     // already expired, which degrades every proof phase immediately.
@@ -532,19 +556,27 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             // scheduling-invariant, so every --jobs value (including
             // the default 1, which runs inline without threads)
             // prints byte-identical classes and proof counts.
-            let mut obs = Observer::with(stats_json.is_some() || profile, trace_path.is_some());
+            // A journaled run records counters unconditionally: the
+            // round snapshots must be truthful so that a later
+            // `--resume --stats-json` restores the same totals an
+            // uninterrupted run would report.
+            let mut obs = Observer::with(
+                stats_json.is_some() || profile || journal.is_some(),
+                trace_path.is_some(),
+            );
             #[allow(unused_mut)]
             let mut sweeper = ParallelSweeper::new(cfg);
             #[cfg(feature = "fault-inject")]
             if let Some(fseed) = fault_seed {
                 sweeper = sweeper.with_fault_plan(simgen_cec::FaultPlan::from_seed(fseed));
             }
-            let report = sweeper.run_cached(
+            let report = sweeper.run_checkpointed(
                 &net,
                 gen.as_mut(),
                 &deadline,
                 &mut obs,
                 proof_cache.as_ref(),
+                journal.as_mut(),
             );
             let run_report = sweep_run_report(
                 RunMeta {
@@ -621,8 +653,13 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 certify,
                 ..SweepConfig::default()
             };
-            let mut obs = Observer::with(stats_json.is_some() || profile, trace_path.is_some());
-            let report = simgen_cec::check_equivalence_cached(
+            // See the sweep arm: journaled runs always count, so the
+            // journal's counter snapshots stay truthful for resume.
+            let mut obs = Observer::with(
+                stats_json.is_some() || profile || journal.is_some(),
+                trace_path.is_some(),
+            );
+            let report = simgen_cec::check_equivalence_checkpointed(
                 &na,
                 &nb,
                 gen.as_mut(),
@@ -630,6 +667,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 &deadline,
                 &mut obs,
                 proof_cache.as_ref(),
+                journal.as_mut(),
             )
             .map_err(|e| CliError(e.to_string()))?;
             let run_report = cec_run_report(
@@ -713,7 +751,8 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "serve" => {
             if !pos.is_empty() {
                 return err("usage: simgen serve --socket PATH [--cache-dir DIR] \
-                     [--cache-budget BYTES] [--queue-limit N]");
+                     [--cache-budget BYTES] [--queue-limit N] [--checkpoint-dir DIR] \
+                     [--default-timeout SECS]");
             }
             let Some(socket) = flag_value(rest, "--socket") else {
                 return err("simgen serve needs --socket PATH");
@@ -731,6 +770,15 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         ))
                     })?;
             }
+            if let Some(dir) = flag_value(rest, "--checkpoint-dir") {
+                opts.checkpoint_dir = Some(dir.into());
+            }
+            // Deadline applied to jobs that don't name their own
+            // timeout, so one runaway proof can't wedge the executor.
+            opts.default_timeout = flag_value(rest, "--default-timeout")
+                .map(|v| parse_secs("--default-timeout", v, false))
+                .transpose()?
+                .map(|d| d.as_secs_f64());
             simgen_serve::install_signal_handlers();
             let server = simgen_serve::Server::start(opts)
                 .map_err(|e| CliError(format!("cannot start daemon: {e}")))?;
@@ -739,23 +787,93 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             server.join();
             use std::sync::atomic::Ordering::Relaxed;
             eprintln!(
-                "serve: drained — {} jobs ({} hits, {} replayed), {} rejected, {} errors",
+                "serve: drained — {} jobs ({} hits, {} replayed), {} rejected, {} errors, \
+                 {} recovered",
                 stats.jobs_done.load(Relaxed),
                 stats.job_hits.load(Relaxed),
                 stats.replayed.load(Relaxed),
                 stats.rejected.load(Relaxed),
                 stats.errors.load(Relaxed),
+                stats.recovered.load(Relaxed),
             );
             Ok(ExitCode::SUCCESS)
+        }
+        "status" => {
+            if !pos.is_empty() {
+                return err("usage: simgen status --socket PATH");
+            }
+            let Some(socket) = flag_value(rest, "--socket") else {
+                return err("simgen status needs --socket PATH");
+            };
+            let status = simgen_serve::query_status(Path::new(socket))
+                .map_err(|e| CliError(format!("status query to `{socket}`: {e}")))?;
+            println!("daemon at {socket}: healthy");
+            println!("  queue depth : {}", status.queue_depth);
+            println!("  jobs done   : {}", status.jobs_done);
+            println!("  job hits    : {}", status.job_hits);
+            println!("  replayed    : {}", status.replayed);
+            println!("  rejected    : {}", status.rejected);
+            println!("  errors      : {}", status.errors);
+            println!("  recovered   : {}", status.recovered);
+            println!("  retries     : {}", status.retries);
+            Ok(ExitCode::SUCCESS)
+        }
+        "cache" => {
+            // `simgen cache verify <dir>`: standalone integrity scrub
+            // of a persistent proof-cache directory. The daemon and
+            // the cached flows run the same scrub on open; this is
+            // the operator-facing version for cron jobs and triage.
+            match pos[..] {
+                ["verify", dir] => {
+                    let report = simgen_cache::scrub(dir)
+                        .map_err(|e| CliError(format!("cannot scrub `{dir}`: {e}")))?;
+                    println!(
+                        "{dir}: {} valid entr{}, {} quarantined",
+                        report.valid,
+                        if report.valid == 1 { "y" } else { "ies" },
+                        report.quarantined.len()
+                    );
+                    for path in &report.quarantined {
+                        println!("  quarantined {}", path.display());
+                    }
+                    if report.quarantined.is_empty() {
+                        Ok(ExitCode::SUCCESS)
+                    } else {
+                        Ok(ExitCode::from(1))
+                    }
+                }
+                _ => err("usage: simgen cache verify <dir>"),
+            }
         }
         "submit" => {
             let [pa, pb] = pos[..] else {
                 return err("usage: simgen submit <a> <b> --socket PATH [--id X] \
-                     [--strategy S] [-k K] [--seed N] [--jobs N] [--timeout SECS] [--certify]");
+                     [--strategy S] [-k K] [--seed N] [--jobs N] [--timeout SECS] [--certify] \
+                     [--retry N] [--backoff MS]");
             };
             let Some(socket) = flag_value(rest, "--socket") else {
                 return err("simgen submit needs --socket PATH");
             };
+            let retries: u32 = flag_value(rest, "--retry")
+                .map(|v| {
+                    v.parse().map_err(|_| {
+                        CliError(format!(
+                            "bad --retry value `{v}` (need a non-negative integer)"
+                        ))
+                    })
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let backoff_ms: u64 = flag_value(rest, "--backoff")
+                .map(|v| {
+                    v.parse::<u64>().ok().filter(|&ms| ms >= 1).ok_or_else(|| {
+                        CliError(format!(
+                            "bad --backoff value `{v}` (need a positive millisecond count)"
+                        ))
+                    })
+                })
+                .transpose()?
+                .unwrap_or(100);
             let request = simgen_serve::JobRequest {
                 id: flag_value(rest, "--id").unwrap_or("job").to_string(),
                 a: pa.to_string(),
@@ -769,8 +887,28 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 timeout: timeout.map(|d| d.as_secs_f64()),
                 certify,
             };
-            let line = simgen_serve::submit(Path::new(socket), &request)
-                .map_err(|e| CliError(format!("submit to `{socket}`: {e}")))?;
+            // `overloaded` means the daemon's queue was full at that
+            // instant — the one daemon answer that is worth retrying.
+            // Jittered exponential backoff so a burst of rejected
+            // clients doesn't re-converge on the same instant.
+            let mut attempt: u32 = 0;
+            let line = loop {
+                let line = simgen_serve::submit(Path::new(socket), &request)
+                    .map_err(|e| CliError(format!("submit to `{socket}`: {e}")))?;
+                let overloaded = simgen_obs::Json::parse(&line).is_ok_and(|resp| {
+                    resp.get("error").and_then(simgen_obs::Json::as_str) == Some("overloaded")
+                });
+                if !overloaded || attempt >= retries {
+                    break line;
+                }
+                attempt += 1;
+                let base = backoff_ms << (attempt - 1).min(6);
+                let jitter = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| u64::from(d.subsec_nanos()) % base.max(1));
+                eprintln!("submit: daemon overloaded, retry {attempt}/{retries} in {base} ms");
+                std::thread::sleep(Duration::from_millis(base + jitter));
+            };
             // The raw response (JSON, report included) goes to stdout
             // for scripting; the exit code mirrors `simgen cec`.
             println!("{line}");
@@ -804,17 +942,22 @@ USAGE:
   simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
   simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N] [--jobs N]
                       [--timeout SECS] [--stall SECS] [--certify]
+                      [--checkpoint-dir DIR] [--resume]
                       [--fault-seed N] [--stats-json PATH] [--trace PATH]
                       [--profile]
   simgen cec <a> <b> [--strategy S] [-k K] [--seed N] [--jobs N]
                      [--timeout SECS] [--stall SECS] [--certify]
                      [--cache-dir DIR] [--cache-budget BYTES]
+                     [--checkpoint-dir DIR] [--resume]
                      [--stats-json PATH] [--trace PATH] [--profile]
   simgen serve --socket PATH [--cache-dir DIR] [--cache-budget BYTES]
-               [--queue-limit N]           run the CEC daemon (docs/serving.md)
+               [--queue-limit N] [--checkpoint-dir DIR] [--default-timeout SECS]
+                                           run the CEC daemon (docs/serving.md)
   simgen submit <a> <b> --socket PATH [--id X] [--strategy S] [-k K]
                 [--seed N] [--jobs N] [--timeout SECS] [--certify]
-                                           send one job to a running daemon
+                [--retry N] [--backoff MS] send one job to a running daemon
+  simgen status --socket PATH              health/recovery stats of a daemon
+  simgen cache verify <dir>                scrub a proof-cache directory
   simgen bench <name> <out>                emit a built-in benchmark circuit
   simgen list-benchmarks                   list the 42 built-in benchmarks
 
@@ -831,7 +974,19 @@ Cached counterexamples are replayed before reuse; under --certify a
 cached equivalence is only trusted after its stored DRAT proof passes
 the independent checker. `serve` keeps the same cache warm behind a
 unix socket; `submit` prints the daemon's JSON response and exits with
-the `cec` code mapping (69 for daemon-side errors, e.g. overloaded).
+the `cec` code mapping (69 for daemon-side errors, e.g. overloaded;
+--retry N --backoff MS retries overloaded rejections with jittered
+exponential backoff first). Every on-disk entry is checksummed; open
+scrubs the directory and quarantines corrupt files (`cache verify`
+runs the same scrub standalone, exit 1 if anything was quarantined).
+
+Crash safety: --checkpoint-dir DIR journals every sweep round; after a
+crash, rerunning with --resume replays the journal and re-proves only
+the unresolved work, with a final report byte-identical to an
+uninterrupted run (docs/recovery.md). `serve --checkpoint-dir` also
+writes per-job manifests: a restarted daemon re-executes interrupted
+jobs (resuming their journals) before new work, retries transient
+failures with backoff, and reports recovery totals via `status`.
 
 Anytime operation: --timeout SECS bounds the whole run by a wall-clock
 deadline; --stall SECS aborts any single proof making no progress for
@@ -893,6 +1048,58 @@ mod tests {
             let msg = res.expect_err("jobs must be a non-negative integer").0;
             assert!(msg.contains("--jobs"), "unexpected error: {msg}");
         }
+    }
+
+    #[test]
+    fn resume_requires_a_checkpoint_dir() {
+        let msg = run(&s(&["sweep", "x.blif", "--resume"]))
+            .expect_err("--resume alone is a usage error")
+            .0;
+        assert!(msg.contains("--checkpoint-dir"), "{msg}");
+    }
+
+    #[test]
+    fn bad_retry_and_backoff_values_are_rejected() {
+        for (flag, bad) in [("--retry", "-1"), ("--retry", "lots"), ("--backoff", "0")] {
+            let msg = run(&s(&[
+                "submit", "a.aag", "b.aag", "--socket", "/s", flag, bad,
+            ]))
+            .expect_err("bad value must be rejected")
+            .0;
+            assert!(msg.contains(flag), "unexpected error: {msg}");
+        }
+    }
+
+    #[test]
+    fn status_and_cache_usage_errors() {
+        assert!(run(&s(&["status"])).is_err());
+        assert!(run(&s(&["cache"])).is_err());
+        assert!(run(&s(&["cache", "frob", "/tmp"])).is_err());
+    }
+
+    #[test]
+    fn cache_verify_reports_quarantined_entries() {
+        let dir = std::env::temp_dir().join(format!("simgen_cli_scrub_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_str().unwrap().to_string();
+        // Empty directory: clean.
+        assert_eq!(
+            run(&s(&["cache", "verify", &dir_s])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        // A file that pretends to be an entry: quarantined, exit 1.
+        std::fs::write(
+            dir.join(format!("{}.entry", "ab".repeat(32))),
+            "not an entry\n",
+        )
+        .unwrap();
+        assert_eq!(
+            run(&s(&["cache", "verify", &dir_s])).unwrap(),
+            ExitCode::from(1)
+        );
+        assert!(dir.join(simgen_cache::QUARANTINE_DIR).is_dir());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

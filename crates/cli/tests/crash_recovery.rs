@@ -1,0 +1,320 @@
+//! Crash-recovery acceptance tests driving the real `simgen` binary.
+//!
+//! Two scenarios, both ending in byte-identical stripped reports:
+//!
+//! * a `sweep` SIGKILLed at a round barrier (via the test-only
+//!   `SIMGEN_CRASH_AFTER_ROUND` hook) and restarted with `--resume`
+//!   must replay the journal instead of re-proving, at `--jobs 1`
+//!   and `--jobs 4`;
+//! * a daemon SIGKILLed mid-job must leave a manifest behind, recover
+//!   the job on restart (resuming its sweep journal), answer the
+//!   client's resubmission from the cache, and never serve an entry
+//!   that fails its checksum — `simgen cache verify` quarantines
+//!   corrupted files and the re-proved answer matches the recovered
+//!   one byte for byte.
+
+use std::os::unix::process::ExitStatusExt;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use simgen_netlist::{blif, LutNetwork, TruthTable};
+use simgen_obs::{report::strip_nondeterministic, Json};
+
+const BIN: &str = env!("CARGO_BIN_EXE_simgen");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simgen_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 12-PI workload whose sweep deterministically takes two rounds:
+/// `z1`/`z2` differ from the `x` lookalikes only on the all-ones
+/// minterm (probability 2^-12 per random pattern), so simulation
+/// lumps all four into one class, round 1 proves the `x` pairs and
+/// finds the rare counterexamples, and round 2 proves `z1 = z2`.
+/// A single-round workload could not distinguish resume from rerun.
+fn multiround_blif(dir: &Path) -> String {
+    let mut net = LutNetwork::new();
+    let pis: Vec<_> = (0..12).map(|i| net.add_pi(format!("p{i}"))).collect();
+    let mut layer = pis.clone();
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for ch in layer.chunks(2) {
+            match ch {
+                [a, b] => next.push(net.add_lut(vec![*a, *b], TruthTable::and2()).unwrap()),
+                [a] => next.push(*a),
+                _ => unreachable!(),
+            }
+        }
+        layer = next;
+    }
+    let all = layer[0];
+    let x1 = net
+        .add_lut(vec![pis[0], pis[1]], TruthTable::and2())
+        .unwrap();
+    let x2 = net
+        .add_lut(vec![pis[1], pis[0]], TruthTable::and2())
+        .unwrap();
+    let z1 = net.add_lut(vec![x1, all], TruthTable::xor2()).unwrap();
+    let z2 = net.add_lut(vec![all, x2], TruthTable::xor2()).unwrap();
+    net.add_po(z1, "z1");
+    net.add_po(z2, "z2");
+    net.add_po(all, "all");
+    let path = dir.join("multiround.blif");
+    let f = std::fs::File::create(&path).unwrap();
+    blif::write(&net, std::io::BufWriter::new(f)).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+fn stripped_report(path: &Path) -> String {
+    let mut json = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    strip_nondeterministic(&mut json);
+    json.to_pretty()
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identically() {
+    for jobs in ["1", "4"] {
+        let dir = temp_dir(&format!("sweep{jobs}"));
+        let blif = multiround_blif(&dir);
+        let base = [
+            "sweep",
+            blif.as_str(),
+            "--strategy",
+            "rand",
+            "--iters",
+            "0",
+            "--jobs",
+            jobs,
+        ];
+
+        // Uninterrupted reference run.
+        let cold_json = dir.join("cold.json");
+        let out = Command::new(BIN)
+            .args(base)
+            .args(["--stats-json", cold_json.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "cold run failed: {out:?}");
+
+        // Same run, journaled, SIGKILLed right after round 1 commits.
+        // At jobs=1 the crashed run also writes a report (which must
+        // never appear); at jobs=4 it runs without `--stats-json`,
+        // pinning that journal counter snapshots stay truthful even
+        // when the crashed run itself reports nothing.
+        let checkpoint = dir.join("checkpoint");
+        let crash_json = dir.join("crash.json");
+        let mut crash_cmd = Command::new(BIN);
+        crash_cmd
+            .args(base)
+            .args(["--checkpoint-dir", checkpoint.to_str().unwrap()]);
+        if jobs == "1" {
+            crash_cmd.args(["--stats-json", crash_json.to_str().unwrap()]);
+        }
+        let out = crash_cmd.env(simgen_cec::CRASH_ENV, "1").output().unwrap();
+        assert_eq!(
+            out.status.signal(),
+            Some(9),
+            "the crash hook must SIGKILL the process: {out:?}"
+        );
+        assert!(
+            checkpoint.join(simgen_cec::JOURNAL_FILE).is_file(),
+            "the journal survives the kill"
+        );
+        assert!(
+            !crash_json.exists(),
+            "no report may be written before the run completes"
+        );
+
+        // Resume: replay the journal, prove only what's left.
+        let resumed_json = dir.join("resumed.json");
+        let out = Command::new(BIN)
+            .args(base)
+            .args(["--checkpoint-dir", checkpoint.to_str().unwrap(), "--resume"])
+            .args(["--stats-json", resumed_json.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "resumed run failed: {out:?}");
+        assert_eq!(
+            stripped_report(&cold_json),
+            stripped_report(&resumed_json),
+            "jobs {jobs}: resumed report must be byte-identical to the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+fn spawn_daemon(
+    socket: &Path,
+    cache: &Path,
+    checkpoint: &Path,
+    crash_round: Option<&str>,
+) -> Child {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["serve", "--socket", socket.to_str().unwrap()])
+        .args(["--cache-dir", cache.to_str().unwrap()])
+        .args(["--checkpoint-dir", checkpoint.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    match crash_round {
+        Some(round) => cmd.env(simgen_cec::CRASH_ENV, round),
+        None => cmd.env_remove(simgen_cec::CRASH_ENV),
+    };
+    let child = cmd.spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+fn drain_daemon(mut child: Child) {
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon drain failed: {status:?}");
+}
+
+fn submit(socket: &Path, a: &str, b: &str) -> std::process::Output {
+    Command::new(BIN)
+        .args(["submit", a, b, "--socket", socket.to_str().unwrap()])
+        .args(["--id", "job", "--retry", "3", "--backoff", "50"])
+        .output()
+        .unwrap()
+}
+
+fn parsed_response(out: &std::process::Output) -> Json {
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    Json::parse(stdout.lines().last().expect("a response line")).expect("response is json")
+}
+
+#[test]
+fn killed_daemon_recovers_the_job_and_scrubs_corrupt_entries() {
+    let dir = temp_dir("daemon");
+    let a = dir.join("a.aag");
+    let b = dir.join("b.aag");
+    for path in [&a, &b] {
+        let out = Command::new(BIN)
+            .args(["bench", "e64", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+    }
+    let (a, b) = (a.to_str().unwrap(), b.to_str().unwrap());
+    let socket = dir.join("sock");
+    let cache = dir.join("cache");
+    let checkpoint = dir.join("checkpoint");
+
+    // Phase 1: the daemon kills itself after the job's first sweep
+    // round commits. The client sees a dead connection, and the
+    // manifest + journal stay behind.
+    let child = spawn_daemon(&socket, &cache, &checkpoint, Some("1"));
+    let out = submit(&socket, a, b);
+    assert!(
+        !out.status.success(),
+        "a killed daemon cannot answer: {out:?}"
+    );
+    let status = child.wait_with_output().unwrap().status;
+    assert_eq!(status.signal(), Some(9), "daemon died by SIGKILL");
+    let manifests: Vec<_> = std::fs::read_dir(checkpoint.join("jobs"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .collect();
+    assert_eq!(manifests.len(), 1, "one orphaned manifest: {manifests:?}");
+    let _ = std::fs::remove_file(&socket);
+
+    // Phase 2: a restarted daemon finds the manifest, re-executes the
+    // job (resuming its journal), and answers the resubmission from
+    // the cache without re-proving.
+    let child = spawn_daemon(&socket, &cache, &checkpoint, None);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match simgen_serve::query_status(&socket) {
+            Ok(status) if status.recovered >= 1 => break,
+            other => assert!(
+                Instant::now() < deadline,
+                "recovery never completed: {other:?}"
+            ),
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let out = Command::new(BIN)
+        .args(["status", "--socket", socket.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("recovered   : 1"), "{text}");
+
+    let out = submit(&socket, a, b);
+    assert!(out.status.success(), "{out:?}");
+    let resub = parsed_response(&out);
+    assert_eq!(resub.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(
+        resub.get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+    let recovered_report = resub.get("report").expect("report present").to_pretty();
+    drain_daemon(child);
+    assert!(
+        std::fs::read_dir(checkpoint.join("jobs"))
+            .map(|rd| rd.count())
+            .unwrap_or(0)
+            == 0,
+        "manifest removed once the job completed"
+    );
+
+    // Phase 3: corrupt every on-disk entry. `cache verify` must
+    // quarantine all of them (exit 1), and the next daemon — finding
+    // an effectively empty cache — must re-prove from scratch rather
+    // than serve corrupt bytes, landing on the identical report.
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&cache).unwrap().filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "entry") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, bytes).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(
+        corrupted > 0,
+        "the crashed+recovered runs persisted entries"
+    );
+    let out = Command::new(BIN)
+        .args(["cache", "verify", cache.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "corruption detected: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains(&format!("{corrupted} quarantined")), "{text}");
+    let quarantined = std::fs::read_dir(cache.join(simgen_cache::QUARANTINE_DIR))
+        .unwrap()
+        .count();
+    assert_eq!(quarantined, corrupted);
+
+    let _ = std::fs::remove_file(&socket);
+    let child = spawn_daemon(&socket, &cache, &checkpoint, None);
+    let out = submit(&socket, a, b);
+    assert!(out.status.success(), "{out:?}");
+    let fresh = parsed_response(&out);
+    assert_eq!(
+        fresh.get("cache").and_then(Json::as_str),
+        Some("miss"),
+        "quarantined entries must never be served: {fresh:?}"
+    );
+    assert_eq!(
+        fresh.get("report").expect("report present").to_pretty(),
+        recovered_report,
+        "re-proved report matches the crash-recovered one byte for byte"
+    );
+    drain_daemon(child);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

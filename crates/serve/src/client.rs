@@ -1,25 +1,19 @@
 //! The submit client: one connection, one request line, one response
-//! line. `simgen submit` is a thin wrapper over [`submit`].
+//! line. `simgen submit` is a thin wrapper over [`submit`]; `simgen
+//! status` wraps [`query_status`].
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
-use crate::protocol::JobRequest;
+use crate::protocol::{parse_status_response, status_request, JobRequest, StatusReport};
 
-/// Sends `request` to the daemon at `socket` and returns the raw
-/// response line (JSON; `error` key present on failure).
-///
-/// # Errors
-///
-/// I/O errors connecting or talking to the socket; a daemon-reported
-/// job failure is a *successful* submit whose response carries an
-/// `error` field.
-pub fn submit(socket: &Path, request: &JobRequest) -> std::io::Result<String> {
+/// Sends one raw JSONL line to the daemon at `socket` and returns the
+/// raw response line.
+fn send_line(socket: &Path, line: &str) -> std::io::Result<String> {
     let mut stream = UnixStream::connect(socket)?;
-    let mut line = request.to_line();
-    line.push('\n');
     stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     let mut response = String::new();
@@ -31,4 +25,27 @@ pub fn submit(socket: &Path, request: &JobRequest) -> std::io::Result<String> {
         ));
     }
     Ok(response.trim_end().to_string())
+}
+
+/// Sends `request` to the daemon at `socket` and returns the raw
+/// response line (JSON; `error` key present on failure).
+///
+/// # Errors
+///
+/// I/O errors connecting or talking to the socket; a daemon-reported
+/// job failure is a *successful* submit whose response carries an
+/// `error` field.
+pub fn submit(socket: &Path, request: &JobRequest) -> std::io::Result<String> {
+    send_line(socket, &request.to_line())
+}
+
+/// Asks the daemon at `socket` for its health snapshot.
+pub fn query_status(socket: &Path) -> std::io::Result<StatusReport> {
+    let line = send_line(socket, &status_request())?;
+    parse_status_response(&line).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed status response: {line}"),
+        )
+    })
 }

@@ -35,6 +35,22 @@
 //! short-cut: the job re-runs against the pair-level cache, where
 //! every cached equivalence must pass the independent DRAT checker
 //! before reuse. Such runs report `cache: "replayed"`.
+//!
+//! ## Supervision and crash recovery
+//!
+//! With [`ServeOptions::checkpoint_dir`] set the daemon survives its
+//! own death. Before a job executes, its request line is written to a
+//! manifest (`<dir>/jobs/<tag>.job`, `tag` = hash of the request);
+//! the job's sweep writes a round-barrier journal under
+//! `<dir>/sweeps/<tag>/`; both are removed when the job completes. A
+//! restarted daemon finds the orphaned manifests, re-executes each
+//! interrupted job *before* popping new work — resuming its sweep
+//! from the journal, so certified rounds are never re-proven — and
+//! lands the result in the cache for the client's resubmission to
+//! hit. Transient failures (interrupted/timed-out file opens) are
+//! retried with exponential backoff instead of answered with an
+//! error; the `status` protocol verb reports health, queue depth, and
+//! the recovery/retry totals.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -45,17 +61,18 @@ use std::time::Duration;
 
 use simgen_cache::{job_key, CacheEntry, CacheKey, CachedVerdict, ProofCache, Sha256};
 use simgen_cec::{
-    cec_run_report, check_equivalence_cached, design_info, CecVerdict, Deadline, RunMeta,
-    SweepConfig,
+    cec_run_report, check_equivalence_checkpointed, design_info, CecVerdict, Deadline, RunMeta,
+    SweepConfig, SweepJournal,
 };
 use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_dispatch::{FairQueue, PushError};
 use simgen_mapping::map_to_luts;
 use simgen_netlist::{aiger, bench_fmt, blif, LutNetwork};
-use simgen_obs::{Counter, Observer};
+use simgen_obs::{atomic_write, Counter, Observer};
 
 use crate::protocol::{
-    error_response, parse_request, result_response, CacheOutcome, JobRequest, JobStatusLine,
+    error_response, is_status_request, parse_request, result_response, status_response,
+    CacheOutcome, JobRequest, JobStatusLine, StatusReport,
 };
 
 /// Signal-visible shutdown flag; see [`request_shutdown`].
@@ -101,16 +118,27 @@ pub struct ServeOptions {
     /// Maximum queued jobs across all clients; beyond it submissions
     /// are rejected with `overloaded`.
     pub queue_limit: usize,
+    /// Directory for job manifests and sweep journals; `None`
+    /// disables crash recovery (a killed daemon loses in-flight
+    /// work, exactly as before).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Wall-clock deadline in seconds applied to jobs whose request
+    /// carries no `timeout` of its own; `None` leaves such jobs
+    /// unbounded.
+    pub default_timeout: Option<f64>,
 }
 
 impl ServeOptions {
-    /// Defaults: in-memory cache, 64 MiB budget, 64 queued jobs.
+    /// Defaults: in-memory cache, 64 MiB budget, 64 queued jobs, no
+    /// checkpointing, no default deadline.
     pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
         ServeOptions {
             socket: socket.into(),
             cache_dir: None,
             cache_budget: 64 << 20,
             queue_limit: 64,
+            checkpoint_dir: None,
+            default_timeout: None,
         }
     }
 }
@@ -128,6 +156,36 @@ pub struct ServeStats {
     pub rejected: AtomicU64,
     /// Jobs that failed (bad paths, malformed circuits, PO mismatch).
     pub errors: AtomicU64,
+    /// Interrupted jobs re-executed from their manifests after a
+    /// restart.
+    pub recovered: AtomicU64,
+    /// Transient-failure retries across all jobs.
+    pub retries: AtomicU64,
+}
+
+impl ServeStats {
+    /// A point-in-time snapshot for the `status` verb.
+    fn snapshot(&self, queue_depth: u64) -> StatusReport {
+        StatusReport {
+            queue_depth,
+            jobs_done: self.jobs_done.load(Ordering::Relaxed),
+            job_hits: self.job_hits.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything a job execution needs besides the request itself —
+/// shared by the executor thread and the startup recovery pass.
+struct ExecCtx {
+    cache: Arc<ProofCache>,
+    stats: Arc<ServeStats>,
+    checkpoint: Option<PathBuf>,
+    default_timeout: Option<f64>,
 }
 
 struct Job {
@@ -166,11 +224,20 @@ impl Server {
 
         let executor = {
             let queue = Arc::clone(&queue);
-            let cache = Arc::clone(&cache);
-            let stats = Arc::clone(&stats);
+            let ctx = ExecCtx {
+                cache: Arc::clone(&cache),
+                stats: Arc::clone(&stats),
+                checkpoint: opts.checkpoint_dir.clone(),
+                default_timeout: opts.default_timeout,
+            };
             std::thread::spawn(move || {
+                // Jobs a previous incarnation died holding run first:
+                // the socket is already accepting, so resubmissions
+                // queue up behind the recovery and hit its cached
+                // results.
+                recover_interrupted(&ctx);
                 while let Some((_client, job)) = queue.pop() {
-                    let line = execute_job(&cache, &job.request, &stats);
+                    let line = execute_job(&ctx, &job.request);
                     write_line(&job.writer, &line);
                 }
             })
@@ -277,6 +344,16 @@ fn serve_connection(client: u64, stream: UnixStream, queue: &FairQueue<Job>, sta
         if line.trim().is_empty() {
             continue;
         }
+        // Health checks are answered right here on the reader thread:
+        // they must stay responsive while the executor grinds through
+        // a long job, and they never consume queue capacity.
+        if is_status_request(&line) {
+            write_line(
+                &writer,
+                &status_response(&stats.snapshot(queue.len() as u64)),
+            );
+            continue;
+        }
         match parse_request(&line) {
             Err((id, msg)) => write_line(&writer, &error_response(id.as_deref(), &msg)),
             Ok(request) => {
@@ -300,27 +377,66 @@ fn serve_connection(client: u64, stream: UnixStream, queue: &FairQueue<Job>, sta
     }
 }
 
+/// A job failure, classified for the retry policy. Permanent failures
+/// (malformed circuits, unknown strategies, PO mismatches) are
+/// answered immediately — retrying cannot change the outcome.
+/// Transient ones (an interrupted or timed-out file open, e.g. a
+/// network filesystem hiccup) are retried with backoff before the
+/// daemon gives up.
+struct JobError {
+    message: String,
+    transient: bool,
+}
+
+impl JobError {
+    fn permanent(message: impl Into<String>) -> JobError {
+        JobError {
+            message: message.into(),
+            transient: false,
+        }
+    }
+}
+
+impl From<String> for JobError {
+    fn from(message: String) -> JobError {
+        JobError::permanent(message)
+    }
+}
+
+/// Whether an I/O failure kind is worth retrying.
+fn is_transient_io(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
 /// Loads a circuit file and maps it to a `k`-LUT network. A trimmed
 /// copy of the CLI loader — the daemon cannot depend on the CLI crate
 /// (the CLI depends on this one).
-fn load_lut(path: &str, k: usize) -> Result<LutNetwork, String> {
+fn load_lut(path: &str, k: usize) -> Result<LutNetwork, JobError> {
     let ext = Path::new(path)
         .extension()
         .and_then(|e| e.to_str())
         .map(str::to_ascii_lowercase);
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let file = std::fs::File::open(path).map_err(|e| JobError {
+        transient: is_transient_io(e.kind()),
+        message: format!("cannot open `{path}`: {e}"),
+    })?;
     let r = BufReader::new(file);
     match ext.as_deref() {
         Some("aig" | "aag") => aiger::read(r)
             .map(|aig| map_to_luts(&aig, k))
-            .map_err(|e| format!("{path}: {e}")),
+            .map_err(|e| JobError::permanent(format!("{path}: {e}"))),
         Some("bench") => bench_fmt::read(r)
             .map(|aig| map_to_luts(&aig, k))
-            .map_err(|e| format!("{path}: {e}")),
-        Some("blif") => blif::read(r).map_err(|e| format!("{path}: {e}")),
-        other => Err(format!(
+            .map_err(|e| JobError::permanent(format!("{path}: {e}"))),
+        Some("blif") => blif::read(r).map_err(|e| JobError::permanent(format!("{path}: {e}"))),
+        other => Err(JobError::permanent(format!(
             "cannot infer format of `{path}` (extension {other:?}); use .aig/.aag/.bench/.blif"
-        )),
+        ))),
     }
 }
 
@@ -379,27 +495,130 @@ fn replay_job_witness(a: &LutNetwork, b: &LutNetwork, witness: &[bool]) -> Optio
     outs_a.iter().zip(&outs_b).position(|(x, y)| x != y)
 }
 
-/// Runs one job to a response line. This is the whole service policy:
-/// job-level lookup (with witness replay), fall-through to a live
-/// cached run, then job-level store of conclusive verdicts.
-fn execute_job(cache: &ProofCache, request: &JobRequest, stats: &ServeStats) -> String {
-    match execute_job_inner(cache, request, stats) {
-        Ok(line) => line,
-        Err(msg) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            error_response(Some(&request.id), &msg)
+/// Stable identity of a request for checkpoint bookkeeping: the
+/// manifest and journal names must be computable *without* loading
+/// the circuits, so cleanup works even when a load fails.
+fn job_tag(request: &JobRequest) -> String {
+    Sha256::digest(request.to_line().as_bytes())
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+fn manifest_path(checkpoint: &Path, tag: &str) -> PathBuf {
+    checkpoint.join("jobs").join(format!("{tag}.job"))
+}
+
+fn journal_dir(checkpoint: &Path, tag: &str) -> PathBuf {
+    checkpoint.join("sweeps").join(tag)
+}
+
+/// Maximum transient-failure retries per job.
+const MAX_RETRIES: u32 = 3;
+
+/// Exponential backoff with clock-derived jitter: 25 ms doubling per
+/// attempt, plus up to one base period of jitter so retry storms from
+/// parallel daemons decorrelate.
+fn retry_backoff(attempt: u32) -> Duration {
+    let base = 25u64 << attempt.saturating_sub(1).min(4);
+    let jitter = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::from(d.subsec_nanos()) % base);
+    Duration::from_millis(base + jitter)
+}
+
+/// Re-executes jobs whose manifests a dead daemon left behind. Runs
+/// on the executor thread before the first pop, so recovered work is
+/// finished (and cached) before any newly-submitted job. There is no
+/// client connection to answer; the point is the cache and journal
+/// state, which the client's resubmission then hits.
+fn recover_interrupted(ctx: &ExecCtx) {
+    let Some(checkpoint) = &ctx.checkpoint else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(checkpoint.join("jobs")) else {
+        return;
+    };
+    let mut manifests: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "job"))
+        .collect();
+    manifests.sort();
+    for path in manifests {
+        let request = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|line| parse_request(line.trim()).ok());
+        match request {
+            Some(request) => {
+                // execute_job rewrites the manifest (at its canonical
+                // tag-derived path), resumes the job's journal, and
+                // removes both on completion. The scanned path is
+                // removed separately in case it was renamed by hand.
+                let _ = execute_job(ctx, &request);
+                let _ = std::fs::remove_file(&path);
+                ctx.stats.recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            // An unreadable manifest cannot be re-run; drop it so it
+            // is not rediscovered on every restart.
+            None => {
+                let _ = std::fs::remove_file(&path);
+            }
         }
     }
 }
 
-fn execute_job_inner(
-    cache: &ProofCache,
-    request: &JobRequest,
-    stats: &ServeStats,
-) -> Result<String, String> {
+/// Runs one job to a response line. This is the whole service policy:
+/// manifest write (when checkpointing), transient-failure retry with
+/// backoff, job-level lookup (with witness replay), fall-through to a
+/// live cached run, job-level store of conclusive verdicts, and
+/// checkpoint cleanup once the job has an answer.
+fn execute_job(ctx: &ExecCtx, request: &JobRequest) -> String {
+    let tag = ctx.checkpoint.as_ref().map(|checkpoint| {
+        let tag = job_tag(request);
+        let path = manifest_path(checkpoint, &tag);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        // Best-effort, like every checkpoint write: a full disk
+        // degrades recovery, never the answer.
+        let _ = atomic_write(path, request.to_line().as_bytes());
+        tag
+    });
+    let mut attempt = 0;
+    let line = loop {
+        match execute_job_inner(ctx, request) {
+            Ok(line) => break line,
+            Err(e) if e.transient && attempt < MAX_RETRIES => {
+                attempt += 1;
+                ctx.stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(retry_backoff(attempt));
+            }
+            Err(e) => {
+                ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                break error_response(Some(&request.id), &e.message);
+            }
+        }
+    };
+    // The job has an answer (even a permanent error is an answer — a
+    // restart loop would just fail it again): its checkpoint state is
+    // garbage now.
+    if let (Some(checkpoint), Some(tag)) = (&ctx.checkpoint, &tag) {
+        let _ = std::fs::remove_file(manifest_path(checkpoint, tag));
+        let _ = std::fs::remove_dir_all(journal_dir(checkpoint, tag));
+    }
+    line
+}
+
+fn execute_job_inner(ctx: &ExecCtx, request: &JobRequest) -> Result<String, JobError> {
+    let cache: &ProofCache = &ctx.cache;
+    let stats: &ServeStats = &ctx.stats;
     let a = load_lut(&request.a, request.k)?;
     let b = load_lut(&request.b, request.k)?;
     let key = serve_job_key(&a, &b, request);
+    // Pin the job's own entry for the duration: LRU pressure from
+    // concurrent inserts must not evict the answer (or the prior
+    // entry being revalidated) out from under an admitted job.
+    let _pin = cache.pin_scope(key);
 
     // Job-level fast path. Never taken under certify: a stored report
     // carries no checkable evidence, so certified jobs always re-run
@@ -466,15 +685,33 @@ fn execute_job_inner(
         ..SweepConfig::default()
     };
     let mut gen = make_strategy(&request.strategy, request.seed)?;
+    // Every job gets a wall-clock deadline: the request's own timeout
+    // when it names one, else the daemon's default. A single runaway
+    // job must not wedge the executor thread forever.
     let deadline = request
         .timeout
+        .or(ctx.default_timeout)
         .and_then(|secs| Duration::try_from_secs_f64(secs).ok())
         .map(Deadline::after)
         .unwrap_or_default();
     let mut obs = Observer::enabled();
-    let report =
-        check_equivalence_cached(&a, &b, gen.as_mut(), cfg, &deadline, &mut obs, Some(cache))
-            .map_err(|e| e.to_string())?;
+    // Journal the sweep under the job's tag so a daemon killed
+    // mid-job resumes from the last complete round instead of from
+    // scratch. Journal failure degrades to an unjournaled run.
+    let mut journal = ctx.checkpoint.as_ref().and_then(|checkpoint| {
+        SweepJournal::create(journal_dir(checkpoint, &job_tag(request)), true).ok()
+    });
+    let report = check_equivalence_checkpointed(
+        &a,
+        &b,
+        gen.as_mut(),
+        cfg,
+        &deadline,
+        &mut obs,
+        Some(cache),
+        journal.as_mut(),
+    )
+    .map_err(|e| JobError::permanent(e.to_string()))?;
     let replayed = obs.recorder.get(Counter::CacheReplays) > 0;
     let run_report = cec_run_report(
         RunMeta {

@@ -15,16 +15,24 @@
 //!   ([`simgen_dispatch::FairQueue`]), bounded backpressure with
 //!   explicit `overloaded` rejections, the job-level cache policy,
 //!   and graceful signal-driven drain;
-//! * [`client`] — the one-shot submit helper the CLI wraps.
+//! * [`client`] — the one-shot submit and status helpers the CLI
+//!   wraps.
 //!
-//! See `docs/serving.md` for the protocol reference and trust model.
+//! With a checkpoint directory configured the daemon is also a
+//! supervisor: interrupted jobs are journaled, recovered, and resumed
+//! on restart, transient failures are retried with backoff, and the
+//! `status` verb reports health and recovery totals.
+//!
+//! See `docs/serving.md` for the protocol reference and trust model,
+//! and `docs/recovery.md` for the crash-safety story.
 
 pub mod client;
 pub mod daemon;
 pub mod protocol;
 
-pub use client::submit;
+pub use client::{query_status, submit};
 pub use daemon::{install_signal_handlers, request_shutdown, ServeOptions, ServeStats, Server};
 pub use protocol::{
-    error_response, parse_request, result_response, CacheOutcome, JobRequest, JobStatusLine,
+    error_response, is_status_request, parse_request, parse_status_response, result_response,
+    status_request, status_response, CacheOutcome, JobRequest, JobStatusLine, StatusReport,
 };

@@ -183,6 +183,82 @@ pub fn parse_request(line: &str) -> Result<JobRequest, ParseFailure> {
     Ok(req)
 }
 
+/// A point-in-time health snapshot the daemon answers the `status`
+/// verb with.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Jobs waiting in the fair queue right now.
+    pub queue_depth: u64,
+    /// Jobs answered (any cache outcome).
+    pub jobs_done: u64,
+    /// Jobs answered entirely from the job-level cache entry.
+    pub job_hits: u64,
+    /// Certified jobs answered by re-validating cached evidence.
+    pub replayed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected: u64,
+    /// Jobs that failed (bad paths, malformed circuits, PO mismatch).
+    pub errors: u64,
+    /// Interrupted jobs re-executed from their manifests after a
+    /// daemon restart.
+    pub recovered: u64,
+    /// Transient-failure retries across all jobs.
+    pub retries: u64,
+}
+
+/// The `status` request line: `{"op":"status"}`. Answered directly by
+/// the reader thread — it never queues behind jobs, so it stays
+/// responsive while the executor is busy.
+pub fn status_request() -> String {
+    let mut req = Json::obj();
+    req.push("op", Json::Str("status".to_string()));
+    req.to_line()
+}
+
+/// True when `line` is a `status` request rather than a job.
+pub fn is_status_request(line: &str) -> bool {
+    Json::parse(line)
+        .ok()
+        .and_then(|json| json.get("op").and_then(Json::as_str).map(str::to_string))
+        .as_deref()
+        == Some("status")
+}
+
+/// Builds the `status` response line.
+pub fn status_response(report: &StatusReport) -> String {
+    let mut resp = Json::obj();
+    resp.push("status", Json::Str("ok".to_string()));
+    resp.push("queue_depth", Json::U64(report.queue_depth));
+    resp.push("jobs_done", Json::U64(report.jobs_done));
+    resp.push("job_hits", Json::U64(report.job_hits));
+    resp.push("replayed", Json::U64(report.replayed));
+    resp.push("rejected", Json::U64(report.rejected));
+    resp.push("errors", Json::U64(report.errors));
+    resp.push("recovered", Json::U64(report.recovered));
+    resp.push("retries", Json::U64(report.retries));
+    resp.to_line()
+}
+
+/// Parses a `status` response line back into a [`StatusReport`];
+/// `None` for anything that is not a well-formed status answer.
+pub fn parse_status_response(line: &str) -> Option<StatusReport> {
+    let json = Json::parse(line).ok()?;
+    if json.get("status").and_then(Json::as_str) != Some("ok") {
+        return None;
+    }
+    let field = |name: &str| json.get(name).and_then(Json::as_u64);
+    Some(StatusReport {
+        queue_depth: field("queue_depth")?,
+        jobs_done: field("jobs_done")?,
+        job_hits: field("job_hits")?,
+        replayed: field("replayed")?,
+        rejected: field("rejected")?,
+        errors: field("errors")?,
+        recovered: field("recovered")?,
+        retries: field("retries")?,
+    })
+}
+
 /// Builds an error response line (no trailing newline).
 pub fn error_response(id: Option<&str>, message: &str) -> String {
     let mut resp = Json::obj();
@@ -309,6 +385,28 @@ mod tests {
         assert_eq!(a.cache_config(), b.cache_config());
         a.certify = true;
         assert_ne!(a.cache_config(), b.cache_config());
+    }
+
+    #[test]
+    fn status_lines_roundtrip_and_do_not_shadow_jobs() {
+        assert!(is_status_request(&status_request()));
+        assert!(!is_status_request(r#"{"id":"j1","a":"x.aig","b":"y.aig"}"#));
+        assert!(!is_status_request("not json"));
+        let report = StatusReport {
+            queue_depth: 3,
+            jobs_done: 10,
+            job_hits: 4,
+            replayed: 1,
+            rejected: 2,
+            errors: 1,
+            recovered: 5,
+            retries: 7,
+        };
+        assert_eq!(
+            parse_status_response(&status_response(&report)),
+            Some(report)
+        );
+        assert_eq!(parse_status_response(r#"{"error":"overloaded"}"#), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 
 use simgen_obs::Json;
-use simgen_serve::{submit, CacheOutcome, JobRequest, ServeOptions, Server};
+use simgen_serve::{query_status, submit, CacheOutcome, JobRequest, ServeOptions, Server};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("simgen_serve_{tag}_{}", std::process::id()));
@@ -330,6 +330,87 @@ fn shutdown_drains_accepted_jobs_and_removes_the_socket() {
 
     server.join();
     assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn status_verb_reports_health_and_recovery_totals() {
+    let dir = temp_dir("status");
+    let (and_p, or_p) = write_and_or(&dir);
+    let server = Server::start(ServeOptions::new(dir.join("sock"))).unwrap();
+
+    let idle = query_status(server.socket()).expect("status answered");
+    assert_eq!(idle.jobs_done, 0);
+    assert_eq!(idle.queue_depth, 0);
+    assert_eq!(idle.recovered, 0);
+
+    parsed_submit(&server, &request("s1", &and_p, &or_p));
+    parsed_submit(&server, &request("s2", &and_p, &or_p));
+    let busy = query_status(server.socket()).expect("status answered");
+    assert_eq!(busy.jobs_done, 2);
+    assert_eq!(busy.job_hits, 1);
+    assert_eq!(busy.errors, 0);
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn orphaned_manifests_are_recovered_on_startup() {
+    let dir = temp_dir("recover");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let checkpoint = dir.join("checkpoint");
+
+    // Simulate a daemon that died mid-job: its manifest is on disk
+    // but no response was ever written. A real crash leaves exactly
+    // this state (the manifest is written before execution starts).
+    let req = request("dead", &a, &b);
+    let jobs_dir = checkpoint.join("jobs");
+    std::fs::create_dir_all(&jobs_dir).unwrap();
+    std::fs::write(jobs_dir.join("orphan.job"), req.to_line()).unwrap();
+    // Garbage manifests must be discarded, not crash-looped on.
+    std::fs::write(jobs_dir.join("junk.job"), "not a request\n").unwrap();
+
+    let mut opts = ServeOptions::new(dir.join("sock"));
+    opts.cache_dir = Some(dir.join("cache"));
+    opts.checkpoint_dir = Some(checkpoint.clone());
+    let server = Server::start(opts).unwrap();
+
+    // Recovery runs on the executor thread; poll the status verb
+    // until the interrupted job has been re-executed.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let status = query_status(server.socket()).expect("status answered");
+        if status.recovered >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "recovery never completed: {status:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // The recovered result landed in the cache: the client's
+    // resubmission of the same job is a pure hit.
+    let resub = parsed_submit(&server, &request("dead", &a, &b));
+    assert_eq!(cache_of(&resub), CacheOutcome::Hit.as_str(), "{resub:?}");
+    assert_eq!(
+        resub.get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+
+    // Both manifests are gone: the recovered one after completion,
+    // the garbage one on discard.
+    let leftovers: Vec<_> = std::fs::read_dir(&jobs_dir)
+        .map(|rd| rd.filter_map(|e| e.ok()).collect())
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "{leftovers:?}");
+
+    server.shutdown();
+    server.join();
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
