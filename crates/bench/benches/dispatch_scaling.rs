@@ -4,12 +4,16 @@
 //! identical at every worker count (the dispatch engine is
 //! scheduling-invariant), so any wall-time difference is pure
 //! parallel speedup of the SAT-resolution phase.
+//!
+//! Accepts `--jobs N` after `cargo bench ... --` (0 = auto-detect,
+//! the CLI convention); the resolved count joins the default 1/2/4/8
+//! sweep when not already in it.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use simgen_bench::{write_bench_report, BenchReport, Json};
+use simgen_bench::{jobs_arg, write_bench_report, BenchReport, Json};
 use simgen_cec::{BudgetSchedule, ParallelSweeper, SweepConfig};
 use simgen_core::{SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
@@ -47,6 +51,13 @@ fn run_once(net: &LutNetwork, jobs: usize) -> u64 {
 }
 
 fn bench_dispatch_scaling(c: &mut Criterion) {
+    let mut sweep = vec![1usize, 2, 4, 8];
+    if let Some(jobs) = jobs_arg() {
+        if !sweep.contains(&jobs) {
+            sweep.push(jobs);
+            sweep.sort_unstable();
+        }
+    }
     let mut report = BenchReport::new("dispatch_scaling");
     report.param("benchmarks", Json::Str("e64, alu4".to_string()));
     report.param("guided_iterations", Json::U64(2));
@@ -57,7 +68,7 @@ fn bench_dispatch_scaling(c: &mut Criterion) {
         // One-shot wall-clock summary (the headline speedup number)
         // before the statistically sampled runs.
         let mut serial_time = None;
-        for jobs in [1usize, 2, 4, 8] {
+        for &jobs in &sweep {
             let t = Instant::now();
             let proved = run_once(&net, jobs);
             let elapsed = t.elapsed();
@@ -69,7 +80,7 @@ fn bench_dispatch_scaling(c: &mut Criterion) {
             );
             report.metric(&format!("{name}_jobs{jobs}_speedup"), Json::F64(speedup));
         }
-        for jobs in [1usize, 2, 4, 8] {
+        for &jobs in &sweep {
             group.bench_with_input(BenchmarkId::new(name, jobs), &jobs, |b, &jobs| {
                 b.iter(|| run_once(&net, jobs));
             });

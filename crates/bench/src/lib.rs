@@ -28,13 +28,56 @@ pub use simgen_obs::{BenchReport, Json};
 /// repository root (e.g. `"BENCH_sim.json"` or
 /// `"results/BENCH_table1.json"`), and returns the path written.
 /// Every `BENCH_*.json` artifact in the workspace goes through this
-/// one function so they all share the `simgen-bench-report/1` schema.
+/// one function so they all share the `simgen-bench-report/2` schema.
 pub fn write_bench_report(report: &BenchReport, rel_path: &str) -> std::path::PathBuf {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join(rel_path);
     report.write_to(&path).expect("write bench report");
     path
+}
+
+/// Resolves a `--jobs` value using the CLI convention: `0` means
+/// auto-detect the available cores (`std::thread::available_parallelism`,
+/// falling back to 1 when detection fails).
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        jobs
+    }
+}
+
+/// Parses an optional `--jobs N` / `--jobs=N` from the bench binary's
+/// argument vector (cargo forwards everything after `--` to the bench
+/// executable). Returns the *resolved* worker count — `--jobs 0`
+/// auto-detects, matching the `simgen` CLI — or `None` when the flag
+/// is absent.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag is present but its value
+/// is missing or not an integer: a bench silently ignoring an explicit
+/// `--jobs` would measure the wrong thing.
+pub fn jobs_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        let raw = if arg == "--jobs" {
+            iter.next()
+                .unwrap_or_else(|| panic!("--jobs requires a value (0 = auto-detect)"))
+                .as_str()
+        } else if let Some(rest) = arg.strip_prefix("--jobs=") {
+            rest
+        } else {
+            continue;
+        };
+        let n: usize = raw
+            .parse()
+            .unwrap_or_else(|_| panic!("--jobs expects an integer, got {raw:?}"));
+        return Some(resolve_jobs(n));
+    }
+    None
 }
 
 /// The pattern-generation strategies the paper compares.

@@ -907,6 +907,7 @@ impl ParallelSweeper {
             proven = merged;
         }
         stats.exec = sim.exec_stats();
+        stats.pool = sim.pool_stats();
         record_exec_counters(obs, &stats.exec);
 
         SweepReport {

@@ -1,6 +1,6 @@
 //! Builders that turn a finished sweep or CEC run plus its
 //! [`Observer`] into the versioned [`RunReport`] document
-//! (`simgen-run-report/2`).
+//! (`simgen-run-report/3`).
 //!
 //! The report shape is defined in `simgen-obs` (`docs/observability.md`
 //! spells it out field by field); this module owns the mapping from
@@ -197,8 +197,12 @@ fn sim_section(stats: &SweepStats) -> Option<SimSection> {
         kernel_tape_ops: kernel.tape_ops,
         exec_calls: stats.exec.exec_calls,
         exec_words: stats.exec.exec_words,
+        exec_patterns: stats.exec.exec_patterns,
         cone_exec_calls: stats.exec.cone_exec_calls,
         scalar_pushes: stats.exec.scalar_pushes,
+        simd_width_bits: simgen_sim::active_simd_level().width_bits() as u64,
+        pool_dispatches: stats.pool.dispatches,
+        pool_tasks: stats.pool.tasks,
     })
 }
 

@@ -43,6 +43,12 @@ pub struct SweepStats {
     /// Simulation-executor work totals (kernel executions, lane words,
     /// scalar pushes), harvested at the end of the sweep.
     pub exec: simgen_sim::ExecStats,
+    /// Worker-pool dispatch totals from the compiled kernel. Unlike
+    /// [`SweepStats::exec`] these are scheduling diagnostics — how
+    /// often simulation actually fanned out and into how many range
+    /// tasks — so they vary with `--jobs` and are stripped from
+    /// deterministic report forms.
+    pub pool: simgen_sim::PoolStats,
     /// Pairs proven equivalent by SAT.
     pub proved_equivalent: u64,
     /// Pairs disproven by a SAT counterexample.

@@ -444,6 +444,7 @@ impl Sweeper {
             }
         }
         stats.exec = sim.exec_stats();
+        stats.pool = sim.pool_stats();
         record_exec_counters(obs, &stats.exec);
 
         SweepReport {
@@ -487,6 +488,7 @@ pub(crate) fn spawn_watchdog(
 pub(crate) fn record_exec_counters(obs: &mut Observer, exec: &simgen_sim::ExecStats) {
     obs.recorder.add(Counter::SimExecCalls, exec.exec_calls);
     obs.recorder.add(Counter::SimExecWords, exec.exec_words);
+    obs.recorder.add(Counter::SimPatterns, exec.exec_patterns);
     obs.recorder
         .add(Counter::ConeExecCalls, exec.cone_exec_calls);
     obs.recorder.add(Counter::ScalarPushes, exec.scalar_pushes);

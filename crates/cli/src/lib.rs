@@ -1000,7 +1000,7 @@ fails the check are quarantined, never merged. --fault-seed N
 (requires building with --features fault-inject) deterministically
 injects worker faults for chaos testing; sweep only.
 
-Observability: --stats-json PATH writes a simgen-run-report/2 JSON
+Observability: --stats-json PATH writes a simgen-run-report/3 JSON
 document (schema: docs/observability.md); --trace PATH writes the
 event trace as JSON Lines; --profile prints per-phase folded stacks
 on stdout (pipe into a flamegraph tool).

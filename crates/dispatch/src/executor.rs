@@ -88,6 +88,10 @@ pub struct DispatchOutcome<R, S> {
     pub workers: Vec<WorkerReport<S>>,
 }
 
+/// What one pool task hands back when its drain loop ends: the
+/// worker's report plus its `(input index, status)` pairs.
+type WorkerOutput<S, R> = (WorkerReport<S>, Vec<(usize, JobStatus<R>)>);
+
 /// Renders a caught panic payload as text.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -265,65 +269,67 @@ where
     let step = &step;
     let expired = &expired;
 
-    let mut workers: Vec<WorkerReport<S>> = Vec::with_capacity(jobs);
-    let mut indexed: Vec<(usize, JobStatus<R>)> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut state = init(w);
-                    let mut out: Vec<(usize, JobStatus<R>)> = Vec::new();
-                    let mut executed = 0u64;
-                    let mut stolen = 0u64;
-                    let mut panics = 0u64;
-                    loop {
-                        // Stop *starting* work once the deadline is
-                        // gone; unclaimed jobs surface as Skipped.
-                        if expired() {
-                            break;
-                        }
-                        // Own shard first (front), then steal (back).
-                        let job = queues[w]
-                            .lock()
-                            .expect("queue poisoned")
-                            .pop_front()
-                            .or_else(|| {
-                                (1..jobs).find_map(|off| {
-                                    let victim = (w + off) % jobs;
-                                    let job =
-                                        queues[victim].lock().expect("queue poisoned").pop_back();
-                                    if job.is_some() {
-                                        stolen += 1;
-                                    }
-                                    job
-                                })
-                            });
-                        let Some((idx, item)) = job else { break };
-                        out.push((
-                            idx,
-                            run_step(w, idx, &mut state, item, init, step, &mut panics, trace),
-                        ));
-                        executed += 1;
+    // Workers are *logical*: each is one task on the persistent
+    // shared pool, not a freshly spawned OS thread. The pool joins
+    // every task before `scope` returns, so the borrows of `queues`,
+    // `init`, `step` and `trace` below are sound.
+    let collected: Mutex<Vec<WorkerOutput<S, R>>> = Mutex::new(Vec::with_capacity(jobs));
+    crate::pool::shared_pool().scope(|scope| {
+        for w in 0..jobs {
+            let collected = &collected;
+            scope.spawn(move || {
+                let mut state = init(w);
+                let mut out: Vec<(usize, JobStatus<R>)> = Vec::new();
+                let mut executed = 0u64;
+                let mut stolen = 0u64;
+                let mut panics = 0u64;
+                loop {
+                    // Stop *starting* work once the deadline is
+                    // gone; unclaimed jobs surface as Skipped.
+                    if expired() {
+                        break;
                     }
-                    (
-                        WorkerReport {
-                            worker: w,
-                            executed,
-                            stolen,
-                            panics,
-                            state,
-                        },
-                        out,
-                    )
-                })
-            })
-            .collect();
-        for handle in handles {
-            let (report, out) = handle.join().expect("worker thread died outside step");
-            workers.push(report);
-            indexed.extend(out);
+                    // Own shard first (front), then steal (back).
+                    let job = queues[w]
+                        .lock()
+                        .expect("queue poisoned")
+                        .pop_front()
+                        .or_else(|| {
+                            (1..jobs).find_map(|off| {
+                                let victim = (w + off) % jobs;
+                                let job = queues[victim].lock().expect("queue poisoned").pop_back();
+                                if job.is_some() {
+                                    stolen += 1;
+                                }
+                                job
+                            })
+                        });
+                    let Some((idx, item)) = job else { break };
+                    out.push((
+                        idx,
+                        run_step(w, idx, &mut state, item, init, step, &mut panics, trace),
+                    ));
+                    executed += 1;
+                }
+                collected.lock().expect("collector poisoned").push((
+                    WorkerReport {
+                        worker: w,
+                        executed,
+                        stolen,
+                        panics,
+                        state,
+                    },
+                    out,
+                ));
+            });
         }
     });
+    let mut workers: Vec<WorkerReport<S>> = Vec::with_capacity(jobs);
+    let mut indexed: Vec<(usize, JobStatus<R>)> = Vec::with_capacity(items.len());
+    for (report, out) in collected.into_inner().expect("collector poisoned") {
+        workers.push(report);
+        indexed.extend(out);
+    }
     workers.sort_by_key(|r| r.worker);
     // Any job no worker reached (deadline) fills in as Skipped.
     let mut results: Vec<JobStatus<R>> = (0..items.len()).map(|_| JobStatus::Skipped).collect();

@@ -24,6 +24,7 @@ mod executor;
 mod fair;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+mod pool;
 mod schedule;
 
 pub use deadline::{Deadline, Progress, Watchdog};
@@ -31,4 +32,5 @@ pub use executor::{run_ordered, run_ordered_traced, DispatchOutcome, JobStatus, 
 pub use fair::{FairQueue, PushError};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultAction, FaultPlan};
+pub use pool::{shared_pool, Scope, WorkerPool};
 pub use schedule::{Attempt, BudgetSchedule, Escalation};

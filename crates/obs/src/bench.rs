@@ -23,8 +23,11 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Schema identifier written into every bench report.
-    pub const SCHEMA: &'static str = "simgen-bench-report/1";
+    /// Schema identifier written into every bench report. Version 2
+    /// added the scaling-efficiency and SIMD metrics emitted by
+    /// `sim_throughput` (`scaling_efficiency_jobs{2,4,8}`,
+    /// `simd_width`, `simd_speedup`); the structure is unchanged.
+    pub const SCHEMA: &'static str = "simgen-bench-report/2";
 
     /// A report with the given benchmark name and no fields yet.
     pub fn new(name: &str) -> BenchReport {

@@ -76,6 +76,17 @@ impl Json {
         }
     }
 
+    /// The value as an f64 if it is any numeric variant (integers are
+    /// widened — bench metrics mix counts and rates).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {

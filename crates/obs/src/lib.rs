@@ -16,11 +16,11 @@
 //!   writable from any thread, drained to JSONL. Traces are
 //!   diagnostics: explicitly outside the determinism guarantee.
 //! * [`RunReport`] — the versioned JSON document
-//!   (`simgen-run-report/2`) every run can emit, with a
+//!   (`simgen-run-report/3`) every run can emit, with a
 //!   [`deterministic_json`](RunReport::deterministic_json) form that
 //!   strips timing (`*_ms`) and scheduling fields and is required to
 //!   be byte-identical for any worker count. [`BenchReport`]
-//!   (`simgen-bench-report/1`) is the analogous schema for
+//!   (`simgen-bench-report/2`) is the analogous schema for
 //!   `BENCH_*.json` perf artifacts.
 //!
 //! The whole crate is plain std — no serde, no dependencies — because

@@ -117,6 +117,8 @@ enum_with_names! {
         SimExecCalls => "sim_exec_calls",
         /// Lane-words computed across all kernel executions.
         SimExecWords => "sim_exec_words",
+        /// Patterns appended across all kernel block executions.
+        SimPatterns => "sim_patterns",
         /// Cone-restricted executions among `sim_exec_calls`.
         ConeExecCalls => "cone_exec_calls",
         /// Single patterns pushed through the scalar path.

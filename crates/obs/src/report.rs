@@ -1,7 +1,7 @@
 //! The versioned `RunReport` document: one JSON file per run unifying
 //! sweep, SAT, dispatch, simulation, and iteration statistics.
 //!
-//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/2"`; version
+//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/3"`; version
 //! 2 added the proof-cache and service counters). The
 //! field-by-field specification lives in `docs/observability.md`; this
 //! module is the single source of truth for serialization
@@ -195,10 +195,20 @@ pub struct SimSection {
     pub exec_calls: u64,
     /// Lane-words computed.
     pub exec_words: u64,
+    /// Patterns appended across block executions.
+    pub exec_patterns: u64,
     /// Cone-restricted executions among `exec_calls`.
     pub cone_exec_calls: u64,
     /// Scalar single-pattern pushes.
     pub scalar_pushes: u64,
+    /// Active SIMD width in bits (64/256/512). Host-dependent, so it
+    /// lives under the stripped scheduling keys.
+    pub simd_width_bits: u64,
+    /// Worker-pool dispatches by `simulate_lanes` (scheduling-
+    /// dependent: varies with `--jobs`; stripped).
+    pub pool_dispatches: u64,
+    /// Worker tasks enqueued by those dispatches (stripped).
+    pub pool_tasks: u64,
 }
 
 /// Trace-ring summary (scheduling-dependent; diagnostics only).
@@ -242,8 +252,20 @@ pub struct RunReport {
 }
 
 /// Keys stripped (with their subtrees) from the deterministic form,
-/// in addition to every key with an `_ms` suffix.
-const SCHEDULING_KEYS: &[&str] = &["argv", "jobs", "steals", "workers", "trace", "t_us"];
+/// in addition to every key with an `_ms` suffix. `simd_width_bits`
+/// is host-dependent and `pool_*` vary with `--jobs`, so all three
+/// join the scheduling keys.
+const SCHEDULING_KEYS: &[&str] = &[
+    "argv",
+    "jobs",
+    "steals",
+    "workers",
+    "trace",
+    "t_us",
+    "simd_width_bits",
+    "pool_dispatches",
+    "pool_tasks",
+];
 
 /// Removes timing and scheduling-dependent fields in place. Public so
 /// tests can normalize full reports parsed back from disk.
@@ -268,9 +290,10 @@ pub fn strip_nondeterministic(json: &mut Json) {
 
 impl RunReport {
     /// Schema identifier written into every report. Version 2 added
-    /// the proof-cache counters (`cache_*`, `jobs_rejected`) to the
-    /// `counters` object; the structure is otherwise unchanged.
-    pub const SCHEMA: &'static str = "simgen-run-report/2";
+    /// the proof-cache counters (`cache_*`, `jobs_rejected`); version
+    /// 3 added the `sim_patterns` counter, `sim.exec_patterns`, and
+    /// the stripped `sim.simd_width_bits`/`sim.pool_*` diagnostics.
+    pub const SCHEMA: &'static str = "simgen-run-report/3";
 
     /// Serializes the full report.
     pub fn to_json(&self) -> Json {
@@ -412,8 +435,12 @@ impl RunReport {
             s.push("kernel", kernel);
             s.push("exec_calls", Json::U64(sim.exec_calls));
             s.push("exec_words", Json::U64(sim.exec_words));
+            s.push("exec_patterns", Json::U64(sim.exec_patterns));
             s.push("cone_exec_calls", Json::U64(sim.cone_exec_calls));
             s.push("scalar_pushes", Json::U64(sim.scalar_pushes));
+            s.push("simd_width_bits", Json::U64(sim.simd_width_bits));
+            s.push("pool_dispatches", Json::U64(sim.pool_dispatches));
+            s.push("pool_tasks", Json::U64(sim.pool_tasks));
             root.push("sim", s);
         }
 
@@ -626,10 +653,20 @@ impl RunReport {
             for key in [
                 "exec_calls",
                 "exec_words",
+                "exec_patterns",
                 "cone_exec_calls",
                 "scalar_pushes",
             ] {
                 expect_u64(&mut errors, sim, "sim", key);
+            }
+            // Stripped from the deterministic form, so optional; when
+            // present they must be non-negative integers.
+            for key in ["simd_width_bits", "pool_dispatches", "pool_tasks"] {
+                if let Some(v) = sim.get(key) {
+                    if v.as_u64().is_none() {
+                        errors.push(format!("sim: field {key} is not a non-negative integer"));
+                    }
+                }
             }
         }
 
@@ -728,6 +765,12 @@ mod tests {
             sim: Some(SimSection {
                 kernel_nodes: 40,
                 exec_calls: 6,
+                exec_patterns: 384,
+                simd_width_bits: 256,
+                // Scheduling-dependent: the parallel path engages a
+                // different number of times per --jobs value.
+                pool_dispatches: jobs,
+                pool_tasks: jobs * 3,
                 ..SimSection::default()
             }),
             counters: vec![(Counter::ProofsDispatched.name(), 10)],
@@ -759,6 +802,12 @@ mod tests {
         assert!(!text.contains("\"workers\""));
         assert!(!text.contains("\"argv\""));
         assert!(!text.contains("\"trace\""));
+        assert!(!text.contains("\"pool_dispatches\""));
+        assert!(!text.contains("\"simd_width_bits\""));
+        assert!(
+            text.contains("\"exec_patterns\""),
+            "deterministic field kept"
+        );
     }
 
     #[test]

@@ -418,7 +418,7 @@ mod tests {
                 po_index: 3,
                 witness: vec![true, false, true],
             },
-            "{\n  \"schema\": \"simgen-run-report/2\"\n}\n",
+            "{\n  \"schema\": \"simgen-run-report/3\"\n}\n",
         );
         let json = Json::parse(&line).unwrap();
         assert_eq!(json.get("cache").and_then(Json::as_str), Some("hit"));
@@ -432,7 +432,7 @@ mod tests {
                 .unwrap()
                 .get("schema")
                 .and_then(Json::as_str),
-            Some("simgen-run-report/2")
+            Some("simgen-run-report/3")
         );
         let err = error_response(None, "bad request json: oops");
         assert_eq!(Json::parse(&err).unwrap().get("id"), Some(&Json::Null));

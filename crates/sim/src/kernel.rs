@@ -11,25 +11,66 @@
 //!
 //! Execution is cache-blocked: the pattern words are processed in
 //! blocks of `BLOCK_WORDS` (16), with all nodes evaluated per block, so
-//! the fanin lanes a node reads are still resident in cache. Large
-//! blocks can additionally be split across worker threads — each
-//! worker runs the same levelized tape over a disjoint word range, so
-//! the assembled lanes are byte-identical for any worker count.
+//! the fanin lanes a node reads are still resident in cache. Within a
+//! block each kernel step runs [`SimdWord`]-wide — 1, 4 or 8 words per
+//! operation depending on the active [`SimdLevel`] — with ragged block
+//! tails finished scalar.
+//!
+//! Large pattern sets are additionally split across the persistent
+//! [`simgen_dispatch::shared_pool`]: all lanes are allocated up front
+//! at full length, every worker runs the same levelized order over a
+//! disjoint, cache-line-aligned word range of that shared allocation
+//! (a node's word `w` depends only on fanin words `w`, so range-local
+//! execution is race-free by construction), and each worker keeps its
+//! scratch registers in a thread-local arena. No splice, no shared
+//! scratch, no cross-worker cache-line writes — the result is
+//! byte-identical for any worker count because every word of every
+//! lane is computed by exactly one deterministic expression.
 
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use simgen_dispatch::{run_ordered, JobStatus};
+use simgen_dispatch::shared_pool;
 use simgen_netlist::{LutNetwork, NodeId, NodeKind, TruthTable};
 
 use crate::patterns::PatternSet;
+use crate::simd::{active_simd_level, SimdLevel, SimdWord, U64x4, U64x8, Unroll};
 
-/// Words processed per cache block: 64 nodes × 16 words × 8 bytes is
-/// 8 KiB of hot lanes per 64-node stretch, comfortably inside L1.
-pub(crate) const BLOCK_WORDS: usize = 16;
+/// Words processed per cache block. 64 words (512 B per lane) keeps a
+/// couple hundred hot lanes inside L2 while giving every node eight
+/// full 512-bit pack iterations per block — wide enough that the
+/// per-node fixed costs (opcode dispatch, lane-pointer loads, slice
+/// setup) amortize instead of drowning the SIMD win. Must stay a
+/// multiple of [`LINE_WORDS`] so scratch registers remain cache-line
+/// aligned.
+pub(crate) const BLOCK_WORDS: usize = 64;
 
 /// Minimum pattern words each worker must receive before the parallel
-/// path engages; below this the splice overhead dominates.
+/// path engages; below this the dispatch overhead dominates.
 pub(crate) const MIN_WORDS_PER_JOB: usize = 4;
+
+/// `u64` words per 64-byte cache line. Worker range boundaries are
+/// rounded up to this so no two workers ever write the same line.
+const LINE_WORDS: usize = 8;
+
+/// Widest Shannon tape the register-resident path handles. Tapes
+/// needing at most this many scratch registers evaluate pack-by-pack
+/// with every intermediate held in a `[W; REG_TAPE_MAX]` on the stack
+/// — no arena stores, no result copy — which is nearly every tape a
+/// 6-LUT produces. Wider tapes (pathological truth tables only) fall
+/// back to the arena path.
+const REG_TAPE_MAX: usize = 32;
+
+/// Pack columns evaluated per op-list walk in the register-resident
+/// tape path, amortizing op decode without spilling the register file
+/// out of L1 (`REG_TAPE_MAX × TAPE_UNROLL` packs ≤ 8 KiB at 512-bit).
+const TAPE_UNROLL: usize = 4;
+
+/// Node-words (`order.len() * num_words`) below which `simulate_lanes`
+/// always runs inline on the caller: a small resim finishes faster
+/// than a pool handoff, and the sweeps' cone-restricted flushes are
+/// full of such calls.
+const PARALLEL_MIN_WORK: usize = 4096;
 
 /// A fused two-input bitwise operation. `AndNot`/`OrNot` absorb one
 /// input complement so every 2-support function that is not a
@@ -55,18 +96,87 @@ pub enum BinOp {
 }
 
 impl BinOp {
+    /// Applies the fused op to one pack.
     #[inline(always)]
-    fn apply(self, a: u64, b: u64) -> u64 {
+    fn apply_w<W: SimdWord>(self, a: W, b: W) -> W {
         match self {
-            BinOp::And => a & b,
-            BinOp::Or => a | b,
-            BinOp::Xor => a ^ b,
-            BinOp::Nand => !(a & b),
-            BinOp::Nor => !(a | b),
-            BinOp::Xnor => !(a ^ b),
-            BinOp::AndNot => a & !b,
-            BinOp::OrNot => a | !b,
+            BinOp::And => a.and(b),
+            BinOp::Or => a.or(b),
+            BinOp::Xor => a.xor(b),
+            BinOp::Nand => a.and(b).not(),
+            BinOp::Nor => a.or(b).not(),
+            BinOp::Xnor => a.xor(b).not(),
+            BinOp::AndNot => a.and(b.not()),
+            BinOp::OrNot => a.or(b.not()),
         }
+    }
+
+    /// Applies the fused op over whole slices, one [`SimdWord`] pack
+    /// per step. The `self` dispatch happens once per slice, keeping
+    /// the inner loops monomorphic.
+    #[inline(always)]
+    fn apply_slices<W: SimdWord>(self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        match self {
+            BinOp::And => map2::<W>(a, b, out, |x, y| x.and(y)),
+            BinOp::Or => map2::<W>(a, b, out, |x, y| x.or(y)),
+            BinOp::Xor => map2::<W>(a, b, out, |x, y| x.xor(y)),
+            BinOp::Nand => map2::<W>(a, b, out, |x, y| x.and(y).not()),
+            BinOp::Nor => map2::<W>(a, b, out, |x, y| x.or(y).not()),
+            BinOp::Xnor => map2::<W>(a, b, out, |x, y| x.xor(y).not()),
+            BinOp::AndNot => map2::<W>(a, b, out, |x, y| x.and(y.not())),
+            BinOp::OrNot => map2::<W>(a, b, out, |x, y| x.or(y.not())),
+        }
+    }
+}
+
+/// `out[i] = f(a[i])`, one pack per step. Slice lengths must match and
+/// be multiples of `W::LANES` (the block loop guarantees this).
+#[inline(always)]
+fn map1<W: SimdWord>(a: &[u64], out: &mut [u64], f: impl Fn(W) -> W) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(out.len() % W::LANES, 0);
+    let mut i = 0;
+    while i < out.len() {
+        f(W::load(&a[i..])).store(&mut out[i..]);
+        i += W::LANES;
+    }
+}
+
+/// `out[i] = f(a[i], b[i])`, one pack per step.
+#[inline(always)]
+fn map2<W: SimdWord>(a: &[u64], b: &[u64], out: &mut [u64], f: impl Fn(W, W) -> W) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(b.len(), out.len());
+    debug_assert_eq!(out.len() % W::LANES, 0);
+    let mut i = 0;
+    while i < out.len() {
+        f(W::load(&a[i..]), W::load(&b[i..])).store(&mut out[i..]);
+        i += W::LANES;
+    }
+}
+
+/// `out[i] = f(a[i], b[i], c[i])`, one pack per step.
+#[inline(always)]
+fn map3<W: SimdWord>(a: &[u64], b: &[u64], c: &[u64], out: &mut [u64], f: impl Fn(W, W, W) -> W) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(b.len(), out.len());
+    debug_assert_eq!(c.len(), out.len());
+    debug_assert_eq!(out.len() % W::LANES, 0);
+    let mut i = 0;
+    while i < out.len() {
+        f(W::load(&a[i..]), W::load(&b[i..]), W::load(&c[i..])).store(&mut out[i..]);
+        i += W::LANES;
+    }
+}
+
+/// Fills `out` with a constant pack.
+#[inline(always)]
+fn fill_w<W: SimdWord>(out: &mut [u64], v: W) {
+    debug_assert_eq!(out.len() % W::LANES, 0);
+    let mut i = 0;
+    while i < out.len() {
+        v.store(&mut out[i..]);
+        i += W::LANES;
     }
 }
 
@@ -155,6 +265,21 @@ pub struct KernelSummary {
     pub scratch: u64,
 }
 
+/// Scheduling-dependent execution diagnostics of one [`CompiledNet`]:
+/// how often the parallel path engaged and how many worker tasks it
+/// enqueued. Unlike [`crate::ExecStats`] these values *do* depend on
+/// `jobs` and input sizes crossing the inline threshold, so reports
+/// keep them under the scheduling keys that `strip_nondeterministic`
+/// removes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `simulate_lanes` calls that dispatched to the worker pool
+    /// (calls below the inline threshold contribute nothing).
+    pub dispatches: u64,
+    /// Worker tasks enqueued across those dispatches.
+    pub tasks: u64,
+}
+
 /// A network compiled to per-node simulation kernels.
 #[derive(Debug)]
 pub struct CompiledNet {
@@ -164,6 +289,111 @@ pub struct CompiledNet {
     ops: Vec<Op>,
     /// Scratch registers needed by the widest tape.
     num_scratch: usize,
+    /// Parallel-path engagements (see [`PoolStats`]).
+    sim_dispatches: AtomicU64,
+    /// Worker tasks enqueued by those engagements.
+    sim_tasks: AtomicU64,
+}
+
+/// One 64-byte cache line of scratch words. The arena is a `Vec` of
+/// these so every scratch register starts on its own line.
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+struct CacheLine([u64; LINE_WORDS]);
+
+thread_local! {
+    /// Per-thread scratch arena for Shannon-tape registers: grown once
+    /// to the widest tape seen on this thread, then reused by every
+    /// `simulate_lanes` chunk the thread executes. Replaces the
+    /// per-call `vec![vec![0u64; BLOCK_WORDS]; num_scratch]` churn.
+    static SCRATCH: RefCell<Vec<CacheLine>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Shared view of the preallocated full-length lanes, passed to
+/// workers as raw pointers. A null entry means the node is outside
+/// the simulated `order` and has no lane.
+///
+/// Safety contract (upheld by `simulate_lanes_at`): all pointers stay
+/// valid for the table's lifetime, every present lane is `words` long,
+/// and concurrent workers only touch disjoint word ranges — each
+/// worker evaluates the whole levelized order over its own range, so
+/// even its *reads* stay range-local.
+struct LaneTable {
+    ptrs: Vec<*mut u64>,
+    words: usize,
+}
+
+// SAFETY: see the struct docs — range disjointness makes concurrent
+// access data-race-free.
+unsafe impl Send for LaneTable {}
+unsafe impl Sync for LaneTable {}
+
+impl LaneTable {
+    fn new(lanes: &mut [Vec<u64>], words: usize) -> LaneTable {
+        let ptrs = lanes
+            .iter_mut()
+            .map(|lane| {
+                if lane.is_empty() {
+                    std::ptr::null_mut()
+                } else {
+                    debug_assert_eq!(lane.len(), words);
+                    lane.as_mut_ptr()
+                }
+            })
+            .collect();
+        LaneTable { ptrs, words }
+    }
+
+    /// Reads lane `idx` over `[x0, x1)`.
+    ///
+    /// Safety: caller must not hold a `write` slice of the same node,
+    /// and `[x0, x1)` must lie inside the caller's word range.
+    #[inline(always)]
+    unsafe fn read(&self, idx: usize, x0: usize, x1: usize) -> &[u64] {
+        debug_assert!(x0 <= x1 && x1 <= self.words);
+        let ptr = self.ptrs[idx];
+        debug_assert!(!ptr.is_null(), "read of absent lane {idx}");
+        std::slice::from_raw_parts(ptr.add(x0), x1 - x0)
+    }
+
+    /// Writes lane `idx` over `[x0, x1)`.
+    ///
+    /// Safety: `[x0, x1)` must lie inside the caller's word range, and
+    /// each node is written at most once per range (levelized order).
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn write(&self, idx: usize, x0: usize, x1: usize) -> &mut [u64] {
+        debug_assert!(x0 <= x1 && x1 <= self.words);
+        let ptr = self.ptrs[idx];
+        debug_assert!(!ptr.is_null(), "write of absent lane {idx}");
+        std::slice::from_raw_parts_mut(ptr.add(x0), x1 - x0)
+    }
+}
+
+/// Splits `[0, num_words)` into up to `jobs` balanced ranges whose
+/// interior boundaries are rounded up to cache-line multiples
+/// ([`LINE_WORDS`]), so adjacent workers never write the same line.
+fn plan_ranges(num_words: usize, jobs: usize) -> Vec<(usize, usize)> {
+    let max_jobs = (num_words / MIN_WORDS_PER_JOB.max(1)).max(1);
+    let jobs = jobs.max(1).min(max_jobs);
+    if jobs == 1 {
+        return vec![(0, num_words)];
+    }
+    let mut ranges = Vec::with_capacity(jobs);
+    let mut start = 0usize;
+    for j in 0..jobs {
+        let end = if j + 1 == jobs {
+            num_words
+        } else {
+            (num_words * (j + 1) / jobs).div_ceil(LINE_WORDS) * LINE_WORDS
+        }
+        .min(num_words);
+        if end > start {
+            ranges.push((start, end));
+        }
+        start = end;
+    }
+    ranges
 }
 
 /// Tape-construction state for one node.
@@ -351,6 +581,8 @@ impl CompiledNet {
             kernels,
             ops,
             num_scratch,
+            sim_dispatches: AtomicU64::new(0),
+            sim_tasks: AtomicU64::new(0),
         }
     }
 
@@ -387,94 +619,87 @@ impl CompiledNet {
         summary
     }
 
+    /// Scheduling-dependent pool diagnostics accumulated by
+    /// [`CompiledNet::simulate_lanes`] calls on this net.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            dispatches: self.sim_dispatches.load(Ordering::Relaxed),
+            tasks: self.sim_tasks.load(Ordering::Relaxed),
+        }
+    }
+
     /// Simulates `patterns` over the nodes listed in `order` (which
     /// must be topologically sorted and closed under fanins, e.g. a
-    /// [`simgen_netlist::levels::levelized_order`] of a fanin cone).
+    /// [`simgen_netlist::levels::levelized_order`] of a fanin cone),
+    /// at the process-wide [`active_simd_level`].
     ///
     /// Returns one lane per node — empty for nodes outside `order` —
     /// with tail bits beyond `patterns.num_patterns()` masked to zero.
-    /// With `jobs > 1` and enough pattern words, the word range is
-    /// split across a worker pool; every worker runs the identical
-    /// levelized tape over its disjoint slice, so the spliced result
-    /// is byte-identical to the serial one.
     pub fn simulate_lanes(
-        self: &Arc<Self>,
+        &self,
         patterns: &PatternSet,
         order: &[NodeId],
         jobs: usize,
     ) -> Vec<Vec<u64>> {
-        let num_words = patterns.num_words();
-        let jobs = jobs.max(1).min(num_words / MIN_WORDS_PER_JOB.max(1)).max(1);
-        if jobs == 1 {
-            return self.execute_chunk(patterns, order, 0, num_words);
-        }
-        // Balanced word ranges: the first `extra` chunks get one more.
-        let base = num_words / jobs;
-        let extra = num_words % jobs;
-        let mut ranges = Vec::with_capacity(jobs);
-        let mut start = 0usize;
-        for j in 0..jobs {
-            let len = base + usize::from(j < extra);
-            ranges.push((start, start + len));
-            start += len;
-        }
-        let outcome = run_ordered(
-            jobs,
-            ranges,
-            None,
-            |_| (),
-            |_, &(w0, w1)| self.execute_chunk(patterns, order, w0, w1),
-        );
-        let mut parts = Vec::with_capacity(jobs);
-        for status in outcome.results {
-            match status {
-                JobStatus::Done(lanes) => parts.push(lanes),
-                // No deadline is passed, so jobs are never skipped; a
-                // panic in the kernel is a bug worth propagating.
-                JobStatus::Panicked { message } => {
-                    panic!("simulation worker panicked: {message}")
-                }
-                JobStatus::Skipped => unreachable!("no deadline on simulation dispatch"),
-            }
-        }
-        let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); self.num_nodes];
-        for &id in order {
-            let lane = &mut lanes[id.index()];
-            lane.reserve_exact(num_words);
-            for part in &mut parts {
-                lane.append(&mut part[id.index()]);
-            }
-        }
-        lanes
+        self.simulate_lanes_at(patterns, order, jobs, active_simd_level())
     }
 
-    /// Serial cache-blocked execution over the word range `[w0, w1)`.
-    /// Returns range-local lanes (length `w1 - w0`) for `order` nodes.
-    fn execute_chunk(
+    /// [`CompiledNet::simulate_lanes`] with an explicit SIMD width —
+    /// the hook differential tests and the widening benchmark use to
+    /// pin a level regardless of detection or `SIMGEN_SIMD`.
+    ///
+    /// All lanes are preallocated at full length; with `jobs > 1` and
+    /// enough work, disjoint cache-line-aligned word ranges go to the
+    /// persistent worker pool (the caller helps). Every word of every
+    /// lane is computed by exactly one deterministic expression, so
+    /// the result is byte-identical for any `jobs` *and* any `level`.
+    pub fn simulate_lanes_at(
         &self,
         patterns: &PatternSet,
         order: &[NodeId],
-        w0: usize,
-        w1: usize,
+        jobs: usize,
+        level: SimdLevel,
     ) -> Vec<Vec<u64>> {
-        let len = w1 - w0;
+        let num_words = patterns.num_words();
         let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); self.num_nodes];
         for &id in order {
-            lanes[id.index()] = vec![0u64; len];
+            lanes[id.index()] = vec![0u64; num_words];
         }
-        let mut scratch = vec![vec![0u64; BLOCK_WORDS]; self.num_scratch];
-        let mut b0 = w0;
-        while b0 < w1 {
-            let b1 = (b0 + BLOCK_WORDS).min(w1);
-            for &id in order {
-                self.exec_node(patterns, &mut lanes, &mut scratch, id, w0, b0, b1);
-            }
-            b0 = b1;
+        if num_words == 0 {
+            return lanes;
+        }
+        // Small-input fast path: a pool handoff costs more than just
+        // computing a tiny resim right here on the caller. Larger
+        // inputs still cap the fan-out at the execution resources that
+        // actually exist (pool workers + the helping caller):
+        // oversubscribing only slices the words thinner, and each
+        // extra range re-walks the whole node order for less work.
+        let jobs = if order.len().saturating_mul(num_words) < PARALLEL_MIN_WORK {
+            1
+        } else {
+            jobs.min(shared_pool().threads() + 1)
+        };
+        let table = LaneTable::new(&mut lanes, num_words);
+        let ranges = plan_ranges(num_words, jobs);
+        if ranges.len() <= 1 {
+            self.execute_range(patterns, &table, order, 0, num_words, level);
+        } else {
+            self.sim_dispatches.fetch_add(1, Ordering::Relaxed);
+            self.sim_tasks
+                .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+            let table = &table;
+            shared_pool().scope(|scope| {
+                for &(w0, w1) in &ranges {
+                    scope.spawn(move || {
+                        self.execute_range(patterns, table, order, w0, w1, level);
+                    });
+                }
+            });
         }
         // Mask the tail of the final global word so signatures stay
         // comparable; PI lanes inherit the mask from the pattern set.
-        if w1 == patterns.num_words() {
-            let mask = tail_mask(patterns.num_patterns());
+        let mask = tail_mask(patterns.num_patterns());
+        if mask != u64::MAX {
             for &id in order {
                 if let Some(last) = lanes[id.index()].last_mut() {
                     *last &= mask;
@@ -484,125 +709,289 @@ impl CompiledNet {
         lanes
     }
 
-    /// Evaluates one node's kernel over block words `[b0, b1)`.
-    /// `base` is the chunk origin: lane slot `w - base` holds global
-    /// word `w`.
-    #[inline]
-    #[allow(clippy::too_many_arguments)]
-    fn exec_node(
+    /// Executes the word range `[w0, w1)` at `level`, borrowing this
+    /// thread's scratch arena. On x86-64 the wide levels route through
+    /// `#[target_feature]` wrappers when the CPU has the feature, and
+    /// fall back to the portable pack code when it does not (a forced
+    /// `SIMGEN_SIMD=wide512` on an AVX2 machine still computes the
+    /// same bytes, just without 512-bit instructions).
+    fn execute_range(
         &self,
         patterns: &PatternSet,
-        lanes: &mut [Vec<u64>],
-        scratch: &mut [Vec<u64>],
+        table: &LaneTable,
+        order: &[NodeId],
+        w0: usize,
+        w1: usize,
+        level: SimdLevel,
+    ) {
+        SCRATCH.with(|cell| {
+            let mut arena = cell.borrow_mut();
+            let lines = self.num_scratch * (BLOCK_WORDS / LINE_WORDS);
+            if arena.len() < lines {
+                arena.resize(lines, CacheLine([0; LINE_WORDS]));
+            }
+            // SAFETY: CacheLine is repr(C) over [u64; LINE_WORDS], so
+            // the arena is a contiguous run of initialised u64s.
+            let scratch: &mut [u64] = unsafe {
+                std::slice::from_raw_parts_mut(
+                    arena.as_mut_ptr().cast::<u64>(),
+                    arena.len() * LINE_WORDS,
+                )
+            };
+            match level {
+                SimdLevel::Scalar => {
+                    self.execute_range_w::<u64>(patterns, table, order, w0, w1, scratch)
+                }
+                SimdLevel::Wide256 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        // SAFETY: avx2 confirmed present at runtime.
+                        return unsafe {
+                            self.execute_range_avx2(patterns, table, order, w0, w1, scratch)
+                        };
+                    }
+                    self.execute_range_w::<U64x4>(patterns, table, order, w0, w1, scratch)
+                }
+                SimdLevel::Wide512 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if std::arch::is_x86_feature_detected!("avx512f") {
+                        // SAFETY: avx512f confirmed present at runtime.
+                        return unsafe {
+                            self.execute_range_avx512(patterns, table, order, w0, w1, scratch)
+                        };
+                    }
+                    self.execute_range_w::<U64x8>(patterns, table, order, w0, w1, scratch)
+                }
+            }
+        })
+    }
+
+    /// `execute_range_w::<U64x4>` compiled with AVX2 enabled, turning
+    /// the portable 4-lane array loops into `ymm` instructions.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn execute_range_avx2(
+        &self,
+        patterns: &PatternSet,
+        table: &LaneTable,
+        order: &[NodeId],
+        w0: usize,
+        w1: usize,
+        scratch: &mut [u64],
+    ) {
+        self.execute_range_w::<U64x4>(patterns, table, order, w0, w1, scratch)
+    }
+
+    /// `execute_range_w::<U64x8>` compiled with AVX-512F enabled.
+    ///
+    /// # Safety
+    /// The CPU must support AVX-512F.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn execute_range_avx512(
+        &self,
+        patterns: &PatternSet,
+        table: &LaneTable,
+        order: &[NodeId],
+        w0: usize,
+        w1: usize,
+        scratch: &mut [u64],
+    ) {
+        self.execute_range_w::<U64x8>(patterns, table, order, w0, w1, scratch)
+    }
+
+    /// Cache-blocked execution of `[w0, w1)`, `W::LANES` words per
+    /// step. A block tail shorter than a pack finishes scalar — only
+    /// the last block of a range can be ragged, so the overwhelming
+    /// majority of words go through the wide path.
+    ///
+    /// `#[inline(always)]` (with the whole call chain below it) is
+    /// what lets the `#[target_feature]` wrappers propagate their
+    /// enabled features into these loops.
+    #[inline(always)]
+    fn execute_range_w<W: SimdWord>(
+        &self,
+        patterns: &PatternSet,
+        table: &LaneTable,
+        order: &[NodeId],
+        w0: usize,
+        w1: usize,
+        scratch: &mut [u64],
+    ) {
+        let mut b0 = w0;
+        while b0 < w1 {
+            let b1 = (b0 + BLOCK_WORDS).min(w1);
+            let bv = b0 + (b1 - b0) / W::LANES * W::LANES;
+            for &id in order {
+                if bv > b0 {
+                    self.exec_node_w::<W>(patterns, table, scratch, id, b0, bv);
+                }
+                if b1 > bv {
+                    self.exec_node_w::<u64>(patterns, table, scratch, id, bv, b1);
+                }
+            }
+            b0 = b1;
+        }
+    }
+
+    /// Evaluates one node's kernel over words `[x0, x1)`, whose length
+    /// is a multiple of `W::LANES`.
+    #[inline(always)]
+    fn exec_node_w<W: SimdWord>(
+        &self,
+        patterns: &PatternSet,
+        table: &LaneTable,
+        scratch: &mut [u64],
         id: NodeId,
-        base: usize,
-        b0: usize,
-        b1: usize,
+        x0: usize,
+        x1: usize,
     ) {
         let idx = id.index();
-        let (s0, s1) = (b0 - base, b1 - base);
+        let len = x1 - x0;
+        // SAFETY (all table accesses): `[x0, x1)` lies inside this
+        // worker's word range; fanins are distinct nodes already fully
+        // written for this range by the levelized order, and `idx`
+        // itself is written exactly once here.
         match self.kernels[idx] {
             NodeKernel::Pi { index } => {
-                let src = &patterns.lane(index as usize)[b0..b1];
-                lanes[idx][s0..s1].copy_from_slice(src);
+                let src = &patterns.lane(index as usize)[x0..x1];
+                let out = unsafe { table.write(idx, x0, x1) };
+                out.copy_from_slice(src);
             }
             NodeKernel::Const { value } => {
-                lanes[idx][s0..s1].fill(if value { u64::MAX } else { 0 });
+                let out = unsafe { table.write(idx, x0, x1) };
+                fill_w::<W>(out, if value { W::ones() } else { W::zero() });
             }
             NodeKernel::Unary { negate, a } => {
-                let (lo, hi) = lanes.split_at_mut(idx);
-                let av = &lo[a as usize][s0..s1];
-                let out = &mut hi[0][s0..s1];
+                let av = unsafe { table.read(a as usize, x0, x1) };
+                let out = unsafe { table.write(idx, x0, x1) };
                 if negate {
-                    for (o, &x) in out.iter_mut().zip(av) {
-                        *o = !x;
-                    }
+                    map1::<W>(av, out, |x| x.not());
                 } else {
                     out.copy_from_slice(av);
                 }
             }
             NodeKernel::Binary { op, a, b } => {
-                let (lo, hi) = lanes.split_at_mut(idx);
-                let av = &lo[a as usize][s0..s1];
-                let bv = &lo[b as usize][s0..s1];
-                let out = &mut hi[0][s0..s1];
-                // Monomorphic inner loops: the op dispatch happens
-                // once per block, not once per word.
-                macro_rules! lane_loop {
-                    ($f:expr) => {
-                        for (o, (&x, &y)) in out.iter_mut().zip(av.iter().zip(bv)) {
-                            *o = $f(x, y);
-                        }
-                    };
-                }
-                match op {
-                    BinOp::And => lane_loop!(|x, y| x & y),
-                    BinOp::Or => lane_loop!(|x, y| x | y),
-                    BinOp::Xor => lane_loop!(|x, y| x ^ y),
-                    BinOp::Nand => lane_loop!(|x: u64, y: u64| !(x & y)),
-                    BinOp::Nor => lane_loop!(|x: u64, y: u64| !(x | y)),
-                    BinOp::Xnor => lane_loop!(|x: u64, y: u64| !(x ^ y)),
-                    BinOp::AndNot => lane_loop!(|x: u64, y: u64| x & !y),
-                    BinOp::OrNot => lane_loop!(|x: u64, y: u64| x | !y),
-                }
+                let av = unsafe { table.read(a as usize, x0, x1) };
+                let bv = unsafe { table.read(b as usize, x0, x1) };
+                let out = unsafe { table.write(idx, x0, x1) };
+                op.apply_slices::<W>(av, bv, out);
             }
             NodeKernel::Mux { s, t, e } => {
-                let (lo, hi) = lanes.split_at_mut(idx);
-                let sv = &lo[s as usize][s0..s1];
-                let tv = &lo[t as usize][s0..s1];
-                let ev = &lo[e as usize][s0..s1];
-                let out = &mut hi[0][s0..s1];
-                for (w, o) in out.iter_mut().enumerate() {
-                    *o = (sv[w] & tv[w]) | (!sv[w] & ev[w]);
-                }
+                let sv = unsafe { table.read(s as usize, x0, x1) };
+                let tv = unsafe { table.read(t as usize, x0, x1) };
+                let ev = unsafe { table.read(e as usize, x0, x1) };
+                let out = unsafe { table.write(idx, x0, x1) };
+                map3::<W>(sv, tv, ev, out, W::mux);
             }
             NodeKernel::Tape { start, end, out } => {
                 let n = self.num_nodes as u32;
-                let len = s1 - s0;
-                for op in &self.ops[start as usize..end as usize] {
+                let ops = &self.ops[start as usize..end as usize];
+                if self.num_scratch <= REG_TAPE_MAX {
+                    // Register-resident evaluation: intermediates in a
+                    // stack array instead of the arena, the final
+                    // value stored straight to the node lane — no
+                    // scratch traffic, no result copy. Columns are
+                    // `TAPE_UNROLL` packs wide so one walk of the op
+                    // list (decode, operand resolution) is amortized
+                    // over four vector steps.
+                    let stride = W::LANES * TAPE_UNROLL;
+                    let mut x = x0;
+                    while x + stride <= x1 {
+                        eval_tape_column::<Unroll<W, TAPE_UNROLL>>(table, ops, n, out, idx, x);
+                        x += stride;
+                    }
+                    while x < x1 {
+                        eval_tape_column::<W>(table, ops, n, out, idx, x);
+                        x += W::LANES;
+                    }
+                    return;
+                }
+                for op in ops {
                     let dsti = (op.dst - n) as usize;
-                    let (slo, shi) = scratch.split_at_mut(dsti);
-                    let dst = &mut shi[0][..len];
+                    let (slo, shi) = scratch.split_at_mut(dsti * BLOCK_WORDS);
+                    let dst = &mut shi[..len];
                     // SSA guarantee: inputs are node lanes or scratch
                     // registers strictly below `dst`, so `slo` covers
                     // every scratch read.
                     let rd = |reg: u32| -> &[u64] {
                         if reg < n {
-                            &lanes[reg as usize][s0..s1]
+                            unsafe { table.read(reg as usize, x0, x1) }
                         } else {
-                            &slo[(reg - n) as usize][..len]
+                            &slo[(reg - n) as usize * BLOCK_WORDS..][..len]
                         }
                     };
                     match op.kind {
-                        OpKind::Const0 => dst.fill(0),
-                        OpKind::Const1 => dst.fill(u64::MAX),
-                        OpKind::Not => {
-                            let a = rd(op.a);
-                            for (o, &x) in dst.iter_mut().zip(a) {
-                                *o = !x;
-                            }
-                        }
-                        OpKind::Binary(bin) => {
-                            let a = rd(op.a);
-                            let b = rd(op.b);
-                            for (o, (&x, &y)) in dst.iter_mut().zip(a.iter().zip(b)) {
-                                *o = bin.apply(x, y);
-                            }
-                        }
-                        OpKind::Mux => {
-                            let s = rd(op.a);
-                            let t = rd(op.b);
-                            let e = rd(op.c);
-                            for (w, o) in dst.iter_mut().enumerate() {
-                                *o = (s[w] & t[w]) | (!s[w] & e[w]);
-                            }
-                        }
+                        OpKind::Const0 => fill_w::<W>(dst, W::zero()),
+                        OpKind::Const1 => fill_w::<W>(dst, W::ones()),
+                        OpKind::Not => map1::<W>(rd(op.a), dst, |x| x.not()),
+                        OpKind::Binary(bin) => bin.apply_slices::<W>(rd(op.a), rd(op.b), dst),
+                        OpKind::Mux => map3::<W>(rd(op.a), rd(op.b), rd(op.c), dst, W::mux),
                     }
                 }
-                lanes[idx][s0..s1].copy_from_slice(&scratch[out as usize][..len]);
+                let result = &scratch[out as usize * BLOCK_WORDS..][..len];
+                let dst = unsafe { table.write(idx, x0, x1) };
+                dst.copy_from_slice(result);
             }
         }
     }
+}
+
+/// One column of the register-resident tape path: evaluates every op
+/// over words `[x, x + W::LANES)` with intermediates in a stack
+/// register file and stores the result register to node `idx`'s lane.
+///
+/// # Safety contract (inherited from `exec_node_w`)
+/// `[x, x + W::LANES)` lies inside the calling worker's word range and
+/// every fanin the ops read is already written for that range.
+#[inline(always)]
+fn eval_tape_column<W: SimdWord>(
+    table: &LaneTable,
+    ops: &[Op],
+    n: u32,
+    out: u32,
+    idx: usize,
+    x: usize,
+) {
+    // Deliberately uninitialized: zeroing the worst-case register file
+    // (8 KiB at 512-bit × TAPE_UNROLL) per column would cost more than
+    // the tape itself. Sound because tapes are SSA — `TapeBuilder`
+    // only ever emits reads of registers an earlier op wrote, and
+    // `out` is the last op's destination.
+    let mut regs: [std::mem::MaybeUninit<W>; REG_TAPE_MAX] =
+        [std::mem::MaybeUninit::uninit(); REG_TAPE_MAX];
+    for op in ops {
+        macro_rules! rd {
+            ($reg:expr) => {{
+                let reg = $reg;
+                if reg < n {
+                    W::load(unsafe { table.read(reg as usize, x, x + W::LANES) })
+                } else {
+                    debug_assert!(((reg - n) as usize) < REG_TAPE_MAX);
+                    // SAFETY: SSA — written by an earlier op; register
+                    // indices were bounds-checked against
+                    // `num_scratch <= REG_TAPE_MAX` by the caller.
+                    unsafe { regs.get_unchecked((reg - n) as usize).assume_init() }
+                }
+            }};
+        }
+        let v = match op.kind {
+            OpKind::Const0 => W::zero(),
+            OpKind::Const1 => W::ones(),
+            OpKind::Not => rd!(op.a).not(),
+            OpKind::Binary(bin) => bin.apply_w(rd!(op.a), rd!(op.b)),
+            OpKind::Mux => W::mux(rd!(op.a), rd!(op.b), rd!(op.c)),
+        };
+        debug_assert!(((op.dst - n) as usize) < REG_TAPE_MAX);
+        // SAFETY: destination register index < num_scratch <= REG_TAPE_MAX.
+        *unsafe { regs.get_unchecked_mut((op.dst - n) as usize) } = std::mem::MaybeUninit::new(v);
+    }
+    let dst = unsafe { table.write(idx, x, x + W::LANES) };
+    // SAFETY: SSA — `out` is the final op's destination register.
+    unsafe { regs[out as usize].assume_init() }.store(dst);
 }
 
 /// Mask covering the valid bits of the last signature word.
@@ -649,7 +1038,7 @@ mod tests {
     fn compiled_lanes_match_scalar_eval() {
         for (seed, max_k) in [(1u64, 3), (2, 4), (3, 6), (4, 6)] {
             let net = random_network(seed, 6, 40, max_k);
-            let kernel = Arc::new(CompiledNet::compile(&net));
+            let kernel = CompiledNet::compile(&net);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
             let patterns = PatternSet::random(6, 200, &mut rng);
             let lanes = kernel.simulate_lanes(&patterns, &all_nodes(&net), 1);
@@ -716,7 +1105,7 @@ mod tests {
             let tt = TruthTable::from_bits(3, bits).unwrap();
             let f = net.add_lut(pis, tt).unwrap();
             net.add_po(f, "f");
-            let kernel = Arc::new(CompiledNet::compile(&net));
+            let kernel = CompiledNet::compile(&net);
             let lanes = kernel.simulate_lanes(&patterns, &all_nodes(&net), 1);
             for (m, v) in vectors.iter().enumerate() {
                 let expect = net.eval(v)[f.index()];
@@ -729,7 +1118,7 @@ mod tests {
     #[test]
     fn restricted_order_skips_outside_lanes() {
         let net = random_network(9, 5, 30, 4);
-        let kernel = Arc::new(CompiledNet::compile(&net));
+        let kernel = CompiledNet::compile(&net);
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let patterns = PatternSet::random(5, 100, &mut rng);
         let root = net.node_ids().last().unwrap();
@@ -749,7 +1138,7 @@ mod tests {
     #[test]
     fn parallel_lanes_are_byte_identical() {
         let net = random_network(21, 8, 120, 6);
-        let kernel = Arc::new(CompiledNet::compile(&net));
+        let kernel = CompiledNet::compile(&net);
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);
         // Enough words (40) to engage several workers, plus a ragged
         // tail bit count.

@@ -36,13 +36,15 @@ pub mod kernel;
 pub mod patterns;
 pub mod probability;
 pub mod replay;
+pub mod simd;
 pub mod simulator;
 
 pub use classes::EquivClasses;
-pub use kernel::{CompiledNet, KernelSummary};
+pub use kernel::{CompiledNet, KernelSummary, PoolStats};
 pub use patterns::PatternSet;
 pub use probability::signal_probabilities;
 pub use replay::{replay_distinguishes, Replayer};
+pub use simd::{active_simd_level, SimdLevel, SimdWord, U64x4, U64x8};
 pub use simulator::{simulate, simulate_jobs, ExecStats, SimResult};
 
 #[cfg(any(test, feature = "reference"))]

@@ -31,6 +31,9 @@ pub struct ExecStats {
     /// Lane-words computed across all block executions
     /// (`words-per-block × nodes-in-order`, summed).
     pub exec_words: u64,
+    /// Patterns appended across all block executions (the numerator
+    /// of a patterns-per-second rate; scalar pushes not included).
+    pub exec_patterns: u64,
     /// Cone-restricted executions among `exec_calls`.
     pub cone_exec_calls: u64,
     /// Single patterns appended through the scalar path.
@@ -74,6 +77,14 @@ impl SimResult {
     /// Execution totals accumulated so far (see [`ExecStats`]).
     pub fn exec_stats(&self) -> ExecStats {
         self.exec
+    }
+
+    /// Scheduling-dependent worker-pool diagnostics of the backing
+    /// kernel (see [`crate::PoolStats`]): unlike [`ExecStats`] these
+    /// are *not* jobs-invariant, so reports keep them under the
+    /// stripped scheduling keys.
+    pub fn pool_stats(&self) -> crate::PoolStats {
+        self.kernel.pool_stats()
     }
 
     /// The compiled kernel backing this result.
@@ -245,6 +256,7 @@ impl SimResult {
         self.num_patterns += added;
         self.exec.exec_calls += 1;
         self.exec.exec_words += (added.div_ceil(64) * order.len()) as u64;
+        self.exec.exec_patterns += added as u64;
         if mask.is_some() {
             self.exec.cone_exec_calls += 1;
         }
@@ -589,6 +601,7 @@ mod tests {
         let stats = sim.exec_stats();
         assert_eq!(stats.exec_calls, 1);
         assert_eq!(stats.exec_words, 2 * net.len() as u64);
+        assert_eq!(stats.exec_patterns, 128);
         assert_eq!(stats.cone_exec_calls, 0);
 
         sim.push_pattern(&net, &patterns.vector(0));

@@ -1,0 +1,57 @@
+//! Pool-dispatch regression tests: small simulations must never pay
+//! for a worker-pool handoff, and large ones must fan out exactly as
+//! planned.
+//!
+//! This lives in its own test binary so the shared pool's size can be
+//! pinned via `SIMGEN_POOL_THREADS` before anything latches the
+//! process-wide `OnceLock` — the harness runs every `#[test]` in one
+//! process, so the override and both assertions share a single test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simgen_netlist::{LutNetwork, NodeId, TruthTable};
+use simgen_sim::{simulate_jobs, PatternSet};
+
+/// A chain of 2-input XORs over `pis` inputs, `luts` nodes deep.
+fn chain_net(pis: usize, luts: usize) -> LutNetwork {
+    let mut net = LutNetwork::new();
+    let inputs: Vec<NodeId> = (0..pis).map(|i| net.add_pi(format!("p{i}"))).collect();
+    let mut last = inputs[0];
+    for i in 0..luts {
+        let other = inputs[1 + i % (pis - 1)];
+        last = net
+            .add_lut(vec![last, other], TruthTable::from_bits(2, 0b0110).unwrap())
+            .expect("topological");
+    }
+    net.add_po(last, "f");
+    net
+}
+
+#[test]
+fn small_inputs_stay_on_the_caller_and_large_ones_fan_out() {
+    // Pin the pool to 3 workers (so jobs=4 = workers + helping caller
+    // is satisfiable even on a 1-core machine). Must happen before the
+    // first simulation touches the pool.
+    std::env::set_var("SIMGEN_POOL_THREADS", "3");
+
+    // Tiny net, one signature word: far below the parallel work
+    // threshold, so even an absurd `jobs` must not reach the pool.
+    let tiny = chain_net(4, 3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let pats = PatternSet::random(tiny.num_pis(), 64, &mut rng);
+    let sim = simulate_jobs(&tiny, &pats, 8);
+    let stats = sim.pool_stats();
+    assert_eq!(stats.dispatches, 0, "tiny input must not dispatch");
+    assert_eq!(stats.tasks, 0, "tiny input must not spawn tasks");
+
+    // Large input: 124 nodes x 64 words clears the threshold and the
+    // word count splits into four cache-line-aligned ranges, so one
+    // dispatch of four tasks hits the pool.
+    let big = chain_net(4, 120);
+    let pats = PatternSet::random(big.num_pis(), 4096, &mut rng);
+    let sim = simulate_jobs(&big, &pats, 4);
+    let stats = sim.pool_stats();
+    assert_eq!(stats.dispatches, 1, "large input must dispatch once");
+    assert_eq!(stats.tasks, 4, "jobs=4 must fan out into four tasks");
+}
