@@ -490,7 +490,8 @@ pub(crate) fn sweep_fingerprint(net: &LutNetwork, cfg: &SweepConfig) -> String {
     h.update(
         format!(
             "random_rounds={};random_batch={};guided_iterations={};sat_budget={:?};\
-             run_sat={};proof={:?};seed={};budget_schedule={:?};certify={}",
+             run_sat={};proof={:?};seed={};budget_schedule={:?};certify={};\
+             engine_mode={};incremental={}",
             cfg.random_rounds,
             cfg.random_batch,
             cfg.guided_iterations,
@@ -500,6 +501,8 @@ pub(crate) fn sweep_fingerprint(net: &LutNetwork, cfg: &SweepConfig) -> String {
             cfg.seed,
             cfg.budget_schedule,
             cfg.certify,
+            cfg.engine.mode.name(),
+            cfg.engine.incremental,
         )
         .as_bytes(),
     );

@@ -39,6 +39,7 @@ pub mod flow;
 pub mod journal;
 pub mod parallel;
 pub mod prove;
+pub mod region;
 pub mod report;
 pub mod stats;
 pub mod sweep;
@@ -54,9 +55,10 @@ pub use journal::{
 };
 pub use parallel::ParallelSweeper;
 pub use prove::{BddProver, EquivProver, PairProver, ProveOutcome};
+pub use region::RegionMap;
 pub use report::{cec_run_report, design_info, sweep_config_json, sweep_run_report, RunMeta};
 pub use simgen_cache::{job_key, pair_key, CacheKey, ProofCache};
-pub use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
+pub use simgen_dispatch::{BudgetSchedule, Deadline, EngineMode, EnginePolicy, Progress, Watchdog};
 #[cfg(feature = "fault-inject")]
 pub use simgen_dispatch::{FaultAction, FaultPlan};
 pub use stats::{DispatchSummary, IterationRecord, SweepStats, WorkerSummary};

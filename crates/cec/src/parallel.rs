@@ -32,7 +32,7 @@ use simgen_dispatch::{run_ordered_traced, Attempt, BudgetSchedule, Deadline, Job
 use simgen_dispatch::{FaultAction, FaultPlan};
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_obs::{Counter, Json, LocalRecorder, Observer, Phase};
-use simgen_sat::SolverStats;
+use simgen_sat::{ScopeMetrics, SolverStats};
 use simgen_sim::Replayer;
 
 use crate::certify::{certify_equivalence, PROOF_BYTE_BUDGET};
@@ -41,6 +41,7 @@ use crate::journal::{
     JournalVerdict, PairRecord, RoundRecord, StatsSnapshot, SweepJournal,
 };
 use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
+use crate::region::{cone_union, RegionMap, DEFAULT_BDD_FIRST_LIMIT};
 use crate::stats::{DispatchSummary, WorkerSummary};
 use crate::sweep::{
     flush_counterexamples, record_exec_counters, record_merge, run_sim_phases, spawn_watchdog,
@@ -90,6 +91,9 @@ struct PairOutcome {
     escalations: u64,
     /// Whether the whole ladder (and fallback) exhausted.
     timeout: bool,
+    /// Scope-reuse delta attributable to this pair (zero when the
+    /// pair never touched a SAT solver).
+    metrics: ScopeMetrics,
 }
 
 impl PairOutcome {
@@ -106,8 +110,30 @@ impl PairOutcome {
             conflicts: 0,
             escalations: 0,
             timeout,
+            metrics: ScopeMetrics::default(),
         }
     }
+}
+
+/// One dispatched proof job. In incremental mode a job is a whole
+/// fanin region's worth of this round's pairs — they share one scoped
+/// solver, serially, in global pair order — so the report's new
+/// reuse counters stay `--jobs`-invariant. In cold mode every job is
+/// a single pair, the classic shape.
+struct RegionJob {
+    /// Prior-round proven equalities inside this job's region,
+    /// replayed into the shared prover at construction (incremental
+    /// mode only; cold pairs filter the full seed list by cone).
+    seeds: Vec<(NodeId, NodeId)>,
+    /// `(global pair index, rep, cand)` in global pair order.
+    pairs: Vec<(usize, NodeId, NodeId)>,
+}
+
+/// Per-pair result extracted from a region job; `None` in a merge
+/// slot means the pair was never started (deadline skip).
+enum PairStatus {
+    Done(PairOutcome),
+    Panicked,
 }
 
 /// Per-worker proving state: diagnostic counters plus the lazily-
@@ -162,12 +188,19 @@ impl<'n> WorkerState<'n> {
         }
     }
 
-    /// Proves one pair: fresh SAT prover seeded with the prior-round
-    /// equivalences inside the pair's cones, escalated per `cfg`, with
-    /// BDD fallback, and (under certify) the answer independently
-    /// checked. Deterministic given `(seeds, a, b, cfg)`.
+    /// Proves one pair against `shared` (the region's long-lived
+    /// scoped solver, built on first use in incremental mode) or a
+    /// cold per-pair prover, escalated per `cfg`, with BDD fallback,
+    /// and (under certify) the answer independently checked.
+    /// Deterministic given `(region_seeds, seeds, a, b, cfg)` and the
+    /// shared prover's query history — which is itself deterministic
+    /// because region pairs are processed serially in global pair
+    /// order.
+    #[allow(clippy::too_many_arguments)]
     fn prove_pair(
         &mut self,
+        shared: &mut Option<PairProver<'n>>,
+        region_seeds: &[(NodeId, NodeId)],
         seeds: &[(NodeId, NodeId)],
         a: NodeId,
         b: NodeId,
@@ -175,17 +208,31 @@ impl<'n> WorkerState<'n> {
         want_proof: bool,
     ) -> PairOutcome {
         let start = self.local.is_enabled().then(std::time::Instant::now);
-        let outcome = self.prove_pair_inner(seeds, a, b, cfg, want_proof);
+        let outcome = self.prove_pair_inner(shared, region_seeds, seeds, a, b, cfg, want_proof);
         if let Some(start) = start {
             self.local.add_busy(Phase::SatResolution, start.elapsed());
         }
         outcome
     }
 
+    /// A prover bound to this worker's deadline, with proof logging on
+    /// when the run certifies (logging must precede the first clause).
+    fn fresh_prover(&self, cfg: &SweepConfig) -> PairProver<'n> {
+        let mut prover = PairProver::new(self.net);
+        prover.bind_deadline(&self.deadline);
+        if cfg.certify {
+            prover.enable_certification(PROOF_BYTE_BUDGET);
+        }
+        prover
+    }
+
     /// The actual proof; split out so [`WorkerState::prove_pair`] can
     /// book its busy time without borrowing `self` twice.
+    #[allow(clippy::too_many_arguments)]
     fn prove_pair_inner(
         &mut self,
+        shared: &mut Option<PairProver<'n>>,
+        region_seeds: &[(NodeId, NodeId)],
         seeds: &[(NodeId, NodeId)],
         a: NodeId,
         b: NodeId,
@@ -203,19 +250,49 @@ impl<'n> WorkerState<'n> {
                 }
                 return PairOutcome::engine_only(verdict);
             }
+        } else if cfg.engine.bdd_primary(cfg.certify) {
+            let node_limit = cfg
+                .budget_schedule
+                .map(|s| s.bdd_node_limit)
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_BDD_FIRST_LIMIT);
+            let verdict = self.bdd_prove(a, b, node_limit);
+            if verdict != PairVerdict::Undecided {
+                return PairOutcome::engine_only(verdict);
+            }
+            // Node limit tripped: fall through to the SAT ladder.
         }
 
-        let mut prover = PairProver::new(self.net);
-        prover.bind_deadline(&self.deadline);
-        if cfg.certify {
-            prover.enable_certification(PROOF_BYTE_BUDGET);
-        }
-        let cone = cone_union(self.net, a, b);
-        for &(x, y) in seeds {
-            if cone.contains(&x) && cone.contains(&y) {
-                prover.assert_equal(x, y);
+        // The SAT prover: the region's shared scoped solver, or a
+        // cold per-pair one under `--no-incremental`.
+        let mut cold_prover;
+        let prover: &mut PairProver<'n> = if cfg.engine.incremental {
+            if shared.is_none() {
+                let mut p = self.fresh_prover(cfg);
+                for &(x, y) in region_seeds {
+                    p.assert_equal(x, y);
+                }
+                *shared = Some(p);
             }
-        }
+            shared.as_mut().expect("just built")
+        } else {
+            let mut p = self.fresh_prover(cfg);
+            let cone = cone_union(self.net, a, b);
+            for &(x, y) in seeds {
+                if cone.contains(&x) && cone.contains(&y) {
+                    p.assert_equal(x, y);
+                }
+            }
+            cold_prover = p;
+            &mut cold_prover
+        };
+        // Everything this pair reports is a delta against the
+        // prover's cumulative counters, so shared and cold provers
+        // feed the merge identically.
+        let calls_before = prover.calls();
+        let time_before = prover.time();
+        let solver_before = prover.solver_stats();
+        let metrics_before = prover.metrics();
         let schedule = cfg.budget_schedule.unwrap_or(BudgetSchedule {
             // No ladder configured: one attempt at the flat budget,
             // no BDD fallback — the parallel analogue of the serial
@@ -236,14 +313,17 @@ impl<'n> WorkerState<'n> {
             Some(v) => v,
             // The BDD fallback is equally uncertifiable, so under
             // certify an exhausted ladder stays Undecided.
-            None if schedule.bdd_node_limit > 0 && !cfg.certify => {
+            None if cfg
+                .engine
+                .bdd_fallback(schedule.bdd_node_limit, cfg.certify) =>
+            {
                 self.bdd_prove(a, b, schedule.bdd_node_limit)
             }
             None => PairVerdict::Undecided,
         };
         if cfg.certify {
             verdict = match verdict {
-                PairVerdict::Equivalent if !certify_equivalence(&prover) => {
+                PairVerdict::Equivalent if !certify_equivalence(prover) => {
                     PairVerdict::CertificationFailed { replay: false }
                 }
                 PairVerdict::Counterexample(ref v)
@@ -259,7 +339,10 @@ impl<'n> WorkerState<'n> {
             self.timeouts += 1;
         }
         // Serialize the certificate worker-side (where the solver
-        // state lives); the orchestrator stores it at the merge.
+        // state lives); the orchestrator stores it at the merge. Must
+        // happen before the prover's next query: the scoped solver
+        // retires the current scope on the next `prove`, after which
+        // the proof-log tail no longer certifies this pair.
         let proof = if want_proof && verdict == PairVerdict::Equivalent {
             prover.proof_blob()
         } else {
@@ -268,26 +351,15 @@ impl<'n> WorkerState<'n> {
         PairOutcome {
             verdict,
             proof,
-            sat_calls: prover.calls(),
-            sat_time: prover.time(),
-            solver: prover.solver_stats(),
+            sat_calls: prover.calls() - calls_before,
+            sat_time: prover.time().saturating_sub(time_before),
+            solver: prover.solver_stats() - solver_before,
             conflicts: esc.conflicts,
             escalations: u64::from(esc.escalations),
             timeout,
+            metrics: prover.metrics() - metrics_before,
         }
     }
-}
-
-/// The transitive fanin cone of `a` and `b` (both included).
-fn cone_union(net: &LutNetwork, a: NodeId, b: NodeId) -> HashSet<NodeId> {
-    let mut seen = HashSet::new();
-    let mut stack = vec![a, b];
-    while let Some(n) = stack.pop() {
-        if seen.insert(n) {
-            stack.extend(net.fanins(n).iter().copied());
-        }
-    }
-    seen
 }
 
 /// The parallel sweeping engine. Produces the same report structure
@@ -440,6 +512,10 @@ impl ParallelSweeper {
             let resim_before = stats.resim_time;
             let mut sweep_cache = cache.map(|c| crate::cache::SweepCache::new(c, cfg.certify));
             let want_proof = cache.is_some() && cfg.certify;
+            // Fanin-region partition, computed once per sweep:
+            // incremental mode dispatches each round's pairs grouped
+            // by region so the group shares one scoped solver.
+            let mut regions = RegionMap::new(net);
             let mut work: Vec<Vec<NodeId>> = classes.classes().to_vec();
             let mut merged: Vec<Vec<NodeId>> = Vec::new();
             // Equivalences proven in earlier rounds, in merge order:
@@ -610,6 +686,7 @@ impl ParallelSweeper {
                 // Jobs carry their global input-order index so fault
                 // plans key on *which pair* is proven, never on
                 // scheduling.
+                let round_base = next_job_index;
                 let indexed: Vec<(usize, NodeId, NodeId)> = pairs
                     .iter()
                     .zip(&resolutions)
@@ -619,39 +696,115 @@ impl ParallelSweeper {
                     .collect();
                 next_job_index += indexed.len();
                 let dispatched_this_round = indexed.len() as u64;
+                // Incremental mode dispatches one job per fanin
+                // region (its pairs share a scoped solver, serially,
+                // in global pair order); cold mode keeps the classic
+                // job-per-pair shape. Either way the grouping is a
+                // pure function of the pair list, never of
+                // scheduling.
+                let mut region_jobs: Vec<RegionJob> = Vec::new();
+                if cfg.engine.incremental {
+                    let mut by_region: std::collections::HashMap<usize, usize> =
+                        std::collections::HashMap::new();
+                    let mut keys: Vec<usize> = Vec::new();
+                    for &(ji, a, b) in &indexed {
+                        let key = regions.key(a, b);
+                        let slot = *by_region.entry(key).or_insert_with(|| {
+                            region_jobs.push(RegionJob {
+                                seeds: Vec::new(),
+                                pairs: Vec::new(),
+                            });
+                            keys.push(key);
+                            region_jobs.len() - 1
+                        });
+                        region_jobs[slot].pairs.push((ji, a, b));
+                    }
+                    for (job, &key) in region_jobs.iter_mut().zip(&keys) {
+                        job.seeds = seeds
+                            .iter()
+                            .copied()
+                            .filter(|&(x, y)| regions.key(x, y) == key)
+                            .collect();
+                    }
+                } else {
+                    region_jobs = indexed
+                        .iter()
+                        .map(|&(ji, a, b)| RegionJob {
+                            seeds: Vec::new(),
+                            pairs: vec![(ji, a, b)],
+                        })
+                        .collect();
+                }
+                // Pair indices per job, for expanding job-level
+                // panic/skip into per-pair slots after the dispatch
+                // consumes the job list.
+                let job_pair_indices: Vec<Vec<usize>> = region_jobs
+                    .iter()
+                    .map(|j| j.pairs.iter().map(|&(ji, _, _)| ji).collect())
+                    .collect();
                 let outcome = run_ordered_traced(
                     jobs,
-                    indexed,
+                    region_jobs,
                     Some(deadline),
                     &obs.trace,
                     |_| WorkerState::new(net, deadline.clone(), recorder.local()),
-                    |state, &(job_index, a, b)| {
-                        #[cfg(feature = "fault-inject")]
-                        if let Some(plan) = fault_plan {
-                            match plan.action(job_index) {
-                                FaultAction::Panic => {
-                                    panic!("injected fault: panic on job {job_index}")
+                    |state, job: &RegionJob| {
+                        // The region's shared prover (incremental
+                        // mode); rebuilt cold after a caught panic —
+                        // a poisoned solver is never trusted, and the
+                        // rebuild is deterministic (same seeds, same
+                        // remaining pairs, any jobs value).
+                        let mut shared: Option<PairProver<'_>> = None;
+                        let mut results: Vec<(usize, PairStatus)> =
+                            Vec::with_capacity(job.pairs.len());
+                        for &(job_index, a, b) in &job.pairs {
+                            let attempt =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    #[cfg(feature = "fault-inject")]
+                                    if let Some(plan) = fault_plan {
+                                        match plan.action(job_index) {
+                                            FaultAction::Panic => {
+                                                panic!("injected fault: panic on job {job_index}")
+                                            }
+                                            // A stall must not change
+                                            // the result, only its
+                                            // timing.
+                                            FaultAction::Stall(d) => std::thread::sleep(d),
+                                            FaultAction::SpuriousUnknown => {
+                                                state.proofs += 1;
+                                                state.timeouts += 1;
+                                                return PairOutcome::engine_only(
+                                                    PairVerdict::Undecided,
+                                                );
+                                            }
+                                            FaultAction::None => {}
+                                        }
+                                    }
+                                    #[cfg(not(feature = "fault-inject"))]
+                                    let _ = job_index;
+                                    if panic_on.is_some_and(|trigger| trigger(a, b)) {
+                                        panic!("injected prover panic on pair ({a}, {b})");
+                                    }
+                                    state.prove_pair(
+                                        &mut shared,
+                                        &job.seeds,
+                                        seeds_ref,
+                                        a,
+                                        b,
+                                        cfg,
+                                        want_proof,
+                                    )
+                                }));
+                            match attempt {
+                                Ok(out) => results.push((job_index, PairStatus::Done(out))),
+                                Err(_) => {
+                                    shared = None;
+                                    results.push((job_index, PairStatus::Panicked));
                                 }
-                                // A stall must not change the result,
-                                // only its timing.
-                                FaultAction::Stall(d) => std::thread::sleep(d),
-                                FaultAction::SpuriousUnknown => {
-                                    state.proofs += 1;
-                                    state.timeouts += 1;
-                                    progress.tick();
-                                    return PairOutcome::engine_only(PairVerdict::Undecided);
-                                }
-                                FaultAction::None => {}
                             }
+                            progress.tick();
                         }
-                        #[cfg(not(feature = "fault-inject"))]
-                        let _ = job_index;
-                        if panic_on.is_some_and(|trigger| trigger(a, b)) {
-                            panic!("injected prover panic on pair ({a}, {b})");
-                        }
-                        let outcome = state.prove_pair(seeds_ref, a, b, cfg, want_proof);
-                        progress.tick();
-                        outcome
+                        results
                     },
                 );
                 // Round barrier: merge the workers' CPU spans (sum is
@@ -684,7 +837,29 @@ impl ParallelSweeper {
                 // Journal-bound verdict log for this round (collected
                 // only when a journal is attached).
                 let mut round_log: Option<Vec<PairRecord>> = journal.is_some().then(Vec::new);
-                let mut live = outcome.results.into_iter();
+                // Flatten region-job results back into per-pair slots
+                // keyed by global pair index: a region job returns
+                // its pairs grouped, not in global pair order, and a
+                // job-level panic or deadline skip marks every pair
+                // it carried. `None` = never started.
+                let mut slots: Vec<Option<PairStatus>> = Vec::new();
+                slots.resize_with(indexed.len(), || None);
+                for (pair_indices, status) in job_pair_indices.iter().zip(outcome.results) {
+                    match status {
+                        JobStatus::Done(pair_results) => {
+                            for (ji, st) in pair_results {
+                                slots[ji - round_base] = Some(st);
+                            }
+                        }
+                        JobStatus::Panicked { .. } => {
+                            for &ji in pair_indices {
+                                slots[ji - round_base] = Some(PairStatus::Panicked);
+                            }
+                        }
+                        JobStatus::Skipped => {}
+                    }
+                }
+                let mut slot_iter = slots.into_iter();
                 for ((rep, cand), cached) in pairs.into_iter().zip(resolutions) {
                     let from_cache = cached.is_some();
                     let mut proof_blob: Option<Vec<u8>> = None;
@@ -696,12 +871,12 @@ impl ParallelSweeper {
                     let status = match cached {
                         // Trusted cache hits were never dispatched;
                         // wrap them so one match handles both sources.
-                        Some(verdict) => JobStatus::Done(PairOutcome::engine_only(verdict)),
-                        None => live.next().expect("one result per dispatched pair"),
+                        Some(verdict) => Some(PairStatus::Done(PairOutcome::engine_only(verdict))),
+                        None => slot_iter.next().expect("one slot per dispatched pair"),
                     };
                     let verdict = match status {
-                        JobStatus::Done(out) if from_cache => out.verdict,
-                        JobStatus::Done(out) => {
+                        Some(PairStatus::Done(out)) if from_cache => out.verdict,
+                        Some(PairStatus::Done(out)) => {
                             obs.recorder.add(Counter::ProofsDispatched, 1);
                             summary.proofs += 1;
                             summary.conflicts += out.conflicts;
@@ -713,10 +888,16 @@ impl ParallelSweeper {
                             stats.sat_calls += out.sat_calls;
                             stats.sat_time += out.sat_time;
                             stats.solver += out.solver;
+                            obs.recorder
+                                .add(Counter::ScopesOpened, out.metrics.scopes_opened);
+                            obs.recorder
+                                .add(Counter::ClausesReused, out.metrics.clauses_reused);
+                            obs.recorder
+                                .add(Counter::WarmSolves, out.metrics.warm_solves);
                             proof_blob = out.proof;
                             out.verdict
                         }
-                        JobStatus::Panicked { .. } => {
+                        Some(PairStatus::Panicked) => {
                             flaw = Some(JournalVerdict::Panicked);
                             summary.panics += 1;
                             summary.quarantined += 1;
@@ -732,7 +913,7 @@ impl ParallelSweeper {
                             );
                             PairVerdict::Undecided
                         }
-                        JobStatus::Skipped => {
+                        None => {
                             flaw = Some(JournalVerdict::Skipped);
                             summary.quarantined += 1;
                             interrupted = true;

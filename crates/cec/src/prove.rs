@@ -1,13 +1,18 @@
 //! SAT-based equivalence proofs for candidate node pairs.
 //!
-//! Each pair query is a single incremental SAT call: both fanin cones
-//! are (lazily) Tseitin-encoded into one persistent solver, a fresh
-//! XOR selector variable is constrained to `a ⊕ b`, and the selector
-//! is assumed true. UNSAT proves the pair equivalent; SAT yields a
-//! counterexample input vector for resimulation; a conflict-budget
-//! overrun returns [`ProveOutcome::Undecided`] carrying the number of
-//! conflicts the aborted attempt consumed (the dispatch layer's
-//! escalation signal).
+//! Each pair query runs in an assumption [`Scope`] on one long-lived
+//! solver: both fanin cones are (lazily) Tseitin-encoded once, the
+//! miter `a ⊕ b` is added as two clauses guarded by the scope's
+//! activation literal, and the query assumes that literal. UNSAT
+//! proves the pair equivalent; SAT is canonicalized to the
+//! lexicographically smallest distinguishing input vector (so warm
+//! and cold solvers refine simulation classes identically); a
+//! conflict-budget overrun returns [`ProveOutcome::Undecided`]
+//! carrying the number of conflicts the aborted attempt consumed
+//! (the dispatch layer's escalation signal). Resolved scopes are
+//! retired lazily — at the *next* query — so DRAT certificates can be
+//! extracted between queries while the refutation is still the tail
+//! of the proof log.
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -15,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_sat::tseitin::NetworkEncoder;
-use simgen_sat::{Lit, SolveResult, Solver};
+use simgen_sat::{Lit, Scope, ScopeMetrics, SolveResult, Solver, Var};
 
 /// Result of one pair proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,6 +71,12 @@ pub trait EquivProver {
         None
     }
 
+    /// Assumption-scope reuse metrics, for engines backed by scoped
+    /// incremental SAT (zero for engines without one).
+    fn metrics(&self) -> ScopeMetrics {
+        ScopeMetrics::default()
+    }
+
     /// Independently certifies the engine's most recent
     /// [`ProveOutcome::Equivalent`] answer. The default fails closed:
     /// an engine that cannot produce a checkable certificate (BDDs, or
@@ -93,6 +104,13 @@ pub struct PairProver<'n> {
     encoder: NetworkEncoder,
     calls: u64,
     time: Duration,
+    metrics: ScopeMetrics,
+    /// The most recent query's scope, kept open until the next query
+    /// so [`PairProver::certificate`] can read the refutation first:
+    /// retiring pushes the `¬act` unit into the DRAT-logged formula,
+    /// which would satisfy the guarded miter clauses and make the
+    /// certificate vacuous.
+    open_scope: Option<Scope>,
 }
 
 impl<'n> PairProver<'n> {
@@ -104,12 +122,19 @@ impl<'n> PairProver<'n> {
             encoder: NetworkEncoder::new(net),
             calls: 0,
             time: Duration::ZERO,
+            metrics: ScopeMetrics::default(),
+            open_scope: None,
         }
     }
 
     /// Number of SAT calls issued so far.
     pub fn calls(&self) -> u64 {
         self.calls
+    }
+
+    /// Scope/reuse metrics accumulated across this prover's queries.
+    pub fn metrics(&self) -> ScopeMetrics {
+        self.metrics
     }
 
     /// Installs a shared interrupt flag on the underlying solver;
@@ -173,37 +198,138 @@ impl<'n> PairProver<'n> {
         self.solver.add_clause(&[Lit::pos(va), Lit::neg(vb)]);
     }
 
-    /// Proves or disproves `a ≡ b` with one SAT call.
+    /// Proves or disproves `a ≡ b` with one assumption-scoped SAT
+    /// call.
     ///
     /// `budget` bounds the solver's conflicts (`None` = unbounded).
     pub fn prove(&mut self, a: NodeId, b: NodeId, budget: Option<u64>) -> ProveOutcome {
         let start = Instant::now();
+        if let Some(prev) = self.open_scope.take() {
+            prev.retire(&mut self.solver);
+        }
+        if self.calls > 0 {
+            self.metrics.warm_solves += 1;
+        }
         let va = self.encoder.encode_cone(self.net, &mut self.solver, a);
         let vb = self.encoder.encode_cone(self.net, &mut self.solver, b);
-        // Fresh selector t with t ↔ (a ⊕ b).
-        let t = self.solver.new_var();
-        self.solver
-            .add_clause(&[Lit::neg(t), Lit::pos(va), Lit::pos(vb)]);
-        self.solver
-            .add_clause(&[Lit::neg(t), Lit::neg(va), Lit::neg(vb)]);
-        self.solver
-            .add_clause(&[Lit::pos(t), Lit::neg(va), Lit::pos(vb)]);
-        self.solver
-            .add_clause(&[Lit::pos(t), Lit::pos(va), Lit::neg(vb)]);
+        let scope = Scope::open(&mut self.solver, &mut self.metrics);
+        // The miter a ⊕ b as two guarded one-directional clauses,
+        // act → (a ∨ b) and act → (¬a ∨ ¬b). One-directional is what
+        // keeps retirement sound: the eventual `¬act` unit must
+        // deactivate the miter, not assert `a ≡ b`.
+        scope.add_clause(&mut self.solver, &[Lit::pos(va), Lit::pos(vb)]);
+        scope.add_clause(&mut self.solver, &[Lit::neg(va), Lit::neg(vb)]);
         self.calls += 1;
         let conflicts_before = self.solver.stats().conflicts;
-        let result = self.solver.solve_limited(&[Lit::pos(t)], budget);
+        let result = scope.solve(&mut self.solver, &[], budget);
         let outcome = match result {
             SolveResult::Unsat => ProveOutcome::Equivalent,
-            SolveResult::Sat => ProveOutcome::Counterexample(
-                self.encoder.extract_input_vector(self.net, &self.solver),
-            ),
+            SolveResult::Sat => ProveOutcome::Counterexample(self.canonical_witness(&scope, a, b)),
             SolveResult::Unknown => ProveOutcome::Undecided {
                 conflicts: self.solver.stats().conflicts - conflicts_before,
             },
         };
+        self.open_scope = Some(scope);
         self.time += start.elapsed();
         outcome
+    }
+
+    /// The pair's support: PIs reachable from `a` or `b`, in
+    /// `net.pis()` order.
+    fn support_pis(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.net.len()];
+        let mut stack = vec![a, b];
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            stack.extend_from_slice(self.net.fanins(n));
+        }
+        self.net
+            .pis()
+            .iter()
+            .copied()
+            .filter(|pi| seen[pi.index()])
+            .collect()
+    }
+
+    /// Reduces the satisfying assignment to the lexicographically
+    /// smallest distinguishing input vector over `net.pis()` order
+    /// (false < true; PIs outside the pair's support stay false).
+    ///
+    /// A witness that is a pure function of `(net, a, b)` — not of
+    /// solver state — is what keeps warm region solvers and cold
+    /// per-pair solvers byte-identical downstream: resimulation
+    /// refines the candidate classes the same way in both modes.
+    /// Every auxiliary constraint a warm solver might hold (seed
+    /// equalities, retired scopes, learnt clauses) is implied or
+    /// deactivated, so each minimization query is satisfiable in one
+    /// mode iff it is in the other.
+    fn canonical_witness(&mut self, scope: &Scope, a: NodeId, b: NodeId) -> Vec<bool> {
+        let support = self.support_pis(a, b);
+        let vars: Vec<Var> = support
+            .iter()
+            .map(|&pi| self.encoder.encode_cone(self.net, &mut self.solver, pi))
+            .collect();
+        let mut model: Vec<bool> = vars
+            .iter()
+            .map(|&v| self.solver.value(v).unwrap_or(false))
+            .collect();
+        let mut fixed: Vec<Lit> = Vec::with_capacity(vars.len());
+        let mut needs_restore = false;
+        for i in 0..vars.len() {
+            let v = vars[i];
+            if !model[i] {
+                fixed.push(Lit::neg(v));
+                continue;
+            }
+            // The current model has this PI true; ask whether some
+            // distinguishing input keeps the fixed prefix and turns
+            // it false.
+            let mut assumptions = fixed.clone();
+            assumptions.push(Lit::neg(v));
+            match scope.solve(&mut self.solver, &assumptions, None) {
+                SolveResult::Sat => {
+                    fixed.push(Lit::neg(v));
+                    model[i] = false;
+                    for j in (i + 1)..vars.len() {
+                        model[j] = self.solver.value(vars[j]).unwrap_or(false);
+                    }
+                    needs_restore = false;
+                }
+                SolveResult::Unsat => {
+                    // This PI is forced true given the prefix; the
+                    // model we already hold satisfies the extended
+                    // prefix, so it stays valid.
+                    fixed.push(Lit::pos(v));
+                    needs_restore = true;
+                }
+                // Interrupt/deadline: keep the best vector so far.
+                SolveResult::Unknown => {
+                    needs_restore = false;
+                    break;
+                }
+            }
+        }
+        if needs_restore {
+            // The last solve answered Unsat, which (under proof
+            // logging) would leave a certificate claiming a
+            // refutation for a pair that is NOT equivalent. Re-solve
+            // under the full prefix — guaranteed satisfiable by the
+            // model we kept — so the solver's final answer matches
+            // the Counterexample verdict.
+            scope.solve(&mut self.solver, &fixed, None);
+        }
+        let mut vector = vec![false; self.net.num_pis()];
+        let mut k = 0;
+        for (pi_index, &pi) in self.net.pis().iter().enumerate() {
+            if k < support.len() && support[k] == pi {
+                vector[pi_index] = model[k];
+                k += 1;
+            }
+        }
+        vector
     }
 }
 
@@ -226,6 +352,10 @@ impl EquivProver for PairProver<'_> {
 
     fn solver_stats(&self) -> Option<simgen_sat::SolverStats> {
         Some(PairProver::solver_stats(self))
+    }
+
+    fn metrics(&self) -> ScopeMetrics {
+        PairProver::metrics(self)
     }
 
     fn certify_last(&self) -> bool {
@@ -411,5 +541,41 @@ mod tests {
         let (net, x, _, _) = demo_net();
         let mut p = PairProver::new(&net);
         assert_eq!(p.prove(x, x, None), ProveOutcome::Equivalent);
+    }
+
+    #[test]
+    fn counterexamples_are_canonical_lex_minimal() {
+        // x = a & b vs z = a | b differ on (0,1) and (1,0); the
+        // lex-min witness over (a, b) is (false, true).
+        let (net, x, y, z) = demo_net();
+        let mut warm = PairProver::new(&net);
+        assert_eq!(warm.prove(x, y, None), ProveOutcome::Equivalent);
+        let from_warm = match warm.prove(x, z, None) {
+            ProveOutcome::Counterexample(v) => v,
+            other => panic!("expected counterexample, got {other:?}"),
+        };
+        let mut cold = PairProver::new(&net);
+        let from_cold = match cold.prove(x, z, None) {
+            ProveOutcome::Counterexample(v) => v,
+            other => panic!("expected counterexample, got {other:?}"),
+        };
+        assert_eq!(from_warm, vec![false, true], "lex-min over PI order");
+        assert_eq!(
+            from_warm, from_cold,
+            "witness is a function of the pair, not of solver history"
+        );
+    }
+
+    #[test]
+    fn metrics_track_scopes_and_warm_starts() {
+        let (net, x, y, z) = demo_net();
+        let mut p = PairProver::new(&net);
+        assert_eq!(p.metrics(), ScopeMetrics::default());
+        p.prove(x, y, None);
+        assert_eq!(p.metrics().scopes_opened, 1);
+        assert_eq!(p.metrics().warm_solves, 0, "first query is cold");
+        p.prove(y, z, None);
+        assert_eq!(p.metrics().scopes_opened, 2);
+        assert_eq!(p.metrics().warm_solves, 1);
     }
 }

@@ -1,0 +1,391 @@
+//! Fanin-region partitioning and the serial engine-selection ladder.
+//!
+//! A *region* is a connected component of the netlist under fanin
+//! edges: two nodes share a region iff their cones overlap somewhere.
+//! Pairs in one region share cone structure, so they share one
+//! long-lived assumption-scoped [`PairProver`] — the shared Tseitin
+//! encoding is paid once and learnt clauses carry across the region's
+//! miters. Pairs in different regions share nothing, which is what
+//! lets the parallel sweeper dispatch whole regions as independent
+//! jobs without breaking the jobs-invariance contract.
+//!
+//! `SerialEngine` is the serial sweeper's per-pair engine ladder:
+//! optional BDD primary (under
+//! [`EngineMode::BddFirst`](simgen_dispatch::EngineMode::BddFirst)), then the
+//! SAT engine against either the pair's region solver (incremental
+//! mode) or a cold per-pair solver (`--no-incremental`).
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+use std::time::Duration;
+
+use simgen_dispatch::{Deadline, EnginePolicy};
+use simgen_netlist::{LutNetwork, NodeId};
+use simgen_sat::{ScopeMetrics, SolverStats};
+
+use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
+
+/// Default BDD node limit for the [`EngineMode::BddFirst`] primary
+/// when the budget schedule does not supply one.
+///
+/// [`EngineMode::BddFirst`]: simgen_dispatch::EngineMode::BddFirst
+pub(crate) const DEFAULT_BDD_FIRST_LIMIT: usize = 10_000;
+
+/// Union-find over fanin edges, partitioning the netlist into
+/// cone-connected regions. Construction is a single pass over all
+/// edges; lookups use path compression.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    parent: Vec<u32>,
+}
+
+impl RegionMap {
+    /// Partitions `net` by uniting every node with its fanins.
+    pub fn new(net: &LutNetwork) -> RegionMap {
+        let mut map = RegionMap {
+            parent: (0..net.len() as u32).collect(),
+        };
+        for node in net.node_ids() {
+            for &fanin in net.fanins(node) {
+                map.union(node.index(), fanin.index());
+            }
+        }
+        map
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] as usize != i {
+            let grand = self.parent[self.parent[i] as usize];
+            self.parent[i] = grand;
+            i = grand as usize;
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Smaller root wins: keys are stable, order-independent
+            // names (the minimum node index reachable by roots).
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo as u32;
+        }
+    }
+
+    /// The region key of a candidate pair: the smaller of the two
+    /// nodes' component roots. Deterministic — a pure function of the
+    /// netlist — so serial and parallel sweeps group pairs
+    /// identically.
+    pub fn key(&mut self, a: NodeId, b: NodeId) -> usize {
+        let ra = self.find(a.index());
+        let rb = self.find(b.index());
+        ra.min(rb)
+    }
+}
+
+/// The union of both nodes' fanin cones (including the roots), used
+/// to filter which proven seed equalities a cold per-pair solver
+/// replays.
+pub(crate) fn cone_union(net: &LutNetwork, a: NodeId, b: NodeId) -> HashSet<NodeId> {
+    let mut cone = HashSet::new();
+    let mut stack = vec![a, b];
+    while let Some(n) = stack.pop() {
+        if cone.insert(n) {
+            stack.extend_from_slice(net.fanins(n));
+        }
+    }
+    cone
+}
+
+/// Which engine answered the most recent query — certification and
+/// proof-blob extraction must go back to the same solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LastEngine {
+    None,
+    Bdd,
+    Region(usize),
+    Cold,
+}
+
+/// The serial sweeper's SAT engine: one [`PairProver`] per fanin
+/// region (incremental mode) or a cold prover per pair, with an
+/// optional BDD primary in front. Implements [`EquivProver`] so the
+/// sweep loop is engine-agnostic.
+#[derive(Debug)]
+pub(crate) struct SerialEngine<'n> {
+    net: &'n LutNetwork,
+    policy: EnginePolicy,
+    certify: bool,
+    deadline: Deadline,
+    regions: RegionMap,
+    /// Region root → that region's long-lived prover (incremental
+    /// mode only). BTreeMap for deterministic summation order.
+    farm: BTreeMap<usize, PairProver<'n>>,
+    /// The current pair's prover in cold mode; replaced per query,
+    /// with its totals folded into `done_*` first.
+    cold: Option<PairProver<'n>>,
+    /// Every proven equality, with its region key, in assertion
+    /// order: replayed into provers created after the fact (cache
+    /// hits can seed a region before its first live proof).
+    seeds: Vec<(NodeId, NodeId, usize)>,
+    /// BDD primary under `EngineMode::BddFirst`.
+    bdd: Option<BddProver<'n>>,
+    last: LastEngine,
+    done_calls: u64,
+    done_time: Duration,
+    done_solver: SolverStats,
+    done_metrics: ScopeMetrics,
+}
+
+impl<'n> SerialEngine<'n> {
+    pub(crate) fn new(
+        net: &'n LutNetwork,
+        policy: EnginePolicy,
+        certify: bool,
+        bdd_node_limit: Option<usize>,
+        deadline: &Deadline,
+    ) -> Self {
+        let bdd = policy.bdd_primary(certify).then(|| {
+            BddProver::new(
+                net,
+                bdd_node_limit
+                    .filter(|&n| n > 0)
+                    .unwrap_or(DEFAULT_BDD_FIRST_LIMIT),
+            )
+        });
+        SerialEngine {
+            net,
+            policy,
+            certify,
+            deadline: deadline.clone(),
+            regions: RegionMap::new(net),
+            farm: BTreeMap::new(),
+            cold: None,
+            seeds: Vec::new(),
+            bdd,
+            last: LastEngine::None,
+            done_calls: 0,
+            done_time: Duration::ZERO,
+            done_solver: SolverStats::default(),
+            done_metrics: ScopeMetrics::default(),
+        }
+    }
+
+    fn fresh_prover(&self) -> PairProver<'n> {
+        let mut prover = PairProver::new(self.net);
+        prover.bind_deadline(&self.deadline);
+        if self.certify {
+            prover.enable_certification(crate::certify::PROOF_BYTE_BUDGET);
+        }
+        prover
+    }
+
+    /// The region prover for `key`, created (and seeded with the
+    /// region's already-proven equalities) on first use.
+    fn region_prover(&mut self, key: usize) -> &mut PairProver<'n> {
+        if !self.farm.contains_key(&key) {
+            let mut prover = self.fresh_prover();
+            for &(x, y, k) in &self.seeds {
+                if k == key {
+                    prover.assert_equal(x, y);
+                }
+            }
+            self.farm.insert(key, prover);
+        }
+        self.farm.get_mut(&key).expect("just inserted")
+    }
+
+    /// The prover that answered the last query, if it was a SAT one.
+    fn last_sat_prover(&self) -> Option<&PairProver<'n>> {
+        match self.last {
+            LastEngine::Region(key) => self.farm.get(&key),
+            LastEngine::Cold => self.cold.as_ref(),
+            LastEngine::None | LastEngine::Bdd => None,
+        }
+    }
+}
+
+impl EquivProver for SerialEngine<'_> {
+    fn prove(&mut self, a: NodeId, b: NodeId, budget: Option<u64>) -> ProveOutcome {
+        if let Some(bdd) = self.bdd.as_mut() {
+            let outcome = bdd.prove(a, b, budget);
+            if !outcome.is_undecided() {
+                self.last = LastEngine::Bdd;
+                return outcome;
+            }
+            // Node limit tripped: fall through to the SAT ladder.
+        }
+        if self.policy.incremental {
+            let key = self.regions.key(a, b);
+            self.last = LastEngine::Region(key);
+            self.region_prover(key).prove(a, b, budget)
+        } else {
+            if let Some(old) = self.cold.take() {
+                self.done_calls += old.calls();
+                self.done_time += old.time();
+                self.done_solver += old.solver_stats();
+                self.done_metrics += old.metrics();
+            }
+            let mut prover = self.fresh_prover();
+            let cone = cone_union(self.net, a, b);
+            for &(x, y, _) in &self.seeds {
+                if cone.contains(&x) && cone.contains(&y) {
+                    prover.assert_equal(x, y);
+                }
+            }
+            let outcome = prover.prove(a, b, budget);
+            self.cold = Some(prover);
+            self.last = LastEngine::Cold;
+            outcome
+        }
+    }
+
+    fn assert_equal(&mut self, a: NodeId, b: NodeId) {
+        let key = self.regions.key(a, b);
+        self.seeds.push((a, b, key));
+        if self.policy.incremental {
+            // Feed existing region provers directly; ones created
+            // later replay from `seeds`.
+            if let Some(prover) = self.farm.get_mut(&key) {
+                prover.assert_equal(a, b);
+            }
+        }
+    }
+
+    fn calls(&self) -> u64 {
+        let mut total = self.done_calls;
+        total += self.farm.values().map(PairProver::calls).sum::<u64>();
+        if let Some(cold) = &self.cold {
+            total += cold.calls();
+        }
+        if let Some(bdd) = &self.bdd {
+            total += bdd.calls();
+        }
+        total
+    }
+
+    fn time(&self) -> Duration {
+        let mut total = self.done_time;
+        total += self.farm.values().map(PairProver::time).sum::<Duration>();
+        if let Some(cold) = &self.cold {
+            total += cold.time();
+        }
+        if let Some(bdd) = &self.bdd {
+            total += bdd.time();
+        }
+        total
+    }
+
+    fn solver_stats(&self) -> Option<SolverStats> {
+        let mut total = self.done_solver;
+        for prover in self.farm.values() {
+            total += prover.solver_stats();
+        }
+        if let Some(cold) = &self.cold {
+            total += cold.solver_stats();
+        }
+        Some(total)
+    }
+
+    /// Summed across every SAT solver this engine has owned.
+    fn metrics(&self) -> ScopeMetrics {
+        let mut total = self.done_metrics;
+        for prover in self.farm.values() {
+            total += prover.metrics();
+        }
+        if let Some(cold) = &self.cold {
+            total += cold.metrics();
+        }
+        total
+    }
+
+    fn certify_last(&self) -> bool {
+        match self.last_sat_prover() {
+            Some(prover) => crate::certify::certify_equivalence(prover),
+            // BDD answers carry no certificate; fail closed.
+            None => false,
+        }
+    }
+
+    fn proof_blob(&self) -> Option<Vec<u8>> {
+        self.last_sat_prover()?
+            .certificate()
+            .map(|c| simgen_cache::serialize_certificate(&c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgen_netlist::TruthTable;
+
+    /// Two disconnected islands: (a & b vs b & a) and (c | d vs d | c).
+    fn two_island_net() -> (LutNetwork, [NodeId; 4]) {
+        let mut net = LutNetwork::new();
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let d = net.add_pi("d");
+        let x1 = net.add_lut(vec![a, b], TruthTable::and2()).unwrap();
+        let x2 = net.add_lut(vec![b, a], TruthTable::and2()).unwrap();
+        let y1 = net.add_lut(vec![c, d], TruthTable::or2()).unwrap();
+        let y2 = net.add_lut(vec![d, c], TruthTable::or2()).unwrap();
+        net.add_po(x1, "x1");
+        net.add_po(x2, "x2");
+        net.add_po(y1, "y1");
+        net.add_po(y2, "y2");
+        (net, [x1, x2, y1, y2])
+    }
+
+    #[test]
+    fn disconnected_cones_land_in_distinct_regions() {
+        let (net, [x1, x2, y1, y2]) = two_island_net();
+        let mut map = RegionMap::new(&net);
+        assert_eq!(map.key(x1, x2), map.key(x1, x1));
+        assert_eq!(map.key(y1, y2), map.key(y2, y2));
+        assert_ne!(map.key(x1, x2), map.key(y1, y2), "islands are separate");
+    }
+
+    #[test]
+    fn region_keys_are_order_independent() {
+        let (net, [x1, x2, ..]) = two_island_net();
+        let mut fwd = RegionMap::new(&net);
+        let mut rev = RegionMap::new(&net);
+        let k1 = fwd.key(x1, x2);
+        let k2 = rev.key(x2, x1);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn serial_engine_keeps_one_prover_per_region() {
+        let (net, [x1, x2, y1, y2]) = two_island_net();
+        let deadline = Deadline::never();
+        let mut engine = SerialEngine::new(&net, EnginePolicy::default(), false, None, &deadline);
+        assert_eq!(engine.prove(x1, x2, None), ProveOutcome::Equivalent);
+        assert_eq!(engine.prove(y1, y2, None), ProveOutcome::Equivalent);
+        assert_eq!(engine.farm.len(), 2, "one solver per island");
+        assert_eq!(engine.calls(), 2);
+        assert_eq!(engine.metrics().scopes_opened, 2);
+        // Same-region re-query is a warm solve; cross-region was not.
+        assert_eq!(engine.prove(x1, x2, None), ProveOutcome::Equivalent);
+        assert_eq!(engine.metrics().warm_solves, 1);
+    }
+
+    #[test]
+    fn cold_mode_never_reuses_a_solver() {
+        let (net, [x1, x2, ..]) = two_island_net();
+        let deadline = Deadline::never();
+        let policy = EnginePolicy {
+            incremental: false,
+            ..EnginePolicy::default()
+        };
+        let mut engine = SerialEngine::new(&net, policy, false, None, &deadline);
+        assert_eq!(engine.prove(x1, x2, None), ProveOutcome::Equivalent);
+        assert_eq!(engine.prove(x1, x2, None), ProveOutcome::Equivalent);
+        assert!(engine.farm.is_empty());
+        assert_eq!(engine.calls(), 2);
+        assert_eq!(engine.metrics().warm_solves, 0, "every pair starts cold");
+        assert_eq!(engine.metrics().clauses_reused, 0);
+    }
+}

@@ -100,6 +100,14 @@ pub fn sweep_config_json(cfg: &SweepConfig) -> Vec<(String, Json)> {
             .map_or(Json::Null, |d| Json::F64(d.as_secs_f64() * 1e3)),
     ));
     entries.push(("certify".to_string(), Json::Bool(cfg.certify)));
+    entries.push((
+        "engine_mode".to_string(),
+        Json::Str(cfg.engine.mode.name().to_string()),
+    ));
+    entries.push((
+        "incremental".to_string(),
+        Json::Bool(cfg.engine.incremental),
+    ));
     entries
 }
 
@@ -480,6 +488,8 @@ mod tests {
                 "budget_schedule",
                 "stall",
                 "certify",
+                "engine_mode",
+                "incremental",
             ]
         );
         assert!(matches!(

@@ -7,12 +7,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use simgen_core::PatternGenerator;
-use simgen_dispatch::{BudgetSchedule, Deadline, Progress, Watchdog};
+use simgen_dispatch::{BudgetSchedule, Deadline, EnginePolicy, Progress, Watchdog};
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_obs::{Counter, Json, Observer, Phase, Trace};
 use simgen_sim::{EquivClasses, PatternSet, Replayer, SimResult};
 
-use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
+use crate::prove::{BddProver, EquivProver, ProveOutcome};
 use crate::stats::{IterationRecord, SweepStats};
 
 /// Which verification engine resolves the surviving pairs (the
@@ -69,6 +69,11 @@ pub struct SweepConfig {
     /// Since BDD answers carry no DRAT proof, certification forces
     /// the SAT engine and skips the BDD fallback.
     pub certify: bool,
+    /// Per-pair engine-selection policy: engine ordering
+    /// ([`simgen_dispatch::EngineMode`]) and whether SAT queries run
+    /// against one long-lived assumption-scoped solver per fanin
+    /// region (`incremental`, the default) or a cold solver per pair.
+    pub engine: EnginePolicy,
 }
 
 impl Default for SweepConfig {
@@ -85,6 +90,7 @@ impl Default for SweepConfig {
             budget_schedule: None,
             stall: None,
             certify: false,
+            engine: EnginePolicy::default(),
         }
     }
 }
@@ -209,14 +215,17 @@ impl Sweeper {
                 ProofEngine::Bdd { node_limit } if !cfg.certify => {
                     Box::new(BddProver::new(net, node_limit))
                 }
-                _ => {
-                    let mut p = PairProver::new(net);
-                    p.bind_deadline(deadline);
-                    if cfg.certify {
-                        p.enable_certification(crate::certify::PROOF_BYTE_BUDGET);
-                    }
-                    Box::new(p)
-                }
+                // The engine ladder: optional BDD primary (under
+                // `EngineMode::BddFirst`), then scoped SAT against
+                // one solver per fanin region — or a cold solver per
+                // pair when `cfg.engine.incremental` is off.
+                _ => Box::new(crate::region::SerialEngine::new(
+                    net,
+                    cfg.engine,
+                    cfg.certify,
+                    cfg.budget_schedule.map(|s| s.bdd_node_limit),
+                    deadline,
+                )),
             };
             let mut replayer = Replayer::new();
             let mut sweep_cache = cache.map(|c| crate::cache::SweepCache::new(c, cfg.certify));
@@ -432,6 +441,13 @@ impl Sweeper {
             stats.sat_calls = prover.calls();
             stats.sat_time = prover.time();
             stats.solver = prover.solver_stats().unwrap_or_default();
+            let scope_metrics = prover.metrics();
+            obs.recorder
+                .add(Counter::ScopesOpened, scope_metrics.scopes_opened);
+            obs.recorder
+                .add(Counter::ClausesReused, scope_metrics.clauses_reused);
+            obs.recorder
+                .add(Counter::WarmSolves, scope_metrics.warm_solves);
             proven = merged;
             if let Some(start) = sat_start {
                 // The flushes inside the loop already booked their

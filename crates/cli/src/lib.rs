@@ -11,8 +11,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use simgen_cec::{
-    cec_run_report, design_info, sweep_run_report, CecVerdict, Deadline, InconclusiveReason,
-    ParallelSweeper, RunMeta, SweepConfig,
+    cec_run_report, design_info, sweep_run_report, CecVerdict, Deadline, EngineMode, EnginePolicy,
+    InconclusiveReason, ParallelSweeper, RunMeta, SweepConfig,
 };
 use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
@@ -177,8 +177,9 @@ pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str>
     out
 }
 
-const VALUE_FLAGS: [&str; 20] = [
+const VALUE_FLAGS: [&str; 21] = [
     "-k",
+    "--engine-policy",
     "--strategy",
     "--iters",
     "--seed",
@@ -201,7 +202,7 @@ const VALUE_FLAGS: [&str; 20] = [
 ];
 
 /// Flags that stand alone (no value token follows).
-const BOOL_FLAGS: [&str; 3] = ["--profile", "--certify", "--resume"];
+const BOOL_FLAGS: [&str; 4] = ["--profile", "--certify", "--resume", "--no-incremental"];
 
 /// True for tokens the argument grammar treats as flags (same shape
 /// test [`positionals`] uses to skip them).
@@ -386,6 +387,25 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
         .transpose()?;
     let profile = rest.iter().any(|a| a == "--profile");
     let certify = rest.iter().any(|a| a == "--certify");
+    // `--engine-policy` picks the engine ordering per pair;
+    // `--no-incremental` drops back to one cold SAT solver per pair
+    // instead of the shared assumption-scoped region solvers
+    // (docs/solving.md). Verdicts and engine-stripped reports are
+    // identical either way; only the effort counters move.
+    let engine_mode: EngineMode = flag_value(rest, "--engine-policy")
+        .map(|v| {
+            EngineMode::parse(v).ok_or_else(|| {
+                CliError(format!(
+                    "bad --engine-policy value `{v}` (expected default|bdd-first|sat-only)"
+                ))
+            })
+        })
+        .transpose()?
+        .unwrap_or_default();
+    let engine = EnginePolicy {
+        incremental: !rest.iter().any(|a| a == "--no-incremental"),
+        mode: engine_mode,
+    };
     // `--checkpoint-dir` journals sweep rounds for crash-safe resume
     // (docs/recovery.md); `--resume` replays a journal left behind by
     // an interrupted run instead of discarding it.
@@ -550,6 +570,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 jobs,
                 stall,
                 certify,
+                engine,
                 ..SweepConfig::default()
             };
             // Always the dispatch engine: its reports are
@@ -651,6 +672,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 jobs,
                 stall,
                 certify,
+                engine,
                 ..SweepConfig::default()
             };
             // See the sweep arm: journaled runs always count, so the
@@ -942,11 +964,13 @@ USAGE:
   simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
   simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N] [--jobs N]
                       [--timeout SECS] [--stall SECS] [--certify]
+                      [--engine-policy P] [--no-incremental]
                       [--checkpoint-dir DIR] [--resume]
                       [--fault-seed N] [--stats-json PATH] [--trace PATH]
                       [--profile]
   simgen cec <a> <b> [--strategy S] [-k K] [--seed N] [--jobs N]
                      [--timeout SECS] [--stall SECS] [--certify]
+                     [--engine-policy P] [--no-incremental]
                      [--cache-dir DIR] [--cache-budget BYTES]
                      [--checkpoint-dir DIR] [--resume]
                      [--stats-json PATH] [--trace PATH] [--profile]
@@ -966,6 +990,18 @@ Formats by extension: .aig (binary AIGER), .aag (ASCII AIGER),
 --jobs/-j N runs the SAT-resolution phase on N worker threads and
 splits large simulation blocks across the same pool (results are
 byte-identical for any N); --jobs 0 auto-detects the core count.
+
+Engine policy: sweep/cec resolve each candidate pair by walking an
+engine ladder — simulation evidence first, then (per --engine-policy)
+BDDs and SAT. `default` runs the SAT ladder with BDDs as a bounded
+fallback; `bdd-first` tries the BDD engine before spending SAT
+conflicts; `sat-only` never consults BDDs. The SAT rungs share one
+long-lived assumption-scoped solver per fanin region, so later pairs
+in a region warm-start on the cone encoding and learnt clauses of
+earlier ones (docs/solving.md); --no-incremental reverts to a cold
+solver per pair. Verdicts and engine-stripped reports are identical
+across policies and both solver modes — only effort counters
+(conflicts, warm_solves, clauses_reused) move.
 
 Proof cache: --cache-dir DIR makes sweep/cec answer structurally
 repeated queries from a persistent content-addressed store instead of
@@ -1000,7 +1036,7 @@ fails the check are quarantined, never merged. --fault-seed N
 (requires building with --features fault-inject) deterministically
 injects worker faults for chaos testing; sweep only.
 
-Observability: --stats-json PATH writes a simgen-run-report/3 JSON
+Observability: --stats-json PATH writes a simgen-run-report/4 JSON
 document (schema: docs/observability.md); --trace PATH writes the
 event trace as JSON Lines; --profile prints per-phase folded stacks
 on stdout (pipe into a flamegraph tool).
@@ -1422,6 +1458,60 @@ mod tests {
             json.get("config").unwrap().get("certify"),
             Some(&Json::Bool(true)),
             "certify mode is echoed in the report config"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_policy_values_are_validated() {
+        for bad in ["fastest", "bdd", "SAT-ONLY", ""] {
+            let msg = run(&s(&["cec", "a.aig", "b.aig", "--engine-policy", bad]))
+                .expect_err("bad engine policy must error")
+                .0;
+            assert!(msg.contains("--engine-policy"), "unexpected error: {msg}");
+        }
+    }
+
+    #[test]
+    fn engine_policy_and_incremental_mode_are_echoed_in_reports() {
+        use simgen_obs::Json;
+        let dir = std::env::temp_dir().join(format!("simgen_cli_pol_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let aag = dir.join("e64.aag");
+        let aag_s = aag.to_str().unwrap().to_string();
+        run(&s(&["bench", "e64", &aag_s])).unwrap();
+        let config_of = |extra: &[&str]| -> Json {
+            let out = dir.join("pol.json");
+            let mut args = s(&["cec", &aag_s, &aag_s, "--stats-json"]);
+            args.push(out.to_str().unwrap().to_string());
+            args.extend(s(extra));
+            assert_eq!(run(&args).unwrap(), ExitCode::SUCCESS);
+            let json = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+            json.get("config").unwrap().clone()
+        };
+        let cfg = config_of(&[]);
+        assert_eq!(
+            cfg.get("engine_mode").and_then(Json::as_str),
+            Some("default")
+        );
+        assert_eq!(cfg.get("incremental"), Some(&Json::Bool(true)));
+        let cfg = config_of(&["--engine-policy", "sat-only", "--no-incremental"]);
+        assert_eq!(
+            cfg.get("engine_mode").and_then(Json::as_str),
+            Some("sat-only")
+        );
+        assert_eq!(cfg.get("incremental"), Some(&Json::Bool(false)));
+        // `auto` is the spelled-out alias for the default ordering,
+        // and bdd-first keeps the verdict (it only reorders engines).
+        let cfg = config_of(&["--engine-policy", "auto"]);
+        assert_eq!(
+            cfg.get("engine_mode").and_then(Json::as_str),
+            Some("default")
+        );
+        let cfg = config_of(&["--engine-policy", "bdd-first"]);
+        assert_eq!(
+            cfg.get("engine_mode").and_then(Json::as_str),
+            Some("bdd-first")
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -24,6 +24,7 @@ mod executor;
 mod fair;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+mod policy;
 mod pool;
 mod schedule;
 
@@ -32,5 +33,6 @@ pub use executor::{run_ordered, run_ordered_traced, DispatchOutcome, JobStatus, 
 pub use fair::{FairQueue, PushError};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultAction, FaultPlan};
+pub use policy::{EngineMode, EnginePolicy};
 pub use pool::{shared_pool, Scope, WorkerPool};
 pub use schedule::{Attempt, BudgetSchedule, Escalation};

@@ -16,10 +16,13 @@
 //!   writable from any thread, drained to JSONL. Traces are
 //!   diagnostics: explicitly outside the determinism guarantee.
 //! * [`RunReport`] — the versioned JSON document
-//!   (`simgen-run-report/3`) every run can emit, with a
+//!   (`simgen-run-report/4`) every run can emit, with a
 //!   [`deterministic_json`](RunReport::deterministic_json) form that
 //!   strips timing (`*_ms`) and scheduling fields and is required to
-//!   be byte-identical for any worker count. [`BenchReport`]
+//!   be byte-identical for any worker count, and an engine-stripped
+//!   form ([`report::strip_engine_dependent`]) that further removes
+//!   solver-effort fields so incremental and cold per-pair SAT runs
+//!   compare byte-identical. [`BenchReport`]
 //!   (`simgen-bench-report/2`) is the analogous schema for
 //!   `BENCH_*.json` perf artifacts.
 //!

@@ -152,6 +152,16 @@ enum_with_names! {
         /// Service jobs rejected with an explicit `overloaded` error
         /// because the fair queue was full.
         JobsRejected => "jobs_rejected",
+        /// Assumption scopes opened on incremental region solvers
+        /// (one per miter routed through a shared solver).
+        ScopesOpened => "scopes_opened",
+        /// Learnt clauses already present when a scope opened — the
+        /// clause-reuse incremental solving buys across a region's
+        /// pairs. Zero for every cold (per-pair) solve.
+        ClausesReused => "clauses_reused",
+        /// Pair proofs answered by a solver that had already solved an
+        /// earlier miter (warm starts, the complement of cold starts).
+        WarmSolves => "warm_solves",
     }
 }
 

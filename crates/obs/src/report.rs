@@ -1,8 +1,9 @@
 //! The versioned `RunReport` document: one JSON file per run unifying
 //! sweep, SAT, dispatch, simulation, and iteration statistics.
 //!
-//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/3"`; version
-//! 2 added the proof-cache and service counters). The
+//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/4"`; version
+//! 2 added the proof-cache and service counters, version 4 the
+//! incremental-SAT scope counters). The
 //! field-by-field specification lives in `docs/observability.md`; this
 //! module is the single source of truth for serialization
 //! ([`RunReport::to_json`]), for the deterministic comparison form
@@ -288,12 +289,81 @@ pub fn strip_nondeterministic(json: &mut Json) {
     }
 }
 
+/// Solver-effort keys in the `sat` section: how hard the CDCL search
+/// worked, not what it concluded. Warm incremental solvers spend fewer
+/// conflicts than cold per-pair ones, so these legitimately differ
+/// across engine policies while the verdicts do not.
+const ENGINE_SAT_KEYS: &[&str] = &[
+    "solves",
+    "decisions",
+    "propagations",
+    "conflicts",
+    "restarts",
+    "learned",
+    "removed",
+    "proof_clauses",
+    "proof_bytes",
+];
+
+/// Effort keys in `dispatch.totals`: a pair can clear its first budget
+/// rung warm but need an escalation cold.
+const ENGINE_DISPATCH_KEYS: &[&str] = &["conflicts", "timeouts", "escalations"];
+
+/// Counters that describe the engine policy's own behaviour.
+const ENGINE_COUNTER_KEYS: &[&str] = &[
+    "proofs_escalated",
+    "scopes_opened",
+    "clauses_reused",
+    "warm_solves",
+];
+
+/// Config keys that name the engine policy itself.
+const ENGINE_CONFIG_KEYS: &[&str] = &["engine_mode", "incremental"];
+
+/// Removes engine-effort fields in place, on top of
+/// [`strip_nondeterministic`]. What remains — verdicts, classes,
+/// prover call counts, simulation totals — is the *engine-stripped*
+/// form, required to be byte-identical between incremental and cold
+/// per-pair SAT solving for the same workload. (The guarantee holds
+/// as long as no pair exhausts its whole budget ladder in one mode
+/// but not the other; see `docs/solving.md`.)
+pub fn strip_engine_dependent(json: &mut Json) {
+    strip_nondeterministic(json);
+    let Json::Obj(entries) = json else { return };
+    for (key, value) in entries {
+        let drop: &[&str] = match key.as_str() {
+            "sat" => ENGINE_SAT_KEYS,
+            "counters" => ENGINE_COUNTER_KEYS,
+            "config" => ENGINE_CONFIG_KEYS,
+            "dispatch" => {
+                if let Json::Obj(sections) = value {
+                    for (name, section) in sections.iter_mut() {
+                        if name == "totals" {
+                            if let Json::Obj(t) = section {
+                                t.retain(|(k, _)| !ENGINE_DISPATCH_KEYS.contains(&k.as_str()));
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        if let Json::Obj(section) = value {
+            section.retain(|(k, _)| !drop.contains(&k.as_str()));
+        }
+    }
+}
+
 impl RunReport {
     /// Schema identifier written into every report. Version 2 added
     /// the proof-cache counters (`cache_*`, `jobs_rejected`); version
     /// 3 added the `sim_patterns` counter, `sim.exec_patterns`, and
-    /// the stripped `sim.simd_width_bits`/`sim.pool_*` diagnostics.
-    pub const SCHEMA: &'static str = "simgen-run-report/3";
+    /// the stripped `sim.simd_width_bits`/`sim.pool_*` diagnostics;
+    /// version 4 added the incremental-SAT counters (`scopes_opened`,
+    /// `clauses_reused`, `warm_solves`) and the engine-policy config
+    /// keys.
+    pub const SCHEMA: &'static str = "simgen-run-report/4";
 
     /// Serializes the full report.
     pub fn to_json(&self) -> Json {
@@ -808,6 +878,54 @@ mod tests {
             text.contains("\"exec_patterns\""),
             "deterministic field kept"
         );
+    }
+
+    #[test]
+    fn engine_stripped_form_ignores_solver_effort() {
+        // Two runs of one workload under different engine policies:
+        // identical verdicts, different solver effort and policy echo.
+        let make = |warm: bool| {
+            let mut report = sample_report(2);
+            report
+                .config
+                .push(("engine_mode".to_string(), Json::Str("default".into())));
+            report
+                .config
+                .push(("incremental".to_string(), Json::Bool(warm)));
+            if let Some(sat) = report.sat.as_mut() {
+                sat.conflicts = if warm { 17 } else { 123 };
+                sat.solves = if warm { 11 } else { 29 };
+            }
+            if let Some(d) = report.dispatch.as_mut() {
+                d.conflicts = if warm { 0 } else { 40 };
+                d.escalations = if warm { 0 } else { 2 };
+            }
+            report.counters = vec![
+                (Counter::ProofsDispatched.name(), 10),
+                (Counter::ProofsEscalated.name(), if warm { 0 } else { 2 }),
+                (Counter::ScopesOpened.name(), if warm { 10 } else { 0 }),
+                (Counter::ClausesReused.name(), if warm { 57 } else { 0 }),
+                (Counter::WarmSolves.name(), if warm { 9 } else { 0 }),
+            ];
+            report
+        };
+        let (warm, cold) = (make(true), make(false));
+        assert_ne!(warm.deterministic_json(), cold.deterministic_json());
+        let strip = |r: &RunReport| {
+            let mut json = r.to_json();
+            strip_engine_dependent(&mut json);
+            json.to_pretty()
+        };
+        let text = strip(&warm);
+        assert_eq!(text, strip(&cold), "engine-stripped forms must agree");
+        // Verdict-bearing fields survive; effort fields do not.
+        assert!(text.contains("\"calls\""));
+        assert!(text.contains("\"proofs_dispatched\""));
+        assert!(text.contains("\"proved_equivalent\""));
+        assert!(!text.contains("\"conflicts\""));
+        assert!(!text.contains("\"escalations\""));
+        assert!(!text.contains("\"warm_solves\""));
+        assert!(!text.contains("\"engine_mode\""));
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! The backend abstraction every SAT consumer programs against.
+//!
+//! Sweeping code (the Tseitin encoder, the scoped-miter machinery in
+//! [`scope`](crate::scope), the pair provers in `simgen-cec`) needs a
+//! small, stable surface from a solver: allocate variables, add
+//! clauses, solve under assumptions with a conflict budget, read the
+//! model, and expose statistics. [`SatBackend`] names exactly that
+//! surface, so the encoder and the scope lifecycle are written once
+//! and work against any conforming engine — today the built-in CDCL
+//! [`Solver`], tomorrow an external incremental solver behind the same
+//! trait.
+
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver, SolverStats};
+
+/// An incremental SAT engine: grow-only formula, assumption-based
+/// queries, conflict budgets.
+///
+/// The contract mirrors the IPASIR shape every incremental solver
+/// offers: clauses persist across queries, assumptions hold for one
+/// [`solve_limited`](SatBackend::solve_limited) call only, and a
+/// budget overrun answers [`SolveResult::Unknown`] without losing the
+/// learnt clauses the attempt produced.
+pub trait SatBackend {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause to the persistent formula. Returns `false` once
+    /// the formula is known unsatisfiable at the top level.
+    fn add_clause(&mut self, clause: &[Lit]) -> bool;
+
+    /// Solves under temporary unit assumptions with an optional
+    /// conflict budget (`None` = unbounded).
+    fn solve_limited(&mut self, assumptions: &[Lit], conflict_budget: Option<u64>) -> SolveResult;
+
+    /// The model value of `v` after a [`SolveResult::Sat`] answer
+    /// (`None` without a model for this variable).
+    fn value(&self, v: Var) -> Option<bool>;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> SolverStats;
+
+    /// Learnt clauses currently live in the clause database — the
+    /// knowledge a new assumption scope opened on this backend starts
+    /// warm with (see [`ScopeMetrics`](crate::scope::ScopeMetrics)).
+    fn num_learnts(&self) -> usize;
+}
+
+impl SatBackend for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, clause: &[Lit]) -> bool {
+        Solver::add_clause(self, clause)
+    }
+
+    fn solve_limited(&mut self, assumptions: &[Lit], conflict_budget: Option<u64>) -> SolveResult {
+        Solver::solve_limited(self, assumptions, conflict_budget)
+    }
+
+    fn value(&self, v: Var) -> Option<bool> {
+        Solver::value(self, v)
+    }
+
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
+    }
+
+    fn num_learnts(&self) -> usize {
+        Solver::num_learnts(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The generic surface answers exactly like the concrete solver.
+    fn exercise<B: SatBackend>(s: &mut B) {
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::pos(b)]));
+        assert!(s.add_clause(&[Lit::neg(a), Lit::pos(b)]));
+        assert_eq!(s.solve_limited(&[], None), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(
+            s.solve_limited(&[Lit::neg(b)], None),
+            SolveResult::Unsat,
+            "assumption queries flow through the trait"
+        );
+        assert!(s.stats().solves >= 2);
+    }
+
+    #[test]
+    fn solver_implements_the_backend_surface() {
+        let mut s = Solver::new();
+        exercise(&mut s);
+    }
+}

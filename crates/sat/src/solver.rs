@@ -69,6 +69,27 @@ impl std::ops::AddAssign for SolverStats {
     }
 }
 
+impl std::ops::Sub for SolverStats {
+    type Output = SolverStats;
+
+    /// Field-wise difference, for carving a per-pair delta out of a
+    /// long-lived region solver's cumulative counters. Saturating, so
+    /// a stale "before" snapshot degrades to zero rather than wrapping.
+    fn sub(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(rhs.decisions),
+            propagations: self.propagations.saturating_sub(rhs.propagations),
+            conflicts: self.conflicts.saturating_sub(rhs.conflicts),
+            restarts: self.restarts.saturating_sub(rhs.restarts),
+            learned: self.learned.saturating_sub(rhs.learned),
+            removed: self.removed.saturating_sub(rhs.removed),
+            solves: self.solves.saturating_sub(rhs.solves),
+            proof_clauses: self.proof_clauses.saturating_sub(rhs.proof_clauses),
+            proof_bytes: self.proof_bytes.saturating_sub(rhs.proof_bytes),
+        }
+    }
+}
+
 const LBOOL_UNDEF: i8 = 2;
 
 type ClauseRef = u32;
@@ -375,6 +396,13 @@ impl Solver {
     /// Cumulative statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Learnt clauses currently live in the database (learned minus
+    /// reduced) — what a new assumption scope opened on this solver
+    /// starts warm with.
+    pub fn num_learnts(&self) -> usize {
+        self.num_learnts
     }
 
     /// Adds a clause. Returns `false` if the formula is now known
@@ -879,6 +907,15 @@ impl Solver {
                 Search::Restart => {
                     self.stats.restarts += 1;
                     restart += 1;
+                    // The in-search clock sampling only fires every 64
+                    // iterations *of one search call*; a restart resets
+                    // that counter, so long-propagation instances could
+                    // string together restarts without ever sampling
+                    // the clock. Checking here bounds the overshoot
+                    // past the deadline by one restart interval.
+                    if self.past_deadline() {
+                        break SolveResult::Unknown;
+                    }
                 }
             }
         };
@@ -1149,6 +1186,27 @@ mod tests {
             std::time::Instant::now() + std::time::Duration::from_secs(3600),
         ));
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn deadline_expiring_mid_search_aborts_promptly() {
+        // Satellite regression for the restart-boundary check: a
+        // deadline that expires *during* the solve must abort the
+        // query within a bounded number of steps — at the next 64-step
+        // clock sample or the next restart, whichever comes first —
+        // even on an instance the solver could chew on for ages.
+        let (nv, clauses) = pigeonhole(8);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(nv, &refs);
+        s.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_millis(2),
+        ));
+        let start = std::time::Instant::now();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "deadline overshoot must stay bounded"
+        );
     }
 
     #[test]
