@@ -12,7 +12,7 @@
 //! ```
 
 use simgen_bench::{jobs_arg, write_bench_report, BenchReport, Json};
-use simgen_cec::{Deadline, EngineMode, EnginePolicy, ParallelSweeper, SweepConfig};
+use simgen_cec::{Deadline, EnginePolicy, ParallelSweeper, SweepConfig};
 use simgen_core::{SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
 use simgen_netlist::{miter::combine, LutNetwork, NodeId};
@@ -71,7 +71,7 @@ fn run_mode(net: &LutNetwork, incremental: bool, jobs: usize) -> ModeRow {
         jobs,
         engine: EnginePolicy {
             incremental,
-            mode: EngineMode::Auto,
+            ..EnginePolicy::default()
         },
         ..SweepConfig::default()
     };

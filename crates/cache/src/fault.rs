@@ -1,0 +1,102 @@
+//! Deterministic disk-fault injection for chaos testing the cache's
+//! circuit breaker (feature `fault-inject` only — never compiled into
+//! release binaries unless explicitly requested).
+//!
+//! A [`DiskFaultPlan`] is a pure function from `(seed, write index)`
+//! to fail-or-succeed: it holds no mutable state, so the same seed
+//! produces the same I/O errors at the same write attempts regardless
+//! of timing. Injected failures stand in for `ENOSPC`/`EIO` — the
+//! conditions that in production trip the [`ProofCache`]'s breaker to
+//! memory-only operation.
+//!
+//! The failure mix is *bursty* on purpose: the breaker only trips on
+//! *consecutive* failures, so independent 1-in-N coin flips would
+//! almost never exercise it. Instead the plan fails writes in runs —
+//! roughly one burst of 4–7 consecutive failures per 32 writes —
+//! which both trips the breaker and lets later probe writes succeed
+//! to close it again.
+//!
+//! [`ProofCache`]: crate::ProofCache
+
+/// SplitMix64 — tiny, well-mixed, and dependency-free; exactly what a
+/// reproducible fault oracle needs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded, deterministic plan of injected disk-write failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskFaultPlan {
+    seed: u64,
+}
+
+/// Writes per burst window.
+const WINDOW: u64 = 32;
+
+impl DiskFaultPlan {
+    /// Creates the plan identified by `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        DiskFaultPlan { seed }
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the disk write at `index` should fail. Pure: same plan
+    /// and index always yield the same answer.
+    pub fn fails(&self, index: u64) -> bool {
+        let window = index / WINDOW;
+        let h = splitmix64(self.seed ^ splitmix64(window + 1));
+        // Each window gets one burst: start offset in the first half,
+        // length 4–7 — long enough to trip a threshold-3 breaker.
+        let start = h % (WINDOW / 2);
+        let len = 4 + ((h >> 16) % 4);
+        let off = index % WINDOW;
+        off >= start && off < start + len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_index() {
+        let p = DiskFaultPlan::from_seed(9);
+        let q = DiskFaultPlan::from_seed(9);
+        for i in 0..512 {
+            assert_eq!(p.fails(i), q.fails(i));
+        }
+        assert_eq!(p.seed(), 9);
+    }
+
+    #[test]
+    fn failures_come_in_breaker_tripping_bursts() {
+        let p = DiskFaultPlan::from_seed(3);
+        let mut longest_run = 0u32;
+        let mut run = 0u32;
+        let mut failures = 0u32;
+        for i in 0..1024 {
+            if p.fails(i) {
+                run += 1;
+                failures += 1;
+                longest_run = longest_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(
+            longest_run >= 3,
+            "a burst must be able to trip a threshold-3 breaker"
+        );
+        assert!(
+            failures < 1024 / 2,
+            "most writes must succeed so the breaker can close: {failures}"
+        );
+    }
+}

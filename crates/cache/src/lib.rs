@@ -28,14 +28,18 @@
 //! check are evicted and the query falls through to a live proof.
 
 pub mod digest;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod key;
 pub mod proof;
 pub mod store;
 
 pub use digest::Sha256;
+#[cfg(feature = "fault-inject")]
+pub use fault::DiskFaultPlan;
 pub use key::{cone_key, job_key, pair_key, CacheKey};
 pub use proof::{serialize_certificate, verify_proof, OwnedCertificate, ProofParseError};
 pub use store::{
-    scrub, CacheEntry, CachedVerdict, PinGuard, ProofCache, ScrubReport, ENTRY_SCHEMA,
-    ENTRY_SCHEMA_V1, QUARANTINE_DIR,
+    scrub, scrub_with_quarantine_budget, CacheEntry, CachedVerdict, PinGuard, ProofCache,
+    ScrubReport, DEFAULT_QUARANTINE_BUDGET, ENTRY_SCHEMA, ENTRY_SCHEMA_V1, QUARANTINE_DIR,
 };

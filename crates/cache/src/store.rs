@@ -51,6 +51,21 @@ pub const QUARANTINE_DIR: &str = "quarantine";
 /// Fixed per-entry accounting overhead (key, map slot, bookkeeping).
 const ENTRY_OVERHEAD: u64 = 96;
 
+/// Consecutive write-through failures before the persistence circuit
+/// breaker opens (the cache drops to memory-only operation).
+const BREAKER_THRESHOLD: u32 = 3;
+
+/// While the breaker is open, every Nth insert probes the disk with a
+/// real write; success closes the breaker. Count-based rather than
+/// time-based so degraded-mode behavior is deterministic under test.
+const BREAKER_PROBE_INTERVAL: u64 = 16;
+
+/// Default byte budget for the `quarantine/` subdirectory: [`scrub`]
+/// rotates the oldest quarantined files out past this, so a flaky
+/// disk that corrupts entries on every restart cannot fill the
+/// volume with forensic copies.
+pub const DEFAULT_QUARANTINE_BUDGET: u64 = 4 << 20;
+
 /// A cached answer for one content address.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CachedVerdict {
@@ -117,6 +132,21 @@ struct Inner {
     dir: Option<PathBuf>,
     /// Pin refcounts: keys present here are exempt from LRU eviction.
     pins: HashMap<CacheKey, usize>,
+    /// Consecutive write-through failures; reset by any success.
+    disk_failures: u32,
+    /// Persistence circuit breaker: while open, inserts skip the disk
+    /// (memory-only degraded mode) except for periodic probe writes.
+    breaker_open: bool,
+    /// Times the breaker has tripped open over the cache's lifetime.
+    breaker_trips: u64,
+    /// Inserts seen while the breaker is open, for probe pacing.
+    writes_while_open: u64,
+    /// Monotonic count of attempted disk writes, indexing the fault
+    /// plan so injected failures are a pure function of write order.
+    #[cfg(feature = "fault-inject")]
+    write_index: u64,
+    #[cfg(feature = "fault-inject")]
+    fault_plan: Option<crate::fault::DiskFaultPlan>,
 }
 
 /// What a [`scrub`] pass found in a cache directory.
@@ -126,6 +156,9 @@ pub struct ScrubReport {
     pub valid: usize,
     /// New (quarantine) locations of the files that failed it.
     pub quarantined: Vec<PathBuf>,
+    /// Old quarantined files deleted to keep `quarantine/` under its
+    /// byte budget (oldest first).
+    pub rotated: usize,
 }
 
 /// Verifies every `*.entry` file under `dir`: the file name must be a
@@ -133,8 +166,18 @@ pub struct ScrubReport {
 /// must parse. Failures are moved — not deleted — into
 /// `dir/quarantine/` so an operator can inspect them; nothing
 /// quarantined is ever loaded or served. Files without the `.entry`
-/// extension are ignored.
+/// extension are ignored. The quarantine directory itself is then
+/// rotated down to [`DEFAULT_QUARANTINE_BUDGET`] bytes, oldest files
+/// first, so repeated corruption cannot fill the volume.
 pub fn scrub(dir: impl AsRef<Path>) -> io::Result<ScrubReport> {
+    scrub_with_quarantine_budget(dir, DEFAULT_QUARANTINE_BUDGET)
+}
+
+/// [`scrub`] with an explicit quarantine byte budget.
+pub fn scrub_with_quarantine_budget(
+    dir: impl AsRef<Path>,
+    quarantine_budget: u64,
+) -> io::Result<ScrubReport> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let mut report = ScrubReport::default();
@@ -164,7 +207,42 @@ pub fn scrub(dir: impl AsRef<Path>) -> io::Result<ScrubReport> {
         std::fs::rename(&path, &dest)?;
         report.quarantined.push(dest);
     }
+    report.rotated = rotate_quarantine(&dir.join(QUARANTINE_DIR), quarantine_budget)?;
     Ok(report)
+}
+
+/// Deletes the oldest files in `qdir` until the directory fits in
+/// `budget` bytes. Age is modification time with file name as the
+/// deterministic tie-break. Missing directory = nothing to rotate.
+fn rotate_quarantine(qdir: &Path, budget: u64) -> io::Result<usize> {
+    let entries = match std::fs::read_dir(qdir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let meta = e.metadata().ok()?;
+            if !meta.is_file() {
+                return None;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            Some((mtime, e.path(), meta.len()))
+        })
+        .collect();
+    files.sort();
+    let mut total: u64 = files.iter().map(|&(_, _, len)| len).sum();
+    let mut rotated = 0;
+    for (_, path, len) in files {
+        if total <= budget {
+            break;
+        }
+        std::fs::remove_file(&path)?;
+        total -= len;
+        rotated += 1;
+    }
+    Ok(rotated)
 }
 
 /// The content-addressed verdict store. All methods take `&self`;
@@ -185,6 +263,14 @@ impl ProofCache {
                 tick: 0,
                 dir: None,
                 pins: HashMap::new(),
+                disk_failures: 0,
+                breaker_open: false,
+                breaker_trips: 0,
+                writes_while_open: 0,
+                #[cfg(feature = "fault-inject")]
+                write_index: 0,
+                #[cfg(feature = "fault-inject")]
+                fault_plan: None,
             }),
         }
     }
@@ -262,12 +348,13 @@ impl ProofCache {
         let stamp = inner.tick;
         if persist {
             if let Some(dir) = inner.dir.clone() {
-                // Best-effort write-through: a full disk must not take
-                // down the daemon; the in-memory entry stays correct.
-                let _ = atomic_write(
-                    dir.join(format!("{}.entry", key.hex())),
-                    entry_text(&key, &entry),
-                );
+                // Best-effort write-through behind a circuit breaker:
+                // a full or failing disk must not take down the
+                // daemon; the in-memory entry stays correct either
+                // way. Entries inserted while the breaker is open are
+                // simply not persisted (they are lost on restart, not
+                // corrupted — scrub-on-open guards the rest).
+                Self::write_through_locked(&mut inner, &dir, &key, &entry);
             }
         }
         if let Some(old) = inner.slots.insert(key, Slot { entry, cost, stamp }) {
@@ -292,6 +379,87 @@ impl ProofCache {
             evicted += 1;
         }
         evicted
+    }
+
+    /// One write-through attempt under the breaker policy. Closed
+    /// breaker: every insert writes; a failure streak of
+    /// [`BREAKER_THRESHOLD`] trips it open. Open breaker: inserts skip
+    /// the disk except every [`BREAKER_PROBE_INTERVAL`]th, which
+    /// probes with a real write; one success closes the breaker again.
+    fn write_through_locked(inner: &mut Inner, dir: &Path, key: &CacheKey, entry: &CacheEntry) {
+        if inner.breaker_open {
+            inner.writes_while_open += 1;
+            if !inner
+                .writes_while_open
+                .is_multiple_of(BREAKER_PROBE_INTERVAL)
+            {
+                return;
+            }
+        }
+        let result = Self::disk_write(inner, dir, key, entry);
+        match result {
+            Ok(()) => {
+                inner.disk_failures = 0;
+                inner.breaker_open = false;
+            }
+            Err(_) => {
+                inner.disk_failures += 1;
+                if !inner.breaker_open && inner.disk_failures >= BREAKER_THRESHOLD {
+                    inner.breaker_open = true;
+                    inner.breaker_trips += 1;
+                    inner.writes_while_open = 0;
+                }
+            }
+        }
+    }
+
+    /// The raw entry-file write, with injected failures when a disk
+    /// fault plan is installed (feature `fault-inject`).
+    #[allow(unused_variables)]
+    fn disk_write(
+        inner: &mut Inner,
+        dir: &Path,
+        key: &CacheKey,
+        entry: &CacheEntry,
+    ) -> io::Result<()> {
+        #[cfg(feature = "fault-inject")]
+        {
+            let index = inner.write_index;
+            inner.write_index += 1;
+            if inner.fault_plan.is_some_and(|p| p.fails(index)) {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected disk fault",
+                ));
+            }
+        }
+        atomic_write(
+            dir.join(format!("{}.entry", key.hex())),
+            entry_text(key, entry),
+        )
+    }
+
+    /// Installs a deterministic disk-fault plan: subsequent
+    /// write-through attempts consult it and fail as `ENOSPC` where
+    /// the plan says so. Chaos-test plumbing only.
+    #[cfg(feature = "fault-inject")]
+    pub fn set_disk_fault_plan(&self, plan: Option<crate::fault::DiskFaultPlan>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.fault_plan = plan;
+        inner.write_index = 0;
+    }
+
+    /// True while the persistence breaker is open: lookups and inserts
+    /// still work, but entries are not being written through to disk —
+    /// the daemon's `degraded` health flag.
+    pub fn breaker_tripped(&self) -> bool {
+        self.inner.lock().unwrap().breaker_open
+    }
+
+    /// Times the persistence breaker has tripped open since the cache
+    /// was created.
+    pub fn breaker_trips(&self) -> u64 {
+        self.inner.lock().unwrap().breaker_trips
     }
 
     /// Marks `key` in use by an admitted job: while the pin refcount
@@ -808,6 +976,97 @@ mod tests {
         assert!(cache.lookup(&key(1)).is_some());
         assert!(cache.lookup(&key(2)).is_some());
         assert!(cache.bytes() > one);
+    }
+
+    #[test]
+    fn quarantine_rotation_deletes_oldest_past_budget() {
+        let dir = std::env::temp_dir().join(format!("simgen_cache_q_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let qdir = dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&qdir).unwrap();
+        for name in ["a.entry", "b.entry", "c.entry", "d.entry", "e.entry"] {
+            std::fs::write(qdir.join(name), [b'x'; 10]).unwrap();
+        }
+        // Budget fits two 10-byte files: the three oldest go.
+        let report = scrub_with_quarantine_budget(&dir, 20).unwrap();
+        assert_eq!(report.rotated, 3);
+        let mut left: Vec<String> = std::fs::read_dir(&qdir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        left.sort();
+        assert_eq!(left, vec!["d.entry", "e.entry"], "oldest rotated first");
+        // Already under budget: a second pass rotates nothing.
+        let report = scrub_with_quarantine_budget(&dir, 20).unwrap();
+        assert_eq!(report.rotated, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_without_quarantine_dir_rotates_nothing() {
+        let dir = std::env::temp_dir().join(format!("simgen_cache_nq_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = scrub(&dir).unwrap();
+        assert_eq!(report.rotated, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn breaker_trips_on_repeated_write_failures_and_probes_closed() {
+        let dir = std::env::temp_dir().join(format!("simgen_cache_b_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
+        assert!(!cache.breaker_tripped());
+        // Yank the directory out from under the cache: every
+        // write-through now fails like a dead disk.
+        std::fs::remove_dir_all(&dir).unwrap();
+        for n in 1..=3 {
+            cache.insert(key(n), eq_entry(8));
+        }
+        assert!(cache.breaker_tripped(), "three consecutive failures trip");
+        assert_eq!(cache.breaker_trips(), 1);
+        // Lookups and inserts keep working in degraded mode.
+        assert!(cache.lookup(&key(1)).is_some());
+        for n in 4..=10 {
+            cache.insert(key(n), eq_entry(8));
+        }
+        assert!(cache.breaker_tripped(), "probes against a dead disk fail");
+        assert_eq!(cache.breaker_trips(), 1, "reprobing is not a new trip");
+        // Disk comes back: within one probe interval the breaker
+        // closes and entries persist again.
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in 0..=(BREAKER_PROBE_INTERVAL as u8) {
+            cache.insert(key(100 + n), eq_entry(8));
+        }
+        assert!(!cache.breaker_tripped(), "a successful probe closes");
+        cache.insert(key(200), eq_entry(8));
+        assert!(dir.join(format!("{}.entry", key(200).hex())).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_disk_faults_drive_the_breaker() {
+        use crate::fault::DiskFaultPlan;
+        let dir = std::env::temp_dir().join(format!("simgen_cache_f_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ProofCache::persistent(&dir, 1 << 20).unwrap();
+        cache.set_disk_fault_plan(Some(DiskFaultPlan::from_seed(3)));
+        let mut n = 0u8;
+        while cache.breaker_trips() == 0 {
+            cache.insert(key(n), eq_entry(8));
+            n = n
+                .checked_add(1)
+                .expect("a burst must trip within 256 writes");
+        }
+        // The healthy disk answers the next probe: breaker closes.
+        cache.set_disk_fault_plan(None);
+        for _ in 0..=(BREAKER_PROBE_INTERVAL as u8) {
+            cache.insert(key(n), eq_entry(8));
+            n = n.wrapping_add(1);
+        }
+        assert!(!cache.breaker_tripped());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum InconclusiveReason {
     /// proofs also land here: the solver cannot tell the two aborts
     /// apart, and the deadline had not passed).
     BudgetExhausted,
+    /// The run's estimated memory footprint crossed
+    /// [`SweepConfig::mem_budget`] and the
+    /// [`MemoryGovernor`](crate::govern::MemoryGovernor) cancelled the
+    /// remaining work — a deliberate shed, reported instead of growing
+    /// toward an OOM kill. The partial result is as sound as a
+    /// deadline expiry's.
+    ResourceExhausted,
     /// Certification (`SweepConfig::certify`) rejected an engine
     /// answer somewhere in the run — a DRAT certificate the checker
     /// refused or a counterexample that did not replay. The affected
@@ -238,7 +245,24 @@ pub fn check_equivalence_checkpointed(
     let mut unresolved_pairs: Vec<usize> = Vec::new();
     let mut replayer = Replayer::new();
     let mut output_cert_failures: u64 = 0;
+    // The output proofs run under the same memory budget as the sweep.
+    // The sweep's structures are freed by now, so the governor here
+    // watches only the output prover's own gauges; a trip inside the
+    // sweep already expired the shared deadline.
+    let mut governor = crate::govern::MemoryGovernor::new(config.mem_budget);
+    let mut mem_exhausted = sweep.mem_exhausted;
     for (i, (pa, pb)) in a.pos().iter().zip(b.pos()).enumerate() {
+        if governor.note(crate::govern::estimate_resident(
+            &prover.solver_stats(),
+            &Default::default(),
+        )) {
+            mem_exhausted = true;
+            deadline.trip();
+            obs.trace.emit(
+                "mem_budget_exhausted",
+                vec![("estimate_bytes", Json::U64(governor.peak()))],
+            );
+        }
         if deadline.expired() {
             unresolved_pairs.push(i);
             continue;
@@ -357,8 +381,12 @@ pub fn check_equivalence_checkpointed(
             unresolved_pairs,
             // Certification trouble outranks the softer reasons: it
             // means an engine bug was caught, not just a tight budget.
+            // A memory-budget shed outranks the deadline it trips
+            // through — the cause, not the mechanism, is reported.
             reason: if output_cert_failures > 0 {
                 InconclusiveReason::CertificationFailed
+            } else if mem_exhausted {
+                InconclusiveReason::ResourceExhausted
             } else if deadline.expired() {
                 InconclusiveReason::DeadlineExpired
             } else {
@@ -366,6 +394,15 @@ pub fn check_equivalence_checkpointed(
             },
         }
     };
+    if matches!(
+        verdict,
+        CecVerdict::Inconclusive {
+            reason: InconclusiveReason::ResourceExhausted,
+            ..
+        }
+    ) {
+        obs.recorder.add(Counter::JobsOomCancelled, 1);
+    }
     // Output-proof certification failures fold into the run-wide
     // counter the report builders key exit code 3 on.
     let mut sweep_stats = sweep.stats;
@@ -611,6 +648,35 @@ mod tests {
             }
             other => panic!("expected Inconclusive, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tiny_mem_budget_sheds_with_resource_exhausted() {
+        let (n1, n2) = adder_pair();
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let cfg = SweepConfig {
+            mem_budget: Some(1),
+            ..SweepConfig::default()
+        };
+        let report = check_equivalence(&n1, &n2, &mut gen, cfg).unwrap();
+        match report.verdict {
+            CecVerdict::Inconclusive {
+                unresolved_pairs,
+                reason,
+            } => {
+                assert_eq!(unresolved_pairs, vec![0, 1]);
+                assert_eq!(reason, InconclusiveReason::ResourceExhausted);
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        // A generous budget changes nothing about the verdict.
+        let cfg = SweepConfig {
+            mem_budget: Some(1 << 30),
+            ..SweepConfig::default()
+        };
+        let mut gen = SimGen::new(SimGenConfig::default());
+        let report = check_equivalence(&n1, &n2, &mut gen, cfg).unwrap();
+        assert_eq!(report.verdict, CecVerdict::Equivalent);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Memory governance for sweeps: per-run accounting of the dominant
+//! allocations against a byte budget, so an over-sized job degrades
+//! into a `ResourceExhausted` verdict instead of growing until the
+//! kernel OOM-kills the whole process.
+//!
+//! The estimate is not a malloc audit — it folds the three gauges the
+//! engines already maintain deterministically: live clause storage
+//! ([`SolverStats::clause_db_bytes`]), recorded DRAT proof text
+//! ([`SolverStats::proof_bytes`]), and peak simulation lane tables
+//! ([`PoolStats::lane_bytes`]). That keeps the trip decision a pure
+//! function of solver/simulator progress rather than of allocator
+//! internals, at the cost of being an estimate: the budget should be
+//! set with headroom, not at the cgroup limit.
+//!
+//! Like deadlines and stall thresholds, the budget is an *anytime*
+//! control, not part of the problem statement: it is excluded from
+//! the journal fingerprint and the proof-cache configuration, and a
+//! trip interrupts the run through the same shared [`Deadline`] flag
+//! a watchdog uses.
+//!
+//! [`SolverStats::clause_db_bytes`]: simgen_sat::SolverStats::clause_db_bytes
+//! [`SolverStats::proof_bytes`]: simgen_sat::SolverStats::proof_bytes
+//! [`PoolStats::lane_bytes`]: simgen_sim::PoolStats::lane_bytes
+//! [`Deadline`]: simgen_dispatch::Deadline
+
+use simgen_sat::SolverStats;
+use simgen_sim::PoolStats;
+
+/// Estimated resident bytes of a sweep's dominant allocations, from
+/// the deterministic gauges the engines maintain. Conservative by
+/// construction: solver stats folded from already-retired provers
+/// stay counted, so the estimate never shrinks below what a single
+/// long-lived solver would hold.
+pub fn estimate_resident(solver: &SolverStats, pool: &PoolStats) -> u64 {
+    solver
+        .clause_db_bytes
+        .saturating_add(solver.proof_bytes)
+        .saturating_add(pool.lane_bytes)
+}
+
+/// Tracks a run's estimated footprint against an optional byte
+/// budget. [`MemoryGovernor::note`] returns `true` exactly once — at
+/// the first check where the estimate crosses the budget — which is
+/// the caller's cue to trip the run's deadline and report
+/// `ResourceExhausted`.
+#[derive(Clone, Debug)]
+pub struct MemoryGovernor {
+    budget: Option<u64>,
+    peak: u64,
+    tripped: bool,
+}
+
+impl MemoryGovernor {
+    /// Creates a governor; `None` disables accounting (every `note`
+    /// returns `false`).
+    pub fn new(budget: Option<u64>) -> Self {
+        MemoryGovernor {
+            budget,
+            peak: 0,
+            tripped: false,
+        }
+    }
+
+    /// Folds a fresh estimate into the peak. Returns `true` on the
+    /// first check where the estimate exceeds the budget; later
+    /// checks return `false` so the caller's shutdown path runs once.
+    pub fn note(&mut self, estimate: u64) -> bool {
+        self.peak = self.peak.max(estimate);
+        if self.tripped {
+            return false;
+        }
+        match self.budget {
+            Some(budget) if estimate > budget => {
+                self.tripped = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True once a check has exceeded the budget.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Largest estimate seen so far.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Bytes left under the budget at the current peak (`None` when
+    /// accounting is disabled, zero once tripped).
+    pub fn headroom(&self) -> Option<u64> {
+        self.budget.map(|b| b.saturating_sub(self.peak))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbudgeted_governor_never_trips() {
+        let mut g = MemoryGovernor::new(None);
+        assert!(!g.note(u64::MAX));
+        assert!(!g.tripped());
+        assert_eq!(g.peak(), u64::MAX);
+        assert_eq!(g.headroom(), None);
+    }
+
+    #[test]
+    fn trips_once_at_first_crossing() {
+        let mut g = MemoryGovernor::new(Some(1000));
+        assert!(!g.note(1000), "at the budget is still within it");
+        assert_eq!(g.headroom(), Some(0));
+        assert!(g.note(1001), "first crossing reports the trip");
+        assert!(!g.note(5000), "later checks stay silent");
+        assert!(g.tripped());
+        assert_eq!(g.peak(), 5000);
+        assert_eq!(g.headroom(), Some(0));
+    }
+
+    #[test]
+    fn estimate_folds_the_three_gauges_saturating() {
+        let solver = SolverStats {
+            clause_db_bytes: 100,
+            proof_bytes: 10,
+            ..SolverStats::default()
+        };
+        let pool = PoolStats {
+            lane_bytes: 1,
+            ..PoolStats::default()
+        };
+        assert_eq!(estimate_resident(&solver, &pool), 111);
+        let huge = SolverStats {
+            clause_db_bytes: u64::MAX,
+            proof_bytes: u64::MAX,
+            ..SolverStats::default()
+        };
+        assert_eq!(estimate_resident(&huge, &pool), u64::MAX);
+    }
+}

@@ -54,8 +54,12 @@ use simgen_obs::{atomic_write, Counter, Json, Observer};
 use crate::stats::{DispatchSummary, SweepStats};
 use crate::sweep::SweepConfig;
 
-/// Magic schema tag on the journal's meta line.
-pub const JOURNAL_SCHEMA: &str = "simgen-sweep-journal/1";
+/// Magic schema tag on the journal's meta line. Version 2 widened the
+/// snapshot's solver row with `clause_db_bytes` (so the parallel
+/// sweeper's memory governor sees identical estimates across a
+/// resume) — version-1 journals fail the meta check and degrade to a
+/// fresh live run, which is always sound.
+pub const JOURNAL_SCHEMA: &str = "simgen-sweep-journal/2";
 
 /// File name of the journal inside a checkpoint directory.
 pub const JOURNAL_FILE: &str = "sweep.journal";
@@ -130,8 +134,8 @@ pub struct StatsSnapshot {
     pub certification_failures: u64,
     /// [`SweepStats::solver`] totals, in field order: decisions,
     /// propagations, conflicts, restarts, learned, removed, solves,
-    /// proof_clauses, proof_bytes.
-    pub solver: [u64; 9],
+    /// proof_clauses, proof_bytes, clause_db_bytes.
+    pub solver: [u64; 10],
     /// [`DispatchSummary`] totals, in field order: rounds,
     /// quarantined, proofs, conflicts, timeouts, escalations, panics.
     pub dispatch: [u64; 7],
@@ -157,6 +161,7 @@ impl StatsSnapshot {
                 s.solves,
                 s.proof_clauses,
                 s.proof_bytes,
+                s.clause_db_bytes,
             ],
             dispatch: [
                 summary.rounds,
@@ -180,7 +185,7 @@ impl StatsSnapshot {
         stats.disproved = self.disproved;
         stats.aborted = self.aborted;
         stats.certification_failures = self.certification_failures;
-        let [decisions, propagations, conflicts, restarts, learned, removed, solves, proof_clauses, proof_bytes] =
+        let [decisions, propagations, conflicts, restarts, learned, removed, solves, proof_clauses, proof_bytes, clause_db_bytes] =
             self.solver;
         stats.solver.decisions = decisions;
         stats.solver.propagations = propagations;
@@ -191,6 +196,7 @@ impl StatsSnapshot {
         stats.solver.solves = solves;
         stats.solver.proof_clauses = proof_clauses;
         stats.solver.proof_bytes = proof_bytes;
+        stats.solver.clause_db_bytes = clause_db_bytes;
         let [rounds, quarantined, proofs, conflicts, timeouts, escalations, panics] = self.dispatch;
         summary.rounds = rounds;
         summary.quarantined = quarantined;
@@ -478,9 +484,9 @@ impl SweepJournal {
 
 /// Fingerprint binding a journal to a run: the structural hash of the
 /// swept network (PO cones) plus every configuration field that can
-/// change the deterministic report. Scheduling fields (`jobs`,
-/// `stall`) are excluded — resuming under a different worker count is
-/// explicitly supported.
+/// change the deterministic report. Scheduling and anytime fields
+/// (`jobs`, `stall`, `mem_budget`) are excluded — resuming under a
+/// different worker count or memory budget is explicitly supported.
 pub(crate) fn sweep_fingerprint(net: &LutNetwork, cfg: &SweepConfig) -> String {
     let roots: Vec<NodeId> = net.pos().iter().map(|po| po.node).collect();
     let mut h = Sha256::new();
@@ -491,7 +497,7 @@ pub(crate) fn sweep_fingerprint(net: &LutNetwork, cfg: &SweepConfig) -> String {
         format!(
             "random_rounds={};random_batch={};guided_iterations={};sat_budget={:?};\
              run_sat={};proof={:?};seed={};budget_schedule={:?};certify={};\
-             engine_mode={};incremental={}",
+             engine_mode={};incremental={};rebuild_bloat={}",
             cfg.random_rounds,
             cfg.random_batch,
             cfg.guided_iterations,
@@ -503,6 +509,7 @@ pub(crate) fn sweep_fingerprint(net: &LutNetwork, cfg: &SweepConfig) -> String {
             cfg.certify,
             cfg.engine.mode.name(),
             cfg.engine.incremental,
+            cfg.engine.rebuild_bloat,
         )
         .as_bytes(),
     );
@@ -701,7 +708,7 @@ mod tests {
                 disproved: 1,
                 aborted: 2,
                 certification_failures: 1,
-                solver: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+                solver: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
                 dispatch: [round, 1, 3, 0, 0, 2, 0],
             },
         }

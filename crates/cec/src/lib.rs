@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod certify;
 pub mod flow;
+pub mod govern;
 pub mod journal;
 pub mod parallel;
 pub mod prove;
@@ -50,6 +51,7 @@ pub use flow::{
     check_equivalence_observed, check_equivalence_under, CecReport, CecVerdict, InconclusiveReason,
     SwitchOnPlateau,
 };
+pub use govern::{estimate_resident, MemoryGovernor};
 pub use journal::{
     JournalVerdict, PairRecord, RoundRecord, SweepJournal, CRASH_ENV, JOURNAL_FILE, JOURNAL_SCHEMA,
 };

@@ -505,6 +505,7 @@ impl ParallelSweeper {
         let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
         let mut quarantined: Vec<(NodeId, NodeId)> = Vec::new();
         let mut interrupted = false;
+        let mut mem_exhausted = false;
         if cfg.run_sat {
             let progress = Progress::default();
             let _watchdog = spawn_watchdog(cfg, deadline, &progress, &obs.trace);
@@ -544,6 +545,7 @@ impl ParallelSweeper {
                 None => std::collections::VecDeque::new(),
             };
             let mut replayed_rounds = 0usize;
+            let mut governor = crate::govern::MemoryGovernor::new(cfg.mem_budget);
             loop {
                 // One round: every (rep, candidate) pair of every
                 // surviving class, shallowest candidates first (the
@@ -634,6 +636,21 @@ impl ParallelSweeper {
                     if let Some(j) = journal.as_deref_mut() {
                         j.truncate(replayed_rounds);
                     }
+                }
+                // Memory governance at the round barrier: the solver
+                // gauge comes from the merged, journal-restored stats,
+                // so a resumed run sees the same estimates as the
+                // original at every fresh round.
+                if governor.note(crate::govern::estimate_resident(
+                    &stats.solver,
+                    &sim.pool_stats(),
+                )) {
+                    mem_exhausted = true;
+                    deadline.trip();
+                    obs.trace.emit(
+                        "mem_budget_exhausted",
+                        vec![("estimate_bytes", Json::U64(governor.peak()))],
+                    );
                 }
                 if deadline.expired() {
                     // Out of time before the round started: every
@@ -1098,6 +1115,7 @@ impl ParallelSweeper {
             unresolved,
             quarantined,
             interrupted: interrupted || deadline.expired(),
+            mem_exhausted,
             patterns,
         }
     }

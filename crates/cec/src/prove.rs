@@ -10,9 +10,16 @@
 //! conflict-budget overrun returns [`ProveOutcome::Undecided`]
 //! carrying the number of conflicts the aborted attempt consumed
 //! (the dispatch layer's escalation signal). Resolved scopes are
-//! retired lazily — at the *next* query — so DRAT certificates can be
-//! extracted between queries while the refutation is still the tail
-//! of the proof log.
+//! retired lazily and in batches: a finished scope parks in a pending
+//! list at the *next* query (so DRAT certificates can be extracted
+//! between queries while the refutation is still the tail of the
+//! proof log), and the pending list is flushed — each scope's `¬act`
+//! unit pushed — only once [`RETIRE_BATCH`] scopes have accumulated.
+//! Deferral is sound because an unretired scope's miter clauses stay
+//! guarded by its unassigned activation literal: any model extends
+//! with that literal false, so later queries see the same
+//! satisfiability either way; retirement only lets the solver
+//! simplify the guarded clauses away sooner.
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -21,6 +28,11 @@ use std::time::{Duration, Instant};
 use simgen_netlist::{LutNetwork, NodeId};
 use simgen_sat::tseitin::NetworkEncoder;
 use simgen_sat::{Lit, Scope, ScopeMetrics, SolveResult, Solver, Var};
+
+/// Cold scopes buffered before one batched retirement pass (each
+/// retire pushes a unit clause and re-propagates; batching amortizes
+/// that across queries).
+pub const RETIRE_BATCH: usize = 8;
 
 /// Result of one pair proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,6 +89,14 @@ pub trait EquivProver {
         ScopeMetrics::default()
     }
 
+    /// Times the engine retired a bloated solver and rebuilt it from
+    /// the region's proven seeds (see
+    /// [`EnginePolicy::rebuild_bloat`](simgen_dispatch::EnginePolicy)).
+    /// Zero for engines without a rebuild policy.
+    fn rebuilds(&self) -> u64 {
+        0
+    }
+
     /// Independently certifies the engine's most recent
     /// [`ProveOutcome::Equivalent`] answer. The default fails closed:
     /// an engine that cannot produce a checkable certificate (BDDs, or
@@ -111,6 +131,9 @@ pub struct PairProver<'n> {
     /// which would satisfy the guarded miter clauses and make the
     /// certificate vacuous.
     open_scope: Option<Scope>,
+    /// Answered scopes awaiting batched retirement (see the module
+    /// docs): flushed once [`RETIRE_BATCH`] have accumulated.
+    pending_retire: Vec<Scope>,
 }
 
 impl<'n> PairProver<'n> {
@@ -124,6 +147,7 @@ impl<'n> PairProver<'n> {
             time: Duration::ZERO,
             metrics: ScopeMetrics::default(),
             open_scope: None,
+            pending_retire: Vec::new(),
         }
     }
 
@@ -135,6 +159,11 @@ impl<'n> PairProver<'n> {
     /// Scope/reuse metrics accumulated across this prover's queries.
     pub fn metrics(&self) -> ScopeMetrics {
         self.metrics
+    }
+
+    /// Answered scopes buffered for the next batched retirement pass.
+    pub fn pending_retirements(&self) -> usize {
+        self.pending_retire.len()
     }
 
     /// Installs a shared interrupt flag on the underlying solver;
@@ -205,7 +234,12 @@ impl<'n> PairProver<'n> {
     pub fn prove(&mut self, a: NodeId, b: NodeId, budget: Option<u64>) -> ProveOutcome {
         let start = Instant::now();
         if let Some(prev) = self.open_scope.take() {
-            prev.retire(&mut self.solver);
+            self.pending_retire.push(prev);
+            if self.pending_retire.len() >= RETIRE_BATCH {
+                for scope in self.pending_retire.drain(..) {
+                    scope.retire(&mut self.solver);
+                }
+            }
         }
         if self.calls > 0 {
             self.metrics.warm_solves += 1;
@@ -564,6 +598,25 @@ mod tests {
             from_warm, from_cold,
             "witness is a function of the pair, not of solver history"
         );
+    }
+
+    #[test]
+    fn retirement_batches_and_flushes_at_threshold() {
+        let (net, x, y, _) = demo_net();
+        let mut p = PairProver::new(&net);
+        // Query 1 opens a scope but has no predecessor to park.
+        assert_eq!(p.prove(x, y, None), ProveOutcome::Equivalent);
+        assert_eq!(p.pending_retirements(), 0);
+        // Queries 2..=RETIRE_BATCH each park one predecessor.
+        for i in 2..=RETIRE_BATCH {
+            assert_eq!(p.prove(x, y, None), ProveOutcome::Equivalent);
+            assert_eq!(p.pending_retirements(), i - 1);
+        }
+        // Query RETIRE_BATCH+1 parks the RETIRE_BATCH-th scope, which
+        // triggers the flush — and the answer is still correct with
+        // the batch's deactivation units in flight.
+        assert_eq!(p.prove(x, y, None), ProveOutcome::Equivalent);
+        assert_eq!(p.pending_retirements(), 0);
     }
 
     #[test]

@@ -31,6 +31,11 @@ use crate::prove::{BddProver, EquivProver, PairProver, ProveOutcome};
 /// [`EngineMode::BddFirst`]: simgen_dispatch::EngineMode::BddFirst
 pub(crate) const DEFAULT_BDD_FIRST_LIMIT: usize = 10_000;
 
+/// Floor for the rebuild-bloat baseline: a region whose post-seeding
+/// footprint is tiny would otherwise trip the multiple on its very
+/// first learnt clauses, churning solvers where reuse is cheapest.
+pub(crate) const REBUILD_BASELINE_FLOOR: u64 = 1024;
+
 /// Union-find over fanin edges, partitioning the netlist into
 /// cone-connected regions. Construction is a single pass over all
 /// edges; lookups use path compression.
@@ -122,6 +127,16 @@ pub(crate) struct SerialEngine<'n> {
     /// Region root → that region's long-lived prover (incremental
     /// mode only). BTreeMap for deterministic summation order.
     farm: BTreeMap<usize, PairProver<'n>>,
+    /// Region root → clause-database bytes right after creation and
+    /// seeding: the denominator of the rebuild-bloat ratio. A region
+    /// whose live footprint exceeds this baseline (floored at
+    /// [`REBUILD_BASELINE_FLOOR`]) times
+    /// [`EnginePolicy::rebuild_bloat`] is retired before its next
+    /// query and rebuilt from seeds — trading warm clauses for a
+    /// bounded clause database.
+    baselines: BTreeMap<usize, u64>,
+    /// Bloated region solvers retired and rebuilt so far.
+    rebuilds: u64,
     /// The current pair's prover in cold mode; replaced per query,
     /// with its totals folded into `done_*` first.
     cold: Option<PairProver<'n>>,
@@ -161,6 +176,8 @@ impl<'n> SerialEngine<'n> {
             deadline: deadline.clone(),
             regions: RegionMap::new(net),
             farm: BTreeMap::new(),
+            baselines: BTreeMap::new(),
+            rebuilds: 0,
             cold: None,
             seeds: Vec::new(),
             bdd,
@@ -191,9 +208,44 @@ impl<'n> SerialEngine<'n> {
                     prover.assert_equal(x, y);
                 }
             }
+            self.baselines
+                .insert(key, prover.solver_stats().clause_db_bytes);
             self.farm.insert(key, prover);
         }
         self.farm.get_mut(&key).expect("just inserted")
+    }
+
+    /// Retires region `key`'s solver if its live clause database has
+    /// bloated past the policy's multiple of the post-seeding
+    /// baseline: the prover's cumulative stats fold into the `done_*`
+    /// accumulators (so reports are unchanged) and the next query
+    /// rebuilds it from the region's seeds. Runs *between* queries —
+    /// never while the last answer's scope might still need
+    /// certificate extraction.
+    fn maybe_rebuild(&mut self, key: usize) {
+        let bloat = u64::from(self.policy.rebuild_bloat);
+        if bloat == 0 {
+            return;
+        }
+        let Some(prover) = self.farm.get(&key) else {
+            return;
+        };
+        let baseline = self
+            .baselines
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+            .max(REBUILD_BASELINE_FLOOR);
+        if prover.solver_stats().clause_db_bytes <= baseline.saturating_mul(bloat) {
+            return;
+        }
+        let old = self.farm.remove(&key).expect("presence checked above");
+        self.done_calls += old.calls();
+        self.done_time += old.time();
+        self.done_solver += old.solver_stats();
+        self.done_metrics += old.metrics();
+        self.baselines.remove(&key);
+        self.rebuilds += 1;
     }
 
     /// The prover that answered the last query, if it was a SAT one.
@@ -218,6 +270,7 @@ impl EquivProver for SerialEngine<'_> {
         }
         if self.policy.incremental {
             let key = self.regions.key(a, b);
+            self.maybe_rebuild(key);
             self.last = LastEngine::Region(key);
             self.region_prover(key).prove(a, b, budget)
         } else {
@@ -300,6 +353,10 @@ impl EquivProver for SerialEngine<'_> {
         total
     }
 
+    fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
     fn certify_last(&self) -> bool {
         match self.last_sat_prover() {
             Some(prover) => crate::certify::certify_equivalence(prover),
@@ -370,6 +427,52 @@ mod tests {
         // Same-region re-query is a warm solve; cross-region was not.
         assert_eq!(engine.prove(x1, x2, None), ProveOutcome::Equivalent);
         assert_eq!(engine.metrics().warm_solves, 1);
+    }
+
+    #[test]
+    fn bloat_policy_rebuilds_the_region_solver() {
+        // Two xor trees over the same six inputs: the shared-cone
+        // encoding alone exceeds the floored baseline, so bloat=1
+        // forces a rebuild before the second query.
+        let mut net = LutNetwork::new();
+        let pis: Vec<NodeId> = (0..6).map(|i| net.add_pi(format!("p{i}"))).collect();
+        let mut l = pis[0];
+        for &p in &pis[1..] {
+            l = net.add_lut(vec![l, p], TruthTable::xor2()).unwrap();
+        }
+        let mut r = pis[5];
+        for &p in pis[..5].iter().rev() {
+            r = net.add_lut(vec![r, p], TruthTable::xor2()).unwrap();
+        }
+        net.add_po(l, "l");
+        net.add_po(r, "r");
+        let deadline = Deadline::never();
+        let policy = EnginePolicy {
+            rebuild_bloat: 1,
+            ..EnginePolicy::default()
+        };
+        let mut engine = SerialEngine::new(&net, policy, false, None, &deadline);
+        assert_eq!(engine.prove(l, r, None), ProveOutcome::Equivalent);
+        assert_eq!(engine.rebuilds(), 0, "first query builds, never rebuilds");
+        let calls_before = engine.calls();
+        assert_eq!(engine.prove(l, r, None), ProveOutcome::Equivalent);
+        assert_eq!(engine.rebuilds(), 1, "bloated solver retired before reuse");
+        assert_eq!(
+            engine.metrics().warm_solves,
+            0,
+            "rebuilt solver starts cold"
+        );
+        assert_eq!(
+            engine.calls(),
+            calls_before + 1,
+            "retired solver's totals keep counting"
+        );
+        // With the policy off, the same workload reuses warm clauses.
+        let mut stable = SerialEngine::new(&net, EnginePolicy::default(), false, None, &deadline);
+        stable.prove(l, r, None);
+        stable.prove(l, r, None);
+        assert_eq!(stable.rebuilds(), 0);
+        assert_eq!(stable.metrics().warm_solves, 1);
     }
 
     #[test]

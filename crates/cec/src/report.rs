@@ -108,6 +108,14 @@ pub fn sweep_config_json(cfg: &SweepConfig) -> Vec<(String, Json)> {
         "incremental".to_string(),
         Json::Bool(cfg.engine.incremental),
     ));
+    entries.push((
+        "rebuild_bloat".to_string(),
+        Json::U64(u64::from(cfg.engine.rebuild_bloat)),
+    ));
+    entries.push((
+        "mem_budget".to_string(),
+        cfg.mem_budget.map_or(Json::Null, Json::U64),
+    ));
     entries
 }
 
@@ -167,6 +175,7 @@ fn sat_section(stats: &SweepStats, extra: Option<&simgen_sat::SolverStats>) -> S
         removed: solver.removed,
         proof_clauses: solver.proof_clauses,
         proof_bytes: solver.proof_bytes,
+        clause_db_bytes: solver.clause_db_bytes,
         wall_ms: ms(stats.sat_time),
     }
 }
@@ -211,6 +220,7 @@ fn sim_section(stats: &SweepStats) -> Option<SimSection> {
         simd_width_bits: simgen_sim::active_simd_level().width_bits() as u64,
         pool_dispatches: stats.pool.dispatches,
         pool_tasks: stats.pool.tasks,
+        pool_lane_bytes: stats.pool.lane_bytes,
     })
 }
 
@@ -311,7 +321,10 @@ pub fn cec_run_report(
         } => Outcome {
             status: "inconclusive".to_string(),
             exit_code: 2,
-            interrupted: *reason == InconclusiveReason::DeadlineExpired,
+            interrupted: matches!(
+                reason,
+                InconclusiveReason::DeadlineExpired | InconclusiveReason::ResourceExhausted
+            ),
             detail: vec![
                 (
                     "reason".to_string(),
@@ -320,6 +333,7 @@ pub fn cec_run_report(
                             InconclusiveReason::DeadlineExpired => "deadline_expired",
                             InconclusiveReason::BudgetExhausted => "budget_exhausted",
                             InconclusiveReason::CertificationFailed => "certification_failed",
+                            InconclusiveReason::ResourceExhausted => "resource_exhausted",
                         }
                         .to_string(),
                     ),
@@ -490,6 +504,8 @@ mod tests {
                 "certify",
                 "engine_mode",
                 "incremental",
+                "rebuild_bloat",
+                "mem_budget",
             ]
         );
         assert!(matches!(

@@ -74,6 +74,15 @@ pub struct SweepConfig {
     /// against one long-lived assumption-scoped solver per fanin
     /// region (`incremental`, the default) or a cold solver per pair.
     pub engine: EnginePolicy,
+    /// Memory budget in bytes for the sweep's dominant allocations
+    /// (clause databases, lane tables, proof logs). When the
+    /// [`crate::govern::MemoryGovernor`] estimate crosses the budget,
+    /// the sweep trips its own deadline and the run ends
+    /// `ResourceExhausted` instead of growing toward an OOM kill.
+    /// Non-semantic: excluded from the journal fingerprint and the
+    /// proof-cache configuration, like deadlines. `None` disables
+    /// accounting.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for SweepConfig {
@@ -91,6 +100,7 @@ impl Default for SweepConfig {
             stall: None,
             certify: false,
             engine: EnginePolicy::default(),
+            mem_budget: None,
         }
     }
 }
@@ -118,6 +128,11 @@ pub struct SweepReport {
     /// True when the deadline expired (or was tripped) before the
     /// sweep finished; the report is then a sound partial result.
     pub interrupted: bool,
+    /// True when the interruption was the sweep's own
+    /// [`SweepConfig::mem_budget`] governor rather than an external
+    /// deadline: the estimated resident footprint crossed the budget
+    /// and the run shed its remaining work instead of growing.
+    pub mem_exhausted: bool,
     /// All simulation patterns accumulated during the sweep.
     pub patterns: PatternSet,
 }
@@ -203,6 +218,7 @@ impl Sweeper {
         let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
         let mut quarantined: Vec<(NodeId, NodeId)> = Vec::new();
         let mut interrupted = false;
+        let mut mem_exhausted = false;
         if cfg.run_sat {
             let progress = Progress::default();
             let _watchdog = spawn_watchdog(cfg, deadline, &progress, &obs.trace);
@@ -241,7 +257,22 @@ impl Sweeper {
             // that separates it lands in the signatures.
             let mut pending: Vec<Vec<bool>> = Vec::new();
             let mut benched: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut governor = crate::govern::MemoryGovernor::new(cfg.mem_budget);
             loop {
+                // Memory governance: fold the engines' byte gauges and
+                // trip the shared deadline when they cross the budget —
+                // the next check below then sheds the remaining pairs.
+                if governor.note(crate::govern::estimate_resident(
+                    &prover.solver_stats().unwrap_or_default(),
+                    &sim.pool_stats(),
+                )) {
+                    mem_exhausted = true;
+                    deadline.trip();
+                    obs.trace.emit(
+                        "mem_budget_exhausted",
+                        vec![("estimate_bytes", Json::U64(governor.peak()))],
+                    );
+                }
                 if deadline.expired() {
                     // Graceful degradation: whatever is still paired
                     // up was not proven, so it is reported unresolved
@@ -448,6 +479,7 @@ impl Sweeper {
                 .add(Counter::ClausesReused, scope_metrics.clauses_reused);
             obs.recorder
                 .add(Counter::WarmSolves, scope_metrics.warm_solves);
+            obs.recorder.add(Counter::SolverRebuilds, prover.rebuilds());
             proven = merged;
             if let Some(start) = sat_start {
                 // The flushes inside the loop already booked their
@@ -473,6 +505,7 @@ impl Sweeper {
             // failures land here.
             quarantined,
             interrupted: interrupted || deadline.expired(),
+            mem_exhausted,
             patterns,
         }
     }

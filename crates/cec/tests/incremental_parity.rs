@@ -21,8 +21,8 @@
 //! engine-stripping (the caveat documented in docs/solving.md).
 
 use simgen_cec::{
-    design_info, sweep_run_report, Deadline, EngineMode, EnginePolicy, ParallelSweeper, RegionMap,
-    RunMeta, SweepConfig, SweepReport,
+    design_info, sweep_run_report, Deadline, EnginePolicy, ParallelSweeper, RegionMap, RunMeta,
+    SweepConfig, SweepReport,
 };
 use simgen_core::{SimGen, SimGenConfig};
 use simgen_mapping::map_to_luts;
@@ -82,7 +82,7 @@ fn config(incremental: bool, jobs: usize, certify: bool) -> SweepConfig {
         certify,
         engine: EnginePolicy {
             incremental,
-            mode: EngineMode::Auto,
+            ..EnginePolicy::default()
         },
         ..SweepConfig::default()
     }

@@ -177,7 +177,7 @@ pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str>
     out
 }
 
-const VALUE_FLAGS: [&str; 21] = [
+const VALUE_FLAGS: [&str; 25] = [
     "-k",
     "--engine-policy",
     "--strategy",
@@ -199,6 +199,10 @@ const VALUE_FLAGS: [&str; 21] = [
     "--retry",
     "--backoff",
     "--default-timeout",
+    "--rebuild-bloat",
+    "--priority",
+    "--mem-budget",
+    "--stall-horizon",
 ];
 
 /// Flags that stand alone (no value token follows).
@@ -402,9 +406,22 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
         })
         .transpose()?
         .unwrap_or_default();
+    // `--rebuild-bloat N` restarts a region solver whose clause
+    // database outgrows N× its post-seeding footprint (0 = never).
+    let rebuild_bloat: u32 = flag_value(rest, "--rebuild-bloat")
+        .map(|v| {
+            v.parse::<u32>().map_err(|_| {
+                CliError(format!(
+                    "bad --rebuild-bloat value `{v}` (need a non-negative integer multiple)"
+                ))
+            })
+        })
+        .transpose()?
+        .unwrap_or(0);
     let engine = EnginePolicy {
         incremental: !rest.iter().any(|a| a == "--no-incremental"),
         mode: engine_mode,
+        rebuild_bloat,
     };
     // `--checkpoint-dir` journals sweep rounds for crash-safe resume
     // (docs/recovery.md); `--resume` replays a journal left behind by
@@ -737,6 +754,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     let why = match reason {
                         InconclusiveReason::DeadlineExpired => "deadline expired",
                         InconclusiveReason::BudgetExhausted => "SAT budget exhausted",
+                        InconclusiveReason::ResourceExhausted => "memory budget exhausted",
                         InconclusiveReason::CertificationFailed => "certification failed",
                     };
                     let pairs: Vec<String> =
@@ -774,7 +792,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             if !pos.is_empty() {
                 return err("usage: simgen serve --socket PATH [--cache-dir DIR] \
                      [--cache-budget BYTES] [--queue-limit N] [--checkpoint-dir DIR] \
-                     [--default-timeout SECS]");
+                     [--default-timeout SECS] [--mem-budget BYTES] [--stall-horizon SECS]");
             }
             let Some(socket) = flag_value(rest, "--socket") else {
                 return err("simgen serve needs --socket PATH");
@@ -799,6 +817,24 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             // timeout, so one runaway proof can't wedge the executor.
             opts.default_timeout = flag_value(rest, "--default-timeout")
                 .map(|v| parse_secs("--default-timeout", v, false))
+                .transpose()?
+                .map(|d| d.as_secs_f64());
+            // Per-job memory budget: jobs whose estimated resident set
+            // crosses it are cancelled with `resource_exhausted`
+            // instead of taking the daemon down with them.
+            opts.mem_budget = flag_value(rest, "--mem-budget")
+                .map(|v| {
+                    v.parse::<u64>().ok().filter(|&b| b >= 1).ok_or_else(|| {
+                        CliError(format!(
+                            "bad --mem-budget value `{v}` (need a positive byte count)"
+                        ))
+                    })
+                })
+                .transpose()?;
+            // Stall watchdog: a job making no proof progress for this
+            // long is killed and quarantined; the daemon keeps serving.
+            opts.stall_horizon = flag_value(rest, "--stall-horizon")
+                .map(|v| parse_secs("--stall-horizon", v, false))
                 .transpose()?
                 .map(|d| d.as_secs_f64());
             simgen_serve::install_signal_handlers();
@@ -838,7 +874,53 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             println!("  errors      : {}", status.errors);
             println!("  recovered   : {}", status.recovered);
             println!("  retries     : {}", status.retries);
+            println!(
+                "  degraded    : {}",
+                if status.degraded {
+                    "yes (cache breaker open, memory-only)"
+                } else {
+                    "no"
+                }
+            );
             Ok(ExitCode::SUCCESS)
+        }
+        "health" => {
+            // Resource-governance snapshot: queue pressure, breaker
+            // state, shed/cancel totals, memory headroom. Exit 1 when
+            // degraded so probes can alert on it.
+            if !pos.is_empty() {
+                return err("usage: simgen health --socket PATH");
+            }
+            let Some(socket) = flag_value(rest, "--socket") else {
+                return err("simgen health needs --socket PATH");
+            };
+            let health = simgen_serve::query_health(Path::new(socket))
+                .map_err(|e| CliError(format!("health query to `{socket}`: {e}")))?;
+            println!(
+                "daemon at {socket}: {}",
+                if health.degraded {
+                    "degraded (cache breaker open, memory-only)"
+                } else {
+                    "healthy"
+                }
+            );
+            println!("  queue depth       : {}", health.queue_depth);
+            println!("  jobs shed         : {}", health.jobs_shed);
+            println!("  jobs oom-cancelled: {}", health.jobs_oom_cancelled);
+            println!("  watchdog kills    : {}", health.watchdog_kills);
+            println!("  breaker trips     : {}", health.breaker_trips);
+            match (health.mem_budget, health.mem_headroom) {
+                (Some(budget), Some(headroom)) => {
+                    println!("  mem budget        : {budget} bytes");
+                    println!("  mem headroom      : {headroom} bytes");
+                }
+                _ => println!("  mem budget        : unlimited"),
+            }
+            Ok(if health.degraded {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         "cache" => {
             // `simgen cache verify <dir>`: standalone integrity scrub
@@ -871,7 +953,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let [pa, pb] = pos[..] else {
                 return err("usage: simgen submit <a> <b> --socket PATH [--id X] \
                      [--strategy S] [-k K] [--seed N] [--jobs N] [--timeout SECS] [--certify] \
-                     [--retry N] [--backoff MS]");
+                     [--priority P] [--retry N] [--backoff MS]");
             };
             let Some(socket) = flag_value(rest, "--socket") else {
                 return err("simgen submit needs --socket PATH");
@@ -896,6 +978,18 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 })
                 .transpose()?
                 .unwrap_or(100);
+            // Scheduling-only: a higher priority is served first and
+            // sheds lower-priority queued work under pressure; it
+            // never changes the verdict or the report.
+            let priority: u8 = flag_value(rest, "--priority")
+                .map(|v| {
+                    v.parse::<u8>()
+                        .ok()
+                        .filter(|&p| p <= simgen_serve::MAX_PRIORITY)
+                        .ok_or_else(|| CliError(format!("bad --priority value `{v}` (need 0..=9)")))
+                })
+                .transpose()?
+                .unwrap_or(simgen_serve::DEFAULT_PRIORITY);
             let request = simgen_serve::JobRequest {
                 id: flag_value(rest, "--id").unwrap_or("job").to_string(),
                 a: pa.to_string(),
@@ -908,6 +1002,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 jobs,
                 timeout: timeout.map(|d| d.as_secs_f64()),
                 certify,
+                priority,
             };
             // `overloaded` means the daemon's queue was full at that
             // instant — the one daemon answer that is worth retrying.
@@ -945,6 +1040,17 @@ pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 Some("equivalent") => Ok(ExitCode::SUCCESS),
                 Some("not_equivalent") => Ok(ExitCode::from(1)),
                 Some("inconclusive") => Ok(ExitCode::from(2)),
+                // Load-shed by the daemon (preempted or queue deadline
+                // passed): unavailable, like a daemon-side error.
+                Some("shed") => {
+                    eprintln!(
+                        "submit: job shed by the daemon ({})",
+                        resp.get("reason")
+                            .and_then(simgen_obs::Json::as_str)
+                            .unwrap_or("unknown")
+                    );
+                    Ok(ExitCode::from(69))
+                }
                 other => err(format!("daemon response without a status: {other:?}")),
             }
         }
@@ -964,23 +1070,26 @@ USAGE:
   simgen sat <file.cnf>                    solve a DIMACS CNF (exit 10/20)
   simgen sweep <file> [--strategy S] [--iters N] [-k K] [--seed N] [--jobs N]
                       [--timeout SECS] [--stall SECS] [--certify]
-                      [--engine-policy P] [--no-incremental]
+                      [--engine-policy P] [--no-incremental] [--rebuild-bloat N]
                       [--checkpoint-dir DIR] [--resume]
                       [--fault-seed N] [--stats-json PATH] [--trace PATH]
                       [--profile]
   simgen cec <a> <b> [--strategy S] [-k K] [--seed N] [--jobs N]
                      [--timeout SECS] [--stall SECS] [--certify]
-                     [--engine-policy P] [--no-incremental]
+                     [--engine-policy P] [--no-incremental] [--rebuild-bloat N]
                      [--cache-dir DIR] [--cache-budget BYTES]
                      [--checkpoint-dir DIR] [--resume]
                      [--stats-json PATH] [--trace PATH] [--profile]
   simgen serve --socket PATH [--cache-dir DIR] [--cache-budget BYTES]
                [--queue-limit N] [--checkpoint-dir DIR] [--default-timeout SECS]
+               [--mem-budget BYTES] [--stall-horizon SECS]
                                            run the CEC daemon (docs/serving.md)
   simgen submit <a> <b> --socket PATH [--id X] [--strategy S] [-k K]
                 [--seed N] [--jobs N] [--timeout SECS] [--certify]
-                [--retry N] [--backoff MS] send one job to a running daemon
+                [--priority P] [--retry N] [--backoff MS]
+                                           send one job to a running daemon
   simgen status --socket PATH              health/recovery stats of a daemon
+  simgen health --socket PATH              resource-governance snapshot
   simgen cache verify <dir>                scrub a proof-cache directory
   simgen bench <name> <out>                emit a built-in benchmark circuit
   simgen list-benchmarks                   list the 42 built-in benchmarks
@@ -999,7 +1108,9 @@ conflicts; `sat-only` never consults BDDs. The SAT rungs share one
 long-lived assumption-scoped solver per fanin region, so later pairs
 in a region warm-start on the cone encoding and learnt clauses of
 earlier ones (docs/solving.md); --no-incremental reverts to a cold
-solver per pair. Verdicts and engine-stripped reports are identical
+solver per pair. --rebuild-bloat N restarts a region solver whose
+clause database grows past N times its live encoding (0 = never),
+bounding memory on long regions. Verdicts and engine-stripped reports are identical
 across policies and both solver modes — only effort counters
 (conflicts, warm_solves, clauses_reused) move.
 
@@ -1015,6 +1126,19 @@ the `cec` code mapping (69 for daemon-side errors, e.g. overloaded;
 exponential backoff first). Every on-disk entry is checksummed; open
 scrubs the directory and quarantines corrupt files (`cache verify`
 runs the same scrub standalone, exit 1 if anything was quarantined).
+
+Resource governance: `serve --mem-budget BYTES` cancels any job whose
+estimated resident set (clause database + lane tables + proof log)
+crosses the budget, answering `inconclusive`/`resource_exhausted`
+instead of dying of OOM; `--stall-horizon SECS` kills and quarantines
+jobs making no proof progress for that long. `submit --priority P`
+(0..=9, default 5) orders the queue; under pressure the daemon sheds
+the lowest-priority queued job with an explicit `shed` answer, and
+jobs whose queue wait exceeds their deadline are shed instead of run.
+Repeated cache I/O errors trip a circuit breaker to memory-only
+caching (`degraded` in `status`, periodic re-probe to recover).
+`health` reports queue depth, breaker state, shed/cancel/kill totals,
+and memory headroom, exiting 1 when degraded (docs/serving.md).
 
 Crash safety: --checkpoint-dir DIR journals every sweep round; after a
 crash, rerunning with --resume replays the journal and re-proves only
@@ -1036,7 +1160,7 @@ fails the check are quarantined, never merged. --fault-seed N
 (requires building with --features fault-inject) deterministically
 injects worker faults for chaos testing; sweep only.
 
-Observability: --stats-json PATH writes a simgen-run-report/4 JSON
+Observability: --stats-json PATH writes a simgen-run-report/5 JSON
 document (schema: docs/observability.md); --trace PATH writes the
 event trace as JSON Lines; --profile prints per-phase folded stacks
 on stdout (pipe into a flamegraph tool).
@@ -1109,8 +1233,43 @@ mod tests {
     #[test]
     fn status_and_cache_usage_errors() {
         assert!(run(&s(&["status"])).is_err());
+        assert!(run(&s(&["health"])).is_err());
+        assert!(run(&s(&["health", "extra"])).is_err());
         assert!(run(&s(&["cache"])).is_err());
         assert!(run(&s(&["cache", "frob", "/tmp"])).is_err());
+    }
+
+    #[test]
+    fn bad_priority_values_are_rejected() {
+        for bad in ["10", "-1", "urgent"] {
+            let msg = run(&s(&[
+                "submit",
+                "a.aag",
+                "b.aag",
+                "--socket",
+                "/s",
+                "--priority",
+                bad,
+            ]))
+            .expect_err("priority must be 0..=9")
+            .0;
+            assert!(msg.contains("--priority"), "unexpected error: {msg}");
+        }
+    }
+
+    #[test]
+    fn bad_governance_values_are_rejected() {
+        for (flag, bad) in [
+            ("--mem-budget", "0"),
+            ("--mem-budget", "plenty"),
+            ("--stall-horizon", "0"),
+            ("--stall-horizon", "-2"),
+        ] {
+            let msg = run(&s(&["serve", "--socket", "/s", flag, bad]))
+                .expect_err("bad governance value must be rejected")
+                .0;
+            assert!(msg.contains(flag), "unexpected error: {msg}");
+        }
     }
 
     #[test]
@@ -1627,6 +1786,24 @@ mod tests {
         // Usage errors: no socket.
         assert!(run(&s(&["submit", &aag_s, &aag_s])).is_err());
         assert!(run(&s(&["serve"])).is_err());
+        // `--priority` is accepted and scheduling-only: the verdict
+        // (and the exit code) is unchanged.
+        let code = run(&s(&[
+            "submit",
+            &aag_s,
+            &aag_s,
+            "--socket",
+            socket.to_str().unwrap(),
+            "--id",
+            "prio",
+            "--priority",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        // `health` against the live daemon: not degraded, exit 0.
+        let code = run(&s(&["health", "--socket", socket.to_str().unwrap()])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
         server.shutdown();
         server.join();
         std::fs::remove_dir_all(&dir).unwrap();

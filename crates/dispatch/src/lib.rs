@@ -30,7 +30,7 @@ mod schedule;
 
 pub use deadline::{Deadline, Progress, Watchdog};
 pub use executor::{run_ordered, run_ordered_traced, DispatchOutcome, JobStatus, WorkerReport};
-pub use fair::{FairQueue, PushError};
+pub use fair::{FairQueue, Popped, PushError, DEFAULT_PRIORITY, MAX_PRIORITY};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultAction, FaultPlan};
 pub use policy::{EngineMode, EnginePolicy};

@@ -59,15 +59,24 @@ pub struct EnginePolicy {
     pub incremental: bool,
     /// Engine ordering for each pair.
     pub mode: EngineMode,
+    /// Region-solver restart threshold, as a multiple of the solver's
+    /// post-seeding clause-database footprint. Once a region solver's
+    /// clause database grows past `baseline × rebuild_bloat`, the
+    /// engine folds its totals into the run accounting and rebuilds it
+    /// from the region's seed equivalences — trading the warm learnt
+    /// clauses for bounded memory. `0` disables restarts (the
+    /// default): a region solver lives for the whole sweep.
+    pub rebuild_bloat: u32,
 }
 
 impl Default for EnginePolicy {
     /// Incremental region solvers with the classical SAT-then-BDD
-    /// order.
+    /// order and no bloat-triggered restarts.
     fn default() -> Self {
         EnginePolicy {
             incremental: true,
             mode: EngineMode::Auto,
+            rebuild_bloat: 0,
         }
     }
 }
@@ -115,8 +124,8 @@ mod tests {
     #[test]
     fn certification_always_suppresses_bdds() {
         let p = EnginePolicy {
-            incremental: true,
             mode: EngineMode::BddFirst,
+            ..EnginePolicy::default()
         };
         assert!(p.bdd_primary(false));
         assert!(!p.bdd_primary(true), "BDD verdicts cannot be certified");
@@ -128,6 +137,7 @@ mod tests {
         let p = EnginePolicy {
             incremental: false,
             mode: EngineMode::SatOnly,
+            ..EnginePolicy::default()
         };
         assert!(!p.bdd_primary(false));
         assert!(!p.bdd_fallback(usize::MAX, false));

@@ -162,6 +162,26 @@ enum_with_names! {
         /// Pair proofs answered by a solver that had already solved an
         /// earlier miter (warm starts, the complement of cold starts).
         WarmSolves => "warm_solves",
+        /// Queued service jobs shed under overload: displaced by a
+        /// higher-priority submission or expired in the queue past
+        /// their deadline. Always answered explicitly, never dropped.
+        JobsShed => "jobs_shed",
+        /// Jobs cancelled by the memory governor: their accounted
+        /// footprint crossed `--mem-budget`, so they ended with a
+        /// `resource-exhausted` verdict instead of OOM-killing the
+        /// process.
+        JobsOomCancelled => "jobs_oom_cancelled",
+        /// Times the persistent cache's circuit breaker tripped to
+        /// memory-only operation after repeated disk write failures.
+        BreakerTrips => "breaker_trips",
+        /// Hung jobs killed by the supervisor's watchdog: no progress
+        /// past the stall horizon, so the job was cancelled and its
+        /// manifest quarantined.
+        WatchdogKills => "watchdog_kills",
+        /// Incremental region solvers rebuilt because their clause
+        /// database bloated past the configured multiple of the
+        /// post-seeding footprint (`rebuild_bloat`).
+        SolverRebuilds => "solver_rebuilds",
     }
 }
 

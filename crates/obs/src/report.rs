@@ -1,9 +1,11 @@
 //! The versioned `RunReport` document: one JSON file per run unifying
 //! sweep, SAT, dispatch, simulation, and iteration statistics.
 //!
-//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/4"`; version
+//! Schema id: [`RunReport::SCHEMA`] (`"simgen-run-report/5"`; version
 //! 2 added the proof-cache and service counters, version 4 the
-//! incremental-SAT scope counters). The
+//! incremental-SAT scope counters, version 5 the resource-governance
+//! counters — shed/OOM-cancel/breaker/watchdog — and the
+//! `mem_budget`/`stall` config keys). The
 //! field-by-field specification lives in `docs/observability.md`; this
 //! module is the single source of truth for serialization
 //! ([`RunReport::to_json`]), for the deterministic comparison form
@@ -130,6 +132,11 @@ pub struct SatSection {
     pub proof_clauses: u64,
     /// Bytes of DRAT proof text those clauses amount to.
     pub proof_bytes: u64,
+    /// Estimated clause-database bytes live at the end of the run,
+    /// summed over every solver — the figure the memory governor
+    /// compares against `--mem-budget`. Engine-dependent (warm
+    /// solvers retain learnt clauses cold ones never build).
+    pub clause_db_bytes: u64,
     /// Total wall time inside provers, milliseconds.
     pub wall_ms: f64,
 }
@@ -210,6 +217,9 @@ pub struct SimSection {
     pub pool_dispatches: u64,
     /// Worker tasks enqueued by those dispatches (stripped).
     pub pool_tasks: u64,
+    /// Peak lane-table bytes one simulation call allocated (word
+    /// counts pad to the active SIMD width, so stripped).
+    pub pool_lane_bytes: u64,
 }
 
 /// Trace-ring summary (scheduling-dependent; diagnostics only).
@@ -266,6 +276,7 @@ const SCHEDULING_KEYS: &[&str] = &[
     "simd_width_bits",
     "pool_dispatches",
     "pool_tasks",
+    "pool_lane_bytes",
 ];
 
 /// Removes timing and scheduling-dependent fields in place. Public so
@@ -303,6 +314,7 @@ const ENGINE_SAT_KEYS: &[&str] = &[
     "removed",
     "proof_clauses",
     "proof_bytes",
+    "clause_db_bytes",
 ];
 
 /// Effort keys in `dispatch.totals`: a pair can clear its first budget
@@ -315,10 +327,11 @@ const ENGINE_COUNTER_KEYS: &[&str] = &[
     "scopes_opened",
     "clauses_reused",
     "warm_solves",
+    "solver_rebuilds",
 ];
 
 /// Config keys that name the engine policy itself.
-const ENGINE_CONFIG_KEYS: &[&str] = &["engine_mode", "incremental"];
+const ENGINE_CONFIG_KEYS: &[&str] = &["engine_mode", "incremental", "rebuild_bloat"];
 
 /// Removes engine-effort fields in place, on top of
 /// [`strip_nondeterministic`]. What remains — verdicts, classes,
@@ -362,8 +375,12 @@ impl RunReport {
     /// the stripped `sim.simd_width_bits`/`sim.pool_*` diagnostics;
     /// version 4 added the incremental-SAT counters (`scopes_opened`,
     /// `clauses_reused`, `warm_solves`) and the engine-policy config
-    /// keys.
-    pub const SCHEMA: &'static str = "simgen-run-report/4";
+    /// keys; version 5 added the resource-governance counters
+    /// (`jobs_shed`, `jobs_oom_cancelled`, `breaker_trips`,
+    /// `watchdog_kills`, `solver_rebuilds`), the memory gauges
+    /// (`sat.clause_db_bytes`, stripped `sim.pool_lane_bytes`), and
+    /// the `mem_budget`/`rebuild_bloat` config keys.
+    pub const SCHEMA: &'static str = "simgen-run-report/5";
 
     /// Serializes the full report.
     pub fn to_json(&self) -> Json {
@@ -455,6 +472,7 @@ impl RunReport {
             s.push("removed", Json::U64(sat.removed));
             s.push("proof_clauses", Json::U64(sat.proof_clauses));
             s.push("proof_bytes", Json::U64(sat.proof_bytes));
+            s.push("clause_db_bytes", Json::U64(sat.clause_db_bytes));
             s.push("wall_ms", Json::F64(sat.wall_ms));
             root.push("sat", s);
         }
@@ -511,6 +529,7 @@ impl RunReport {
             s.push("simd_width_bits", Json::U64(sim.simd_width_bits));
             s.push("pool_dispatches", Json::U64(sim.pool_dispatches));
             s.push("pool_tasks", Json::U64(sim.pool_tasks));
+            s.push("pool_lane_bytes", Json::U64(sim.pool_lane_bytes));
             root.push("sim", s);
         }
 
@@ -693,6 +712,7 @@ impl RunReport {
                 "removed",
                 "proof_clauses",
                 "proof_bytes",
+                "clause_db_bytes",
             ] {
                 expect_u64(&mut errors, sat, "sat", key);
             }
@@ -731,7 +751,12 @@ impl RunReport {
             }
             // Stripped from the deterministic form, so optional; when
             // present they must be non-negative integers.
-            for key in ["simd_width_bits", "pool_dispatches", "pool_tasks"] {
+            for key in [
+                "simd_width_bits",
+                "pool_dispatches",
+                "pool_tasks",
+                "pool_lane_bytes",
+            ] {
                 if let Some(v) = sim.get(key) {
                     if v.as_u64().is_none() {
                         errors.push(format!("sim: field {key} is not a non-negative integer"));
@@ -838,9 +863,11 @@ mod tests {
                 exec_patterns: 384,
                 simd_width_bits: 256,
                 // Scheduling-dependent: the parallel path engages a
-                // different number of times per --jobs value.
+                // different number of times per --jobs value, and lane
+                // padding follows the host SIMD width.
                 pool_dispatches: jobs,
                 pool_tasks: jobs * 3,
+                pool_lane_bytes: 4096 * jobs,
                 ..SimSection::default()
             }),
             counters: vec![(Counter::ProofsDispatched.name(), 10)],
@@ -895,6 +922,9 @@ mod tests {
             if let Some(sat) = report.sat.as_mut() {
                 sat.conflicts = if warm { 17 } else { 123 };
                 sat.solves = if warm { 11 } else { 29 };
+                // A warm solver retains learnt clauses a cold one
+                // never accumulates.
+                sat.clause_db_bytes = if warm { 9000 } else { 400 };
             }
             if let Some(d) = report.dispatch.as_mut() {
                 d.conflicts = if warm { 0 } else { 40 };
@@ -926,6 +956,7 @@ mod tests {
         assert!(!text.contains("\"escalations\""));
         assert!(!text.contains("\"warm_solves\""));
         assert!(!text.contains("\"engine_mode\""));
+        assert!(!text.contains("\"clause_db_bytes\""));
     }
 
     #[test]

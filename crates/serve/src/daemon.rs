@@ -51,28 +51,56 @@
 //! retried with exponential backoff instead of answered with an
 //! error; the `status` protocol verb reports health, queue depth, and
 //! the recovery/retry totals.
+//!
+//! ## Resource governance and graceful degradation
+//!
+//! The daemon prefers a degraded answer over dying:
+//!
+//! * **Memory governance** — [`ServeOptions::mem_budget`] flows into
+//!   every job's [`SweepConfig::mem_budget`]; a job whose estimated
+//!   resident footprint (clause databases + proof logs + lane tables)
+//!   crosses it is cancelled with the `resource_exhausted` verdict
+//!   reason instead of growing toward an OOM kill.
+//! * **Load shedding** — submissions carry a priority (0–9); a full
+//!   queue sheds the lowest-priority queued job to admit a strictly
+//!   higher-priority one, and jobs whose wall-clock deadline passes
+//!   while they wait are answered `shed` instead of executed. Both
+//!   paths send an explicit terminal `shed` response.
+//! * **Stall watchdog** — with [`ServeOptions::stall_horizon`] set, a
+//!   job that makes no proof progress for that long is killed (its
+//!   deadline is tripped by the in-flow watchdog), its manifest is
+//!   quarantined under `<checkpoint>/quarantine/`, and the daemon
+//!   keeps serving. Quarantined jobs are *not* re-run on restart.
+//! * **Cache circuit breaker** — repeated disk failures trip the
+//!   persistent cache to memory-only operation; `status` reports
+//!   `degraded: true` while the breaker is open and periodic probe
+//!   writes close it again.
+//!
+//! The `health` verb reports all of it: queue depth, breaker state,
+//! shedding/cancellation totals, and memory headroom.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use simgen_cache::{job_key, CacheEntry, CacheKey, CachedVerdict, ProofCache, Sha256};
 use simgen_cec::{
-    cec_run_report, check_equivalence_checkpointed, design_info, CecVerdict, Deadline, RunMeta,
-    SweepConfig, SweepJournal,
+    cec_run_report, check_equivalence_checkpointed, design_info, estimate_resident, CecVerdict,
+    Deadline, InconclusiveReason, RunMeta, SweepConfig, SweepJournal,
 };
 use simgen_core::{OneDistance, PatternGenerator, RandomPatterns, RevSim, SimGen, SimGenConfig};
-use simgen_dispatch::{FairQueue, PushError};
+use simgen_dispatch::{FairQueue, Popped, PushError};
 use simgen_mapping::map_to_luts;
 use simgen_netlist::{aiger, bench_fmt, blif, LutNetwork};
 use simgen_obs::{atomic_write, Counter, Observer};
 
 use crate::protocol::{
-    error_response, is_status_request, parse_request, result_response, status_response,
-    CacheOutcome, JobRequest, JobStatusLine, StatusReport,
+    error_response, health_response, is_health_request, is_status_request, parse_request,
+    result_response, shed_response, status_response, CacheOutcome, HealthReport, JobRequest,
+    JobStatusLine, StatusReport,
 };
 
 /// Signal-visible shutdown flag; see [`request_shutdown`].
@@ -126,6 +154,20 @@ pub struct ServeOptions {
     /// carries no `timeout` of its own; `None` leaves such jobs
     /// unbounded.
     pub default_timeout: Option<f64>,
+    /// Per-job memory budget in bytes: a job whose estimated resident
+    /// footprint crosses it is cancelled with the
+    /// `resource_exhausted` verdict reason. `None` disables the
+    /// governor.
+    pub mem_budget: Option<u64>,
+    /// Stall horizon in seconds: a job making no proof progress for
+    /// this long is killed by the watchdog and its manifest
+    /// quarantined. `None` disables stall detection.
+    pub stall_horizon: Option<f64>,
+    /// Deterministic disk-fault plan seed for the persistent cache —
+    /// chaos-test plumbing for the circuit breaker (`fault-inject`
+    /// builds only).
+    #[cfg(feature = "fault-inject")]
+    pub disk_fault_seed: Option<u64>,
 }
 
 impl ServeOptions {
@@ -139,6 +181,10 @@ impl ServeOptions {
             queue_limit: 64,
             checkpoint_dir: None,
             default_timeout: None,
+            mem_budget: None,
+            stall_horizon: None,
+            #[cfg(feature = "fault-inject")]
+            disk_fault_seed: None,
         }
     }
 }
@@ -161,11 +207,22 @@ pub struct ServeStats {
     pub recovered: AtomicU64,
     /// Transient-failure retries across all jobs.
     pub retries: AtomicU64,
+    /// Jobs answered `shed`: evicted from a full queue by a
+    /// higher-priority submission, or expired past their deadline
+    /// while queued.
+    pub jobs_shed: AtomicU64,
+    /// Jobs the memory governor cancelled (`resource_exhausted`).
+    pub jobs_oom_cancelled: AtomicU64,
+    /// Stalled jobs the watchdog killed and quarantined.
+    pub watchdog_kills: AtomicU64,
+    /// Largest per-job resident-footprint estimate seen so far, for
+    /// the `health` verb's headroom figure.
+    pub peak_resident: AtomicU64,
 }
 
 impl ServeStats {
     /// A point-in-time snapshot for the `status` verb.
-    fn snapshot(&self, queue_depth: u64) -> StatusReport {
+    fn snapshot(&self, queue_depth: u64, degraded: bool) -> StatusReport {
         StatusReport {
             queue_depth,
             jobs_done: self.jobs_done.load(Ordering::Relaxed),
@@ -175,6 +232,27 @@ impl ServeStats {
             errors: self.errors.load(Ordering::Relaxed),
             recovered: self.recovered.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            degraded,
+        }
+    }
+
+    /// A point-in-time governance snapshot for the `health` verb.
+    fn health(
+        &self,
+        queue_depth: u64,
+        cache: &ProofCache,
+        mem_budget: Option<u64>,
+    ) -> HealthReport {
+        HealthReport {
+            queue_depth,
+            degraded: cache.breaker_tripped(),
+            breaker_trips: cache.breaker_trips(),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            jobs_oom_cancelled: self.jobs_oom_cancelled.load(Ordering::Relaxed),
+            watchdog_kills: self.watchdog_kills.load(Ordering::Relaxed),
+            mem_budget,
+            mem_headroom: mem_budget
+                .map(|b| b.saturating_sub(self.peak_resident.load(Ordering::Relaxed))),
         }
     }
 }
@@ -185,6 +263,18 @@ struct ExecCtx {
     cache: Arc<ProofCache>,
     stats: Arc<ServeStats>,
     checkpoint: Option<PathBuf>,
+    default_timeout: Option<f64>,
+    mem_budget: Option<u64>,
+    stall_horizon: Option<f64>,
+}
+
+/// What every reader thread shares: the queue it feeds and everything
+/// the reader-side verbs (`status`, `health`) answer from.
+struct ReaderCtx {
+    queue: Arc<FairQueue<Job>>,
+    stats: Arc<ServeStats>,
+    cache: Arc<ProofCache>,
+    mem_budget: Option<u64>,
     default_timeout: Option<f64>,
 }
 
@@ -218,6 +308,10 @@ impl Server {
             Some(dir) => ProofCache::persistent(dir, opts.cache_budget)?,
             None => ProofCache::in_memory(opts.cache_budget),
         });
+        #[cfg(feature = "fault-inject")]
+        if let Some(seed) = opts.disk_fault_seed {
+            cache.set_disk_fault_plan(Some(simgen_cache::DiskFaultPlan::from_seed(seed)));
+        }
         let queue: Arc<FairQueue<Job>> = Arc::new(FairQueue::new(opts.queue_limit));
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServeStats::default());
@@ -229,6 +323,8 @@ impl Server {
                 stats: Arc::clone(&stats),
                 checkpoint: opts.checkpoint_dir.clone(),
                 default_timeout: opts.default_timeout,
+                mem_budget: opts.mem_budget,
+                stall_horizon: opts.stall_horizon,
             };
             std::thread::spawn(move || {
                 // Jobs a previous incarnation died holding run first:
@@ -236,17 +332,38 @@ impl Server {
                 // queue up behind the recovery and hit its cached
                 // results.
                 recover_interrupted(&ctx);
-                while let Some((_client, job)) = queue.pop() {
-                    let line = execute_job(&ctx, &job.request);
-                    write_line(&job.writer, &line);
+                while let Some((_client, popped)) = queue.pop() {
+                    match popped {
+                        Popped::Ready(job) => {
+                            let line = execute_job(&ctx, &job.request);
+                            write_line(&job.writer, &line);
+                        }
+                        // The job's own deadline passed while it
+                        // waited: executing it could only yield an
+                        // inconclusive answer after burning executor
+                        // time, so shed it explicitly instead.
+                        Popped::Expired(job) => {
+                            ctx.stats.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                            write_line(
+                                &job.writer,
+                                &shed_response(&job.request.id, "queue_deadline"),
+                            );
+                        }
+                    }
                 }
             })
         };
 
         let accept_thread = {
+            let reader_ctx = Arc::new(ReaderCtx {
+                queue: Arc::clone(&queue),
+                stats: Arc::clone(&stats),
+                cache: Arc::clone(&cache),
+                mem_budget: opts.mem_budget,
+                default_timeout: opts.default_timeout,
+            });
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop);
-            let stats = Arc::clone(&stats);
             let socket = opts.socket.clone();
             std::thread::spawn(move || {
                 let mut readers = Vec::new();
@@ -260,10 +377,9 @@ impl Server {
                             if let Ok(clone) = stream.try_clone() {
                                 conns.push(clone);
                             }
-                            let queue = Arc::clone(&queue);
-                            let stats = Arc::clone(&stats);
+                            let ctx = Arc::clone(&reader_ctx);
                             readers.push(std::thread::spawn(move || {
-                                serve_connection(client, stream, &queue, &stats);
+                                serve_connection(client, stream, &ctx);
                             }));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -333,7 +449,7 @@ fn write_line(writer: &Arc<Mutex<UnixStream>>, line: &str) {
     }
 }
 
-fn serve_connection(client: u64, stream: UnixStream, queue: &FairQueue<Job>, stats: &ServeStats) {
+fn serve_connection(client: u64, stream: UnixStream, ctx: &ReaderCtx) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -350,7 +466,21 @@ fn serve_connection(client: u64, stream: UnixStream, queue: &FairQueue<Job>, sta
         if is_status_request(&line) {
             write_line(
                 &writer,
-                &status_response(&stats.snapshot(queue.len() as u64)),
+                &status_response(
+                    &ctx.stats
+                        .snapshot(ctx.queue.len() as u64, ctx.cache.breaker_tripped()),
+                ),
+            );
+            continue;
+        }
+        if is_health_request(&line) {
+            write_line(
+                &writer,
+                &health_response(&ctx.stats.health(
+                    ctx.queue.len() as u64,
+                    &ctx.cache,
+                    ctx.mem_budget,
+                )),
             );
             continue;
         }
@@ -358,14 +488,33 @@ fn serve_connection(client: u64, stream: UnixStream, queue: &FairQueue<Job>, sta
             Err((id, msg)) => write_line(&writer, &error_response(id.as_deref(), &msg)),
             Ok(request) => {
                 let id = request.id.clone();
+                let priority = request.priority;
+                // The job's wall-clock budget starts at submission,
+                // not execution: a job that would begin past its own
+                // deadline is shed, never run.
+                let queue_deadline = request
+                    .timeout
+                    .or(ctx.default_timeout)
+                    .and_then(|secs| Duration::try_from_secs_f64(secs).ok())
+                    .map(|d| Instant::now() + d);
                 let job = Job {
                     request,
                     writer: Arc::clone(&writer),
                 };
-                match queue.push(client, job) {
-                    Ok(()) => {}
+                match ctx.queue.push_prio(client, priority, queue_deadline, job) {
+                    Ok(None) => {}
+                    // A lower-priority queued job was evicted to admit
+                    // this one; its client gets a terminal `shed`
+                    // answer right now instead of silence.
+                    Ok(Some((_victim_client, victim))) => {
+                        ctx.stats.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                        write_line(
+                            &victim.writer,
+                            &shed_response(&victim.request.id, "preempted"),
+                        );
+                    }
                     Err(PushError::Overloaded) => {
-                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
                         write_line(&writer, &error_response(Some(&id), "overloaded"));
                     }
                     Err(PushError::Closed) => {
@@ -469,6 +618,16 @@ fn serve_job_key(a: &LutNetwork, b: &LutNetwork, request: &JobRequest) -> CacheK
     CacheKey(h.finalize())
 }
 
+/// The run report's spelling of an inconclusive reason.
+fn reason_str(reason: InconclusiveReason) -> &'static str {
+    match reason {
+        InconclusiveReason::DeadlineExpired => "deadline_expired",
+        InconclusiveReason::BudgetExhausted => "budget_exhausted",
+        InconclusiveReason::ResourceExhausted => "resource_exhausted",
+        InconclusiveReason::CertificationFailed => "certification_failed",
+    }
+}
+
 fn status_of(verdict: &CecVerdict) -> JobStatusLine {
     match verdict {
         CecVerdict::Equivalent => JobStatusLine::Equivalent,
@@ -477,9 +636,11 @@ fn status_of(verdict: &CecVerdict) -> JobStatusLine {
             witness: witness.clone(),
         },
         CecVerdict::Inconclusive {
-            unresolved_pairs, ..
+            unresolved_pairs,
+            reason,
         } => JobStatusLine::Inconclusive {
             unresolved: unresolved_pairs.len(),
+            reason: reason_str(*reason).to_string(),
         },
     }
 }
@@ -682,6 +843,14 @@ fn execute_job_inner(ctx: &ExecCtx, request: &JobRequest) -> Result<String, JobE
         jobs,
         certify: request.certify,
         seed: request.seed,
+        // Governance knobs: the memory governor cancels the job with
+        // `resource_exhausted` past the daemon's per-job budget, and
+        // the in-flow watchdog trips the deadline when no proof
+        // progress lands within the stall horizon.
+        mem_budget: ctx.mem_budget,
+        stall: ctx
+            .stall_horizon
+            .and_then(|secs| Duration::try_from_secs_f64(secs).ok()),
         ..SweepConfig::default()
     };
     let mut gen = make_strategy(&request.strategy, request.seed)?;
@@ -712,6 +881,47 @@ fn execute_job_inner(ctx: &ExecCtx, request: &JobRequest) -> Result<String, JobE
         journal.as_mut(),
     )
     .map_err(|e| JobError::permanent(e.to_string()))?;
+
+    // Governance bookkeeping. The resident estimate feeds the `health`
+    // verb's headroom figure; the verdict classification feeds the
+    // shed/cancel counters and the stall quarantine.
+    let resident = estimate_resident(&report.sweep_stats.solver, &report.sweep_stats.pool).max(
+        estimate_resident(&report.output_solver, &Default::default()),
+    );
+    stats.peak_resident.fetch_max(resident, Ordering::Relaxed);
+    let mut status = status_of(&report.verdict);
+    match &report.verdict {
+        CecVerdict::Inconclusive {
+            reason: InconclusiveReason::ResourceExhausted,
+            ..
+        } => {
+            stats.jobs_oom_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        CecVerdict::Inconclusive {
+            reason: InconclusiveReason::DeadlineExpired,
+            ..
+        } if !deadline.past_due() => {
+            // The deadline flag was tripped while wall-clock time
+            // remained: the stall watchdog killed this job. Quarantine
+            // its manifest so a restarted daemon does not re-run a
+            // known-stalling job, and reclassify the summary line —
+            // the embedded report keeps the verdict's own reason.
+            stats.watchdog_kills.fetch_add(1, Ordering::Relaxed);
+            if let Some(checkpoint) = &ctx.checkpoint {
+                let quarantine = checkpoint.join("quarantine");
+                let _ = std::fs::create_dir_all(&quarantine);
+                let _ = atomic_write(
+                    quarantine.join(format!("{}.job", job_tag(request))),
+                    request.to_line().as_bytes(),
+                );
+            }
+            if let JobStatusLine::Inconclusive { reason, .. } = &mut status {
+                *reason = "watchdog_stall".to_string();
+            }
+        }
+        _ => {}
+    }
+
     let replayed = obs.recorder.get(Counter::CacheReplays) > 0;
     let run_report = cec_run_report(
         RunMeta {
@@ -772,12 +982,7 @@ fn execute_job_inner(ctx: &ExecCtx, request: &JobRequest) -> Result<String, JobE
     } else {
         CacheOutcome::Miss
     };
-    Ok(result_response(
-        &request.id,
-        outcome,
-        &status_of(&report.verdict),
-        &text,
-    ))
+    Ok(result_response(&request.id, outcome, &status, &text))
 }
 
 fn design_name(path: &str) -> String {

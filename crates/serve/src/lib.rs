@@ -23,6 +23,14 @@
 //! on restart, transient failures are retried with backoff, and the
 //! `status` verb reports health and recovery totals.
 //!
+//! The daemon also governs its own resources instead of dying under
+//! pressure: per-job memory budgets cancel runaway jobs with an
+//! explicit `resource_exhausted` answer, priority-aware load shedding
+//! answers `shed` instead of silently dropping, a stall watchdog
+//! kills and quarantines hung jobs, the persistent cache degrades to
+//! memory-only behind a circuit breaker when the disk misbehaves, and
+//! the `health` verb reports all of it.
+//!
 //! See `docs/serving.md` for the protocol reference and trust model,
 //! and `docs/recovery.md` for the crash-safety story.
 
@@ -30,9 +38,12 @@ pub mod client;
 pub mod daemon;
 pub mod protocol;
 
-pub use client::{query_status, submit};
+pub use client::{query_health, query_status, submit};
 pub use daemon::{install_signal_handlers, request_shutdown, ServeOptions, ServeStats, Server};
 pub use protocol::{
-    error_response, is_status_request, parse_request, parse_status_response, result_response,
-    status_request, status_response, CacheOutcome, JobRequest, JobStatusLine, StatusReport,
+    error_response, health_request, health_response, is_health_request, is_status_request,
+    parse_health_response, parse_request, parse_status_response, result_response, shed_response,
+    status_request, status_response, CacheOutcome, HealthReport, JobRequest, JobStatusLine,
+    StatusReport,
 };
+pub use simgen_dispatch::{DEFAULT_PRIORITY, MAX_PRIORITY};

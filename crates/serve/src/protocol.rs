@@ -29,14 +29,20 @@ pub struct JobRequest {
     /// Trust-but-verify mode: DRAT-check every equivalence (cached
     /// ones included) and replay every counterexample.
     pub certify: bool,
+    /// Load-shedding priority, 0–9 (larger = more important; default
+    /// 5). Under overload the daemon sheds the lowest-priority queued
+    /// job to admit a strictly higher-priority one; the shed job's
+    /// client gets an explicit `shed` answer.
+    pub priority: u8,
 }
 
 impl JobRequest {
     /// The configuration fields that can change the (deterministic,
     /// stripped) run report — and therefore must be part of the job's
-    /// cache identity. `jobs` and `timeout` are deliberately absent:
-    /// reports are scheduling-invariant, and a conclusive verdict is
-    /// valid no matter what deadline it was found under.
+    /// cache identity. `jobs`, `timeout` and `priority` are
+    /// deliberately absent: reports are scheduling-invariant, and a
+    /// conclusive verdict is valid no matter what deadline or queue
+    /// position it was found under.
     pub fn cache_config(&self) -> String {
         format!(
             "strategy={};seed={};k={};certify={}",
@@ -60,6 +66,7 @@ impl JobRequest {
             cfg.push("timeout", Json::F64(secs));
         }
         cfg.push("certify", Json::Bool(self.certify));
+        cfg.push("priority", Json::U64(u64::from(self.priority)));
         req.push("config", cfg);
         req.to_line()
     }
@@ -77,6 +84,7 @@ impl Default for JobRequest {
             jobs: 1,
             timeout: None,
             certify: false,
+            priority: simgen_dispatch::DEFAULT_PRIORITY,
         }
     }
 }
@@ -177,6 +185,13 @@ pub fn parse_request(line: &str) -> Result<JobRequest, ParseFailure> {
                     _ => return Err(fail("`certify` must be a bool")),
                 };
             }
+            "priority" => {
+                let p = value
+                    .as_u64()
+                    .filter(|&p| p <= u64::from(simgen_dispatch::MAX_PRIORITY))
+                    .ok_or_else(|| fail("`priority` must be 0..=9"))?;
+                req.priority = p as u8;
+            }
             other => return Err(fail(&format!("unknown config key `{other}`"))),
         }
     }
@@ -204,6 +219,10 @@ pub struct StatusReport {
     pub recovered: u64,
     /// Transient-failure retries across all jobs.
     pub retries: u64,
+    /// True while the persistent cache's circuit breaker is open: the
+    /// daemon is serving from memory only and fresh proofs are not
+    /// being written through to disk.
+    pub degraded: bool,
 }
 
 /// The `status` request line: `{"op":"status"}`. Answered directly by
@@ -236,6 +255,7 @@ pub fn status_response(report: &StatusReport) -> String {
     resp.push("errors", Json::U64(report.errors));
     resp.push("recovered", Json::U64(report.recovered));
     resp.push("retries", Json::U64(report.retries));
+    resp.push("degraded", Json::Bool(report.degraded));
     resp.to_line()
 }
 
@@ -256,7 +276,105 @@ pub fn parse_status_response(line: &str) -> Option<StatusReport> {
         errors: field("errors")?,
         recovered: field("recovered")?,
         retries: field("retries")?,
+        // Absent in responses from pre-breaker daemons: not degraded.
+        degraded: matches!(json.get("degraded"), Some(Json::Bool(true))),
     })
+}
+
+/// A resource-governance snapshot the daemon answers the `health`
+/// verb with: queue pressure, degradation state, and the shedding /
+/// cancellation totals. Like `status` it is answered on the reader
+/// thread, so it stays live while the executor grinds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Jobs waiting in the fair queue right now.
+    pub queue_depth: u64,
+    /// True while the persistent cache's circuit breaker is open
+    /// (memory-only caching; disk writes suspended).
+    pub degraded: bool,
+    /// Times the cache breaker has tripped open since startup.
+    pub breaker_trips: u64,
+    /// Jobs answered `shed` (priority eviction or queue-time deadline).
+    pub jobs_shed: u64,
+    /// Jobs cancelled by the memory governor (`resource_exhausted`).
+    pub jobs_oom_cancelled: u64,
+    /// Stalled jobs the watchdog killed and quarantined.
+    pub watchdog_kills: u64,
+    /// The configured per-job memory budget, if any.
+    pub mem_budget: Option<u64>,
+    /// Budget minus the largest per-job resident estimate seen so far
+    /// (`None` when no budget is configured).
+    pub mem_headroom: Option<u64>,
+}
+
+/// The `health` request line: `{"op":"health"}`.
+pub fn health_request() -> String {
+    let mut req = Json::obj();
+    req.push("op", Json::Str("health".to_string()));
+    req.to_line()
+}
+
+/// True when `line` is a `health` request rather than a job.
+pub fn is_health_request(line: &str) -> bool {
+    Json::parse(line)
+        .ok()
+        .and_then(|json| json.get("op").and_then(Json::as_str).map(str::to_string))
+        .as_deref()
+        == Some("health")
+}
+
+/// Builds the `health` response line.
+pub fn health_response(report: &HealthReport) -> String {
+    let mut resp = Json::obj();
+    resp.push("health", Json::Str("ok".to_string()));
+    resp.push("queue_depth", Json::U64(report.queue_depth));
+    resp.push("degraded", Json::Bool(report.degraded));
+    resp.push("breaker_trips", Json::U64(report.breaker_trips));
+    resp.push("jobs_shed", Json::U64(report.jobs_shed));
+    resp.push("jobs_oom_cancelled", Json::U64(report.jobs_oom_cancelled));
+    resp.push("watchdog_kills", Json::U64(report.watchdog_kills));
+    resp.push(
+        "mem_budget",
+        report.mem_budget.map_or(Json::Null, Json::U64),
+    );
+    resp.push(
+        "mem_headroom",
+        report.mem_headroom.map_or(Json::Null, Json::U64),
+    );
+    resp.to_line()
+}
+
+/// Parses a `health` response line back into a [`HealthReport`];
+/// `None` for anything that is not a well-formed health answer.
+pub fn parse_health_response(line: &str) -> Option<HealthReport> {
+    let json = Json::parse(line).ok()?;
+    if json.get("health").and_then(Json::as_str) != Some("ok") {
+        return None;
+    }
+    let field = |name: &str| json.get(name).and_then(Json::as_u64);
+    Some(HealthReport {
+        queue_depth: field("queue_depth")?,
+        degraded: matches!(json.get("degraded"), Some(Json::Bool(true))),
+        breaker_trips: field("breaker_trips")?,
+        jobs_shed: field("jobs_shed")?,
+        jobs_oom_cancelled: field("jobs_oom_cancelled")?,
+        watchdog_kills: field("watchdog_kills")?,
+        mem_budget: field("mem_budget"),
+        mem_headroom: field("mem_headroom"),
+    })
+}
+
+/// Builds a `shed` response line: the terminal answer of a job the
+/// daemon deliberately refused to execute — evicted by a
+/// higher-priority submission (`"preempted"`) or expired in the queue
+/// past its own deadline (`"queue_deadline"`). Distinct from `error`
+/// so clients can tell load shedding from job failure.
+pub fn shed_response(id: &str, reason: &str) -> String {
+    let mut resp = Json::obj();
+    resp.push("id", Json::Str(id.to_string()));
+    resp.push("status", Json::Str("shed".to_string()));
+    resp.push("reason", Json::Str(reason.to_string()));
+    resp.to_line()
 }
 
 /// Builds an error response line (no trailing newline).
@@ -279,10 +397,16 @@ pub enum JobStatusLine {
         /// Distinguishing input assignment over the primary inputs.
         witness: Vec<bool>,
     },
-    /// Budget or deadline ran out; `unresolved` pairs remain open.
+    /// Budget, deadline, memory budget or the stall watchdog cut the
+    /// run short; `unresolved` pairs remain open.
     Inconclusive {
         /// Count of output pairs neither proven nor falsified.
         unresolved: usize,
+        /// What cut the run short, in the run report's vocabulary
+        /// (`deadline_expired`, `budget_exhausted`,
+        /// `resource_exhausted`, `certification_failed`) plus the
+        /// daemon's own `watchdog_stall` classification.
+        reason: String,
     },
 }
 
@@ -306,9 +430,10 @@ pub fn result_response(
             let bits: String = witness.iter().map(|&b| if b { '1' } else { '0' }).collect();
             resp.push("witness", Json::Str(bits));
         }
-        JobStatusLine::Inconclusive { unresolved } => {
+        JobStatusLine::Inconclusive { unresolved, reason } => {
             resp.push("status", Json::Str("inconclusive".to_string()));
             resp.push("unresolved", Json::U64(*unresolved as u64));
+            resp.push("reason", Json::Str(reason.clone()));
         }
     }
     // The stored text is the daemon's own deterministic serialization,
@@ -333,6 +458,7 @@ mod tests {
         assert_eq!(req.jobs, 1);
         assert_eq!(req.timeout, None);
         assert!(!req.certify);
+        assert_eq!(req.priority, simgen_dispatch::DEFAULT_PRIORITY);
     }
 
     #[test]
@@ -347,8 +473,25 @@ mod tests {
             jobs: 0,
             timeout: Some(2.5),
             certify: true,
+            priority: 8,
         };
         assert_eq!(parse_request(&req.to_line()).unwrap(), req);
+    }
+
+    #[test]
+    fn priority_is_validated_and_scheduling_only() {
+        let line = r#"{"id":"j","a":"x.aig","b":"y.aig","config":{"priority":10}}"#;
+        let (id, msg) = parse_request(line).unwrap_err();
+        assert_eq!(id.as_deref(), Some("j"));
+        assert!(msg.contains("priority"), "{msg}");
+        let mut hi = JobRequest {
+            id: "x".into(),
+            ..JobRequest::default()
+        };
+        let lo = hi.clone();
+        hi.priority = 9;
+        // Priority must not change the job's cache identity.
+        assert_eq!(hi.cache_config(), lo.cache_config());
     }
 
     #[test]
@@ -401,12 +544,55 @@ mod tests {
             errors: 1,
             recovered: 5,
             retries: 7,
+            degraded: true,
         };
         assert_eq!(
             parse_status_response(&status_response(&report)),
             Some(report)
         );
         assert_eq!(parse_status_response(r#"{"error":"overloaded"}"#), None);
+    }
+
+    #[test]
+    fn health_lines_roundtrip() {
+        assert!(is_health_request(&health_request()));
+        assert!(!is_health_request(&status_request()));
+        assert!(!is_status_request(&health_request()));
+        let report = HealthReport {
+            queue_depth: 2,
+            degraded: true,
+            breaker_trips: 3,
+            jobs_shed: 4,
+            jobs_oom_cancelled: 1,
+            watchdog_kills: 1,
+            mem_budget: Some(1 << 20),
+            mem_headroom: Some(512),
+        };
+        assert_eq!(
+            parse_health_response(&health_response(&report)),
+            Some(report)
+        );
+        // No budget configured: both memory fields serialize as null
+        // and come back as None.
+        let unbudgeted = HealthReport::default();
+        assert_eq!(
+            parse_health_response(&health_response(&unbudgeted)),
+            Some(unbudgeted)
+        );
+        assert_eq!(parse_health_response(r#"{"status":"ok"}"#), None);
+    }
+
+    #[test]
+    fn shed_responses_are_terminal_and_distinct_from_errors() {
+        let line = shed_response("j9", "queue_deadline");
+        let json = Json::parse(&line).unwrap();
+        assert_eq!(json.get("id").and_then(Json::as_str), Some("j9"));
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("shed"));
+        assert_eq!(
+            json.get("reason").and_then(Json::as_str),
+            Some("queue_deadline")
+        );
+        assert!(json.get("error").is_none());
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 
 use simgen_obs::Json;
-use simgen_serve::{query_status, submit, CacheOutcome, JobRequest, ServeOptions, Server};
+use simgen_serve::{
+    query_health, query_status, submit, CacheOutcome, JobRequest, ServeOptions, Server,
+};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("simgen_serve_{tag}_{}", std::process::id()));
@@ -408,6 +410,289 @@ fn orphaned_manifests_are_recovered_on_startup() {
         .map(|rd| rd.filter_map(|e| e.ok()).collect())
         .unwrap_or_default();
     assert!(leftovers.is_empty(), "{leftovers:?}");
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn client_disconnect_mid_job_does_not_wedge_the_daemon() {
+    let dir = temp_dir("gone");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let server = Server::start(ServeOptions::new(dir.join("sock"))).unwrap();
+
+    // Submit a job and hang up immediately without reading the
+    // response. The daemon must finish (or cancel) the job, release
+    // its queue slot, and keep serving other clients.
+    {
+        let mut stream = UnixStream::connect(server.socket()).unwrap();
+        let req = request("ghost", &a, &b);
+        stream.write_all(req.to_line().as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        // Dropped here: the connection closes mid-job.
+    }
+
+    // The abandoned job still runs to completion (its result lands in
+    // the cache; the write to the dead client is simply dropped).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let status = query_status(server.socket()).expect("status answered");
+        if status.jobs_done >= 1 {
+            assert_eq!(status.queue_depth, 0, "queue slot released: {status:?}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "abandoned job never completed: {status:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // A fresh client is served normally — and hits the cache entry the
+    // abandoned job left behind, proving the job really completed.
+    let next = parsed_submit(&server, &request("alive", &a, &b));
+    assert_eq!(
+        next.get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+    assert_eq!(cache_of(&next), CacheOutcome::Hit.as_str(), "{next:?}");
+
+    // Shutdown must not hang on the dead connection's reader thread.
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn expired_queue_deadline_is_shed_not_executed() {
+    let dir = temp_dir("shed_ddl");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let server = Server::start(ServeOptions::new(dir.join("sock"))).unwrap();
+
+    let mut stream = UnixStream::connect(server.socket()).unwrap();
+    // Job A occupies the single executor; job B's wall-clock budget is
+    // microscopic, so by the time the executor gets to it the deadline
+    // has passed — it must be shed, not run to a doomed inconclusive.
+    let slow = request("slow", &a, &b);
+    let mut doomed = request("doomed", &a, &b);
+    doomed.seed = 1;
+    doomed.timeout = Some(1e-6);
+    for req in [&slow, &doomed] {
+        stream.write_all(req.to_line().as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.flush().unwrap();
+
+    let reader = BufReader::new(stream);
+    let mut by_id = std::collections::HashMap::new();
+    for line in reader.lines().take(2) {
+        let resp = Json::parse(line.unwrap().trim_end()).unwrap();
+        let id = resp.get("id").and_then(Json::as_str).unwrap().to_string();
+        by_id.insert(id, resp);
+    }
+    assert_eq!(
+        by_id["slow"].get("status").and_then(Json::as_str),
+        Some("equivalent")
+    );
+    let shed = &by_id["doomed"];
+    assert_eq!(shed.get("status").and_then(Json::as_str), Some("shed"));
+    assert_eq!(
+        shed.get("reason").and_then(Json::as_str),
+        Some("queue_deadline")
+    );
+    assert!(
+        query_health(server.socket())
+            .expect("health answered")
+            .jobs_shed
+            >= 1,
+        "shed jobs are counted"
+    );
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn higher_priority_submissions_shed_the_lowest_queued_job() {
+    let dir = temp_dir("shed_prio");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let mut opts = ServeOptions::new(dir.join("sock"));
+    opts.queue_limit = 2;
+    let server = Server::start(opts).unwrap();
+
+    let mut stream = UnixStream::connect(server.socket()).unwrap();
+    // Occupy the executor, then wait until the job has actually been
+    // popped (queue empty) so the next three pushes land in a known
+    // queue state.
+    let running = request("running", &a, &b);
+    stream.write_all(running.to_line().as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let status = query_status(server.socket()).expect("status answered");
+        if status.queue_depth == 0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "{status:?}");
+        std::thread::yield_now();
+    }
+
+    // Two low-priority jobs fill the queue; a priority-9 submission
+    // must evict the NEWEST low-priority one, which gets an explicit
+    // terminal `shed` answer.
+    let mut low_a = request("low_a", &a, &b);
+    low_a.seed = 1;
+    low_a.priority = 1;
+    let mut low_b = request("low_b", &a, &b);
+    low_b.seed = 2;
+    low_b.priority = 1;
+    let mut urgent = request("urgent", &a, &b);
+    urgent.seed = 3;
+    urgent.priority = 9;
+    for req in [&low_a, &low_b, &urgent] {
+        stream.write_all(req.to_line().as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.flush().unwrap();
+
+    let reader = BufReader::new(stream);
+    let mut by_id = std::collections::HashMap::new();
+    for line in reader.lines().take(4) {
+        let resp = Json::parse(line.unwrap().trim_end()).unwrap();
+        let id = resp.get("id").and_then(Json::as_str).unwrap().to_string();
+        by_id.insert(id, resp);
+    }
+    let shed = &by_id["low_b"];
+    assert_eq!(
+        shed.get("status").and_then(Json::as_str),
+        Some("shed"),
+        "{shed:?}"
+    );
+    assert_eq!(shed.get("reason").and_then(Json::as_str), Some("preempted"));
+    for id in ["running", "low_a", "urgent"] {
+        assert_eq!(
+            by_id[id].get("status").and_then(Json::as_str),
+            Some("equivalent"),
+            "{id} must still be answered"
+        );
+    }
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn memory_budget_cancels_jobs_with_resource_exhausted() {
+    let dir = temp_dir("oom");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let mut opts = ServeOptions::new(dir.join("sock"));
+    // A one-byte budget: the governor trips at the first estimate and
+    // the job is cancelled instead of growing toward an OOM kill.
+    opts.mem_budget = Some(1);
+    let server = Server::start(opts).unwrap();
+
+    let resp = parsed_submit(&server, &request("big", &a, &b));
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("inconclusive"),
+        "{resp:?}"
+    );
+    assert_eq!(
+        resp.get("reason").and_then(Json::as_str),
+        Some("resource_exhausted")
+    );
+    let health = query_health(server.socket()).expect("health answered");
+    assert_eq!(health.jobs_oom_cancelled, 1);
+    assert_eq!(health.mem_budget, Some(1));
+    assert_eq!(health.mem_headroom, Some(0), "{health:?}");
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stall_watchdog_kills_and_quarantines_hung_jobs() {
+    let dir = temp_dir("stall");
+    let a = write_bench(&dir, "a", "e64");
+    let b = write_bench(&dir, "b", "e64");
+    let checkpoint = dir.join("checkpoint");
+    let mut opts = ServeOptions::new(dir.join("sock"));
+    opts.checkpoint_dir = Some(checkpoint.clone());
+    // A 1 ms stall horizon: any real job spends longer than that
+    // between proof-progress ticks, so the watchdog fires — exactly
+    // the observable behavior of a genuinely hung job.
+    opts.stall_horizon = Some(0.001);
+    let server = Server::start(opts).unwrap();
+
+    let resp = parsed_submit(&server, &request("hung", &a, &b));
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("inconclusive"),
+        "{resp:?}"
+    );
+    assert_eq!(
+        resp.get("reason").and_then(Json::as_str),
+        Some("watchdog_stall")
+    );
+    let health = query_health(server.socket()).expect("health answered");
+    assert!(health.watchdog_kills >= 1, "{health:?}");
+
+    // The killed job's manifest is quarantined (a restart must not
+    // re-run a known-stalling job) and cleared from jobs/.
+    let quarantined: Vec<_> = std::fs::read_dir(checkpoint.join("quarantine"))
+        .map(|rd| rd.filter_map(|e| e.ok()).collect())
+        .unwrap_or_default();
+    assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+    let pending: Vec<_> = std::fs::read_dir(checkpoint.join("jobs"))
+        .map(|rd| rd.filter_map(|e| e.ok()).collect())
+        .unwrap_or_default();
+    assert!(pending.is_empty(), "{pending:?}");
+
+    // The daemon keeps serving after the kill.
+    assert!(query_status(server.socket()).is_ok());
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn health_verb_reports_governance_state() {
+    let dir = temp_dir("health");
+    let (and_p, or_p) = write_and_or(&dir);
+    let mut opts = ServeOptions::new(dir.join("sock"));
+    opts.mem_budget = Some(1 << 30);
+    let server = Server::start(opts).unwrap();
+
+    let idle = query_health(server.socket()).expect("health answered");
+    assert!(!idle.degraded);
+    assert_eq!(idle.breaker_trips, 0);
+    assert_eq!(idle.jobs_shed, 0);
+    assert_eq!(idle.jobs_oom_cancelled, 0);
+    assert_eq!(idle.watchdog_kills, 0);
+    assert_eq!(idle.mem_budget, Some(1 << 30));
+    assert_eq!(idle.mem_headroom, Some(1 << 30), "nothing run yet");
+
+    parsed_submit(&server, &request("h1", &and_p, &or_p));
+    let after = query_health(server.socket()).expect("health answered");
+    let headroom = after.mem_headroom.expect("budget configured");
+    assert!(
+        headroom < 1 << 30,
+        "a completed job lowers headroom: {after:?}"
+    );
+    // `status` carries the degraded flag too (false here — no disk
+    // faults in this test).
+    assert!(!query_status(server.socket()).unwrap().degraded);
 
     server.shutdown();
     server.join();

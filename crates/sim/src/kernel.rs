@@ -278,6 +278,12 @@ pub struct PoolStats {
     pub dispatches: u64,
     /// Worker tasks enqueued across those dispatches.
     pub tasks: u64,
+    /// Peak bytes of lane storage a single `simulate_lanes` call
+    /// allocated (one `u64` word lane per ordered node). The
+    /// simulation side of per-job memory accounting; a high-water
+    /// mark, not a running sum. Word counts are padded to the active
+    /// SIMD width, so this stays under the scheduling strip keys.
+    pub lane_bytes: u64,
 }
 
 /// A network compiled to per-node simulation kernels.
@@ -293,6 +299,8 @@ pub struct CompiledNet {
     sim_dispatches: AtomicU64,
     /// Worker tasks enqueued by those engagements.
     sim_tasks: AtomicU64,
+    /// Peak lane-table allocation of one `simulate_lanes` call.
+    sim_lane_bytes: AtomicU64,
 }
 
 /// One 64-byte cache line of scratch words. The arena is a `Vec` of
@@ -583,6 +591,7 @@ impl CompiledNet {
             num_scratch,
             sim_dispatches: AtomicU64::new(0),
             sim_tasks: AtomicU64::new(0),
+            sim_lane_bytes: AtomicU64::new(0),
         }
     }
 
@@ -625,6 +634,7 @@ impl CompiledNet {
         PoolStats {
             dispatches: self.sim_dispatches.load(Ordering::Relaxed),
             tasks: self.sim_tasks.load(Ordering::Relaxed),
+            lane_bytes: self.sim_lane_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -665,6 +675,8 @@ impl CompiledNet {
         for &id in order {
             lanes[id.index()] = vec![0u64; num_words];
         }
+        self.sim_lane_bytes
+            .fetch_max((order.len() * num_words * 8) as u64, Ordering::Relaxed);
         if num_words == 0 {
             return lanes;
         }
